@@ -1,0 +1,104 @@
+//===- bench/BenchUtil.h - Shared benchmark plumbing --------------*- C++ -*-===//
+//
+// Helpers shared by the per-figure/per-table benchmark binaries: building
+// the four detector variants of a workload, deterministic timing, and
+// paper-style table printing. Wall-clock numbers are measured, never
+// assumed; the *shapes* (who wins, by what factor) are what EXPERIMENTS.md
+// compares against the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_BENCH_BENCHUTIL_H
+#define TEAPOT_BENCH_BENCHUTIL_H
+
+#include "baselines/SpecFuzz.h"
+#include "baselines/SpecTaint.h"
+#include "core/TeapotRewriter.h"
+#include "disasm/Disassembler.h"
+#include "fuzz/Fuzzer.h"
+#include "ir/Layout.h"
+#include "lang/MiniCC.h"
+#include "workloads/Harness.h"
+#include "workloads/Injector.h"
+#include "workloads/Programs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace teapot {
+namespace bench {
+
+inline obj::ObjectFile buildWorkload(const workloads::Workload &W) {
+  auto Bin = lang::compile(W.Source);
+  if (!Bin)
+    reportFatalError("workload compile failed: " + Bin.message());
+  return std::move(*Bin);
+}
+
+inline core::RewriteResult teapotRewrite(const obj::ObjectFile &Bin,
+                                         bool Dift = true) {
+  core::RewriterOptions O;
+  O.EnableDift = Dift;
+  auto RW = core::rewriteBinary(Bin, O);
+  if (!RW)
+    reportFatalError("teapot rewrite failed: " + RW.message());
+  return std::move(*RW);
+}
+
+inline core::RewriteResult specFuzzRewrite(const obj::ObjectFile &Bin) {
+  auto RW = baselines::specFuzzRewriteBinary(Bin);
+  if (!RW)
+    reportFatalError("specfuzz rewrite failed: " + RW.message());
+  return std::move(*RW);
+}
+
+/// Wall-clock seconds for \p Reps invocations of \p Fn (averaged).
+inline double timeIt(unsigned Reps, const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != Reps; ++I)
+    Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count() / Reps;
+}
+
+inline void printHeader(const char *Title) {
+  printf("\n================================================================\n");
+  printf("%s\n", Title);
+  printf("================================================================\n");
+}
+
+/// Figure 1 / Figure 7 experiment configuration: nested speculation and
+/// skipping heuristics disabled for every implementation (Section 7.1).
+inline runtime::RuntimeOptions perfRunTeapot() {
+  runtime::RuntimeOptions O;
+  O.Nesting = runtime::NestingPolicy::Off;
+  return O;
+}
+
+inline runtime::RuntimeOptions perfRunSpecFuzz() {
+  runtime::RuntimeOptions O = baselines::specFuzzRuntimeOptions();
+  O.Nesting = runtime::NestingPolicy::Off;
+  return O;
+}
+
+inline baselines::SpecTaintOptions perfRunSpecTaint() {
+  baselines::SpecTaintOptions O;
+  O.MaxDepth = 1;           // no nested simulation
+  O.Tries = 0x7fffffff;     // no skipping heuristic
+  return O;
+}
+
+/// Runs one input through a target several times and returns the average
+/// wall time per run.
+template <typename Target>
+double timeTarget(Target &T, const std::vector<uint8_t> &Input,
+                  unsigned Reps) {
+  return timeIt(Reps, [&] { T.execute(Input); });
+}
+
+} // namespace bench
+} // namespace teapot
+
+#endif

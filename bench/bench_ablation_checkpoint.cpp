@@ -1,0 +1,41 @@
+//===- bench/bench_ablation_checkpoint.cpp - Checkpoint width ---------------===//
+//
+// Section 6.1's checkpoint option: SSE state is always preserved, the
+// full AVX state only on request "for performance reasons". Measures the
+// cost of the wider checkpoint across the workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace teapot;
+using namespace teapot::bench;
+using namespace teapot::workloads;
+
+int main() {
+  constexpr unsigned Reps = 5;
+  printHeader("Ablation: SSE-only vs full-AVX checkpoints");
+  printf("%-10s %12s %12s %12s\n", "program", "sse(ms)", "avx(ms)",
+         "overhead");
+
+  for (const Workload &W : allWorkloads()) {
+    obj::ObjectFile Bin = buildWorkload(W);
+    auto RW = teapotRewrite(Bin);
+    auto Input = W.LargeInput(1000);
+
+    runtime::RuntimeOptions Sse;
+    InstrumentedTarget TS(RW, Sse);
+    TS.execute(Input);
+    double TSse = timeTarget(TS, Input, Reps);
+
+    runtime::RuntimeOptions Avx;
+    Avx.AvxCheckpoint = true;
+    InstrumentedTarget TA(RW, Avx);
+    TA.execute(Input);
+    double TAvx = timeTarget(TA, Input, Reps);
+
+    printf("%-10s %12.2f %12.2f %11.1f%%\n", W.Name, TSse * 1e3, TAvx * 1e3,
+           (TAvx / TSse - 1) * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/bench_ablation_guards.cpp - Speculation Shadows ablation -------===//
+//
+// The core design-choice ablation: what does eliminating the per-site
+// `if (in_simulation)` guards buy? We run the same binaries under the
+// same ASan-only policy in three configurations:
+//
+//   guarded    single-copy instrumentation, guards at every site
+//              (the Listing 3 architecture)
+//   shadows    Speculation Shadows (Teapot)
+//   native     uninstrumented
+//
+// measured both with simulation disabled (pure normal-mode overhead —
+// the guards' own cost) and enabled (end-to-end).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace teapot;
+using namespace teapot::bench;
+using namespace teapot::workloads;
+
+int main() {
+  constexpr unsigned Reps = 5;
+  constexpr uint64_t Budget = 600'000'000;
+  printHeader("Ablation: guard elimination (Speculation Shadows vs "
+              "guarded single copy, ASan-only policy)");
+  printf("%-10s | %12s %12s | %12s %12s | %12s %12s\n", "program",
+         "grd-nosim", "shd-nosim", "grd-sim", "shd-sim", "grd-intr",
+         "shd-intr");
+
+  for (const Workload &W : allWorkloads()) {
+    obj::ObjectFile Bin = buildWorkload(W);
+    auto Input = W.LargeInput(1200);
+
+    NativeTarget Native(Bin, Budget);
+    Native.execute(Input);
+    double TN = timeTarget(Native, Input, Reps);
+
+    auto SFRW = specFuzzRewrite(Bin);
+    auto TPRW = teapotRewrite(Bin, /*Dift=*/false);
+
+    auto Measure = [&](const core::RewriteResult &RW,
+                       runtime::RuntimeOptions RT, bool Sim, double &Time,
+                       uint64_t &Intr) {
+      RT.SimulateSpeculation = Sim;
+      RT.EnableDift = false;
+      InstrumentedTarget T(RW, RT, Budget);
+      T.execute(Input);
+      Intr = T.M.executedIntrinsics();
+      Time = timeTarget(T, Input, Reps);
+    };
+
+    double GN, SN, GS, SS;
+    uint64_t GI, SI, Dummy;
+    Measure(SFRW, baselines::specFuzzRuntimeOptions(), false, GN, GI);
+    Measure(TPRW, perfRunTeapot(), false, SN, SI);
+    Measure(SFRW, baselines::specFuzzRuntimeOptions(), true, GS, Dummy);
+    Measure(TPRW, perfRunTeapot(), true, SS, Dummy);
+
+    printf("%-10s | %11.2fx %11.2fx | %11.1fx %11.1fx | %12llu %12llu\n",
+           W.Name, GN / TN, SN / TN, GS / TN, SS / TN,
+           static_cast<unsigned long long>(GI),
+           static_cast<unsigned long long>(SI));
+  }
+  printf("\n(times normalized to native; -intr columns count "
+         "instrumentation calls executed\nin one run with simulation "
+         "off — the guards the shadow design removes)\n");
+  return 0;
+}

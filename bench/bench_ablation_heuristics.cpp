@@ -1,0 +1,63 @@
+//===- bench/bench_ablation_heuristics.cpp - Nesting heuristics -------------===//
+//
+// Section 6.1's exploration heuristics compared on the nested-branch-rich
+// decompressor: simulations spent, unique gadgets found, and wall time
+// under the same fuzzing schedule.
+//
+//   off       no nested speculation (depth 1)
+//   specfuzz  per-branch encounter counts unlock depth gradually
+//   spectaint depth-first, at most 5 simulations per branch
+//   hybrid    Teapot: full depth for the first 5 runs, SpecFuzz after
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace teapot;
+using namespace teapot::bench;
+using namespace teapot::runtime;
+using namespace teapot::workloads;
+
+int main() {
+  printHeader("Ablation: nested-speculation heuristics (brotli workload)");
+  printf("%-10s %14s %12s %10s %12s\n", "policy", "simulations",
+         "nested", "gadgets", "time(s)");
+
+  const Workload &W = *findWorkload("brotli");
+  obj::ObjectFile Bin = buildWorkload(W);
+  auto RW = teapotRewrite(Bin);
+
+  struct Config {
+    const char *Name;
+    NestingPolicy Policy;
+  } Configs[] = {{"off", NestingPolicy::Off},
+                 {"specfuzz", NestingPolicy::SpecFuzz},
+                 {"spectaint", NestingPolicy::SpecTaint},
+                 {"hybrid", NestingPolicy::Hybrid}};
+
+  for (const Config &C : Configs) {
+    RuntimeOptions RT;
+    RT.Nesting = C.Policy;
+    InstrumentedTarget T(RW, RT);
+    double Secs = timeIt(1, [&] {
+      fuzz::FuzzerOptions FO;
+      FO.Seed = 5;
+      FO.MaxIterations = 350;
+      FO.MaxInputLen = 128;
+      fuzz::Fuzzer F(T, FO);
+      for (auto Seed : W.Seeds())
+        F.addSeed(Seed);
+      F.addSeed({1, 2, 'a', 'b', 2, 9, 3, 0});
+      F.run();
+    });
+    printf("%-10s %14llu %12llu %10zu %12.2f\n", C.Name,
+           static_cast<unsigned long long>(T.RT.Stats.Simulations),
+           static_cast<unsigned long long>(T.RT.Stats.NestedSimulations),
+           T.RT.Reports.unique().size(), Secs);
+  }
+  printf("\nExpected shape: hybrid finds at least as many gadgets as "
+         "specfuzz/spectaint;\noff misses nested-only gadgets; spectaint "
+         "stops exploring after its try budget\n(Section 7.3's analysis "
+         "of the brotli gap).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- bench/bench_fig2.cpp - Figure 2: switch lowering vs gadgets ----------===//
+//
+// Figure 2 as a measurable experiment: one dispatcher source compiled
+// twice — with GCC-style compare-and-branch switch lowering and with
+// Clang-style bounds-checked jump tables — then scanned by Teapot under
+// the same fuzzing schedule. Only the branch cascade exposes
+// per-case conditional branches to mistraining; the jump-table dispatch
+// is V1-safe (the residual branch inside case 1's body is present in
+// both builds and is reported under both).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace teapot;
+using namespace teapot::bench;
+using namespace teapot::workloads;
+
+namespace {
+
+const char *Dispatcher = R"(
+int g_out;
+int pick(char *t, int idx) {
+  // The case selection is the only thing keeping idx in bounds: each
+  // case body indexes the 64-byte table at idx*16. Mistraining a case
+  // comparison executes a body with an out-of-range idx.
+  switch (idx) {
+    case 0: { g_out = t[idx * 16]; break; }
+    case 1: { g_out = t[idx * 16 + 1]; break; }
+    case 2: { g_out = t[idx * 16 + 2]; break; }
+    case 3: { g_out = t[idx * 16 + 3]; break; }
+    default: { g_out = -1; break; }
+  }
+  return g_out;
+}
+int main() {
+  char req[8];
+  read_input(req, 1);
+  char *t = malloc(64);
+  int acc = pick(t, req[0]);
+  return acc & 63;
+}
+)";
+
+} // namespace
+
+int main() {
+  printHeader("Figure 2: switch lowering decides whether Spectre-V1 "
+              "victims exist");
+  printf("%-12s %10s %12s %14s %10s\n", "lowering", "branches",
+         "jump table", "branch sites", "gadgets");
+
+  for (lang::SwitchLowering SL :
+       {lang::SwitchLowering::Branches, lang::SwitchLowering::JumpTable}) {
+    lang::CompileOptions CO;
+    CO.Switches = SL;
+    auto Bin = lang::compile(Dispatcher, CO);
+    if (!Bin)
+      reportFatalError(Bin.message());
+
+    // Structural evidence: count JCC vs JMPI in the dispatcher.
+    auto M = disasm::disassemble(*Bin);
+    unsigned NumJcc = 0, NumJmpi = 0;
+    for (const auto &F : M->Funcs)
+      for (const auto &B : F.Blocks)
+        for (const auto &In : B.Insts) {
+          NumJcc += In.I.Op == isa::Opcode::JCC;
+          NumJmpi += In.I.Op == isa::Opcode::JMPI;
+        }
+
+    auto RW = teapotRewrite(*Bin);
+    runtime::RuntimeOptions RT;
+    workloads::InstrumentedTarget T(RW, RT);
+    fuzz::FuzzerOptions FO;
+    FO.Seed = 3;
+    FO.MaxIterations = 300;
+    FO.MaxInputLen = 8;
+    fuzz::Fuzzer F(T, FO);
+    // Seed all ops with both small and large arguments.
+    for (uint8_t Idx : {0, 1, 2, 3, 9, 200})
+      F.addSeed({Idx});
+    F.run();
+
+    printf("%-12s %10u %12u %14zu %10zu\n",
+           SL == lang::SwitchLowering::Branches ? "branches" : "jumptable",
+           NumJcc, NumJmpi, RW.Meta.Trampolines.size(),
+           T.RT.Reports.unique().size());
+  }
+
+  printf("\nExpected shape: the branch-cascade build exposes more "
+         "conditional branch sites\nand strictly more gadget reports than "
+         "the jump-table build (Figure 2 / Section 3.2).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- bench/bench_micro.cpp - google-benchmark micro-benchmarks ------------===//
+//
+// Microbenchmarks of the substrate hot paths (instruction codec, VM
+// dispatch, sparse-memory reset, DIFT transfer, checkpoint/rollback) —
+// the per-operation costs the figure-level numbers decompose into.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "asm/Assembler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace teapot;
+using namespace teapot::bench;
+using namespace teapot::isa;
+using namespace teapot::workloads;
+
+static void BM_EncodeDecode(benchmark::State &State) {
+  Instruction I = Instruction::load(R1, MemRef{R2, R3, 8, -64}, 4);
+  std::vector<uint8_t> Bytes;
+  for (auto _ : State) {
+    Bytes.clear();
+    encode(I, Bytes);
+    auto D = decode(Bytes.data(), Bytes.size(), 0);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+static void BM_VmDispatch(benchmark::State &State) {
+  // A tight arithmetic loop: measures raw interpreter throughput.
+  auto Bin = assembler::assemble(R"(
+.text
+main:
+    mov r0, 0
+    mov r1, 100000
+loop:
+    add r0, 3
+    sub r1, 1
+    cmp r1, 0
+    j.ne loop
+    halt
+)");
+  vm::Machine M;
+  cantFail(M.loadObject(*Bin));
+  M.captureBaseline();
+  for (auto _ : State) {
+    M.resetToBaseline();
+    M.run(1'000'000);
+  }
+  State.SetItemsProcessed(State.iterations() * 400000);
+}
+BENCHMARK(BM_VmDispatch);
+
+static void BM_MemoryReset(benchmark::State &State) {
+  vm::Memory Mem;
+  for (uint64_t A = 0; A != 64; ++A)
+    Mem.writeU8(A * vm::Memory::PageSize, 1);
+  Mem.captureBaseline();
+  for (auto _ : State) {
+    for (uint64_t A = 0; A != 64; ++A)
+      Mem.writeU8(A * vm::Memory::PageSize + 7, 2);
+    Mem.resetToBaseline();
+  }
+}
+BENCHMARK(BM_MemoryReset);
+
+static void BM_TagTransfer(benchmark::State &State) {
+  vm::Machine M;
+  runtime::TagEngine T(M);
+  T.RegTags[R1] = runtime::TagUser;
+  Instruction I = Instruction::alu(Opcode::ADD, R0, Operand::reg(R1));
+  for (auto _ : State) {
+    T.transfer(I);
+    benchmark::DoNotOptimize(T.RegTags[R0]);
+  }
+}
+BENCHMARK(BM_TagTransfer);
+
+static void BM_InstrumentedExec(benchmark::State &State) {
+  const Workload &W = *findWorkload("jsmn");
+  obj::ObjectFile Bin = buildWorkload(W);
+  auto RW = teapotRewrite(Bin);
+  runtime::RuntimeOptions RT;
+  InstrumentedTarget T(RW, RT);
+  auto Seeds = W.Seeds();
+  for (auto _ : State)
+    T.execute(Seeds[0]);
+}
+BENCHMARK(BM_InstrumentedExec);
+
+static void BM_RewriteJsmn(benchmark::State &State) {
+  const Workload &W = *findWorkload("jsmn");
+  obj::ObjectFile Bin = buildWorkload(W);
+  for (auto _ : State) {
+    auto RW = core::rewriteBinary(Bin, {});
+    benchmark::DoNotOptimize(RW);
+  }
+}
+BENCHMARK(BM_RewriteJsmn);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+//===- bench/bench_table3.cpp - Table 3: artificial gadget injection --------===//
+//
+// Regenerates Table 3: sample Spectre-V1 gadgets are injected into the
+// real-world programs at recorded points (ground truth), the binaries
+// are fuzzed by each detector, and TP/FP/FN + precision/recall are
+// computed against the ground truth. Following Section 7.2: real taint
+// sources are disabled, the injected variable is the only "user input"
+// (attacker-direct), and the Massage policies are off. openssl is
+// excluded (SpecTaint never published its injection points).
+//
+// Expected shape (paper): Teapot 100% precision, recall 100% except
+// libyaml's two unreachable points (80%); SpecFuzz same recall with
+// precision collapsing under false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <set>
+
+using namespace teapot;
+using namespace teapot::bench;
+using namespace teapot::workloads;
+
+namespace {
+
+struct Score {
+  unsigned TP = 0, FP = 0, FN = 0;
+  double precision() const { return TP + FP ? 100.0 * TP / (TP + FP) : 100; }
+  double recall(unsigned GT) const { return GT ? 100.0 * TP / GT : 100; }
+};
+
+Score scoreBySites(const std::vector<runtime::GadgetReport> &Reports,
+                   const std::set<uint64_t> &Markers, unsigned GT) {
+  Score S;
+  std::set<uint64_t> Hit;
+  for (const auto &R : Reports) {
+    if (Markers.count(R.Site))
+      Hit.insert(R.Site);
+    else
+      ++S.FP;
+  }
+  S.TP = static_cast<unsigned>(Hit.size());
+  S.FN = GT - S.TP;
+  return S;
+}
+
+/// Maps an emulator report PC into a gadget function range.
+uint64_t siteForPC(uint64_t PC, const ir::LayoutResult &L,
+                   const InjectionResult &Inj) {
+  for (size_t K = 0; K != Inj.GadgetFuncIdx.size(); ++K) {
+    uint32_t F = Inj.GadgetFuncIdx[K];
+    if (PC >= L.FuncStart[F] && PC < L.FuncEnd[F])
+      return Inj.SiteMarkers[K];
+  }
+  return PC;
+}
+
+} // namespace
+
+int main() {
+  constexpr uint64_t FuzzIters = 300;
+  printHeader("Table 3: detection of artificially injected gadgets");
+  printf("%-10s %3s | %28s | %28s | %28s\n", "program", "GT",
+         "Teapot (TP/FP/FN P% R%)", "SpecFuzz (reproduced)",
+         "SpecTaint-style");
+
+  for (const Workload &W : allWorkloads()) {
+    if (W.InjectCount == 0)
+      continue; // openssl: excluded, as in the paper
+    obj::ObjectFile Bin = buildWorkload(W);
+    auto Lifted = disasm::disassemble(Bin);
+    if (!Lifted)
+      reportFatalError(Lifted.message());
+
+    InjectorOptions IO;
+    IO.Count = W.InjectCount;
+    IO.UnreachableFuncs = W.UnreachableFuncs;
+    ir::Module M = std::move(*Lifted);
+    auto Inj = injectGadgets(M, IO);
+    if (!Inj)
+      reportFatalError(Inj.message());
+    std::set<uint64_t> Markers(Inj->SiteMarkers.begin(),
+                               Inj->SiteMarkers.end());
+
+    // Shared fuzzing schedule for all three detectors.
+    auto Campaign = [&](fuzz::FuzzTarget &T) {
+      fuzz::FuzzerOptions FO;
+      FO.Seed = 42;
+      FO.MaxIterations = FuzzIters;
+      FO.MaxInputLen = 512;
+      fuzz::Fuzzer F(T, FO);
+      for (auto Seed : W.Seeds()) {
+        // The last 8 bytes feed the injected "user input" variable; make
+        // sure both in- and out-of-bounds pokes appear in the corpus.
+        std::vector<uint8_t> A = Seed;
+        A.insert(A.end(), {200, 0, 0, 0, 0, 0, 0, 0});
+        F.addSeed(A);
+        std::vector<uint8_t> B = Seed;
+        B.insert(B.end(), {5, 0, 0, 0, 0, 0, 0, 0});
+        F.addSeed(B);
+      }
+      F.run();
+    };
+
+    // Teapot (Kasper policy, artificial-experiment taint config).
+    ir::Module MT = M;
+    auto TPRW = core::rewriteModule(std::move(MT), {});
+    runtime::RuntimeOptions TRT;
+    TRT.TaintInput = false;
+    TRT.MassagePolicy = false;
+    TRT.ExtraTaintAddr = Inj->InjInputAddr;
+    TRT.ExtraTaintLen = 8;
+    InstrumentedTarget TP(*TPRW, TRT);
+    TP.pokeInputTo(Inj->InjInputAddr);
+    Campaign(TP);
+    Score ST = scoreBySites(TP.RT.Reports.unique(), Markers, W.InjectCount);
+
+    // SpecFuzz (reproduced): reports every speculative OOB access.
+    ir::Module MS = M;
+    auto SFRW = baselines::specFuzzRewriteModule(std::move(MS));
+    if (!SFRW)
+      reportFatalError(SFRW.message());
+    InstrumentedTarget SF(*SFRW, baselines::specFuzzRuntimeOptions());
+    SF.pokeInputTo(Inj->InjInputAddr);
+    Campaign(SF);
+    Score SS = scoreBySites(SF.RT.Reports.unique(), Markers, W.InjectCount);
+
+    // SpecTaint-style emulator over the injected (uninstrumented) binary.
+    ir::Module ME = M;
+    obj::ObjectFile InjBin;
+    auto L = ir::layOut(ME, InjBin);
+    if (!L)
+      reportFatalError(L.message());
+    baselines::SpecTaintOptions STO;
+    STO.TaintInput = false;
+    STO.ExtraTaintAddr = Inj->InjInputAddr;
+    STO.ExtraTaintLen = 8;
+    EmulatorTarget EM(InjBin, STO);
+    EM.pokeInputTo(Inj->InjInputAddr);
+    Campaign(EM);
+    std::vector<runtime::GadgetReport> Mapped;
+    for (auto R : EM.E.Reports.unique()) {
+      R.Site = siteForPC(R.Site, *L, *Inj);
+      Mapped.push_back(R);
+    }
+    Score SE = scoreBySites(Mapped, Markers, W.InjectCount);
+
+    auto Cell = [](const Score &S, unsigned GT) {
+      static char Buf[4][64];
+      static int Slot = 0;
+      char *B = Buf[Slot = (Slot + 1) & 3];
+      snprintf(B, 64, "%2u/%3u/%2u %5.1f%% %5.1f%%", S.TP, S.FP, S.FN,
+               S.precision(), S.recall(GT));
+      return B;
+    };
+    printf("%-10s %3u | %28s | %28s | %28s\n", W.Name, W.InjectCount,
+           Cell(ST, W.InjectCount), Cell(SS, W.InjectCount),
+           Cell(SE, W.InjectCount));
+  }
+
+  printf("\nPaper reference (Table 3):\n");
+  printf("  Teapot:   precision 100%% everywhere; recall 100%% except "
+         "libyaml 80%% (2 gadgets\n            unreachable from the "
+         "fuzzing driver).\n");
+  printf("  SpecFuzz: recall like Teapot, precision 2-14%% (hundreds of "
+         "false positives).\n");
+  printf("  SpecTaint (as reported by its authors): precision 100%%, "
+         "recall 70-100%%.\n");
+  return 0;
+}

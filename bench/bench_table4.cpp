@@ -1,0 +1,70 @@
+//===- bench/bench_table4.cpp - Table 4: gadgets in vanilla binaries --------===//
+//
+// Regenerates Table 4: fuzz the unmodified (vanilla) programs and count
+// the unique gadgets Teapot reports, categorized by attacker
+// controllability x leaking side channel, next to the SpecFuzz totals.
+// Numbers across policies are not directly comparable (the paper makes
+// the same caveat); the shapes to check are (a) Teapot reports far fewer
+// User-MDS than SpecFuzz's raw OOB totals (DIFT kills the false
+// positives), (b) the decompressor dominates the gadget counts through
+// its nested validation branches, (c) jsmn reports ~0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace teapot;
+using namespace teapot::bench;
+using namespace teapot::runtime;
+using namespace teapot::workloads;
+
+int main() {
+  constexpr uint64_t FuzzIters = 500;
+  printHeader("Table 4: gadgets found in vanilla binaries "
+              "(deterministic stand-in for the 24h campaign)");
+  printf("%-10s %9s | %5s %5s %5s %5s %5s %5s | %7s %7s %5s\n", "program",
+         "SpecFuzz", "U-MDS", "U-Cch", "U-Prt", "M-MDS", "M-Cch", "M-Prt",
+         "TotU-*", "TotM-*", "Tot");
+
+  for (const Workload &W : allWorkloads()) {
+    obj::ObjectFile Bin = buildWorkload(W);
+    Bin.strip(); // COTS conditions
+
+    auto Campaign = [&](fuzz::FuzzTarget &T) {
+      fuzz::FuzzerOptions FO;
+      FO.Seed = 7;
+      FO.MaxIterations = FuzzIters;
+      FO.MaxInputLen = 512;
+      fuzz::Fuzzer F(T, FO);
+      for (auto Seed : W.Seeds())
+        F.addSeed(Seed);
+      F.run();
+    };
+
+    auto TPRW = teapotRewrite(Bin);
+    runtime::RuntimeOptions RT; // full Kasper policy, hybrid nesting
+    InstrumentedTarget TP(TPRW, RT);
+    Campaign(TP);
+
+    auto SFRW = specFuzzRewrite(Bin);
+    InstrumentedTarget SF(SFRW, baselines::specFuzzRuntimeOptions());
+    Campaign(SF);
+
+    const ReportSink &R = TP.RT.Reports;
+    size_t UM = R.count(Controllability::User, Channel::MDS);
+    size_t UC = R.count(Controllability::User, Channel::Cache);
+    size_t UP = R.count(Controllability::User, Channel::Port);
+    size_t MM = R.count(Controllability::Massage, Channel::MDS);
+    size_t MC = R.count(Controllability::Massage, Channel::Cache);
+    size_t MP = R.count(Controllability::Massage, Channel::Port);
+    printf("%-10s %9zu | %5zu %5zu %5zu %5zu %5zu %5zu | %7zu %7zu %5zu\n",
+           W.Name, SF.RT.Reports.unique().size(), UM, UC, UP, MM, MC, MP,
+           UM + UC + UP, MM + MC + MP, R.unique().size());
+  }
+
+  printf("\nPaper reference (Table 4, 24h x 8 threads on an EPYC 9684X):\n");
+  printf("  jsmn 0 total; brotli dominates (2502 total, mostly nested-"
+         "branch gadgets);\n  SpecFuzz totals exceed Teapot User-MDS "
+         "everywhere (no DIFT -> false positives).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- examples/compiler_gadgets.cpp - The Figure 2 story, live -------------===//
+//
+// Demonstrates why binary-level analysis matters (Section 3.2): the same
+// switch statement compiles to a compare-and-branch cascade under one
+// compiler (each comparison a Spectre-V1 victim) and to a bounds-checked
+// jump table under another (V1-safe dispatch). A source-level tool
+// analyzing the "wrong" build reports the wrong answer for the deployed
+// binary; Teapot scans exactly what ships.
+//
+//   $ ./compiler_gadgets
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TeapotRewriter.h"
+#include "fuzz/Fuzzer.h"
+#include "lang/MiniCC.h"
+#include "workloads/Harness.h"
+
+#include <cstdio>
+
+using namespace teapot;
+
+static const char *Source = R"(
+int g_out;
+int pick(char *t, int idx) {
+  // The case selection is the only thing keeping idx in bounds: each
+  // case body indexes the 64-byte table at idx*16. Mistraining a case
+  // comparison executes a body with an out-of-range idx.
+  switch (idx) {
+    case 0: { g_out = t[idx * 16]; break; }
+    case 1: { g_out = t[idx * 16 + 1]; break; }
+    case 2: { g_out = t[idx * 16 + 2]; break; }
+    case 3: { g_out = t[idx * 16 + 3]; break; }
+    default: { g_out = -1; break; }
+  }
+  return g_out;
+}
+int main() {
+  char req[8];
+  read_input(req, 1);
+  char *t = malloc(64);
+  int acc = pick(t, req[0]);
+  return acc & 63;
+}
+)";
+
+static void scan(const char *Label, lang::SwitchLowering SL) {
+  lang::CompileOptions CO;
+  CO.Switches = SL;
+  auto Bin = lang::compile(Source, CO);
+  if (!Bin) {
+    fprintf(stderr, "compile error: %s\n", Bin.message().c_str());
+    exit(1);
+  }
+  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
+  if (!RW) {
+    fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
+    exit(1);
+  }
+
+  workloads::InstrumentedTarget T(*RW, runtime::RuntimeOptions());
+  fuzz::FuzzerOptions FO;
+  FO.Seed = 9;
+  FO.MaxIterations = 300;
+  FO.MaxInputLen = 8;
+  fuzz::Fuzzer F(T, FO);
+  for (uint8_t Idx : {0, 1, 2, 3, 9, 200})
+    F.addSeed({Idx});
+  F.run();
+
+  printf("%-22s: %2zu conditional-branch sites, %2zu gadgets\n", Label,
+         RW->Meta.Trampolines.size(), T.RT.Reports.unique().size());
+  for (const auto &R : T.RT.Reports.unique())
+    printf("    %s\n", R.describe().c_str());
+}
+
+int main() {
+  printf("One switch statement, two compilers (Figure 2):\n\n");
+  scan("GCC-style branches", lang::SwitchLowering::Branches);
+  scan("Clang-style jump table", lang::SwitchLowering::JumpTable);
+  printf("\nThe cascade build exposes per-case conditional branches to "
+         "mistraining;\nthe jump-table dispatch cannot be trained "
+         "per-case. Analyze the binary you ship.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- examples/quickstart.cpp - Five-minute tour of the Teapot API ---------===//
+//
+// Compiles the canonical Spectre-V1 victim (Listing 1 of the paper),
+// statically rewrites it with Speculation Shadows, runs it on one
+// out-of-bounds input, and prints the gadget reports.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TeapotRewriter.h"
+#include "support/StringUtils.h"
+#include "lang/MiniCC.h"
+#include "workloads/Harness.h"
+
+#include <cstdio>
+
+using namespace teapot;
+
+// Listing 1, as a runnable program: an attacker-controlled index, a
+// bounds check, and a dependent second access that transmits the
+// speculatively loaded value.
+static const char *Victim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *foo = malloc(64);
+  int baz = 0;
+  if (idx < 64) {          // B1: the mispredicted bounds check
+    int secret = foo[idx]; // L1: speculative out-of-bounds load
+    baz = foo[secret & 63];// L2: cache-channel transmitter
+  }
+  return baz;
+}
+)";
+
+int main() {
+  // 1. Build the victim binary (stands in for any COTS TBF binary).
+  auto Bin = lang::compile(Victim);
+  if (!Bin) {
+    fprintf(stderr, "compile error: %s\n", Bin.message().c_str());
+    return 1;
+  }
+  Bin->strip(); // Teapot needs no symbols
+
+  // 2. Static rewriting: disassemble, clone Real/Shadow copies, insert
+  //    trampolines, markers, and the Kasper-policy instrumentation.
+  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
+  if (!RW) {
+    fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
+    return 1;
+  }
+  printf("rewritten: real text %s..%s, shadow text %s..%s, %zu branch "
+         "sites\n",
+         toHex(RW->Meta.RealTextStart).c_str(),
+         toHex(RW->Meta.RealTextEnd).c_str(),
+         toHex(RW->Meta.ShadowTextStart).c_str(),
+         toHex(RW->Meta.ShadowTextEnd).c_str(),
+         RW->Meta.Trampolines.size());
+
+  // 3. Run the instrumented binary on one malicious input: index 200 is
+  //    architecturally rejected by the bounds check, but the simulated
+  //    misprediction executes the wrong path and the runtime flags it.
+  workloads::InstrumentedTarget Target(*RW, runtime::RuntimeOptions());
+  Target.execute({200});
+
+  printf("program exited with status %llu after %llu instructions "
+         "(%llu simulations)\n",
+         static_cast<unsigned long long>(Target.LastStop.ExitStatus),
+         static_cast<unsigned long long>(Target.M.executedInsts()),
+         static_cast<unsigned long long>(Target.RT.Stats.Simulations));
+
+  // 4. The reports.
+  if (Target.RT.Reports.unique().empty()) {
+    printf("no gadgets found (unexpected!)\n");
+    return 1;
+  }
+  for (const auto &R : Target.RT.Reports.unique())
+    printf("  FOUND %s\n", R.describe().c_str());
+  return 0;
+}

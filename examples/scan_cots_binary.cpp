@@ -1,0 +1,87 @@
+//===- examples/scan_cots_binary.cpp - The full Figure 3 workflow -----------===//
+//
+// End-to-end COTS scan: take a *stripped* binary (one of the evaluation
+// workloads, by name), statically rewrite it, then run a coverage-guided
+// fuzzing campaign against the instrumented binary and report every
+// unique gadget with its controllability/channel classification.
+//
+//   $ ./scan_cots_binary [workload] [iterations]
+//   $ ./scan_cots_binary brotli 2000
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TeapotRewriter.h"
+#include "fuzz/Fuzzer.h"
+#include "lang/MiniCC.h"
+#include "workloads/Harness.h"
+#include "workloads/Programs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace teapot;
+using namespace teapot::workloads;
+
+int main(int argc, char **argv) {
+  const char *Name = argc > 1 ? argv[1] : "libhtp";
+  uint64_t Iters = argc > 2 ? strtoull(argv[2], nullptr, 10) : 800;
+
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    fprintf(stderr, "unknown workload '%s' (try: jsmn libyaml libhtp "
+                    "brotli openssl)\n",
+            Name);
+    return 1;
+  }
+
+  // The COTS binary: compiled, then stripped of symbols and relocations.
+  auto Bin = lang::compile(W->Source);
+  if (!Bin) {
+    fprintf(stderr, "compile error: %s\n", Bin.message().c_str());
+    return 1;
+  }
+  Bin->strip();
+  printf("[*] %s: %zu bytes of stripped text\n", Name,
+         Bin->findSection(".text")->Bytes.size());
+
+  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
+  if (!RW) {
+    fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
+    return 1;
+  }
+  printf("[*] instrumented: %zu branch sites, %zu marker sites, "
+         "%u+%u coverage guards\n",
+         RW->Meta.Trampolines.size(), RW->Meta.MarkerSites.size(),
+         RW->Meta.NumNormalGuards, RW->Meta.NumSpecGuards);
+
+  InstrumentedTarget Target(*RW, runtime::RuntimeOptions());
+  Target.RT.Reports.OnNewGadget = [](const runtime::GadgetReport &R) {
+    printf("    [gadget] %s\n", R.describe().c_str());
+  };
+
+  fuzz::FuzzerOptions FO;
+  FO.Seed = 1;
+  FO.MaxIterations = Iters;
+  FO.MaxInputLen = 512;
+  fuzz::Fuzzer F(Target, FO);
+  for (const auto &Seed : W->Seeds())
+    F.addSeed(Seed);
+
+  printf("[*] fuzzing for %llu executions...\n",
+         static_cast<unsigned long long>(Iters));
+  fuzz::FuzzerStats S = F.run();
+
+  printf("\n[*] campaign summary\n");
+  printf("    executions:        %llu\n",
+         static_cast<unsigned long long>(S.Executions));
+  printf("    corpus size:       %zu\n", F.corpus().size());
+  printf("    normal coverage:   %zu guards\n",
+         Target.RT.Cov.normalCovered());
+  printf("    spec coverage:     %zu guards\n",
+         Target.RT.Cov.specCovered());
+  printf("    simulations:       %llu\n",
+         static_cast<unsigned long long>(Target.RT.Stats.Simulations));
+  printf("    unique gadgets:    %zu\n",
+         Target.RT.Reports.unique().size());
+  return 0;
+}

@@ -1,0 +1,636 @@
+//===- asm/Assembler.cpp - Two-pass TISA assembler -------------------------===//
+
+#include "asm/Assembler.h"
+
+#include "isa/Encoding.h"
+#include "isa/Instruction.h"
+#include "obj/Layout.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+
+using namespace teapot;
+using namespace teapot::assembler;
+using namespace teapot::isa;
+using namespace teapot::obj;
+
+namespace {
+
+/// How a fixup patches its field once the symbol resolves.
+enum class FixupKind : uint8_t {
+  Abs64,  // 8-byte absolute address (imm operands, .quad, mem disp)
+  RelEnd, // 8-byte branch offset relative to the end of the instruction
+};
+
+struct Fixup {
+  FixupKind Kind;
+  unsigned SectionIdx;
+  uint64_t FieldOffset;  // where the 8 bytes live, within the section
+  uint64_t InstEnd;      // section offset just past the instruction
+  std::string Symbol;
+  int64_t Addend;
+  unsigned Line;
+};
+
+/// A symbolic expression of the form `symbol + constant` (either part may
+/// be absent).
+struct SymExpr {
+  std::string Symbol; // empty if pure constant
+  int64_t Constant = 0;
+};
+
+class Assembler {
+public:
+  Expected<ObjectFile> run(std::string_view Source);
+
+private:
+  ObjectFile Obj;
+  std::vector<Fixup> Fixups;
+  std::map<std::string, unsigned> SymbolIdx; // name -> index in Obj.Symbols
+  std::vector<std::string> Globals;
+  std::vector<std::string> Funcs;
+  std::string EntryName = "main";
+  unsigned CurSection = 0; // index into Obj.Sections
+  unsigned Line = 0;
+  std::string ErrMsg;
+
+  Section &cur() { return Obj.Sections[CurSection]; }
+
+  bool fail(const std::string &Msg) {
+    ErrMsg = formatString("line %u: %s", Line, Msg.c_str());
+    return false;
+  }
+
+  bool defineSymbol(const std::string &Name, SymbolKind Kind);
+  bool handleDirective(std::string_view Dir, std::string_view Rest);
+  bool handleInstruction(std::string_view Mnemonic, std::string_view Rest);
+  bool emitData(unsigned Width, std::string_view Rest);
+
+  bool parseSymExpr(std::string_view S, SymExpr &Out);
+  bool parseOperandToken(std::string_view Tok, Operand &Out,
+                         std::optional<SymExpr> &Sym);
+  bool parseMemRef(std::string_view Body, MemRef &Out,
+                   std::optional<SymExpr> &DispSym);
+  bool applyFixups();
+};
+
+} // namespace
+
+bool Assembler::defineSymbol(const std::string &Name, SymbolKind Kind) {
+  if (SymbolIdx.count(Name))
+    return fail(formatString("duplicate symbol '%s'", Name.c_str()));
+  Symbol S;
+  S.Name = Name;
+  S.Kind = Kind;
+  // Address = section base + current offset; section bases are assigned
+  // up front, so this is final.
+  S.Addr = cur().Addr + cur().size();
+  SymbolIdx[Name] = static_cast<unsigned>(Obj.Symbols.size());
+  Obj.Symbols.push_back(std::move(S));
+  return true;
+}
+
+bool Assembler::parseSymExpr(std::string_view S, SymExpr &Out) {
+  S = trim(S);
+  if (S.empty())
+    return fail("empty expression");
+  Out = SymExpr();
+  // Split an optional trailing +const / -const off a leading symbol.
+  // Pure integers are handled first.
+  if (parseInt(S, Out.Constant))
+    return true;
+  size_t Split = S.size();
+  for (size_t I = 1; I < S.size(); ++I) {
+    if (S[I] == '+' || S[I] == '-') {
+      Split = I;
+      break;
+    }
+  }
+  std::string_view Name = trim(S.substr(0, Split));
+  if (Name.empty() ||
+      !(isalpha(static_cast<unsigned char>(Name[0])) || Name[0] == '_' ||
+        Name[0] == '.' || Name[0] == '$'))
+    return fail(formatString("malformed expression '%.*s'",
+                             static_cast<int>(S.size()), S.data()));
+  Out.Symbol = std::string(Name);
+  if (Split < S.size()) {
+    int64_t C;
+    std::string_view Tail = S.substr(Split);
+    // Keep the sign: "+8" / "-8".
+    if (!parseInt(Tail, C))
+      return fail(formatString("malformed offset '%.*s'",
+                               static_cast<int>(Tail.size()), Tail.data()));
+    Out.Constant = C;
+  }
+  return true;
+}
+
+bool Assembler::parseMemRef(std::string_view Body, MemRef &Out,
+                            std::optional<SymExpr> &DispSym) {
+  Out = MemRef();
+  DispSym.reset();
+  int64_t Disp = 0;
+  // Split on top-level + and - (memrefs contain no parentheses).
+  size_t Start = 0;
+  bool Negative = false;
+  for (size_t I = 0; I <= Body.size(); ++I) {
+    if (I != Body.size() && Body[I] != '+' && Body[I] != '-')
+      continue;
+    // Don't split a leading sign of a term.
+    if (I != Body.size() && trim(Body.substr(Start, I - Start)).empty())
+      continue;
+    std::string_view Term = trim(Body.substr(Start, I - Start));
+    if (Term.empty())
+      return fail("malformed memory operand");
+    // Term forms: reg | reg*scale | integer | symbol.
+    size_t Star = Term.find('*');
+    if (Star != std::string_view::npos) {
+      std::string_view RegStr = trim(Term.substr(0, Star));
+      std::string_view ScaleStr = trim(Term.substr(Star + 1));
+      Reg R = parseRegName(RegStr.data(), static_cast<unsigned>(RegStr.size()));
+      int64_t Scale;
+      if (R == NoReg || !parseInt(ScaleStr, Scale) ||
+          (Scale != 1 && Scale != 2 && Scale != 4 && Scale != 8) || Negative)
+        return fail("malformed scaled-index term");
+      if (Out.Index != NoReg)
+        return fail("multiple index registers");
+      Out.Index = R;
+      Out.Scale = static_cast<uint8_t>(Scale);
+    } else if (Reg R = parseRegName(Term.data(),
+                                    static_cast<unsigned>(Term.size()));
+               R != NoReg) {
+      if (Negative)
+        return fail("cannot negate a register in a memory operand");
+      if (Out.Base == NoReg)
+        Out.Base = R;
+      else if (Out.Index == NoReg)
+        Out.Index = R;
+      else
+        return fail("too many registers in memory operand");
+    } else if (int64_t V; parseInt(Term, V)) {
+      Disp += Negative ? -V : V;
+    } else {
+      SymExpr E;
+      if (!parseSymExpr(Term, E))
+        return false;
+      if (DispSym || Negative)
+        return fail("unsupported symbolic displacement");
+      DispSym = E;
+    }
+    if (I != Body.size())
+      Negative = Body[I] == '-';
+    Start = I + 1;
+  }
+  Out.Disp = Disp + (DispSym ? DispSym->Constant : 0);
+  if (DispSym)
+    DispSym->Constant = Out.Disp; // full addend carried by the fixup
+  return true;
+}
+
+bool Assembler::parseOperandToken(std::string_view Tok, Operand &Out,
+                                  std::optional<SymExpr> &Sym) {
+  Sym.reset();
+  Tok = trim(Tok);
+  if (Tok.empty())
+    return fail("empty operand");
+  if (Tok.front() == '[') {
+    if (Tok.back() != ']')
+      return fail("unterminated memory operand");
+    MemRef M;
+    std::optional<SymExpr> DispSym;
+    if (!parseMemRef(Tok.substr(1, Tok.size() - 2), M, DispSym))
+      return false;
+    Out = Operand::mem(M);
+    if (DispSym && !DispSym->Symbol.empty())
+      Sym = DispSym;
+    return true;
+  }
+  if (Reg R = parseRegName(Tok.data(), static_cast<unsigned>(Tok.size()));
+      R != NoReg) {
+    Out = Operand::reg(R);
+    return true;
+  }
+  SymExpr E;
+  if (!parseSymExpr(Tok, E))
+    return false;
+  Out = Operand::imm(E.Constant);
+  if (!E.Symbol.empty())
+    Sym = E;
+  return true;
+}
+
+bool Assembler::emitData(unsigned Width, std::string_view Rest) {
+  if (cur().Kind == SectionKind::Bss)
+    return fail("data in .bss section");
+  for (std::string_view Field : split(Rest, ',')) {
+    SymExpr E;
+    if (!parseSymExpr(Field, E))
+      return false;
+    if (!E.Symbol.empty()) {
+      if (Width != 8)
+        return fail("symbolic data requires .quad");
+      Fixups.push_back({FixupKind::Abs64, CurSection, cur().Bytes.size(), 0,
+                        E.Symbol, E.Constant, Line});
+      Reloc R;
+      R.Kind = RelocKind::Abs64;
+      R.SectionIndex = CurSection;
+      R.Offset = cur().Bytes.size();
+      R.SymbolName = E.Symbol;
+      R.Addend = E.Constant;
+      Obj.Relocs.push_back(std::move(R));
+      E.Constant = 0;
+    }
+    for (unsigned I = 0; I != Width; ++I)
+      cur().Bytes.push_back(
+          static_cast<uint8_t>(static_cast<uint64_t>(E.Constant) >> (I * 8)));
+  }
+  return true;
+}
+
+bool Assembler::handleDirective(std::string_view Dir, std::string_view Rest) {
+  auto SectionIndexByName = [&](const char *Name) -> unsigned {
+    for (unsigned I = 0; I != Obj.Sections.size(); ++I)
+      if (Obj.Sections[I].Name == Name)
+        return I;
+    assert(false && "section not pre-created");
+    return 0;
+  };
+  if (Dir == ".text" || Dir == ".data" || Dir == ".rodata" || Dir == ".bss") {
+    CurSection = SectionIndexByName(std::string(Dir).c_str());
+    return true;
+  }
+  if (Dir == ".global" || Dir == ".func" || Dir == ".entry") {
+    std::string Name(trim(Rest));
+    if (Name.empty())
+      return fail("missing symbol name");
+    if (Dir == ".global")
+      Globals.push_back(Name);
+    else if (Dir == ".func")
+      Funcs.push_back(Name);
+    else
+      EntryName = Name;
+    return true;
+  }
+  if (Dir == ".byte")
+    return emitData(1, Rest);
+  if (Dir == ".word")
+    return emitData(2, Rest);
+  if (Dir == ".dword")
+    return emitData(4, Rest);
+  if (Dir == ".quad")
+    return emitData(8, Rest);
+  if (Dir == ".zero" || Dir == ".space") {
+    int64_t N;
+    if (!parseInt(Rest, N) || N < 0)
+      return fail("malformed size");
+    if (cur().Kind == SectionKind::Bss)
+      cur().BssSize += static_cast<uint64_t>(N);
+    else
+      cur().Bytes.insert(cur().Bytes.end(), static_cast<size_t>(N), 0);
+    return true;
+  }
+  if (Dir == ".ascii" || Dir == ".asciz") {
+    std::string_view S = trim(Rest);
+    if (S.size() < 2 || S.front() != '"' || S.back() != '"')
+      return fail("malformed string literal");
+    S = S.substr(1, S.size() - 2);
+    for (size_t I = 0; I < S.size(); ++I) {
+      char C = S[I];
+      if (C == '\\' && I + 1 < S.size()) {
+        ++I;
+        switch (S[I]) {
+        case 'n':
+          C = '\n';
+          break;
+        case 't':
+          C = '\t';
+          break;
+        case '0':
+          C = '\0';
+          break;
+        case '\\':
+          C = '\\';
+          break;
+        case '"':
+          C = '"';
+          break;
+        default:
+          return fail("unknown escape sequence");
+        }
+      }
+      cur().Bytes.push_back(static_cast<uint8_t>(C));
+    }
+    if (Dir == ".asciz")
+      cur().Bytes.push_back(0);
+    return true;
+  }
+  if (Dir == ".align") {
+    int64_t N;
+    if (!parseInt(Rest, N) || N <= 0 || (N & (N - 1)))
+      return fail("alignment must be a power of two");
+    uint64_t Size = cur().size();
+    uint64_t Pad = (static_cast<uint64_t>(N) - (Size % N)) % N;
+    if (cur().Kind == SectionKind::Bss)
+      cur().BssSize += Pad;
+    else
+      cur().Bytes.insert(cur().Bytes.end(), static_cast<size_t>(Pad), 0);
+    return true;
+  }
+  return fail(formatString("unknown directive '%.*s'",
+                           static_cast<int>(Dir.size()), Dir.data()));
+}
+
+bool Assembler::handleInstruction(std::string_view Mnemonic,
+                                  std::string_view Rest) {
+  if (cur().Kind != SectionKind::Code)
+    return fail("instruction outside .text");
+
+  Instruction I;
+  // Resolve the mnemonic: fixed names first, then size/cond suffixes.
+  std::string M(Mnemonic);
+  auto StartsWith = [&](const char *P) {
+    return M.rfind(P, 0) == 0;
+  };
+  bool Known = false;
+  for (unsigned Op = 0; Op != static_cast<unsigned>(Opcode::NumOpcodes);
+       ++Op) {
+    auto OpC = static_cast<Opcode>(Op);
+    if (OpC == Opcode::LOAD || OpC == Opcode::LOADS || OpC == Opcode::STORE ||
+        OpC == Opcode::JCC || OpC == Opcode::SET || OpC == Opcode::CMOV ||
+        OpC == Opcode::INTR)
+      continue; // suffixed / not assemblable directly
+    if (M == opcodeName(OpC)) {
+      I.Op = OpC;
+      Known = true;
+      break;
+    }
+  }
+  if (!Known) {
+    auto ParseSized = [&](const char *Prefix, Opcode Op) {
+      size_t N = strlen(Prefix);
+      if (M.size() != N + 1 || M.compare(0, N, Prefix) != 0)
+        return false;
+      char C = M[N];
+      if (C != '1' && C != '2' && C != '4' && C != '8')
+        return false;
+      I.Op = Op;
+      I.Size = static_cast<uint8_t>(C - '0');
+      return true;
+    };
+    auto ParseCond = [&](const char *Prefix, Opcode Op) {
+      size_t N = strlen(Prefix);
+      if (M.size() <= N + 1 || M.compare(0, N, Prefix) != 0 || M[N] != '.')
+        return false;
+      CondCode CC;
+      if (!parseCondName(M.data() + N + 1,
+                         static_cast<unsigned>(M.size() - N - 1), CC))
+        return false;
+      I.Op = Op;
+      I.CC = CC;
+      return true;
+    };
+    // Note: "lds" must be tried before "ld" (shared prefix).
+    Known = ParseSized("lds", Opcode::LOADS) || ParseSized("ld", Opcode::LOAD) ||
+            ParseSized("st", Opcode::STORE) || ParseCond("j", Opcode::JCC) ||
+            ParseCond("set", Opcode::SET) || ParseCond("cmov", Opcode::CMOV);
+    (void)StartsWith;
+  }
+  if (!Known)
+    return fail(formatString("unknown mnemonic '%s'", M.c_str()));
+
+  // Parse operands.
+  std::vector<Operand> Ops;
+  std::vector<std::optional<SymExpr>> Syms;
+  Rest = trim(Rest);
+  if (!Rest.empty()) {
+    for (std::string_view Tok : split(Rest, ',')) {
+      Operand O;
+      std::optional<SymExpr> S;
+      if (!parseOperandToken(Tok, O, S))
+        return false;
+      Ops.push_back(O);
+      Syms.push_back(S);
+    }
+  }
+
+  // Validate shape against the opcode form.
+  const OpcodeInfo &Info = I.info();
+  auto WrongOperands = [&]() {
+    return fail(formatString("wrong operands for '%s'", M.c_str()));
+  };
+  switch (Info.Form) {
+  case OpForm::None:
+    if (!Ops.empty())
+      return WrongOperands();
+    break;
+  case OpForm::R:
+    if (Ops.size() != 1 || !Ops[0].isReg())
+      return WrongOperands();
+    I.A = Ops[0];
+    break;
+  case OpForm::RI:
+    if (Ops.size() != 2 || !Ops[0].isReg() ||
+        !(Ops[1].isReg() || Ops[1].isImm()))
+      return WrongOperands();
+    I.A = Ops[0];
+    I.B = Ops[1];
+    break;
+  case OpForm::RM:
+    if (Ops.size() != 2 || !Ops[0].isReg() || !Ops[1].isMem())
+      return WrongOperands();
+    I.A = Ops[0];
+    I.B = Ops[1];
+    break;
+  case OpForm::MS:
+    if (Ops.size() != 2 || !Ops[0].isMem() ||
+        !(Ops[1].isReg() || Ops[1].isImm()))
+      return WrongOperands();
+    I.A = Ops[0];
+    I.B = Ops[1];
+    break;
+  case OpForm::I:
+    if (Ops.size() != 1 || !Ops[0].isImm())
+      return WrongOperands();
+    I.A = Ops[0];
+    break;
+  case OpForm::RorI:
+    if (Ops.size() != 1 || !(Ops[0].isReg() || Ops[0].isImm()))
+      return WrongOperands();
+    I.A = Ops[0];
+    break;
+  case OpForm::Rel:
+    if (Ops.size() != 1 || !Ops[0].isImm())
+      return WrongOperands();
+    I.A = Ops[0];
+    break;
+  case OpForm::Intrinsic:
+    return fail("intrinsics cannot be written in assembly source");
+  }
+
+  // Encode, then register fixups for symbolic operands.
+  uint64_t InstStart = cur().Bytes.size();
+  unsigned Len = isa::encode(I, cur().Bytes);
+  uint64_t InstEnd = InstStart + Len;
+
+  // Field offsets: header is 3 bytes; operand A follows; operand B after.
+  auto OperandFieldOffset = [&](unsigned Which) -> uint64_t {
+    uint64_t Off = InstStart + 3;
+    const Operand &A = I.A;
+    if (Which == 1) {
+      switch (A.Kind) {
+      case OperandKind::None:
+        break;
+      case OperandKind::Reg:
+        Off += 1;
+        break;
+      case OperandKind::Imm:
+        Off += 8;
+        break;
+      case OperandKind::Mem:
+        Off += 11;
+        break;
+      }
+    }
+    return Off;
+  };
+
+  for (unsigned Idx = 0; Idx != Ops.size(); ++Idx) {
+    if (!Syms[Idx] || Syms[Idx]->Symbol.empty())
+      continue;
+    const Operand &O = (Idx == 0) ? I.A : I.B;
+    uint64_t FieldOff = OperandFieldOffset(Idx);
+    if (O.isMem())
+      FieldOff += 3; // base, index, scale precede disp
+    FixupKind Kind =
+        (Info.Form == OpForm::Rel) ? FixupKind::RelEnd : FixupKind::Abs64;
+    Fixups.push_back({Kind, CurSection, FieldOff, InstEnd, Syms[Idx]->Symbol,
+                      Syms[Idx]->Constant, Line});
+  }
+  return true;
+}
+
+bool Assembler::applyFixups() {
+  for (const Fixup &F : Fixups) {
+    auto It = SymbolIdx.find(F.Symbol);
+    if (It == SymbolIdx.end()) {
+      ErrMsg = formatString("line %u: undefined symbol '%s'", F.Line,
+                            F.Symbol.c_str());
+      return false;
+    }
+    uint64_t Target = Obj.Symbols[It->second].Addr +
+                      static_cast<uint64_t>(F.Addend);
+    Section &S = Obj.Sections[F.SectionIdx];
+    uint64_t Value;
+    if (F.Kind == FixupKind::Abs64)
+      Value = Target;
+    else
+      Value = Target - (S.Addr + F.InstEnd);
+    assert(F.FieldOffset + 8 <= S.Bytes.size() && "fixup out of range");
+    for (unsigned I = 0; I != 8; ++I)
+      S.Bytes[F.FieldOffset + I] = static_cast<uint8_t>(Value >> (I * 8));
+  }
+  return true;
+}
+
+Expected<ObjectFile> Assembler::run(std::string_view Source) {
+  // Pre-create the four canonical sections at their fixed bases; .bss is
+  // placed after .data once .data's size is known.
+  Obj.Sections.push_back({".text", SectionKind::Code, TextBase, {}, 0});
+  Obj.Sections.push_back({".rodata", SectionKind::ReadOnlyData, RodataBase,
+                          {}, 0});
+  Obj.Sections.push_back({".data", SectionKind::Data, DataBase, {}, 0});
+  Obj.Sections.push_back({".bss", SectionKind::Bss, 0, {}, 0});
+
+  // Pass 1 must know .bss's base before defining symbols in it, but .bss
+  // symbols can appear before .data is finished. We solve this the way
+  // real assemblers do with section-relative symbols: run pass 1 twice —
+  // first to size the sections, then to define symbols and encode.
+  for (int Pass = 0; Pass != 2; ++Pass) {
+    if (Pass == 1) {
+      uint64_t DataEnd = DataBase + Obj.Sections[2].Bytes.size();
+      Obj.Sections[3].Addr = (DataEnd + 0xfff) & ~0xfffULL;
+      for (Section &S : Obj.Sections) {
+        S.Bytes.clear();
+        S.BssSize = 0;
+      }
+      Obj.Symbols.clear();
+      SymbolIdx.clear();
+      Fixups.clear();
+      Obj.Relocs.clear();
+      Globals.clear();
+      Funcs.clear();
+      CurSection = 0;
+    }
+    Line = 0;
+    for (std::string_view Raw : split(Source, '\n')) {
+      ++Line;
+      // Strip comments.
+      size_t Comment = Raw.find_first_of(";#");
+      if (Comment != std::string_view::npos)
+        Raw = Raw.substr(0, Comment);
+      std::string_view L = trim(Raw);
+      if (L.empty())
+        continue;
+      // Labels (possibly followed by nothing on the same line).
+      if (L.back() == ':') {
+        std::string Name(trim(L.substr(0, L.size() - 1)));
+        if (Name.empty())
+          return Error::failure(formatString("line %u: empty label", Line));
+        if (Pass == 1 && !defineSymbol(Name, cur().Kind == SectionKind::Code
+                                                 ? SymbolKind::Label
+                                                 : SymbolKind::Object))
+          return Error::failure(ErrMsg);
+        if (Pass == 0) {
+          // Still need section sizing, which labels don't affect.
+        }
+        continue;
+      }
+      size_t Sp = L.find_first_of(" \t");
+      std::string_view Head = (Sp == std::string_view::npos) ? L
+                                                             : L.substr(0, Sp);
+      std::string_view Rest =
+          (Sp == std::string_view::npos) ? std::string_view() : L.substr(Sp);
+      bool Ok = Head.front() == '.' ? handleDirective(Head, Rest)
+                                    : handleInstruction(Head, Rest);
+      if (!Ok) {
+        if (Pass == 0 && ErrMsg.empty())
+          continue;
+        return Error::failure(ErrMsg);
+      }
+    }
+  }
+
+  // Promote kinds and global flags.
+  for (const std::string &Name : Funcs) {
+    auto It = SymbolIdx.find(Name);
+    if (It == SymbolIdx.end())
+      return Error::failure(
+          formatString(".func names undefined symbol '%s'", Name.c_str()));
+    Obj.Symbols[It->second].Kind = SymbolKind::Function;
+  }
+  for (const std::string &Name : Globals) {
+    auto It = SymbolIdx.find(Name);
+    if (It == SymbolIdx.end())
+      return Error::failure(
+          formatString(".global names undefined symbol '%s'", Name.c_str()));
+    Obj.Symbols[It->second].Global = true;
+  }
+
+  if (!applyFixups())
+    return Error::failure(ErrMsg);
+
+  auto EntryIt = SymbolIdx.find(EntryName);
+  if (EntryIt == SymbolIdx.end())
+    return Error::failure(
+        formatString("entry symbol '%s' is undefined", EntryName.c_str()));
+  Obj.Entry = Obj.Symbols[EntryIt->second].Addr;
+  return std::move(Obj);
+}
+
+Expected<ObjectFile> assembler::assemble(std::string_view Source) {
+  Assembler A;
+  return A.run(Source);
+}

@@ -1,0 +1,47 @@
+//===- asm/Assembler.h - Two-pass TISA assembler ------------------*- C++ -*-===//
+///
+/// \file
+/// Assembles TISA assembly text into a fully linked TBF object with
+/// sections placed at the fixed obj::Layout addresses. All symbols must
+/// resolve within the module (there is no separate linker; the five
+/// workload programs are each one module, like the statically linked
+/// binaries the paper evaluates).
+///
+/// Syntax overview (see tests/asm_test.cpp for a tour):
+///
+///   ; comment                 # comment
+///   .text / .data / .rodata / .bss      section switch
+///   .global name / .func name / .entry name
+///   label:
+///   .byte 1, 2   .word 3   .dword 4   .quad sym+8   .zero 16  .space 16
+///   .ascii "s"   .asciz "s"   .align 8
+///   mov r0, 42            mov r1, r0          mov r2, sym
+///   ld8 r0, [r1 + r2*8 + 16]                  st1 [buf + r0], 7
+///   lea r0, [table]       add r0, 1           cmp r0, r1
+///   j.lt target           jmp target          call fn
+///   jmpi r0               calli r1            ret
+///   push r0               pop r1              set.eq r0
+///   cmov.ne r0, r1        fence               ext 3
+///   halt                  nop                 markernop
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_ASM_ASSEMBLER_H
+#define TEAPOT_ASM_ASSEMBLER_H
+
+#include "obj/ObjectFile.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace teapot {
+namespace assembler {
+
+/// Assembles \p Source into a linked object. On failure the error message
+/// includes the 1-based source line number.
+Expected<obj::ObjectFile> assemble(std::string_view Source);
+
+} // namespace assembler
+} // namespace teapot
+
+#endif // TEAPOT_ASM_ASSEMBLER_H

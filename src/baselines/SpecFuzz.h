@@ -1,0 +1,57 @@
+//===- baselines/SpecFuzz.h - SpecFuzz-style baseline -------------*- C++ -*-===//
+///
+/// \file
+/// The SpecFuzz baseline (Oleksenko et al., USENIX Security '20) as the
+/// paper compares against it: single-copy instrumentation where every
+/// instrumentation site is guarded by an in-simulation check executed in
+/// both modes (Listing 3), and the detection policy flags *every*
+/// speculative out-of-bounds access as a gadget (no DIFT, hence the false
+/// positives in Tables 3 and 4).
+///
+/// It shares the IR pipeline and runtime with Teapot — only the rewrite
+/// mode and runtime policy differ — which mirrors how the paper's
+/// comparison isolates the Speculation Shadows design from everything
+/// else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_BASELINES_SPECFUZZ_H
+#define TEAPOT_BASELINES_SPECFUZZ_H
+
+#include "core/TeapotRewriter.h"
+#include "runtime/SpecRuntime.h"
+
+namespace teapot {
+namespace baselines {
+
+/// Rewrites \p In with the guarded single-copy architecture.
+inline Expected<core::RewriteResult>
+specFuzzRewriteBinary(const obj::ObjectFile &In) {
+  core::RewriterOptions Opts;
+  Opts.Mode = core::RewriteMode::SpecFuzzBaseline;
+  Opts.EnableDift = false;
+  return core::rewriteBinary(In, Opts);
+}
+
+inline Expected<core::RewriteResult>
+specFuzzRewriteModule(ir::Module M) {
+  core::RewriterOptions Opts;
+  Opts.Mode = core::RewriteMode::SpecFuzzBaseline;
+  Opts.EnableDift = false;
+  return core::rewriteModule(std::move(M), Opts);
+}
+
+/// Runtime options matching the SpecFuzz policy: ASan-only detection,
+/// SpecFuzz nesting heuristic.
+inline runtime::RuntimeOptions specFuzzRuntimeOptions() {
+  runtime::RuntimeOptions O;
+  O.EnableDift = false;
+  O.MassagePolicy = false;
+  O.Nesting = runtime::NestingPolicy::SpecFuzz;
+  return O;
+}
+
+} // namespace baselines
+} // namespace teapot
+
+#endif // TEAPOT_BASELINES_SPECFUZZ_H

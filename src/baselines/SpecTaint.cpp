@@ -1,0 +1,241 @@
+//===- baselines/SpecTaint.cpp --------------------------------------------===//
+
+#include "baselines/SpecTaint.h"
+
+#include "isa/Encoding.h"
+#include "runtime/ShadowLayout.h"
+
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::baselines;
+using namespace teapot::isa;
+using namespace teapot::runtime;
+
+SpecTaintEmulator::SpecTaintEmulator(vm::Machine &M, SpecTaintOptions Opts)
+    : M(M), Opts(Opts), Tags(M) {
+  PerOpCallback = [this](const Instruction &I) {
+    // The plugin's per-micro-op work: poll the shadow register state for
+    // live taint the way DECAF's tainting plugin inspects its shadow
+    // CPU on every lifted op.
+    uint8_t T = 0;
+    for (unsigned R = 0; R != isa::NumRegs; ++R)
+      T |= Tags.RegTags[R];
+    LiveTaint = T | static_cast<uint8_t>(I.Size & 0);
+  };
+}
+
+void SpecTaintEmulator::attach() {
+  M.FaultHook = [this](vm::Machine &, vm::FaultKind, uint64_t) {
+    if (!inSim())
+      return false;
+    rollback();
+    return true;
+  };
+  M.InputReadHook = [this](uint64_t Addr, uint64_t Len, uint64_t) {
+    if (Opts.TaintInput)
+      Tags.setMemTag(Addr, static_cast<unsigned>(Len), TagUser);
+  };
+}
+
+void SpecTaintEmulator::resetRun() {
+  Checkpoints.clear();
+  MemLog.clear();
+  SpecInsts = 0;
+  SkipNextSim = false;
+  Tags.reset();
+  if (Opts.ExtraTaintLen)
+    Tags.setMemTag(Opts.ExtraTaintAddr,
+                   static_cast<unsigned>(Opts.ExtraTaintLen), TagUser);
+}
+
+void SpecTaintEmulator::rollback() {
+  assert(!Checkpoints.empty());
+  ++Stats.Rollbacks;
+  Checkpoint &CP = Checkpoints.back();
+  while (MemLog.size() > CP.MemLogMark) {
+    const MemUndo &E = MemLog.back();
+    M.Mem.writeUnsigned(E.Addr, E.OldBytes, E.Size);
+    MemLog.pop_back();
+  }
+  Tags.undoTo(CP.TagLogMark);
+  M.C = CP.CPU;
+  memcpy(Tags.RegTags, CP.RegTags, sizeof(CP.RegTags));
+  Tags.FlagsTag = CP.FlagsTag;
+  Checkpoints.pop_back();
+  if (Checkpoints.empty()) {
+    Tags.Logging = false;
+    SpecInsts = 0;
+  }
+  // Resume re-fetches the branch; don't immediately re-enter simulation.
+  SkipNextSim = true;
+}
+
+bool SpecTaintEmulator::maybeStartSim(uint64_t BranchPC) {
+  if (SkipNextSim) {
+    SkipNextSim = false;
+    return false;
+  }
+  if (!Opts.SimulateSpeculation)
+    return false;
+  if (Checkpoints.size() >= Opts.MaxDepth)
+    return false;
+  uint32_t &Tries = BranchTries[BranchPC];
+  if (Tries >= Opts.Tries)
+    return false;
+  ++Tries;
+  Checkpoint CP;
+  CP.CPU = M.C; // PC = the branch instruction (resume point)
+  CP.MemLogMark = MemLog.size();
+  CP.TagLogMark = Tags.Log.size();
+  memcpy(CP.RegTags, Tags.RegTags, sizeof(CP.RegTags));
+  CP.FlagsTag = Tags.FlagsTag;
+  Checkpoints.push_back(std::move(CP));
+  Tags.Logging = true;
+  ++Stats.Simulations;
+  return true;
+}
+
+void SpecTaintEmulator::softmmuTranslate(uint64_t Addr) {
+  // A softmmu-style two-level table walk per guest access, the way a
+  // full-system emulator translates every load/store (the tables live in
+  // an otherwise-unused guest region; their contents are irrelevant, the
+  // walk's memory traffic is the modelled cost).
+  constexpr uint64_t PTBase = 0x3000'0000'0000ULL; // inside the shadow gap
+  uint64_t L1 = M.Mem.readUnsigned(PTBase + ((Addr >> 30) & 0x1ff) * 8, 8);
+  uint64_t L2 = M.Mem.readUnsigned(
+      PTBase + 0x200000 + (((Addr >> 21) & 0x1ff) ^ L1) % 0x1000 * 8, 8);
+  (void)L2;
+}
+
+void SpecTaintEmulator::preStepTaint(const Instruction &I, uint64_t Site) {
+  // DECAF's DIFT plugin hooks the *lifted* code: one callback per TCG
+  // micro-op, through a function pointer, with a shadow-state check in
+  // each — the defining per-instruction cost of the full-system design
+  // (Section 3.1). A guest instruction lifts to roughly 6 micro-ops,
+  // plus ~5 more for the softmmu slow path of a memory access.
+  unsigned MicroOps = 6 + (I.hasMemOperand() ? 5 : 0);
+  for (unsigned K = 0; K != MicroOps; ++K)
+    PerOpCallback(I);
+  // Every guest memory access goes through the emulator's software MMU.
+  if (I.hasMemOperand())
+    softmmuTranslate(M.effectiveAddr(I.memRef()));
+  switch (I.Op) {
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::CALL:
+  case Opcode::CALLI:
+  case Opcode::RET:
+    softmmuTranslate(M.C.R[SP]);
+    break;
+  default:
+    break;
+  }
+  // SpecTaint policy: it cannot distinguish out-of-bounds from legal
+  // accesses, so during speculation *any* access through user-tainted
+  // pointers is assumed to load a secret; a secret-tainted pointer later
+  // dereferenced is a transmitting gadget.
+  if (inSim() && I.hasMemOperand()) {
+    const MemRef &Mem = I.memRef();
+    uint8_t AddrT = Tags.addrTag(Mem);
+    if ((I.Op == Opcode::LOAD || I.Op == Opcode::LOADS) &&
+        (AddrT & TagUser))
+      Tags.PendingLoadExtra |= TagSecretUser;
+    if (AddrT & TagSecretUser) {
+      GadgetReport R;
+      R.Site = Site;
+      R.Chan = Channel::Cache;
+      R.Ctrl = Controllability::User;
+      R.Depth = static_cast<uint8_t>(Checkpoints.size());
+      Reports.report(R);
+    }
+  }
+  // The per-instruction DIFT plugin runs in both modes — a defining cost
+  // of the emulator-based design.
+  Tags.transfer(I);
+}
+
+void SpecTaintEmulator::logWritesOf(const Instruction &I) {
+  auto Log = [&](uint64_t Addr, unsigned Size) {
+    MemLog.push_back(
+        {Addr, static_cast<uint8_t>(Size), M.Mem.readUnsigned(Addr, Size)});
+  };
+  switch (I.Op) {
+  case Opcode::STORE:
+    Log(M.effectiveAddr(I.A.M), I.Size);
+    break;
+  case Opcode::PUSH:
+  case Opcode::CALL:
+  case Opcode::CALLI:
+    Log(M.C.R[SP] - 8, 8);
+    break;
+  default:
+    break;
+  }
+}
+
+vm::StopState SpecTaintEmulator::run(uint64_t MaxInsts) {
+  vm::StopState Stop;
+  for (uint64_t N = 0; N != MaxInsts; ++N) {
+    uint64_t PC = M.C.PC;
+    if (PC == vm::Machine::HaltSentinel) {
+      if (inSim()) {
+        rollback();
+        continue;
+      }
+      Stop.Kind = vm::StopKind::Halted;
+      Stop.ExitStatus = M.C.R[R0];
+      return Stop;
+    }
+
+    // The emulator's translation layer: a translation-cache probe on
+    // every fetch plus a fresh lift of the instruction for the DIFT
+    // plugin (DECAF instruments at translation time, so the plugin's
+    // view is re-derived rather than shared with the executor).
+    uint64_t &TbEntry = TransCache[PC];
+    uint8_t Buf[40];
+    M.Mem.read(PC, Buf, sizeof(Buf));
+    auto D = decode(Buf, sizeof(Buf), 0);
+    TbEntry = D ? D->Length : ~0ull;
+    if (!D) {
+      if (inSim()) {
+        rollback();
+        continue;
+      }
+      Stop.Kind = vm::StopKind::Fault;
+      Stop.Fault = vm::FaultKind::BadFetch;
+      Stop.FaultAddr = PC;
+      return Stop;
+    }
+    const Instruction &I = D->I;
+    ++Stats.EmulatedInsts;
+
+    if (inSim()) {
+      // Termination conditions: budget, serializing instructions,
+      // external calls, program exit.
+      if (++SpecInsts > Opts.SpecWindow || I.Op == Opcode::EXT ||
+          I.Op == Opcode::HALT || I.Op == Opcode::FENCE) {
+        rollback();
+        continue;
+      }
+    }
+
+    if (I.Op == Opcode::JCC && maybeStartSim(PC)) {
+      // Force the reverted branch direction (the emulator flips the
+      // branch instead of using trampolines).
+      bool Taken = evalCond(I.CC, M.C.Flags);
+      uint64_t Next = PC + D->Length;
+      M.C.PC = Taken ? Next : Next + static_cast<uint64_t>(I.A.Imm);
+      continue;
+    }
+
+    preStepTaint(I, PC);
+    if (inSim())
+      logWritesOf(I);
+
+    if (!M.step(Stop))
+      return Stop;
+  }
+  Stop.Kind = vm::StopKind::OutOfGas;
+  return Stop;
+}

@@ -1,0 +1,119 @@
+//===- baselines/SpecTaint.h - SpecTaint-style emulator -----------*- C++ -*-===//
+///
+/// \file
+/// The SpecTaint baseline (Qi et al., NDSS '21): a *whole-system-emulator*
+/// style detector (DECAF/QEMU in the paper), reproduced as an emulation
+/// loop over the original, uninstrumented binary. Its defining properties
+/// — the ones the paper measures against — all emerge mechanically:
+///
+///   - every guest instruction pays emulator work: a fresh decode (the
+///     translation layer) plus DIFT callbacks in normal *and* speculative
+///     mode, which is where the >20x slowdown vs Teapot comes from;
+///   - no program-level information: it cannot tell out-of-bounds from
+///     legal accesses, so every tainted memory access is assumed to load
+///     a secret (false positives), and there is no heap/stack redzone
+///     knowledge;
+///   - the nesting heuristic enters speculation at most `Tries` (5) times
+///     per branch, which misses deeply nested gadgets (false negatives in
+///     Tables 3 and 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_BASELINES_SPECTAINT_H
+#define TEAPOT_BASELINES_SPECTAINT_H
+
+#include "runtime/Dift.h"
+#include "runtime/Report.h"
+#include "vm/Machine.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace teapot {
+namespace baselines {
+
+struct SpecTaintOptions {
+  unsigned SpecWindow = 250;
+  unsigned MaxDepth = 6;
+  /// Each branch enters speculation simulation at most this many times.
+  unsigned Tries = 5;
+  bool TaintInput = true;
+  uint64_t ExtraTaintAddr = 0;
+  uint64_t ExtraTaintLen = 0;
+  /// Disable speculation entirely (pure-emulation timing runs).
+  bool SimulateSpeculation = true;
+};
+
+struct SpecTaintStats {
+  uint64_t EmulatedInsts = 0;
+  uint64_t Simulations = 0;
+  uint64_t Rollbacks = 0;
+};
+
+class SpecTaintEmulator {
+public:
+  SpecTaintEmulator(vm::Machine &M, SpecTaintOptions Opts);
+
+  /// Installs the input-taint hook; call after loadObject.
+  void attach();
+
+  /// Per-run reset (taint state, branch try counters persist).
+  void resetRun();
+
+  /// Emulates until the program stops or \p MaxInsts guest instructions
+  /// ran.
+  vm::StopState run(uint64_t MaxInsts);
+
+  runtime::ReportSink Reports;
+  SpecTaintStats Stats;
+
+private:
+  struct Checkpoint {
+    vm::CPU CPU;
+    size_t MemLogMark;
+    size_t TagLogMark;
+    uint8_t RegTags[isa::NumRegs];
+    uint8_t FlagsTag;
+  };
+  struct MemUndo {
+    uint64_t Addr;
+    uint8_t Size;
+    uint64_t OldBytes;
+  };
+
+  vm::Machine &M;
+  SpecTaintOptions Opts;
+  runtime::TagEngine Tags;
+
+  std::vector<Checkpoint> Checkpoints;
+  std::vector<MemUndo> MemLog;
+  uint64_t SpecInsts = 0;
+  bool SkipNextSim = false;
+  std::map<uint64_t, uint32_t> BranchTries; // keyed by branch PC
+  /// Emulator mechanics: the translation-block cache a TCG-style
+  /// emulator consults on every fetch, and the softmmu page-table base
+  /// its guest memory accesses walk through. Both model *measured* work
+  /// the full-system design pays that Teapot's native execution does
+  /// not.
+  std::unordered_map<uint64_t, uint64_t> TransCache;
+  void softmmuTranslate(uint64_t Addr);
+  /// Per-TCG-micro-op plugin callback (function-pointer dispatch, as in
+  /// DECAF's instrumentation interface).
+  std::function<void(const isa::Instruction &)> PerOpCallback;
+  volatile uint8_t LiveTaint = 0;
+
+  bool inSim() const { return !Checkpoints.empty(); }
+  void rollback();
+  /// Returns true when a new simulation started (caller flips the
+  /// branch).
+  bool maybeStartSim(uint64_t BranchPC);
+  void preStepTaint(const isa::Instruction &I, uint64_t Site);
+  void logWritesOf(const isa::Instruction &I);
+};
+
+} // namespace baselines
+} // namespace teapot
+
+#endif // TEAPOT_BASELINES_SPECTAINT_H

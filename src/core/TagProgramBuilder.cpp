@@ -1,0 +1,393 @@
+//===- core/TagProgramBuilder.cpp ------------------------------------------===//
+//
+// Compiles a basic block's taint semantics into a single-assignment
+// micro-op program over immutable inputs (block-entry register tags +
+// load temporaries). Because nothing mutable is read after it is
+// written, the deferred block-end evaluation is order-hazard free; the
+// only approximations are (a) effective addresses that cannot be
+// re-expressed over block-end fp/sp/constants fall back to clearing the
+// destination tag, and (b) at most NumTagTemps loads per block are
+// tracked. Both degrade toward *losing* taint in the asynchronous
+// Real-Copy update only — the Shadow Copy's synchronous DIFT stays exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TagProgramBuilder.h"
+
+#include "isa/Instruction.h"
+
+#include <map>
+
+using namespace teapot;
+using namespace teapot::core;
+using namespace teapot::isa;
+
+namespace {
+
+/// Symbolic register *value* (not tag): enough arithmetic to re-express
+/// load/store effective addresses in terms of values still available at
+/// the block end.
+struct SymVal {
+  enum Kind : uint8_t {
+    Unknown,
+    Const,   // Off
+    FPEntry, // fp-at-entry + Off
+    SPEntry, // sp-at-entry + Off
+  } K = Unknown;
+  int64_t Off = 0;
+
+  static SymVal unknown() { return SymVal(); }
+  static SymVal constant(int64_t C) { return {Const, C}; }
+};
+
+struct SymState {
+  /// Pending[r]: mask over entry-register tags (bits 0..15) and load
+  /// temporaries (bits 16..31) that compose r's tag right now.
+  uint32_t Pending[NumRegs];
+  SymVal Val[NumRegs];
+  int64_t SPDelta = 0;
+  bool SPKnown = true;
+  bool FPStable = true;
+  /// Tags/values of stack slots pushed within this block, keyed by the
+  /// slot's SPDelta.
+  std::map<int64_t, uint32_t> StackTags;
+  std::map<int64_t, SymVal> StackVals;
+
+  SymState() {
+    for (unsigned R = 0; R != NumRegs; ++R) {
+      Pending[R] = 1u << R;
+      Val[R] = SymVal::unknown();
+    }
+    Val[FP] = {SymVal::FPEntry, 0};
+    Val[SP] = {SymVal::SPEntry, 0};
+  }
+};
+
+} // namespace
+
+BlockTagPlan core::buildBlockTagProgram(const ir::BasicBlock &B) {
+  BlockTagPlan Plan;
+  ir::TagProgram &P = Plan.Program;
+  SymState S;
+  uint32_t FlagsMask = 0;
+  bool FlagsTouched = false;
+  unsigned NextTemp = 0;
+
+  // Pass 1: total SP delta and fp stability (the snippet evaluates at
+  // the block end; sp-relative addresses need compensation).
+  int64_t FinalDelta = 0;
+  {
+    int64_t D = 0;
+    for (const ir::Inst &In : B.Insts) {
+      const Instruction &I = In.I;
+      if (I.Op == Opcode::PUSH)
+        D -= 8;
+      else if (I.Op == Opcode::POP)
+        D += 8;
+      else if ((I.Op == Opcode::ADD || I.Op == Opcode::SUB) && I.A.isReg() &&
+               I.A.R == SP && I.B.isImm())
+        D += I.Op == Opcode::ADD ? I.B.Imm : -I.B.Imm;
+      else if (I.A.isReg() && I.A.R == SP && I.Op != Opcode::CMP &&
+               I.Op != Opcode::TEST && I.Op != Opcode::PUSH &&
+               !I.info().IsBranch)
+        S.SPKnown = false; // e.g. mov sp, fp
+      if (I.A.isReg() && I.A.R == FP && I.Op != Opcode::CMP &&
+          I.Op != Opcode::TEST && I.Op != Opcode::PUSH &&
+          !I.info().IsBranch)
+        S.FPStable = false;
+    }
+    FinalDelta = D;
+  }
+
+  auto Resolve = [&](const MemRef &M, SymVal &Out) -> bool {
+    SymVal Base = M.Base == NoReg ? SymVal::constant(0) : S.Val[M.Base];
+    if (Base.K == SymVal::Unknown)
+      return false;
+    int64_t IndexPart = 0;
+    if (M.Index != NoReg) {
+      if (S.Val[M.Index].K != SymVal::Const)
+        return false;
+      IndexPart = S.Val[M.Index].Off * M.Scale;
+    }
+    Out = Base;
+    Out.Off += IndexPart + M.Disp;
+    return true;
+  };
+  /// Re-expresses a resolved address as a MemRef evaluable at block end.
+  auto Emittable = [&](const SymVal &V, MemRef &Out) -> bool {
+    switch (V.K) {
+    case SymVal::Const:
+      Out = MemRef{NoReg, NoReg, 1, V.Off};
+      return true;
+    case SymVal::FPEntry:
+      if (!S.FPStable)
+        return false;
+      Out = MemRef{FP, NoReg, 1, V.Off};
+      return true;
+    case SymVal::SPEntry:
+      if (!S.SPKnown)
+        return false;
+      Out = MemRef{SP, NoReg, 1, V.Off - FinalDelta};
+      return true;
+    case SymVal::Unknown:
+      return false;
+    }
+    return false;
+  };
+
+  /// Loads memory tags into a fresh temporary; returns the temp's mask
+  /// bit, or 0 (untainted fallback) when untrackable.
+  auto EmitLoadTmp = [&](const MemRef &M, uint8_t Size) -> uint32_t {
+    SymVal EA;
+    MemRef Out;
+    if (!Resolve(M, EA) || !Emittable(EA, Out) ||
+        NextTemp >= ir::NumTagTemps) {
+      Plan.NeedsSync = true;
+      return 0;
+    }
+    ir::TagMicroOp Op;
+    Op.K = ir::TagMicroOp::LoadTmp;
+    Op.Dst = static_cast<uint8_t>(NextTemp);
+    Op.Size = Size;
+    Op.Mem = Out;
+    P.push_back(Op);
+    return 1u << (16 + NextTemp++);
+  };
+  auto EmitStoreMask = [&](const MemRef &M, uint32_t Mask, uint8_t Size) {
+    SymVal EA;
+    MemRef Out;
+    if (!Resolve(M, EA) || !Emittable(EA, Out)) {
+      // A store through an unreconstructible pointer: its target's tags
+      // cannot be updated asynchronously.
+      Plan.NeedsSync = true;
+      return;
+    }
+    ir::TagMicroOp Op;
+    Op.K = ir::TagMicroOp::StoreMask;
+    Op.Size = Size;
+    Op.Mask = Mask;
+    Op.Mem = Out;
+    P.push_back(Op);
+  };
+  auto SrcMask = [&](const Operand &O) -> uint32_t {
+    return O.isReg() ? S.Pending[O.R] : 0;
+  };
+
+  for (const ir::Inst &In : B.Insts) {
+    const Instruction &I = In.I;
+    switch (I.Op) {
+    case Opcode::MOV:
+      S.Pending[I.A.R] = SrcMask(I.B);
+      S.Val[I.A.R] =
+          I.B.isReg() ? S.Val[I.B.R] : SymVal::constant(I.B.Imm);
+      break;
+    case Opcode::LEA: {
+      uint32_t Mask = 0;
+      if (I.B.M.Base != NoReg)
+        Mask |= S.Pending[I.B.M.Base];
+      if (I.B.M.Index != NoReg)
+        Mask |= S.Pending[I.B.M.Index];
+      S.Pending[I.A.R] = Mask;
+      SymVal EA;
+      S.Val[I.A.R] = Resolve(I.B.M, EA) ? EA : SymVal::unknown();
+      break;
+    }
+    case Opcode::LOAD:
+    case Opcode::LOADS:
+      S.Pending[I.A.R] = EmitLoadTmp(I.B.M, I.Size);
+      S.Val[I.A.R] = SymVal::unknown();
+      break;
+    case Opcode::STORE:
+      EmitStoreMask(I.A.M, SrcMask(I.B), I.Size);
+      break;
+    case Opcode::PUSH: {
+      MemRef Slot{SP, NoReg, 1, -8};
+      uint32_t Mask = SrcMask(I.A);
+      EmitStoreMask(Slot, Mask, 8);
+      S.SPDelta -= 8;
+      S.Val[SP].Off -= 8;
+      S.StackTags[S.SPDelta] = Mask;
+      S.StackVals[S.SPDelta] =
+          I.A.isReg() ? S.Val[I.A.R] : SymVal::constant(I.A.Imm);
+      break;
+    }
+    case Opcode::POP: {
+      // Prefer the symbolic record of an in-block push (both its tag
+      // mask and its value survive exactly); fall back to a memory read.
+      auto TagIt = S.StackTags.find(S.SPDelta);
+      if (TagIt != S.StackTags.end()) {
+        S.Pending[I.A.R] = TagIt->second;
+        auto ValIt = S.StackVals.find(S.SPDelta);
+        S.Val[I.A.R] =
+            ValIt != S.StackVals.end() ? ValIt->second : SymVal::unknown();
+      } else {
+        MemRef Slot{SP, NoReg, 1, 0};
+        S.Pending[I.A.R] = EmitLoadTmp(Slot, 8);
+        S.Val[I.A.R] = SymVal::unknown();
+      }
+      S.SPDelta += 8;
+      S.Val[SP].Off += 8;
+      break;
+    }
+    case Opcode::ADD:
+    case Opcode::SUB: {
+      if (I.B.isReg() && I.B.R == I.A.R && I.Op == Opcode::SUB)
+        S.Pending[I.A.R] = 0; // idiomatic zeroing
+      else
+        S.Pending[I.A.R] |= SrcMask(I.B);
+      FlagsMask = S.Pending[I.A.R];
+      FlagsTouched = true;
+      int64_t Sign = I.Op == Opcode::ADD ? 1 : -1;
+      if (I.B.isImm()) {
+        if (S.Val[I.A.R].K != SymVal::Unknown)
+          S.Val[I.A.R].Off += Sign * I.B.Imm;
+        if (I.A.R == SP)
+          S.SPDelta += Sign * I.B.Imm;
+      } else {
+        SymVal &A = S.Val[I.A.R];
+        const SymVal &Bv = S.Val[I.B.R];
+        if (Bv.K == SymVal::Const && A.K != SymVal::Unknown)
+          A.Off += Sign * Bv.Off;
+        else if (I.Op == Opcode::ADD && A.K == SymVal::Const &&
+                 Bv.K != SymVal::Unknown) {
+          int64_t C = A.Off;
+          A = Bv;
+          A.Off += C;
+        } else {
+          A = SymVal::unknown();
+        }
+      }
+      break;
+    }
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SAR:
+    case Opcode::MUL:
+    case Opcode::UDIV:
+    case Opcode::UREM: {
+      if (I.Op == Opcode::XOR && I.B.isReg() && I.B.R == I.A.R)
+        S.Pending[I.A.R] = 0;
+      else
+        S.Pending[I.A.R] |= SrcMask(I.B);
+      FlagsMask = S.Pending[I.A.R];
+      FlagsTouched = true;
+      // Constant folding keeps scaled-index address chains resolvable.
+      SymVal &A = S.Val[I.A.R];
+      bool BIsConst =
+          I.B.isImm() || (I.B.isReg() && S.Val[I.B.R].K == SymVal::Const);
+      int64_t Bc = I.B.isImm() ? I.B.Imm
+                               : (BIsConst ? S.Val[I.B.R].Off : 0);
+      if (A.K == SymVal::Const && BIsConst) {
+        switch (I.Op) {
+        case Opcode::AND:
+          A.Off &= Bc;
+          break;
+        case Opcode::OR:
+          A.Off |= Bc;
+          break;
+        case Opcode::XOR:
+          A.Off ^= Bc;
+          break;
+        case Opcode::SHL:
+          A.Off = static_cast<int64_t>(static_cast<uint64_t>(A.Off)
+                                       << (Bc & 63));
+          break;
+        case Opcode::SHR:
+          A.Off = static_cast<int64_t>(static_cast<uint64_t>(A.Off) >>
+                                       (Bc & 63));
+          break;
+        case Opcode::SAR:
+          A.Off >>= (Bc & 63);
+          break;
+        case Opcode::MUL:
+          A.Off *= Bc;
+          break;
+        default:
+          A = SymVal::unknown();
+          break;
+        }
+      } else {
+        A = SymVal::unknown();
+      }
+      if (I.A.R == SP)
+        S.SPKnown = false;
+      break;
+    }
+    case Opcode::NEG:
+      FlagsMask = S.Pending[I.A.R];
+      FlagsTouched = true;
+      if (S.Val[I.A.R].K == SymVal::Const)
+        S.Val[I.A.R].Off = -S.Val[I.A.R].Off;
+      else
+        S.Val[I.A.R] = SymVal::unknown();
+      break;
+    case Opcode::NOT:
+      S.Val[I.A.R] = SymVal::unknown();
+      break;
+    case Opcode::CMP:
+    case Opcode::TEST:
+      FlagsMask = S.Pending[I.A.R] | SrcMask(I.B);
+      FlagsTouched = true;
+      break;
+    case Opcode::SET:
+      S.Pending[I.A.R] = FlagsTouched ? FlagsMask : 0;
+      S.Val[I.A.R] = SymVal::unknown();
+      break;
+    case Opcode::CMOV:
+      S.Pending[I.A.R] |= SrcMask(I.B);
+      if (FlagsTouched)
+        S.Pending[I.A.R] |= FlagsMask;
+      S.Val[I.A.R] = SymVal::unknown();
+      break;
+    case Opcode::EXT:
+      // External functions return untainted data; input tainting happens
+      // via the runtime's read hook.
+      S.Pending[R0] = 0;
+      S.Val[R0] = SymVal::unknown();
+      break;
+    case Opcode::CALL:
+    case Opcode::CALLI:
+      // The block snippet runs *before* a block-terminating call, so
+      // argument-register tags must survive it (the callee's own block
+      // programs account for everything the callee does). Only the
+      // symbolic *values* die: after the call returns, caller-saved
+      // registers hold callee-determined values.
+      for (unsigned R = R0; R <= R7; ++R)
+        S.Val[R] = SymVal::unknown();
+      break;
+    case Opcode::JMP:
+    case Opcode::JCC:
+    case Opcode::JMPI:
+    case Opcode::RET:
+    case Opcode::NOP:
+    case Opcode::MARKERNOP:
+    case Opcode::FENCE:
+    case Opcode::HALT:
+    case Opcode::INTR:
+    case Opcode::NumOpcodes:
+      break;
+    }
+  }
+
+  // Block-end flush: a parallel assignment by construction, since every
+  // mask reads only entry tags and single-assignment temporaries.
+  for (unsigned R = 0; R != NumRegs; ++R) {
+    if (S.Pending[R] == (1u << R))
+      continue;
+    ir::TagMicroOp Op;
+    Op.K = ir::TagMicroOp::RegSetMask;
+    Op.Dst = static_cast<uint8_t>(R);
+    Op.Mask = S.Pending[R];
+    P.push_back(Op);
+  }
+  if (FlagsTouched) {
+    ir::TagMicroOp Op;
+    Op.K = ir::TagMicroOp::FlagsMask;
+    Op.Mask = FlagsMask;
+    P.push_back(Op);
+  }
+  return Plan;
+}

@@ -1,0 +1,49 @@
+//===- core/TagProgramBuilder.h - Real-Copy block DIFT programs ---*- C++ -*-===//
+///
+/// \file
+/// Builds the per-basic-block tag transfer programs that implement the
+/// Real Copy's *asynchronous* DIFT update (Section 6.2.2): the paper
+/// generates a list of IR expressions computing the block's tag changes,
+/// optimizes it, and inserts one compiled snippet per block. We reproduce
+/// that as a micro-op program the runtime evaluates once per block:
+///
+///   - pure register-to-register chains are composed symbolically and
+///     collapsed into single RegSet micro-ops (the "optimization"),
+///   - loads/stores emit LoadTag/StoreTag ops whose stack-relative
+///     addresses are *delta-compensated* for the SP movement between the
+///     instruction's position and the block end (pushes in a prologue
+///     still tag the right slots even though the snippet runs at the
+///     block end),
+///   - known approximations of the asynchronous scheme (overwritten
+///     address registers, end-of-block flag tags) are inherited from the
+///     paper's design and documented in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_CORE_TAGPROGRAMBUILDER_H
+#define TEAPOT_CORE_TAGPROGRAMBUILDER_H
+
+#include "ir/IR.h"
+
+namespace teapot {
+namespace core {
+
+struct BlockTagPlan {
+  ir::TagProgram Program;
+  /// True when some access's effective address could not be re-expressed
+  /// over block-end values (heap-pointer indirection through scratch
+  /// registers, or temp exhaustion). Such blocks cannot use the
+  /// asynchronous once-per-block update without losing taint; the
+  /// rewriter falls back to synchronous per-instruction propagation for
+  /// them — the "optimal insertion position" degenerating to inline.
+  bool NeedsSync = false;
+};
+
+/// Computes the tag transfer plan for \p B's instructions. The program
+/// is empty when the block has no tag effects.
+BlockTagPlan buildBlockTagProgram(const ir::BasicBlock &B);
+
+} // namespace core
+} // namespace teapot
+
+#endif // TEAPOT_CORE_TAGPROGRAMBUILDER_H

@@ -1,0 +1,80 @@
+//===- core/TeapotRewriter.h - The Teapot static rewriter ---------*- C++ -*-===//
+///
+/// \file
+/// The static-rewriting half of Teapot (Sections 5 and 6): takes a COTS
+/// TBF binary, lifts it (disasm), applies the Speculation Shadows
+/// transform plus the instrumentation passes, reassembles, and attaches
+/// the ".teapot.meta" side tables the runtime needs.
+///
+/// Pass pipeline (Teapot mode):
+///
+///   1. cloneShadowFunctions     Real/Shadow copies, direct edges redirected
+///   2. trampoline creation      per conditional branch (Section 5.2)
+///   3. marker placement         indirect-transfer targets in the Real Copy
+///                               get MARKERNOP + MarkerCheck (Listing 4)
+///   4. Real-Copy instrumentation   RA poison/unpoison, per-block async
+///                               DIFT updates, coverage guard + StartSim
+///                               before conditional branches — and nothing
+///                               else: no ASan checks, no memory logging,
+///                               no guards (the Speculation Shadows claim)
+///   5. Shadow-Copy instrumentation  unguarded ASan/Kasper sinks, memory
+///                               logging, synchronous DIFT, conditional +
+///                               unconditional restore points, escape
+///                               checks, nested StartSim, lazy coverage
+///   6. layout + metadata
+///
+/// SpecFuzzBaseline mode reproduces the prior-work architecture the paper
+/// argues against (Listing 3): a single copy where every instrumentation
+/// site executes in both modes and the runtime's in-simulation check
+/// plays the role of the per-site `if (in_simulation)` guard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_CORE_TEAPOTREWRITER_H
+#define TEAPOT_CORE_TEAPOTREWRITER_H
+
+#include "ir/IR.h"
+#include "obj/ObjectFile.h"
+#include "runtime/MetaTable.h"
+#include "support/Error.h"
+
+namespace teapot {
+namespace core {
+
+enum class RewriteMode : uint8_t {
+  Teapot,           // Speculation Shadows (this paper)
+  SpecFuzzBaseline, // guarded single-copy instrumentation (prior work)
+};
+
+struct RewriterOptions {
+  RewriteMode Mode = RewriteMode::Teapot;
+  /// Emit the Kasper DIFT instrumentation (TaintSink/TagProp/TagBlock).
+  /// When false, plain ASan checks are emitted instead (the SpecFuzz
+  /// detection policy). The baseline mode ignores this and always uses
+  /// ASan-only.
+  bool EnableDift = true;
+  /// Emit normal + speculative coverage guards.
+  bool EnableCoverage = true;
+  /// Conditional restore point spacing, in original instructions
+  /// ("between every 50 instructions", Section 6.1).
+  unsigned RestoreInterval = 50;
+};
+
+struct RewriteResult {
+  obj::ObjectFile Binary;
+  runtime::MetaTable Meta;
+};
+
+/// Disassembles and rewrites \p In.
+Expected<RewriteResult> rewriteBinary(const obj::ObjectFile &In,
+                                      const RewriterOptions &Opts);
+
+/// Rewrites an already-lifted module (used by the artificial-gadget
+/// injection experiment, which splices gadgets into the IR first).
+Expected<RewriteResult> rewriteModule(ir::Module M,
+                                      const RewriterOptions &Opts);
+
+} // namespace core
+} // namespace teapot
+
+#endif // TEAPOT_CORE_TEAPOTREWRITER_H

@@ -1,0 +1,550 @@
+//===- disasm/Disassembler.cpp --------------------------------------------===//
+
+#include "disasm/Disassembler.h"
+
+#include "isa/Encoding.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace teapot;
+using namespace teapot::disasm;
+using namespace teapot::isa;
+
+namespace {
+
+struct JumpTable {
+  uint64_t JmpiAddr = 0;
+  uint64_t TableAddr = 0;
+  std::vector<uint64_t> Targets;
+};
+
+/// Everything discovered about one function before IR construction.
+struct FuncInfo {
+  uint64_t Entry = 0;
+  std::map<uint64_t, Decoded> Insts;
+  std::set<uint64_t> Leaders;
+  std::vector<JumpTable> Tables;
+  bool Valid = true;
+};
+
+class Disassembler {
+public:
+  Disassembler(const obj::ObjectFile &Obj, const Options &Opts)
+      : Obj(Obj), Opts(Opts) {}
+
+  Expected<ir::Module> run();
+
+private:
+  const obj::ObjectFile &Obj;
+  const Options &Opts;
+  const obj::Section *Text = nullptr;
+
+  std::map<uint64_t, FuncInfo> Funcs; // keyed by entry address
+  std::vector<uint64_t> Worklist;
+
+  bool inText(uint64_t Addr) const {
+    return Text->contains(Addr);
+  }
+
+  Expected<Decoded> decodeAt(uint64_t Addr) const {
+    return decode(Text->Bytes.data(), Text->Bytes.size(),
+                  Addr - Text->Addr);
+  }
+
+  void addFunction(uint64_t Entry) {
+    if (!inText(Entry) || Funcs.count(Entry))
+      return;
+    Funcs.emplace(Entry, FuncInfo());
+    Worklist.push_back(Entry);
+  }
+
+  Error exploreFunction(uint64_t Entry, bool Speculative);
+  void recoverJumpTable(FuncInfo &F, uint64_t JmpiAddr, Reg Target);
+  uint64_t readU64At(uint64_t Addr, const obj::Section *&SecOut) const;
+  void scanDataForCode();
+  void sweepGaps();
+  Expected<ir::Module> buildModule();
+};
+
+} // namespace
+
+uint64_t Disassembler::readU64At(uint64_t Addr,
+                                 const obj::Section *&SecOut) const {
+  SecOut = nullptr;
+  for (const obj::Section &S : Obj.Sections) {
+    if (S.Kind == obj::SectionKind::Bss || S.Kind == obj::SectionKind::Code)
+      continue;
+    if (Addr >= S.Addr && Addr + 8 <= S.Addr + S.Bytes.size()) {
+      uint64_t V = 0;
+      uint64_t Off = Addr - S.Addr;
+      for (unsigned I = 0; I != 8; ++I)
+        V |= static_cast<uint64_t>(S.Bytes[Off + I]) << (I * 8);
+      SecOut = &S;
+      return V;
+    }
+  }
+  return 0;
+}
+
+/// Recovers a jump table feeding `jmpi Target` at \p JmpiAddr. Pattern:
+/// an earlier `ld8 Target, [idx*8 + TableBase]` in the same function,
+/// with TableBase pointing into a data section. Entries are read while
+/// they look like code addresses inside the text section.
+void Disassembler::recoverJumpTable(FuncInfo &F, uint64_t JmpiAddr,
+                                    Reg Target) {
+  // Scan backwards over already-decoded instructions for the defining
+  // load. A bounded scan is enough for compiler-generated patterns.
+  auto It = F.Insts.find(JmpiAddr);
+  if (It == F.Insts.end())
+    return;
+  unsigned Budget = 8;
+  uint64_t TableAddr = 0;
+  while (It != F.Insts.begin() && Budget--) {
+    --It;
+    const Instruction &I = It->second.I;
+    if (I.Op == Opcode::LOAD && I.Size == 8 && I.A.isReg() &&
+        I.A.R == Target && I.B.isMem() && I.B.M.Base == NoReg &&
+        I.B.M.Scale == 8 && I.B.M.Disp != 0) {
+      TableAddr = static_cast<uint64_t>(I.B.M.Disp);
+      break;
+    }
+    // Any other write to Target kills the pattern.
+    if (I.A.isReg() && I.A.R == Target)
+      return;
+  }
+  if (!TableAddr)
+    return;
+
+  JumpTable T;
+  T.JmpiAddr = JmpiAddr;
+  T.TableAddr = TableAddr;
+  for (unsigned Idx = 0; Idx != Opts.MaxJumpTableEntries; ++Idx) {
+    const obj::Section *Sec;
+    uint64_t V = readU64At(TableAddr + Idx * 8, Sec);
+    if (!Sec || !inText(V))
+      break;
+    // Entries must decode; this is the stop condition for running off
+    // the end of the table into unrelated data.
+    if (!decodeAt(V))
+      break;
+    T.Targets.push_back(V);
+  }
+  if (!T.Targets.empty())
+    F.Tables.push_back(std::move(T));
+}
+
+Error Disassembler::exploreFunction(uint64_t Entry, bool Speculative) {
+  FuncInfo &F = Funcs[Entry];
+  F.Entry = Entry;
+  F.Leaders.insert(Entry);
+
+  std::vector<uint64_t> Stack{Entry};
+  std::set<uint64_t> Visited;
+  auto Fail = [&](Error E) {
+    if (Speculative) {
+      F.Valid = false;
+      return Error::success();
+    }
+    return E;
+  };
+
+  while (!Stack.empty()) {
+    uint64_t Addr = Stack.back();
+    Stack.pop_back();
+    if (Visited.count(Addr))
+      continue;
+    // Straight-line decode until a terminator.
+    while (true) {
+      if (Visited.count(Addr))
+        break;
+      Visited.insert(Addr);
+      auto D = decodeAt(Addr);
+      if (!D)
+        return Fail(makeError("undecodable code at %s in function %s: %s",
+                              toHex(Addr).c_str(), toHex(Entry).c_str(),
+                              D.message().c_str()));
+      if (D->I.Op == Opcode::INTR)
+        return Fail(
+            makeError("binary already instrumented (INTR at %s)",
+                      toHex(Addr).c_str()));
+      F.Insts[Addr] = *D;
+      uint64_t Next = Addr + D->Length;
+      const OpcodeInfo &Info = D->I.info();
+
+      if (D->I.Op == Opcode::JMP || D->I.Op == Opcode::JCC) {
+        uint64_t Target = Next + static_cast<uint64_t>(D->I.A.Imm);
+        if (!inText(Target))
+          return Fail(makeError("branch at %s leaves the text section",
+                                toHex(Addr).c_str()));
+        // Compiler-generated functions never branch before their entry;
+        // a gap-sweep candidate that does is misdecoded data.
+        if (Target < F.Entry)
+          return Fail(makeError("branch at %s precedes the function entry",
+                                toHex(Addr).c_str()));
+        F.Leaders.insert(Target);
+        Stack.push_back(Target);
+        if (D->I.Op == Opcode::JMP)
+          break;
+        F.Leaders.insert(Next);
+        Addr = Next;
+        continue;
+      }
+      if (D->I.Op == Opcode::CALL) {
+        uint64_t Target = Next + static_cast<uint64_t>(D->I.A.Imm);
+        addFunction(Target);
+        F.Leaders.insert(Next); // call terminates the block
+        Addr = Next;
+        continue;
+      }
+      if (D->I.Op == Opcode::CALLI) {
+        F.Leaders.insert(Next);
+        Addr = Next;
+        continue;
+      }
+      if (D->I.Op == Opcode::JMPI) {
+        recoverJumpTable(F, Addr, D->I.A.R);
+        if (!F.Tables.empty() && F.Tables.back().JmpiAddr == Addr) {
+          for (uint64_t T : F.Tables.back().Targets) {
+            F.Leaders.insert(T);
+            Stack.push_back(T);
+          }
+        }
+        break;
+      }
+      if (Info.IsRet || D->I.Op == Opcode::HALT)
+        break;
+      Addr = Next;
+    }
+  }
+  return Error::success();
+}
+
+void Disassembler::scanDataForCode() {
+  // 8-byte-aligned words in data sections whose value is a decodable text
+  // address are candidate address-taken function entries — except slots
+  // already claimed by a recovered jump table, whose entries are block
+  // (not function) pointers. Running the table heuristic first resolves
+  // this classic disassembly ambiguity the way Datalog Disassembly does.
+  std::set<uint64_t> TableSlots;
+  for (const auto &[Entry, F] : Funcs)
+    for (const JumpTable &T : F.Tables)
+      for (size_t I = 0; I != T.Targets.size(); ++I)
+        TableSlots.insert(T.TableAddr + I * 8);
+
+  for (const obj::Section &S : Obj.Sections) {
+    if (S.Kind == obj::SectionKind::Bss || S.Kind == obj::SectionKind::Code)
+      continue;
+    for (uint64_t Off = 0; Off + 8 <= S.Bytes.size(); Off += 8) {
+      if (TableSlots.count(S.Addr + Off))
+        continue;
+      uint64_t V = 0;
+      for (unsigned I = 0; I != 8; ++I)
+        V |= static_cast<uint64_t>(S.Bytes[Off + I]) << (I * 8);
+      if (inText(V) && decodeAt(V))
+        addFunction(V);
+    }
+  }
+}
+
+void Disassembler::sweepGaps() {
+  // Claimed byte ranges, from every valid function's decoded code.
+  std::vector<std::pair<uint64_t, uint64_t>> Claimed;
+  for (const auto &[Entry, F] : Funcs) {
+    if (!F.Valid)
+      continue;
+    for (const auto &[Addr, D] : F.Insts)
+      Claimed.push_back({Addr, Addr + D.Length});
+  }
+  std::sort(Claimed.begin(), Claimed.end());
+  uint64_t Pos = Text->Addr;
+  uint64_t End = Text->Addr + Text->Bytes.size();
+  std::vector<uint64_t> GapStarts;
+  for (const auto &[S, E] : Claimed) {
+    if (S > Pos)
+      GapStarts.push_back(Pos);
+    Pos = std::max(Pos, E);
+  }
+  if (Pos < End)
+    GapStarts.push_back(Pos);
+  for (uint64_t G : GapStarts)
+    addFunction(G);
+}
+
+Expected<ir::Module> Disassembler::buildModule() {
+  ir::Module M;
+  M.Source = Obj;
+
+  // Assign function indices in address order for deterministic output.
+  std::vector<uint64_t> Entries;
+  for (const auto &[Entry, F] : Funcs)
+    if (F.Valid && !F.Insts.empty())
+      Entries.push_back(Entry);
+  std::sort(Entries.begin(), Entries.end());
+
+  std::map<uint64_t, uint32_t> FuncIdx;
+  for (uint64_t E : Entries) {
+    FuncIdx[E] = static_cast<uint32_t>(M.Funcs.size());
+    ir::Function Fn;
+    Fn.OrigAddr = E;
+    Fn.Name = formatString("fn_%llx", static_cast<unsigned long long>(E));
+    if (Opts.UseSymbols) {
+      // Prefer a Function-kind symbol; fall back to any label there.
+      const obj::Symbol *Best = nullptr;
+      for (const obj::Symbol &S : Obj.Symbols)
+        if (S.Addr == E &&
+            (!Best || S.Kind == obj::SymbolKind::Function))
+          Best = &S;
+      if (Best)
+        Fn.Name = Best->Name;
+    }
+    M.Funcs.push_back(std::move(Fn));
+  }
+
+  // Build blocks per function; record addr -> BlockRef for target fixes.
+  std::map<uint64_t, std::map<uint64_t, ir::BlockRef>> BlockAt;
+  for (uint64_t E : Entries) {
+    FuncInfo &F = Funcs[E];
+    uint32_t FI = FuncIdx[E];
+    ir::Function &Fn = M.Funcs[FI];
+
+    // A leader at L owns instructions [L, next leader or gap).
+    std::vector<uint64_t> Leaders(F.Leaders.begin(), F.Leaders.end());
+    std::sort(Leaders.begin(), Leaders.end());
+    for (uint64_t L : Leaders) {
+      if (!F.Insts.count(L))
+        continue; // leader outside this function's decoded set
+      ir::BlockRef R{FI, static_cast<uint32_t>(Fn.Blocks.size())};
+      Fn.Blocks.emplace_back();
+      Fn.Blocks.back().OrigAddr = L;
+      BlockAt[E][L] = R;
+    }
+    // The entry block must be Blocks[0].
+    if (Fn.Blocks.empty() || Fn.Blocks[0].OrigAddr != E)
+      return makeError("function %s has no entry block",
+                       toHex(E).c_str());
+
+    // Fill instructions.
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      ir::BasicBlock &Blk = Fn.Blocks[B];
+      uint64_t Addr = Blk.OrigAddr;
+      while (true) {
+        auto It = F.Insts.find(Addr);
+        if (It == F.Insts.end())
+          break;
+        if (Addr != Blk.OrigAddr && F.Leaders.count(Addr))
+          break; // start of the next block
+        ir::Inst In(It->second.I);
+        In.OrigAddr = Addr;
+        Blk.Insts.push_back(std::move(In));
+        uint64_t Next = Addr + It->second.Length;
+        if (It->second.I.isTerminator() || It->second.I.info().IsCall) {
+          Addr = Next;
+          break;
+        }
+        Addr = Next;
+      }
+    }
+  }
+
+  // Resolve successors and symbolic operands.
+  for (uint64_t E : Entries) {
+    FuncInfo &F = Funcs[E];
+    uint32_t FI = FuncIdx[E];
+    ir::Function &Fn = M.Funcs[FI];
+    auto &AddrMap = BlockAt[E];
+
+    auto BlockFor = [&](uint64_t Addr) -> ir::BlockRef {
+      auto It = AddrMap.find(Addr);
+      return It == AddrMap.end() ? ir::BlockRef() : It->second;
+    };
+
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      ir::BasicBlock &Blk = Fn.Blocks[B];
+      if (Blk.Insts.empty())
+        continue;
+      ir::Inst &Last = Blk.Insts.back();
+      uint64_t LastAddr = Last.OrigAddr;
+      uint64_t NextAddr = LastAddr + encodedLength(Last.I);
+      switch (Last.I.Op) {
+      case Opcode::JMP:
+      case Opcode::JCC: {
+        uint64_t Target = NextAddr + static_cast<uint64_t>(Last.I.A.Imm);
+        ir::BlockRef TR = BlockFor(Target);
+        if (!TR.valid())
+          return makeError("branch target %s not lifted in %s",
+                           toHex(Target).c_str(), Fn.Name.c_str());
+        Last.Target = TR;
+        Blk.TakenSucc = TR;
+        if (Last.I.Op == Opcode::JCC) {
+          ir::BlockRef FR = BlockFor(NextAddr);
+          if (!FR.valid())
+            return makeError("fallthrough %s not lifted in %s",
+                             toHex(NextAddr).c_str(), Fn.Name.c_str());
+          Blk.FallSucc = FR;
+        }
+        break;
+      }
+      case Opcode::CALL: {
+        uint64_t Target = NextAddr + static_cast<uint64_t>(Last.I.A.Imm);
+        auto CIt = FuncIdx.find(Target);
+        if (CIt == FuncIdx.end())
+          return makeError("call target %s not lifted", toHex(Target).c_str());
+        Last.Callee = CIt->second;
+        ir::BlockRef FR = BlockFor(NextAddr);
+        if (FR.valid())
+          Blk.FallSucc = FR;
+        break;
+      }
+      case Opcode::CALLI: {
+        ir::BlockRef FR = BlockFor(NextAddr);
+        if (FR.valid())
+          Blk.FallSucc = FR;
+        break;
+      }
+      case Opcode::JMPI: {
+        for (const JumpTable &T : F.Tables)
+          if (T.JmpiAddr == LastAddr)
+            for (uint64_t Tgt : T.Targets)
+              if (ir::BlockRef R = BlockFor(Tgt); R.valid())
+                Blk.IndirectSuccs.push_back(R);
+        break;
+      }
+      default:
+        if (!Last.I.isTerminator()) {
+          // Plain fallthrough into the lexically next block.
+          ir::BlockRef FR = BlockFor(NextAddr);
+          if (FR.valid())
+            Blk.FallSucc = FR;
+        }
+        break;
+      }
+    }
+
+    // FuncImm symbolization: immediates equal to function entries.
+    for (ir::BasicBlock &Blk : Fn.Blocks) {
+      for (ir::Inst &In : Blk.Insts) {
+        if (In.I.Op != Opcode::MOV && In.I.Op != Opcode::PUSH &&
+            In.I.Op != Opcode::LEA)
+          continue;
+        auto TrySym = [&](int64_t V, bool FromLea) -> bool {
+          auto It = FuncIdx.find(static_cast<uint64_t>(V));
+          if (It == FuncIdx.end())
+            return false;
+          (void)FromLea;
+          In.FuncImm = It->second;
+          return true;
+        };
+        if (In.I.Op == Opcode::PUSH && In.I.A.isImm())
+          TrySym(In.I.A.Imm, false);
+        else if (In.I.Op == Opcode::MOV && In.I.B.isImm())
+          TrySym(In.I.B.Imm, false);
+        else if (In.I.Op == Opcode::LEA && In.I.B.isMem() &&
+                 In.I.B.M.Base == NoReg && In.I.B.M.Index == NoReg)
+          TrySym(In.I.B.M.Disp, true);
+      }
+    }
+
+    // Jump-table entries become code-pointer slots.
+    for (const JumpTable &T : F.Tables) {
+      for (unsigned Idx = 0; Idx != T.Targets.size(); ++Idx) {
+        ir::BlockRef R = BlockFor(T.Targets[Idx]);
+        if (!R.valid())
+          continue;
+        ir::CodePointerSlot Slot;
+        Slot.SlotAddr = T.TableAddr + Idx * 8;
+        Slot.Block = R;
+        M.CodeSlots.push_back(Slot);
+      }
+    }
+  }
+
+  // Data words holding function entry addresses become function slots
+  // (unless already claimed as a jump-table entry).
+  if (Opts.ScanDataForCode) {
+    std::set<uint64_t> Taken;
+    for (const ir::CodePointerSlot &S : M.CodeSlots)
+      Taken.insert(S.SlotAddr);
+    for (const obj::Section &S : Obj.Sections) {
+      if (S.Kind == obj::SectionKind::Bss ||
+          S.Kind == obj::SectionKind::Code)
+        continue;
+      for (uint64_t Off = 0; Off + 8 <= S.Bytes.size(); Off += 8) {
+        uint64_t SlotAddr = S.Addr + Off;
+        if (Taken.count(SlotAddr))
+          continue;
+        uint64_t V = 0;
+        for (unsigned I = 0; I != 8; ++I)
+          V |= static_cast<uint64_t>(S.Bytes[Off + I]) << (I * 8);
+        auto It = FuncIdx.find(V);
+        if (It == FuncIdx.end())
+          continue;
+        ir::CodePointerSlot Slot;
+        Slot.SlotAddr = SlotAddr;
+        Slot.Func = It->second;
+        M.CodeSlots.push_back(Slot);
+      }
+    }
+  }
+
+  auto EIt = FuncIdx.find(Obj.Entry);
+  if (EIt == FuncIdx.end())
+    return makeError("entry point %s was not lifted",
+                     toHex(Obj.Entry).c_str());
+  M.EntryFunc = EIt->second;
+  return M;
+}
+
+Expected<ir::Module> Disassembler::run() {
+  Text = Obj.findSection(".text");
+  if (!Text || Text->Bytes.empty())
+    return makeError("binary has no .text section");
+
+  // Fixpoint over the worklist: exploring can discover new call targets.
+  auto Drain = [&](bool Speculative) -> Error {
+    while (!Worklist.empty()) {
+      uint64_t Entry = Worklist.back();
+      Worklist.pop_back();
+      if (Error E = exploreFunction(Entry, Speculative))
+        return E;
+    }
+    return Error::success();
+  };
+
+  // Code reachable from the program entry must decode; heuristic seeds
+  // (symbols, data-scan candidates, gap sweeps) are explored permissively
+  // and dropped when they turn out not to be code.
+  addFunction(Obj.Entry);
+  if (Error E = Drain(/*Speculative=*/false))
+    return E;
+
+  if (Opts.UseSymbols) {
+    for (const obj::Symbol &S : Obj.Symbols)
+      if (S.Kind == obj::SymbolKind::Function)
+        addFunction(S.Addr);
+    if (Error E = Drain(/*Speculative=*/true))
+      return E;
+  }
+  if (Opts.ScanDataForCode) {
+    scanDataForCode();
+    if (Error E = Drain(/*Speculative=*/true))
+      return E;
+  }
+
+  if (Opts.SweepGaps) {
+    sweepGaps();
+    // Gap code may be data or padding; tolerate failures.
+    if (Error E = Drain(/*Speculative=*/true))
+      return E;
+  }
+
+  return buildModule();
+}
+
+Expected<ir::Module> disasm::disassemble(const obj::ObjectFile &Obj,
+                                         const Options &Opts) {
+  Disassembler D(Obj, Opts);
+  return D.run();
+}

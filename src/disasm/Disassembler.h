@@ -1,0 +1,55 @@
+//===- disasm/Disassembler.h - Reassembleable disassembly ---------*- C++ -*-===//
+///
+/// \file
+/// Lifts a (possibly stripped) TBF binary into the rewritable IR — our
+/// analogue of Datalog Disassembly producing GTIRB. The pipeline:
+///
+///   1. Code discovery: recursive traversal from the entry point, CALL
+///      targets, optional function symbols, and data-section scanning for
+///      address-taken functions (so unreferenced functions are still
+///      lifted), plus a gap sweep for unreachable code.
+///   2. Function/CFG recovery: intraprocedural edges split code into
+///      basic blocks; CALL terminates a block with a fallthrough
+///      continuation.
+///   3. Jump-table recovery: a JMPI fed by an 8-byte indexed load from a
+///      read-only table yields the table's entries as indirect successors.
+///   4. Symbolization: branch/call targets become block/function refs;
+///      immediates equal to function entries become FuncImm refs; data
+///      words holding code addresses become CodePointerSlots.
+///
+/// Like every static disassembler this is heuristic where the binary
+/// withholds information (Section 8 of the paper); options control how
+/// aggressive the heuristics are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_DISASM_DISASSEMBLER_H
+#define TEAPOT_DISASM_DISASSEMBLER_H
+
+#include "ir/IR.h"
+#include "obj/ObjectFile.h"
+#include "support/Error.h"
+
+namespace teapot {
+namespace disasm {
+
+struct Options {
+  /// Use Function symbols as discovery seeds when present.
+  bool UseSymbols = true;
+  /// Scan data sections for code pointers (address-taken functions).
+  bool ScanDataForCode = true;
+  /// Sweep unclaimed text gaps for unreachable functions.
+  bool SweepGaps = true;
+  /// Maximum entries considered per jump table.
+  unsigned MaxJumpTableEntries = 64;
+};
+
+/// Disassembles \p Obj into a Module. Fails on undecodable reachable
+/// code or if the binary was already instrumented (contains INTR).
+Expected<ir::Module> disassemble(const obj::ObjectFile &Obj,
+                                 const Options &Opts = Options());
+
+} // namespace disasm
+} // namespace teapot
+
+#endif // TEAPOT_DISASM_DISASSEMBLER_H

@@ -1,0 +1,90 @@
+//===- fuzz/Fuzzer.h - Coverage-guided mutational fuzzer ----------*- C++ -*-===//
+///
+/// \file
+/// The dynamic-fuzzing half of the Teapot workflow (Figure 3) — a
+/// honggfuzz-style coverage-guided mutational fuzzer. Instrumented
+/// binaries expose SanitizerCoverage-style guard maps for *two* coverage
+/// modes (normal execution and speculation simulation, Section 6.3); the
+/// fuzzer treats a new bucketized count in either map as progress.
+///
+/// Everything is deterministic under a seed, and campaigns are budgeted
+/// in executions rather than wall time so experiments reproduce exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_FUZZ_FUZZER_H
+#define TEAPOT_FUZZ_FUZZER_H
+
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace fuzz {
+
+/// What the fuzzer drives. One target wraps one instrumented binary in a
+/// VM with its runtime attached (see workloads/Harness.h).
+class FuzzTarget {
+public:
+  virtual ~FuzzTarget() = default;
+
+  /// Runs the program on \p Input from a clean state.
+  virtual void execute(const std::vector<uint8_t> &Input) = 0;
+
+  /// Guard hit-count maps, valid after execute(). Either may be empty.
+  virtual const std::vector<uint8_t> &normalCoverage() const = 0;
+  virtual const std::vector<uint8_t> &specCoverage() const = 0;
+
+  /// Unique gadgets discovered so far (for progress reporting).
+  virtual size_t uniqueGadgets() const { return 0; }
+};
+
+struct FuzzerOptions {
+  uint64_t Seed = 1;
+  uint64_t MaxIterations = 20000;
+  size_t MaxInputLen = 4096;
+  /// Mutations applied per picked parent (havoc stacking).
+  unsigned MaxStackedMutations = 8;
+};
+
+struct FuzzerStats {
+  uint64_t Executions = 0;
+  uint64_t CorpusAdds = 0;
+  size_t NormalEdges = 0; // bucketized-new normal guards seen
+  size_t SpecEdges = 0;
+};
+
+/// AFL-style count bucketing: 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+.
+uint8_t bucketize(uint8_t Count);
+
+class Fuzzer {
+public:
+  Fuzzer(FuzzTarget &Target, FuzzerOptions Opts);
+
+  /// Adds an initial seed input.
+  void addSeed(std::vector<uint8_t> Seed);
+
+  /// Runs the campaign for Opts.MaxIterations executions.
+  FuzzerStats run();
+
+  const std::vector<std::vector<uint8_t>> &corpus() const { return Corpus; }
+
+private:
+  bool mergeCoverage(); // true if either map shows new buckets
+  std::vector<uint8_t> mutate(const std::vector<uint8_t> &Parent);
+
+  FuzzTarget &Target;
+  FuzzerOptions Opts;
+  RNG Rand;
+  std::vector<std::vector<uint8_t>> Corpus;
+  std::vector<uint8_t> GlobalNormal; // bucketized high-water marks
+  std::vector<uint8_t> GlobalSpec;
+  FuzzerStats Stats;
+};
+
+} // namespace fuzz
+} // namespace teapot
+
+#endif // TEAPOT_FUZZ_FUZZER_H

@@ -1,0 +1,41 @@
+//===- ir/IR.cpp - IR printing --------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/StringUtils.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+
+std::string Module::print() const {
+  std::string S;
+  for (uint32_t F = 0; F != Funcs.size(); ++F) {
+    const Function &Fn = Funcs[F];
+    S += formatString("func %u %s%s (orig %s)\n", F, Fn.Name.c_str(),
+                      Fn.IsShadow ? " [shadow]" : "",
+                      toHex(Fn.OrigAddr).c_str());
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      const BasicBlock &Blk = Fn.Blocks[B];
+      S += formatString(".bb%u:", B);
+      if (Blk.TakenSucc)
+        S += formatString("  ; taken -> f%u.bb%u", Blk.TakenSucc->Func,
+                          Blk.TakenSucc->Block);
+      if (Blk.FallSucc)
+        S += formatString("  ; fall -> f%u.bb%u", Blk.FallSucc->Func,
+                          Blk.FallSucc->Block);
+      S += "\n";
+      for (const Inst &In : Blk.Insts) {
+        S += "    " + isa::printInst(In.I);
+        if (In.Target)
+          S += formatString("  ; -> f%u.bb%u", In.Target->Func,
+                            In.Target->Block);
+        if (In.Callee != NoIdx)
+          S += formatString("  ; calls f%u", In.Callee);
+        if (In.FuncImm != NoIdx)
+          S += formatString("  ; &f%u", In.FuncImm);
+        S += "\n";
+      }
+    }
+  }
+  return S;
+}

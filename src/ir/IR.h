@@ -1,0 +1,202 @@
+//===- ir/IR.h - GTIRB-like binary IR -----------------------------*- C++ -*-===//
+///
+/// \file
+/// The intermediate representation rewriting passes operate on — our
+/// analogue of GTIRB. A disassembled binary becomes a Module of Functions
+/// of BasicBlocks of Insts, where control-flow operands carry *symbolic*
+/// references (block / function indices) instead of raw addresses, so
+/// passes may insert instructions freely and the Layout engine re-derives
+/// every offset when it reassembles the final bytes.
+///
+/// Only code moves during rewriting. Data sections keep their addresses,
+/// with one exception: 8-byte data slots holding *code* pointers (jump
+/// tables, function-pointer tables) are tracked as CodePointerSlots and
+/// patched by Layout to the rewritten addresses.
+///
+/// Block/function indices are append-only stable: passes never delete or
+/// reorder, so a BlockRef taken before a pass remains valid after it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_IR_IR_H
+#define TEAPOT_IR_IR_H
+
+#include "isa/Instruction.h"
+#include "obj/ObjectFile.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace ir {
+
+inline constexpr uint32_t NoIdx = ~0u;
+
+/// Identifies a basic block within a Module.
+struct BlockRef {
+  uint32_t Func = NoIdx;
+  uint32_t Block = NoIdx;
+
+  bool valid() const { return Func != NoIdx; }
+  bool operator==(const BlockRef &O) const = default;
+};
+
+/// One instruction plus the symbolic references that replace any
+/// code-address operands.
+struct Inst {
+  isa::Instruction I;
+  /// JMP/JCC: branch target (overrides I.A's immediate at layout time).
+  std::optional<BlockRef> Target;
+  /// CALL: callee function index (entry block implied).
+  uint32_t Callee = NoIdx;
+  /// MOV/PUSH/LEA whose immediate/displacement is a code pointer to a
+  /// function entry: Layout substitutes the function's rewritten address.
+  uint32_t FuncImm = NoIdx;
+  /// Original address in the input binary (0 for pass-inserted code).
+  uint64_t OrigAddr = 0;
+
+  Inst() = default;
+  Inst(isa::Instruction I) : I(std::move(I)) {}
+};
+
+/// A straight-line run of instructions ending in at most one terminator.
+/// CALL terminates a block (its fallthrough successor is the return
+/// continuation), which gives the Speculation Shadows transform a clean
+/// "point after the call" to target from marker-site guards.
+struct BasicBlock {
+  uint64_t OrigAddr = 0;
+  std::vector<Inst> Insts;
+  /// Taken successor of a JCC, or the sole successor of a JMP.
+  std::optional<BlockRef> TakenSucc;
+  /// Fallthrough successor (JCC not-taken, CALL continuation, or plain
+  /// fallthrough into the next block).
+  std::optional<BlockRef> FallSucc;
+  /// Resolved targets of a terminating JMPI (from jump-table recovery);
+  /// empty if unknown.
+  std::vector<BlockRef> IndirectSuccs;
+
+  /// Returns the terminator, or null if the block falls through.
+  const Inst *terminator() const {
+    if (Insts.empty())
+      return nullptr;
+    const Inst &Last = Insts.back();
+    if (Last.I.isTerminator() || Last.I.info().IsCall)
+      return &Last;
+    return nullptr;
+  }
+};
+
+struct Function {
+  std::string Name; // synthesized "fn_<hexaddr>" when stripped
+  uint64_t OrigAddr = 0;
+  std::vector<BasicBlock> Blocks; // Blocks[0] is the entry block
+  /// Set by the Speculation Shadows transform.
+  bool IsShadow = false;
+  uint32_t ShadowOf = NoIdx; // shadow copy -> its real function
+  uint32_t ShadowIdx = NoIdx; // real function -> its shadow copy
+};
+
+/// An 8-byte slot in a data section that holds a code pointer and must be
+/// re-pointed after rewriting (jump-table entries, function-pointer
+/// tables).
+struct CodePointerSlot {
+  uint64_t SlotAddr = 0;
+  /// Either a block (jump tables) or a function entry.
+  BlockRef Block;       // valid() when the target is a block
+  uint32_t Func = NoIdx; // != NoIdx when the target is a function entry
+};
+
+/// A per-basic-block taint transfer program for the Real Copy's
+/// asynchronous DIFT update (Section 6.2.2): a compact list of micro-ops
+/// the runtime evaluates once per block instead of once per instruction.
+///
+/// The program is in single-assignment form over immutable inputs: mask
+/// bits 0..15 denote the *block-entry* register tags (latched when the
+/// program starts) and bits 16..31 denote temporaries, each written by
+/// exactly one LoadTmp. Memory tag reads/writes execute in program
+/// order; register/flag tags are assigned only by the trailing
+/// RegSetMask/FlagsMask ops, which therefore form a parallel assignment.
+/// This is the compiled form of the paper's "list of IR expressions that
+/// compute the tag changes for each block".
+struct TagMicroOp {
+  enum Kind : uint8_t {
+    LoadTmp,    // Tmp[Dst] = tag of memory at Mem (Size bytes)
+    StoreMask,  // memory tag at Mem (Size bytes) = union(Mask)
+    RegSetMask, // regTag[Dst] = union(Mask)   (block-end flush)
+    FlagsMask,  // flagsTag = union(Mask)      (block-end flush)
+  };
+  Kind K = LoadTmp;
+  uint8_t Dst = 0;  // temp index (LoadTmp) or register (RegSetMask)
+  uint8_t Size = 8; // memory ops only
+  /// Bits 0..15: entry register tags; bits 16..31: temporaries.
+  uint32_t Mask = 0;
+  isa::MemRef Mem;
+};
+
+/// Number of LoadTmp temporaries available to one block program.
+inline constexpr unsigned NumTagTemps = 16;
+
+using TagProgram = std::vector<TagMicroOp>;
+
+class Module {
+public:
+  /// The binary this module was lifted from. Its non-code sections are
+  /// carried through to the rewritten output.
+  obj::ObjectFile Source;
+  std::vector<Function> Funcs;
+  std::vector<CodePointerSlot> CodeSlots;
+  uint32_t EntryFunc = NoIdx;
+  /// Tag programs referenced by INTR TagBlock payloads.
+  std::vector<TagProgram> TagPrograms;
+
+  Function &func(uint32_t Idx) {
+    assert(Idx < Funcs.size() && "function index out of range");
+    return Funcs[Idx];
+  }
+  const Function &func(uint32_t Idx) const {
+    assert(Idx < Funcs.size() && "function index out of range");
+    return Funcs[Idx];
+  }
+  BasicBlock &block(BlockRef R) {
+    assert(R.valid() && "invalid block ref");
+    return Funcs[R.Func].Blocks[R.Block];
+  }
+  const BasicBlock &block(BlockRef R) const {
+    assert(R.valid() && "invalid block ref");
+    return Funcs[R.Func].Blocks[R.Block];
+  }
+
+  /// Appends a new empty block to \p FuncIdx and returns its ref.
+  BlockRef addBlock(uint32_t FuncIdx) {
+    Funcs[FuncIdx].Blocks.emplace_back();
+    return {FuncIdx, static_cast<uint32_t>(Funcs[FuncIdx].Blocks.size() - 1)};
+  }
+
+  /// Returns the function whose original entry address is \p Addr, or
+  /// NoIdx.
+  uint32_t funcByOrigAddr(uint64_t Addr) const {
+    for (uint32_t I = 0; I != Funcs.size(); ++I)
+      if (Funcs[I].OrigAddr == Addr)
+        return I;
+    return NoIdx;
+  }
+
+  /// Total instruction count (for statistics and tests).
+  size_t instCount() const {
+    size_t N = 0;
+    for (const Function &F : Funcs)
+      for (const BasicBlock &B : F.Blocks)
+        N += B.Insts.size();
+    return N;
+  }
+
+  /// Renders the module as annotated assembly-like text for debugging.
+  std::string print() const;
+};
+
+} // namespace ir
+} // namespace teapot
+
+#endif // TEAPOT_IR_IR_H

@@ -1,0 +1,180 @@
+//===- ir/Layout.cpp ------------------------------------------------------===//
+
+#include "ir/Layout.h"
+
+#include "isa/Encoding.h"
+#include "obj/Layout.h"
+#include "support/StringUtils.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::isa;
+
+namespace {
+
+/// Per-block layout plan: whether an explicit JMP must be appended
+/// because the fallthrough successor is not laid out adjacently.
+struct BlockPlan {
+  bool NeedsJump = false;
+  uint64_t Addr = 0;
+};
+
+constexpr unsigned JmpLength = 3 + 8; // opcode header + 8-byte immediate
+
+bool fallsThrough(const BasicBlock &B) {
+  if (!B.FallSucc)
+    return false;
+  const Inst *T = B.terminator();
+  if (!T)
+    return true; // plain fallthrough block
+  const isa::OpcodeInfo &Info = T->I.info();
+  // JCC falls through when not taken; CALL continues after returning.
+  return Info.IsCondBranch || Info.IsCall;
+}
+
+} // namespace
+
+Expected<LayoutResult> ir::layOut(const Module &M, obj::ObjectFile &Out) {
+  LayoutResult R;
+  R.TextStart = obj::TextBase;
+  R.BlockAddr.resize(M.Funcs.size());
+  R.FuncStart.resize(M.Funcs.size());
+  R.FuncEnd.resize(M.Funcs.size());
+
+  std::vector<std::vector<BlockPlan>> Plans(M.Funcs.size());
+
+  // Pass 1: assign addresses. Lengths never depend on operand values, so
+  // a single forward sweep suffices.
+  uint64_t Addr = R.TextStart;
+  R.ShadowStart = 0;
+  for (uint32_t F = 0; F != M.Funcs.size(); ++F) {
+    const Function &Fn = M.Funcs[F];
+    if (Fn.IsShadow && R.ShadowStart == 0)
+      R.ShadowStart = Addr;
+    R.FuncStart[F] = Addr;
+    Plans[F].resize(Fn.Blocks.size());
+    R.BlockAddr[F].resize(Fn.Blocks.size());
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      const BasicBlock &Blk = Fn.Blocks[B];
+      Plans[F][B].Addr = Addr;
+      R.BlockAddr[F][B] = Addr;
+      for (const Inst &In : Blk.Insts)
+        Addr += encodedLength(In.I);
+      if (fallsThrough(Blk)) {
+        BlockRef Next{F, B + 1};
+        if (*Blk.FallSucc != Next || B + 1 == Fn.Blocks.size()) {
+          Plans[F][B].NeedsJump = true;
+          Addr += JmpLength;
+        }
+      }
+    }
+    R.FuncEnd[F] = Addr;
+  }
+  R.TextEnd = Addr;
+  if (R.ShadowStart == 0)
+    R.ShadowStart = R.TextEnd;
+  if (R.TextEnd >= obj::RodataBase)
+    return makeError("rewritten text overflows its region: end %s",
+                     toHex(R.TextEnd).c_str());
+
+  // Pass 2: emit bytes with resolved operands.
+  std::vector<uint8_t> Text;
+  Text.reserve(R.TextEnd - R.TextStart);
+  for (uint32_t F = 0; F != M.Funcs.size(); ++F) {
+    const Function &Fn = M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      const BasicBlock &Blk = Fn.Blocks[B];
+      for (const Inst &In : Blk.Insts) {
+        isa::Instruction Enc = In.I;
+        uint64_t InstEnd =
+            R.TextStart + Text.size() + encodedLength(In.I);
+        if (In.Target) {
+          if (!In.Target->valid() ||
+              In.Target->Func >= M.Funcs.size() ||
+              In.Target->Block >= R.BlockAddr[In.Target->Func].size())
+            return makeError("dangling branch target in function '%s'",
+                             Fn.Name.c_str());
+          Enc.A = Operand::imm(static_cast<int64_t>(
+              R.blockAddr(*In.Target) - InstEnd));
+        } else if (In.Callee != NoIdx) {
+          if (In.Callee >= M.Funcs.size())
+            return makeError("dangling call target in function '%s'",
+                             Fn.Name.c_str());
+          Enc.A = Operand::imm(
+              static_cast<int64_t>(R.FuncStart[In.Callee] - InstEnd));
+        } else if (In.FuncImm != NoIdx) {
+          if (In.FuncImm >= M.Funcs.size())
+            return makeError("dangling function-pointer immediate in '%s'",
+                             Fn.Name.c_str());
+          int64_t V = static_cast<int64_t>(R.FuncStart[In.FuncImm]);
+          if (Enc.Op == Opcode::PUSH)
+            Enc.A = Operand::imm(V);
+          else if (Enc.Op == Opcode::LEA)
+            Enc.B = Operand::mem(isa::MemRef{NoReg, NoReg, 1, V});
+          else
+            Enc.B = Operand::imm(V);
+        }
+        encode(Enc, Text);
+      }
+      if (Plans[F][B].NeedsJump) {
+        uint64_t InstEnd = R.TextStart + Text.size() + JmpLength;
+        isa::Instruction J = isa::Instruction::jmp(0);
+        J.A = Operand::imm(
+            static_cast<int64_t>(R.blockAddr(*Blk.FallSucc) - InstEnd));
+        encode(J, Text);
+      }
+    }
+  }
+  assert(R.TextStart + Text.size() == R.TextEnd &&
+         "pass 1 / pass 2 length mismatch");
+
+  // Assemble the output object: new text + carried-over data sections.
+  Out = obj::ObjectFile();
+  obj::Section TextSec;
+  TextSec.Name = ".text";
+  TextSec.Kind = obj::SectionKind::Code;
+  TextSec.Addr = R.TextStart;
+  TextSec.Bytes = std::move(Text);
+  Out.Sections.push_back(std::move(TextSec));
+  for (const obj::Section &S : M.Source.Sections)
+    if (S.Kind != obj::SectionKind::Code)
+      Out.Sections.push_back(S);
+  Out.Metadata = M.Source.Metadata;
+
+  // Patch code-pointer slots in the carried-over data sections.
+  for (const CodePointerSlot &Slot : M.CodeSlots) {
+    uint64_t Target;
+    if (Slot.Block.valid())
+      Target = R.blockAddr(Slot.Block);
+    else if (Slot.Func != NoIdx)
+      Target = R.FuncStart[Slot.Func];
+    else
+      return makeError("code-pointer slot at %s has no target",
+                       toHex(Slot.SlotAddr).c_str());
+    obj::Section *Sec = nullptr;
+    for (obj::Section &S : Out.Sections)
+      if (S.Kind != obj::SectionKind::Bss && S.contains(Slot.SlotAddr))
+        Sec = &S;
+    if (!Sec || Slot.SlotAddr + 8 > Sec->Addr + Sec->Bytes.size())
+      return makeError("code-pointer slot at %s is outside data sections",
+                       toHex(Slot.SlotAddr).c_str());
+    uint64_t Off = Slot.SlotAddr - Sec->Addr;
+    for (unsigned I = 0; I != 8; ++I)
+      Sec->Bytes[Off + I] = static_cast<uint8_t>(Target >> (I * 8));
+  }
+
+  // Function symbols (useful for debugging; strip() removes them).
+  for (uint32_t F = 0; F != M.Funcs.size(); ++F) {
+    obj::Symbol Sym;
+    Sym.Name = M.Funcs[F].Name;
+    Sym.Kind = obj::SymbolKind::Function;
+    Sym.Addr = R.FuncStart[F];
+    Sym.Size = R.FuncEnd[F] - R.FuncStart[F];
+    Out.Symbols.push_back(std::move(Sym));
+  }
+
+  if (M.EntryFunc == NoIdx || M.EntryFunc >= M.Funcs.size())
+    return makeError("module has no entry function");
+  Out.Entry = R.FuncStart[M.EntryFunc];
+  return R;
+}

@@ -1,0 +1,50 @@
+//===- ir/Layout.h - IR-to-binary reassembly ----------------------*- C++ -*-===//
+///
+/// \file
+/// The reassembly half of "reassembleable disassembly": assigns final
+/// addresses to every block of every function, encodes the instructions
+/// with branch offsets recomputed from symbolic references, patches
+/// code-pointer slots in the data sections, and produces a runnable TBF
+/// object.
+///
+/// Functions are emitted in order; the Speculation Shadows transform
+/// arranges for all Real-Copy functions to precede all Shadow-Copy
+/// functions, so the result is two contiguous text ranges whose bounds
+/// the returned LayoutResult reports (the runtime uses them for the
+/// in-shadow / in-real classification of code pointers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_IR_LAYOUT_H
+#define TEAPOT_IR_LAYOUT_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace teapot {
+namespace ir {
+
+struct LayoutResult {
+  /// BlockAddr[F][B] = final address of block B of function F.
+  std::vector<std::vector<uint64_t>> BlockAddr;
+  /// FuncStart/FuncEnd[F] = final [start, end) of function F.
+  std::vector<uint64_t> FuncStart;
+  std::vector<uint64_t> FuncEnd;
+  uint64_t TextStart = 0;
+  uint64_t TextEnd = 0;
+  /// Bounds of the Real/Shadow halves; equal halves when no shadow
+  /// functions exist (ShadowStart == TextEnd).
+  uint64_t ShadowStart = 0;
+
+  uint64_t blockAddr(BlockRef R) const { return BlockAddr[R.Func][R.Block]; }
+};
+
+/// Lays out \p M and writes the resulting object to \p Out. The returned
+/// LayoutResult lets callers (the Teapot rewriter) resolve block refs to
+/// final addresses for their metadata side tables.
+Expected<LayoutResult> layOut(const Module &M, obj::ObjectFile &Out);
+
+} // namespace ir
+} // namespace teapot
+
+#endif // TEAPOT_IR_LAYOUT_H

@@ -1,0 +1,95 @@
+//===- isa/CondCode.cpp ---------------------------------------------------===//
+
+#include "isa/CondCode.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::isa;
+
+bool isa::evalCond(CondCode CC, uint8_t F) {
+  bool Z = F & FlagZ, S = F & FlagS, C = F & FlagC, O = F & FlagO;
+  switch (CC) {
+  case CondCode::EQ:
+    return Z;
+  case CondCode::NE:
+    return !Z;
+  case CondCode::LT:
+    return S != O;
+  case CondCode::LE:
+    return Z || S != O;
+  case CondCode::GT:
+    return !Z && S == O;
+  case CondCode::GE:
+    return S == O;
+  case CondCode::B:
+    return C;
+  case CondCode::BE:
+    return C || Z;
+  case CondCode::A:
+    return !C && !Z;
+  case CondCode::AE:
+    return !C;
+  case CondCode::S:
+    return S;
+  case CondCode::NS:
+    return !S;
+  case CondCode::NumCondCodes:
+    break;
+  }
+  assert(false && "invalid condition code");
+  return false;
+}
+
+CondCode isa::negateCond(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+    return CondCode::NE;
+  case CondCode::NE:
+    return CondCode::EQ;
+  case CondCode::LT:
+    return CondCode::GE;
+  case CondCode::LE:
+    return CondCode::GT;
+  case CondCode::GT:
+    return CondCode::LE;
+  case CondCode::GE:
+    return CondCode::LT;
+  case CondCode::B:
+    return CondCode::AE;
+  case CondCode::BE:
+    return CondCode::A;
+  case CondCode::A:
+    return CondCode::BE;
+  case CondCode::AE:
+    return CondCode::B;
+  case CondCode::S:
+    return CondCode::NS;
+  case CondCode::NS:
+    return CondCode::S;
+  case CondCode::NumCondCodes:
+    break;
+  }
+  assert(false && "invalid condition code");
+  return CondCode::EQ;
+}
+
+static const char *const CondNames[] = {"eq", "ne", "lt", "le", "gt", "ge",
+                                        "b",  "be", "a",  "ae", "s",  "ns"};
+
+const char *isa::condName(CondCode CC) {
+  assert(CC < CondCode::NumCondCodes && "invalid condition code");
+  return CondNames[static_cast<uint8_t>(CC)];
+}
+
+bool isa::parseCondName(const char *Name, unsigned Len, CondCode &Out) {
+  for (unsigned I = 0;
+       I != static_cast<unsigned>(CondCode::NumCondCodes); ++I) {
+    if (strlen(CondNames[I]) == Len && memcmp(CondNames[I], Name, Len) == 0) {
+      Out = static_cast<CondCode>(I);
+      return true;
+    }
+  }
+  return false;
+}

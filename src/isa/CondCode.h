@@ -1,0 +1,58 @@
+//===- isa/CondCode.h - Condition codes ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Condition codes evaluated against the FLAGS register (ZF/SF/CF/OF).
+/// The trampoline transform in Speculation Shadows relies on negate():
+/// the first trampoline jump keeps the original condition but targets the
+/// *opposite* destination in the Shadow Copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_ISA_CONDCODE_H
+#define TEAPOT_ISA_CONDCODE_H
+
+#include <cstdint>
+
+namespace teapot {
+namespace isa {
+
+/// FLAGS register bits.
+enum FlagBits : uint8_t {
+  FlagZ = 1 << 0, // zero
+  FlagS = 1 << 1, // sign
+  FlagC = 1 << 2, // carry (unsigned borrow)
+  FlagO = 1 << 3, // overflow
+};
+
+enum class CondCode : uint8_t {
+  EQ, // ZF
+  NE, // !ZF
+  LT, // signed: SF != OF
+  LE, // signed: ZF || SF != OF
+  GT, // signed: !ZF && SF == OF
+  GE, // signed: SF == OF
+  B,  // unsigned below: CF
+  BE, // unsigned below-or-equal: CF || ZF
+  A,  // unsigned above: !CF && !ZF
+  AE, // unsigned above-or-equal: !CF
+  S,  // negative: SF
+  NS, // non-negative: !SF
+  NumCondCodes,
+};
+
+/// Evaluates \p CC against \p Flags.
+bool evalCond(CondCode CC, uint8_t Flags);
+
+/// Returns the logical negation (EQ <-> NE, LT <-> GE, ...).
+CondCode negateCond(CondCode CC);
+
+/// Returns the assembler suffix ("eq", "ne", "lt", ...).
+const char *condName(CondCode CC);
+
+/// Parses a condition suffix; returns false if unknown.
+bool parseCondName(const char *Name, unsigned Len, CondCode &Out);
+
+} // namespace isa
+} // namespace teapot
+
+#endif // TEAPOT_ISA_CONDCODE_H

@@ -1,0 +1,207 @@
+//===- isa/Encoding.cpp ---------------------------------------------------===//
+
+#include "isa/Encoding.h"
+
+using namespace teapot;
+using namespace teapot::isa;
+
+static unsigned operandLength(const Operand &O) {
+  switch (O.Kind) {
+  case OperandKind::None:
+    return 0;
+  case OperandKind::Reg:
+    return 1;
+  case OperandKind::Imm:
+    return 8;
+  case OperandKind::Mem:
+    return 3 + 8;
+  }
+  return 0;
+}
+
+static void emitLE64(uint64_t V, std::vector<uint8_t> &Out) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+}
+
+static void emitOperand(const Operand &O, std::vector<uint8_t> &Out) {
+  switch (O.Kind) {
+  case OperandKind::None:
+    break;
+  case OperandKind::Reg:
+    Out.push_back(O.R);
+    break;
+  case OperandKind::Imm:
+    emitLE64(static_cast<uint64_t>(O.Imm), Out);
+    break;
+  case OperandKind::Mem:
+    Out.push_back(O.M.Base);
+    Out.push_back(O.M.Index);
+    Out.push_back(O.M.Scale);
+    emitLE64(static_cast<uint64_t>(O.M.Disp), Out);
+    break;
+  }
+}
+
+static uint8_t sizeLog2(uint8_t Size) {
+  switch (Size) {
+  case 1:
+    return 0;
+  case 2:
+    return 1;
+  case 4:
+    return 2;
+  case 8:
+    return 3;
+  }
+  assert(false && "invalid access size");
+  return 3;
+}
+
+unsigned isa::encodedLength(const Instruction &I) {
+  unsigned Len = 3 + operandLength(I.A) + operandLength(I.B);
+  if (I.Op == Opcode::INTR)
+    Len += 8;
+  return Len;
+}
+
+unsigned isa::encode(const Instruction &I, std::vector<uint8_t> &Out) {
+  size_t Start = Out.size();
+  Out.push_back(static_cast<uint8_t>(I.Op));
+  if (I.Op == Opcode::INTR)
+    Out.push_back(static_cast<uint8_t>(I.Intr));
+  else
+    Out.push_back(static_cast<uint8_t>(sizeLog2(I.Size) |
+                                       (static_cast<uint8_t>(I.CC) << 2)));
+  Out.push_back(static_cast<uint8_t>(static_cast<uint8_t>(I.A.Kind) |
+                                     (static_cast<uint8_t>(I.B.Kind) << 2)));
+  emitOperand(I.A, Out);
+  emitOperand(I.B, Out);
+  if (I.Op == Opcode::INTR)
+    emitLE64(static_cast<uint64_t>(I.IntrPayload), Out);
+  unsigned Len = static_cast<unsigned>(Out.size() - Start);
+  assert(Len == encodedLength(I) && "length computation out of sync");
+  return Len;
+}
+
+namespace {
+
+/// Bounds-checked little-endian cursor over the input bytes.
+class Cursor {
+public:
+  Cursor(const uint8_t *Bytes, size_t Size, size_t Offset)
+      : Bytes(Bytes), Size(Size), Pos(Offset) {}
+
+  bool take(uint8_t &Out) {
+    if (Pos >= Size)
+      return false;
+    Out = Bytes[Pos++];
+    return true;
+  }
+
+  bool takeLE64(uint64_t &Out) {
+    if (Pos + 8 > Size)
+      return false;
+    Out = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      Out |= static_cast<uint64_t>(Bytes[Pos + I]) << (I * 8);
+    Pos += 8;
+    return true;
+  }
+
+  size_t position() const { return Pos; }
+
+private:
+  const uint8_t *Bytes;
+  size_t Size;
+  size_t Pos;
+};
+
+} // namespace
+
+static bool decodeOperand(Cursor &C, OperandKind Kind, Operand &Out) {
+  Out = Operand();
+  Out.Kind = Kind;
+  switch (Kind) {
+  case OperandKind::None:
+    return true;
+  case OperandKind::Reg: {
+    uint8_t R;
+    if (!C.take(R) || R >= NumRegs)
+      return false;
+    Out.R = static_cast<Reg>(R);
+    return true;
+  }
+  case OperandKind::Imm: {
+    uint64_t V;
+    if (!C.takeLE64(V))
+      return false;
+    Out.Imm = static_cast<int64_t>(V);
+    return true;
+  }
+  case OperandKind::Mem: {
+    uint8_t Base, Index, Scale;
+    uint64_t Disp;
+    if (!C.take(Base) || !C.take(Index) || !C.take(Scale) ||
+        !C.takeLE64(Disp))
+      return false;
+    if (Base != NoReg && Base >= NumRegs)
+      return false;
+    if (Index != NoReg && Index >= NumRegs)
+      return false;
+    if (Scale != 1 && Scale != 2 && Scale != 4 && Scale != 8)
+      return false;
+    Out.M.Base = static_cast<Reg>(Base);
+    Out.M.Index = static_cast<Reg>(Index);
+    Out.M.Scale = Scale;
+    Out.M.Disp = static_cast<int64_t>(Disp);
+    return true;
+  }
+  }
+  return false;
+}
+
+Expected<Decoded> isa::decode(const uint8_t *Bytes, size_t Size,
+                              size_t Offset) {
+  Cursor C(Bytes, Size, Offset);
+  uint8_t OpByte, MetaByte, KindsByte;
+  if (!C.take(OpByte) || !C.take(MetaByte) || !C.take(KindsByte))
+    return makeError("truncated instruction at offset %zu", Offset);
+  if (OpByte >= static_cast<uint8_t>(Opcode::NumOpcodes))
+    return makeError("unknown opcode byte 0x%02x at offset %zu", OpByte,
+                     Offset);
+
+  Decoded D;
+  D.I.Op = static_cast<Opcode>(OpByte);
+  if (D.I.Op == Opcode::INTR) {
+    if (MetaByte >= static_cast<uint8_t>(IntrinsicID::NumIntrinsics))
+      return makeError("unknown intrinsic id 0x%02x at offset %zu", MetaByte,
+                       Offset);
+    D.I.Intr = static_cast<IntrinsicID>(MetaByte);
+  } else {
+    uint8_t CCBits = MetaByte >> 2;
+    if ((MetaByte & 0x3) > 3 ||
+        CCBits >= static_cast<uint8_t>(CondCode::NumCondCodes))
+      return makeError("malformed meta byte 0x%02x at offset %zu", MetaByte,
+                       Offset);
+    D.I.Size = static_cast<uint8_t>(1u << (MetaByte & 0x3));
+    D.I.CC = static_cast<CondCode>(CCBits);
+  }
+
+  auto KindA = static_cast<OperandKind>(KindsByte & 0x3);
+  auto KindB = static_cast<OperandKind>((KindsByte >> 2) & 0x3);
+  if (KindsByte >> 4)
+    return makeError("malformed operand-kind byte at offset %zu", Offset);
+  if (!decodeOperand(C, KindA, D.I.A) || !decodeOperand(C, KindB, D.I.B))
+    return makeError("malformed operand at offset %zu", Offset);
+
+  if (D.I.Op == Opcode::INTR) {
+    uint64_t Payload;
+    if (!C.takeLE64(Payload))
+      return makeError("truncated intrinsic payload at offset %zu", Offset);
+    D.I.IntrPayload = static_cast<int64_t>(Payload);
+  }
+
+  D.Length = static_cast<unsigned>(C.position() - Offset);
+  return D;
+}

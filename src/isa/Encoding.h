@@ -1,0 +1,53 @@
+//===- isa/Encoding.h - Binary encoding of TISA instructions ------*- C++ -*-===//
+///
+/// \file
+/// Variable-length binary encoding. Layout:
+///
+///   byte 0      opcode
+///   byte 1      meta: size-log2 (bits 0-1) | cond-code << 2
+///               (for INTR this byte holds the intrinsic id instead)
+///   byte 2      operand kinds: A (bits 0-1) | B << 2
+///   operand A   Reg: 1 byte / Imm: 8 bytes LE / Mem: base, index, scale,
+///               disp (8 bytes LE)
+///   operand B   same
+///   payload     INTR only: 8 bytes LE
+///
+/// Instructions are 3..33 bytes, so the stream is genuinely variable
+/// length — a disassembler that starts mid-instruction desynchronizes,
+/// which is exactly the property that makes binary-level code discovery a
+/// real problem (Section 8 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_ISA_ENCODING_H
+#define TEAPOT_ISA_ENCODING_H
+
+#include "isa/Instruction.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace teapot {
+namespace isa {
+
+/// Appends the encoding of \p I to \p Out. Returns the encoded length.
+unsigned encode(const Instruction &I, std::vector<uint8_t> &Out);
+
+/// Returns the encoded length of \p I without materializing bytes.
+unsigned encodedLength(const Instruction &I);
+
+/// Result of decoding one instruction.
+struct Decoded {
+  Instruction I;
+  unsigned Length = 0;
+};
+
+/// Decodes one instruction from Bytes[Offset...]. Fails on truncated or
+/// malformed input (unknown opcode, bad operand kind, bad register).
+Expected<Decoded> decode(const uint8_t *Bytes, size_t Size, size_t Offset);
+
+} // namespace isa
+} // namespace teapot
+
+#endif // TEAPOT_ISA_ENCODING_H

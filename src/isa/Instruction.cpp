@@ -1,0 +1,94 @@
+//===- isa/Instruction.cpp - Textual instruction printer ------------------===//
+
+#include "isa/Instruction.h"
+
+#include "support/StringUtils.h"
+
+using namespace teapot;
+using namespace teapot::isa;
+
+static std::string printMemRef(const MemRef &M) {
+  std::string S = "[";
+  bool First = true;
+  if (M.Base != NoReg) {
+    S += regName(M.Base);
+    First = false;
+  }
+  if (M.Index != NoReg) {
+    if (!First)
+      S += "+";
+    S += regName(M.Index);
+    if (M.Scale != 1)
+      S += formatString("*%u", M.Scale);
+    First = false;
+  }
+  if (M.Disp != 0 || First) {
+    if (!First && M.Disp >= 0)
+      S += "+";
+    S += formatString("%lld", static_cast<long long>(M.Disp));
+  }
+  S += "]";
+  return S;
+}
+
+static std::string printOperand(const Operand &O) {
+  switch (O.Kind) {
+  case OperandKind::None:
+    return "";
+  case OperandKind::Reg:
+    return regName(O.R);
+  case OperandKind::Imm:
+    return formatString("%lld", static_cast<long long>(O.Imm));
+  case OperandKind::Mem:
+    return printMemRef(O.M);
+  }
+  return "";
+}
+
+static const char *const IntrinsicNames[] = {
+    "none",          "start_sim",       "start_sim_nested",
+    "restore_cond",  "restore_uncond",  "asan_check",
+    "memlog",        "tagprop",         "tagblock",
+    "taint_sink",    "taint_branch",    "cov_guard",
+    "cov_spec",      "escape_ret",      "escape_tgt",
+    "marker_check",  "ra_poison",       "ra_unpoison",
+    "specfuzz_guarded"};
+
+static_assert(sizeof(IntrinsicNames) / sizeof(IntrinsicNames[0]) ==
+                  static_cast<size_t>(IntrinsicID::NumIntrinsics),
+              "intrinsic name table out of sync");
+
+const char *isa::intrinsicName(IntrinsicID ID) {
+  assert(ID < IntrinsicID::NumIntrinsics && "invalid intrinsic id");
+  return IntrinsicNames[static_cast<uint8_t>(ID)];
+}
+
+std::string isa::printInst(const Instruction &I) {
+  const OpcodeInfo &Info = I.info();
+  std::string Mnemonic = Info.Name;
+
+  // Size-suffixed memory ops: ld1/ld2/ld4/ld8, same for lds/st.
+  if (I.Op == Opcode::LOAD || I.Op == Opcode::LOADS || I.Op == Opcode::STORE)
+    Mnemonic += formatString("%u", I.Size);
+  // Condition-suffixed ops: j.eq, set.lt, cmov.ne.
+  if (Info.ReadsFlags && I.Op != Opcode::JCC)
+    Mnemonic += std::string(".") + condName(I.CC);
+  if (I.Op == Opcode::JCC)
+    Mnemonic = std::string("j.") + condName(I.CC);
+
+  if (I.Op == Opcode::INTR) {
+    std::string S = formatString("intr %s", intrinsicName(I.Intr));
+    if (!I.A.isNone())
+      S += " " + printOperand(I.A);
+    S += formatString(", %lld", static_cast<long long>(I.IntrPayload));
+    return S;
+  }
+
+  std::string OpA = printOperand(I.A);
+  std::string OpB = printOperand(I.B);
+  if (OpA.empty())
+    return Mnemonic;
+  if (OpB.empty())
+    return Mnemonic + " " + OpA;
+  return Mnemonic + " " + OpA + ", " + OpB;
+}

@@ -1,0 +1,235 @@
+//===- isa/Instruction.h - Decoded instruction model --------------*- C++ -*-===//
+///
+/// \file
+/// The decoded (in-memory) form of a TISA instruction: opcode plus up to
+/// two operands, an access size, a condition code, and — for the INTR
+/// opcode — an intrinsic id with an immediate payload.
+///
+/// Memory operands use x86-style base + index*scale + displacement
+/// addressing. PC-relative branch targets are stored as signed offsets
+/// relative to the *end* of the instruction (as on x86).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_ISA_INSTRUCTION_H
+#define TEAPOT_ISA_INSTRUCTION_H
+
+#include "isa/CondCode.h"
+#include "isa/Opcode.h"
+#include "isa/Registers.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace teapot {
+namespace isa {
+
+/// A base + index*scale + displacement memory reference. Base and Index
+/// may each be NoReg.
+struct MemRef {
+  Reg Base = NoReg;
+  Reg Index = NoReg;
+  uint8_t Scale = 1; // 1, 2, 4, or 8
+  int64_t Disp = 0;
+
+  bool operator==(const MemRef &O) const = default;
+};
+
+enum class OperandKind : uint8_t { None, Reg, Imm, Mem };
+
+/// One instruction operand.
+struct Operand {
+  OperandKind Kind = OperandKind::None;
+  Reg R = NoReg;
+  int64_t Imm = 0;
+  MemRef M;
+
+  static Operand none() { return Operand(); }
+  static Operand reg(Reg R) {
+    Operand O;
+    O.Kind = OperandKind::Reg;
+    O.R = R;
+    return O;
+  }
+  static Operand imm(int64_t V) {
+    Operand O;
+    O.Kind = OperandKind::Imm;
+    O.Imm = V;
+    return O;
+  }
+  static Operand mem(MemRef M) {
+    Operand O;
+    O.Kind = OperandKind::Mem;
+    O.M = M;
+    return O;
+  }
+  static Operand mem(Reg Base, int64_t Disp) {
+    return mem(MemRef{Base, NoReg, 1, Disp});
+  }
+
+  bool isReg() const { return Kind == OperandKind::Reg; }
+  bool isImm() const { return Kind == OperandKind::Imm; }
+  bool isMem() const { return Kind == OperandKind::Mem; }
+  bool isNone() const { return Kind == OperandKind::None; }
+
+  bool operator==(const Operand &O) const = default;
+};
+
+/// Intrinsic identifiers for the INTR opcode. These are the entry points
+/// into the Teapot runtime library; rewriting passes insert them, the VM
+/// dispatches them to a registered IntrinsicHandler.
+enum class IntrinsicID : uint8_t {
+  None = 0,
+  StartSim,        // payload: branch site id. Real Copy, before cond branch.
+  StartSimNested,  // payload: branch site id. Shadow Copy, before cond branch.
+  RestoreCond,     // payload: #insts executed since previous restore point.
+  RestoreUncond,   // payload: reason (RollbackReason).
+  AsanCheck,       // mem operand + payload: access size | (isWrite << 8).
+  MemLog,          // mem operand + payload: access size.
+  TagProp,         // propagate tags for the next non-INTR instruction.
+  TagBlock,        // payload: index into the module's tag-program table.
+  TaintSink,       // mem operand + payload: size | (isWrite<<8). Kasper sinks.
+  TaintBranch,     // Kasper port-contention sink: FLAGS tag before a branch.
+  CovGuard,        // payload: guard id. Normal-execution coverage.
+  CovSpecGuard,    // payload: guard id. Speculative coverage (lazy buffer).
+  EscapeCheckRet,  // Shadow Copy, before RET.
+  EscapeCheckTgt,  // reg operand: Shadow Copy, before CALLI/JMPI.
+  MarkerCheck,     // Real Copy, after a marker NOP: payload = marker id;
+                   // redirects into the Shadow Copy when simulating.
+  RAPoison,        // function entry: poison the return address shadow.
+  RAUnpoison,      // before RET: unpoison the return address shadow.
+  SpecFuzzGuarded, // baseline: payload = packed guarded-op descriptor.
+  NumIntrinsics,
+};
+
+/// Reasons carried by RestoreUncond.
+enum class RollbackReason : uint8_t {
+  InstBudget,      // reorder buffer full (conditional restore fired)
+  ExternalCall,    // call to an uninstrumented external library
+  Serializing,     // FENCE (lfence/cpuid analogue)
+  EscapedControl,  // unresolvable indirect target (control flow integrity)
+  GuestFault,      // signal handler fired during simulation
+  NumReasons,
+};
+
+/// A fully decoded instruction.
+struct Instruction {
+  Opcode Op = Opcode::NOP;
+  Operand A; // dst / first
+  Operand B; // src / second
+  uint8_t Size = 8;               // access size for LOAD/LOADS/STORE
+  CondCode CC = CondCode::EQ;     // for JCC/SET/CMOV
+  IntrinsicID Intr = IntrinsicID::None;
+  int64_t IntrPayload = 0;
+
+  Instruction() = default;
+  explicit Instruction(Opcode Op) : Op(Op) {}
+
+  const OpcodeInfo &info() const { return opcodeInfo(Op); }
+
+  bool isCondBranch() const { return Op == Opcode::JCC; }
+  bool isTerminator() const { return info().IsTerminator; }
+  /// True if this instruction reads or writes program memory through an
+  /// explicit memory operand (PUSH/POP/CALL/RET touch the stack but have
+  /// no memory operand and are handled separately by the passes).
+  bool hasMemOperand() const { return A.isMem() || B.isMem(); }
+  const MemRef &memRef() const {
+    assert(hasMemOperand() && "no memory operand");
+    return A.isMem() ? A.M : B.M;
+  }
+
+  // --- Convenience constructors used throughout the rewriter. ---
+  static Instruction mov(Reg D, Operand S) {
+    Instruction I(Opcode::MOV);
+    I.A = Operand::reg(D);
+    I.B = S;
+    return I;
+  }
+  static Instruction movImm(Reg D, int64_t V) {
+    return mov(D, Operand::imm(V));
+  }
+  static Instruction load(Reg D, MemRef M, uint8_t Size = 8) {
+    Instruction I(Opcode::LOAD);
+    I.A = Operand::reg(D);
+    I.B = Operand::mem(M);
+    I.Size = Size;
+    return I;
+  }
+  static Instruction store(MemRef M, Operand S, uint8_t Size = 8) {
+    Instruction I(Opcode::STORE);
+    I.A = Operand::mem(M);
+    I.B = S;
+    I.Size = Size;
+    return I;
+  }
+  static Instruction alu(Opcode Op, Reg D, Operand S) {
+    Instruction I(Op);
+    I.A = Operand::reg(D);
+    I.B = S;
+    return I;
+  }
+  static Instruction cmp(Reg A, Operand B) {
+    Instruction I(Opcode::CMP);
+    I.A = Operand::reg(A);
+    I.B = B;
+    return I;
+  }
+  static Instruction jmp(int32_t Rel) {
+    Instruction I(Opcode::JMP);
+    I.A = Operand::imm(Rel);
+    return I;
+  }
+  static Instruction jcc(CondCode CC, int32_t Rel) {
+    Instruction I(Opcode::JCC);
+    I.CC = CC;
+    I.A = Operand::imm(Rel);
+    return I;
+  }
+  static Instruction call(int32_t Rel) {
+    Instruction I(Opcode::CALL);
+    I.A = Operand::imm(Rel);
+    return I;
+  }
+  static Instruction ret() { return Instruction(Opcode::RET); }
+  static Instruction nop() { return Instruction(Opcode::NOP); }
+  static Instruction markerNop() { return Instruction(Opcode::MARKERNOP); }
+  static Instruction fence() { return Instruction(Opcode::FENCE); }
+  static Instruction halt() { return Instruction(Opcode::HALT); }
+  static Instruction ext(int64_t Index) {
+    Instruction I(Opcode::EXT);
+    I.A = Operand::imm(Index);
+    return I;
+  }
+  static Instruction intrinsic(IntrinsicID ID, int64_t Payload = 0) {
+    Instruction I(Opcode::INTR);
+    I.Intr = ID;
+    I.IntrPayload = Payload;
+    return I;
+  }
+  static Instruction intrinsicMem(IntrinsicID ID, MemRef M,
+                                  int64_t Payload = 0) {
+    Instruction I = intrinsic(ID, Payload);
+    I.A = Operand::mem(M);
+    return I;
+  }
+  static Instruction intrinsicReg(IntrinsicID ID, Reg R,
+                                  int64_t Payload = 0) {
+    Instruction I = intrinsic(ID, Payload);
+    I.A = Operand::reg(R);
+    return I;
+  }
+};
+
+/// Renders \p I as assembler text (without a trailing newline). Branch
+/// offsets are printed numerically; the IR-level printer substitutes
+/// symbolic labels.
+std::string printInst(const Instruction &I);
+
+/// Human-readable intrinsic name for diagnostics.
+const char *intrinsicName(IntrinsicID ID);
+
+} // namespace isa
+} // namespace teapot
+
+#endif // TEAPOT_ISA_INSTRUCTION_H

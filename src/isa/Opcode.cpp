@@ -1,0 +1,100 @@
+//===- isa/Opcode.cpp - Opcode metadata table -----------------------------===//
+
+#include "isa/Opcode.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace teapot;
+using namespace teapot::isa;
+
+namespace {
+
+// Field order: Name, Form, MayLoad, MayStore, IsBranch, IsCondBranch,
+// IsCall, IsRet, IsIndirect, IsTerminator, SetsFlags, ReadsFlags,
+// IsSerializing.
+constexpr OpcodeInfo Table[] = {
+    /* MOV   */ {"mov", OpForm::RI, false, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* LOAD  */ {"ld", OpForm::RM, true, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* LOADS */ {"lds", OpForm::RM, true, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* STORE */ {"st", OpForm::MS, false, true, false, false, false, false,
+                 false, false, false, false, false},
+    /* LEA   */ {"lea", OpForm::RM, false, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* PUSH  */ {"push", OpForm::RorI, false, true, false, false, false, false,
+                 false, false, false, false, false},
+    /* POP   */ {"pop", OpForm::R, true, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* ADD   */ {"add", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* SUB   */ {"sub", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* AND   */ {"and", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* OR    */ {"or", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* XOR   */ {"xor", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* SHL   */ {"shl", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* SHR   */ {"shr", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* SAR   */ {"sar", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* MUL   */ {"mul", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* UDIV  */ {"udiv", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* UREM  */ {"urem", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* NOT   */ {"not", OpForm::R, false, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* NEG   */ {"neg", OpForm::R, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* CMP   */ {"cmp", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* TEST  */ {"test", OpForm::RI, false, false, false, false, false, false,
+                 false, false, true, false, false},
+    /* SET   */ {"set", OpForm::R, false, false, false, false, false, false,
+                 false, false, false, true, false},
+    /* CMOV  */ {"cmov", OpForm::RI, false, false, false, false, false, false,
+                 false, false, false, true, false},
+    /* JMP   */ {"jmp", OpForm::Rel, false, false, true, false, false, false,
+                 false, true, false, false, false},
+    /* JCC   */ {"j", OpForm::Rel, false, false, true, true, false, false,
+                 false, true, false, true, false},
+    /* JMPI  */ {"jmpi", OpForm::R, false, false, true, false, false, false,
+                 true, true, false, false, false},
+    /* CALL  */ {"call", OpForm::Rel, false, true, true, false, true, false,
+                 false, false, false, false, false},
+    /* CALLI */ {"calli", OpForm::R, false, true, true, false, true, false,
+                 true, false, false, false, false},
+    /* RET   */ {"ret", OpForm::None, true, false, true, false, false, true,
+                 true, true, false, false, false},
+    /* NOP   */ {"nop", OpForm::None, false, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* MARKERNOP */ {"markernop", OpForm::None, false, false, false, false,
+                     false, false, false, false, false, false, false},
+    /* FENCE */ {"fence", OpForm::None, false, false, false, false, false,
+                 false, false, false, false, false, true},
+    /* EXT   */ {"ext", OpForm::I, false, false, false, false, false, false,
+                 false, false, false, false, false},
+    /* HALT  */ {"halt", OpForm::None, false, false, false, false, false,
+                 false, false, true, false, false, false},
+    /* INTR  */ {"intr", OpForm::Intrinsic, false, false, false, false, false,
+                 false, false, false, false, false, false},
+};
+
+static_assert(sizeof(Table) / sizeof(Table[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync with the Opcode enum");
+
+} // namespace
+
+const OpcodeInfo &isa::opcodeInfo(Opcode Op) {
+  assert(Op < Opcode::NumOpcodes && "invalid opcode");
+  return Table[static_cast<uint8_t>(Op)];
+}

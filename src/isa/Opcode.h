@@ -1,0 +1,101 @@
+//===- isa/Opcode.h - TISA opcodes and metadata -------------------*- C++ -*-===//
+///
+/// \file
+/// Opcode enumeration and the static metadata table the disassembler,
+/// rewriter, and VM all consult (operand arity, memory behaviour, control
+/// flow class, flag effects).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_ISA_OPCODE_H
+#define TEAPOT_ISA_OPCODE_H
+
+#include <cstdint>
+
+namespace teapot {
+namespace isa {
+
+enum class Opcode : uint8_t {
+  // Data movement.
+  MOV,    // mov  rd, rs|imm
+  LOAD,   // ld{1,2,4,8}  rd, [mem]   (zero-extends)
+  LOADS,  // lds{1,2,4,8} rd, [mem]   (sign-extends)
+  STORE,  // st{1,2,4,8}  [mem], rs|imm
+  LEA,    // lea rd, [mem]
+  PUSH,   // push rs|imm
+  POP,    // pop rd
+  // ALU (rd op= rs|imm). All set ZF/SF; ADD/SUB also set CF/OF.
+  ADD,
+  SUB,
+  AND,
+  OR,
+  XOR,
+  SHL,
+  SHR, // logical
+  SAR, // arithmetic
+  MUL, // low 64 bits
+  UDIV,
+  UREM,
+  NOT, // rd = ~rd
+  NEG, // rd = -rd
+  // Compare / conditional data movement.
+  CMP,  // flags = a - b
+  TEST, // flags = a & b
+  SET,  // set.cc rd          (rd = cc ? 1 : 0)
+  CMOV, // cmov.cc rd, rs     (not speculated by hardware -> V1-safe)
+  // Control flow.
+  JMP,   // jmp label          (rel32)
+  JCC,   // j.cc label         (rel32)
+  JMPI,  // jmpi rs            (indirect jump)
+  CALL,  // call label         (rel32)
+  CALLI, // calli rs           (indirect call)
+  RET,
+  // Misc.
+  NOP,
+  MARKERNOP, // the special marker nop compilers never generate (Listing 4)
+  FENCE,     // serializing (lfence/cpuid analogue): ends speculation
+  EXT,       // ext imm: call external library function by index
+  HALT,      // terminate the program; r0 = exit status
+  INTR,      // instrumentation intrinsic (added by rewriters only)
+  NumOpcodes,
+};
+
+/// Coarse operand-list shapes used by the encoder and assembler.
+enum class OpForm : uint8_t {
+  None,      // ret, nop, fence, halt, markernop
+  R,         // pop, not, neg, jmpi, calli, set
+  RI,        // mov/alu/cmov/cmp/test: reg, reg|imm
+  RM,        // load/loads/lea: reg, mem
+  MS,        // store: mem, reg|imm
+  I,         // push imm / ext imm / halt? (push also allows R)
+  RorI,      // push: reg or imm
+  Rel,       // jmp/jcc/call: pc-relative target
+  Intrinsic, // INTR: id + optional imm payload + optional mem
+};
+
+struct OpcodeInfo {
+  const char *Name;
+  OpForm Form;
+  bool MayLoad;
+  bool MayStore;
+  bool IsBranch;      // any control transfer (incl. call/ret)
+  bool IsCondBranch;  // JCC only
+  bool IsCall;        // CALL/CALLI
+  bool IsRet;
+  bool IsIndirect;    // JMPI/CALLI/RET: target not known statically
+  bool IsTerminator;  // ends a basic block
+  bool SetsFlags;
+  bool ReadsFlags;    // JCC/SET/CMOV
+  bool IsSerializing; // FENCE
+};
+
+/// Returns the metadata row for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Returns the mnemonic for \p Op.
+inline const char *opcodeName(Opcode Op) { return opcodeInfo(Op).Name; }
+
+} // namespace isa
+} // namespace teapot
+
+#endif // TEAPOT_ISA_OPCODE_H

@@ -1,0 +1,24 @@
+//===- isa/Registers.cpp --------------------------------------------------===//
+
+#include "isa/Registers.h"
+
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::isa;
+
+static const char *const Names[NumRegs] = {
+    "r0", "r1", "r2",  "r3",  "r4",  "r5",  "r6", "r7",
+    "r8", "r9", "r10", "r11", "r12", "r13", "fp", "sp"};
+
+const char *isa::regName(Reg R) {
+  assert(R < NumRegs && "invalid register");
+  return Names[R];
+}
+
+Reg isa::parseRegName(const char *Name, unsigned Len) {
+  for (unsigned I = 0; I != NumRegs; ++I)
+    if (strlen(Names[I]) == Len && memcmp(Names[I], Name, Len) == 0)
+      return static_cast<Reg>(I);
+  return NoReg;
+}

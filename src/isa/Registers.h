@@ -1,0 +1,57 @@
+//===- isa/Registers.h - Register file definition ----------------*- C++ -*-===//
+///
+/// \file
+/// The TISA (Teapot ISA) register file: sixteen 64-bit general purpose
+/// registers. R14 and R15 double as the frame and stack pointer (mirroring
+/// rbp/rsp), which matters to the binary-ASan allowlisting rule from the
+/// paper (accesses based off rsp/rbp with constant offsets are allowed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_ISA_REGISTERS_H
+#define TEAPOT_ISA_REGISTERS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace teapot {
+namespace isa {
+
+enum Reg : uint8_t {
+  R0 = 0,
+  R1,
+  R2,
+  R3,
+  R4,
+  R5,
+  R6,
+  R7,
+  R8,
+  R9,
+  R10,
+  R11,
+  R12,
+  R13,
+  FP, // frame pointer (rbp analogue)
+  SP, // stack pointer (rsp analogue)
+  NumRegs,
+  NoReg = 0xff,
+};
+
+/// Calling convention:
+///  - arguments in R0..R5, return value in R0
+///  - R0..R7 caller-saved; R8..R13, FP callee-saved
+///  - CALL pushes the return address; RET pops it
+inline constexpr Reg ArgRegs[6] = {R0, R1, R2, R3, R4, R5};
+inline constexpr Reg RetReg = R0;
+
+/// Returns the assembler name of \p R ("r0".."r13", "fp", "sp").
+const char *regName(Reg R);
+
+/// Parses a register name; returns NoReg if unrecognized.
+Reg parseRegName(const char *Name, unsigned Len);
+
+} // namespace isa
+} // namespace teapot
+
+#endif // TEAPOT_ISA_REGISTERS_H

@@ -1,0 +1,142 @@
+//===- lang/AST.h - MiniCC abstract syntax ------------------------*- C++ -*-===//
+///
+/// \file
+/// AST for MiniCC, the small C-like language the workload programs are
+/// written in. MiniCC exists so the evaluation binaries are *compiled
+/// from source by a compiler we control* — which is what lets the
+/// Figure 2 experiment flip the switch-lowering strategy and observe the
+/// gadget appear/disappear.
+///
+/// Types are `int` (64-bit), `char` (8-bit, unsigned), pointers to
+/// either, and fixed-size arrays (which decay to pointers in
+/// expressions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_LANG_AST_H
+#define TEAPOT_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace lang {
+
+/// A MiniCC type: base type plus pointer depth.
+struct Type {
+  enum Base : uint8_t { Int, Char } B = Int;
+  uint8_t PtrDepth = 0;
+
+  bool isPointer() const { return PtrDepth > 0; }
+  /// Size of a value of this type.
+  unsigned size() const {
+    if (PtrDepth > 0)
+      return 8;
+    return B == Char ? 1 : 8;
+  }
+  /// Size of the pointee (requires isPointer()).
+  unsigned pointeeSize() const {
+    Type T = *this;
+    --T.PtrDepth;
+    return T.size();
+  }
+  Type pointee() const {
+    Type T = *this;
+    --T.PtrDepth;
+    return T;
+  }
+  Type pointerTo() const {
+    Type T = *this;
+    ++T.PtrDepth;
+    return T;
+  }
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum Kind : uint8_t {
+    Num,    // Val
+    StrLit, // Str
+    Var,    // Name
+    Unary,  // Op ("-", "!", "~"), L
+    Binary, // Op, L, R
+    Index,  // L[R]
+    Deref,  // *L
+    Addr,   // &L
+    Call,   // Name(Args)
+    Assign, // L = R
+  } K = Num;
+
+  int64_t Val = 0;
+  std::string Str;
+  std::string Name;
+  std::string Op;
+  ExprPtr L, R;
+  std::vector<ExprPtr> Args;
+  unsigned Line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct SwitchCase {
+  int64_t Value = 0;
+  bool IsDefault = false;
+  std::vector<StmtPtr> Body;
+};
+
+struct Stmt {
+  enum Kind : uint8_t {
+    Block,
+    If,      // E, Body, Else
+    While,   // E, Body
+    For,     // Init, E (cond), Step, Body
+    Switch,  // E, Cases
+    Return,  // E (may be null)
+    Break,
+    Continue,
+    ExprStmt, // E
+    Decl,     // DeclTy, Name, ArraySize, E (init, may be null)
+  } K = Block;
+
+  ExprPtr E;
+  StmtPtr Init, Step;
+  std::vector<StmtPtr> Body;
+  std::vector<StmtPtr> Else;
+  std::vector<SwitchCase> Cases;
+
+  Type DeclTy;
+  std::string Name;
+  int64_t ArraySize = -1; // -1: scalar
+  unsigned Line = 0;
+};
+
+struct FuncDecl {
+  std::string Name;
+  Type RetTy;
+  std::vector<std::pair<Type, std::string>> Params;
+  std::vector<StmtPtr> Body;
+};
+
+struct GlobalDecl {
+  Type Ty;
+  std::string Name;
+  int64_t ArraySize = -1;
+  std::vector<int64_t> Init; // numeric initializer list
+  std::string StrInit;       // for char arrays
+  bool HasInit = false;
+};
+
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+};
+
+} // namespace lang
+} // namespace teapot
+
+#endif // TEAPOT_LANG_AST_H

@@ -1,0 +1,753 @@
+//===- lang/Codegen.cpp - MiniCC code generation ----------------------------===//
+//
+// A deliberately simple one-pass code generator: expression results live
+// in r0, temporaries spill to the machine stack, locals live at
+// fp-relative slots. No optimization is performed — bounds checks compile
+// to CMP + JCC, which is exactly the shape Spectre-V1 gadgets need (and
+// what -O0-style codegen of the victim patterns looks like).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "lang/MiniCC.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <vector>
+
+using namespace teapot;
+using namespace teapot::lang;
+
+namespace {
+
+struct LocalSlot {
+  Type Ty;
+  int64_t ArraySize = -1; // -1: scalar
+  int64_t Offset = 0;     // negative, fp-relative
+};
+
+class Codegen {
+public:
+  Codegen(const Program &P, const CompileOptions &Opts) : P(P), Opts(Opts) {}
+
+  Expected<std::string> run();
+
+private:
+  const Program &P;
+  const CompileOptions &Opts;
+  std::string Text;   // .text body
+  std::string Rodata; // string literals + jump tables
+  std::string Data;
+  std::string Bss;
+  unsigned NextLabel = 0;
+  unsigned NextString = 0;
+  std::string ErrMsg;
+
+  // Per-function state.
+  const FuncDecl *CurFunc = nullptr;
+  std::vector<std::map<std::string, LocalSlot>> Scopes;
+  int64_t FrameSize = 0;
+  std::string EpilogueLabel;
+  std::vector<std::string> BreakLabels;
+  std::vector<std::string> ContinueLabels;
+
+  std::map<std::string, const GlobalDecl *> Globals;
+  std::map<std::string, const FuncDecl *> Funcs;
+
+  bool fail(unsigned Line, const std::string &M) {
+    if (ErrMsg.empty())
+      ErrMsg = formatString("line %u: %s", Line, M.c_str());
+    return false;
+  }
+  void emit(const std::string &S) { Text += "    " + S + "\n"; }
+  void emitLabel(const std::string &L) { Text += L + ":\n"; }
+  std::string newLabel() { return formatString(".L%u", NextLabel++); }
+
+  const LocalSlot *findLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  int64_t allocSlot(unsigned Bytes) {
+    FrameSize += (Bytes + 7) & ~7u;
+    return -FrameSize;
+  }
+
+  static int64_t frameBytes(const std::vector<StmtPtr> &Body);
+  bool genFunction(const FuncDecl &F);
+  bool genStmt(const Stmt &S);
+  bool genStmts(const std::vector<StmtPtr> &Body);
+  bool genSwitch(const Stmt &S);
+  bool genExpr(const Expr &E, Type &Ty);
+  bool genAddr(const Expr &E, Type &ValTy);
+  bool genCondJump(const Expr &E, const std::string &TrueL,
+                   const std::string &FalseL);
+  bool genCall(const Expr &E, Type &Ty);
+  void emitGlobals();
+
+  static const char *ccForOp(const std::string &Op) {
+    if (Op == "==")
+      return "eq";
+    if (Op == "!=")
+      return "ne";
+    if (Op == "<")
+      return "lt";
+    if (Op == "<=")
+      return "le";
+    if (Op == ">")
+      return "gt";
+    if (Op == ">=")
+      return "ge";
+    return nullptr;
+  }
+};
+
+} // namespace
+
+int64_t Codegen::frameBytes(const std::vector<StmtPtr> &Body) {
+  int64_t N = 0;
+  for (const StmtPtr &S : Body) {
+    if (!S)
+      continue;
+    if (S->K == Stmt::Decl) {
+      unsigned Bytes =
+          S->ArraySize >= 0
+              ? static_cast<unsigned>(S->ArraySize) * S->DeclTy.size()
+              : 8;
+      N += (Bytes + 7) & ~7u;
+    }
+    N += frameBytes(S->Body) + frameBytes(S->Else);
+    if (S->Init) {
+      std::vector<StmtPtr> Tmp;
+      if (S->Init->K == Stmt::Decl)
+        N += 8;
+    }
+    for (const SwitchCase &C : S->Cases)
+      N += frameBytes(C.Body);
+  }
+  return N;
+}
+
+bool Codegen::genAddr(const Expr &E, Type &ValTy) {
+  switch (E.K) {
+  case Expr::Var: {
+    if (const LocalSlot *L = findLocal(E.Name)) {
+      emit(formatString("lea r0, [fp + %lld]",
+                        static_cast<long long>(L->Offset)));
+      ValTy = L->Ty;
+      return true;
+    }
+    auto G = Globals.find(E.Name);
+    if (G == Globals.end())
+      return fail(E.Line, "undefined variable '" + E.Name + "'");
+    emit("lea r0, [g_" + E.Name + "]");
+    ValTy = G->second->Ty;
+    return true;
+  }
+  case Expr::Deref: {
+    Type PtrTy;
+    if (!genExpr(*E.L, PtrTy))
+      return false;
+    if (!PtrTy.isPointer())
+      return fail(E.Line, "dereference of a non-pointer");
+    ValTy = PtrTy.pointee();
+    return true;
+  }
+  case Expr::Index: {
+    Type PtrTy;
+    if (!genExpr(*E.L, PtrTy)) // base pointer (arrays decay)
+      return false;
+    if (!PtrTy.isPointer())
+      return fail(E.Line, "indexing a non-pointer");
+    emit("push r0");
+    Type IdxTy;
+    if (!genExpr(*E.R, IdxTy))
+      return false;
+    emit("mov r1, r0");
+    emit("pop r0");
+    unsigned Elem = PtrTy.pointeeSize();
+    if (Elem == 8)
+      emit("shl r1, 3");
+    else if (Elem != 1)
+      emit(formatString("mul r1, %u", Elem));
+    emit("add r0, r1");
+    ValTy = PtrTy.pointee();
+    return true;
+  }
+  default:
+    return fail(E.Line, "expression is not assignable");
+  }
+}
+
+bool Codegen::genCall(const Expr &E, Type &Ty) {
+  if (E.Name == "fence") {
+    emit("fence");
+    Ty = Type{Type::Int, 0};
+    return true;
+  }
+  if (E.Args.size() > 6)
+    return fail(E.Line, "too many call arguments");
+  for (const ExprPtr &Arg : E.Args) {
+    Type AT;
+    if (!genExpr(*Arg, AT))
+      return false;
+    emit("push r0");
+  }
+  for (size_t I = E.Args.size(); I-- > 0;)
+    emit(formatString("pop r%zu", I));
+
+  static const std::map<std::string, int> Builtins = {
+      {"exit", 0},   {"read_input", 1}, {"input_size", 2},
+      {"write_out", 3}, {"malloc", 4},  {"free", 5},
+      {"abort", 6}};
+  auto B = Builtins.find(E.Name);
+  if (B != Builtins.end()) {
+    emit(formatString("ext %d", B->second));
+    Ty = E.Name == "malloc" ? Type{Type::Char, 1} : Type{Type::Int, 0};
+    return true;
+  }
+  auto F = Funcs.find(E.Name);
+  if (F == Funcs.end())
+    return fail(E.Line, "call to undefined function '" + E.Name + "'");
+  if (F->second->Params.size() != E.Args.size())
+    return fail(E.Line, "wrong number of arguments to '" + E.Name + "'");
+  emit("call " + E.Name);
+  Ty = F->second->RetTy;
+  return true;
+}
+
+bool Codegen::genExpr(const Expr &E, Type &Ty) {
+  switch (E.K) {
+  case Expr::Num:
+    emit(formatString("mov r0, %lld", static_cast<long long>(E.Val)));
+    Ty = Type{Type::Int, 0};
+    return true;
+  case Expr::StrLit: {
+    std::string Label = formatString("str_%u", NextString++);
+    Rodata += Label + ":\n";
+    std::string Bytes;
+    for (char C : E.Str)
+      Bytes += formatString("%u, ", static_cast<unsigned char>(C));
+    Bytes += "0";
+    Rodata += "    .byte " + Bytes + "\n";
+    emit("lea r0, [" + Label + "]");
+    Ty = Type{Type::Char, 1};
+    return true;
+  }
+  case Expr::Var: {
+    if (const LocalSlot *L = findLocal(E.Name)) {
+      if (L->ArraySize >= 0) { // array decays to a pointer
+        emit(formatString("lea r0, [fp + %lld]",
+                          static_cast<long long>(L->Offset)));
+        Ty = L->Ty.pointerTo();
+        return true;
+      }
+      emit(formatString("ld%u r0, [fp + %lld]", L->Ty.size(),
+                        static_cast<long long>(L->Offset)));
+      Ty = L->Ty;
+      return true;
+    }
+    auto G = Globals.find(E.Name);
+    if (G == Globals.end())
+      return fail(E.Line, "undefined variable '" + E.Name + "'");
+    if (G->second->ArraySize >= 0) {
+      emit("lea r0, [g_" + E.Name + "]");
+      Ty = G->second->Ty.pointerTo();
+      return true;
+    }
+    emit(formatString("ld%u r0, [g_%s]", G->second->Ty.size(),
+                      E.Name.c_str()));
+    Ty = G->second->Ty;
+    return true;
+  }
+  case Expr::Unary: {
+    if (!genExpr(*E.L, Ty))
+      return false;
+    if (E.Op == "-")
+      emit("neg r0");
+    else if (E.Op == "~")
+      emit("not r0");
+    else if (E.Op == "!") {
+      emit("test r0, r0");
+      emit("set.eq r0");
+      Ty = Type{Type::Int, 0};
+    }
+    return true;
+  }
+  case Expr::Deref:
+  case Expr::Index: {
+    Type ValTy;
+    if (!genAddr(E, ValTy))
+      return false;
+    emit(formatString("ld%u r0, [r0]", ValTy.size()));
+    Ty = ValTy;
+    return true;
+  }
+  case Expr::Addr: {
+    Type ValTy;
+    if (!genAddr(*E.L, ValTy))
+      return false;
+    Ty = ValTy.pointerTo();
+    return true;
+  }
+  case Expr::Assign: {
+    Type ValTy;
+    if (!genAddr(*E.L, ValTy))
+      return false;
+    emit("push r0");
+    Type RTy;
+    if (!genExpr(*E.R, RTy))
+      return false;
+    emit("pop r1");
+    emit(formatString("st%u [r1], r0", ValTy.size()));
+    Ty = ValTy;
+    return true;
+  }
+  case Expr::Call:
+    return genCall(E, Ty);
+  case Expr::Binary: {
+    // Short-circuit logical operators.
+    if (E.Op == "&&" || E.Op == "||") {
+      std::string TrueL = newLabel(), FalseL = newLabel(), End = newLabel();
+      if (!genCondJump(E, TrueL, FalseL))
+        return false;
+      emitLabel(TrueL);
+      emit("mov r0, 1");
+      emit("jmp " + End);
+      emitLabel(FalseL);
+      emit("mov r0, 0");
+      emitLabel(End);
+      Ty = Type{Type::Int, 0};
+      return true;
+    }
+    Type LTy, RTy;
+    if (!genExpr(*E.L, LTy))
+      return false;
+    emit("push r0");
+    if (!genExpr(*E.R, RTy))
+      return false;
+    emit("mov r1, r0");
+    emit("pop r0");
+    if (const char *CC = ccForOp(E.Op)) {
+      emit("cmp r0, r1");
+      emit(formatString("set.%s r0", CC));
+      Ty = Type{Type::Int, 0};
+      return true;
+    }
+    // Pointer arithmetic scales the integer side.
+    if (E.Op == "+" || E.Op == "-") {
+      if (LTy.isPointer() && !RTy.isPointer() && LTy.pointeeSize() == 8)
+        emit("shl r1, 3");
+      else if (RTy.isPointer() && !LTy.isPointer() &&
+               RTy.pointeeSize() == 8)
+        emit("shl r0, 3");
+    }
+    if (E.Op == "+")
+      emit("add r0, r1");
+    else if (E.Op == "-")
+      emit("sub r0, r1");
+    else if (E.Op == "*")
+      emit("mul r0, r1");
+    else if (E.Op == "/")
+      emit("udiv r0, r1");
+    else if (E.Op == "%")
+      emit("urem r0, r1");
+    else if (E.Op == "&")
+      emit("and r0, r1");
+    else if (E.Op == "|")
+      emit("or r0, r1");
+    else if (E.Op == "^")
+      emit("xor r0, r1");
+    else if (E.Op == "<<")
+      emit("shl r0, r1");
+    else if (E.Op == ">>")
+      emit("sar r0, r1");
+    else
+      return fail(E.Line, "unsupported operator '" + E.Op + "'");
+    Ty = LTy.isPointer() ? LTy : (RTy.isPointer() ? RTy : Type{Type::Int, 0});
+    return true;
+  }
+  }
+  return fail(E.Line, "unsupported expression");
+}
+
+bool Codegen::genCondJump(const Expr &E, const std::string &TrueL,
+                          const std::string &FalseL) {
+  if (E.K == Expr::Binary && E.Op == "&&") {
+    std::string Mid = newLabel();
+    if (!genCondJump(*E.L, Mid, FalseL))
+      return false;
+    emitLabel(Mid);
+    return genCondJump(*E.R, TrueL, FalseL);
+  }
+  if (E.K == Expr::Binary && E.Op == "||") {
+    std::string Mid = newLabel();
+    if (!genCondJump(*E.L, TrueL, Mid))
+      return false;
+    emitLabel(Mid);
+    return genCondJump(*E.R, TrueL, FalseL);
+  }
+  if (E.K == Expr::Unary && E.Op == "!")
+    return genCondJump(*E.L, FalseL, TrueL);
+  if (E.K == Expr::Binary) {
+    if (const char *CC = ccForOp(E.Op)) {
+      Type LTy, RTy;
+      if (!genExpr(*E.L, LTy))
+        return false;
+      emit("push r0");
+      if (!genExpr(*E.R, RTy))
+        return false;
+      emit("mov r1, r0");
+      emit("pop r0");
+      emit("cmp r0, r1");
+      emit(formatString("j.%s %s", CC, TrueL.c_str()));
+      emit("jmp " + FalseL);
+      return true;
+    }
+  }
+  Type Ty;
+  if (!genExpr(E, Ty))
+    return false;
+  emit("test r0, r0");
+  emit("j.ne " + TrueL);
+  emit("jmp " + FalseL);
+  return true;
+}
+
+bool Codegen::genSwitch(const Stmt &S) {
+  Type Ty;
+  if (!genExpr(*S.E, Ty))
+    return false;
+  std::string End = newLabel(), Default = End;
+  std::vector<std::string> CaseLabels;
+  for (const SwitchCase &C : S.Cases) {
+    CaseLabels.push_back(newLabel());
+    if (C.IsDefault)
+      Default = CaseLabels.back();
+  }
+
+  bool UseTable = Opts.Switches == SwitchLowering::JumpTable;
+  int64_t MinV = 0, MaxV = 0;
+  if (UseTable) {
+    bool First = true;
+    for (const SwitchCase &C : S.Cases) {
+      if (C.IsDefault)
+        continue;
+      if (First || C.Value < MinV)
+        MinV = C.Value;
+      if (First || C.Value > MaxV)
+        MaxV = C.Value;
+      First = false;
+    }
+    if (First || MaxV - MinV > 255)
+      UseTable = false; // sparse/empty: fall back to branches
+  }
+
+  if (UseTable) {
+    // Clang-style bounds-checked jump table (Figure 2, right): Spectre-V1
+    // safe because no per-case conditional branch exists to mistrain.
+    std::string Table = formatString(".Ltab%u", NextLabel++);
+    if (MinV)
+      emit(formatString("sub r0, %lld", static_cast<long long>(MinV)));
+    emit(formatString("cmp r0, %lld", static_cast<long long>(MaxV - MinV)));
+    emit("j.a " + Default);
+    emit(formatString("ld8 r1, [r0*8 + %s]", Table.c_str()));
+    emit("jmpi r1");
+    Rodata += "    .align 8\n" + Table + ":\n";
+    for (int64_t V = MinV; V <= MaxV; ++V) {
+      std::string Target = Default;
+      for (size_t I = 0; I != S.Cases.size(); ++I)
+        if (!S.Cases[I].IsDefault && S.Cases[I].Value == V)
+          Target = CaseLabels[I];
+      Rodata += "    .quad " + Target + "\n";
+    }
+  } else {
+    // GCC-style compare-and-branch cascade (Figure 2, left): every case
+    // comparison is a conditional branch and thus a potential Spectre-V1
+    // victim.
+    for (size_t I = 0; I != S.Cases.size(); ++I) {
+      if (S.Cases[I].IsDefault)
+        continue;
+      emit(formatString("cmp r0, %lld",
+                        static_cast<long long>(S.Cases[I].Value)));
+      emit("j.eq " + CaseLabels[I]);
+    }
+    emit("jmp " + Default);
+  }
+
+  BreakLabels.push_back(End);
+  for (size_t I = 0; I != S.Cases.size(); ++I) {
+    emitLabel(CaseLabels[I]);
+    Scopes.emplace_back();
+    if (!genStmts(S.Cases[I].Body))
+      return false;
+    Scopes.pop_back();
+  }
+  BreakLabels.pop_back();
+  emitLabel(End);
+  return true;
+}
+
+bool Codegen::genStmts(const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &S : Body)
+    if (!genStmt(*S))
+      return false;
+  return true;
+}
+
+bool Codegen::genStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Block: {
+    Scopes.emplace_back();
+    bool Ok = genStmts(S.Body);
+    Scopes.pop_back();
+    return Ok;
+  }
+  case Stmt::Decl: {
+    LocalSlot Slot;
+    Slot.Ty = S.DeclTy;
+    Slot.ArraySize = S.ArraySize;
+    unsigned Bytes = S.ArraySize >= 0
+                         ? static_cast<unsigned>(S.ArraySize) *
+                               S.DeclTy.size()
+                         : 8;
+    Slot.Offset = allocSlot(Bytes);
+    Scopes.back()[S.Name] = Slot;
+    if (S.E) {
+      if (S.ArraySize >= 0)
+        return fail(S.Line, "local array initializers are not supported");
+      Type Ty;
+      if (!genExpr(*S.E, Ty))
+        return false;
+      emit(formatString("st%u [fp + %lld], r0", S.DeclTy.size(),
+                        static_cast<long long>(Slot.Offset)));
+    }
+    return true;
+  }
+  case Stmt::If: {
+    std::string TrueL = newLabel(), FalseL = newLabel(), End = newLabel();
+    if (!genCondJump(*S.E, TrueL, FalseL))
+      return false;
+    emitLabel(TrueL);
+    Scopes.emplace_back();
+    bool Ok = genStmts(S.Body);
+    Scopes.pop_back();
+    if (!Ok)
+      return false;
+    emit("jmp " + End);
+    emitLabel(FalseL);
+    if (!S.Else.empty()) {
+      Scopes.emplace_back();
+      Ok = genStmts(S.Else);
+      Scopes.pop_back();
+      if (!Ok)
+        return false;
+    }
+    emitLabel(End);
+    return true;
+  }
+  case Stmt::While: {
+    std::string Head = newLabel(), BodyL = newLabel(), End = newLabel();
+    emitLabel(Head);
+    if (!genCondJump(*S.E, BodyL, End))
+      return false;
+    emitLabel(BodyL);
+    BreakLabels.push_back(End);
+    ContinueLabels.push_back(Head);
+    Scopes.emplace_back();
+    bool Ok = genStmts(S.Body);
+    Scopes.pop_back();
+    ContinueLabels.pop_back();
+    BreakLabels.pop_back();
+    if (!Ok)
+      return false;
+    emit("jmp " + Head);
+    emitLabel(End);
+    return true;
+  }
+  case Stmt::For: {
+    Scopes.emplace_back();
+    if (S.Init && !genStmt(*S.Init))
+      return false;
+    std::string Head = newLabel(), BodyL = newLabel(), Step = newLabel(),
+                End = newLabel();
+    emitLabel(Head);
+    if (S.E) {
+      if (!genCondJump(*S.E, BodyL, End))
+        return false;
+    }
+    emitLabel(BodyL);
+    BreakLabels.push_back(End);
+    ContinueLabels.push_back(Step);
+    Scopes.emplace_back();
+    bool Ok = genStmts(S.Body);
+    Scopes.pop_back();
+    ContinueLabels.pop_back();
+    BreakLabels.pop_back();
+    if (!Ok)
+      return false;
+    emitLabel(Step);
+    if (S.Step && !genStmt(*S.Step))
+      return false;
+    emit("jmp " + Head);
+    emitLabel(End);
+    Scopes.pop_back();
+    return true;
+  }
+  case Stmt::Switch:
+    return genSwitch(S);
+  case Stmt::Return:
+    if (S.E) {
+      Type Ty;
+      if (!genExpr(*S.E, Ty))
+        return false;
+    }
+    emit("jmp " + EpilogueLabel);
+    return true;
+  case Stmt::Break:
+    if (BreakLabels.empty())
+      return fail(S.Line, "'break' outside a loop or switch");
+    emit("jmp " + BreakLabels.back());
+    return true;
+  case Stmt::Continue:
+    if (ContinueLabels.empty())
+      return fail(S.Line, "'continue' outside a loop");
+    emit("jmp " + ContinueLabels.back());
+    return true;
+  case Stmt::ExprStmt: {
+    Type Ty;
+    return genExpr(*S.E, Ty);
+  }
+  }
+  return fail(S.Line, "unsupported statement");
+}
+
+bool Codegen::genFunction(const FuncDecl &F) {
+  CurFunc = &F;
+  Scopes.clear();
+  Scopes.emplace_back();
+  FrameSize = 0;
+  EpilogueLabel = newLabel();
+
+  int64_t Reserve = frameBytes(F.Body) + 8 * static_cast<int64_t>(
+                                                 F.Params.size());
+  Text += ".func " + F.Name + "\n";
+  emitLabel(F.Name);
+  emit("push fp");
+  emit("mov fp, sp");
+  if (Reserve)
+    emit(formatString("sub sp, %lld", static_cast<long long>(Reserve)));
+
+  for (size_t I = 0; I != F.Params.size(); ++I) {
+    LocalSlot Slot;
+    Slot.Ty = F.Params[I].first;
+    Slot.Offset = allocSlot(8);
+    Scopes.back()[F.Params[I].second] = Slot;
+    emit(formatString("st8 [fp + %lld], r%zu",
+                      static_cast<long long>(Slot.Offset), I));
+  }
+
+  if (!genStmts(F.Body))
+    return false;
+  assert(FrameSize <= Reserve && "frame pre-pass undercounted");
+
+  emitLabel(EpilogueLabel);
+  emit("mov sp, fp");
+  emit("pop fp");
+  emit("ret");
+  return true;
+}
+
+void Codegen::emitGlobals() {
+  for (const GlobalDecl &G : P.Globals) {
+    unsigned Elem = G.Ty.size();
+    uint64_t Bytes =
+        G.ArraySize >= 0 ? static_cast<uint64_t>(G.ArraySize) * Elem : Elem;
+    if (!G.HasInit) {
+      Bss += "    .align 8\n";
+      Bss += "g_" + G.Name + ":\n";
+      Bss += formatString("    .space %llu\n",
+                          static_cast<unsigned long long>(Bytes));
+      continue;
+    }
+    Data += "    .align 8\n";
+    Data += "g_" + G.Name + ":\n";
+    if (!G.StrInit.empty() || (G.Init.empty() && G.ArraySize >= 0 &&
+                               G.Ty.B == Type::Char)) {
+      std::string Bytes8;
+      uint64_t N = 0;
+      for (char C : G.StrInit) {
+        Data += formatString("    .byte %u\n", static_cast<unsigned char>(C));
+        ++N;
+      }
+      (void)Bytes8;
+      for (; N < Bytes; ++N)
+        Data += "    .byte 0\n";
+      continue;
+    }
+    const char *Dir = Elem == 1 ? ".byte" : ".quad";
+    uint64_t Count = G.ArraySize >= 0 ? static_cast<uint64_t>(G.ArraySize) : 1;
+    for (uint64_t I = 0; I != Count; ++I) {
+      int64_t V = I < G.Init.size() ? G.Init[I] : 0;
+      Data += formatString("    %s %lld\n", Dir, static_cast<long long>(V));
+    }
+  }
+}
+
+Expected<std::string> Codegen::run() {
+  for (const GlobalDecl &G : P.Globals)
+    Globals[G.Name] = &G;
+  for (const FuncDecl &F : P.Funcs)
+    Funcs[F.Name] = &F;
+  if (!Funcs.count("main"))
+    return Error::failure("program has no 'main' function");
+
+  Text += ".text\n";
+  Text += ".entry _start\n";
+  Text += ".func _start\n";
+  Text += "_start:\n";
+  Text += "    call main\n";
+  Text += "    ext 0\n";  // exit(main())
+  Text += "    halt\n";
+
+  for (const FuncDecl &F : P.Funcs)
+    if (!genFunction(F))
+      return Error::failure(ErrMsg);
+
+  emitGlobals();
+
+  std::string Out = Text;
+  if (!Rodata.empty())
+    Out += "\n.rodata\n" + Rodata;
+  if (!Data.empty())
+    Out += "\n.data\n" + Data;
+  if (!Bss.empty())
+    Out += "\n.bss\n" + Bss;
+  return Out;
+}
+
+Expected<std::string> lang::codegen(const Program &P,
+                                    const CompileOptions &Opts) {
+  Codegen CG(P, Opts);
+  return CG.run();
+}
+
+Expected<std::string> lang::compileToAsm(std::string_view Source,
+                                         const CompileOptions &Opts) {
+  auto ProgOrErr = parse(Source);
+  if (!ProgOrErr)
+    return ProgOrErr.takeError();
+  return codegen(*ProgOrErr, Opts);
+}
+
+Expected<obj::ObjectFile> lang::compile(std::string_view Source,
+                                        const CompileOptions &Opts) {
+  auto AsmOrErr = compileToAsm(Source, Opts);
+  if (!AsmOrErr)
+    return AsmOrErr.takeError();
+  return assembler::assemble(*AsmOrErr);
+}

@@ -1,0 +1,61 @@
+//===- lang/MiniCC.h - MiniCC compiler driver ---------------------*- C++ -*-===//
+///
+/// \file
+/// Public entry points of MiniCC: parse + compile MiniCC source to TISA
+/// assembly text, or all the way to a linked TBF binary.
+///
+/// Builtins the language exposes (lowered to EXT instructions, i.e.
+/// external library calls — which is what makes them speculation
+/// barriers in the Shadow Copy, exactly like libc calls under Teapot):
+///
+///   int  read_input(char *buf, int len);
+///   int  input_size();
+///   void write_out(char *buf, int len);
+///   char *malloc(int n);          void free(char *p);
+///   void exit(int status);        void fence();   // serializing
+///
+/// The switch-lowering option reproduces the Figure 2 observation:
+/// `Branches` compiles switch statements to compare-and-jump cascades
+/// (GCC-style, each branch a potential Spectre-V1 victim), `JumpTable`
+/// to a bounds-checked indirect jump through a read-only table
+/// (Clang-style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_LANG_MINICC_H
+#define TEAPOT_LANG_MINICC_H
+
+#include "lang/AST.h"
+#include "obj/ObjectFile.h"
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+
+namespace teapot {
+namespace lang {
+
+enum class SwitchLowering : uint8_t { Branches, JumpTable };
+
+struct CompileOptions {
+  SwitchLowering Switches = SwitchLowering::Branches;
+};
+
+/// Parses MiniCC source into an AST.
+Expected<Program> parse(std::string_view Source);
+
+/// Compiles an AST to TISA assembly text.
+Expected<std::string> codegen(const Program &P, const CompileOptions &Opts);
+
+/// Convenience: source -> assembly text.
+Expected<std::string> compileToAsm(std::string_view Source,
+                                   const CompileOptions &Opts = {});
+
+/// Convenience: source -> linked TBF binary.
+Expected<obj::ObjectFile> compile(std::string_view Source,
+                                  const CompileOptions &Opts = {});
+
+} // namespace lang
+} // namespace teapot
+
+#endif // TEAPOT_LANG_MINICC_H

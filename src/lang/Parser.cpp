@@ -1,0 +1,680 @@
+//===- lang/Parser.cpp - MiniCC lexer + recursive-descent parser -----------===//
+
+#include "lang/MiniCC.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace teapot;
+using namespace teapot::lang;
+
+namespace {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  String,
+  CharLit,
+  Punct,
+};
+
+struct Token {
+  Tok K = Tok::Eof;
+  std::string Text;
+  int64_t Val = 0;
+  unsigned Line = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view S) : S(S) { next(); }
+
+  const Token &cur() const { return Cur; }
+
+  void next() {
+    skip();
+    Cur = Token();
+    Cur.Line = Line;
+    if (Pos >= S.size()) {
+      Cur.K = Tok::Eof;
+      return;
+    }
+    char C = S[Pos];
+    if (isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t B = Pos;
+      while (Pos < S.size() && (isalnum(static_cast<unsigned char>(S[Pos])) ||
+                                S[Pos] == '_'))
+        ++Pos;
+      Cur.K = Tok::Ident;
+      Cur.Text = std::string(S.substr(B, Pos - B));
+      return;
+    }
+    if (isdigit(static_cast<unsigned char>(C))) {
+      size_t B = Pos;
+      while (Pos < S.size() && (isalnum(static_cast<unsigned char>(S[Pos]))))
+        ++Pos;
+      Cur.K = Tok::Number;
+      int64_t V;
+      if (!parseInt(S.substr(B, Pos - B), V)) {
+        Cur.K = Tok::Eof;
+        Err = formatString("line %u: malformed number", Line);
+        return;
+      }
+      Cur.Val = V;
+      return;
+    }
+    if (C == '"') {
+      ++Pos;
+      Cur.K = Tok::String;
+      while (Pos < S.size() && S[Pos] != '"') {
+        char D = S[Pos++];
+        if (D == '\\' && Pos < S.size()) {
+          char E = S[Pos++];
+          D = E == 'n' ? '\n' : E == 't' ? '\t' : E == '0' ? '\0' : E;
+        }
+        Cur.Text.push_back(D);
+      }
+      if (Pos < S.size())
+        ++Pos; // closing quote
+      return;
+    }
+    if (C == '\'') {
+      ++Pos;
+      char D = Pos < S.size() ? S[Pos++] : 0;
+      if (D == '\\' && Pos < S.size()) {
+        char E = S[Pos++];
+        D = E == 'n' ? '\n' : E == 't' ? '\t' : E == '0' ? '\0' : E;
+      }
+      if (Pos < S.size() && S[Pos] == '\'')
+        ++Pos;
+      Cur.K = Tok::CharLit;
+      Cur.Val = static_cast<unsigned char>(D);
+      return;
+    }
+    // Punctuation, longest-match for two-char operators.
+    static const char *const Two[] = {"==", "!=", "<=", ">=", "&&",
+                                      "||", "<<", ">>"};
+    for (const char *T : Two) {
+      if (S.substr(Pos, 2) == T) {
+        Cur.K = Tok::Punct;
+        Cur.Text = T;
+        Pos += 2;
+        return;
+      }
+    }
+    Cur.K = Tok::Punct;
+    Cur.Text = std::string(1, C);
+    ++Pos;
+  }
+
+  std::string Err;
+
+private:
+  void skip() {
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < S.size() && S[Pos + 1] == '/') {
+        while (Pos < S.size() && S[Pos] != '\n')
+          ++Pos;
+      } else if (C == '/' && Pos + 1 < S.size() && S[Pos + 1] == '*') {
+        Pos += 2;
+        while (Pos + 1 < S.size() &&
+               !(S[Pos] == '*' && S[Pos + 1] == '/')) {
+          if (S[Pos] == '\n')
+            ++Line;
+          ++Pos;
+        }
+        Pos += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view S;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  Token Cur;
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view S) : L(S) {}
+
+  Expected<Program> run();
+
+private:
+  Lexer L;
+  std::string ErrMsg;
+
+  bool fail(const std::string &M) {
+    if (ErrMsg.empty())
+      ErrMsg = formatString("line %u: %s", L.cur().Line, M.c_str());
+    return false;
+  }
+  bool isPunct(const char *P) const {
+    return L.cur().K == Tok::Punct && L.cur().Text == P;
+  }
+  bool isIdent(const char *I) const {
+    return L.cur().K == Tok::Ident && L.cur().Text == I;
+  }
+  bool eatPunct(const char *P) {
+    if (!isPunct(P))
+      return fail(formatString("expected '%s'", P));
+    L.next();
+    return true;
+  }
+
+  bool parseType(Type &T);
+  bool tryParseType(Type &T);
+  ExprPtr parseExpr();       // assignment level
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix(ExprPtr Base);
+  ExprPtr parsePrimary();
+  StmtPtr parseStmt();
+  bool parseBlockInto(std::vector<StmtPtr> &Out);
+};
+
+int precedenceOf(const std::string &Op) {
+  if (Op == "||")
+    return 1;
+  if (Op == "&&")
+    return 2;
+  if (Op == "|")
+    return 3;
+  if (Op == "^")
+    return 4;
+  if (Op == "&")
+    return 5;
+  if (Op == "==" || Op == "!=")
+    return 6;
+  if (Op == "<" || Op == "<=" || Op == ">" || Op == ">=")
+    return 7;
+  if (Op == "<<" || Op == ">>")
+    return 8;
+  if (Op == "+" || Op == "-")
+    return 9;
+  if (Op == "*" || Op == "/" || Op == "%")
+    return 10;
+  return 0;
+}
+
+} // namespace
+
+bool Parser::tryParseType(Type &T) {
+  if (isIdent("int"))
+    T.B = Type::Int;
+  else if (isIdent("char"))
+    T.B = Type::Char;
+  else
+    return false;
+  L.next();
+  T.PtrDepth = 0;
+  while (isPunct("*")) {
+    ++T.PtrDepth;
+    L.next();
+  }
+  return true;
+}
+
+bool Parser::parseType(Type &T) {
+  if (!tryParseType(T))
+    return fail("expected a type");
+  return true;
+}
+
+ExprPtr Parser::parsePrimary() {
+  auto E = std::make_unique<Expr>();
+  E->Line = L.cur().Line;
+  switch (L.cur().K) {
+  case Tok::Number:
+  case Tok::CharLit:
+    E->K = Expr::Num;
+    E->Val = L.cur().Val;
+    L.next();
+    return E;
+  case Tok::String:
+    E->K = Expr::StrLit;
+    E->Str = L.cur().Text;
+    L.next();
+    return E;
+  case Tok::Ident: {
+    E->Name = L.cur().Text;
+    L.next();
+    if (isPunct("(")) {
+      E->K = Expr::Call;
+      L.next();
+      if (!isPunct(")")) {
+        while (true) {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          E->Args.push_back(std::move(Arg));
+          if (!isPunct(","))
+            break;
+          L.next();
+        }
+      }
+      if (!eatPunct(")"))
+        return nullptr;
+      return E;
+    }
+    E->K = Expr::Var;
+    return E;
+  }
+  case Tok::Punct:
+    if (isPunct("(")) {
+      L.next();
+      ExprPtr Inner = parseExpr();
+      if (!Inner || !eatPunct(")"))
+        return nullptr;
+      return Inner;
+    }
+    break;
+  case Tok::Eof:
+    break;
+  }
+  fail("expected an expression");
+  return nullptr;
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr Base) {
+  while (isPunct("[")) {
+    L.next();
+    ExprPtr Idx = parseExpr();
+    if (!Idx || !eatPunct("]"))
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Index;
+    E->L = std::move(Base);
+    E->R = std::move(Idx);
+    Base = std::move(E);
+  }
+  return Base;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (isPunct("-") || isPunct("!") || isPunct("~")) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Unary;
+    E->Op = L.cur().Text;
+    L.next();
+    E->L = parseUnary();
+    return E->L ? std::move(E) : nullptr;
+  }
+  if (isPunct("*")) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Deref;
+    L.next();
+    E->L = parseUnary();
+    return E->L ? std::move(E) : nullptr;
+  }
+  if (isPunct("&")) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Addr;
+    L.next();
+    E->L = parseUnary();
+    return E->L ? std::move(E) : nullptr;
+  }
+  ExprPtr P = parsePrimary();
+  if (!P)
+    return nullptr;
+  return parsePostfix(std::move(P));
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (L.cur().K == Tok::Punct) {
+    int Prec = precedenceOf(L.cur().Text);
+    if (Prec == 0 || Prec < MinPrec)
+      break;
+    std::string Op = L.cur().Text;
+    L.next();
+    ExprPtr Rhs = parseBinary(Prec + 1);
+    if (!Rhs)
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Binary;
+    E->Op = Op;
+    E->L = std::move(Lhs);
+    E->R = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseBinary(1);
+  if (!Lhs)
+    return nullptr;
+  if (isPunct("=")) {
+    L.next();
+    ExprPtr Rhs = parseExpr(); // right associative
+    if (!Rhs)
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Assign;
+    E->L = std::move(Lhs);
+    E->R = std::move(Rhs);
+    return E;
+  }
+  return Lhs;
+}
+
+bool Parser::parseBlockInto(std::vector<StmtPtr> &Out) {
+  if (!eatPunct("{"))
+    return false;
+  while (!isPunct("}")) {
+    if (L.cur().K == Tok::Eof)
+      return fail("unterminated block");
+    StmtPtr S = parseStmt();
+    if (!S)
+      return false;
+    Out.push_back(std::move(S));
+  }
+  L.next();
+  return true;
+}
+
+StmtPtr Parser::parseStmt() {
+  auto S = std::make_unique<Stmt>();
+  S->Line = L.cur().Line;
+
+  Type T;
+  if (tryParseType(T)) {
+    S->K = Stmt::Decl;
+    S->DeclTy = T;
+    if (L.cur().K != Tok::Ident) {
+      fail("expected a variable name");
+      return nullptr;
+    }
+    S->Name = L.cur().Text;
+    L.next();
+    if (isPunct("[")) {
+      L.next();
+      if (L.cur().K != Tok::Number) {
+        fail("expected an array size");
+        return nullptr;
+      }
+      S->ArraySize = L.cur().Val;
+      L.next();
+      if (!eatPunct("]"))
+        return nullptr;
+    }
+    if (isPunct("=")) {
+      L.next();
+      S->E = parseExpr();
+      if (!S->E)
+        return nullptr;
+    }
+    if (!eatPunct(";"))
+      return nullptr;
+    return S;
+  }
+
+  if (isIdent("if")) {
+    L.next();
+    S->K = Stmt::If;
+    if (!eatPunct("("))
+      return nullptr;
+    S->E = parseExpr();
+    if (!S->E || !eatPunct(")"))
+      return nullptr;
+    if (isPunct("{")) {
+      if (!parseBlockInto(S->Body))
+        return nullptr;
+    } else {
+      StmtPtr One = parseStmt();
+      if (!One)
+        return nullptr;
+      S->Body.push_back(std::move(One));
+    }
+    if (isIdent("else")) {
+      L.next();
+      if (isPunct("{")) {
+        if (!parseBlockInto(S->Else))
+          return nullptr;
+      } else {
+        StmtPtr One = parseStmt();
+        if (!One)
+          return nullptr;
+        S->Else.push_back(std::move(One));
+      }
+    }
+    return S;
+  }
+  if (isIdent("while")) {
+    L.next();
+    S->K = Stmt::While;
+    if (!eatPunct("("))
+      return nullptr;
+    S->E = parseExpr();
+    if (!S->E || !eatPunct(")"))
+      return nullptr;
+    if (!parseBlockInto(S->Body))
+      return nullptr;
+    return S;
+  }
+  if (isIdent("for")) {
+    L.next();
+    S->K = Stmt::For;
+    if (!eatPunct("("))
+      return nullptr;
+    if (!isPunct(";")) {
+      S->Init = parseStmt(); // decl or expression statement (eats ';')
+      if (!S->Init)
+        return nullptr;
+    } else {
+      L.next();
+    }
+    if (!isPunct(";")) {
+      S->E = parseExpr();
+      if (!S->E)
+        return nullptr;
+    }
+    if (!eatPunct(";"))
+      return nullptr;
+    if (!isPunct(")")) {
+      auto Step = std::make_unique<Stmt>();
+      Step->K = Stmt::ExprStmt;
+      Step->E = parseExpr();
+      if (!Step->E)
+        return nullptr;
+      S->Step = std::move(Step);
+    }
+    if (!eatPunct(")"))
+      return nullptr;
+    if (!parseBlockInto(S->Body))
+      return nullptr;
+    return S;
+  }
+  if (isIdent("switch")) {
+    L.next();
+    S->K = Stmt::Switch;
+    if (!eatPunct("("))
+      return nullptr;
+    S->E = parseExpr();
+    if (!S->E || !eatPunct(")") || !eatPunct("{"))
+      return nullptr;
+    while (!isPunct("}")) {
+      SwitchCase C;
+      if (isIdent("case")) {
+        L.next();
+        if (L.cur().K != Tok::Number && L.cur().K != Tok::CharLit) {
+          fail("expected a case constant");
+          return nullptr;
+        }
+        C.Value = L.cur().Val;
+        L.next();
+      } else if (isIdent("default")) {
+        L.next();
+        C.IsDefault = true;
+      } else {
+        fail("expected 'case' or 'default'");
+        return nullptr;
+      }
+      if (!eatPunct(":"))
+        return nullptr;
+      while (!isPunct("}") && !isIdent("case") && !isIdent("default")) {
+        StmtPtr Inner = parseStmt();
+        if (!Inner)
+          return nullptr;
+        C.Body.push_back(std::move(Inner));
+      }
+      S->Cases.push_back(std::move(C));
+    }
+    L.next();
+    return S;
+  }
+  if (isIdent("return")) {
+    L.next();
+    S->K = Stmt::Return;
+    if (!isPunct(";")) {
+      S->E = parseExpr();
+      if (!S->E)
+        return nullptr;
+    }
+    if (!eatPunct(";"))
+      return nullptr;
+    return S;
+  }
+  if (isIdent("break")) {
+    L.next();
+    S->K = Stmt::Break;
+    if (!eatPunct(";"))
+      return nullptr;
+    return S;
+  }
+  if (isIdent("continue")) {
+    L.next();
+    S->K = Stmt::Continue;
+    if (!eatPunct(";"))
+      return nullptr;
+    return S;
+  }
+  if (isPunct("{")) {
+    S->K = Stmt::Block;
+    if (!parseBlockInto(S->Body))
+      return nullptr;
+    return S;
+  }
+
+  S->K = Stmt::ExprStmt;
+  S->E = parseExpr();
+  if (!S->E || !eatPunct(";"))
+    return nullptr;
+  return S;
+}
+
+Expected<Program> Parser::run() {
+  Program P;
+  while (L.cur().K != Tok::Eof) {
+    Type T;
+    if (!parseType(T))
+      return Error::failure(ErrMsg);
+    if (L.cur().K != Tok::Ident)
+      return Error::failure(
+          formatString("line %u: expected a declaration name", L.cur().Line));
+    std::string Name = L.cur().Text;
+    L.next();
+
+    if (isPunct("(")) {
+      // Function definition.
+      FuncDecl F;
+      F.Name = std::move(Name);
+      F.RetTy = T;
+      L.next();
+      if (!isPunct(")")) {
+        while (true) {
+          Type PT;
+          if (!parseType(PT))
+            return Error::failure(ErrMsg);
+          if (L.cur().K != Tok::Ident)
+            return Error::failure(formatString(
+                "line %u: expected a parameter name", L.cur().Line));
+          F.Params.emplace_back(PT, L.cur().Text);
+          L.next();
+          if (!isPunct(","))
+            break;
+          L.next();
+        }
+      }
+      if (!eatPunct(")") || !parseBlockInto(F.Body))
+        return Error::failure(ErrMsg);
+      P.Funcs.push_back(std::move(F));
+      continue;
+    }
+
+    // Global variable.
+    GlobalDecl G;
+    G.Ty = T;
+    G.Name = std::move(Name);
+    if (isPunct("[")) {
+      L.next();
+      if (L.cur().K != Tok::Number)
+        return Error::failure(
+            formatString("line %u: expected an array size", L.cur().Line));
+      G.ArraySize = L.cur().Val;
+      L.next();
+      if (!eatPunct("]"))
+        return Error::failure(ErrMsg);
+    }
+    if (isPunct("=")) {
+      L.next();
+      G.HasInit = true;
+      if (L.cur().K == Tok::String) {
+        G.StrInit = L.cur().Text;
+        L.next();
+      } else if (isPunct("{")) {
+        L.next();
+        while (!isPunct("}")) {
+          int64_t Sign = 1;
+          if (isPunct("-")) {
+            Sign = -1;
+            L.next();
+          }
+          if (L.cur().K != Tok::Number && L.cur().K != Tok::CharLit)
+            return Error::failure(formatString(
+                "line %u: expected a constant initializer", L.cur().Line));
+          G.Init.push_back(Sign * L.cur().Val);
+          L.next();
+          if (isPunct(","))
+            L.next();
+        }
+        L.next();
+      } else {
+        int64_t Sign = 1;
+        if (isPunct("-")) {
+          Sign = -1;
+          L.next();
+        }
+        if (L.cur().K != Tok::Number && L.cur().K != Tok::CharLit)
+          return Error::failure(formatString(
+              "line %u: expected a constant initializer", L.cur().Line));
+        G.Init.push_back(Sign * L.cur().Val);
+        L.next();
+      }
+    }
+    if (!eatPunct(";"))
+      return Error::failure(ErrMsg);
+    P.Globals.push_back(std::move(G));
+  }
+  if (!L.Err.empty())
+    return Error::failure(L.Err);
+  return P;
+}
+
+Expected<Program> lang::parse(std::string_view Source) {
+  Parser P(Source);
+  return P.run();
+}

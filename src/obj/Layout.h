@@ -1,0 +1,55 @@
+//===- obj/Layout.h - Guest address-space layout ------------------*- C++ -*-===//
+///
+/// \file
+/// The fixed guest address-space map. It mirrors a Linux x86-64 process
+/// closely enough that the paper's Table 1 / Table 2 region constants
+/// apply verbatim:
+///
+///   LowMem   0x0              .. 0x7fff'7fff         (text, data, rodata)
+///   HighMem  0x6000'0000'0000 .. 0x7fff'ffff'ffff    (heap, stack)
+///
+/// The gap between them hosts the ASan shadow ((addr >> 3) + 0x7fff8000)
+/// and the DIFT tag shadow (addr XOR 1<<45); see runtime/ShadowLayout.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_OBJ_LAYOUT_H
+#define TEAPOT_OBJ_LAYOUT_H
+
+#include <cstdint>
+
+namespace teapot {
+namespace obj {
+
+// Static image layout (all inside LowMem).
+inline constexpr uint64_t TextBase = 0x401000;
+inline constexpr uint64_t RodataBase = 0x900000;
+inline constexpr uint64_t DataBase = 0xa00000;
+// Reserved page of runtime-owned globals visible to rewritten guest code
+// (e.g. the in-simulation flag used by real-copy marker guards).
+inline constexpr uint64_t RuntimeGlobalsBase = 0x7fe000;
+inline constexpr uint64_t SimFlagAddr = RuntimeGlobalsBase; // u64
+
+// Dynamic regions (all inside HighMem).
+inline constexpr uint64_t HeapBase = 0x6020'0000'0000ULL;
+inline constexpr uint64_t StackTop = 0x7fff'ffff'f000ULL;
+inline constexpr uint64_t StackLimit = StackTop - 0x100000; // 1 MiB stack
+
+// User-accessible regions (paper Table 2; Table 1's larger HighMem applies
+// when DIFT is disabled, but we always reserve the DIFT-safe subset).
+inline constexpr uint64_t LowMemStart = 0x0;
+inline constexpr uint64_t LowMemEnd = 0x7fff'7fffULL;
+inline constexpr uint64_t HighMemStart = 0x6000'0000'0000ULL;
+inline constexpr uint64_t HighMemEnd = 0x7fff'ffff'ffffULL;
+// Table 1 (ASan only, no DIFT) HighMem start.
+inline constexpr uint64_t Table1HighMemStart = 0x1000'7fff'8000ULL;
+
+/// True if \p Addr lies in a user-accessible region (Table 2 layout).
+inline bool isUserAddress(uint64_t Addr) {
+  return Addr <= LowMemEnd || (Addr >= HighMemStart && Addr <= HighMemEnd);
+}
+
+} // namespace obj
+} // namespace teapot
+
+#endif // TEAPOT_OBJ_LAYOUT_H

@@ -1,0 +1,242 @@
+//===- obj/ObjectFile.cpp -------------------------------------------------===//
+
+#include "obj/ObjectFile.h"
+
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::obj;
+
+const Section *ObjectFile::findSection(const std::string &Name) const {
+  for (const Section &S : Sections)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+Section *ObjectFile::findSection(const std::string &Name) {
+  for (Section &S : Sections)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+const Section *ObjectFile::sectionContaining(uint64_t Addr) const {
+  for (const Section &S : Sections)
+    if (S.contains(Addr))
+      return &S;
+  return nullptr;
+}
+
+const Symbol *ObjectFile::findSymbol(const std::string &Name) const {
+  for (const Symbol &S : Symbols)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+void ObjectFile::strip() {
+  Symbols.clear();
+  Relocs.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization. Simple length-prefixed little-endian format:
+//   magic "TBF1" | entry u64
+//   nsections u32 { name, kind u8, addr u64, bss u64, nbytes u64, bytes }
+//   nsymbols  u32 { name, kind u8, addr u64, size u64, global u8 }
+//   nrelocs   u32 { kind u8, section u32, offset u64, symname, addend i64 }
+//   nmeta     u32 { name, nbytes u64, bytes }
+// Strings are u32 length + raw bytes.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Writer {
+public:
+  std::vector<uint8_t> Out;
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void bytes(const std::vector<uint8_t> &B) {
+    u64(B.size());
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+};
+
+class Reader {
+public:
+  Reader(const std::vector<uint8_t> &In) : In(In) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > In.size())
+      return false;
+    V = In[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(In[Pos + I]) << (I * 8);
+    Pos += 4;
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(In[Pos + I]) << (I * 8);
+    Pos += 8;
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || Pos + N > In.size())
+      return false;
+    S.assign(reinterpret_cast<const char *>(In.data() + Pos), N);
+    Pos += N;
+    return true;
+  }
+  bool bytes(std::vector<uint8_t> &B) {
+    uint64_t N;
+    if (!u64(N) || Pos + N > In.size())
+      return false;
+    B.assign(In.begin() + Pos, In.begin() + Pos + N);
+    Pos += N;
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &In;
+  size_t Pos = 0;
+};
+
+constexpr char Magic[4] = {'T', 'B', 'F', '1'};
+
+} // namespace
+
+std::vector<uint8_t> ObjectFile::serialize() const {
+  Writer W;
+  W.Out.insert(W.Out.end(), Magic, Magic + 4);
+  W.u64(Entry);
+
+  W.u32(static_cast<uint32_t>(Sections.size()));
+  for (const Section &S : Sections) {
+    W.str(S.Name);
+    W.u8(static_cast<uint8_t>(S.Kind));
+    W.u64(S.Addr);
+    W.u64(S.BssSize);
+    W.bytes(S.Bytes);
+  }
+
+  W.u32(static_cast<uint32_t>(Symbols.size()));
+  for (const Symbol &S : Symbols) {
+    W.str(S.Name);
+    W.u8(static_cast<uint8_t>(S.Kind));
+    W.u64(S.Addr);
+    W.u64(S.Size);
+    W.u8(S.Global ? 1 : 0);
+  }
+
+  W.u32(static_cast<uint32_t>(Relocs.size()));
+  for (const Reloc &R : Relocs) {
+    W.u8(static_cast<uint8_t>(R.Kind));
+    W.u32(R.SectionIndex);
+    W.u64(R.Offset);
+    W.str(R.SymbolName);
+    W.u64(static_cast<uint64_t>(R.Addend));
+  }
+
+  W.u32(static_cast<uint32_t>(Metadata.size()));
+  for (const auto &[Name, Blob] : Metadata) {
+    W.str(Name);
+    W.bytes(Blob);
+  }
+  return std::move(W.Out);
+}
+
+Expected<ObjectFile> ObjectFile::deserialize(
+    const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < 4 || memcmp(Bytes.data(), Magic, 4) != 0)
+    return makeError("not a TBF file: bad magic");
+  Reader R(Bytes);
+  // Skip magic.
+  uint32_t Dummy;
+  if (!R.u32(Dummy))
+    return makeError("truncated TBF header");
+
+  ObjectFile O;
+  if (!R.u64(O.Entry))
+    return makeError("truncated TBF header");
+
+  uint32_t N;
+  if (!R.u32(N))
+    return makeError("truncated section table");
+  for (uint32_t I = 0; I != N; ++I) {
+    Section S;
+    uint8_t Kind;
+    if (!R.str(S.Name) || !R.u8(Kind) || !R.u64(S.Addr) || !R.u64(S.BssSize) ||
+        !R.bytes(S.Bytes))
+      return makeError("truncated section %u", I);
+    if (Kind > static_cast<uint8_t>(SectionKind::Bss))
+      return makeError("bad section kind in section %u", I);
+    S.Kind = static_cast<SectionKind>(Kind);
+    O.Sections.push_back(std::move(S));
+  }
+
+  if (!R.u32(N))
+    return makeError("truncated symbol table");
+  for (uint32_t I = 0; I != N; ++I) {
+    Symbol S;
+    uint8_t Kind, Global;
+    if (!R.str(S.Name) || !R.u8(Kind) || !R.u64(S.Addr) || !R.u64(S.Size) ||
+        !R.u8(Global))
+      return makeError("truncated symbol %u", I);
+    if (Kind > static_cast<uint8_t>(SymbolKind::Label))
+      return makeError("bad symbol kind in symbol %u", I);
+    S.Kind = static_cast<SymbolKind>(Kind);
+    S.Global = Global != 0;
+    O.Symbols.push_back(std::move(S));
+  }
+
+  if (!R.u32(N))
+    return makeError("truncated relocation table");
+  for (uint32_t I = 0; I != N; ++I) {
+    Reloc Rel;
+    uint8_t Kind;
+    uint64_t Addend;
+    if (!R.u8(Kind) || !R.u32(Rel.SectionIndex) || !R.u64(Rel.Offset) ||
+        !R.str(Rel.SymbolName) || !R.u64(Addend))
+      return makeError("truncated relocation %u", I);
+    if (Kind > static_cast<uint8_t>(RelocKind::Rel32))
+      return makeError("bad relocation kind in relocation %u", I);
+    Rel.Kind = static_cast<RelocKind>(Kind);
+    Rel.Addend = static_cast<int64_t>(Addend);
+    O.Relocs.push_back(std::move(Rel));
+  }
+
+  if (!R.u32(N))
+    return makeError("truncated metadata table");
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string Name;
+    std::vector<uint8_t> Blob;
+    if (!R.str(Name) || !R.bytes(Blob))
+      return makeError("truncated metadata blob %u", I);
+    O.Metadata.emplace(std::move(Name), std::move(Blob));
+  }
+  return O;
+}

@@ -1,0 +1,101 @@
+//===- obj/ObjectFile.h - TBF object/binary format ----------------*- C++ -*-===//
+///
+/// \file
+/// TBF ("Teapot Binary Format") — the COTS binary container this
+/// reproduction analyzes, standing in for ELF. A fully linked TBF holds
+/// sections at fixed virtual addresses with relocations already applied;
+/// symbols and relocation records are *optional* metadata that strip()
+/// removes, because the disassembler must not depend on them.
+///
+/// Rewriters attach named metadata blobs (e.g. ".teapot.meta" with the
+/// Speculation Shadows side tables) that the runtime parses at load time —
+/// the analogue of Teapot's added ELF sections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_OBJ_OBJECTFILE_H
+#define TEAPOT_OBJ_OBJECTFILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace obj {
+
+enum class SectionKind : uint8_t { Code, Data, ReadOnlyData, Bss };
+
+struct Section {
+  std::string Name;
+  SectionKind Kind = SectionKind::Data;
+  uint64_t Addr = 0;
+  std::vector<uint8_t> Bytes; // empty for Bss
+  uint64_t BssSize = 0;       // nonzero only for Bss
+
+  uint64_t size() const {
+    return Kind == SectionKind::Bss ? BssSize : Bytes.size();
+  }
+  bool contains(uint64_t A) const { return A >= Addr && A < Addr + size(); }
+};
+
+enum class SymbolKind : uint8_t { Function, Object, Label };
+
+struct Symbol {
+  std::string Name;
+  SymbolKind Kind = SymbolKind::Label;
+  uint64_t Addr = 0;
+  uint64_t Size = 0;
+  bool Global = false;
+};
+
+enum class RelocKind : uint8_t {
+  Abs64, // 8-byte absolute: S + A
+  Rel32, // 4-byte pc-relative: S + A - (P + 4)  (unused by the assembler,
+         // which bakes branch offsets directly; kept for data tables)
+};
+
+struct Reloc {
+  RelocKind Kind = RelocKind::Abs64;
+  uint32_t SectionIndex = 0;
+  uint64_t Offset = 0; // within the section
+  std::string SymbolName;
+  int64_t Addend = 0;
+};
+
+class ObjectFile {
+public:
+  uint64_t Entry = 0;
+  std::vector<Section> Sections;
+  std::vector<Symbol> Symbols;
+  std::vector<Reloc> Relocs;
+  /// Named metadata blobs (e.g. ".teapot.meta").
+  std::map<std::string, std::vector<uint8_t>> Metadata;
+
+  /// Returns the section named \p Name or null.
+  const Section *findSection(const std::string &Name) const;
+  Section *findSection(const std::string &Name);
+
+  /// Returns the section containing address \p Addr or null.
+  const Section *sectionContaining(uint64_t Addr) const;
+
+  /// Returns the symbol named \p Name or null.
+  const Symbol *findSymbol(const std::string &Name) const;
+
+  /// Removes all symbols and relocation records, leaving a stripped
+  /// binary (the COTS analysis target).
+  void strip();
+
+  /// Serializes to the TBF wire format.
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses the TBF wire format.
+  static Expected<ObjectFile> deserialize(const std::vector<uint8_t> &Bytes);
+};
+
+} // namespace obj
+} // namespace teapot
+
+#endif // TEAPOT_OBJ_OBJECTFILE_H

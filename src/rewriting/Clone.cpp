@@ -1,0 +1,42 @@
+//===- rewriting/Clone.cpp ------------------------------------------------===//
+
+#include "rewriting/Clone.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::rewriting;
+
+void rewriting::cloneShadowFunctions(Module &M) {
+  const uint32_t NumReal = static_cast<uint32_t>(M.Funcs.size());
+  M.Funcs.reserve(NumReal * 2);
+
+  for (uint32_t F = 0; F != NumReal; ++F) {
+    Function Clone = M.Funcs[F]; // byte-for-byte copy
+    Clone.Name += "$spec";
+    Clone.IsShadow = true;
+    Clone.ShadowOf = F;
+    Clone.ShadowIdx = NoIdx;
+    M.Funcs[F].ShadowIdx = NumReal + F;
+
+    auto Remap = [&](BlockRef &R) {
+      assert(R.Func < NumReal && "clone input already references a shadow");
+      R.Func += NumReal;
+    };
+    for (BasicBlock &B : Clone.Blocks) {
+      if (B.TakenSucc)
+        Remap(*B.TakenSucc);
+      if (B.FallSucc)
+        Remap(*B.FallSucc);
+      for (BlockRef &R : B.IndirectSuccs)
+        Remap(R);
+      for (Inst &In : B.Insts) {
+        if (In.Target)
+          Remap(*In.Target);
+        if (In.Callee != NoIdx)
+          In.Callee += NumReal;
+        // FuncImm deliberately left pointing at the Real Copy.
+      }
+    }
+    M.Funcs.push_back(std::move(Clone));
+  }
+}

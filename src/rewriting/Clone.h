@@ -1,0 +1,41 @@
+//===- rewriting/Clone.h - Shadow-copy function cloning -----------*- C++ -*-===//
+///
+/// \file
+/// The structural half of Speculation Shadows (Section 5.2): clone every
+/// function byte-for-byte into a Shadow Copy named "<name>$spec", then
+/// update all control-flow transitions known at rewrite time (direct
+/// branches and calls) inside the clones to refer to their Shadow-Copy
+/// counterparts, so control flow never escapes into code of the wrong
+/// execution mode by a direct edge.
+///
+/// Function-pointer immediates (FuncImm) intentionally keep pointing at
+/// Real-Copy entries: that reproduces Figure 5(b), where a Real-Copy code
+/// pointer flows into the Shadow Copy and must be caught at run time by
+/// the escape checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_REWRITING_CLONE_H
+#define TEAPOT_REWRITING_CLONE_H
+
+#include "ir/IR.h"
+
+namespace teapot {
+namespace rewriting {
+
+/// Clones all functions of \p M. Clone of function i gets index
+/// NumOriginal + i; IsShadow/ShadowOf/ShadowIdx are linked up. Must run
+/// before any instrumentation pass.
+void cloneShadowFunctions(ir::Module &M);
+
+/// Returns the shadow counterpart of a real-copy block.
+inline ir::BlockRef shadowBlock(const ir::Module &M, ir::BlockRef Real) {
+  uint32_t SIdx = M.Funcs[Real.Func].ShadowIdx;
+  assert(SIdx != ir::NoIdx && "function has no shadow copy");
+  return {SIdx, Real.Block};
+}
+
+} // namespace rewriting
+} // namespace teapot
+
+#endif // TEAPOT_REWRITING_CLONE_H

@@ -1,0 +1,81 @@
+//===- runtime/Coverage.h - Two-mode coverage tracking ------------*- C++ -*-===//
+///
+/// \file
+/// Section 6.3: Spectre gadget detection distinguishes *normal-execution*
+/// coverage from *speculation-simulation* coverage, and Teapot tracks
+/// them separately through a SanitizerCoverage-style guard interface.
+///
+/// Speculative coverage uses the paper's lazy optimization: visiting a
+/// Shadow-Copy block only appends its guard id to a buffer; the real
+/// counters are updated when the rollback begins, eliminating the
+/// register-preservation overhead of calling the coverage function from
+/// every speculative block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_RUNTIME_COVERAGE_H
+#define TEAPOT_RUNTIME_COVERAGE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace teapot {
+namespace runtime {
+
+class Coverage {
+public:
+  void init(uint32_t NumNormal, uint32_t NumSpec) {
+    Normal.assign(NumNormal, 0);
+    Spec.assign(NumSpec, 0);
+    LazyBuf.clear();
+  }
+
+  void hitNormal(uint32_t Id) {
+    if (Id < Normal.size() && Normal[Id] != 0xff)
+      ++Normal[Id];
+  }
+
+  /// Eager speculative hit (ablation mode).
+  void hitSpec(uint32_t Id) {
+    if (Id < Spec.size() && Spec[Id] != 0xff)
+      ++Spec[Id];
+  }
+
+  /// Lazy speculative hit: note the guard id only.
+  void noteSpecLazy(uint32_t Id) { LazyBuf.push_back(Id); }
+
+  size_t lazyMark() const { return LazyBuf.size(); }
+
+  /// Flushes buffered guard ids recorded after \p Mark into the real
+  /// counters and truncates the buffer (called as the rollback begins).
+  void flushLazyFrom(size_t Mark) {
+    for (size_t I = Mark; I < LazyBuf.size(); ++I)
+      hitSpec(LazyBuf[I]);
+    LazyBuf.resize(Mark);
+  }
+
+  /// Number of guards hit at least once.
+  size_t normalCovered() const { return covered(Normal); }
+  size_t specCovered() const { return covered(Spec); }
+
+  const std::vector<uint8_t> &normalMap() const { return Normal; }
+  const std::vector<uint8_t> &specMap() const { return Spec; }
+
+private:
+  static size_t covered(const std::vector<uint8_t> &V) {
+    size_t N = 0;
+    for (uint8_t B : V)
+      N += B != 0;
+    return N;
+  }
+
+  std::vector<uint8_t> Normal;
+  std::vector<uint8_t> Spec;
+  std::vector<uint32_t> LazyBuf;
+};
+
+} // namespace runtime
+} // namespace teapot
+
+#endif // TEAPOT_RUNTIME_COVERAGE_H

@@ -1,0 +1,135 @@
+//===- runtime/Dift.cpp ---------------------------------------------------===//
+
+#include "runtime/Dift.h"
+
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::isa;
+using namespace teapot::runtime;
+
+void TagEngine::transfer(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::MOV:
+    RegTags[I.A.R] = srcTag(I.B);
+    return;
+  case Opcode::LOAD:
+  case Opcode::LOADS: {
+    uint64_t EA = M.effectiveAddr(I.B.M);
+    RegTags[I.A.R] =
+        static_cast<uint8_t>(memTag(EA, I.Size) | PendingLoadExtra);
+    PendingLoadExtra = 0;
+    return;
+  }
+  case Opcode::STORE: {
+    uint64_t EA = M.effectiveAddr(I.A.M);
+    setMemTag(EA, I.Size, srcTag(I.B));
+    return;
+  }
+  case Opcode::LEA:
+    RegTags[I.A.R] = addrTag(I.B.M);
+    return;
+  case Opcode::PUSH: {
+    uint64_t Slot = M.C.R[SP] - 8;
+    setMemTag(Slot, 8, srcTag(I.A));
+    return;
+  }
+  case Opcode::POP:
+    RegTags[I.A.R] = memTag(M.C.R[SP], 8);
+    return;
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::SAR:
+  case Opcode::MUL:
+  case Opcode::UDIV:
+  case Opcode::UREM: {
+    // Idiomatic zeroing (xor r, r / sub r, r) clears the taint.
+    if ((I.Op == Opcode::XOR || I.Op == Opcode::SUB) && I.B.isReg() &&
+        I.B.R == I.A.R)
+      RegTags[I.A.R] = 0;
+    else
+      RegTags[I.A.R] |= srcTag(I.B);
+    FlagsTag = RegTags[I.A.R];
+    return;
+  }
+  case Opcode::NOT:
+    return; // tag unchanged
+  case Opcode::NEG:
+    FlagsTag = RegTags[I.A.R];
+    return;
+  case Opcode::CMP:
+  case Opcode::TEST:
+    FlagsTag = static_cast<uint8_t>(RegTags[I.A.R] | srcTag(I.B));
+    return;
+  case Opcode::SET:
+    RegTags[I.A.R] = FlagsTag;
+    return;
+  case Opcode::CMOV:
+    RegTags[I.A.R] |= srcTag(I.B) | FlagsTag;
+    return;
+  case Opcode::CALL:
+  case Opcode::CALLI:
+    // The pushed return address is a program constant.
+    setMemTag(M.C.R[SP] - 8, 8, 0);
+    return;
+  case Opcode::EXT:
+    // External functions return untainted data in r0; input tainting is
+    // handled by the read_input hook.
+    RegTags[R0] = 0;
+    return;
+  case Opcode::JMP:
+  case Opcode::JCC:
+  case Opcode::JMPI:
+  case Opcode::RET:
+  case Opcode::NOP:
+  case Opcode::MARKERNOP:
+  case Opcode::FENCE:
+  case Opcode::HALT:
+  case Opcode::INTR:
+  case Opcode::NumOpcodes:
+    return;
+  }
+}
+
+void TagEngine::runProgram(const ir::TagProgram &P) {
+  // Inputs are immutable: entry register tags (latched here) and
+  // single-assignment temporaries, so the trailing RegSetMask/FlagsMask
+  // ops form a true parallel assignment.
+  uint8_t Entry[isa::NumRegs];
+  memcpy(Entry, RegTags, sizeof(Entry));
+  uint8_t Tmp[ir::NumTagTemps] = {};
+
+  auto UnionMask = [&](uint32_t Mask) {
+    uint8_t T = 0;
+    for (unsigned R = 0; R != isa::NumRegs; ++R)
+      if (Mask & (1u << R))
+        T |= Entry[R];
+    for (unsigned I = 0; I != ir::NumTagTemps; ++I)
+      if (Mask & (1u << (16 + I)))
+        T |= Tmp[I];
+    return T;
+  };
+
+  for (const ir::TagMicroOp &Op : P) {
+    switch (Op.K) {
+    case ir::TagMicroOp::LoadTmp:
+      assert(Op.Dst < ir::NumTagTemps && "temp index out of range");
+      Tmp[Op.Dst] = memTag(M.effectiveAddr(Op.Mem), Op.Size);
+      break;
+    case ir::TagMicroOp::StoreMask:
+      setMemTag(M.effectiveAddr(Op.Mem), Op.Size, UnionMask(Op.Mask));
+      break;
+    case ir::TagMicroOp::RegSetMask:
+      RegTags[Op.Dst] = UnionMask(Op.Mask);
+      break;
+    case ir::TagMicroOp::FlagsMask:
+      FlagsTag = UnionMask(Op.Mask);
+      break;
+    }
+  }
+}

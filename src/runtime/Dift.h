@@ -1,0 +1,136 @@
+//===- runtime/Dift.h - Dynamic information flow tracking ---------*- C++ -*-===//
+///
+/// \file
+/// The binary DIFT engine of Section 6.2.2. Tags live in the tag shadow
+/// (one byte per data byte, at Addr XOR 1<<45); registers and FLAGS carry
+/// whole-value tag bytes. The engine provides:
+///
+///   - transfer(): the synchronous per-instruction propagation used in
+///     the Shadow Copy (and by the SpecTaint-style baseline emulator),
+///   - runProgram(): the asynchronous per-basic-block transfer programs
+///     used in the Real Copy, where "program execution and the tag
+///     propagation do not always need to be synchronized",
+///   - an undo log so speculative tag changes roll back with the
+///     checkpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_RUNTIME_DIFT_H
+#define TEAPOT_RUNTIME_DIFT_H
+
+#include "ir/IR.h"
+#include "isa/Instruction.h"
+#include "runtime/ShadowLayout.h"
+#include "vm/Machine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace teapot {
+namespace runtime {
+
+struct TagLogEntry {
+  uint64_t Addr; // application address (not the shadow address)
+  uint8_t OldTag;
+};
+
+class TagEngine {
+public:
+  explicit TagEngine(vm::Machine &M) : M(M) {}
+
+  uint8_t RegTags[isa::NumRegs] = {};
+  uint8_t FlagsTag = 0;
+  /// Extra tag bits OR-ed into the destination of the next load (set by
+  /// the Kasper sink when a speculative OOB or massaged access is
+  /// detected, consumed by transfer()).
+  uint8_t PendingLoadExtra = 0;
+
+  /// When true, memory-tag writes are recorded for rollback.
+  bool Logging = false;
+  std::vector<TagLogEntry> Log;
+
+  /// Union of the tag bytes covering [Addr, Addr+Size).
+  uint8_t memTag(uint64_t Addr, unsigned Size) const {
+    uint8_t T = 0;
+    for (unsigned I = 0; I != Size; ++I)
+      T |= M.Mem.readU8(tagShadowAddr(Addr + I));
+    return T;
+  }
+
+  /// Sets the tag of every byte in [Addr, Addr+Size).
+  void setMemTag(uint64_t Addr, unsigned Size, uint8_t Tag) {
+    for (unsigned I = 0; I != Size; ++I) {
+      uint64_t SA = tagShadowAddr(Addr + I);
+      uint8_t Old = M.Mem.readU8(SA);
+      if (Old == Tag)
+        continue;
+      if (Logging)
+        Log.push_back({Addr + I, Old});
+      M.Mem.writeU8(SA, Tag);
+    }
+  }
+
+  /// OR-merges \p Tag into every byte of [Addr, Addr+Size).
+  void orMemTag(uint64_t Addr, unsigned Size, uint8_t Tag) {
+    for (unsigned I = 0; I != Size; ++I) {
+      uint64_t SA = tagShadowAddr(Addr + I);
+      uint8_t Old = M.Mem.readU8(SA);
+      if ((Old | Tag) == Old)
+        continue;
+      if (Logging)
+        Log.push_back({Addr + I, Old});
+      M.Mem.writeU8(SA, static_cast<uint8_t>(Old | Tag));
+    }
+  }
+
+  /// Tag of a reg-or-imm source operand (immediates are untainted).
+  uint8_t srcTag(const isa::Operand &O) const {
+    return O.isReg() ? RegTags[O.R] : 0;
+  }
+
+  /// Tag union of the registers composing a memory address — the
+  /// "pointer tag" the Kasper sinks classify accesses by.
+  uint8_t addrTag(const isa::MemRef &Mem) const {
+    uint8_t T = 0;
+    if (Mem.Base != isa::NoReg)
+      T |= RegTags[Mem.Base];
+    if (Mem.Index != isa::NoReg)
+      T |= RegTags[Mem.Index];
+    return T;
+  }
+
+  /// Applies the tag transfer of \p I. Must run *before* \p I executes
+  /// (effective addresses are computed from pre-execution registers).
+  void transfer(const isa::Instruction &I);
+
+  /// Evaluates a per-block transfer program (Real Copy asynchronous
+  /// update; never logged because normal execution never rolls back).
+  void runProgram(const ir::TagProgram &P);
+
+  /// Rolls memory tags back to \p Mark (register/flag tags are restored
+  /// wholesale from the checkpoint by the caller).
+  void undoTo(size_t Mark) {
+    while (Log.size() > Mark) {
+      const TagLogEntry &E = Log.back();
+      M.Mem.writeU8(tagShadowAddr(E.Addr), E.OldTag);
+      Log.pop_back();
+    }
+  }
+
+  void reset() {
+    for (uint8_t &T : RegTags)
+      T = 0;
+    FlagsTag = 0;
+    PendingLoadExtra = 0;
+    Log.clear();
+    Logging = false;
+  }
+
+private:
+  vm::Machine &M;
+};
+
+} // namespace runtime
+} // namespace teapot
+
+#endif // TEAPOT_RUNTIME_DIFT_H

@@ -1,0 +1,126 @@
+//===- runtime/MetaTable.cpp ----------------------------------------------===//
+
+#include "runtime/MetaTable.h"
+
+#include "support/ByteStream.h"
+
+using namespace teapot;
+using namespace teapot::runtime;
+
+std::vector<uint8_t> MetaTable::serialize() const {
+  ByteWriter W;
+  W.u64(RealTextStart);
+  W.u64(RealTextEnd);
+  W.u64(ShadowTextStart);
+  W.u64(ShadowTextEnd);
+  W.u64(SimFlagAddr);
+
+  W.u32(static_cast<uint32_t>(Trampolines.size()));
+  for (uint64_t T : Trampolines)
+    W.u64(T);
+
+  W.u32(static_cast<uint32_t>(FuncMap.size()));
+  for (const auto &[Real, Shadow] : FuncMap) {
+    W.u64(Real);
+    W.u64(Shadow);
+  }
+
+  W.u32(static_cast<uint32_t>(MarkerSites.size()));
+  for (uint64_t A : MarkerSites)
+    W.u64(A);
+
+  W.u32(static_cast<uint32_t>(MarkerResume.size()));
+  for (uint64_t A : MarkerResume)
+    W.u64(A);
+
+  W.u32(static_cast<uint32_t>(TagPrograms.size()));
+  for (const ir::TagProgram &P : TagPrograms) {
+    W.u32(static_cast<uint32_t>(P.size()));
+    for (const ir::TagMicroOp &Op : P) {
+      W.u8(Op.K);
+      W.u8(Op.Dst);
+      W.u8(Op.Size);
+      W.u32(Op.Mask);
+      W.u8(Op.Mem.Base);
+      W.u8(Op.Mem.Index);
+      W.u8(Op.Mem.Scale);
+      W.u64(static_cast<uint64_t>(Op.Mem.Disp));
+    }
+  }
+
+  W.u32(NumNormalGuards);
+  W.u32(NumSpecGuards);
+  return std::move(W.Out);
+}
+
+Expected<MetaTable> MetaTable::deserialize(
+    const std::vector<uint8_t> &Bytes) {
+  ByteReader R(Bytes);
+  MetaTable M;
+  if (!R.u64(M.RealTextStart) || !R.u64(M.RealTextEnd) ||
+      !R.u64(M.ShadowTextStart) || !R.u64(M.ShadowTextEnd) ||
+      !R.u64(M.SimFlagAddr))
+    return makeError("truncated meta header");
+
+  uint32_t N;
+  if (!R.u32(N))
+    return makeError("truncated trampoline table");
+  M.Trampolines.resize(N);
+  for (uint32_t I = 0; I != N; ++I)
+    if (!R.u64(M.Trampolines[I]))
+      return makeError("truncated trampoline table");
+
+  if (!R.u32(N))
+    return makeError("truncated function map");
+  for (uint32_t I = 0; I != N; ++I) {
+    uint64_t Real, Shadow;
+    if (!R.u64(Real) || !R.u64(Shadow))
+      return makeError("truncated function map");
+    M.FuncMap[Real] = Shadow;
+  }
+
+  if (!R.u32(N))
+    return makeError("truncated marker set");
+  for (uint32_t I = 0; I != N; ++I) {
+    uint64_t A;
+    if (!R.u64(A))
+      return makeError("truncated marker set");
+    M.MarkerSites.insert(A);
+  }
+
+  if (!R.u32(N))
+    return makeError("truncated marker resume table");
+  M.MarkerResume.resize(N);
+  for (uint32_t I = 0; I != N; ++I)
+    if (!R.u64(M.MarkerResume[I]))
+      return makeError("truncated marker resume table");
+
+  if (!R.u32(N))
+    return makeError("truncated tag program table");
+  M.TagPrograms.resize(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    uint32_t Len;
+    if (!R.u32(Len))
+      return makeError("truncated tag program %u", I);
+    M.TagPrograms[I].resize(Len);
+    for (uint32_t J = 0; J != Len; ++J) {
+      ir::TagMicroOp &Op = M.TagPrograms[I][J];
+      uint8_t K, Base, Index;
+      uint64_t Disp;
+      if (!R.u8(K) || !R.u8(Op.Dst) || !R.u8(Op.Size) || !R.u32(Op.Mask) ||
+          !R.u8(Base) || !R.u8(Index) || !R.u8(Op.Mem.Scale) ||
+          !R.u64(Disp))
+        return makeError("truncated tag micro-op in program %u", I);
+      if (K > ir::TagMicroOp::FlagsMask)
+        return makeError("bad tag micro-op kind in program %u", I);
+      Op.K = static_cast<ir::TagMicroOp::Kind>(K);
+      Op.Mem.Base = static_cast<isa::Reg>(Base);
+      Op.Mem.Index = static_cast<isa::Reg>(Index);
+      Op.Mem.Disp = static_cast<int64_t>(Disp);
+    }
+  }
+
+  if (!R.u32(M.NumNormalGuards) || !R.u32(M.NumSpecGuards))
+    return makeError("truncated guard counts");
+  return M;
+}

@@ -1,0 +1,70 @@
+//===- runtime/MetaTable.h - Rewriter/runtime side tables ---------*- C++ -*-===//
+///
+/// \file
+/// The ".teapot.meta" blob the static rewriter attaches to instrumented
+/// binaries and the runtime parses at load time — Teapot's analogue of
+/// added ELF sections. It carries:
+///
+///   - the Real/Shadow text ranges (code-pointer classification),
+///   - the branch-site table (id -> trampoline address),
+///   - the real->shadow function entry map (indirect-call redirection),
+///   - the marker-site set (valid real-copy return points, Listing 4),
+///   - serialized per-block tag-transfer programs (Real Copy async DIFT),
+///   - coverage guard counts (normal + speculative).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_RUNTIME_METATABLE_H
+#define TEAPOT_RUNTIME_METATABLE_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace teapot {
+namespace runtime {
+
+inline constexpr const char *MetaSectionName = ".teapot.meta";
+
+struct MetaTable {
+  uint64_t RealTextStart = 0;
+  uint64_t RealTextEnd = 0;
+  uint64_t ShadowTextStart = 0;
+  uint64_t ShadowTextEnd = 0;
+  uint64_t SimFlagAddr = 0;
+
+  /// Branch site id -> trampoline address.
+  std::vector<uint64_t> Trampolines;
+  /// Real function entry -> shadow function entry.
+  std::map<uint64_t, uint64_t> FuncMap;
+  /// Real-copy addresses carrying the special marker NOP (valid targets
+  /// of indirect control transfers during simulation).
+  std::set<uint64_t> MarkerSites;
+  /// Marker id -> Shadow-Copy resume address (the marker block's shadow
+  /// counterpart), used by the MarkerCheck redirect.
+  std::vector<uint64_t> MarkerResume;
+  /// Per-block tag transfer programs (TagBlock payload indexes these).
+  std::vector<ir::TagProgram> TagPrograms;
+
+  uint32_t NumNormalGuards = 0;
+  uint32_t NumSpecGuards = 0;
+
+  bool inShadowText(uint64_t Addr) const {
+    return Addr >= ShadowTextStart && Addr < ShadowTextEnd;
+  }
+  bool inRealText(uint64_t Addr) const {
+    return Addr >= RealTextStart && Addr < RealTextEnd;
+  }
+
+  std::vector<uint8_t> serialize() const;
+  static Expected<MetaTable> deserialize(const std::vector<uint8_t> &Bytes);
+};
+
+} // namespace runtime
+} // namespace teapot
+
+#endif // TEAPOT_RUNTIME_METATABLE_H

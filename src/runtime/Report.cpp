@@ -1,0 +1,40 @@
+//===- runtime/Report.cpp -------------------------------------------------===//
+
+#include "runtime/Report.h"
+
+#include "support/StringUtils.h"
+
+using namespace teapot;
+using namespace teapot::runtime;
+
+const char *runtime::channelName(Channel C) {
+  switch (C) {
+  case Channel::MDS:
+    return "MDS";
+  case Channel::Cache:
+    return "Cache";
+  case Channel::Port:
+    return "Port";
+  case Channel::Asan:
+    return "ASan";
+  }
+  return "?";
+}
+
+const char *runtime::controllabilityName(Controllability C) {
+  switch (C) {
+  case Controllability::User:
+    return "User";
+  case Controllability::Massage:
+    return "Massage";
+  case Controllability::Unknown:
+    return "Unknown";
+  }
+  return "?";
+}
+
+std::string GadgetReport::describe() const {
+  return formatString("%s-%s gadget at %s (branch %u, depth %u)",
+                      controllabilityName(Ctrl), channelName(Chan),
+                      toHex(Site).c_str(), BranchId, Depth);
+}

@@ -1,0 +1,105 @@
+//===- runtime/Report.h - Gadget reports --------------------------*- C++ -*-===//
+///
+/// \file
+/// Gadget report records and the deduplicating sink (Section 6.2.3).
+/// Reports are keyed by the *original-binary* address of the transmitting
+/// instruction, the leaking side channel, and the attacker-controllability
+/// class — the same categorization Table 4 uses (e.g. "User-Cache",
+/// "Massage-Port").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_RUNTIME_REPORT_H
+#define TEAPOT_RUNTIME_REPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace runtime {
+
+/// Leaking side channel.
+enum class Channel : uint8_t {
+  MDS,   // secret loaded into a register (microarchitectural data sampling)
+  Cache, // secret used to compose a dereferenced pointer
+  Port,  // secret influences a conditional branch (port contention)
+  Asan,  // raw speculative out-of-bounds access (SpecFuzz-style policy)
+};
+
+/// Attacker controllability of the access that produced the secret.
+enum class Controllability : uint8_t {
+  User,    // attacker-directly controlled (tainted user input)
+  Massage, // attacker-indirectly controlled (speculative OOB derived)
+  Unknown, // policy without DIFT (SpecFuzz baseline)
+};
+
+const char *channelName(Channel C);
+const char *controllabilityName(Controllability C);
+
+struct GadgetReport {
+  /// Original-binary address of the transmitting instruction; for
+  /// artificially injected gadgets this is the injector's synthetic site
+  /// marker.
+  uint64_t Site = 0;
+  Channel Chan = Channel::MDS;
+  Controllability Ctrl = Controllability::User;
+  /// Branch site id of the innermost mispredicted branch (context).
+  uint32_t BranchId = 0;
+  /// Speculation nesting depth at detection time.
+  uint8_t Depth = 0;
+
+  std::string describe() const;
+};
+
+/// Deduplicating report collector. Uniqueness key: (Site, Chan, Ctrl).
+class ReportSink {
+public:
+  /// Returns true if the report was new.
+  bool report(const GadgetReport &R) {
+    auto Key = std::make_tuple(R.Site, R.Chan, R.Ctrl);
+    auto [It, New] = Seen.emplace(Key, R);
+    (void)It;
+    if (New) {
+      Unique.push_back(R);
+      if (OnNewGadget)
+        OnNewGadget(R);
+    }
+    ++Total;
+    return New;
+  }
+
+  const std::vector<GadgetReport> &unique() const { return Unique; }
+  uint64_t totalHits() const { return Total; }
+
+  /// Count of unique gadgets matching (Ctrl, Chan).
+  size_t count(Controllability Ctrl, Channel Chan) const {
+    size_t N = 0;
+    for (const GadgetReport &R : Unique)
+      if (R.Ctrl == Ctrl && R.Chan == Chan)
+        ++N;
+    return N;
+  }
+
+  void clear() {
+    Seen.clear();
+    Unique.clear();
+    Total = 0;
+  }
+
+  /// Invoked on every newly discovered unique gadget (the fuzzer's
+  /// "custom signal" channel of Section 6.2.3).
+  std::function<void(const GadgetReport &)> OnNewGadget;
+
+private:
+  std::map<std::tuple<uint64_t, Channel, Controllability>, GadgetReport> Seen;
+  std::vector<GadgetReport> Unique;
+  uint64_t Total = 0;
+};
+
+} // namespace runtime
+} // namespace teapot
+
+#endif // TEAPOT_RUNTIME_REPORT_H

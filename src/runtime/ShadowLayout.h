@@ -1,0 +1,79 @@
+//===- runtime/ShadowLayout.h - ASan & DIFT shadow layout ---------*- C++ -*-===//
+///
+/// \file
+/// Shadow-memory address arithmetic, reproducing Tables 1 and 2 of the
+/// paper exactly.
+///
+/// ASan shadow (Table 1): one shadow byte per 8 application bytes at
+/// (Addr >> 3) + 0x7fff8000 — the standard x86-64 ASan mapping. With it,
+/// user regions are LowMem [0, 0x7fff7fff] and HighMem
+/// [0x10007fff8000, 0x7fffffffffff].
+///
+/// DIFT tag shadow (Table 2): byte-to-byte tags at Addr XOR (1 << 45).
+/// Carving the tag regions out of HighMem shrinks it to
+/// [0x600000000000, 0x7fffffffffff] and maps
+///   HighMem -> HighTag [0x400000000000, 0x5fffffffffff]
+///   LowMem  -> LowTag  [0x200000000000, 0x20007fff7fff]
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_RUNTIME_SHADOWLAYOUT_H
+#define TEAPOT_RUNTIME_SHADOWLAYOUT_H
+
+#include "obj/Layout.h"
+
+#include <cstdint>
+
+namespace teapot {
+namespace runtime {
+
+// --- ASan (Table 1) -------------------------------------------------------
+inline constexpr uint64_t AsanShadowOffset = 0x7fff8000ULL;
+inline constexpr unsigned AsanShadowScale = 3; // 8 bytes per shadow byte
+
+inline constexpr uint64_t asanShadowAddr(uint64_t Addr) {
+  return (Addr >> AsanShadowScale) + AsanShadowOffset;
+}
+
+/// ASan shadow byte magic values (subset of LLVM's).
+inline constexpr uint8_t AsanHeapRedzone = 0xfa;
+inline constexpr uint8_t AsanHeapFreed = 0xfd;
+inline constexpr uint8_t AsanStackRetAddr = 0xf1;
+
+// --- DIFT tag shadow (Table 2) ---------------------------------------------
+inline constexpr uint64_t TagFlipBit = 1ULL << 45;
+
+inline constexpr uint64_t tagShadowAddr(uint64_t Addr) {
+  return Addr ^ TagFlipBit;
+}
+
+inline constexpr uint64_t HighTagStart = 0x4000'0000'0000ULL;
+inline constexpr uint64_t HighTagEnd = 0x5fff'ffff'ffffULL;
+inline constexpr uint64_t LowTagStart = 0x2000'0000'0000ULL;
+inline constexpr uint64_t LowTagEnd = 0x2000'7fff'7fffULL;
+
+// --- Tag bits ---------------------------------------------------------------
+/// One tag byte per data byte; bits follow the Kasper policy roles. The
+/// two secret bits keep the provenance (which controllability class
+/// produced the secret) so reports can be categorized as User-* vs
+/// Massage-* the way Table 4 does.
+enum TagBits : uint8_t {
+  TagUser = 1 << 0,          // attacker-directly controlled
+  TagMassage = 1 << 1,       // attacker-indirectly controlled (derived
+                             // from speculative out-of-bounds data)
+  TagSecretUser = 1 << 2,    // secret via a user-controlled OOB access
+  TagSecretMassage = 1 << 3, // secret via a massaged pointer
+};
+inline constexpr uint8_t TagSecretMask = TagSecretUser | TagSecretMassage;
+
+static_assert(tagShadowAddr(obj::HighMemStart) == HighTagStart,
+              "Table 2: HighMem must map onto HighTag");
+static_assert(tagShadowAddr(obj::LowMemStart) == LowTagStart,
+              "Table 2: LowMem must map onto LowTag");
+static_assert(tagShadowAddr(obj::LowMemEnd) == LowTagEnd,
+              "Table 2: LowMem end must map onto LowTag end");
+
+} // namespace runtime
+} // namespace teapot
+
+#endif // TEAPOT_RUNTIME_SHADOWLAYOUT_H

@@ -1,0 +1,488 @@
+//===- runtime/SpecRuntime.cpp - Teapot runtime library --------------------===//
+
+#include "runtime/SpecRuntime.h"
+
+#include "obj/Layout.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+using namespace teapot;
+using namespace teapot::isa;
+using namespace teapot::runtime;
+
+// Payload packing shared with the instrumentation passes: bits [0,8) are
+// the access size, bit 8 the is-write flag, bits [16,64) the report site
+// (original-binary address of the covered instruction).
+namespace {
+inline unsigned payloadSize(int64_t P) { return P & 0xff; }
+inline bool payloadIsWrite(int64_t P) { return (P >> 8) & 1; }
+inline uint64_t payloadSite(int64_t P) {
+  return static_cast<uint64_t>(P) >> 16;
+}
+} // namespace
+
+SpecRuntime::SpecRuntime(vm::Machine &M, MetaTable Meta, RuntimeOptions Opts)
+    : M(M), Meta(std::move(Meta)), Opts(Opts), Tags(M) {
+  BranchEncounters.assign(this->Meta.Trampolines.size(), 0);
+  BranchSimulations.assign(this->Meta.Trampolines.size(), 0);
+  Cov.init(this->Meta.NumNormalGuards, this->Meta.NumSpecGuards);
+}
+
+void SpecRuntime::attach() {
+  M.Intrinsics = this;
+  M.FaultHook = [this](vm::Machine &, vm::FaultKind, uint64_t) {
+    if (!inSimulation())
+      return false; // genuine crash in normal execution
+    // The "custom signal handler" of Section 6.1: conservatively launch
+    // a rollback when speculation faults.
+    rollback(RollbackReason::GuestFault);
+    return true;
+  };
+  M.MallocFn = [this](vm::Machine &, uint64_t Size) {
+    return installedMalloc(Size);
+  };
+  M.FreeFn = [this](vm::Machine &, uint64_t Ptr) { installedFree(Ptr); };
+  M.InputReadHook = [this](uint64_t Addr, uint64_t Len, uint64_t) {
+    if (Opts.EnableDift && Opts.TaintInput)
+      Tags.setMemTag(Addr, static_cast<unsigned>(Len), TagUser);
+  };
+  writeSimFlag(0);
+}
+
+void SpecRuntime::resetRun() {
+  Checkpoints.clear();
+  MemLog.clear();
+  SpecInsts = 0;
+  Tags.reset();
+  AllocSizes.clear();
+  HeapCursor = obj::HeapBase;
+  writeSimFlag(0);
+  if (Opts.EnableDift && Opts.ExtraTaintLen)
+    Tags.setMemTag(Opts.ExtraTaintAddr,
+                   static_cast<unsigned>(Opts.ExtraTaintLen), TagUser);
+}
+
+//===----------------------------------------------------------------------===//
+// Binary ASan (Section 6.2.1)
+//===----------------------------------------------------------------------===//
+
+bool SpecRuntime::asanPoisoned(uint64_t Addr, unsigned Size) const {
+  // Heap memory past the allocator's high-water mark has never been
+  // handed out: unaddressable, exactly as under the real ASan allocator
+  // (whose mapped-but-unallocated heap is poisoned wholesale).
+  uint64_t End = Addr + Size;
+  if (End > HeapCursor && Addr < obj::StackLimit && End > obj::HeapBase)
+    return true;
+  // One shadow byte per 8-byte granule; 0 = addressable, 1..7 = only the
+  // first k bytes addressable, >=0x80-style magics = fully poisoned.
+  uint64_t First = Addr >> AsanShadowScale;
+  uint64_t Last = (Addr + Size - 1) >> AsanShadowScale;
+  for (uint64_t G = First; G <= Last; ++G) {
+    uint8_t SV = M.Mem.readU8(G + AsanShadowOffset);
+    if (SV == 0)
+      continue;
+    if (SV >= 8)
+      return true; // fully poisoned granule
+    // Partially addressable: bytes [G*8, G*8+SV) are valid.
+    uint64_t GranuleBase = G << AsanShadowScale;
+    uint64_t AccessEndInGranule =
+        std::min<uint64_t>(Addr + Size, GranuleBase + 8) - GranuleBase;
+    uint64_t AccessStartInGranule =
+        Addr > GranuleBase ? Addr - GranuleBase : 0;
+    if (AccessEndInGranule > SV || AccessStartInGranule >= SV)
+      return true;
+  }
+  return false;
+}
+
+void SpecRuntime::poisonShadow(uint64_t Addr, unsigned Size, uint8_t Magic,
+                               bool Log) {
+  assert((Addr & 7) == 0 && "poisoning must be granule-aligned");
+  for (unsigned I = 0; I < Size; I += 8) {
+    uint64_t SA = asanShadowAddr(Addr + I);
+    if (Log)
+      logShadowByte(SA);
+    M.Mem.writeU8(SA, Magic);
+  }
+}
+
+uint64_t SpecRuntime::installedMalloc(uint64_t Size) {
+  // ASan allocator: 16-byte redzones around every allocation, and a
+  // bump-pointer heap, which gives free() quarantine semantics for free
+  // (freed memory is never reused).
+  uint64_t RoundedUser = (Size + 15) & ~15ULL;
+  uint64_t Base = HeapCursor;
+  uint64_t User = Base + 16;
+  HeapCursor = User + RoundedUser + 16;
+  poisonShadow(Base, 16, AsanHeapRedzone, /*Log=*/false);
+  // Tail: poison from the first granule past the valid bytes.
+  uint64_t ValidEnd = User + Size;
+  uint64_t PoisonFrom = (ValidEnd + 7) & ~7ULL;
+  uint64_t PoisonEnd = User + RoundedUser + 16;
+  poisonShadow(PoisonFrom, static_cast<unsigned>(PoisonEnd - PoisonFrom),
+               AsanHeapRedzone, /*Log=*/false);
+  // Partial final granule.
+  if (ValidEnd & 7)
+    M.Mem.writeU8(asanShadowAddr(ValidEnd & ~7ULL),
+                  static_cast<uint8_t>(ValidEnd & 7));
+  AllocSizes[User] = Size;
+  return User;
+}
+
+void SpecRuntime::installedFree(uint64_t Ptr) {
+  auto It = AllocSizes.find(Ptr);
+  if (It == AllocSizes.end())
+    return; // tolerate foreign/double frees; not our threat model
+  uint64_t Rounded = (It->second + 7) & ~7ULL;
+  if (Rounded)
+    poisonShadow(Ptr, static_cast<unsigned>(Rounded), AsanHeapFreed,
+                 /*Log=*/false);
+  AllocSizes.erase(It);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / rollback (Section 6.1)
+//===----------------------------------------------------------------------===//
+
+bool SpecRuntime::shouldSimulate(uint32_t BranchId, unsigned Depth) {
+  if (BranchId >= BranchEncounters.size())
+    return false;
+  uint32_t Enc = ++BranchEncounters[BranchId];
+  auto SpecFuzzDepth = [&]() -> unsigned {
+    // SpecFuzz heuristic: the simulation depth a branch is granted grows
+    // logarithmically with how often it has been encountered, up to the
+    // sixth order.
+    unsigned D = 1;
+    while ((1u << D) <= Enc && D < Opts.MaxDepth)
+      ++D;
+    return D;
+  };
+  bool Simulate = false;
+  switch (Opts.Nesting) {
+  case NestingPolicy::Off:
+    Simulate = Depth == 0;
+    break;
+  case NestingPolicy::SpecFuzz:
+    Simulate = Depth < SpecFuzzDepth();
+    break;
+  case NestingPolicy::SpecTaint:
+    Simulate = BranchSimulations[BranchId] < Opts.SpecTaintTries &&
+               Depth < Opts.MaxDepth;
+    break;
+  case NestingPolicy::Hybrid:
+    // Full depth for the first SpecTaintTries runs of a branch, then the
+    // SpecFuzz schedule.
+    if (BranchSimulations[BranchId] < Opts.SpecTaintTries)
+      Simulate = Depth < Opts.MaxDepth;
+    else
+      Simulate = Depth < SpecFuzzDepth();
+    break;
+  }
+  if (!Simulate) {
+    ++Stats.SkippedByHeuristic;
+    return false;
+  }
+  ++BranchSimulations[BranchId];
+  return true;
+}
+
+void SpecRuntime::startSimulation(uint32_t BranchId) {
+  Checkpoint CP;
+  CP.CPU = M.C; // PC already points at the branch instruction (resume)
+  CP.BranchId = BranchId;
+  CP.MemLogMark = MemLog.size();
+  CP.TagLogMark = Tags.Log.size();
+  CP.CovMark = Cov.lazyMark();
+  memcpy(CP.RegTags, Tags.RegTags, sizeof(CP.RegTags));
+  CP.FlagsTag = Tags.FlagsTag;
+  CP.PendingLoadExtra = Tags.PendingLoadExtra;
+  // Preserve the vector state: SSE by default, full AVX when requested
+  // (Section 6.1 "Checkpoint").
+  CP.VecState.assign(VecRegs, VecRegs + (Opts.AvxCheckpoint ? 2048 : 512));
+  Checkpoints.push_back(std::move(CP));
+
+  ++Stats.Simulations;
+  if (depth() > 1)
+    ++Stats.NestedSimulations;
+  Stats.MaxDepthSeen = std::max(Stats.MaxDepthSeen, depth());
+  if (depth() == 1) {
+    SpecInsts = 0;
+    Tags.Logging = true;
+    writeSimFlag(1);
+  }
+  M.C.PC = Meta.Trampolines[BranchId];
+}
+
+void SpecRuntime::rollback(RollbackReason Reason) {
+  assert(!Checkpoints.empty() && "rollback without a checkpoint");
+  ++Stats.Rollbacks[static_cast<size_t>(Reason)];
+  Checkpoint &CP = Checkpoints.back();
+
+  // Unwind the memory log in reverse (Section 6.1 "Rollback").
+  while (MemLog.size() > CP.MemLogMark) {
+    const MemLogEntry &E = MemLog.back();
+    if (E.Size == 0) // shadow-byte entry (Addr is a shadow address)
+      M.Mem.writeU8(E.Addr, static_cast<uint8_t>(E.OldBytes));
+    else
+      M.Mem.writeUnsigned(E.Addr, E.OldBytes, E.Size);
+    MemLog.pop_back();
+  }
+  Tags.undoTo(CP.TagLogMark);
+  // Lazy speculative coverage: the visited guards become real coverage
+  // now, just before the state is discarded (Section 6.3).
+  Cov.flushLazyFrom(CP.CovMark);
+
+  memcpy(VecRegs, CP.VecState.data(), CP.VecState.size());
+  M.C = CP.CPU;
+  memcpy(Tags.RegTags, CP.RegTags, sizeof(CP.RegTags));
+  Tags.FlagsTag = CP.FlagsTag;
+  Tags.PendingLoadExtra = CP.PendingLoadExtra;
+  Checkpoints.pop_back();
+
+  if (Checkpoints.empty()) {
+    SpecInsts = 0;
+    Tags.Logging = false;
+    writeSimFlag(0);
+  }
+}
+
+void SpecRuntime::logMemWrite(uint64_t Addr, unsigned Size) {
+  MemLog.push_back(
+      {Addr, static_cast<uint8_t>(Size), M.Mem.readUnsigned(Addr, Size)});
+}
+
+void SpecRuntime::logShadowByte(uint64_t ShadowAddr) {
+  MemLog.push_back({ShadowAddr, 0, M.Mem.readU8(ShadowAddr)});
+}
+
+//===----------------------------------------------------------------------===//
+// Kasper policy sinks (Section 6.2.2, Figure 6)
+//===----------------------------------------------------------------------===//
+
+void SpecRuntime::reportGadget(uint64_t Site, Channel Chan,
+                               Controllability Ctrl) {
+  GadgetReport R;
+  R.Site = Site;
+  R.Chan = Chan;
+  R.Ctrl = Ctrl;
+  R.BranchId = Checkpoints.empty() ? 0 : Checkpoints.back().BranchId;
+  R.Depth = static_cast<uint8_t>(depth());
+  Reports.report(R);
+}
+
+void SpecRuntime::handleTaintSink(uint64_t Site, const MemRef &Mem,
+                                  unsigned Size, bool IsWrite) {
+  uint64_t EA = M.effectiveAddr(Mem);
+  uint8_t AddrT = Tags.addrTag(Mem);
+  bool OOB = asanPoisoned(EA, Size);
+  if (OOB)
+    ++Stats.AsanViolations;
+  if (OOB && getenv("TEAPOT_DEBUG_SINK"))
+    fprintf(stderr, "[sink] site=%llx addrT=%x isw=%d ea=%llx\n",
+            (unsigned long long)Site, AddrT, (int)IsWrite,
+            (unsigned long long)EA);
+
+  if (!IsWrite) {
+    uint8_t Extra = 0;
+    // Any speculative out-of-bounds result is attacker-indirectly
+    // controlled (it may be a wild pointer the attacker massaged).
+    if (OOB && Opts.MassagePolicy)
+      Extra |= TagMassage;
+    // Attacker-directly controlled OOB access loads a secret.
+    if ((AddrT & TagUser) && OOB)
+      Extra |= TagSecretUser;
+    // Any access through an attacker-indirectly controlled pointer loads
+    // a secret (wild pointers violate program invariants).
+    if (AddrT & TagMassage)
+      Extra |= TagSecretMassage;
+    Tags.PendingLoadExtra |= Extra;
+
+    // A loaded secret is immediately leakable via MDS.
+    uint8_t Loaded = static_cast<uint8_t>(Tags.memTag(EA, Size) | Extra);
+    if (Loaded & TagSecretUser)
+      reportGadget(Site, Channel::MDS, Controllability::User);
+    if (Loaded & TagSecretMassage)
+      reportGadget(Site, Channel::MDS, Controllability::Massage);
+  }
+
+  // A secret composed into a dereferenced pointer transmits via the
+  // cache side channel (loads and stores alike).
+  if (AddrT & TagSecretUser)
+    reportGadget(Site, Channel::Cache, Controllability::User);
+  if (AddrT & TagSecretMassage)
+    reportGadget(Site, Channel::Cache, Controllability::Massage);
+}
+
+//===----------------------------------------------------------------------===//
+// Intrinsic dispatch
+//===----------------------------------------------------------------------===//
+
+bool SpecRuntime::onIntrinsic(vm::Machine &Mach, const Instruction &I) {
+  assert(&Mach == &M && "runtime attached to a different machine");
+  (void)Mach;
+  switch (I.Intr) {
+  case IntrinsicID::StartSim:
+  case IntrinsicID::StartSimNested: {
+    if (!Opts.SimulateSpeculation)
+      return true;
+    auto BranchId = static_cast<uint32_t>(I.IntrPayload);
+    if (shouldSimulate(BranchId, depth()))
+      startSimulation(BranchId);
+    return true;
+  }
+  case IntrinsicID::RestoreCond:
+    if (!inSimulation())
+      return true; // baseline single-copy code runs this unguarded
+    SpecInsts += static_cast<uint64_t>(I.IntrPayload);
+    if (SpecInsts >= Opts.SpecWindow)
+      rollback(RollbackReason::InstBudget);
+    return true;
+  case IntrinsicID::RestoreUncond:
+    if (inSimulation())
+      rollback(static_cast<RollbackReason>(I.IntrPayload));
+    return true;
+  case IntrinsicID::AsanCheck: {
+    if (!inSimulation())
+      return true;
+    unsigned Size = payloadSize(I.IntrPayload);
+    uint64_t EA = M.effectiveAddr(I.A.M);
+    if (asanPoisoned(EA, Size)) {
+      ++Stats.AsanViolations;
+      // SpecFuzz policy: every speculative out-of-bounds access is a
+      // gadget report.
+      reportGadget(payloadSite(I.IntrPayload), Channel::Asan,
+                   Controllability::Unknown);
+    }
+    return true;
+  }
+  case IntrinsicID::MemLog:
+    if (inSimulation())
+      logMemWrite(M.effectiveAddr(I.A.M), payloadSize(I.IntrPayload));
+    return true;
+  case IntrinsicID::TagProp: {
+    // Synchronous propagation: every instruction in the Shadow Copy, and
+    // the Real-Copy fallback blocks whose addresses the asynchronous
+    // per-block snippet cannot re-express. Logging engages only while
+    // simulating (Tags.Logging).
+    if (!Opts.EnableDift)
+      return true;
+    // The covered instruction is the next non-INTR instruction.
+    uint64_t A = M.C.PC;
+    while (const isa::Decoded *D = M.decodeAt(A)) {
+      if (D->I.Op != Opcode::INTR) {
+        Tags.transfer(D->I);
+        break;
+      }
+      A += D->Length;
+    }
+    return true;
+  }
+  case IntrinsicID::TagBlock:
+    if (!inSimulation() && Opts.EnableDift &&
+        static_cast<size_t>(I.IntrPayload) < Meta.TagPrograms.size())
+      Tags.runProgram(Meta.TagPrograms[static_cast<size_t>(I.IntrPayload)]);
+    return true;
+  case IntrinsicID::TaintSink:
+    if (inSimulation() && Opts.EnableDift)
+      handleTaintSink(payloadSite(I.IntrPayload), I.A.M,
+                      payloadSize(I.IntrPayload),
+                      payloadIsWrite(I.IntrPayload));
+    return true;
+  case IntrinsicID::TaintBranch:
+    if (!inSimulation() || !Opts.EnableDift)
+      return true;
+    // A secret influencing a conditional branch transmits via port
+    // contention.
+    if (Tags.FlagsTag & TagSecretUser)
+      reportGadget(payloadSite(I.IntrPayload), Channel::Port,
+                   Controllability::User);
+    if (Tags.FlagsTag & TagSecretMassage)
+      reportGadget(payloadSite(I.IntrPayload), Channel::Port,
+                   Controllability::Massage);
+    return true;
+  case IntrinsicID::CovGuard:
+    // Normal-execution coverage. In the single-copy baseline this site
+    // also executes while simulating; only count normal-mode visits.
+    if (!inSimulation())
+      Cov.hitNormal(static_cast<uint32_t>(I.IntrPayload));
+    return true;
+  case IntrinsicID::CovSpecGuard:
+    if (!inSimulation())
+      return true;
+    if (Opts.LazySpecCoverage) {
+      Cov.noteSpecLazy(static_cast<uint32_t>(I.IntrPayload));
+    } else {
+      // Eager mode: update the counter immediately and pay the register
+      // preservation the coverage call would cost (modelled as a spill
+      // of the register file).
+      uint8_t Spill[sizeof(M.C.R)];
+      memcpy(Spill, M.C.R, sizeof(Spill));
+      Cov.hitSpec(static_cast<uint32_t>(I.IntrPayload));
+      memcpy(M.C.R, Spill, sizeof(Spill));
+    }
+    return true;
+  case IntrinsicID::EscapeCheckRet: {
+    if (!inSimulation())
+      return true;
+    uint64_t RetAddr = M.Mem.readUnsigned(M.C.R[SP], 8);
+    if (Meta.inShadowText(RetAddr) || Meta.MarkerSites.count(RetAddr))
+      return true;
+    rollback(RollbackReason::EscapedControl);
+    return true;
+  }
+  case IntrinsicID::EscapeCheckTgt: {
+    if (!inSimulation())
+      return true;
+    uint64_t Target = M.C.R[I.A.R];
+    if (Meta.inShadowText(Target) || Meta.MarkerSites.count(Target))
+      return true;
+    auto It = Meta.FuncMap.find(Target);
+    if (It != Meta.FuncMap.end()) {
+      // A Real-Copy function pointer leaked into the simulation
+      // (Figure 5b); redirect the call into the Shadow Copy.
+      M.C.R[I.A.R] = It->second;
+      return true;
+    }
+    rollback(RollbackReason::EscapedControl);
+    return true;
+  }
+  case IntrinsicID::MarkerCheck: {
+    // Real-Copy side of Listing 4: if we arrived here while simulating
+    // (a return or indirect jump landed on the marker), bounce back into
+    // the Shadow Copy counterpart.
+    if (!inSimulation())
+      return true;
+    auto Id = static_cast<size_t>(I.IntrPayload);
+    assert(Id < Meta.MarkerResume.size() && "bad marker id");
+    M.C.PC = Meta.MarkerResume[Id];
+    return true;
+  }
+  case IntrinsicID::RAPoison: {
+    // Function entry: SP points at the return address slot. Poison its
+    // shadow so OOB stack reads during simulation are caught
+    // (stack-frame-granularity protection, Section 6.2.1).
+    uint64_t Slot = M.C.R[SP];
+    uint64_t SA = asanShadowAddr(Slot);
+    if (inSimulation())
+      logShadowByte(SA);
+    M.Mem.writeU8(SA, AsanStackRetAddr);
+    return true;
+  }
+  case IntrinsicID::RAUnpoison: {
+    uint64_t Slot = M.C.R[SP];
+    uint64_t SA = asanShadowAddr(Slot);
+    if (inSimulation())
+      logShadowByte(SA);
+    M.Mem.writeU8(SA, 0);
+    return true;
+  }
+  case IntrinsicID::SpecFuzzGuarded:
+  case IntrinsicID::None:
+  case IntrinsicID::NumIntrinsics:
+    return true;
+  }
+  return true;
+}

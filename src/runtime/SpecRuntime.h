@@ -1,0 +1,181 @@
+//===- runtime/SpecRuntime.h - Teapot runtime library -------------*- C++ -*-===//
+///
+/// \file
+/// The runtime half of Teapot (Sections 6.1-6.3): the library an
+/// instrumented binary is linked against. It implements
+///
+///   - checkpoint / memory log / rollback (Section 6.1),
+///   - conditional restore points (250-instruction reorder-buffer budget)
+///     and unconditional restore points (external calls, serializing
+///     instructions, unresolvable indirect targets, guest faults),
+///   - nested speculation with the SpecFuzz / SpecTaint / hybrid
+///     exploration heuristics,
+///   - binary ASan (heap redzones via hooked malloc/free, return-address
+///     shadow poisoning at stack-frame granularity),
+///   - binary DIFT + the Kasper gadget policy (Figure 6): User / Massage
+///     taints, MDS / Cache / Port reports,
+///   - two-mode coverage with the lazy speculative-coverage buffer.
+///
+/// One instance attaches to one vm::Machine and handles all INTR
+/// instructions the static rewriter inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_RUNTIME_SPECRUNTIME_H
+#define TEAPOT_RUNTIME_SPECRUNTIME_H
+
+#include "runtime/Coverage.h"
+#include "runtime/Dift.h"
+#include "obj/Layout.h"
+#include "runtime/MetaTable.h"
+#include "runtime/Report.h"
+#include "vm/Machine.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace teapot {
+namespace runtime {
+
+/// Nested-speculation exploration heuristic (Section 6.1).
+enum class NestingPolicy : uint8_t {
+  Off,      // no nested simulation (the Figure 7 performance configuration)
+  SpecFuzz, // per-branch encounter counts gradually unlock deeper nesting
+  SpecTaint, // depth-first, but each branch enters simulation at most
+             // `SpecTaintTries` times
+  Hybrid,   // Teapot: full depth for the first `SpecTaintTries` runs of a
+            // branch, SpecFuzz-style afterwards
+};
+
+struct RuntimeOptions {
+  /// Master switch: when false, StartSim never fires (measures the pure
+  /// normal-execution instrumentation overhead).
+  bool SimulateSpeculation = true;
+  /// Reorder-buffer budget: simulated transient instructions per
+  /// speculation (250, as in prior work).
+  unsigned SpecWindow = 250;
+  /// Maximum misprediction nesting (6: gadgets guarded by more branches
+  /// are considered unexploitable; see the threat model).
+  unsigned MaxDepth = 6;
+  NestingPolicy Nesting = NestingPolicy::Hybrid;
+  unsigned SpecTaintTries = 5;
+  /// Kasper policy with DIFT. When false, the runtime degrades to the
+  /// SpecFuzz policy: every speculative ASan violation is a gadget.
+  bool EnableDift = true;
+  /// Track attacker-indirect (Massage) taints. Disabled for the
+  /// artificial-gadget experiment (Section 7.2).
+  bool MassagePolicy = true;
+  /// Tag read_input() data as attacker-directly controlled.
+  bool TaintInput = true;
+  /// Extra region tagged User at every run start (the artificial
+  /// experiment's designated "user input" variable).
+  uint64_t ExtraTaintAddr = 0;
+  uint64_t ExtraTaintLen = 0;
+  /// Lazy speculative coverage (Section 6.3 optimization).
+  bool LazySpecCoverage = true;
+  /// Preserve full AVX state in checkpoints (off: SSE only), Section 6.1.
+  bool AvxCheckpoint = false;
+};
+
+struct RuntimeStats {
+  uint64_t Simulations = 0;
+  uint64_t NestedSimulations = 0;
+  uint64_t Rollbacks[static_cast<size_t>(
+      isa::RollbackReason::NumReasons)] = {};
+  uint64_t AsanViolations = 0;
+  uint64_t SkippedByHeuristic = 0;
+  unsigned MaxDepthSeen = 0;
+};
+
+class SpecRuntime : public vm::IntrinsicHandler {
+public:
+  SpecRuntime(vm::Machine &M, MetaTable Meta, RuntimeOptions Opts);
+
+  /// Installs every hook on the machine (intrinsics, fault handler, ASan
+  /// allocator, input-taint hook) and writes the in-simulation flag into
+  /// guest memory. Call once after Machine::loadObject, before
+  /// captureBaseline().
+  void attach();
+
+  /// Per-run state reset. Heuristic counters, coverage, and reports
+  /// persist across runs (they drive the fuzzing campaign); speculation
+  /// state does not.
+  void resetRun();
+
+  bool onIntrinsic(vm::Machine &M, const isa::Instruction &I) override;
+
+  bool inSimulation() const { return !Checkpoints.empty(); }
+  unsigned depth() const {
+    return static_cast<unsigned>(Checkpoints.size());
+  }
+
+  ReportSink Reports;
+  Coverage Cov;
+  RuntimeStats Stats;
+  const MetaTable &meta() const { return Meta; }
+  TagEngine &tags() { return Tags; }
+
+private:
+  struct MemLogEntry {
+    uint64_t Addr;
+    uint8_t Size;
+    uint64_t OldBytes;
+  };
+
+  struct Checkpoint {
+    vm::CPU CPU; // PC = resume point (the branch instruction itself)
+    uint32_t BranchId = 0;
+    size_t MemLogMark = 0;
+    size_t TagLogMark = 0;
+    size_t CovMark = 0;
+    uint8_t RegTags[isa::NumRegs] = {};
+    uint8_t FlagsTag = 0;
+    uint8_t PendingLoadExtra = 0;
+    /// Simulated vector-state preservation (SSE 512B / AVX 2KiB); the
+    /// copy cost is the point of the checkpoint-width ablation.
+    std::vector<uint8_t> VecState;
+  };
+
+  vm::Machine &M;
+  MetaTable Meta;
+  RuntimeOptions Opts;
+  TagEngine Tags;
+
+  std::vector<Checkpoint> Checkpoints;
+  std::vector<MemLogEntry> MemLog;
+  uint64_t SpecInsts = 0; // transient instructions since the outermost start
+
+  // Per-branch heuristic state (persists across runs).
+  std::vector<uint32_t> BranchEncounters;
+  std::vector<uint32_t> BranchSimulations;
+
+  // Dummy vector-register file backing the checkpoint copies.
+  uint8_t VecRegs[2048] = {};
+
+  // ASan allocator state (reset per run; the program re-executes its
+  // startup allocations on every run).
+  std::unordered_map<uint64_t, uint64_t> AllocSizes;
+  uint64_t HeapCursor = obj::HeapBase;
+
+  bool shouldSimulate(uint32_t BranchId, unsigned Depth);
+  void startSimulation(uint32_t BranchId);
+  void rollback(isa::RollbackReason Reason);
+  void logMemWrite(uint64_t Addr, unsigned Size);
+  /// Records a shadow byte in the memory log (Size==0 entries).
+  void logShadowByte(uint64_t ShadowAddr);
+  bool asanPoisoned(uint64_t Addr, unsigned Size) const;
+  void poisonShadow(uint64_t Addr, unsigned Size, uint8_t Magic, bool Log);
+  void reportGadget(uint64_t Site, Channel Chan, Controllability Ctrl);
+  void handleTaintSink(uint64_t Site, const isa::MemRef &Mem, unsigned Size,
+                       bool IsWrite);
+  uint64_t installedMalloc(uint64_t Size);
+  void installedFree(uint64_t Ptr);
+
+  void writeSimFlag(uint64_t V) { M.Mem.writeUnsigned(Meta.SimFlagAddr, V, 8); }
+};
+
+} // namespace runtime
+} // namespace teapot
+
+#endif // TEAPOT_RUNTIME_SPECRUNTIME_H

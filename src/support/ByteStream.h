@@ -1,0 +1,95 @@
+//===- support/ByteStream.h - LE byte (de)serialization ----------*- C++ -*-===//
+///
+/// \file
+/// Little-endian, length-prefixed byte stream reader/writer shared by the
+/// metadata side-table formats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_BYTESTREAM_H
+#define TEAPOT_SUPPORT_BYTESTREAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace teapot {
+
+class ByteWriter {
+public:
+  std::vector<uint8_t> Out;
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u16(uint16_t V) {
+    for (int I = 0; I != 2; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+};
+
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &In) : In(In) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > In.size())
+      return false;
+    V = In[Pos++];
+    return true;
+  }
+  bool u16(uint16_t &V) {
+    if (Pos + 2 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I != 2; ++I)
+      V = static_cast<uint16_t>(V | (In[Pos + I] << (I * 8)));
+    Pos += 2;
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(In[Pos + I]) << (I * 8);
+    Pos += 4;
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(In[Pos + I]) << (I * 8);
+    Pos += 8;
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || Pos + N > In.size())
+      return false;
+    S.assign(reinterpret_cast<const char *>(In.data() + Pos), N);
+    Pos += N;
+    return true;
+  }
+  bool done() const { return Pos == In.size(); }
+
+private:
+  const std::vector<uint8_t> &In;
+  size_t Pos = 0;
+};
+
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_BYTESTREAM_H

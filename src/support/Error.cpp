@@ -1,0 +1,21 @@
+//===- support/Error.cpp --------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdarg>
+
+using namespace teapot;
+
+Error teapot::makeError(const char *Fmt, ...) {
+  char Buf[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  return Error::failure(Buf);
+}
+
+void teapot::reportFatalError(const std::string &Message) {
+  fprintf(stderr, "teapot fatal error: %s\n", Message.c_str());
+  abort();
+}

@@ -1,0 +1,123 @@
+//===- support/Error.h - Lightweight error handling -------------*- C++ -*-===//
+//
+// Part of the Teapot reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-flavoured recoverable error handling without exceptions.
+///
+/// Library code returns `Expected<T>` (a value or an error message) or
+/// `Error` (success or an error message). Tool code may use `ExitOnError`
+/// style helpers in examples; library code propagates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_ERROR_H
+#define TEAPOT_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace teapot {
+
+/// A recoverable error: either success or a diagnostic message.
+///
+/// Unlike llvm::Error this does not enforce checking at destruction time;
+/// it is a plain value type. The message style follows the LLVM guideline:
+/// lowercase first letter, no trailing period.
+class Error {
+public:
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure value carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// True if this represents a failure.
+  explicit operator bool() const { return Message.has_value(); }
+
+  /// Returns the diagnostic message; only valid on failure.
+  const std::string &message() const {
+    assert(Message && "message() on a success value");
+    return *Message;
+  }
+
+private:
+  Error() = default;
+  std::optional<std::string> Message;
+};
+
+/// Builds a failure Error from a printf-style format string.
+Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Either a value of type T or an Error.
+///
+/// Boolean conversion follows llvm::Expected: true means success.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Error Err) : Err(std::move(Err)) {
+    assert(this->Err && "constructing Expected from a success Error");
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &get() {
+    assert(Value && "get() on an error value");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "get() on an error value");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Extracts the error; only valid on failure.
+  Error takeError() {
+    assert(!Value && "takeError() on a success value");
+    return std::move(*Err);
+  }
+
+  /// Returns the error message; only valid on failure.
+  const std::string &message() const {
+    assert(Err && *Err && "message() on a success value");
+    return Err->message();
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Error> Err;
+};
+
+/// Aborts with \p Message. Used for violated invariants that must be
+/// diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Unwraps an Expected that the caller knows cannot fail.
+template <typename T> T cantFail(Expected<T> ValOrErr) {
+  if (!ValOrErr)
+    reportFatalError("cantFail called on failure: " + ValOrErr.message());
+  return std::move(ValOrErr.get());
+}
+
+/// Asserts that an Error is a success value.
+inline void cantFail(Error Err) {
+  if (Err)
+    reportFatalError("cantFail called on failure: " + Err.message());
+}
+
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_ERROR_H

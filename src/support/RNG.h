@@ -1,0 +1,62 @@
+//===- support/RNG.h - Deterministic random numbers -------------*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. Every source of randomness in the
+/// repository (fuzzing mutations, workload input generators, injection
+/// point selection) flows through this type so experiments reproduce
+/// bit-for-bit across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_RNG_H
+#define TEAPOT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace teapot {
+
+/// SplitMix64 generator (Steele, Lea, Flood; public domain reference
+/// implementation). Small state, excellent statistical quality for our
+/// non-cryptographic needs.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below(0) is meaningless");
+    // Multiply-shift rejection-free mapping; bias is negligible for our
+    // bounds (all far below 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Forks an independent stream (for sub-tasks) without perturbing the
+  /// parent sequence more than one step.
+  RNG fork() { return RNG(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_RNG_H

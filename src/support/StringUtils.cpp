@@ -1,0 +1,79 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace teapot;
+
+std::string_view teapot::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+std::vector<std::string_view> teapot::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Out.push_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Out;
+}
+
+std::string teapot::toHex(uint64_t V) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "0x%llx", static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool teapot::parseInt(std::string_view S, int64_t &Out) {
+  S = trim(S);
+  if (S.empty())
+    return false;
+  bool Neg = false;
+  if (S[0] == '-' || S[0] == '+') {
+    Neg = S[0] == '-';
+    S.remove_prefix(1);
+    if (S.empty())
+      return false;
+  }
+  int Base = 10;
+  if (S.size() > 2 && S[0] == '0' && (S[1] == 'x' || S[1] == 'X')) {
+    Base = 16;
+    S.remove_prefix(2);
+  }
+  uint64_t V = 0;
+  for (char C : S) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (Base == 16 && C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (Base == 16 && C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      return false;
+    V = V * Base + Digit;
+  }
+  Out = Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+  return true;
+}
+
+std::string teapot::formatString(const char *Fmt, ...) {
+  char Buf[2048];
+  va_list Args;
+  va_start(Args, Fmt);
+  vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  return Buf;
+}

@@ -1,0 +1,38 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+///
+/// \file
+/// String helpers shared by the assembler, disassembler printer, and the
+/// MiniCC front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_STRINGUTILS_H
+#define TEAPOT_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace teapot {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, keeping empty fields.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Formats \p V as 0x-prefixed lowercase hex.
+std::string toHex(uint64_t V);
+
+/// Parses a decimal, 0x-hex, or negative integer. Returns false on any
+/// malformed input (including trailing garbage).
+bool parseInt(std::string_view S, int64_t &Out);
+
+/// printf-style std::string formatter.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,379 @@
+//===- vm/Machine.cpp - TISA interpreter ----------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "obj/Layout.h"
+
+#include <algorithm>
+
+using namespace teapot;
+using namespace teapot::isa;
+using namespace teapot::vm;
+
+Machine::Machine() {
+  MallocFn = [](Machine &M, uint64_t Size) {
+    // Default bump allocator, 16-byte aligned, with a guard gap so that
+    // adjacent allocations are distinguishable for debugging.
+    uint64_t P = (M.HeapBump + 15) & ~15ULL;
+    M.HeapBump = P + ((Size + 15) & ~15ULL) + 16;
+    return P;
+  };
+  FreeFn = [](Machine &, uint64_t) {};
+}
+
+Error Machine::loadObject(const obj::ObjectFile &Obj) {
+  ICache.clear();
+  for (const obj::Section &S : Obj.Sections) {
+    if (S.Kind == obj::SectionKind::Bss)
+      continue; // sparse memory reads as zero
+    if (!S.Bytes.empty())
+      Mem.write(S.Addr, S.Bytes.data(), S.Bytes.size());
+  }
+  C = CPU();
+  C.PC = Obj.Entry;
+  C.R[SP] = obj::StackTop - 16;
+  uint64_t Sentinel = HaltSentinel;
+  Mem.write(C.R[SP], &Sentinel, 8);
+  HeapBump = obj::HeapBase;
+  ExecutedInsts = ExecutedIntrinsics = 0;
+  Output.clear();
+  InputCursor = 0;
+  return Error::success();
+}
+
+void Machine::captureBaseline() {
+  Mem.captureBaseline();
+  BaselineCPU = C;
+  BaselineHeapBump = HeapBump;
+}
+
+void Machine::resetToBaseline() {
+  Mem.resetToBaseline();
+  C = BaselineCPU;
+  HeapBump = BaselineHeapBump;
+  Output.clear();
+  InputCursor = 0;
+  ExecutedInsts = ExecutedIntrinsics = 0;
+}
+
+const Decoded *Machine::decodeAt(uint64_t Addr) {
+  auto It = ICache.find(Addr);
+  if (It != ICache.end())
+    return &It->second;
+  uint8_t Buf[40];
+  Mem.read(Addr, Buf, sizeof(Buf));
+  auto D = decode(Buf, sizeof(Buf), 0);
+  if (!D)
+    return nullptr;
+  return &ICache.emplace(Addr, *D).first->second;
+}
+
+bool Machine::raiseFault(FaultKind K, uint64_t Addr, StopState &StopOut) {
+  if (FaultHook && FaultHook(*this, K, Addr))
+    return true;
+  StopOut.Kind = StopKind::Fault;
+  StopOut.Fault = K;
+  StopOut.FaultAddr = Addr;
+  return false;
+}
+
+bool Machine::guestRead(uint64_t Addr, uint64_t &Out, unsigned Size,
+                        bool Signed, StopState &StopOut) {
+  if (!obj::isUserAddress(Addr) || !obj::isUserAddress(Addr + Size - 1))
+    return raiseFault(FaultKind::BadMemory, Addr, StopOut);
+  uint64_t V = Mem.readUnsigned(Addr, Size);
+  if (Signed && Size < 8) {
+    uint64_t SignBit = 1ULL << (Size * 8 - 1);
+    if (V & SignBit)
+      V |= ~((SignBit << 1) - 1);
+  }
+  Out = V;
+  return true;
+}
+
+bool Machine::guestWrite(uint64_t Addr, uint64_t V, unsigned Size,
+                         StopState &StopOut) {
+  if (!obj::isUserAddress(Addr) || !obj::isUserAddress(Addr + Size - 1))
+    return raiseFault(FaultKind::BadMemory, Addr, StopOut);
+  Mem.writeUnsigned(Addr, V, Size);
+  return true;
+}
+
+bool Machine::execExt(uint64_t Index, StopState &StopOut) {
+  switch (Index) {
+  case ExtExit:
+    StopOut.Kind = StopKind::Halted;
+    StopOut.ExitStatus = C.R[R0];
+    return false;
+  case ExtReadInput: {
+    uint64_t Buf = C.R[R0], Len = C.R[R1];
+    uint64_t Avail = Input.size() - InputCursor;
+    uint64_t N = std::min(Len, Avail);
+    if (N) {
+      if (!obj::isUserAddress(Buf) || !obj::isUserAddress(Buf + N - 1))
+        return raiseFault(FaultKind::BadMemory, Buf, StopOut);
+      Mem.write(Buf, Input.data() + InputCursor, N);
+      if (InputReadHook)
+        InputReadHook(Buf, N, InputCursor);
+      InputCursor += N;
+    }
+    C.R[R0] = N;
+    return true;
+  }
+  case ExtInputSize:
+    C.R[R0] = Input.size();
+    return true;
+  case ExtWriteOut: {
+    uint64_t Buf = C.R[R0], Len = std::min<uint64_t>(C.R[R1], 1 << 20);
+    if (Len) {
+      if (!obj::isUserAddress(Buf) || !obj::isUserAddress(Buf + Len - 1))
+        return raiseFault(FaultKind::BadMemory, Buf, StopOut);
+      size_t Old = Output.size();
+      Output.resize(Old + Len);
+      Mem.read(Buf, Output.data() + Old, Len);
+    }
+    return true;
+  }
+  case ExtMalloc:
+    C.R[R0] = MallocFn(*this, C.R[R0]);
+    return true;
+  case ExtFree:
+    FreeFn(*this, C.R[R0]);
+    return true;
+  case ExtAbort:
+    StopOut.Kind = StopKind::Halted;
+    StopOut.ExitStatus = 134; // 128 + SIGABRT, as a shell would report
+    return false;
+  default:
+    return raiseFault(FaultKind::BadExt, Index, StopOut);
+  }
+}
+
+bool Machine::exec(const Decoded &D, StopState &StopOut) {
+  const Instruction &I = D.I;
+  auto SetZS = [&](uint64_t V) {
+    C.Flags &= ~(FlagZ | FlagS);
+    if (V == 0)
+      C.Flags |= FlagZ;
+    if (V >> 63)
+      C.Flags |= FlagS;
+  };
+  auto ClearCO = [&] { C.Flags &= ~(FlagC | FlagO); };
+  auto SrcValue = [&](const Operand &O) -> uint64_t {
+    return O.isReg() ? C.R[O.R] : static_cast<uint64_t>(O.Imm);
+  };
+  auto DoAddFlags = [&](uint64_t A, uint64_t B, uint64_t Res) {
+    SetZS(Res);
+    ClearCO();
+    if (Res < A)
+      C.Flags |= FlagC;
+    if ((~(A ^ B) & (A ^ Res)) >> 63)
+      C.Flags |= FlagO;
+  };
+  auto DoSubFlags = [&](uint64_t A, uint64_t B, uint64_t Res) {
+    SetZS(Res);
+    ClearCO();
+    if (A < B)
+      C.Flags |= FlagC;
+    if (((A ^ B) & (A ^ Res)) >> 63)
+      C.Flags |= FlagO;
+  };
+
+  switch (I.Op) {
+  case Opcode::MOV:
+    C.R[I.A.R] = SrcValue(I.B);
+    return true;
+  case Opcode::LOAD:
+  case Opcode::LOADS: {
+    uint64_t V;
+    if (!guestRead(effectiveAddr(I.B.M), V, I.Size, I.Op == Opcode::LOADS,
+                   StopOut))
+      return false;
+    C.R[I.A.R] = V;
+    return true;
+  }
+  case Opcode::STORE:
+    return guestWrite(effectiveAddr(I.A.M), SrcValue(I.B), I.Size, StopOut);
+  case Opcode::LEA:
+    C.R[I.A.R] = effectiveAddr(I.B.M);
+    return true;
+  case Opcode::PUSH: {
+    C.R[SP] -= 8;
+    return guestWrite(C.R[SP], SrcValue(I.A), 8, StopOut);
+  }
+  case Opcode::POP: {
+    uint64_t V;
+    if (!guestRead(C.R[SP], V, 8, false, StopOut))
+      return false;
+    C.R[I.A.R] = V;
+    C.R[SP] += 8;
+    return true;
+  }
+  case Opcode::ADD: {
+    uint64_t A = C.R[I.A.R], B = SrcValue(I.B), Res = A + B;
+    C.R[I.A.R] = Res;
+    DoAddFlags(A, B, Res);
+    return true;
+  }
+  case Opcode::SUB: {
+    uint64_t A = C.R[I.A.R], B = SrcValue(I.B), Res = A - B;
+    C.R[I.A.R] = Res;
+    DoSubFlags(A, B, Res);
+    return true;
+  }
+  case Opcode::AND:
+    C.R[I.A.R] &= SrcValue(I.B);
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  case Opcode::OR:
+    C.R[I.A.R] |= SrcValue(I.B);
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  case Opcode::XOR:
+    C.R[I.A.R] ^= SrcValue(I.B);
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  case Opcode::SHL:
+    C.R[I.A.R] <<= (SrcValue(I.B) & 63);
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  case Opcode::SHR:
+    C.R[I.A.R] >>= (SrcValue(I.B) & 63);
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  case Opcode::SAR: {
+    int64_t V = static_cast<int64_t>(C.R[I.A.R]);
+    C.R[I.A.R] = static_cast<uint64_t>(V >> (SrcValue(I.B) & 63));
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  }
+  case Opcode::MUL:
+    C.R[I.A.R] *= SrcValue(I.B);
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  case Opcode::UDIV:
+  case Opcode::UREM: {
+    uint64_t B = SrcValue(I.B);
+    if (B == 0)
+      return raiseFault(FaultKind::DivByZero, C.PC, StopOut);
+    uint64_t A = C.R[I.A.R];
+    C.R[I.A.R] = I.Op == Opcode::UDIV ? A / B : A % B;
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  }
+  case Opcode::NOT:
+    C.R[I.A.R] = ~C.R[I.A.R];
+    return true;
+  case Opcode::NEG:
+    C.R[I.A.R] = 0 - C.R[I.A.R];
+    SetZS(C.R[I.A.R]);
+    ClearCO();
+    return true;
+  case Opcode::CMP: {
+    uint64_t A = C.R[I.A.R], B = SrcValue(I.B);
+    DoSubFlags(A, B, A - B);
+    return true;
+  }
+  case Opcode::TEST: {
+    SetZS(C.R[I.A.R] & SrcValue(I.B));
+    ClearCO();
+    return true;
+  }
+  case Opcode::SET:
+    C.R[I.A.R] = evalCond(I.CC, C.Flags) ? 1 : 0;
+    return true;
+  case Opcode::CMOV:
+    if (evalCond(I.CC, C.Flags))
+      C.R[I.A.R] = SrcValue(I.B);
+    return true;
+  case Opcode::JMP:
+    C.PC += static_cast<uint64_t>(I.A.Imm);
+    return true;
+  case Opcode::JCC:
+    if (evalCond(I.CC, C.Flags))
+      C.PC += static_cast<uint64_t>(I.A.Imm);
+    return true;
+  case Opcode::JMPI:
+    C.PC = C.R[I.A.R];
+    return true;
+  case Opcode::CALL: {
+    C.R[SP] -= 8;
+    if (!guestWrite(C.R[SP], C.PC, 8, StopOut))
+      return false;
+    C.PC += static_cast<uint64_t>(I.A.Imm);
+    return true;
+  }
+  case Opcode::CALLI: {
+    uint64_t Target = C.R[I.A.R];
+    C.R[SP] -= 8;
+    if (!guestWrite(C.R[SP], C.PC, 8, StopOut))
+      return false;
+    C.PC = Target;
+    return true;
+  }
+  case Opcode::RET: {
+    uint64_t V;
+    if (!guestRead(C.R[SP], V, 8, false, StopOut))
+      return false;
+    C.R[SP] += 8;
+    C.PC = V;
+    return true;
+  }
+  case Opcode::NOP:
+  case Opcode::MARKERNOP:
+  case Opcode::FENCE:
+    return true;
+  case Opcode::EXT:
+    return execExt(static_cast<uint64_t>(I.A.Imm), StopOut);
+  case Opcode::HALT:
+    StopOut.Kind = StopKind::Halted;
+    StopOut.ExitStatus = C.R[R0];
+    return false;
+  case Opcode::INTR:
+    ++ExecutedIntrinsics;
+    if (Intrinsics && !Intrinsics->onIntrinsic(*this, I)) {
+      StopOut.Kind = StopKind::ExtError;
+      return false;
+    }
+    return true;
+  case Opcode::NumOpcodes:
+    break;
+  }
+  return raiseFault(FaultKind::BadFetch, C.PC, StopOut);
+}
+
+bool Machine::step(StopState &StopOut) {
+  if (C.PC == HaltSentinel) {
+    StopOut.Kind = StopKind::Halted;
+    StopOut.ExitStatus = C.R[R0];
+    return false;
+  }
+  const Decoded *D = decodeAt(C.PC);
+  if (!D) {
+    if (!raiseFault(FaultKind::BadFetch, C.PC, StopOut))
+      return false;
+    return true; // fault hook redirected us
+  }
+  // PC points at the next instruction during execution, so CALL pushes
+  // the right return address and branches are end-relative.
+  C.PC += D->Length;
+  ++ExecutedInsts;
+  return exec(*D, StopOut);
+}
+
+StopState Machine::run(uint64_t MaxInsts) {
+  StopState Stop;
+  for (uint64_t N = 0; N != MaxInsts; ++N)
+    if (!step(Stop))
+      return Stop;
+  Stop.Kind = StopKind::OutOfGas;
+  return Stop;
+}

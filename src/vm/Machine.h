@@ -1,0 +1,177 @@
+//===- vm/Machine.h - TISA interpreter ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The execution platform that stands in for a real x86-64 CPU + OS
+/// process. It interprets TISA binaries with a pre-decoded instruction
+/// cache and exposes exactly the hooks Teapot's runtime library needs:
+///
+///   - an IntrinsicHandler receiving every INTR instruction,
+///   - a fault hook (the "custom signal handler" of Section 6.1),
+///   - an external-call table (the uninstrumented libc analogue),
+///   - allocator hooks so the runtime can substitute the ASan allocator,
+///   - an input hook so the DIFT runtime can tag user input (fread/fgets
+///     wrappers of Section 6.2.2).
+///
+/// The Machine knows nothing about speculation: the rewritten program
+/// simulates misprediction architecturally, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_VM_MACHINE_H
+#define TEAPOT_VM_MACHINE_H
+
+#include "isa/Encoding.h"
+#include "isa/Instruction.h"
+#include "obj/ObjectFile.h"
+#include "support/Error.h"
+#include "vm/Memory.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace teapot {
+namespace vm {
+
+/// Architectural register state.
+struct CPU {
+  uint64_t R[isa::NumRegs] = {};
+  uint8_t Flags = 0;
+  uint64_t PC = 0;
+};
+
+enum class StopKind : uint8_t {
+  Halted,    // HALT or clean return from the entry function
+  Fault,     // unhandled guest fault
+  OutOfGas,  // instruction budget exhausted
+  ExtError,  // an external function signalled failure
+};
+
+enum class FaultKind : uint8_t {
+  BadMemory,  // access outside the user-accessible regions
+  BadFetch,   // PC undecodable or outside code
+  BadExt,     // unknown external index
+  DivByZero,
+};
+
+struct StopState {
+  StopKind Kind = StopKind::Halted;
+  FaultKind Fault = FaultKind::BadMemory;
+  uint64_t FaultAddr = 0;
+  uint64_t ExitStatus = 0;
+};
+
+class Machine;
+
+/// Receives INTR instructions. Returning false requests a machine stop
+/// (treated as ExtError).
+class IntrinsicHandler {
+public:
+  virtual ~IntrinsicHandler() = default;
+  virtual bool onIntrinsic(Machine &M, const isa::Instruction &I) = 0;
+};
+
+/// Standard external-function indices (the workload "libc").
+enum ExtIndex : uint8_t {
+  ExtExit = 0,      // exit(r0)
+  ExtReadInput = 1, // r0 = read(buf=r0, len=r1) from the fuzz input
+  ExtInputSize = 2, // r0 = total input size
+  ExtWriteOut = 3,  // write(buf=r0, len=r1) to the output sink
+  ExtMalloc = 4,    // r0 = malloc(r0)
+  ExtFree = 5,      // free(r0)
+  ExtAbort = 6,
+  NumExtIndices,
+};
+
+class Machine {
+public:
+  Machine();
+
+  CPU C;
+  Memory Mem;
+
+  /// Loads \p Obj into memory, points PC at the entry, sets up the stack
+  /// (with a return-to-sentinel so a stray RET from the entry halts
+  /// cleanly), resets counters, and invalidates the decode cache.
+  Error loadObject(const obj::ObjectFile &Obj);
+
+  /// Captures the post-load state as the fuzzing baseline.
+  void captureBaseline();
+
+  /// Restores memory, registers, PC, and host state to the baseline —
+  /// the start of a fresh run on the same binary.
+  void resetToBaseline();
+
+  /// Executes up to \p MaxInsts instructions.
+  StopState run(uint64_t MaxInsts);
+
+  /// Executes one instruction; returns false if the machine stopped
+  /// (details in \p StopOut).
+  bool step(StopState &StopOut);
+
+  // --- Hooks -------------------------------------------------------------
+  IntrinsicHandler *Intrinsics = nullptr;
+  /// Return true to resume (after redirecting PC); false to stop.
+  std::function<bool(Machine &, FaultKind, uint64_t)> FaultHook;
+  /// Replaceable allocator (the runtime installs the ASan allocator).
+  std::function<uint64_t(Machine &, uint64_t)> MallocFn;
+  std::function<void(Machine &, uint64_t)> FreeFn;
+  /// Called after read_input copies bytes into guest memory (taint
+  /// source hook): (addr, len, input offset).
+  std::function<void(uint64_t, uint64_t, uint64_t)> InputReadHook;
+
+  // --- Host environment ---------------------------------------------------
+  void setInput(std::vector<uint8_t> Input) {
+    this->Input = std::move(Input);
+    InputCursor = 0;
+  }
+  const std::vector<uint8_t> &output() const { return Output; }
+
+  // --- Introspection ------------------------------------------------------
+  uint64_t executedInsts() const { return ExecutedInsts; }
+  uint64_t executedIntrinsics() const { return ExecutedIntrinsics; }
+
+  /// Decodes (with caching) the instruction at \p Addr. Returns null on
+  /// failure. The runtime uses this to inspect covered instructions.
+  const isa::Decoded *decodeAt(uint64_t Addr);
+
+  /// Effective address of a memory operand under the current registers.
+  uint64_t effectiveAddr(const isa::MemRef &M) const {
+    uint64_t A = static_cast<uint64_t>(M.Disp);
+    if (M.Base != isa::NoReg)
+      A += C.R[M.Base];
+    if (M.Index != isa::NoReg)
+      A += C.R[M.Index] * M.Scale;
+    return A;
+  }
+
+  /// The sentinel return address installed below the entry frame.
+  static constexpr uint64_t HaltSentinel = 0x7fff'dead'0000ULL;
+
+private:
+  bool exec(const isa::Decoded &D, StopState &StopOut);
+  bool execExt(uint64_t Index, StopState &StopOut);
+  bool guestRead(uint64_t Addr, uint64_t &Out, unsigned Size, bool Signed,
+                 StopState &StopOut);
+  bool guestWrite(uint64_t Addr, uint64_t V, unsigned Size,
+                  StopState &StopOut);
+  bool raiseFault(FaultKind K, uint64_t Addr, StopState &StopOut);
+
+  std::unordered_map<uint64_t, isa::Decoded> ICache;
+  std::vector<uint8_t> Input;
+  uint64_t InputCursor = 0;
+  std::vector<uint8_t> Output;
+  uint64_t HeapBump = 0;
+  uint64_t ExecutedInsts = 0;
+  uint64_t ExecutedIntrinsics = 0;
+
+  // Baseline for resets.
+  CPU BaselineCPU;
+  uint64_t BaselineHeapBump = 0;
+};
+
+} // namespace vm
+} // namespace teapot
+
+#endif // TEAPOT_VM_MACHINE_H

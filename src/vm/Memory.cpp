@@ -1,0 +1,69 @@
+//===- vm/Memory.cpp ------------------------------------------------------===//
+
+#include "vm/Memory.h"
+
+using namespace teapot;
+using namespace teapot::vm;
+
+void Memory::read(uint64_t Addr, void *Out, size_t N) const {
+  auto *Dst = static_cast<uint8_t *>(Out);
+  while (N) {
+    uint64_t PageIdx = Addr / PageSize;
+    uint64_t Off = Addr % PageSize;
+    size_t Chunk = static_cast<size_t>(
+        std::min<uint64_t>(N, PageSize - Off));
+    auto It = Pages.find(PageIdx);
+    if (It == Pages.end())
+      memset(Dst, 0, Chunk);
+    else
+      memcpy(Dst, It->second->data() + Off, Chunk);
+    Dst += Chunk;
+    Addr += Chunk;
+    N -= Chunk;
+  }
+}
+
+Memory::Page *Memory::pageForWrite(uint64_t PageIdx) {
+  auto It = Pages.find(PageIdx);
+  if (It == Pages.end()) {
+    auto P = std::make_unique<Page>();
+    P->fill(0);
+    It = Pages.emplace(PageIdx, std::move(P)).first;
+  }
+  if (TrackDirty)
+    Dirty.insert(PageIdx);
+  return It->second.get();
+}
+
+void Memory::write(uint64_t Addr, const void *In, size_t N) {
+  auto *Src = static_cast<const uint8_t *>(In);
+  while (N) {
+    uint64_t PageIdx = Addr / PageSize;
+    uint64_t Off = Addr % PageSize;
+    size_t Chunk = static_cast<size_t>(
+        std::min<uint64_t>(N, PageSize - Off));
+    memcpy(pageForWrite(PageIdx)->data() + Off, Src, Chunk);
+    Src += Chunk;
+    Addr += Chunk;
+    N -= Chunk;
+  }
+}
+
+void Memory::captureBaseline() {
+  Baseline.clear();
+  for (const auto &[Idx, P] : Pages)
+    Baseline.emplace(Idx, std::make_unique<Page>(*P));
+  Dirty.clear();
+  TrackDirty = true;
+}
+
+void Memory::resetToBaseline() {
+  for (uint64_t Idx : Dirty) {
+    auto BIt = Baseline.find(Idx);
+    if (BIt == Baseline.end())
+      Pages.erase(Idx);
+    else
+      *Pages[Idx] = *BIt->second;
+  }
+  Dirty.clear();
+}

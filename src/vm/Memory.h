@@ -1,0 +1,80 @@
+//===- vm/Memory.h - Sparse 64-bit guest memory -------------------*- C++ -*-===//
+///
+/// \file
+/// Sparse, page-granular guest memory covering the full 64-bit address
+/// space. Pages materialize zero-filled on first write, so the huge ASan
+/// shadow and DIFT tag-shadow regions (runtime/ShadowLayout.h) cost only
+/// what is actually touched.
+///
+/// Guest-visible accesses are region-checked by the Machine; this class
+/// itself is policy-free and also serves the runtime's host-side accesses
+/// to shadow regions.
+///
+/// A baseline snapshot supports O(dirty pages) resets between fuzzing
+/// runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_VM_MEMORY_H
+#define TEAPOT_VM_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace teapot {
+namespace vm {
+
+class Memory {
+public:
+  static constexpr uint64_t PageSize = 4096;
+  using Page = std::array<uint8_t, PageSize>;
+
+  /// Reads \p N bytes at \p Addr; unmapped bytes read as zero.
+  void read(uint64_t Addr, void *Out, size_t N) const;
+
+  /// Writes \p N bytes at \p Addr, materializing pages as needed.
+  void write(uint64_t Addr, const void *In, size_t N);
+
+  uint8_t readU8(uint64_t Addr) const {
+    uint8_t V;
+    read(Addr, &V, 1);
+    return V;
+  }
+  uint64_t readUnsigned(uint64_t Addr, unsigned Size) const {
+    uint64_t V = 0;
+    read(Addr, &V, Size);
+    return V;
+  }
+  void writeU8(uint64_t Addr, uint8_t V) { write(Addr, &V, 1); }
+  void writeUnsigned(uint64_t Addr, uint64_t V, unsigned Size) {
+    write(Addr, &V, Size);
+  }
+
+  /// Captures the current contents as the reset baseline.
+  void captureBaseline();
+
+  /// Restores every page written since captureBaseline() to its baseline
+  /// contents (or unmaps it if it was not mapped then).
+  void resetToBaseline();
+
+  size_t mappedPageCount() const { return Pages.size(); }
+  size_t dirtyPageCount() const { return Dirty.size(); }
+
+private:
+  Page *pageForWrite(uint64_t PageIdx);
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Baseline;
+  std::unordered_set<uint64_t> Dirty;
+  bool TrackDirty = false;
+};
+
+} // namespace vm
+} // namespace teapot
+
+#endif // TEAPOT_VM_MEMORY_H

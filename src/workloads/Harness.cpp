@@ -1,0 +1,80 @@
+//===- workloads/Harness.cpp ----------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+using namespace teapot;
+using namespace teapot::workloads;
+
+InstrumentedTarget::InstrumentedTarget(const core::RewriteResult &RW,
+                                       runtime::RuntimeOptions RTOpts,
+                                       uint64_t Budget)
+    : RT(M, RW.Meta, RTOpts), Budget(Budget) {
+  cantFail(M.loadObject(RW.Binary));
+  RT.attach();
+  M.captureBaseline();
+}
+
+void InstrumentedTarget::execute(const std::vector<uint8_t> &Input) {
+  M.resetToBaseline();
+  RT.resetRun();
+  if (PokeAddr) {
+    // Poke the *last* 8 input bytes: trailing bytes perturb the parsed
+    // document far less than a corrupted header would, so coverage and
+    // the injected-input sweep coexist in one fuzzed buffer.
+    uint64_t V = 0;
+    size_t Base = Input.size() > 8 ? Input.size() - 8 : 0;
+    for (size_t I = 0; Base + I < Input.size() && I != 8; ++I)
+      V |= static_cast<uint64_t>(Input[Base + I]) << (I * 8);
+    M.Mem.writeUnsigned(*PokeAddr, V, 8);
+  }
+  M.setInput(Input);
+  LastStop = M.run(Budget);
+}
+
+NativeTarget::NativeTarget(const obj::ObjectFile &Bin, uint64_t Budget)
+    : Budget(Budget) {
+  cantFail(M.loadObject(Bin));
+  M.captureBaseline();
+}
+
+void NativeTarget::execute(const std::vector<uint8_t> &Input) {
+  M.resetToBaseline();
+  if (PokeAddr) {
+    // Poke the *last* 8 input bytes: trailing bytes perturb the parsed
+    // document far less than a corrupted header would, so coverage and
+    // the injected-input sweep coexist in one fuzzed buffer.
+    uint64_t V = 0;
+    size_t Base = Input.size() > 8 ? Input.size() - 8 : 0;
+    for (size_t I = 0; Base + I < Input.size() && I != 8; ++I)
+      V |= static_cast<uint64_t>(Input[Base + I]) << (I * 8);
+    M.Mem.writeUnsigned(*PokeAddr, V, 8);
+  }
+  M.setInput(Input);
+  LastStop = M.run(Budget);
+}
+
+EmulatorTarget::EmulatorTarget(const obj::ObjectFile &Bin,
+                               baselines::SpecTaintOptions Opts,
+                               uint64_t Budget)
+    : E(M, Opts), Budget(Budget) {
+  cantFail(M.loadObject(Bin));
+  E.attach();
+  M.captureBaseline();
+}
+
+void EmulatorTarget::execute(const std::vector<uint8_t> &Input) {
+  M.resetToBaseline();
+  E.resetRun();
+  if (PokeAddr) {
+    // Poke the *last* 8 input bytes: trailing bytes perturb the parsed
+    // document far less than a corrupted header would, so coverage and
+    // the injected-input sweep coexist in one fuzzed buffer.
+    uint64_t V = 0;
+    size_t Base = Input.size() > 8 ? Input.size() - 8 : 0;
+    for (size_t I = 0; Base + I < Input.size() && I != 8; ++I)
+      V |= static_cast<uint64_t>(Input[Base + I]) << (I * 8);
+    M.Mem.writeUnsigned(*PokeAddr, V, 8);
+  }
+  M.setInput(Input);
+  LastStop = E.run(Budget);
+}

@@ -1,0 +1,118 @@
+//===- workloads/Harness.h - VM / runtime / fuzzer glue -----------*- C++ -*-===//
+///
+/// \file
+/// Ready-made fuzz targets wiring a binary into a Machine with the right
+/// detector attached:
+///
+///   InstrumentedTarget  Teapot- or SpecFuzz-instrumented binary + the
+///                       SpecRuntime (the normal evaluation path)
+///   NativeTarget        uninstrumented binary, no detector (the
+///                       normalization baseline of Figures 1 and 7)
+///   EmulatorTarget      uninstrumented binary under the SpecTaint-style
+///                       emulator
+///
+/// All targets support "poking" the first 8 input bytes into a chosen
+/// guest address before each run — how the Table 3 experiment feeds the
+/// injected gadgets' designated user-input variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_WORKLOADS_HARNESS_H
+#define TEAPOT_WORKLOADS_HARNESS_H
+
+#include "baselines/SpecTaint.h"
+#include "core/TeapotRewriter.h"
+#include "fuzz/Fuzzer.h"
+#include "runtime/SpecRuntime.h"
+#include "vm/Machine.h"
+
+#include <optional>
+
+namespace teapot {
+namespace workloads {
+
+/// Default per-run instruction budget. Simulation multiplies executed
+/// instructions, so instrumented runs need generous budgets.
+inline constexpr uint64_t DefaultRunBudget = 80'000'000;
+
+class InstrumentedTarget : public fuzz::FuzzTarget {
+public:
+  InstrumentedTarget(const core::RewriteResult &RW,
+                     runtime::RuntimeOptions RTOpts,
+                     uint64_t Budget = DefaultRunBudget);
+
+  void execute(const std::vector<uint8_t> &Input) override;
+  const std::vector<uint8_t> &normalCoverage() const override {
+    return RT.Cov.normalMap();
+  }
+  const std::vector<uint8_t> &specCoverage() const override {
+    return RT.Cov.specMap();
+  }
+  size_t uniqueGadgets() const override {
+    return RT.Reports.unique().size();
+  }
+
+  void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
+
+  vm::Machine M;
+  runtime::SpecRuntime RT;
+  vm::StopState LastStop;
+
+private:
+  uint64_t Budget;
+  std::optional<uint64_t> PokeAddr;
+};
+
+class NativeTarget : public fuzz::FuzzTarget {
+public:
+  NativeTarget(const obj::ObjectFile &Bin,
+               uint64_t Budget = DefaultRunBudget);
+
+  void execute(const std::vector<uint8_t> &Input) override;
+  const std::vector<uint8_t> &normalCoverage() const override {
+    return Empty;
+  }
+  const std::vector<uint8_t> &specCoverage() const override { return Empty; }
+
+  void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
+
+  vm::Machine M;
+  vm::StopState LastStop;
+
+private:
+  uint64_t Budget;
+  std::optional<uint64_t> PokeAddr;
+  std::vector<uint8_t> Empty;
+};
+
+class EmulatorTarget : public fuzz::FuzzTarget {
+public:
+  EmulatorTarget(const obj::ObjectFile &Bin,
+                 baselines::SpecTaintOptions Opts,
+                 uint64_t Budget = DefaultRunBudget);
+
+  void execute(const std::vector<uint8_t> &Input) override;
+  const std::vector<uint8_t> &normalCoverage() const override {
+    return Empty;
+  }
+  const std::vector<uint8_t> &specCoverage() const override { return Empty; }
+  size_t uniqueGadgets() const override {
+    return E.Reports.unique().size();
+  }
+
+  void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
+
+  vm::Machine M;
+  baselines::SpecTaintEmulator E;
+  vm::StopState LastStop;
+
+private:
+  uint64_t Budget;
+  std::optional<uint64_t> PokeAddr;
+  std::vector<uint8_t> Empty;
+};
+
+} // namespace workloads
+} // namespace teapot
+
+#endif // TEAPOT_WORKLOADS_HARNESS_H

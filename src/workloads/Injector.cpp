@@ -1,0 +1,222 @@
+//===- workloads/Injector.cpp ----------------------------------------------===//
+
+#include "workloads/Injector.h"
+
+#include "support/RNG.h"
+#include "vm/Machine.h"
+
+#include <algorithm>
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::isa;
+using namespace teapot::workloads;
+
+namespace {
+
+/// Builds one V1 sample gadget as a fresh function:
+///
+///   push r2..r5
+///   ld8 r2, [inj_input]        ; attacker-controlled index
+///   ld8 r3, [probe_buf_slot]   ; 64-byte heap object
+///   cmp r2, 64
+///   j.ae skip                  ; bounds check (the mispredicted branch)
+///   [nested: cmp r2, 64; j.ae skip]   ; second misprediction required
+///   ld1 r4, [r3 + r2]          ; L1: speculative OOB load of the secret
+///   shl r4, 6
+///   and r4, 4032
+///   ld1 r5, [r3 + r4]          ; L2: transmit via a dependent access
+///   skip: pop r5..r2; ret
+///
+/// Every instruction carries the synthetic site marker as OrigAddr.
+uint32_t buildGadgetFunction(Module &M, uint64_t Marker, uint64_t InjAddr,
+                             uint64_t BufSlotAddr, bool Nested,
+                             unsigned Index) {
+  auto FuncIdx = static_cast<uint32_t>(M.Funcs.size());
+  Function Fn;
+  Fn.Name = "inj_gadget_" + std::to_string(Index);
+  M.Funcs.push_back(std::move(Fn));
+
+  BlockRef Entry = M.addBlock(FuncIdx);
+  BlockRef Check2 = Nested ? M.addBlock(FuncIdx) : BlockRef();
+  BlockRef Body = M.addBlock(FuncIdx);
+  BlockRef Skip = M.addBlock(FuncIdx);
+
+  auto Tag = [&](Instruction I) {
+    Inst In(std::move(I));
+    In.OrigAddr = Marker;
+    return In;
+  };
+
+  {
+    BasicBlock &B = M.block(Entry);
+    for (Reg R : {R2, R3, R4, R5}) {
+      Instruction P(Opcode::PUSH);
+      P.A = Operand::reg(R);
+      B.Insts.push_back(Tag(P));
+    }
+    B.Insts.push_back(Tag(Instruction::load(
+        R2, MemRef{NoReg, NoReg, 1, static_cast<int64_t>(InjAddr)}, 8)));
+    B.Insts.push_back(Tag(Instruction::load(
+        R3, MemRef{NoReg, NoReg, 1, static_cast<int64_t>(BufSlotAddr)}, 8)));
+    B.Insts.push_back(Tag(Instruction::cmp(R2, Operand::imm(64))));
+    Inst Guard(Instruction::jcc(CondCode::AE, 0));
+    Guard.OrigAddr = Marker;
+    Guard.Target = Skip;
+    B.Insts.push_back(std::move(Guard));
+    B.TakenSucc = Skip;
+    B.FallSucc = Nested ? Check2 : Body;
+  }
+  if (Nested) {
+    BasicBlock &B = M.block(Check2);
+    B.Insts.push_back(Tag(Instruction::cmp(R2, Operand::imm(64))));
+    Inst Guard(Instruction::jcc(CondCode::AE, 0));
+    Guard.OrigAddr = Marker;
+    Guard.Target = Skip;
+    B.Insts.push_back(std::move(Guard));
+    B.TakenSucc = Skip;
+    B.FallSucc = Body;
+  }
+  {
+    // The sample gadget's speculative load aims at offsets 64..95: the
+    // probe object's tail redzone plus its successor's head redzone, so
+    // the out-of-bounds access is deterministically ASan-visible (an
+    // unconstrained 64-bit offset would usually land inside some other
+    // live allocation and leak nothing detectable).
+    BasicBlock &B = M.block(Body);
+    B.Insts.push_back(Tag(Instruction::mov(R4, Operand::reg(R2))));
+    B.Insts.push_back(
+        Tag(Instruction::alu(Opcode::AND, R4, Operand::imm(31))));
+    B.Insts.push_back(
+        Tag(Instruction::alu(Opcode::ADD, R4, Operand::imm(64))));
+    B.Insts.push_back(
+        Tag(Instruction::load(R4, MemRef{R3, R4, 1, 0}, 1))); // L1: secret
+    B.Insts.push_back(
+        Tag(Instruction::alu(Opcode::SHL, R4, Operand::imm(1))));
+    B.Insts.push_back(
+        Tag(Instruction::alu(Opcode::AND, R4, Operand::imm(63))));
+    B.Insts.push_back(
+        Tag(Instruction::load(R5, MemRef{R3, R4, 1, 0}, 1))); // L2: transmit
+    B.FallSucc = Skip;
+  }
+  {
+    BasicBlock &B = M.block(Skip);
+    for (Reg R : {R5, R4, R3, R2}) {
+      Instruction P(Opcode::POP);
+      P.A = Operand::reg(R);
+      B.Insts.push_back(Tag(P));
+    }
+    B.Insts.push_back(Tag(Instruction::ret()));
+  }
+  return FuncIdx;
+}
+
+} // namespace
+
+Expected<InjectionResult> workloads::injectGadgets(
+    Module &M, const InjectorOptions &Opts) {
+  InjectionResult Res;
+  RNG Rand(Opts.Seed);
+
+  // Reserve two fresh .bss slots: the injected "user input" variable and
+  // the probe-buffer pointer.
+  obj::Section *Bss = M.Source.findSection(".bss");
+  if (!Bss)
+    return makeError("input binary has no .bss section");
+  uint64_t SlotBase = Bss->Addr + ((Bss->BssSize + 7) & ~7ULL);
+  Res.InjInputAddr = SlotBase;
+  uint64_t BufSlotAddr = SlotBase + 8;
+  Bss->BssSize = SlotBase + 16 - Bss->Addr;
+
+  // Program startup allocates the 64-byte heap probe object the gadgets
+  // read out of bounds (heap objects carry ASan redzones; globals do
+  // not — Section 6.2.1).
+  if (M.EntryFunc == NoIdx || M.Funcs[M.EntryFunc].Blocks.empty())
+    return makeError("module has no entry function");
+  {
+    BasicBlock &Entry = M.Funcs[M.EntryFunc].Blocks[0];
+    std::vector<Inst> Setup;
+    Setup.emplace_back(Instruction::movImm(R0, 64));
+    Setup.emplace_back(Instruction::ext(vm::ExtMalloc));
+    Setup.emplace_back(Instruction::store(
+        MemRef{NoReg, NoReg, 1, static_cast<int64_t>(BufSlotAddr)},
+        Operand::reg(R0), 8));
+    Entry.Insts.insert(Entry.Insts.begin(),
+                       std::make_move_iterator(Setup.begin()),
+                       std::make_move_iterator(Setup.end()));
+  }
+
+  // Pick injection points. Unreachable functions get their quota first;
+  // the rest lands at block starts of randomly chosen functions.
+  std::vector<std::pair<uint32_t, uint32_t>> Unreachable;
+  for (const std::string &Name : Opts.UnreachableFuncs) {
+    bool Found = false;
+    for (uint32_t F = 0; F != M.Funcs.size(); ++F)
+      if (M.Funcs[F].Name == Name && !M.Funcs[F].Blocks.empty()) {
+        Unreachable.push_back({F, 0});
+        Found = true;
+      }
+    if (!Found)
+      return makeError("unreachable function '%s' not found in the binary",
+                       Name.c_str());
+  }
+  if (Unreachable.size() > Opts.Count)
+    return makeError("more unreachable points than gadgets requested");
+
+  std::vector<std::pair<uint32_t, uint32_t>> Candidates;
+  for (uint32_t F = 0; F != M.Funcs.size(); ++F) {
+    if (F == M.EntryFunc)
+      continue;
+    bool IsUnreachable = false;
+    for (const std::string &Name : Opts.UnreachableFuncs)
+      if (M.Funcs[F].Name == Name)
+        IsUnreachable = true;
+    if (IsUnreachable)
+      continue;
+    // Bias injection toward early blocks: SpecTaint's evaluation placed
+    // its attack points on paths the fuzzing drivers exercise, and deep
+    // cold blocks would measure corpus reachability rather than
+    // detection ability.
+    uint32_t Limit = std::min<uint32_t>(
+        4, static_cast<uint32_t>(M.Funcs[F].Blocks.size()));
+    for (uint32_t B = 0; B != Limit; ++B)
+      if (!M.Funcs[F].Blocks[B].Insts.empty())
+        Candidates.push_back({F, B});
+  }
+  unsigned NeedReachable =
+      Opts.Count - static_cast<unsigned>(Unreachable.size());
+  if (Candidates.size() < NeedReachable)
+    return makeError("binary too small: %zu candidate points for %u gadgets",
+                     Candidates.size(), NeedReachable);
+  // Deterministic shuffle, then take a prefix.
+  for (size_t I = Candidates.size(); I > 1; --I)
+    std::swap(Candidates[I - 1], Candidates[Rand.below(I)]);
+  Candidates.resize(NeedReachable);
+  Candidates.insert(Candidates.end(), Unreachable.begin(),
+                    Unreachable.end());
+
+  for (unsigned K = 0; K != Candidates.size(); ++K) {
+    uint64_t Marker = InjectSiteBase + K;
+    bool IsUnreachable = K >= NeedReachable;
+    bool Nested = Opts.NestedEvery && !IsUnreachable &&
+                  (K % Opts.NestedEvery) == Opts.NestedEvery - 1;
+    uint32_t GadgetFunc = buildGadgetFunction(
+        M, Marker, Res.InjInputAddr, BufSlotAddr, Nested, K);
+    Res.GadgetFuncIdx.push_back(GadgetFunc);
+
+    // Splice a call to the gadget at the chosen block start.
+    BasicBlock &Blk =
+        M.Funcs[Candidates[K].first].Blocks[Candidates[K].second];
+    Inst CallIn(Instruction::call(0));
+    CallIn.Callee = GadgetFunc;
+    CallIn.OrigAddr = Marker;
+    Blk.Insts.insert(Blk.Insts.begin(), std::move(CallIn));
+
+    Res.SiteMarkers.push_back(Marker);
+    if (IsUnreachable)
+      Res.UnreachableMarkers.push_back(Marker);
+    if (Nested)
+      Res.NestedMarkers.push_back(Marker);
+  }
+  return Res;
+}

@@ -1,0 +1,72 @@
+//===- workloads/Injector.h - Artificial Spectre gadget injection -*- C++ -*-===//
+///
+/// \file
+/// The Table 3 methodology (adopted from SpecTaint): splice sample
+/// Spectre-V1 gadgets from the Kocher examples into a lifted binary at
+/// recorded positions, making the program vulnerable at known points —
+/// a solid ground truth for measuring TP/FP/FN of the detectors.
+///
+/// As in Section 7.2, the injected gadgets read their "user input" from a
+/// dedicated variable (a fresh .bss slot the harness pokes with fuzz
+/// input and the runtime tags attacker-direct); real taint sources and
+/// the Massage policy are disabled for this experiment.
+///
+/// Every instruction of gadget k carries the synthetic site marker
+/// 0x10000000 + k as its OrigAddr, so a runtime report is a true positive
+/// iff its Site is one of the returned markers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_WORKLOADS_INJECTOR_H
+#define TEAPOT_WORKLOADS_INJECTOR_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace workloads {
+
+inline constexpr uint64_t InjectSiteBase = 0x10000000;
+
+struct InjectionResult {
+  /// Synthetic site markers, one per injected gadget (gadget k's marker
+  /// is InjectSiteBase + k).
+  std::vector<uint64_t> SiteMarkers;
+  /// Markers of gadgets placed in never-executed functions (expected
+  /// false negatives for every tool; libyaml's two in Table 3).
+  std::vector<uint64_t> UnreachableMarkers;
+  /// Address of the injected-input slot (tag this attacker-direct and
+  /// poke it with fuzz input before every run).
+  uint64_t InjInputAddr = 0;
+  /// Markers of gadgets that need a nested (double) misprediction.
+  std::vector<uint64_t> NestedMarkers;
+  /// Function index of each gadget (aligned with SiteMarkers); the
+  /// emulator baselines map report PCs back to gadgets through the
+  /// laid-out ranges of these functions.
+  std::vector<uint32_t> GadgetFuncIdx;
+};
+
+struct InjectorOptions {
+  unsigned Count = 5;
+  uint64_t Seed = 7;
+  /// Functions to force gadgets into even though the fuzzing driver
+  /// never reaches them (by name; requires an unstripped input).
+  std::vector<std::string> UnreachableFuncs;
+  /// Every Nth gadget is guarded by a second misprediction (exercises
+  /// the nested-speculation heuristics). 0 disables.
+  unsigned NestedEvery = 4;
+};
+
+/// Injects gadgets into \p M (a lifted, uninstrumented module). The
+/// module can then be laid out directly (for the emulator baselines) or
+/// passed to a rewriter.
+Expected<InjectionResult> injectGadgets(ir::Module &M,
+                                        const InjectorOptions &Opts);
+
+} // namespace workloads
+} // namespace teapot
+
+#endif // TEAPOT_WORKLOADS_INJECTOR_H

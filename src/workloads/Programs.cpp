@@ -1,0 +1,746 @@
+//===- workloads/Programs.cpp - The five MiniCC evaluation programs --------===//
+
+#include "workloads/Programs.h"
+
+#include "support/RNG.h"
+
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::workloads;
+
+//===----------------------------------------------------------------------===//
+// jsmn_t: JSON tokenizer (jsmn analogue). Token storage on the heap,
+// bounds-checked appends, string/primitive scanning.
+//===----------------------------------------------------------------------===//
+
+static const char *JsmnSource = R"(
+int g_ntok;
+int g_err;
+
+int is_ws(int c) {
+  if (c == 32 || c == 9 || c == 10 || c == 13) { return 1; }
+  return 0;
+}
+
+int add_token(int *toks, int kind, int start, int end) {
+  if (g_ntok >= 96) { g_err = 1; return -1; }
+  toks[g_ntok * 3] = kind;
+  toks[g_ntok * 3 + 1] = start;
+  toks[g_ntok * 3 + 2] = end;
+  g_ntok = g_ntok + 1;
+  return 0;
+}
+
+int scan_string(char *js, int len, int at) {
+  int i;
+  for (i = at + 1; i < len; i = i + 1) {
+    int c = js[i];
+    if (c == '"') { return i; }
+    if (c == 92) {            // backslash escape
+      i = i + 1;
+      if (i >= len) { return -1; }
+      int e = js[i];
+      if (e == 'u') {
+        int k;
+        for (k = 0; k < 4; k = k + 1) {
+          i = i + 1;
+          if (i >= len) { return -1; }
+          int h = js[i];
+          int ok = 0;
+          if (h >= '0' && h <= '9') { ok = 1; }
+          if (h >= 'a' && h <= 'f') { ok = 1; }
+          if (h >= 'A' && h <= 'F') { ok = 1; }
+          if (ok == 0) { return -1; }
+        }
+      }
+    }
+  }
+  return -1;
+}
+
+int scan_primitive(char *js, int len, int at) {
+  int i;
+  for (i = at; i < len; i = i + 1) {
+    int c = js[i];
+    if (is_ws(c) || c == ',' || c == ']' || c == '}' || c == ':') {
+      return i - 1;
+    }
+    if (c < 32 || c >= 127) { return -1; }
+  }
+  return len - 1;
+}
+
+int parse(char *js, int len, int *toks) {
+  int i;
+  int depth = 0;
+  g_ntok = 0;
+  g_err = 0;
+  for (i = 0; i < len; i = i + 1) {
+    int c = js[i];
+    if (c == '{' || c == '[') {
+      depth = depth + 1;
+      if (depth > 32) { return -3; }
+      add_token(toks, 1, i, i);
+    } else if (c == '}' || c == ']') {
+      if (depth < 1) { return -2; }
+      depth = depth - 1;
+      add_token(toks, 2, i, i);
+    } else if (c == '"') {
+      int e = scan_string(js, len, i);
+      if (e < 0) { return -4; }
+      add_token(toks, 3, i + 1, e);
+      i = e;
+    } else if (is_ws(c) || c == ',' || c == ':') {
+    } else {
+      int e = scan_primitive(js, len, i);
+      if (e < 0) { return -5; }
+      add_token(toks, 4, i, e);
+      i = e;
+    }
+    if (g_err) { return -6; }
+  }
+  if (depth != 0) { return -7; }
+  return g_ntok;
+}
+
+int main() {
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  int *toks = malloc(96 * 24);
+  int r = parse(buf, n, toks);
+  char out[8];
+  out[0] = r & 255;
+  write_out(out, 1);
+  free(toks);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> jsmnSeeds() {
+  auto S = [](const char *T) {
+    return std::vector<uint8_t>(T, T + strlen(T));
+  };
+  return {S("{\"a\": 1, \"b\": [true, null, 2.5]}"),
+          S("[1,2,3,{\"k\":\"v\"},\"s\\u00ff\"]"), S("{}"), S("[\"\\n\"]")};
+}
+
+static std::vector<uint8_t> jsmnLarge(size_t N) {
+  std::string S = "[";
+  RNG R(42);
+  while (S.size() + 16 < N) {
+    S += "{\"k";
+    S += std::to_string(R.below(100));
+    S += "\":";
+    S += std::to_string(R.below(100000));
+    S += "},";
+  }
+  S += "0]";
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// yaml_t: indentation-based document parser (libyaml analogue). Includes
+// an emitter module that the driver never calls — the home of Table 3's
+// two unreachable injection points.
+//===----------------------------------------------------------------------===//
+
+static const char *YamlSource = R"(
+int g_nkeys;
+int g_depth;
+
+int key_hash(char *s, int len) {
+  int h = 5381;
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    h = h * 33 + s[i];
+    h = h & 1048575;
+  }
+  return h;
+}
+
+int count_indent(char *line, int len) {
+  int i = 0;
+  while (i < len && line[i] == ' ') { i = i + 1; }
+  return i;
+}
+
+int parse_scalar(char *s, int len, int at) {
+  int i;
+  for (i = at; i < len; i = i + 1) {
+    int c = s[i];
+    if (c == 10 || c == '#') { return i; }
+  }
+  return len;
+}
+
+int handle_line(char *s, int len, int start, int end, int *levels,
+                int *keys) {
+  int indent = count_indent(s + start, end - start);
+  int level = indent / 2;
+  if (level > 15) { return -1; }
+  if (level > g_depth + 1) { return -2; }
+  g_depth = level;
+  int i = start + indent;
+  if (i >= end) { return 0; }
+  int c = s[i];
+  if (c == '-') {
+    levels[level] = levels[level] + 1;
+    return 0;
+  }
+  if (c == '#') { return 0; }
+  int ks = i;
+  while (i < end && s[i] != ':' && s[i] != 10) { i = i + 1; }
+  if (i >= end || s[i] != ':') { return -3; }
+  int h = key_hash(s + ks, i - ks);
+  if (g_nkeys < 64) {
+    keys[g_nkeys] = h;
+    g_nkeys = g_nkeys + 1;
+  }
+  parse_scalar(s, end, i + 1);
+  return 0;
+}
+
+int parse_doc(char *s, int len, int *levels, int *keys) {
+  int pos = 0;
+  g_nkeys = 0;
+  g_depth = 0;
+  int rc = 0;
+  while (pos < len) {
+    int e = pos;
+    while (e < len && s[e] != 10) { e = e + 1; }
+    rc = handle_line(s, len, pos, e, levels, keys);
+    if (rc < 0) { return rc; }
+    pos = e + 1;
+  }
+  return g_nkeys;
+}
+
+/* Emitter module: linked into the binary but never called by the fuzzing
+   driver (the two unreachable Table 3 injection points live here). */
+int yaml_emit_scalar(char *out, int cap, int *keys, int idx) {
+  if (idx < 0 || idx >= 64) { return -1; }
+  int v = keys[idx];
+  int n = 0;
+  while (v > 0 && n < cap) {
+    out[n] = '0' + v % 10;
+    v = v / 10;
+    n = n + 1;
+  }
+  return n;
+}
+
+int yaml_emit_doc(char *out, int cap, int *keys, int nkeys) {
+  int i;
+  int pos = 0;
+  for (i = 0; i < nkeys; i = i + 1) {
+    int n = yaml_emit_scalar(out + pos, cap - pos, keys, i);
+    if (n < 0) { return -1; }
+    pos = pos + n;
+    if (pos >= cap) { return -2; }
+    out[pos] = 10;
+    pos = pos + 1;
+  }
+  return pos;
+}
+
+int main() {
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  int *levels = malloc(16 * 8);
+  int *keys = malloc(64 * 8);
+  int i;
+  for (i = 0; i < 16; i = i + 1) { levels[i] = 0; }
+  int r = parse_doc(buf, n, levels, keys);
+  char out[8];
+  out[0] = r & 255;
+  write_out(out, 1);
+  free(keys);
+  free(levels);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> yamlSeeds() {
+  auto S = [](const char *T) {
+    return std::vector<uint8_t>(T, T + strlen(T));
+  };
+  return {S("top: 1\nlist:\n  - a\n  - b\nmap:\n  k: v\n"),
+          S("a: b\n# comment\nc: d\n"), S("- x\n- y\n")};
+}
+
+static std::vector<uint8_t> yamlLarge(size_t N) {
+  std::string S;
+  RNG R(43);
+  unsigned Indent = 0;
+  while (S.size() + 32 < N) {
+    S.append(Indent * 2, ' ');
+    S += "key" + std::to_string(R.below(50)) + ": v" +
+         std::to_string(R.below(1000)) + "\n";
+    if (R.chance(1, 4) && Indent < 6)
+      ++Indent;
+    else if (R.chance(1, 4) && Indent > 0)
+      --Indent;
+  }
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// htp_t: HTTP/1.x request parser (libhtp analogue). Method table,
+// percent-decoding with a hex lookup table, header-name hashing.
+//===----------------------------------------------------------------------===//
+
+static const char *HtpSource = R"(
+char g_hexval[256] = "";
+int g_nheaders;
+
+int hex_init() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { g_hexval[i] = 255; }
+  for (i = 0; i < 10; i = i + 1) { g_hexval['0' + i] = i; }
+  for (i = 0; i < 6; i = i + 1) {
+    g_hexval['a' + i] = 10 + i;
+    g_hexval['A' + i] = 10 + i;
+  }
+  return 0;
+}
+
+int match_method(char *s, int len) {
+  if (len >= 3 && s[0] == 'G' && s[1] == 'E' && s[2] == 'T') { return 1; }
+  if (len >= 4 && s[0] == 'P' && s[1] == 'O' && s[2] == 'S' &&
+      s[3] == 'T') { return 2; }
+  if (len >= 4 && s[0] == 'H' && s[1] == 'E' && s[2] == 'A' &&
+      s[3] == 'D') { return 3; }
+  if (len >= 3 && s[0] == 'P' && s[1] == 'U' && s[2] == 'T') { return 4; }
+  return 0;
+}
+
+int decode_path(char *s, int len, char *out, int cap) {
+  int i = 0;
+  int o = 0;
+  while (i < len) {
+    int c = s[i];
+    if (c == ' ') { return o; }
+    if (c == '%') {
+      if (i + 2 >= len) { return -1; }
+      int hi = g_hexval[s[i + 1]];
+      int lo = g_hexval[s[i + 2]];
+      if (hi == 255 || lo == 255) { return -2; }
+      c = hi * 16 + lo;
+      i = i + 3;
+    } else {
+      i = i + 1;
+    }
+    if (o >= cap) { return -3; }
+    out[o] = c;
+    o = o + 1;
+  }
+  return o;
+}
+
+int parse_header(char *s, int len, int start, int end, int *hashes) {
+  int i = start;
+  int h = 0;
+  while (i < end && s[i] != ':') {
+    int c = s[i];
+    if (c >= 'A' && c <= 'Z') { c = c + 32; }
+    if (c < 33 || c > 126) { return -1; }
+    h = h * 31 + c;
+    h = h & 65535;
+    i = i + 1;
+  }
+  if (i >= end) { return -2; }
+  if (g_nheaders >= 32) { return -3; }
+  hashes[g_nheaders] = h;
+  g_nheaders = g_nheaders + 1;
+  return 0;
+}
+
+int parse_request(char *s, int len, char *path, int *hashes) {
+  g_nheaders = 0;
+  int i = 0;
+  while (i < len && s[i] != ' ') { i = i + 1; }
+  int method = match_method(s, i);
+  if (method == 0) { return -1; }
+  if (i + 1 >= len) { return -2; }
+  int plen = decode_path(s + i + 1, len - i - 1, path, 256);
+  if (plen < 0) { return -3; }
+  while (i < len && s[i] != 10) { i = i + 1; }
+  i = i + 1;
+  while (i < len) {
+    int e = i;
+    while (e < len && s[e] != 10) { e = e + 1; }
+    if (e == i || (e == i + 1 && s[i] == 13)) { break; }
+    int rc = parse_header(s, len, i, e, hashes);
+    if (rc < 0) { return rc; }
+    i = e + 1;
+  }
+  return method * 100 + g_nheaders;
+}
+
+int main() {
+  hex_init();
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  char *path = malloc(256);
+  int *hashes = malloc(32 * 8);
+  int r = parse_request(buf, n, path, hashes);
+  char out[8];
+  out[0] = r & 255;
+  write_out(out, 1);
+  free(hashes);
+  free(path);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> htpSeeds() {
+  auto S = [](const char *T) {
+    return std::vector<uint8_t>(T, T + strlen(T));
+  };
+  return {S("GET /index.html HTTP/1.1\nHost: example.com\nAccept: */*\n\n"),
+          S("POST /a%20b HTTP/1.0\nContent-Length: 0\n\n"),
+          S("HEAD / HTTP/1.1\n\n")};
+}
+
+static std::vector<uint8_t> htpLarge(size_t N) {
+  std::string S = "GET /";
+  RNG R(44);
+  for (unsigned I = 0; I != 40; ++I)
+    S += "%2" + std::string(1, "0123456789abcdef"[R.below(16)]);
+  S += " HTTP/1.1\n";
+  while (S.size() + 40 < N) {
+    S += "X-Header-" + std::to_string(R.below(1000)) + ": value" +
+         std::to_string(R.below(1000)) + "\n";
+  }
+  S += "\n";
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// brotli_t: LZ-style decompressor (brotli analogue). Command stream of
+// literal runs and back-references with distance/length validation —
+// deeply nested branch structure, matching the paper's observation that
+// brotli's gadgets hide behind multiple levels of nested branches.
+//===----------------------------------------------------------------------===//
+
+static const char *BrotliSource = R"(
+int g_written;
+
+int read_varint(char *in, int len, int *pos) {
+  int v = 0;
+  int shift = 0;
+  while (*pos < len && shift < 28) {
+    int b = in[*pos];
+    *pos = *pos + 1;
+    v = v | ((b & 127) << shift);
+    if ((b & 128) == 0) { return v; }
+    shift = shift + 7;
+  }
+  return -1;
+}
+
+int copy_literals(char *in, int len, int *pos, char *win, int wcap,
+                  int count) {
+  int i;
+  if (count < 0 || count > 512) { return -1; }
+  for (i = 0; i < count; i = i + 1) {
+    if (*pos >= len) { return -2; }
+    if (g_written >= wcap) { return -3; }
+    win[g_written] = in[*pos];
+    *pos = *pos + 1;
+    g_written = g_written + 1;
+  }
+  return 0;
+}
+
+int copy_match(char *win, int wcap, int dist, int mlen) {
+  if (mlen < 1 || mlen > 1024) { return -1; }
+  if (dist < 1) { return -2; }
+  if (dist > g_written) { return -3; }
+  int i;
+  for (i = 0; i < mlen; i = i + 1) {
+    if (g_written >= wcap) { return -4; }
+    win[g_written] = win[g_written - dist];
+    g_written = g_written + 1;
+  }
+  return 0;
+}
+
+int check_crc(char *win, int n, int expect) {
+  int h = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    h = h * 131 + win[i];
+    h = h & 16777215;
+  }
+  if (h == expect) { return 1; }
+  return 0;
+}
+
+int decompress(char *in, int len, char *win, int wcap) {
+  int pos = 0;
+  g_written = 0;
+  while (pos < len) {
+    int op = in[pos];
+    pos = pos + 1;
+    if (op == 0) {
+      break;
+    } else if (op == 1) {
+      int count = read_varint(in, len, &pos);
+      int rc = copy_literals(in, len, &pos, win, wcap, count);
+      if (rc < 0) { return rc * 10; }
+    } else if (op == 2) {
+      int dist = read_varint(in, len, &pos);
+      int mlen = read_varint(in, len, &pos);
+      int rc = copy_match(win, wcap, dist, mlen);
+      if (rc < 0) { return rc * 10 - 1; }
+    } else if (op == 3) {
+      int expect = read_varint(in, len, &pos);
+      if (check_crc(win, g_written, expect)) {
+        return g_written;
+      }
+    } else {
+      return -90;
+    }
+  }
+  return g_written;
+}
+
+int main() {
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  char *win = malloc(2048);
+  int r = decompress(buf, n, win, 2048);
+  char out[8];
+  out[0] = r & 255;
+  write_out(out, 1);
+  free(win);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> brotliSeeds() {
+  // op 1 <varint count> <bytes>: literals; op 2 <dist> <len>: match.
+  std::vector<uint8_t> A = {1, 5, 'h', 'e', 'l', 'l', 'o', 2, 5, 5, 0};
+  std::vector<uint8_t> B = {1, 3, 'a', 'b', 'c', 2, 3, 9, 3, 42, 0};
+  return {A, B};
+}
+
+static std::vector<uint8_t> brotliLarge(size_t N) {
+  std::vector<uint8_t> Out;
+  RNG R(45);
+  while (Out.size() + 24 < N && Out.size() < 3500) {
+    unsigned Lit = 4 + static_cast<unsigned>(R.below(12));
+    Out.push_back(1);
+    Out.push_back(static_cast<uint8_t>(Lit));
+    for (unsigned I = 0; I != Lit; ++I)
+      Out.push_back(static_cast<uint8_t>('a' + R.below(26)));
+    Out.push_back(2);
+    Out.push_back(static_cast<uint8_t>(1 + R.below(Lit)));
+    Out.push_back(static_cast<uint8_t>(2 + R.below(8)));
+  }
+  Out.push_back(0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ssl_t: TLS-record + handshake parser (openssl server-driver analogue).
+// Record layer framing, handshake state machine via switch, cipher-suite
+// table lookup.
+//===----------------------------------------------------------------------===//
+
+static const char *SslSource = R"(
+int g_suites[16] = {47, 53, 156, 157, 4865, 4866, 4867, 49195, 49196,
+                    49199, 49200, 52392, 52393, 255, 10, 22};
+int g_state;
+
+int suite_supported(int s) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    if (g_suites[i] == s) { return i; }
+  }
+  return -1;
+}
+
+int rd16(char *p) { return p[0] * 256 + p[1]; }
+int rd24(char *p) { return (p[0] << 16) + (p[1] << 8) + p[2]; }
+
+int parse_client_hello(char *b, int len, int *chosen) {
+  if (len < 40) { return -1; }
+  int ver = rd16(b);
+  if (ver < 768 || ver > 772) { return -2; }
+  int sidlen = b[34];
+  if (sidlen > 32) { return -3; }
+  int at = 35 + sidlen;
+  if (at + 2 > len) { return -4; }
+  int nsuites = rd16(b + at) / 2;
+  at = at + 2;
+  int i;
+  int best = -1;
+  for (i = 0; i < nsuites; i = i + 1) {
+    if (at + 2 > len) { return -5; }
+    int s = rd16(b + at);
+    at = at + 2;
+    int idx = suite_supported(s);
+    if (idx >= 0 && (best < 0 || idx < best)) { best = idx; }
+  }
+  if (best < 0) { return -6; }
+  *chosen = g_suites[best];
+  return 0;
+}
+
+int parse_handshake(char *b, int len, int *chosen) {
+  if (len < 4) { return -10; }
+  int mtype = b[0];
+  int mlen = rd24(b + 1);
+  if (mlen + 4 > len) { return -11; }
+  switch (mtype) {
+    case 1: {
+      int rc = parse_client_hello(b + 4, mlen, chosen);
+      if (rc < 0) { return rc; }
+      g_state = 2;
+      return 1;
+    }
+    case 11: {
+      if (g_state < 2) { return -12; }
+      g_state = 3;
+      return 11;
+    }
+    case 16: {
+      if (g_state < 3) { return -13; }
+      g_state = 4;
+      return 16;
+    }
+    case 20: {
+      if (g_state < 4) { return -14; }
+      g_state = 5;
+      return 20;
+    }
+    default: { return -15; }
+  }
+  return 0;
+}
+
+int parse_records(char *b, int len, int *chosen) {
+  int at = 0;
+  g_state = 1;
+  int count = 0;
+  while (at + 5 <= len) {
+    int rtype = b[at];
+    int rlen = rd16(b + at + 3);
+    if (rlen > 2048) { return -20; }
+    if (at + 5 + rlen > len) { return -21; }
+    if (rtype == 22) {
+      int rc = parse_handshake(b + at + 5, rlen, chosen);
+      if (rc < 0) { return rc; }
+      count = count + 1;
+    } else if (rtype == 20 || rtype == 21 || rtype == 23) {
+      count = count + 1;
+    } else {
+      return -22;
+    }
+    at = at + 5 + rlen;
+  }
+  return count;
+}
+
+int main() {
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  int *chosen = malloc(8);
+  *chosen = 0;
+  int r = parse_records(buf, n, chosen);
+  char out[8];
+  out[0] = r & 255;
+  out[1] = *chosen & 255;
+  write_out(out, 2);
+  free(chosen);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> sslSeeds() {
+  // Minimal ClientHello record: type 22, ver 0x0303, handshake type 1.
+  std::vector<uint8_t> Hello = {22, 3, 3, 0, 49, /*hs*/ 1, 0, 0, 45,
+                                /*ver*/ 3, 3};
+  Hello.resize(5 + 4 + 2 + 32, 0);       // version + random
+  Hello.push_back(0);                    // session id len
+  Hello.push_back(0);
+  Hello.push_back(4); // cipher suites length = 4
+  Hello.push_back(0);
+  Hello.push_back(47);
+  Hello.push_back(0);
+  Hello.push_back(53);
+  // Fix record/handshake lengths.
+  size_t HsLen = Hello.size() - 9;
+  Hello[3] = static_cast<uint8_t>((HsLen + 4) >> 8);
+  Hello[4] = static_cast<uint8_t>((HsLen + 4) & 0xff);
+  Hello[6] = 0;
+  Hello[7] = static_cast<uint8_t>(HsLen >> 8);
+  Hello[8] = static_cast<uint8_t>(HsLen & 0xff);
+  return {Hello, {20, 3, 3, 0, 1, 1}, {23, 3, 3, 0, 2, 7, 7}};
+}
+
+static std::vector<uint8_t> sslLarge(size_t N) {
+  std::vector<uint8_t> Out;
+  RNG R(46);
+  auto Hello = sslSeeds()[0];
+  while (Out.size() + Hello.size() + 16 < N) {
+    Out.insert(Out.end(), Hello.begin(), Hello.end());
+    // A few application-data records.
+    unsigned L = 8 + static_cast<unsigned>(R.below(24));
+    Out.push_back(23);
+    Out.push_back(3);
+    Out.push_back(3);
+    Out.push_back(0);
+    Out.push_back(static_cast<uint8_t>(L));
+    for (unsigned I = 0; I != L; ++I)
+      Out.push_back(static_cast<uint8_t>(R.next()));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+const std::vector<Workload> &workloads::allWorkloads() {
+  static const std::vector<Workload> All = {
+      {"jsmn", JsmnSource, jsmnSeeds, jsmnLarge, {}, 3},
+      {"libyaml",
+       YamlSource,
+       yamlSeeds,
+       yamlLarge,
+       {"yaml_emit_scalar", "yaml_emit_doc"},
+       10},
+      {"libhtp", HtpSource, htpSeeds, htpLarge, {}, 7},
+      {"brotli", BrotliSource, brotliSeeds, brotliLarge, {}, 13},
+      // openssl is excluded from the Table 3 injection experiment
+      // (SpecTaint never published its injection points), hence count 0.
+      {"openssl", SslSource, sslSeeds, sslLarge, {}, 0},
+  };
+  return All;
+}
+
+const Workload *workloads::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

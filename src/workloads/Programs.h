@@ -1,0 +1,54 @@
+//===- workloads/Programs.h - Evaluation workloads ----------------*- C++ -*-===//
+///
+/// \file
+/// The five evaluation programs, standing in for the paper's test set
+/// (jsmn, libyaml, libhtp, brotli, openssl — Section 7). Each is a real
+/// input-driven parser/decoder written in MiniCC with the code shapes the
+/// evaluation depends on: bounds-checked table lookups, heap buffers,
+/// nested validation branches, and state machines.
+///
+///   jsmn_t   JSON tokenizer             (jsmn analogue)
+///   yaml_t   indentation-based document parser, with an unreachable
+///            emitter module (hosts Table 3's two unreachable injection
+///            points)                     (libyaml analogue)
+///   htp_t    HTTP/1.x request parser    (libhtp analogue)
+///   brotli_t LZ-style decompressor with deeply nested match validation
+///                                       (brotli analogue)
+///   ssl_t    TLS-record / handshake parser (openssl server analogue)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_WORKLOADS_PROGRAMS_H
+#define TEAPOT_WORKLOADS_PROGRAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace workloads {
+
+struct Workload {
+  const char *Name;
+  const char *Source; // MiniCC
+  /// Seed corpus for fuzzing.
+  std::vector<std::vector<uint8_t>> (*Seeds)();
+  /// Deterministic "large crafted input" for the run-time experiments
+  /// (Figures 1 and 7).
+  std::vector<uint8_t> (*LargeInput)(size_t ApproxBytes);
+  /// Functions Table 3 treats as unreachable from the fuzzing driver.
+  std::vector<std::string> UnreachableFuncs;
+  /// Ground-truth gadget count injected for Table 3.
+  unsigned InjectCount;
+};
+
+/// All five workloads, in the paper's order.
+const std::vector<Workload> &allWorkloads();
+
+/// Lookup by name; null if unknown.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace workloads
+} // namespace teapot
+
+#endif // TEAPOT_WORKLOADS_PROGRAMS_H

@@ -1,0 +1,68 @@
+//===- tests/TestUtil.h - Shared test helpers ---------------------*- C++ -*-===//
+
+#ifndef TEAPOT_TESTS_TESTUTIL_H
+#define TEAPOT_TESTS_TESTUTIL_H
+
+#include "asm/Assembler.h"
+#include "core/TeapotRewriter.h"
+#include "lang/MiniCC.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+namespace teapot {
+namespace testutil {
+
+inline obj::ObjectFile assembleOrDie(const char *Src) {
+  auto ObjOrErr = assembler::assemble(Src);
+  if (!ObjOrErr) {
+    ADD_FAILURE() << "assembly failed: " << ObjOrErr.message();
+    abort();
+  }
+  return std::move(*ObjOrErr);
+}
+
+inline obj::ObjectFile compileOrDie(
+    const char *Src, lang::CompileOptions Opts = {}) {
+  auto ObjOrErr = lang::compile(Src, Opts);
+  if (!ObjOrErr) {
+    ADD_FAILURE() << "MiniCC compile failed: " << ObjOrErr.message();
+    abort();
+  }
+  return std::move(*ObjOrErr);
+}
+
+struct RunResult {
+  vm::StopState Stop;
+  std::vector<uint8_t> Output;
+  uint64_t Insts = 0;
+};
+
+/// Loads and runs \p Bin natively (no instrumentation/runtime).
+inline RunResult runNative(const obj::ObjectFile &Bin,
+                           const std::vector<uint8_t> &Input = {},
+                           uint64_t Budget = 20'000'000) {
+  vm::Machine M;
+  cantFail(M.loadObject(Bin));
+  M.setInput(Input);
+  RunResult R;
+  R.Stop = M.run(Budget);
+  R.Output = M.output();
+  R.Insts = M.executedInsts();
+  return R;
+}
+
+inline core::RewriteResult rewriteOrDie(
+    const obj::ObjectFile &Bin, core::RewriterOptions Opts = {}) {
+  auto RWOrErr = core::rewriteBinary(Bin, Opts);
+  if (!RWOrErr) {
+    ADD_FAILURE() << "rewrite failed: " << RWOrErr.message();
+    abort();
+  }
+  return std::move(*RWOrErr);
+}
+
+} // namespace testutil
+} // namespace teapot
+
+#endif

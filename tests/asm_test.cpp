@@ -1,0 +1,238 @@
+//===- tests/asm_test.cpp - Assembler tests ---------------------------------===//
+
+#include "asm/Assembler.h"
+#include "isa/Encoding.h"
+#include "obj/Layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::assembler;
+using namespace teapot::isa;
+
+namespace {
+
+obj::ObjectFile mustAssemble(const char *Src) {
+  auto R = assemble(Src);
+  EXPECT_TRUE(R) << (R ? "" : R.message());
+  if (!R)
+    abort();
+  return std::move(*R);
+}
+
+/// Decodes the whole .text of \p O.
+std::vector<Decoded> decodeText(const obj::ObjectFile &O) {
+  const obj::Section *T = O.findSection(".text");
+  EXPECT_NE(T, nullptr);
+  std::vector<Decoded> Out;
+  size_t Off = 0;
+  while (Off < T->Bytes.size()) {
+    auto D = decode(T->Bytes.data(), T->Bytes.size(), Off);
+    EXPECT_TRUE(D) << D.message();
+    if (!D)
+      break;
+    Out.push_back(*D);
+    Off += D->Length;
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(Assembler, MinimalProgram) {
+  auto O = mustAssemble(R"(
+.text
+main:
+    mov r0, 7
+    halt
+)");
+  EXPECT_EQ(O.Entry, obj::TextBase);
+  auto Insts = decodeText(O);
+  ASSERT_EQ(Insts.size(), 2u);
+  EXPECT_EQ(Insts[0].I.Op, Opcode::MOV);
+  EXPECT_EQ(Insts[0].I.B.Imm, 7);
+  EXPECT_EQ(Insts[1].I.Op, Opcode::HALT);
+}
+
+TEST(Assembler, AllOperandShapes) {
+  auto O = mustAssemble(R"(
+.text
+main:
+    ld8 r0, [r1 + r2*8 + 16]
+    ld1 r3, [r4 - 8]
+    lds4 r5, [table]
+    st2 [r0 + 4], r1
+    st8 [buf + r2], 99
+    lea r6, [r7 + r8*2]
+    push 123
+    push r9
+    pop r10
+    set.ge r11
+    cmov.b r12, r13
+    fence
+    markernop
+    ext 3
+    ret
+.rodata
+table:
+    .quad 1
+.data
+buf:
+    .zero 16
+)");
+  auto Insts = decodeText(O);
+  ASSERT_GE(Insts.size(), 14u);
+  EXPECT_EQ(Insts[0].I.B.M.Base, R1);
+  EXPECT_EQ(Insts[0].I.B.M.Index, R2);
+  EXPECT_EQ(Insts[0].I.B.M.Scale, 8);
+  EXPECT_EQ(Insts[0].I.B.M.Disp, 16);
+  EXPECT_EQ(Insts[1].I.B.M.Disp, -8);
+  EXPECT_EQ(Insts[1].I.Size, 1u);
+  EXPECT_EQ(Insts[2].I.Op, Opcode::LOADS);
+  EXPECT_EQ(Insts[2].I.B.M.Disp, static_cast<int64_t>(obj::RodataBase));
+  EXPECT_EQ(Insts[4].I.Op, Opcode::STORE);
+  // st8 [buf + r2], 99: base r2, symbol disp.
+  EXPECT_EQ(Insts[4].I.A.M.Base, R2);
+  EXPECT_EQ(Insts[4].I.A.M.Disp, static_cast<int64_t>(obj::DataBase));
+  EXPECT_EQ(Insts[9].I.Op, Opcode::SET);
+  EXPECT_EQ(Insts[9].I.CC, CondCode::GE);
+  EXPECT_EQ(Insts[10].I.Op, Opcode::CMOV);
+  EXPECT_EQ(Insts[10].I.CC, CondCode::B);
+}
+
+TEST(Assembler, BranchOffsetsResolve) {
+  auto O = mustAssemble(R"(
+.text
+main:
+    cmp r0, 10
+    j.lt target
+    jmp main
+target:
+    ret
+)");
+  auto Insts = decodeText(O);
+  ASSERT_EQ(Insts.size(), 4u);
+  // j.lt target: rel from end of j.lt to 'target' = length of jmp.
+  uint64_t JmpLen = Insts[2].Length;
+  EXPECT_EQ(static_cast<uint64_t>(Insts[1].I.A.Imm), JmpLen);
+  // jmp main: negative offset back to start.
+  uint64_t Sum = Insts[0].Length + Insts[1].Length + Insts[2].Length;
+  EXPECT_EQ(Insts[2].I.A.Imm, -static_cast<int64_t>(Sum));
+}
+
+TEST(Assembler, DataDirectivesAndSymbols) {
+  auto O = mustAssemble(R"(
+.entry start
+.text
+.global start
+start:
+    halt
+helper:
+    ret
+.func helper
+.data
+vals:
+    .byte 1, 2, 3
+    .word 0x1234
+    .dword 7
+    .quad helper
+    .quad vals+8
+str:
+    .asciz "hi\n"
+.bss
+scratch:
+    .space 64
+)");
+  const obj::Symbol *H = O.findSymbol("helper");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Kind, obj::SymbolKind::Function);
+  EXPECT_TRUE(O.findSymbol("start")->Global);
+
+  const obj::Section *D = O.findSection(".data");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Bytes[0], 1);
+  EXPECT_EQ(D->Bytes[3], 0x34); // .word little endian
+  // .quad helper holds helper's address.
+  uint64_t Q = 0;
+  for (int I = 0; I != 8; ++I)
+    Q |= static_cast<uint64_t>(D->Bytes[9 + I]) << (I * 8);
+  EXPECT_EQ(Q, H->Addr);
+  // .quad vals+8 holds vals address + 8.
+  uint64_t Q2 = 0;
+  for (int I = 0; I != 8; ++I)
+    Q2 |= static_cast<uint64_t>(D->Bytes[17 + I]) << (I * 8);
+  EXPECT_EQ(Q2, O.findSymbol("vals")->Addr + 8);
+  // Relocation records were kept for the data words.
+  EXPECT_EQ(O.Relocs.size(), 2u);
+
+  const obj::Section *S = O.findSection(".bss");
+  EXPECT_EQ(S->BssSize, 64u);
+  EXPECT_GT(S->Addr, D->Addr);
+}
+
+TEST(Assembler, SymbolicImmediates) {
+  auto O = mustAssemble(R"(
+.text
+main:
+    mov r0, main
+    mov r1, data+4
+    halt
+.data
+data:
+    .quad 0
+)");
+  auto Insts = decodeText(O);
+  EXPECT_EQ(static_cast<uint64_t>(Insts[0].I.B.Imm), O.Entry);
+  EXPECT_EQ(static_cast<uint64_t>(Insts[1].I.B.Imm), obj::DataBase + 4);
+}
+
+TEST(Assembler, AlignDirective) {
+  auto O = mustAssemble(R"(
+.text
+main:
+    halt
+.data
+a:
+    .byte 1
+    .align 8
+b:
+    .quad 2
+)");
+  EXPECT_EQ(O.findSymbol("b")->Addr % 8, 0u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto R1 = assemble(".text\nmain:\n    bogus r0\n");
+  ASSERT_FALSE(R1);
+  EXPECT_NE(R1.message().find("line 3"), std::string::npos);
+
+  auto R2 = assemble(".text\nmain:\n    jmp nowhere\n");
+  ASSERT_FALSE(R2);
+  EXPECT_NE(R2.message().find("nowhere"), std::string::npos);
+
+  auto R3 = assemble(".text\nmain:\nmain:\n    halt\n");
+  ASSERT_FALSE(R3);
+  EXPECT_NE(R3.message().find("duplicate"), std::string::npos);
+
+  auto R4 = assemble(".text\nx:\n    halt\n"); // no entry symbol 'main'
+  ASSERT_FALSE(R4);
+  EXPECT_NE(R4.message().find("entry"), std::string::npos);
+}
+
+TEST(Assembler, RejectsWrongOperandShapes) {
+  EXPECT_FALSE(assemble(".text\nmain:\n    mov 5, r0\n"));
+  EXPECT_FALSE(assemble(".text\nmain:\n    ld8 r0, r1\n"));
+  EXPECT_FALSE(assemble(".text\nmain:\n    ret r0\n"));
+  EXPECT_FALSE(assemble(".text\nmain:\n    st8 [r0], [r1]\n"));
+}
+
+TEST(Assembler, CommentsAndWhitespace) {
+  auto O = mustAssemble(R"(
+; leading comment
+.text
+main:          ; trailing comment
+    mov r0, 1  # hash comment
+    halt
+)");
+  EXPECT_EQ(decodeText(O).size(), 2u);
+}

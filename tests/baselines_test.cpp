@@ -1,0 +1,162 @@
+//===- tests/baselines_test.cpp - SpecFuzz / SpecTaint baselines -------------===//
+
+#include "TestUtil.h"
+#include "baselines/SpecFuzz.h"
+#include "baselines/SpecTaint.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::baselines;
+using namespace teapot::workloads;
+
+namespace {
+
+const char *V1Victim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *buf = malloc(64);
+  int acc = 0;
+  if (idx < 64) {
+    int v = buf[idx];
+    acc = buf[v & 63];
+  }
+  return acc;
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SpecFuzz-style baseline (guarded single copy)
+//===----------------------------------------------------------------------===//
+
+TEST(SpecFuzzBaseline, SingleCopyHasNoShadowRange) {
+  auto RW = specFuzzRewriteBinary(compileOrDie(V1Victim));
+  ASSERT_TRUE(RW) << RW.message();
+  EXPECT_EQ(RW->Meta.ShadowTextStart, RW->Meta.ShadowTextEnd);
+  EXPECT_TRUE(RW->Meta.FuncMap.empty());
+  EXPECT_TRUE(RW->Meta.MarkerSites.empty());
+  EXPECT_FALSE(RW->Meta.Trampolines.empty());
+}
+
+TEST(SpecFuzzBaseline, PreservesSemanticsAndDetects) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  RunResult Native = runNative(Bin, {20});
+  auto RW = specFuzzRewriteBinary(Bin);
+  ASSERT_TRUE(RW);
+  InstrumentedTarget T(*RW, specFuzzRuntimeOptions());
+  T.execute({20});
+  EXPECT_EQ(T.LastStop.ExitStatus, Native.Stop.ExitStatus);
+  T.execute({200});
+  EXPECT_GT(T.RT.Reports.count(runtime::Controllability::Unknown,
+                               runtime::Channel::Asan),
+            0u);
+}
+
+TEST(SpecFuzzBaseline, ExecutesGuardedSitesInNormalMode) {
+  // The whole point of Speculation Shadows: under the *same* detection
+  // policy (ASan-only), the baseline runs its guarded instrumentation
+  // during normal execution while Teapot's Real Copy carries almost
+  // none of it (Listing 3 vs Section 5).
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+
+  auto SFRW = specFuzzRewriteBinary(Bin);
+  ASSERT_TRUE(SFRW);
+  runtime::RuntimeOptions NoSim = specFuzzRuntimeOptions();
+  NoSim.SimulateSpeculation = false;
+  InstrumentedTarget SF(*SFRW, NoSim);
+
+  core::RewriterOptions TO;
+  TO.EnableDift = false; // match the baseline's ASan-only policy
+  auto TRW = core::rewriteBinary(Bin, TO);
+  ASSERT_TRUE(TRW);
+  runtime::RuntimeOptions TNoSim;
+  TNoSim.SimulateSpeculation = false;
+  TNoSim.EnableDift = false;
+  InstrumentedTarget TP(*TRW, TNoSim);
+
+  // Count instrumentation executed with simulation suppressed entirely:
+  // the pure normal-mode cost the guards impose.
+  SF.execute({20});
+  TP.execute({20});
+  // Instrumented work executed by the baseline in normal mode should
+  // clearly exceed Teapot's (guards at every load/store/restore point).
+  EXPECT_GT(SF.M.executedIntrinsics(), TP.M.executedIntrinsics() * 2)
+      << "baseline=" << SF.M.executedIntrinsics()
+      << " teapot=" << TP.M.executedIntrinsics();
+}
+
+//===----------------------------------------------------------------------===//
+// SpecTaint-style emulator
+//===----------------------------------------------------------------------===//
+
+TEST(SpecTaintEmulator, PreservesSemantics) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  RunResult Native = runNative(Bin, {20});
+  EmulatorTarget T(Bin, SpecTaintOptions{});
+  T.execute({20});
+  EXPECT_EQ(T.LastStop.Kind, vm::StopKind::Halted);
+  EXPECT_EQ(T.LastStop.ExitStatus, Native.Stop.ExitStatus);
+  EXPECT_GT(T.E.Stats.EmulatedInsts, 0u);
+}
+
+TEST(SpecTaintEmulator, DetectsTaintedSpeculativeAccess) {
+  EmulatorTarget T(compileOrDie(V1Victim), SpecTaintOptions{});
+  T.execute({200});
+  EXPECT_GT(T.E.Reports.unique().size(), 0u);
+}
+
+TEST(SpecTaintEmulator, FiveTriesHeuristicStopsSimulating) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  SpecTaintOptions O;
+  O.Tries = 2;
+  EmulatorTarget T(Bin, O);
+  T.execute({20});
+  uint64_t SimsAfterFirst = T.E.Stats.Simulations;
+  EXPECT_GT(SimsAfterFirst, 0u);
+  // Branch try counters persist across runs: eventually every branch is
+  // exhausted and simulations stop growing.
+  for (int I = 0; I != 6; ++I)
+    T.execute({20});
+  uint64_t Later = T.E.Stats.Simulations;
+  T.execute({20});
+  EXPECT_EQ(T.E.Stats.Simulations, Later)
+      << "branch try budget failed to cap simulations";
+}
+
+TEST(SpecTaintEmulator, EmulationCostExceedsNative) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  NativeTarget N(Bin);
+  N.execute({20});
+  uint64_t NativeInsts = N.M.executedInsts();
+
+  SpecTaintOptions O;
+  EmulatorTarget T(Bin, O);
+  T.execute({20});
+  // The emulator executes at least as many guest instructions (plus all
+  // the speculative ones).
+  EXPECT_GT(T.E.Stats.EmulatedInsts, NativeInsts);
+}
+
+TEST(SpecTaintEmulator, RollbackRestoresState) {
+  const char *Writer = R"(
+int g;
+int main() {
+  char b[8];
+  read_input(b, 1);
+  g = 5;
+  if (b[0] < 4) { g = 9; }
+  return g;
+}
+)";
+  EmulatorTarget T(compileOrDie(Writer), SpecTaintOptions{});
+  T.execute({99});
+  EXPECT_EQ(T.LastStop.ExitStatus, 5u)
+      << "speculative store must be rolled back";
+  EXPECT_GT(T.E.Stats.Rollbacks, 0u);
+}

@@ -1,0 +1,237 @@
+//===- tests/disasm_test.cpp - Disassembler + reassembly tests --------------===//
+
+#include "TestUtil.h"
+#include "disasm/Disassembler.h"
+#include "ir/Layout.h"
+#include "isa/Encoding.h"
+#include "obj/Layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+
+namespace {
+
+ir::Module liftOrDie(const obj::ObjectFile &O,
+                     disasm::Options Opts = disasm::Options()) {
+  auto M = disasm::disassemble(O, Opts);
+  EXPECT_TRUE(M) << (M ? "" : M.message());
+  if (!M)
+    abort();
+  return std::move(*M);
+}
+
+const char *CallGraphProgram = R"(
+.text
+main:
+    mov r0, 4
+    call helper
+    cmp r0, 8
+    j.eq good
+    mov r0, 1
+    halt
+good:
+    mov r0, 0
+    halt
+helper:
+    add r0, r0
+    ret
+)";
+
+} // namespace
+
+TEST(Disassembler, FunctionAndBlockRecovery) {
+  ir::Module M = liftOrDie(assembleOrDie(CallGraphProgram));
+  ASSERT_EQ(M.Funcs.size(), 2u);
+  EXPECT_EQ(M.Funcs[0].Name, "main"); // symbol names used when present
+  EXPECT_EQ(M.Funcs[1].Name, "helper");
+  // main: entry block (ends at call), post-call block (ends at jcc),
+  // fallthrough block, 'good' block.
+  EXPECT_EQ(M.Funcs[0].Blocks.size(), 4u);
+  EXPECT_EQ(M.Funcs[1].Blocks.size(), 1u);
+  // The call edge resolved to the helper function.
+  const ir::Inst *Call = M.Funcs[0].Blocks[0].terminator();
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->Callee, 1u);
+  EXPECT_EQ(M.EntryFunc, 0u);
+}
+
+TEST(Disassembler, WorksStripped) {
+  obj::ObjectFile O = assembleOrDie(CallGraphProgram);
+  O.strip();
+  ir::Module M = liftOrDie(O);
+  ASSERT_EQ(M.Funcs.size(), 2u);
+  EXPECT_EQ(M.Funcs[0].Name, "fn_401000"); // synthesized names
+}
+
+TEST(Disassembler, RejectsAlreadyInstrumented) {
+  using namespace teapot::isa;
+  std::vector<uint8_t> Text;
+  encode(Instruction::intrinsic(IntrinsicID::StartSim, 0), Text);
+  encode(Instruction::halt(), Text);
+  obj::ObjectFile Bin;
+  Bin.Entry = obj::TextBase;
+  Bin.Sections.push_back({".text", obj::SectionKind::Code, obj::TextBase,
+                          Text, 0});
+  EXPECT_FALSE(disasm::disassemble(Bin));
+}
+
+TEST(Disassembler, JumpTableRecovery) {
+  ir::Module M = liftOrDie(assembleOrDie(R"(
+.text
+main:
+    mov r0, 2
+    cmp r0, 3
+    j.a default
+    ld8 r1, [r0*8 + table]
+    jmpi r1
+case0:
+    mov r0, 10
+    halt
+case1:
+    mov r0, 11
+    halt
+case2:
+    mov r0, 12
+    halt
+default:
+    mov r0, 99
+    halt
+.rodata
+table:
+    .quad case0
+    .quad case1
+    .quad case2
+    .quad default
+)"));
+  ASSERT_EQ(M.Funcs.size(), 1u);
+  // The JMPI block recovered its four indirect successors.
+  const ir::BasicBlock *JmpiBlk = nullptr;
+  for (const ir::BasicBlock &B : M.Funcs[0].Blocks)
+    if (B.terminator() && B.terminator()->I.Op == isa::Opcode::JMPI)
+      JmpiBlk = &B;
+  ASSERT_NE(JmpiBlk, nullptr);
+  EXPECT_EQ(JmpiBlk->IndirectSuccs.size(), 4u);
+  // And the table slots were registered for relocation-on-rewrite.
+  EXPECT_EQ(M.CodeSlots.size(), 4u);
+}
+
+TEST(Disassembler, AddressTakenFunctionViaDataScan) {
+  obj::ObjectFile O = assembleOrDie(R"(
+.text
+main:
+    ld8 r1, [fnptr]
+    calli r1
+    halt
+never_called_directly:
+    mov r0, 31
+    ret
+.data
+fnptr:
+    .quad never_called_directly
+)");
+  O.strip(); // force discovery through the data scan, not symbols
+  ir::Module M = liftOrDie(O);
+  EXPECT_EQ(M.Funcs.size(), 2u);
+  // The data slot was registered as a function pointer slot.
+  ASSERT_EQ(M.CodeSlots.size(), 1u);
+  EXPECT_NE(M.CodeSlots[0].Func, ir::NoIdx);
+}
+
+TEST(Disassembler, GapSweepFindsUnreachableFunction) {
+  obj::ObjectFile O = assembleOrDie(R"(
+.text
+main:
+    halt
+orphan:
+    mov r0, 1
+    ret
+)");
+  O.strip();
+  ir::Module M = liftOrDie(O);
+  EXPECT_EQ(M.Funcs.size(), 2u); // orphan found by the gap sweep
+}
+
+TEST(Disassembler, FunctionPointerImmediates) {
+  ir::Module M = liftOrDie(assembleOrDie(R"(
+.text
+main:
+    mov r1, callee
+    calli r1
+    halt
+callee:
+    mov r0, 5
+    ret
+)"));
+  ASSERT_EQ(M.Funcs.size(), 2u);
+  const ir::Inst &Mov = M.Funcs[0].Blocks[0].Insts[0];
+  EXPECT_NE(Mov.FuncImm, ir::NoIdx);
+}
+
+/// The reassembleable-disassembly property: lift + relayout with no
+/// transformation preserves program behaviour exactly.
+TEST(Reassembly, RoundtripPreservesBehaviour) {
+  const char *Programs[] = {CallGraphProgram, R"(
+.text
+main:
+    mov r0, 0
+    mov r1, 10
+loop:
+    add r0, r1
+    sub r1, 1
+    cmp r1, 0
+    j.ne loop
+    halt
+)"};
+  for (const char *Src : Programs) {
+    obj::ObjectFile Orig = assembleOrDie(Src);
+    RunResult Before = runNative(Orig);
+
+    ir::Module M = liftOrDie(Orig);
+    obj::ObjectFile Out;
+    auto L = ir::layOut(M, Out);
+    ASSERT_TRUE(L) << L.message();
+    RunResult After = runNative(Out);
+
+    EXPECT_EQ(Before.Stop.Kind, After.Stop.Kind);
+    EXPECT_EQ(Before.Stop.ExitStatus, After.Stop.ExitStatus);
+    EXPECT_EQ(Before.Output, After.Output);
+  }
+}
+
+TEST(Reassembly, JumpTableProgramSurvivesRoundtrip) {
+  obj::ObjectFile Orig = assembleOrDie(R"(
+.text
+main:
+    ext 2              ; input_size as the selector (0 here)
+    cmp r0, 2
+    j.a default
+    ld8 r1, [r0*8 + table]
+    jmpi r1
+c0:
+    mov r0, 40
+    halt
+c1:
+    mov r0, 41
+    halt
+c2:
+    mov r0, 42
+    halt
+default:
+    mov r0, 99
+    halt
+.rodata
+table:
+    .quad c0
+    .quad c1
+    .quad c2
+)");
+  RunResult Before = runNative(Orig);
+  ir::Module M = liftOrDie(Orig);
+  obj::ObjectFile Out;
+  ASSERT_TRUE(ir::layOut(M, Out));
+  RunResult After = runNative(Out);
+  EXPECT_EQ(Before.Stop.ExitStatus, After.Stop.ExitStatus);
+  EXPECT_EQ(After.Stop.ExitStatus, 40u);
+}

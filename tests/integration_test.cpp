@@ -1,0 +1,147 @@
+//===- tests/integration_test.cpp - Whole-pipeline fuzzing campaigns ---------===//
+//
+// Figure 3 end to end: compile a workload, statically rewrite it, fuzz
+// the instrumented binary, and observe coverage growth and gadget
+// reports — on a stripped binary, since Teapot targets COTS inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "fuzz/Fuzzer.h"
+#include "workloads/Harness.h"
+#include "workloads/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::workloads;
+
+TEST(Integration, StrippedBinaryFuzzCampaign) {
+  const Workload &W = *findWorkload("jsmn");
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  Bin.strip(); // COTS: no symbols, no relocations
+
+  auto RW = core::rewriteBinary(Bin, {});
+  ASSERT_TRUE(RW) << RW.message();
+  runtime::RuntimeOptions RT;
+  InstrumentedTarget T(*RW, RT);
+
+  fuzz::FuzzerOptions FO;
+  FO.Seed = 1;
+  FO.MaxIterations = 120;
+  FO.MaxInputLen = 256;
+  fuzz::Fuzzer F(T, FO);
+  for (const auto &Seed : W.Seeds())
+    F.addSeed(Seed);
+  fuzz::FuzzerStats S = F.run();
+
+  EXPECT_EQ(S.Executions, 120u);
+  EXPECT_GT(S.NormalEdges, 5u) << "normal coverage should accumulate";
+  EXPECT_GT(S.SpecEdges, 5u) << "speculative coverage should accumulate";
+  EXPECT_GT(T.RT.Stats.Simulations, 100u);
+}
+
+TEST(Integration, BrotliFindsRealGadgetsWhileFuzzing) {
+  // The decompressor's nested validation branches harbour genuine
+  // Kasper-policy gadgets (the Table 4 observation).
+  const Workload &W = *findWorkload("brotli");
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  Bin.strip();
+  auto RW = core::rewriteBinary(Bin, {});
+  ASSERT_TRUE(RW) << RW.message();
+  runtime::RuntimeOptions RT;
+  RT.Nesting = runtime::NestingPolicy::Hybrid;
+  InstrumentedTarget T(*RW, RT);
+
+  fuzz::FuzzerOptions FO;
+  FO.Seed = 7;
+  FO.MaxIterations = 250;
+  FO.MaxInputLen = 128;
+  fuzz::Fuzzer F(T, FO);
+  for (const auto &Seed : W.Seeds())
+    F.addSeed(Seed);
+  // A near-miss corpus entry (match distance barely exceeding the
+  // window) of the kind a longer campaign discovers by itself.
+  F.addSeed({1, 2, 'a', 'b', 2, 9, 3, 0});
+  F.run();
+
+  EXPECT_GT(T.RT.Reports.unique().size(), 0u)
+      << "fuzzing the decompressor should surface speculative leaks";
+}
+
+TEST(Integration, CompilerChoiceCreatesAndRemovesGadgets) {
+  // Figure 2 as an experiment: the same dispatcher source, compiled with
+  // branch-cascade switches vs jump-table switches. Only the former can
+  // leak through a mistrained case comparison.
+  const char *Dispatcher = R"(
+int g_out;
+int handle(char *buf, int n, int op, int arg) {
+  switch (op) {
+    case 0: { g_out = 1; break; }
+    case 1: { if (arg < n) { g_out = buf[arg]; } break; }
+    case 2: { g_out = n; break; }
+    case 3: { g_out = arg * 2; break; }
+    default: { g_out = 0; break; }
+  }
+  return g_out;
+}
+int main() {
+  char hdr[8];
+  read_input(hdr, 2);
+  char *buf = malloc(32);
+  int acc = handle(buf, 32, hdr[0] & 3, hdr[1]);
+  int t = buf[acc & 31];
+  return t;
+}
+)";
+  for (lang::SwitchLowering SL :
+       {lang::SwitchLowering::Branches, lang::SwitchLowering::JumpTable}) {
+    lang::CompileOptions CO;
+    CO.Switches = SL;
+    obj::ObjectFile Bin = compileOrDie(Dispatcher, CO);
+    auto RW = core::rewriteBinary(Bin, {});
+    ASSERT_TRUE(RW) << RW.message();
+    runtime::RuntimeOptions RT;
+    InstrumentedTarget T(*RW, RT);
+
+    fuzz::FuzzerOptions FO;
+    FO.Seed = 13;
+    FO.MaxIterations = 150;
+    FO.MaxInputLen = 8;
+    fuzz::Fuzzer F(T, FO);
+    F.addSeed({1, 200});
+    F.addSeed({1, 5});
+    F.run();
+    if (SL == lang::SwitchLowering::Branches)
+      EXPECT_GT(T.RT.Reports.unique().size(), 0u)
+          << "branch-cascade switch: the op==1 bounds check is a victim";
+    // Note: with a jump table the *switch dispatch* is safe; the if
+    // inside case 1 is still a branch, so we only assert the contrast
+    // in the bench (which separates dispatch-gadgets from body-gadgets).
+  }
+}
+
+TEST(Integration, TwentyFourHourStandInDeterminism) {
+  // Two identical mini-campaigns produce identical results: the whole
+  // stack (workload, rewriter, runtime, fuzzer) is deterministic, which
+  // is what makes every EXPERIMENTS.md number reproducible.
+  auto Campaign = [&]() {
+    const Workload &W = *findWorkload("libhtp");
+    obj::ObjectFile Bin = compileOrDie(W.Source);
+    auto RW = core::rewriteBinary(Bin, {});
+    EXPECT_TRUE(RW);
+    runtime::RuntimeOptions RT;
+    InstrumentedTarget T(*RW, RT);
+    fuzz::FuzzerOptions FO;
+    FO.Seed = 99;
+    FO.MaxIterations = 80;
+    fuzz::Fuzzer F(T, FO);
+    for (const auto &Seed : W.Seeds())
+      F.addSeed(Seed);
+    fuzz::FuzzerStats S = F.run();
+    return std::make_tuple(S.CorpusAdds, S.NormalEdges, S.SpecEdges,
+                           T.RT.Reports.unique().size());
+  };
+  EXPECT_EQ(Campaign(), Campaign());
+}

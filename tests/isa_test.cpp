@@ -1,0 +1,220 @@
+//===- tests/isa_test.cpp - ISA model, condition codes, encoding -----------===//
+
+#include "isa/Encoding.h"
+#include "isa/Instruction.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::isa;
+
+TEST(Opcode, TableConsistency) {
+  for (unsigned I = 0; I != static_cast<unsigned>(Opcode::NumOpcodes); ++I) {
+    const OpcodeInfo &Info = opcodeInfo(static_cast<Opcode>(I));
+    EXPECT_NE(Info.Name, nullptr);
+    if (Info.IsCondBranch)
+      EXPECT_TRUE(Info.IsBranch);
+    if (Info.IsRet || Info.IsCall)
+      EXPECT_TRUE(Info.IsBranch);
+  }
+  EXPECT_TRUE(opcodeInfo(Opcode::JCC).IsTerminator);
+  EXPECT_FALSE(opcodeInfo(Opcode::CALL).IsTerminator);
+  EXPECT_TRUE(opcodeInfo(Opcode::FENCE).IsSerializing);
+}
+
+TEST(Registers, Names) {
+  EXPECT_STREQ(regName(R0), "r0");
+  EXPECT_STREQ(regName(SP), "sp");
+  EXPECT_STREQ(regName(FP), "fp");
+  EXPECT_EQ(parseRegName("r13", 3), R13);
+  EXPECT_EQ(parseRegName("sp", 2), SP);
+  EXPECT_EQ(parseRegName("bogus", 5), NoReg);
+}
+
+/// Property: negateCond always flips the outcome, over every condition
+/// code and every possible FLAGS value.
+TEST(CondCode, NegationFlipsEverywhere) {
+  for (unsigned CC = 0; CC != static_cast<unsigned>(CondCode::NumCondCodes);
+       ++CC) {
+    for (uint8_t F = 0; F < 16; ++F) {
+      auto C = static_cast<CondCode>(CC);
+      EXPECT_NE(evalCond(C, F), evalCond(negateCond(C), F))
+          << "cc=" << condName(C) << " flags=" << unsigned(F);
+    }
+  }
+}
+
+TEST(CondCode, SemanticSpotChecks) {
+  EXPECT_TRUE(evalCond(CondCode::EQ, FlagZ));
+  EXPECT_FALSE(evalCond(CondCode::EQ, 0));
+  EXPECT_TRUE(evalCond(CondCode::LT, FlagS)); // S != O
+  EXPECT_FALSE(evalCond(CondCode::LT, FlagS | FlagO));
+  EXPECT_TRUE(evalCond(CondCode::B, FlagC));
+  EXPECT_TRUE(evalCond(CondCode::A, 0));
+  EXPECT_FALSE(evalCond(CondCode::A, FlagC));
+  EXPECT_FALSE(evalCond(CondCode::A, FlagZ));
+}
+
+TEST(CondCode, ParseNames) {
+  CondCode CC;
+  ASSERT_TRUE(parseCondName("ae", 2, CC));
+  EXPECT_EQ(CC, CondCode::AE);
+  EXPECT_FALSE(parseCondName("zz", 2, CC));
+}
+
+namespace {
+
+/// Generates a random but well-formed instruction.
+Instruction randomInst(RNG &R) {
+  Instruction I;
+  auto RandReg = [&] { return static_cast<Reg>(R.below(NumRegs)); };
+  auto RandMem = [&] {
+    MemRef M;
+    if (R.chance(3, 4))
+      M.Base = RandReg();
+    if (R.chance(1, 2)) {
+      M.Index = RandReg();
+      M.Scale = static_cast<uint8_t>(1u << R.below(4));
+    }
+    M.Disp = static_cast<int64_t>(R.next());
+    return M;
+  };
+  auto RandSize = [&] { return static_cast<uint8_t>(1u << R.below(4)); };
+  switch (R.below(12)) {
+  case 0:
+    I = Instruction::mov(RandReg(), R.chance(1, 2)
+                                        ? Operand::reg(RandReg())
+                                        : Operand::imm(R.next()));
+    break;
+  case 1:
+    I = Instruction::load(RandReg(), RandMem(), RandSize());
+    break;
+  case 2:
+    I = Instruction::store(RandMem(), Operand::reg(RandReg()), RandSize());
+    break;
+  case 3:
+    I = Instruction::alu(Opcode::ADD, RandReg(), Operand::imm(R.next()));
+    break;
+  case 4:
+    I = Instruction::jcc(static_cast<CondCode>(
+                             R.below(static_cast<uint64_t>(
+                                 CondCode::NumCondCodes))),
+                         static_cast<int32_t>(R.next()));
+    break;
+  case 5:
+    I = Instruction::call(static_cast<int32_t>(R.next()));
+    break;
+  case 6:
+    I = Instruction::ret();
+    break;
+  case 7:
+    I = Instruction::intrinsicMem(IntrinsicID::AsanCheck, RandMem(),
+                                  static_cast<int64_t>(R.next()));
+    break;
+  case 8:
+    I = Instruction::ext(static_cast<int64_t>(R.below(7)));
+    break;
+  case 9: {
+    I = Instruction(Opcode::CMOV);
+    I.CC = static_cast<CondCode>(
+        R.below(static_cast<uint64_t>(CondCode::NumCondCodes)));
+    I.A = Operand::reg(RandReg());
+    I.B = Operand::reg(RandReg());
+    break;
+  }
+  case 10:
+    I = Instruction::markerNop();
+    break;
+  default:
+    I = Instruction::intrinsic(
+        static_cast<IntrinsicID>(
+            1 + R.below(static_cast<uint64_t>(IntrinsicID::NumIntrinsics) -
+                        1)),
+        static_cast<int64_t>(R.next()));
+    break;
+  }
+  return I;
+}
+
+bool sameInst(const Instruction &A, const Instruction &B) {
+  if (A.Op != B.Op || !(A.A == B.A) || !(B.B == A.B))
+    return false;
+  if (A.Op == Opcode::INTR)
+    return A.Intr == B.Intr && A.IntrPayload == B.IntrPayload;
+  return A.Size == B.Size && A.CC == B.CC;
+}
+
+} // namespace
+
+/// Property: encode/decode is a lossless roundtrip for thousands of
+/// random instructions, and the decoded length matches the encoding.
+TEST(Encoding, RoundtripProperty) {
+  RNG R(2024);
+  for (int Iter = 0; Iter != 5000; ++Iter) {
+    Instruction I = randomInst(R);
+    std::vector<uint8_t> Bytes;
+    unsigned Len = encode(I, Bytes);
+    EXPECT_EQ(Len, Bytes.size());
+    EXPECT_EQ(Len, encodedLength(I));
+    auto D = decode(Bytes.data(), Bytes.size(), 0);
+    ASSERT_TRUE(D) << D.message();
+    EXPECT_EQ(D->Length, Len);
+    EXPECT_TRUE(sameInst(I, D->I)) << printInst(I) << " vs "
+                                   << printInst(D->I);
+  }
+}
+
+/// Property: decoding any strict prefix of a valid encoding fails
+/// cleanly (no crashes, no bogus success).
+TEST(Encoding, TruncationAlwaysFails) {
+  RNG R(7);
+  for (int Iter = 0; Iter != 500; ++Iter) {
+    Instruction I = randomInst(R);
+    std::vector<uint8_t> Bytes;
+    unsigned Len = encode(I, Bytes);
+    for (unsigned Cut = 0; Cut < Len; ++Cut) {
+      auto D = decode(Bytes.data(), Cut, 0);
+      EXPECT_FALSE(D);
+    }
+  }
+}
+
+TEST(Encoding, RejectsUnknownOpcode) {
+  uint8_t Bytes[8] = {0xee, 0, 0};
+  EXPECT_FALSE(decode(Bytes, sizeof(Bytes), 0));
+}
+
+TEST(Encoding, RejectsBadRegister) {
+  Instruction I = Instruction::mov(R0, Operand::reg(R1));
+  std::vector<uint8_t> Bytes;
+  encode(I, Bytes);
+  Bytes[3] = 0x20; // register id out of range
+  EXPECT_FALSE(decode(Bytes.data(), Bytes.size(), 0));
+}
+
+TEST(Encoding, RejectsBadScale) {
+  Instruction I = Instruction::load(R0, MemRef{R1, R2, 4, 0});
+  std::vector<uint8_t> Bytes;
+  encode(I, Bytes);
+  Bytes[6] = 3; // scale byte: must be 1/2/4/8
+  EXPECT_FALSE(decode(Bytes.data(), Bytes.size(), 0));
+}
+
+TEST(Printer, ReadableOutput) {
+  EXPECT_EQ(printInst(Instruction::movImm(R0, 42)), "mov r0, 42");
+  EXPECT_EQ(printInst(Instruction::load(R1, MemRef{R2, R3, 8, -4}, 4)),
+            "ld4 r1, [r2+r3*8-4]");
+  EXPECT_EQ(printInst(Instruction::jcc(CondCode::LT, 8)), "j.lt 8");
+  EXPECT_EQ(printInst(Instruction::ret()), "ret");
+  Instruction C(Opcode::CMOV);
+  C.CC = CondCode::NE;
+  C.A = Operand::reg(R0);
+  C.B = Operand::reg(R1);
+  EXPECT_EQ(printInst(C), "cmov.ne r0, r1");
+}
+
+TEST(Printer, IntrinsicNames) {
+  EXPECT_STREQ(intrinsicName(IntrinsicID::StartSim), "start_sim");
+  EXPECT_STREQ(intrinsicName(IntrinsicID::MarkerCheck), "marker_check");
+}

@@ -1,0 +1,248 @@
+//===- tests/minicc_test.cpp - MiniCC compiler tests -------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::lang;
+
+namespace {
+
+uint64_t runMain(const char *Src, const std::vector<uint8_t> &Input = {},
+                 CompileOptions Opts = {}) {
+  auto R = runNative(compileOrDie(Src, Opts), Input);
+  EXPECT_EQ(R.Stop.Kind, vm::StopKind::Halted);
+  return R.Stop.ExitStatus;
+}
+
+} // namespace
+
+TEST(MiniCC, ArithmeticAndPrecedence) {
+  EXPECT_EQ(runMain("int main() { return 2 + 3 * 4; }"), 14u);
+  EXPECT_EQ(runMain("int main() { return (2 + 3) * 4; }"), 20u);
+  EXPECT_EQ(runMain("int main() { return 100 / 7; }"), 14u);
+  EXPECT_EQ(runMain("int main() { return 100 % 7; }"), 2u);
+  EXPECT_EQ(runMain("int main() { return (1 << 6) | 3; }"), 67u);
+  EXPECT_EQ(runMain("int main() { return (255 & 12) ^ 5; }"), 9u);
+  EXPECT_EQ(runMain("int main() { return 64 >> 3; }"), 8u);
+  EXPECT_EQ(runMain("int main() { return -(0 - 9); }"), 9u);
+}
+
+TEST(MiniCC, ComparisonsAndLogic) {
+  EXPECT_EQ(runMain("int main() { return 3 < 4; }"), 1u);
+  EXPECT_EQ(runMain("int main() { return 4 <= 3; }"), 0u);
+  EXPECT_EQ(runMain("int main() { return 1 && 2; }"), 1u);
+  EXPECT_EQ(runMain("int main() { return 0 || 0; }"), 0u);
+  EXPECT_EQ(runMain("int main() { return !5; }"), 0u);
+  EXPECT_EQ(runMain("int main() { return !0; }"), 1u);
+}
+
+TEST(MiniCC, ShortCircuitSkipsSideEffects) {
+  EXPECT_EQ(runMain(R"(
+int g;
+int bump() { g = g + 1; return 1; }
+int main() {
+  g = 0;
+  int x = 0 && bump();
+  int y = 1 || bump();
+  return g * 10 + x + y;
+}
+)"),
+            1u);
+}
+
+TEST(MiniCC, ControlFlow) {
+  EXPECT_EQ(runMain(R"(
+int main() {
+  int sum = 0;
+  int i;
+  for (i = 1; i <= 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    sum = sum + i;
+  }
+  while (sum > 20) { sum = sum - 1; }
+  return sum;
+}
+)"),
+            20u);
+}
+
+TEST(MiniCC, Recursion) {
+  EXPECT_EQ(runMain(R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+)"),
+            144u);
+}
+
+TEST(MiniCC, ArraysAndPointers) {
+  EXPECT_EQ(runMain(R"(
+int g_tab[4] = {10, 20, 30, 40};
+int main() {
+  int local[4];
+  int i;
+  for (i = 0; i < 4; i = i + 1) { local[i] = g_tab[i] * 2; }
+  int *p = local;
+  int acc = 0;
+  for (i = 0; i < 4; i = i + 1) { acc = acc + *(p + i); }
+  return acc;
+}
+)"),
+            200u);
+}
+
+TEST(MiniCC, CharsAndStrings) {
+  EXPECT_EQ(runMain(R"(
+char g_msg[8] = "hi";
+int main() {
+  char *s = "abc";
+  return s[0] + s[2] - g_msg[0]; // 'a' + 'c' - 'h'
+}
+)"),
+            static_cast<uint64_t>('a' + 'c' - 'h'));
+}
+
+TEST(MiniCC, AddressOfAndStores) {
+  EXPECT_EQ(runMain(R"(
+int main() {
+  int x = 5;
+  int *p = &x;
+  *p = *p + 37;
+  return x;
+}
+)"),
+            42u);
+}
+
+TEST(MiniCC, GlobalsPersistAcrossCalls) {
+  EXPECT_EQ(runMain(R"(
+int counter;
+int tick() { counter = counter + 1; return counter; }
+int main() {
+  tick(); tick(); tick();
+  return counter;
+}
+)"),
+            3u);
+}
+
+TEST(MiniCC, BuiltinsReadWrite) {
+  auto Bin = compileOrDie(R"(
+int main() {
+  int n = input_size();
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (buf[i] >= 'a' && buf[i] <= 'z') { buf[i] = buf[i] - 32; }
+  }
+  write_out(buf, n);
+  free(buf);
+  return n;
+}
+)");
+  std::vector<uint8_t> In = {'a', 'B', 'c'};
+  auto R = runNative(Bin, In);
+  EXPECT_EQ(R.Stop.ExitStatus, 3u);
+  std::vector<uint8_t> Want = {'A', 'B', 'C'};
+  EXPECT_EQ(R.Output, Want);
+}
+
+namespace {
+const char *SwitchProgram = R"(
+int classify(int v) {
+  switch (v) {
+    case 0: { return 10; }
+    case 1: { return 11; }
+    case 2: { return 12; }
+    case 3: { return 13; }
+    default: { return 99; }
+  }
+  return -1;
+}
+int main() {
+  return classify(0) + classify(2) * 10 + classify(7) * 100;
+}
+)";
+} // namespace
+
+/// Figure 2 both ways: the lowering strategy must not change behaviour.
+TEST(MiniCC, SwitchBranchesVsJumpTableSameResult) {
+  CompileOptions Br;
+  Br.Switches = SwitchLowering::Branches;
+  CompileOptions Jt;
+  Jt.Switches = SwitchLowering::JumpTable;
+  uint64_t A = runMain(SwitchProgram, {}, Br);
+  uint64_t B = runMain(SwitchProgram, {}, Jt);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A, 10u + 120u + 9900u);
+}
+
+TEST(MiniCC, SwitchLoweringShapesDiffer) {
+  CompileOptions Br;
+  Br.Switches = SwitchLowering::Branches;
+  CompileOptions Jt;
+  Jt.Switches = SwitchLowering::JumpTable;
+  auto AsmBr = lang::compileToAsm(SwitchProgram, Br);
+  auto AsmJt = lang::compileToAsm(SwitchProgram, Jt);
+  ASSERT_TRUE(AsmBr);
+  ASSERT_TRUE(AsmJt);
+  // Branch lowering: compare-and-jump cascade, no indirect jump.
+  EXPECT_EQ(AsmBr->find("jmpi"), std::string::npos);
+  EXPECT_NE(AsmBr->find("j.eq"), std::string::npos);
+  // Table lowering: indirect jump through a .rodata table.
+  EXPECT_NE(AsmJt->find("jmpi"), std::string::npos);
+  EXPECT_NE(AsmJt->find(".quad"), std::string::npos);
+}
+
+TEST(MiniCC, FenceBuiltinEmitsSerializingInst) {
+  auto Asm = lang::compileToAsm("int main() { fence(); return 0; }");
+  ASSERT_TRUE(Asm);
+  EXPECT_NE(Asm->find("fence"), std::string::npos);
+}
+
+TEST(MiniCC, PointerParamsAcrossFunctions) {
+  EXPECT_EQ(runMain(R"(
+int sum(int *arr, int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) { s = s + arr[i]; }
+  return s;
+}
+int main() {
+  int v[5];
+  int i;
+  for (i = 0; i < 5; i = i + 1) { v[i] = i * i; }
+  return sum(v, 5);
+}
+)"),
+            30u);
+}
+
+TEST(MiniCC, ParseErrorsReported) {
+  EXPECT_FALSE(lang::compile("int main() { return 1 + ; }"));
+  EXPECT_FALSE(lang::compile("int main() { undefined_fn(); }"));
+  EXPECT_FALSE(lang::compile("int main() { return x; }"));
+  EXPECT_FALSE(lang::compile("int main() { break; }"));
+  EXPECT_FALSE(lang::compile("int f() { return 0; }")); // no main
+}
+
+TEST(MiniCC, NestedScopesShadowing) {
+  EXPECT_EQ(runMain(R"(
+int main() {
+  int x = 1;
+  {
+    int x = 2;
+    { x = x + 10; }
+    if (x != 12) { return 0; }
+  }
+  return x;
+}
+)"),
+            1u);
+}

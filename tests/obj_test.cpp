@@ -1,0 +1,104 @@
+//===- tests/obj_test.cpp - TBF object format ------------------------------===//
+
+#include "obj/Layout.h"
+#include "obj/ObjectFile.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::obj;
+
+namespace {
+
+ObjectFile sampleObject() {
+  ObjectFile O;
+  O.Entry = 0x401000;
+  O.Sections.push_back({".text", SectionKind::Code, 0x401000,
+                        {1, 2, 3, 4}, 0});
+  O.Sections.push_back({".data", SectionKind::Data, 0xa00000, {9, 9}, 0});
+  O.Sections.push_back({".bss", SectionKind::Bss, 0xa01000, {}, 128});
+  O.Symbols.push_back({"main", SymbolKind::Function, 0x401000, 4, true});
+  O.Symbols.push_back({"g", SymbolKind::Object, 0xa00000, 2, false});
+  O.Relocs.push_back({RelocKind::Abs64, 1, 0, "main", 8});
+  O.Metadata["note"] = {0xde, 0xad};
+  return O;
+}
+
+} // namespace
+
+TEST(ObjectFile, SerializeRoundtrip) {
+  ObjectFile O = sampleObject();
+  auto Bytes = O.serialize();
+  auto BackOrErr = ObjectFile::deserialize(Bytes);
+  ASSERT_TRUE(BackOrErr) << BackOrErr.message();
+  const ObjectFile &B = *BackOrErr;
+  EXPECT_EQ(B.Entry, O.Entry);
+  ASSERT_EQ(B.Sections.size(), 3u);
+  EXPECT_EQ(B.Sections[0].Bytes, O.Sections[0].Bytes);
+  EXPECT_EQ(B.Sections[2].BssSize, 128u);
+  ASSERT_EQ(B.Symbols.size(), 2u);
+  EXPECT_EQ(B.Symbols[0].Name, "main");
+  EXPECT_TRUE(B.Symbols[0].Global);
+  ASSERT_EQ(B.Relocs.size(), 1u);
+  EXPECT_EQ(B.Relocs[0].Addend, 8);
+  ASSERT_EQ(B.Metadata.count("note"), 1u);
+  EXPECT_EQ(B.Metadata.at("note").size(), 2u);
+}
+
+TEST(ObjectFile, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = {'X', 'X', 'X', 'X', 0, 0};
+  EXPECT_FALSE(ObjectFile::deserialize(Bytes));
+}
+
+TEST(ObjectFile, RejectsTruncation) {
+  auto Bytes = sampleObject().serialize();
+  for (size_t Cut : {4ul, 10ul, Bytes.size() / 2, Bytes.size() - 1}) {
+    std::vector<uint8_t> T(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(ObjectFile::deserialize(T)) << "cut at " << Cut;
+  }
+}
+
+TEST(ObjectFile, Queries) {
+  ObjectFile O = sampleObject();
+  EXPECT_NE(O.findSection(".text"), nullptr);
+  EXPECT_EQ(O.findSection(".nope"), nullptr);
+  EXPECT_EQ(O.sectionContaining(0x401002)->Name, ".text");
+  EXPECT_EQ(O.sectionContaining(0xa01010)->Name, ".bss");
+  EXPECT_EQ(O.sectionContaining(0x1), nullptr);
+  EXPECT_NE(O.findSymbol("main"), nullptr);
+  EXPECT_EQ(O.findSymbol("zzz"), nullptr);
+}
+
+TEST(ObjectFile, StripRemovesSymbolsAndRelocs) {
+  ObjectFile O = sampleObject();
+  O.strip();
+  EXPECT_TRUE(O.Symbols.empty());
+  EXPECT_TRUE(O.Relocs.empty());
+  EXPECT_EQ(O.Sections.size(), 3u); // sections survive
+  EXPECT_EQ(O.Metadata.size(), 1u); // metadata survives
+}
+
+TEST(Layout, UserAddressRegions) {
+  // Table 2 user-accessible regions.
+  EXPECT_TRUE(isUserAddress(0x0));
+  EXPECT_TRUE(isUserAddress(LowMemEnd));
+  EXPECT_FALSE(isUserAddress(LowMemEnd + 1));
+  EXPECT_TRUE(isUserAddress(HighMemStart));
+  EXPECT_TRUE(isUserAddress(HighMemEnd));
+  EXPECT_FALSE(isUserAddress(HighMemEnd + 1));
+  EXPECT_FALSE(isUserAddress(0x2000'0000'0000ULL)); // LowTag region
+  EXPECT_FALSE(isUserAddress(0x4000'0000'0000ULL)); // HighTag region
+}
+
+TEST(Layout, StaticImageFitsLowMem) {
+  EXPECT_LT(TextBase, RodataBase);
+  EXPECT_LT(RodataBase, DataBase);
+  EXPECT_LE(DataBase, LowMemEnd);
+  EXPECT_TRUE(isUserAddress(SimFlagAddr));
+}
+
+TEST(Layout, DynamicRegionsInHighMem) {
+  EXPECT_GE(HeapBase, HighMemStart);
+  EXPECT_LE(StackTop, HighMemEnd);
+  EXPECT_GT(StackTop, StackLimit);
+}

@@ -1,0 +1,512 @@
+//===- tests/rewriter_test.cpp - Speculation Shadows end-to-end -------------===//
+//
+// The heart of the test suite: instrumented binaries must (a) behave
+// exactly like the original in normal execution, (b) simulate branch
+// mispredictions, and (c) detect the Spectre-V1 gadget families under
+// the Kasper policy while rejecting the safe variants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::runtime;
+using namespace teapot::workloads;
+
+namespace {
+
+/// A classic Spectre-V1 victim: attacker-controlled index, bounds check,
+/// dependent second access (Listing 1 of the paper).
+const char *V1Victim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *buf = malloc(64);
+  int i;
+  for (i = 0; i < 64; i = i + 1) { buf[i] = i; }
+  int acc = 0;
+  if (idx < 64) {
+    int v = buf[idx];
+    acc = buf[v & 63];
+  }
+  return acc;
+}
+)";
+
+/// CMOV-clamped variant: conditional moves are not speculated, so no
+/// gadget exists (the Figure 2 / Appendix A.1 discussion).
+const char *CmovSafeVictim = R"(
+.text
+main:
+    mov r0, buf64
+    mov r1, 16
+    ext 1              ; read one byte of input
+    ld1 r2, [buf64]    ; idx
+    mov r0, 64
+    ext 4              ; heap buffer
+    mov r3, r0
+    mov r4, 0
+    cmp r2, 64
+    cmov.ae r2, r4     ; clamp instead of branching
+    ld1 r5, [r3 + r2]
+    and r5, 63
+    ld1 r0, [r3 + r5]
+    halt
+.bss
+buf64:
+    .space 64
+)";
+
+/// lfence mitigation: the serializing instruction ends the simulated
+/// speculation before the out-of-bounds access.
+const char *FencedVictim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *buf = malloc(64);
+  int acc = 0;
+  if (idx < 64) {
+    fence();
+    int v = buf[idx];
+    acc = buf[v & 63];
+  }
+  return acc;
+}
+)";
+
+/// Speculation must cross a function return to reach the access — this
+/// exercises the marker NOP + MarkerCheck machinery of Listing 4 (and
+/// mirrors the Appendix A.2 case study's shape).
+const char *CrossReturnVictim = R"(
+int clamp(int idx) {
+  if (idx < 64) { return idx; }
+  return 0;
+}
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  char *buf = malloc(64);
+  int v = buf[clamp(idx8[0])];
+  int acc = buf[v & 63];
+  return acc;
+}
+)";
+
+/// Massage-policy victim: a speculatively bypassed null check makes a
+/// helper return -1, turning a != loop bound into a wild out-of-bounds
+/// walk whose (attacker-massaged) values are dereferenced — the
+/// Listing 6 pattern.
+const char *MassageVictim = R"(
+int size_of(int *hdr) {
+  if (hdr == 0) { return 0 - 1; }
+  return *hdr;
+}
+int main() {
+  char dummy[8];
+  read_input(dummy, 1);
+  char *arr = malloc(2);
+  int *hdr = malloc(8);
+  *hdr = 2;
+  int n = size_of(hdr);
+  int i = 0;
+  int acc = 0;
+  while (i != n) {
+    int v = arr[i];
+    int w = arr[v & 7];
+    if (w > 100) { acc = acc + 1; }
+    i = i + 1;
+  }
+  return acc;
+}
+)";
+
+/// Requires two nested mispredictions: the bounds check is duplicated,
+/// so a single flipped branch still exits before the access.
+const char *NestedVictim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *buf = malloc(64);
+  int acc = 0;
+  if (idx < 64) {
+    if (idx < 64) {
+      int v = buf[idx];
+      acc = buf[v & 63];
+    }
+  }
+  return acc;
+}
+)";
+
+core::RewriterOptions teapotOpts() { return {}; }
+
+runtime::RuntimeOptions kasperOpts() {
+  RuntimeOptions O;
+  O.Nesting = NestingPolicy::Hybrid;
+  return O;
+}
+
+/// Runs one input through an instrumented binary and returns the target
+/// (for report/stat inspection).
+std::unique_ptr<InstrumentedTarget> runInstrumented(
+    const obj::ObjectFile &Bin, const std::vector<uint8_t> &Input,
+    core::RewriterOptions RWOpts, runtime::RuntimeOptions RTOpts) {
+  auto RW = core::rewriteBinary(Bin, RWOpts);
+  EXPECT_TRUE(RW) << (RW ? "" : RW.message());
+  if (!RW)
+    abort();
+  auto T = std::make_unique<InstrumentedTarget>(*RW, RTOpts);
+  T->execute(Input);
+  return T;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Semantic preservation
+//===----------------------------------------------------------------------===//
+
+TEST(Rewriter, PreservesBehaviourAcrossPrograms) {
+  struct Case {
+    const char *Name;
+    obj::ObjectFile Bin;
+    std::vector<uint8_t> Input;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"v1", compileOrDie(V1Victim), {30}});
+  Cases.push_back({"cross", compileOrDie(CrossReturnVictim), {10}});
+  Cases.push_back({"fib", compileOrDie(R"(
+int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+int main() { return fib(10); }
+)"),
+                   {}});
+  Cases.push_back({"echo", compileOrDie(R"(
+int main() {
+  int n = input_size();
+  char *b = malloc(n + 1);
+  read_input(b, n);
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (b[i] == 0) { b[i] = 32; }
+  }
+  write_out(b, n);
+  return n;
+}
+)"),
+                   {1, 2, 3, 4, 5}});
+
+  for (Case &C : Cases) {
+    RunResult Native = runNative(C.Bin, C.Input);
+    ASSERT_EQ(Native.Stop.Kind, vm::StopKind::Halted) << C.Name;
+
+    for (core::RewriteMode Mode :
+         {core::RewriteMode::Teapot, core::RewriteMode::SpecFuzzBaseline}) {
+      core::RewriterOptions RO;
+      RO.Mode = Mode;
+      if (Mode == core::RewriteMode::SpecFuzzBaseline)
+        RO.EnableDift = false;
+      RuntimeOptions RT = kasperOpts();
+      if (Mode == core::RewriteMode::SpecFuzzBaseline) {
+        RT.EnableDift = false;
+        RT.MassagePolicy = false;
+      }
+      auto T = runInstrumented(C.Bin, C.Input, RO, RT);
+      EXPECT_EQ(T->LastStop.Kind, vm::StopKind::Halted)
+          << C.Name << " mode " << int(Mode);
+      EXPECT_EQ(T->LastStop.ExitStatus, Native.Stop.ExitStatus)
+          << C.Name << " mode " << int(Mode);
+      EXPECT_EQ(T->M.output(), Native.Output)
+          << C.Name << " mode " << int(Mode);
+      // And speculation really was simulated along the way.
+      EXPECT_GT(T->RT.Stats.Simulations, 0u) << C.Name;
+    }
+  }
+}
+
+TEST(Rewriter, MetaTablesDescribeTheBinary) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  auto RW = rewriteOrDie(Bin, teapotOpts());
+  const MetaTable &Meta = RW.Meta;
+  EXPECT_LT(Meta.RealTextStart, Meta.RealTextEnd);
+  EXPECT_EQ(Meta.RealTextEnd, Meta.ShadowTextStart);
+  EXPECT_LT(Meta.ShadowTextStart, Meta.ShadowTextEnd);
+  EXPECT_FALSE(Meta.Trampolines.empty());
+  EXPECT_FALSE(Meta.FuncMap.empty());
+  // Every trampoline lives in the Shadow Copy.
+  for (uint64_t T : Meta.Trampolines)
+    EXPECT_TRUE(Meta.inShadowText(T));
+  // Markers live in the Real Copy, resumes in the Shadow Copy.
+  for (uint64_t A : Meta.MarkerSites)
+    EXPECT_TRUE(Meta.inRealText(A));
+  for (uint64_t A : Meta.MarkerResume)
+    EXPECT_TRUE(Meta.inShadowText(A));
+  // The metadata blob in the binary parses back to the same table.
+  auto It = RW.Binary.Metadata.find(MetaSectionName);
+  ASSERT_NE(It, RW.Binary.Metadata.end());
+  auto Back = MetaTable::deserialize(It->second);
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(Back->Trampolines, Meta.Trampolines);
+}
+
+//===----------------------------------------------------------------------===//
+// Detection
+//===----------------------------------------------------------------------===//
+
+TEST(Detection, ClassicV1FoundWithKasperPolicy) {
+  // Out-of-bounds index (200): the bounds check skips the access
+  // architecturally; simulation must flip it and catch the leak.
+  auto T = runInstrumented(compileOrDie(V1Victim), {200}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_GT(T->RT.Reports.count(Controllability::User, Channel::MDS), 0u)
+      << "secret load (MDS) not reported";
+  EXPECT_GT(T->RT.Reports.count(Controllability::User, Channel::Cache), 0u)
+      << "cache transmitter not reported";
+}
+
+TEST(Detection, InBoundsInputStillDetects) {
+  // Even an in-bounds input (idx=10) triggers simulation of the wrong
+  // path... but idx=10 is in bounds on the wrong path too, so nothing
+  // leaks. This guards against false positives on benign runs.
+  auto T = runInstrumented(compileOrDie(V1Victim), {10}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_EQ(T->RT.Reports.unique().size(), 0u);
+}
+
+TEST(Detection, CmovVariantIsSafe) {
+  auto T = runInstrumented(assembleOrDie(CmovSafeVictim), {200},
+                           teapotOpts(), kasperOpts());
+  EXPECT_EQ(T->RT.Reports.unique().size(), 0u)
+      << "conditional moves are not speculated; no gadget exists";
+}
+
+TEST(Detection, LfenceMitigates) {
+  auto T = runInstrumented(compileOrDie(FencedVictim), {200}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_EQ(T->RT.Reports.unique().size(), 0u);
+  // The simulation was attempted and rolled back at the fence.
+  EXPECT_GT(T->RT.Stats.Rollbacks[static_cast<size_t>(
+                isa::RollbackReason::Serializing)],
+            0u);
+}
+
+TEST(Detection, SpeculationCrossesReturnsViaMarkers) {
+  auto T = runInstrumented(compileOrDie(CrossReturnVictim), {200},
+                           teapotOpts(), kasperOpts());
+  // Detecting this gadget requires simulation to survive the RET from
+  // clamp$spec back through the Real-Copy marker into main$spec.
+  EXPECT_GT(T->RT.Reports.count(Controllability::User, Channel::MDS), 0u);
+  EXPECT_FALSE(T->RT.meta().MarkerSites.empty());
+}
+
+TEST(Detection, MassagePolicyFindsIndirectGadgets) {
+  auto T = runInstrumented(compileOrDie(MassageVictim), {1}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_GT(T->RT.Reports.count(Controllability::Massage, Channel::MDS), 0u)
+      << "massaged-pointer secret load not reported";
+  EXPECT_GT(T->RT.Reports.count(Controllability::Massage, Channel::Port),
+            0u)
+      << "secret-dependent branch (port contention) not reported";
+}
+
+TEST(Detection, MassagePolicyCanBeDisabled) {
+  RuntimeOptions RT = kasperOpts();
+  RT.MassagePolicy = false;
+  auto T = runInstrumented(compileOrDie(MassageVictim), {1}, teapotOpts(),
+                           RT);
+  EXPECT_EQ(T->RT.Reports.count(Controllability::Massage, Channel::MDS),
+            0u);
+}
+
+TEST(Detection, NestedGadgetNeedsNestedSimulation) {
+  obj::ObjectFile Bin = compileOrDie(NestedVictim);
+  RuntimeOptions NoNest = kasperOpts();
+  NoNest.Nesting = NestingPolicy::Off;
+  auto T1 = runInstrumented(Bin, {200}, teapotOpts(), NoNest);
+  EXPECT_EQ(T1->RT.Reports.unique().size(), 0u)
+      << "without nesting the duplicated check cannot be bypassed";
+
+  auto T2 = runInstrumented(Bin, {200}, teapotOpts(), kasperOpts());
+  EXPECT_GT(T2->RT.Reports.unique().size(), 0u);
+  EXPECT_GT(T2->RT.Stats.NestedSimulations, 0u);
+}
+
+TEST(Detection, SpecFuzzPolicyReportsRawOOB) {
+  core::RewriterOptions RO;
+  RO.Mode = core::RewriteMode::SpecFuzzBaseline;
+  RO.EnableDift = false;
+  RuntimeOptions RT;
+  RT.EnableDift = false;
+  RT.MassagePolicy = false;
+  RT.Nesting = NestingPolicy::SpecFuzz;
+  auto T = runInstrumented(compileOrDie(V1Victim), {200}, RO, RT);
+  EXPECT_GT(T->RT.Reports.count(Controllability::Unknown, Channel::Asan),
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime mechanics under instrumentation
+//===----------------------------------------------------------------------===//
+
+TEST(Rewriter, RollbackRestoresArchitecturalState) {
+  // The victim writes to memory on the wrong path; after the campaign
+  // the program's outputs must be untouched by speculation.
+  const char *Writer = R"(
+int g_canary;
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  g_canary = 111;
+  if (idx < 4) {
+    g_canary = 222;  // speculatively executed for idx >= 4
+  }
+  return g_canary;
+}
+)";
+  obj::ObjectFile Bin = compileOrDie(Writer);
+  RunResult Native = runNative(Bin, {77});
+  auto T = runInstrumented(Bin, {77}, teapotOpts(), kasperOpts());
+  EXPECT_EQ(T->LastStop.ExitStatus, Native.Stop.ExitStatus);
+  EXPECT_EQ(T->LastStop.ExitStatus, 111u);
+  EXPECT_GT(T->RT.Stats.Simulations, 0u);
+}
+
+TEST(Rewriter, InstructionBudgetBoundsSimulation) {
+  // An infinite loop on the wrong path must be cut off by the reorder
+  // buffer budget (250 instructions), not hang the run.
+  const char *Spinner = R"(
+int main() {
+  char b[8];
+  read_input(b, 1);
+  int x = b[0];
+  int acc = 0;
+  if (x < 4) {
+    while (1) { acc = acc + 1; }
+  }
+  return acc;
+}
+)";
+  auto T = runInstrumented(compileOrDie(Spinner), {200}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_EQ(T->LastStop.Kind, vm::StopKind::Halted);
+  EXPECT_GT(T->RT.Stats.Rollbacks[static_cast<size_t>(
+                isa::RollbackReason::InstBudget)],
+            0u);
+}
+
+TEST(Rewriter, ExternalCallsTerminateSimulation) {
+  const char *Caller = R"(
+int main() {
+  char b[8];
+  read_input(b, 1);
+  int x = b[0];
+  if (x < 4) {
+    char *p = malloc(8);  // external call on the wrong path
+    p[0] = 1;
+  }
+  return 0;
+}
+)";
+  auto T = runInstrumented(compileOrDie(Caller), {200}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_GT(T->RT.Stats.Rollbacks[static_cast<size_t>(
+                isa::RollbackReason::ExternalCall)],
+            0u);
+}
+
+TEST(Rewriter, GuestFaultsRollBackInsteadOfCrashing) {
+  const char *Wild = R"(
+int main() {
+  char b[8];
+  read_input(b, 8);
+  int x = b[0];
+  char *p = 0;
+  if (x < 4) {
+    // Wild dereference at a non-canonical address on the wrong path.
+    p = p + 824633720832; // 0xC000000000: inside the shadow gap
+    return p[0];
+  }
+  return 7;
+}
+)";
+  auto T = runInstrumented(compileOrDie(Wild), {200}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_EQ(T->LastStop.Kind, vm::StopKind::Halted);
+  EXPECT_EQ(T->LastStop.ExitStatus, 7u);
+  EXPECT_GT(T->RT.Stats.Rollbacks[static_cast<size_t>(
+                isa::RollbackReason::GuestFault)],
+            0u);
+}
+
+TEST(Rewriter, CoverageTracksBothModes) {
+  auto T = runInstrumented(compileOrDie(V1Victim), {30}, teapotOpts(),
+                           kasperOpts());
+  EXPECT_GT(T->RT.Cov.normalCovered(), 0u);
+  EXPECT_GT(T->RT.Cov.specCovered(), 0u);
+}
+
+TEST(Rewriter, LazyAndEagerSpecCoverageAgree) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  RuntimeOptions Lazy = kasperOpts();
+  Lazy.LazySpecCoverage = true;
+  RuntimeOptions Eager = kasperOpts();
+  Eager.LazySpecCoverage = false;
+  auto T1 = runInstrumented(Bin, {30}, teapotOpts(), Lazy);
+  auto T2 = runInstrumented(Bin, {30}, teapotOpts(), Eager);
+  EXPECT_EQ(T1->RT.Cov.specCovered(), T2->RT.Cov.specCovered());
+}
+
+TEST(Rewriter, AvxCheckpointOptionPreservesSemantics) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  RuntimeOptions Avx = kasperOpts();
+  Avx.AvxCheckpoint = true;
+  auto T = runInstrumented(Bin, {30}, teapotOpts(), Avx);
+  EXPECT_EQ(T->LastStop.Kind, vm::StopKind::Halted);
+}
+
+TEST(Rewriter, HeuristicStatisticsAccumulateAcrossRuns) {
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  auto RW = rewriteOrDie(Bin, teapotOpts());
+  RuntimeOptions RT = kasperOpts();
+  RT.Nesting = NestingPolicy::SpecFuzz;
+  InstrumentedTarget T(RW, RT);
+  T.execute({10});
+  uint64_t After1 = T.RT.Stats.Simulations;
+  T.execute({20});
+  EXPECT_GT(T.RT.Stats.Simulations, After1)
+      << "per-branch heuristic state persists across runs";
+}
+
+TEST(Rewriter, JumpTableProgramInstrumentedCorrectly) {
+  // Switch via jump table: indirect jumps in the Shadow Copy must bounce
+  // through markers instead of corrupting control flow.
+  const char *SwitchProg = R"(
+int main() {
+  char b[8];
+  read_input(b, 1);
+  int v = b[0] & 3;
+  int r;
+  switch (v) {
+    case 0: { r = 10; break; }
+    case 1: { r = 11; break; }
+    case 2: { r = 12; break; }
+    default: { r = 13; break; }
+  }
+  return r;
+}
+)";
+  lang::CompileOptions CO;
+  CO.Switches = lang::SwitchLowering::JumpTable;
+  obj::ObjectFile Bin = compileOrDie(SwitchProg, CO);
+  RunResult Native = runNative(Bin, {2});
+  auto T = runInstrumented(Bin, {2}, teapotOpts(), kasperOpts());
+  EXPECT_EQ(T->LastStop.ExitStatus, Native.Stop.ExitStatus);
+  EXPECT_EQ(T->LastStop.ExitStatus, 12u);
+}

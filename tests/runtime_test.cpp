@@ -1,0 +1,379 @@
+//===- tests/runtime_test.cpp - Runtime units: shadow layout, DIFT, ---------===//
+//===- coverage, reports, meta tables ---------------------------------------===//
+
+#include "core/TagProgramBuilder.h"
+#include "runtime/Coverage.h"
+#include "runtime/Dift.h"
+#include "runtime/MetaTable.h"
+#include "runtime/Report.h"
+#include "runtime/ShadowLayout.h"
+#include "support/RNG.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::isa;
+using namespace teapot::runtime;
+
+//===----------------------------------------------------------------------===//
+// Tables 1 and 2: shadow layout arithmetic.
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowLayout, Table1AsanRegions) {
+  // ASan mapping: shadow = (addr >> 3) + 0x7fff8000.
+  EXPECT_EQ(asanShadowAddr(0), AsanShadowOffset);
+  EXPECT_EQ(asanShadowAddr(8), AsanShadowOffset + 1);
+  // Shadow of both user regions stays outside the user regions.
+  for (uint64_t A : {uint64_t(0), obj::LowMemEnd, obj::HighMemStart,
+                     obj::HighMemEnd, obj::HeapBase, obj::StackTop}) {
+    uint64_t S = asanShadowAddr(A);
+    EXPECT_FALSE(obj::isUserAddress(S)) << "shadow of " << std::hex << A;
+  }
+}
+
+TEST(ShadowLayout, Table2TagRegions) {
+  // Tag shadow = addr XOR (1 << 45), byte-to-byte.
+  EXPECT_EQ(tagShadowAddr(obj::HighMemStart), HighTagStart);
+  EXPECT_EQ(tagShadowAddr(obj::HighMemEnd), HighTagEnd);
+  EXPECT_EQ(tagShadowAddr(obj::LowMemStart), LowTagStart);
+  EXPECT_EQ(tagShadowAddr(obj::LowMemEnd), LowTagEnd);
+  // The translation is an involution.
+  RNG R(3);
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t A = R.next() & 0x7fffffffffffULL;
+    EXPECT_EQ(tagShadowAddr(tagShadowAddr(A)), A);
+  }
+  // Tag regions never overlap user regions.
+  for (uint64_t A : {uint64_t(0), obj::LowMemEnd, obj::HighMemStart,
+                     obj::HighMemEnd}) {
+    EXPECT_FALSE(obj::isUserAddress(tagShadowAddr(A)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TagEngine: per-instruction transfer rules.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct TagFixture : ::testing::Test {
+  vm::Machine M;
+  TagEngine T{M};
+};
+
+} // namespace
+
+TEST_F(TagFixture, MovAndAluPropagation) {
+  T.RegTags[R1] = TagUser;
+  T.transfer(Instruction::mov(R0, Operand::reg(R1)));
+  EXPECT_EQ(T.RegTags[R0], TagUser);
+  T.transfer(Instruction::mov(R0, Operand::imm(5)));
+  EXPECT_EQ(T.RegTags[R0], 0);
+  T.transfer(Instruction::alu(Opcode::ADD, R0, Operand::reg(R1)));
+  EXPECT_EQ(T.RegTags[R0], TagUser);
+  EXPECT_EQ(T.FlagsTag, TagUser);
+}
+
+TEST_F(TagFixture, XorSelfClearsTaint) {
+  T.RegTags[R2] = TagUser | TagMassage;
+  T.transfer(Instruction::alu(Opcode::XOR, R2, Operand::reg(R2)));
+  EXPECT_EQ(T.RegTags[R2], 0);
+  T.RegTags[R3] = TagUser;
+  T.transfer(Instruction::alu(Opcode::SUB, R3, Operand::reg(R3)));
+  EXPECT_EQ(T.RegTags[R3], 0);
+}
+
+TEST_F(TagFixture, MemoryRoundtrip) {
+  M.C.R[R1] = 0x5000;
+  T.RegTags[R0] = TagUser;
+  T.transfer(
+      Instruction::store(MemRef{R1, NoReg, 1, 0}, Operand::reg(R0), 8));
+  EXPECT_EQ(T.memTag(0x5000, 8), TagUser);
+  T.RegTags[R2] = 0;
+  T.transfer(Instruction::load(R2, MemRef{R1, NoReg, 1, 4}, 4));
+  EXPECT_EQ(T.RegTags[R2], TagUser);
+  // Bytes outside the store are clean.
+  EXPECT_EQ(T.memTag(0x5008, 8), 0);
+}
+
+TEST_F(TagFixture, PendingLoadExtraConsumedOnce) {
+  M.C.R[R1] = 0x6000;
+  T.PendingLoadExtra = TagSecretUser;
+  T.transfer(Instruction::load(R0, MemRef{R1, NoReg, 1, 0}, 8));
+  EXPECT_EQ(T.RegTags[R0], TagSecretUser);
+  T.transfer(Instruction::load(R2, MemRef{R1, NoReg, 1, 0}, 8));
+  EXPECT_EQ(T.RegTags[R2], 0) << "extra tag must apply to one load only";
+}
+
+TEST_F(TagFixture, CompareTaintsFlagsThenSetAndCmov) {
+  T.RegTags[R0] = TagSecretUser;
+  T.transfer(Instruction::cmp(R0, Operand::imm(3)));
+  EXPECT_EQ(T.FlagsTag, TagSecretUser);
+  Instruction S(Opcode::SET);
+  S.A = Operand::reg(R4);
+  T.transfer(S);
+  EXPECT_EQ(T.RegTags[R4], TagSecretUser);
+  Instruction C(Opcode::CMOV);
+  C.A = Operand::reg(R5);
+  C.B = Operand::reg(R6);
+  T.transfer(C);
+  EXPECT_EQ(T.RegTags[R5], TagSecretUser);
+}
+
+TEST_F(TagFixture, PushPopThroughStack) {
+  M.C.R[SP] = 0x7fff'ffff'e000ULL;
+  T.RegTags[R7] = TagMassage;
+  Instruction P(Opcode::PUSH);
+  P.A = Operand::reg(R7);
+  T.transfer(P);
+  M.C.R[SP] -= 8; // the machine would do this
+  Instruction Q(Opcode::POP);
+  Q.A = Operand::reg(R8);
+  T.transfer(Q);
+  EXPECT_EQ(T.RegTags[R8], TagMassage);
+}
+
+TEST_F(TagFixture, UndoLogRollsBack) {
+  T.Logging = true;
+  M.C.R[R1] = 0x9000;
+  T.RegTags[R0] = TagUser;
+  size_t Mark = T.Log.size();
+  T.transfer(
+      Instruction::store(MemRef{R1, NoReg, 1, 0}, Operand::reg(R0), 8));
+  EXPECT_EQ(T.memTag(0x9000, 8), TagUser);
+  T.undoTo(Mark);
+  EXPECT_EQ(T.memTag(0x9000, 8), 0);
+}
+
+TEST_F(TagFixture, ExtClearsReturnRegister) {
+  T.RegTags[R0] = TagUser;
+  T.transfer(Instruction::ext(4));
+  EXPECT_EQ(T.RegTags[R0], 0);
+}
+
+//===----------------------------------------------------------------------===//
+// TagProgramBuilder: the Real-Copy per-block transfer must agree with
+// the synchronous per-instruction engine on composable blocks.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Random straight-line block of register-only operations (the domain
+/// where the block program must be *exact*).
+ir::BasicBlock randomRegBlock(RNG &R) {
+  ir::BasicBlock B;
+  unsigned N = 1 + static_cast<unsigned>(R.below(12));
+  for (unsigned I = 0; I != N; ++I) {
+    auto RandReg = [&] { return static_cast<Reg>(R.below(R13 + 1)); };
+    Instruction In;
+    switch (R.below(4)) {
+    case 0:
+      In = Instruction::mov(RandReg(), R.chance(1, 2)
+                                           ? Operand::reg(RandReg())
+                                           : Operand::imm(7));
+      break;
+    case 1:
+      In = Instruction::alu(Opcode::ADD, RandReg(), Operand::reg(RandReg()));
+      break;
+    case 2:
+      In = Instruction::alu(Opcode::XOR, RandReg(), Operand::reg(RandReg()));
+      break;
+    default: {
+      In = Instruction(Opcode::LEA);
+      In.A = Operand::reg(RandReg());
+      In.B = Operand::mem(MemRef{RandReg(), NoReg, 1, 8});
+      break;
+    }
+    }
+    B.Insts.emplace_back(In);
+  }
+  return B;
+}
+
+} // namespace
+
+TEST(TagProgramBuilder, MatchesPerInstOnRegisterBlocks) {
+  RNG R(99);
+  for (int Iter = 0; Iter != 300; ++Iter) {
+    ir::BasicBlock B = randomRegBlock(R);
+    ir::TagProgram P = core::buildBlockTagProgram(B).Program;
+
+    vm::Machine M1, M2;
+    TagEngine Ref(M1), Blk(M2);
+    for (unsigned I = 0; I != NumRegs; ++I) {
+      uint8_t Tag = static_cast<uint8_t>(R.below(4));
+      Ref.RegTags[I] = Tag;
+      Blk.RegTags[I] = Tag;
+    }
+    for (const ir::Inst &In : B.Insts)
+      Ref.transfer(In.I);
+    Blk.runProgram(P);
+    for (unsigned I = 0; I != NumRegs; ++I)
+      EXPECT_EQ(Ref.RegTags[I], Blk.RegTags[I])
+          << "iteration " << Iter << " register "
+          << regName(static_cast<Reg>(I));
+  }
+}
+
+TEST(TagProgramBuilder, StackCompensation) {
+  // push r1; pop r2 inside one block: the block program must move r1's
+  // tag into r2 even though it evaluates at the block end where SP is
+  // back to its entry value.
+  ir::BasicBlock B;
+  Instruction P(Opcode::PUSH);
+  P.A = Operand::reg(R1);
+  Instruction Q(Opcode::POP);
+  Q.A = Operand::reg(R2);
+  B.Insts.emplace_back(P);
+  B.Insts.emplace_back(Q);
+  ir::TagProgram Prog = core::buildBlockTagProgram(B).Program;
+
+  vm::Machine M;
+  TagEngine T(M);
+  M.C.R[SP] = 0x7fff'ffff'e000ULL; // block-end SP == entry SP
+  T.RegTags[R1] = TagUser;
+  T.runProgram(Prog);
+  EXPECT_EQ(T.RegTags[R2], TagUser);
+}
+
+TEST(TagProgramBuilder, EmptyForNoEffects) {
+  ir::BasicBlock B;
+  B.Insts.emplace_back(Instruction::nop());
+  B.Insts.emplace_back(Instruction::jmp(0));
+  EXPECT_TRUE(core::buildBlockTagProgram(B).Program.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Coverage
+//===----------------------------------------------------------------------===//
+
+TEST(Coverage, NormalCountsSaturate) {
+  Coverage C;
+  C.init(4, 4);
+  for (int I = 0; I != 300; ++I)
+    C.hitNormal(1);
+  EXPECT_EQ(C.normalMap()[1], 0xff);
+  EXPECT_EQ(C.normalCovered(), 1u);
+}
+
+TEST(Coverage, LazyFlushMergesOnRollback) {
+  Coverage C;
+  C.init(2, 8);
+  size_t Outer = C.lazyMark();
+  C.noteSpecLazy(3);
+  size_t Inner = C.lazyMark();
+  C.noteSpecLazy(5);
+  // Inner rollback flushes only the inner segment...
+  C.flushLazyFrom(Inner);
+  EXPECT_EQ(C.specMap()[5], 1);
+  EXPECT_EQ(C.specMap()[3], 0);
+  // ...outer rollback flushes the rest.
+  C.flushLazyFrom(Outer);
+  EXPECT_EQ(C.specMap()[3], 1);
+  EXPECT_EQ(C.specCovered(), 2u);
+}
+
+TEST(Coverage, OutOfRangeGuardIgnored) {
+  Coverage C;
+  C.init(2, 2);
+  C.hitNormal(99);
+  C.hitSpec(99);
+  EXPECT_EQ(C.normalCovered(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reports
+//===----------------------------------------------------------------------===//
+
+TEST(ReportSink, DeduplicatesBySiteChannelCtrl) {
+  ReportSink S;
+  GadgetReport R;
+  R.Site = 0x401234;
+  R.Chan = Channel::MDS;
+  R.Ctrl = Controllability::User;
+  EXPECT_TRUE(S.report(R));
+  EXPECT_FALSE(S.report(R)); // duplicate
+  R.Chan = Channel::Cache;
+  EXPECT_TRUE(S.report(R)); // different channel = new gadget
+  R.Ctrl = Controllability::Massage;
+  EXPECT_TRUE(S.report(R));
+  EXPECT_EQ(S.unique().size(), 3u);
+  EXPECT_EQ(S.totalHits(), 4u);
+  EXPECT_EQ(S.count(Controllability::User, Channel::MDS), 1u);
+  EXPECT_EQ(S.count(Controllability::Massage, Channel::Cache), 1u);
+  EXPECT_EQ(S.count(Controllability::Massage, Channel::Port), 0u);
+}
+
+TEST(ReportSink, CallbackFiresOnNewOnly) {
+  ReportSink S;
+  int Calls = 0;
+  S.OnNewGadget = [&](const GadgetReport &) { ++Calls; };
+  GadgetReport R;
+  R.Site = 1;
+  S.report(R);
+  S.report(R);
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(Report, Describe) {
+  GadgetReport R;
+  R.Site = 0x42;
+  R.Chan = Channel::Port;
+  R.Ctrl = Controllability::Massage;
+  EXPECT_NE(R.describe().find("Massage-Port"), std::string::npos);
+  EXPECT_NE(R.describe().find("0x42"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// MetaTable
+//===----------------------------------------------------------------------===//
+
+TEST(MetaTable, SerializeRoundtrip) {
+  MetaTable M;
+  M.RealTextStart = 0x401000;
+  M.RealTextEnd = 0x402000;
+  M.ShadowTextStart = 0x402000;
+  M.ShadowTextEnd = 0x404000;
+  M.SimFlagAddr = obj::SimFlagAddr;
+  M.Trampolines = {0x402100, 0x402200};
+  M.FuncMap[0x401000] = 0x402000;
+  M.MarkerSites = {0x401500, 0x401600};
+  M.MarkerResume = {0x403500, 0x403600};
+  M.NumNormalGuards = 7;
+  M.NumSpecGuards = 9;
+  ir::TagMicroOp Op;
+  Op.K = ir::TagMicroOp::LoadTmp;
+  Op.Dst = 3;
+  Op.Size = 4;
+  Op.Mask = 0x30005;
+  Op.Mem = MemRef{FP, NoReg, 1, -16};
+  M.TagPrograms.push_back({Op});
+
+  auto Bytes = M.serialize();
+  auto Back = MetaTable::deserialize(Bytes);
+  ASSERT_TRUE(Back) << Back.message();
+  EXPECT_EQ(Back->RealTextEnd, 0x402000u);
+  EXPECT_EQ(Back->Trampolines, M.Trampolines);
+  EXPECT_EQ(Back->FuncMap.at(0x401000), 0x402000u);
+  EXPECT_EQ(Back->MarkerSites.count(0x401600), 1u);
+  EXPECT_EQ(Back->MarkerResume[1], 0x403600u);
+  EXPECT_EQ(Back->NumSpecGuards, 9u);
+  ASSERT_EQ(Back->TagPrograms.size(), 1u);
+  EXPECT_EQ(Back->TagPrograms[0][0].K, ir::TagMicroOp::LoadTmp);
+  EXPECT_EQ(Back->TagPrograms[0][0].Mask, 0x30005u);
+  EXPECT_EQ(Back->TagPrograms[0][0].Mem.Disp, -16);
+  EXPECT_TRUE(Back->inShadowText(0x403000));
+  EXPECT_FALSE(Back->inShadowText(0x401500));
+  EXPECT_TRUE(Back->inRealText(0x401500));
+}
+
+TEST(MetaTable, RejectsTruncation) {
+  MetaTable M;
+  M.Trampolines = {1, 2, 3};
+  auto Bytes = M.serialize();
+  for (size_t Cut = 0; Cut < Bytes.size(); Cut += 7) {
+    std::vector<uint8_t> T(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(MetaTable::deserialize(T));
+  }
+}

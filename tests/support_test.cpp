@@ -1,0 +1,144 @@
+//===- tests/support_test.cpp - support library tests ----------------------===//
+
+#include "support/ByteStream.h"
+#include "support/Error.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+
+TEST(Error, SuccessAndFailure) {
+  Error Ok = Error::success();
+  EXPECT_FALSE(Ok);
+  Error Bad = makeError("thing %d went wrong", 42);
+  EXPECT_TRUE(Bad);
+  EXPECT_EQ(Bad.message(), "thing 42 went wrong");
+}
+
+TEST(Expected, ValueAndError) {
+  Expected<int> V(7);
+  ASSERT_TRUE(V);
+  EXPECT_EQ(*V, 7);
+  Expected<int> E(makeError("nope"));
+  ASSERT_FALSE(E);
+  EXPECT_EQ(E.message(), "nope");
+  Error Taken = E.takeError();
+  EXPECT_TRUE(Taken);
+}
+
+TEST(Expected, CantFailUnwraps) {
+  EXPECT_EQ(cantFail(Expected<int>(3)), 3);
+  cantFail(Error::success());
+}
+
+TEST(RNG, Deterministic) {
+  RNG A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, BelowStaysInBound) {
+  RNG R(5);
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RNG, RangeInclusive) {
+  RNG R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t V = R.range(3, 6);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 6u);
+    SawLo |= V == 3;
+    SawHi |= V == 6;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RNG, ChanceRoughlyFair) {
+  RNG R(77);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += R.chance(1, 2);
+  EXPECT_GT(Hits, 4500);
+  EXPECT_LT(Hits, 5500);
+}
+
+TEST(RNG, ForkIndependent) {
+  RNG A(1);
+  RNG B = A.fork();
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtils, Split) {
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtils, ParseInt) {
+  int64_t V;
+  EXPECT_TRUE(parseInt("42", V));
+  EXPECT_EQ(V, 42);
+  EXPECT_TRUE(parseInt("-7", V));
+  EXPECT_EQ(V, -7);
+  EXPECT_TRUE(parseInt("0x10", V));
+  EXPECT_EQ(V, 16);
+  EXPECT_TRUE(parseInt("  12 ", V));
+  EXPECT_EQ(V, 12);
+  EXPECT_FALSE(parseInt("12x", V));
+  EXPECT_FALSE(parseInt("", V));
+  EXPECT_FALSE(parseInt("-", V));
+}
+
+TEST(StringUtils, ToHex) {
+  EXPECT_EQ(toHex(0x401000), "0x401000");
+  EXPECT_EQ(toHex(0), "0x0");
+}
+
+TEST(ByteStream, Roundtrip) {
+  ByteWriter W;
+  W.u8(7);
+  W.u16(0xbeef);
+  W.u32(0xdeadbeef);
+  W.u64(0x123456789abcdef0ULL);
+  W.str("hello");
+  ByteReader R(W.Out);
+  uint8_t A;
+  uint16_t B;
+  uint32_t C;
+  uint64_t D;
+  std::string S;
+  ASSERT_TRUE(R.u8(A));
+  ASSERT_TRUE(R.u16(B));
+  ASSERT_TRUE(R.u32(C));
+  ASSERT_TRUE(R.u64(D));
+  ASSERT_TRUE(R.str(S));
+  EXPECT_EQ(A, 7);
+  EXPECT_EQ(B, 0xbeef);
+  EXPECT_EQ(C, 0xdeadbeefu);
+  EXPECT_EQ(D, 0x123456789abcdef0ULL);
+  EXPECT_EQ(S, "hello");
+  EXPECT_TRUE(R.done());
+}
+
+TEST(ByteStream, TruncationDetected) {
+  ByteWriter W;
+  W.u32(5);
+  ByteReader R(W.Out);
+  uint64_t V;
+  EXPECT_FALSE(R.u64(V));
+}

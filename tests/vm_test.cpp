@@ -1,0 +1,292 @@
+//===- tests/vm_test.cpp - Machine interpreter tests ------------------------===//
+
+#include "TestUtil.h"
+#include "obj/Layout.h"
+#include "vm/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::vm;
+
+TEST(Memory, ZeroFillAndRoundtrip) {
+  Memory M;
+  EXPECT_EQ(M.readU8(0x5000), 0);
+  M.writeU8(0x5000, 42);
+  EXPECT_EQ(M.readU8(0x5000), 42);
+  // Cross-page write.
+  uint64_t Addr = 0x6000 - 3;
+  M.writeUnsigned(Addr, 0x0102030405060708ULL, 8);
+  EXPECT_EQ(M.readUnsigned(Addr, 8), 0x0102030405060708ULL);
+}
+
+TEST(Memory, BaselineReset) {
+  Memory M;
+  M.writeU8(0x1000, 1);
+  M.captureBaseline();
+  M.writeU8(0x1000, 9);
+  M.writeU8(0x2000, 5); // page not in baseline
+  M.resetToBaseline();
+  EXPECT_EQ(M.readU8(0x1000), 1);
+  EXPECT_EQ(M.readU8(0x2000), 0);
+  EXPECT_EQ(M.dirtyPageCount(), 0u);
+}
+
+TEST(Machine, ArithmeticAndHaltStatus) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r0, 6
+    mov r1, 7
+    mul r0, r1
+    sub r0, 2
+    halt
+)"));
+  EXPECT_EQ(R.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(R.Stop.ExitStatus, 40u);
+}
+
+TEST(Machine, SignedAndUnsignedBranches) {
+  // -1 < 1 signed, but above unsigned.
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r0, -1
+    cmp r0, 1
+    j.lt signed_ok
+    halt
+signed_ok:
+    cmp r0, 1
+    j.a unsigned_ok
+    halt
+unsigned_ok:
+    mov r0, 77
+    halt
+)"));
+  EXPECT_EQ(R.Stop.ExitStatus, 77u);
+}
+
+TEST(Machine, LoadStoreSizesAndSignExtension) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    st1 [buf], 0xff
+    ld1 r0, [buf]        ; zero-extended: 255
+    lds1 r1, [buf]       ; sign-extended: -1
+    add r0, r1           ; 255 + (-1) = 254
+    st4 [buf], 0x80000000
+    lds4 r2, [buf]
+    cmp r2, 0
+    j.lt neg
+    halt
+neg:
+    halt
+.bss
+buf:
+    .space 8
+)"));
+  EXPECT_EQ(R.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(R.Stop.ExitStatus, 254u);
+}
+
+TEST(Machine, CallRetAndStack) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r0, 5
+    call double_it
+    call double_it
+    halt
+double_it:
+    add r0, r0
+    ret
+)"));
+  EXPECT_EQ(R.Stop.ExitStatus, 20u);
+}
+
+TEST(Machine, IndirectCallAndJump) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r1, target_fn
+    calli r1
+    mov r2, done
+    jmpi r2
+    halt               ; skipped
+done:
+    halt
+target_fn:
+    mov r0, 9
+    ret
+)"));
+  EXPECT_EQ(R.Stop.ExitStatus, 9u);
+}
+
+TEST(Machine, ReturnFromEntryHitsSentinel) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r0, 3
+    ret
+)"));
+  EXPECT_EQ(R.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(R.Stop.ExitStatus, 3u);
+}
+
+TEST(Machine, InputOutputExternals) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    ext 2              ; input_size
+    mov r8, r0
+    mov r0, buf
+    mov r1, 16
+    ext 1              ; read_input
+    mov r9, r0         ; bytes read
+    mov r0, buf
+    mov r1, r9
+    ext 3              ; write_out (echo)
+    mov r0, r9
+    halt
+.bss
+buf:
+    .space 16
+)");
+  vm::Machine M;
+  cantFail(M.loadObject(Bin));
+  std::vector<uint8_t> In = {'a', 'b', 'c'};
+  M.setInput(In);
+  StopState S = M.run(1000);
+  EXPECT_EQ(S.ExitStatus, 3u);
+  EXPECT_EQ(M.output(), In);
+}
+
+TEST(Machine, MallocFreeDefaultAllocator) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r0, 64
+    ext 4              ; malloc
+    mov r8, r0
+    st8 [r8], 42
+    mov r0, 64
+    ext 4
+    cmp r0, r8         ; second allocation is distinct
+    j.eq bad
+    ld8 r0, [r8]
+    halt
+bad:
+    mov r0, 0
+    halt
+)"));
+  EXPECT_EQ(R.Stop.ExitStatus, 42u);
+}
+
+TEST(Machine, WildAccessFaults) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r1, 0x300000000000   ; inside the shadow gap: not user-accessible
+    ld8 r0, [r1]
+    halt
+)"));
+  EXPECT_EQ(R.Stop.Kind, StopKind::Fault);
+  EXPECT_EQ(R.Stop.Fault, FaultKind::BadMemory);
+}
+
+TEST(Machine, DivByZeroFaults) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    mov r0, 5
+    mov r1, 0
+    udiv r0, r1
+    halt
+)"));
+  EXPECT_EQ(R.Stop.Kind, StopKind::Fault);
+  EXPECT_EQ(R.Stop.Fault, FaultKind::DivByZero);
+}
+
+TEST(Machine, FaultHookCanResume) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r1, 0x300000000000
+    ld8 r0, [r1]
+    halt                ; skipped by the hook redirect
+recover:
+    mov r0, 55
+    halt
+)");
+  vm::Machine M;
+  cantFail(M.loadObject(Bin));
+  const obj::Symbol *Rec = Bin.findSymbol("recover");
+  ASSERT_NE(Rec, nullptr);
+  M.FaultHook = [&](vm::Machine &Mach, FaultKind, uint64_t) {
+    Mach.C.PC = Rec->Addr;
+    return true;
+  };
+  StopState S = M.run(1000);
+  EXPECT_EQ(S.ExitStatus, 55u);
+}
+
+TEST(Machine, OutOfGas) {
+  auto R = runNative(assembleOrDie(R"(
+.text
+main:
+    jmp main
+)"),
+                     {}, 1000);
+  EXPECT_EQ(R.Stop.Kind, StopKind::OutOfGas);
+}
+
+TEST(Machine, ResetToBaselineRestoresEverything) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    ld8 r0, [counter]
+    add r0, 1
+    st8 [counter], r0
+    halt
+.data
+counter:
+    .quad 100
+)");
+  vm::Machine M;
+  cantFail(M.loadObject(Bin));
+  M.captureBaseline();
+  EXPECT_EQ(M.run(1000).ExitStatus, 101u);
+  M.resetToBaseline();
+  // Same result again: the data write was rolled back.
+  EXPECT_EQ(M.run(1000).ExitStatus, 101u);
+}
+
+TEST(Machine, IntrinsicDispatch) {
+  // Hand-craft a binary containing an INTR (assembler can't emit them).
+  using namespace teapot::isa;
+  std::vector<uint8_t> Text;
+  encode(Instruction::intrinsic(IntrinsicID::CovGuard, 5), Text);
+  encode(Instruction::halt(), Text);
+  obj::ObjectFile Bin;
+  Bin.Entry = obj::TextBase;
+  Bin.Sections.push_back({".text", obj::SectionKind::Code, obj::TextBase,
+                          Text, 0});
+
+  struct Counter : vm::IntrinsicHandler {
+    int Hits = 0;
+    int64_t Payload = 0;
+    bool onIntrinsic(vm::Machine &, const Instruction &I) override {
+      ++Hits;
+      Payload = I.IntrPayload;
+      return true;
+    }
+  } H;
+  vm::Machine M;
+  cantFail(M.loadObject(Bin));
+  M.Intrinsics = &H;
+  M.run(100);
+  EXPECT_EQ(H.Hits, 1);
+  EXPECT_EQ(H.Payload, 5);
+  EXPECT_EQ(M.executedIntrinsics(), 1u);
+}

@@ -1,0 +1,215 @@
+//===- tests/workloads_test.cpp - Evaluation workloads + injector -----------===//
+
+#include "TestUtil.h"
+#include "disasm/Disassembler.h"
+#include "ir/Layout.h"
+#include "workloads/Harness.h"
+#include "workloads/Injector.h"
+#include "workloads/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::workloads;
+
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<const Workload *> {};
+
+std::vector<const Workload *> allParams() {
+  std::vector<const Workload *> Out;
+  for (const Workload &W : allWorkloads())
+    Out.push_back(&W);
+  return Out;
+}
+
+} // namespace
+
+TEST_P(WorkloadSuite, CompilesAndRunsSeeds) {
+  const Workload &W = *GetParam();
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  for (const auto &Seed : W.Seeds()) {
+    RunResult R = runNative(Bin, Seed);
+    EXPECT_EQ(R.Stop.Kind, vm::StopKind::Halted)
+        << W.Name << " faulted on a seed input";
+    EXPECT_EQ(R.Stop.ExitStatus, 0u) << W.Name;
+    EXPECT_FALSE(R.Output.empty()) << W.Name;
+  }
+}
+
+TEST_P(WorkloadSuite, LargeInputRunsLong) {
+  const Workload &W = *GetParam();
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  auto Large = W.LargeInput(3000);
+  EXPECT_GT(Large.size(), 1000u);
+  RunResult R = runNative(Bin, Large);
+  EXPECT_EQ(R.Stop.Kind, vm::StopKind::Halted) << W.Name;
+  // Large inputs genuinely exercise the parser.
+  EXPECT_GT(R.Insts, 10000u) << W.Name;
+}
+
+TEST_P(WorkloadSuite, SurvivesRandomInputs) {
+  const Workload &W = *GetParam();
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  vm::Machine M;
+  cantFail(M.loadObject(Bin));
+  M.captureBaseline();
+  RNG R(1234);
+  for (int I = 0; I != 50; ++I) {
+    std::vector<uint8_t> In(R.below(200));
+    for (auto &B : In)
+      B = static_cast<uint8_t>(R.next());
+    M.resetToBaseline();
+    M.setInput(In);
+    vm::StopState S = M.run(5'000'000);
+    EXPECT_EQ(S.Kind, vm::StopKind::Halted)
+        << W.Name << " crashed on random input " << I
+        << " (memory-safety bug in the workload, which the threat model"
+           " assumes away)";
+  }
+}
+
+TEST_P(WorkloadSuite, InstrumentedSeedsBehaveIdentically) {
+  const Workload &W = *GetParam();
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  auto RW = core::rewriteBinary(Bin, {});
+  ASSERT_TRUE(RW) << RW.message();
+  runtime::RuntimeOptions RT;
+  InstrumentedTarget T(*RW, RT);
+  for (const auto &Seed : W.Seeds()) {
+    RunResult Native = runNative(Bin, Seed);
+    T.execute(Seed);
+    EXPECT_EQ(T.LastStop.Kind, vm::StopKind::Halted) << W.Name;
+    EXPECT_EQ(T.LastStop.ExitStatus, Native.Stop.ExitStatus) << W.Name;
+    EXPECT_EQ(T.M.output(), Native.Output) << W.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite, ::testing::ValuesIn(allParams()),
+    [](const ::testing::TestParamInfo<const Workload *> &I) {
+      return std::string(I.param->Name);
+    });
+
+TEST(WorkloadRegistry, LookupAndOrder) {
+  EXPECT_EQ(allWorkloads().size(), 5u);
+  EXPECT_NE(findWorkload("brotli"), nullptr);
+  EXPECT_EQ(findWorkload("nope"), nullptr);
+  EXPECT_STREQ(allWorkloads()[0].Name, "jsmn");
+}
+
+//===----------------------------------------------------------------------===//
+// Artificial gadget injection (the Table 3 methodology)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ir::Module liftWorkload(const Workload &W) {
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  auto M = disasm::disassemble(Bin);
+  EXPECT_TRUE(M) << (M ? "" : M.message());
+  if (!M)
+    abort();
+  return std::move(*M);
+}
+
+} // namespace
+
+TEST(Injector, InjectsRequestedCounts) {
+  const Workload &W = *findWorkload("libyaml");
+  ir::Module M = liftWorkload(W);
+  InjectorOptions O;
+  O.Count = W.InjectCount; // 10
+  O.UnreachableFuncs = W.UnreachableFuncs;
+  auto Res = injectGadgets(M, O);
+  ASSERT_TRUE(Res) << Res.message();
+  EXPECT_EQ(Res->SiteMarkers.size(), 10u);
+  EXPECT_EQ(Res->UnreachableMarkers.size(), 2u);
+  EXPECT_EQ(Res->GadgetFuncIdx.size(), 10u);
+  EXPECT_NE(Res->InjInputAddr, 0u);
+}
+
+TEST(Injector, InjectedBinaryStillBehaves) {
+  const Workload &W = *findWorkload("jsmn");
+  ir::Module M = liftWorkload(W);
+  InjectorOptions O;
+  O.Count = 3;
+  auto Res = injectGadgets(M, O);
+  ASSERT_TRUE(Res) << Res.message();
+
+  obj::ObjectFile Out;
+  ASSERT_TRUE(ir::layOut(M, Out));
+  // In-bounds pokes keep the program's observable behaviour: same
+  // output as the uninjected binary on the seed corpus.
+  obj::ObjectFile Clean = compileOrDie(W.Source);
+  for (const auto &Seed : W.Seeds()) {
+    RunResult Before = runNative(Clean, Seed);
+    vm::Machine Mach;
+    cantFail(Mach.loadObject(Out));
+    Mach.Mem.writeUnsigned(Res->InjInputAddr, 5, 8); // in-bounds index
+    Mach.setInput(Seed);
+    vm::StopState S = Mach.run(20'000'000);
+    EXPECT_EQ(S.Kind, vm::StopKind::Halted);
+    EXPECT_EQ(S.ExitStatus, Before.Stop.ExitStatus);
+    EXPECT_EQ(Mach.output(), Before.Output);
+  }
+}
+
+TEST(Injector, TeapotFindsInjectedGadgets) {
+  const Workload &W = *findWorkload("jsmn");
+  ir::Module M = liftWorkload(W);
+  InjectorOptions O;
+  O.Count = 3;
+  auto Res = injectGadgets(M, O);
+  ASSERT_TRUE(Res) << Res.message();
+
+  auto RW = core::rewriteModule(std::move(M), {});
+  ASSERT_TRUE(RW) << RW.message();
+  // Table 3 configuration: only the injected variable is "user input".
+  runtime::RuntimeOptions RT;
+  RT.TaintInput = false;
+  RT.MassagePolicy = false;
+  RT.ExtraTaintAddr = Res->InjInputAddr;
+  RT.ExtraTaintLen = 8;
+  InstrumentedTarget T(*RW, RT);
+  T.pokeInputTo(Res->InjInputAddr);
+
+  // Out-of-bounds pokes on the seed corpus must expose the gadgets.
+  for (const auto &Seed : W.Seeds()) {
+    std::vector<uint8_t> In = Seed;
+    In.insert(In.end(), {200, 0, 0, 0, 0, 0, 0, 0});
+    T.execute(In);
+  }
+  // Every report lands on an injected site (no false positives), and at
+  // least one gadget was found.
+  std::set<uint64_t> Markers(Res->SiteMarkers.begin(),
+                             Res->SiteMarkers.end());
+  EXPECT_GT(T.RT.Reports.unique().size(), 0u);
+  for (const auto &R : T.RT.Reports.unique())
+    EXPECT_TRUE(Markers.count(R.Site))
+        << "false positive at " << std::hex << R.Site;
+}
+
+TEST(Injector, FailsOnMissingUnreachableFunction) {
+  const Workload &W = *findWorkload("jsmn");
+  ir::Module M = liftWorkload(W);
+  InjectorOptions O;
+  O.Count = 3;
+  O.UnreachableFuncs = {"no_such_function"};
+  EXPECT_FALSE(injectGadgets(M, O));
+}
+
+TEST(Injector, DeterministicUnderSeed) {
+  const Workload &W = *findWorkload("libhtp");
+  InjectorOptions O;
+  O.Count = 7;
+  ir::Module M1 = liftWorkload(W);
+  ir::Module M2 = liftWorkload(W);
+  auto R1 = injectGadgets(M1, O);
+  auto R2 = injectGadgets(M2, O);
+  ASSERT_TRUE(R1);
+  ASSERT_TRUE(R2);
+  EXPECT_EQ(R1->SiteMarkers, R2->SiteMarkers);
+  EXPECT_EQ(R1->NestedMarkers, R2->NestedMarkers);
+}
