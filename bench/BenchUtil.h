@@ -18,6 +18,7 @@
 #include "fuzz/Fuzzer.h"
 #include "ir/Layout.h"
 #include "lang/MiniCC.h"
+#include "passes/PipelineBuilder.h"
 #include "workloads/Harness.h"
 #include "workloads/Injector.h"
 #include "workloads/Programs.h"
@@ -37,21 +38,25 @@ inline obj::ObjectFile buildWorkload(const workloads::Workload &W) {
   return std::move(*Bin);
 }
 
+/// Runs an explicit pass composition over \p Bin — the way the ablation
+/// benches declare their rewriter variants.
+inline core::RewriteResult rewriteWithPipeline(const obj::ObjectFile &Bin,
+                                               passes::PipelineBuilder P) {
+  auto RW = passes::runPipeline(Bin, std::move(P));
+  if (!RW)
+    reportFatalError("rewrite failed: " + RW.message());
+  return std::move(*RW);
+}
+
 inline core::RewriteResult teapotRewrite(const obj::ObjectFile &Bin,
                                          bool Dift = true) {
   core::RewriterOptions O;
   O.EnableDift = Dift;
-  auto RW = core::rewriteBinary(Bin, O);
-  if (!RW)
-    reportFatalError("teapot rewrite failed: " + RW.message());
-  return std::move(*RW);
+  return rewriteWithPipeline(Bin, passes::PipelineBuilder::teapot(O));
 }
 
 inline core::RewriteResult specFuzzRewrite(const obj::ObjectFile &Bin) {
-  auto RW = baselines::specFuzzRewriteBinary(Bin);
-  if (!RW)
-    reportFatalError("specfuzz rewrite failed: " + RW.message());
-  return std::move(*RW);
+  return rewriteWithPipeline(Bin, passes::PipelineBuilder::specFuzzBaseline());
 }
 
 /// Wall-clock seconds for \p Reps invocations of \p Fn (averaged).

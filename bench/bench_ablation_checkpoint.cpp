@@ -20,7 +20,9 @@ int main() {
 
   for (const Workload &W : allWorkloads()) {
     obj::ObjectFile Bin = buildWorkload(W);
-    auto RW = teapotRewrite(Bin);
+    // Checkpoint width is a runtime knob; both variants share the full
+    // Speculation Shadows pipeline.
+    auto RW = rewriteWithPipeline(Bin, passes::PipelineBuilder::teapot());
     auto Input = W.LargeInput(1000);
 
     runtime::RuntimeOptions Sse;

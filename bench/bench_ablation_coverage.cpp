@@ -22,7 +22,12 @@ int main() {
 
   for (const Workload &W : allWorkloads()) {
     obj::ObjectFile Bin = buildWorkload(W);
-    auto RW = teapotRewrite(Bin);
+    // Both variants need the coverage guards in the binary (the Teapot
+    // pipeline with coverage passes enabled); lazy vs eager flushing is
+    // decided by the runtime.
+    core::RewriterOptions Cov;
+    Cov.EnableCoverage = true;
+    auto RW = rewriteWithPipeline(Bin, passes::PipelineBuilder::teapot(Cov));
     auto Input = W.LargeInput(1000);
 
     runtime::RuntimeOptions Lazy;

@@ -37,8 +37,18 @@ int main() {
     Native.execute(Input);
     double TN = timeTarget(Native, Input, Reps);
 
-    auto SFRW = specFuzzRewrite(Bin);
-    auto TPRW = teapotRewrite(Bin, /*Dift=*/false);
+    // The two architectures under test, as explicit pass compositions:
+    // the guarded single copy (create-trampolines, instrument-baseline,
+    // layout-and-meta) vs Speculation Shadows (clone-shadow-functions,
+    // create-trampolines, place-markers, instrument-real-copy,
+    // instrument-shadow-copy, layout-and-meta) under the same ASan-only
+    // policy.
+    auto SFRW = rewriteWithPipeline(
+        Bin, passes::PipelineBuilder::specFuzzBaseline());
+    core::RewriterOptions AsanOnly;
+    AsanOnly.EnableDift = false;
+    auto TPRW = rewriteWithPipeline(
+        Bin, passes::PipelineBuilder::teapot(AsanOnly));
 
     auto Measure = [&](const core::RewriteResult &RW,
                        runtime::RuntimeOptions RT, bool Sim, double &Time,

@@ -25,7 +25,9 @@ int main() {
 
   const Workload &W = *findWorkload("brotli");
   obj::ObjectFile Bin = buildWorkload(W);
-  auto RW = teapotRewrite(Bin);
+  // Nesting heuristics are runtime policies over one Speculation
+  // Shadows build (the full Teapot pipeline, DIFT included).
+  auto RW = rewriteWithPipeline(Bin, passes::PipelineBuilder::teapot());
 
   struct Config {
     const char *Name;

@@ -64,12 +64,15 @@ static size_t scan(const char *Label, const char *Src) {
     fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
     exit(1);
   }
+  // The --stats-style dump: what each pipeline pass added, and how long
+  // it took (RewriteResult carries the PassManager's measurements).
+  printf("%s\n", Label);
+  printf("  rewriter pass statistics:\n%s", RW->Stats.format().c_str());
   workloads::InstrumentedTarget T(*RW, runtime::RuntimeOptions());
   // Drive the victim across the interesting boundary values.
   for (uint8_t Idx : {0, 10, 63, 64, 65, 128, 200, 255})
     T.execute({Idx});
 
-  printf("%s\n", Label);
   printf("  simulations: %llu, serializing rollbacks: %llu\n",
          static_cast<unsigned long long>(T.RT.Stats.Simulations),
          static_cast<unsigned long long>(T.RT.Stats.Rollbacks[static_cast<

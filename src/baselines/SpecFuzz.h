@@ -19,26 +19,23 @@
 #define TEAPOT_BASELINES_SPECFUZZ_H
 
 #include "core/TeapotRewriter.h"
+#include "passes/PipelineBuilder.h"
 #include "runtime/SpecRuntime.h"
 
 namespace teapot {
 namespace baselines {
 
-/// Rewrites \p In with the guarded single-copy architecture.
+/// Rewrites \p In with the guarded single-copy architecture — the
+/// passes::PipelineBuilder::specFuzzBaseline() pass composition.
 inline Expected<core::RewriteResult>
 specFuzzRewriteBinary(const obj::ObjectFile &In) {
-  core::RewriterOptions Opts;
-  Opts.Mode = core::RewriteMode::SpecFuzzBaseline;
-  Opts.EnableDift = false;
-  return core::rewriteBinary(In, Opts);
+  return passes::runPipeline(In, passes::PipelineBuilder::specFuzzBaseline());
 }
 
 inline Expected<core::RewriteResult>
 specFuzzRewriteModule(ir::Module M) {
-  core::RewriterOptions Opts;
-  Opts.Mode = core::RewriteMode::SpecFuzzBaseline;
-  Opts.EnableDift = false;
-  return core::rewriteModule(std::move(M), Opts);
+  return passes::runPipeline(std::move(M),
+                             passes::PipelineBuilder::specFuzzBaseline());
 }
 
 /// Runtime options matching the SpecFuzz policy: ASan-only detection,

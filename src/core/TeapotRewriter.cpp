@@ -1,528 +1,26 @@
 //===- core/TeapotRewriter.cpp - Speculation Shadows rewriter --------------===//
+//
+// Thin driver over the src/passes/ pipeline: RewriterOptions pick a
+// declarative pass composition via passes::PipelineBuilder, and
+// passes::runPipeline executes it. All rewriting logic lives in the
+// individual passes.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/TeapotRewriter.h"
 
-#include "core/TagProgramBuilder.h"
-#include "disasm/Disassembler.h"
-#include "ir/Layout.h"
-#include "obj/Layout.h"
-#include "rewriting/Clone.h"
-
-#include <map>
-#include <set>
+#include "passes/PipelineBuilder.h"
 
 using namespace teapot;
 using namespace teapot::core;
-using namespace teapot::isa;
-using namespace teapot::ir;
 
-namespace {
-
-/// Packs the (size, is-write, site) report payload shared with the
-/// runtime (see SpecRuntime.cpp).
-int64_t sitePayload(uint64_t OrigAddr, unsigned Size, bool IsWrite) {
-  return static_cast<int64_t>((OrigAddr << 16) |
-                              (static_cast<uint64_t>(IsWrite) << 8) | Size);
-}
-
-/// Accesses based off rsp/rbp with a constant offset are allowlisted
-/// (Section 6.2.1) so __builtin_return_address-style reads keep working
-/// and frame traffic stays cheap.
-bool isAllowlistedAccess(const MemRef &M) {
-  return (M.Base == SP || M.Base == FP) && M.Index == NoReg;
-}
-
-class Rewriter {
-public:
-  Rewriter(Module &M, const RewriterOptions &Opts) : M(M), Opts(Opts) {}
-
-  Expected<RewriteResult> run();
-
-private:
-  Module &M;
-  const RewriterOptions &Opts;
-  uint32_t NumReal = 0;
-  bool Shadows() const { return Opts.Mode == RewriteMode::Teapot; }
-
-  // Branch-site bookkeeping.
-  std::vector<BlockRef> TrampolineRefs; // branch id -> trampoline block
-  std::map<std::pair<uint32_t, uint32_t>, uint32_t> BranchIdOfBlock;
-  std::set<std::pair<uint32_t, uint32_t>> TrampolineBlocks;
-
-  // Marker bookkeeping (Teapot mode).
-  std::set<std::pair<uint32_t, uint32_t>> MarkerNeeded;
-  std::vector<BlockRef> MarkerBlockRefs;  // marker id -> real block
-  std::vector<BlockRef> MarkerResumeRefs; // marker id -> shadow block
-
-  uint32_t NumNormalGuards = 0;
-  uint32_t NumSpecGuards = 0;
-
-  void createTrampolines();
-  void findMarkerBlocks();
-  void instrumentRealBlock(uint32_t F, uint32_t B);
-  void instrumentShadowBlock(uint32_t F, uint32_t B);
-  void instrumentBaselineBlock(uint32_t F, uint32_t B);
-};
-
-} // namespace
-
-void Rewriter::createTrampolines() {
-  for (uint32_t F = 0; F != NumReal; ++F) {
-    Function &Fn = M.Funcs[F];
-    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
-      BasicBlock &Blk = Fn.Blocks[B];
-      const Inst *Term = Blk.terminator();
-      if (!Term || Term->I.Op != Opcode::JCC)
-        continue;
-      assert(Blk.TakenSucc && Blk.FallSucc && "JCC without successors");
-
-      auto BranchId = static_cast<uint32_t>(TrampolineRefs.size());
-      BranchIdOfBlock[{F, B}] = BranchId;
-
-      // The trampoline (Section 5.2): the first jump keeps the original
-      // condition but targets the *opposite* destination, so whichever
-      // way the branch would really go, control enters the wrong path —
-      // in the Shadow Copy under Teapot, in the same copy under the
-      // single-copy baseline.
-      BlockRef WrongTaken, WrongFall;
-      uint32_t HostFunc;
-      if (Shadows()) {
-        HostFunc = Fn.ShadowIdx;
-        WrongTaken = rewriting::shadowBlock(M, *Blk.FallSucc);
-        WrongFall = rewriting::shadowBlock(M, *Blk.TakenSucc);
-      } else {
-        HostFunc = F;
-        WrongTaken = *Blk.FallSucc;
-        WrongFall = *Blk.TakenSucc;
-      }
-      BlockRef TrampRef = M.addBlock(HostFunc);
-      BasicBlock &Tramp = M.block(TrampRef);
-      Inst CondJump(Instruction::jcc(Term->I.CC, 0));
-      CondJump.Target = WrongTaken;
-      Inst Fallback(Instruction::jmp(0));
-      Fallback.Target = WrongFall;
-      Tramp.Insts.push_back(std::move(CondJump));
-      Tramp.Insts.push_back(std::move(Fallback));
-      TrampolineRefs.push_back(TrampRef);
-      TrampolineBlocks.insert({TrampRef.Func, TrampRef.Block});
-    }
-  }
-}
-
-void Rewriter::findMarkerBlocks() {
-  // Basic blocks in the Real Copy that may be targets of indirect
-  // control-flow transfers (returns from calls, jump-table targets) get
-  // the special marker NOP + in-simulation redirect (Listing 4).
-  for (uint32_t F = 0; F != NumReal; ++F) {
-    Function &Fn = M.Funcs[F];
-    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
-      const BasicBlock &Blk = Fn.Blocks[B];
-      const Inst *Term = Blk.terminator();
-      if (Term && Term->I.info().IsCall && Blk.FallSucc)
-        MarkerNeeded.insert({Blk.FallSucc->Func, Blk.FallSucc->Block});
-      for (const BlockRef &R : Blk.IndirectSuccs)
-        MarkerNeeded.insert({R.Func, R.Block});
-    }
-  }
-}
-
-void Rewriter::instrumentRealBlock(uint32_t F, uint32_t B) {
-  BasicBlock &Blk = M.Funcs[F].Blocks[B];
-
-  // The asynchronous DIFT snippet is computed from the original
-  // instructions before we rewrite the block. Blocks whose accesses
-  // cannot be re-expressed at the block end (heap-pointer indirection)
-  // degrade to synchronous per-instruction propagation — taint must not
-  // silently vanish from the Real Copy.
-  uint32_t TagProgIdx = NoIdx;
-  bool SyncDift = false;
-  if (Opts.EnableDift) {
-    BlockTagPlan Plan = buildBlockTagProgram(Blk);
-    if (Plan.NeedsSync) {
-      SyncDift = true;
-    } else if (!Plan.Program.empty()) {
-      TagProgIdx = static_cast<uint32_t>(M.TagPrograms.size());
-      M.TagPrograms.push_back(std::move(Plan.Program));
-    }
-  }
-  auto HasTagEffect = [](const isa::Instruction &I) {
-    switch (I.Op) {
-    case Opcode::MOV:
-    case Opcode::LOAD:
-    case Opcode::LOADS:
-    case Opcode::STORE:
-    case Opcode::LEA:
-    case Opcode::PUSH:
-    case Opcode::POP:
-    case Opcode::ADD:
-    case Opcode::SUB:
-    case Opcode::AND:
-    case Opcode::OR:
-    case Opcode::XOR:
-    case Opcode::SHL:
-    case Opcode::SHR:
-    case Opcode::SAR:
-    case Opcode::MUL:
-    case Opcode::UDIV:
-    case Opcode::UREM:
-    case Opcode::NEG:
-    case Opcode::CMP:
-    case Opcode::TEST:
-    case Opcode::SET:
-    case Opcode::CMOV:
-    case Opcode::CALL:
-    case Opcode::CALLI:
-    case Opcode::EXT:
-      return true;
-    default:
-      return false;
-    }
-  };
-
-  std::vector<Inst> Out;
-  Out.reserve(Blk.Insts.size() + 6);
-
-  // Markers must be the very first thing control reaches: an indirect
-  // transfer landing here during simulation must bounce back into the
-  // Shadow Copy before any Real-Copy effect happens.
-  if (MarkerNeeded.count({F, B})) {
-    auto MarkerId = static_cast<uint32_t>(MarkerBlockRefs.size());
-    MarkerBlockRefs.push_back({F, B});
-    MarkerResumeRefs.push_back(rewriting::shadowBlock(M, {F, B}));
-    Out.emplace_back(Instruction::markerNop());
-    Out.emplace_back(
-        Instruction::intrinsic(IntrinsicID::MarkerCheck, MarkerId));
-  }
-  if (B == 0)
-    Out.emplace_back(Instruction::intrinsic(IntrinsicID::RAPoison));
-
-  auto BranchIt = BranchIdOfBlock.find({F, B});
-  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
-    Inst &In = Blk.Insts[Idx];
-    bool IsLast = Idx + 1 == Blk.Insts.size();
-    // The snippet goes before the terminator — and before a CALL too:
-    // nothing may follow a CALL, or the pushed return address would not
-    // land on the continuation block's marker.
-    if (IsLast && TagProgIdx != NoIdx &&
-        (In.I.isTerminator() || In.I.info().IsCall)) {
-      Out.emplace_back(
-          Instruction::intrinsic(IntrinsicID::TagBlock, TagProgIdx));
-      TagProgIdx = NoIdx;
-    }
-    if (SyncDift && HasTagEffect(In.I))
-      Out.emplace_back(Instruction::intrinsic(IntrinsicID::TagProp));
-    if (In.I.Op == Opcode::RET)
-      Out.emplace_back(Instruction::intrinsic(IntrinsicID::RAUnpoison));
-    if (IsLast && In.I.Op == Opcode::JCC &&
-        BranchIt != BranchIdOfBlock.end()) {
-      if (Opts.EnableCoverage)
-        Out.emplace_back(Instruction::intrinsic(IntrinsicID::CovGuard,
-                                                NumNormalGuards++));
-      Out.emplace_back(Instruction::intrinsic(IntrinsicID::StartSim,
-                                              BranchIt->second));
-    }
-    Out.push_back(std::move(In));
-  }
-  if (TagProgIdx != NoIdx) // fallthrough block without terminator
-    Out.emplace_back(
-        Instruction::intrinsic(IntrinsicID::TagBlock, TagProgIdx));
-  Blk.Insts = std::move(Out);
-}
-
-void Rewriter::instrumentShadowBlock(uint32_t F, uint32_t B) {
-  if (TrampolineBlocks.count({F, B}))
-    return; // trampolines are glue, not program code
-  Function &Fn = M.Funcs[F];
-  BasicBlock &Blk = Fn.Blocks[B];
-  std::vector<Inst> Out;
-  Out.reserve(Blk.Insts.size() * 3);
-
-  auto Emit = [&](Instruction I) { Out.emplace_back(std::move(I)); };
-
-  if (Opts.EnableCoverage)
-    Emit(Instruction::intrinsic(IntrinsicID::CovSpecGuard, NumSpecGuards++));
-  if (B == 0)
-    Emit(Instruction::intrinsic(IntrinsicID::RAPoison));
-
-  unsigned SinceRestore = 0;
-  auto FlushRestore = [&] {
-    if (SinceRestore == 0)
-      return;
-    Emit(Instruction::intrinsic(IntrinsicID::RestoreCond, SinceRestore));
-    SinceRestore = 0;
-  };
-  auto TagProp = [&] {
-    if (Opts.EnableDift)
-      Emit(Instruction::intrinsic(IntrinsicID::TagProp));
-  };
-  auto MemCheck = [&](const Inst &In, const MemRef &Mem, bool IsWrite) {
-    if (isAllowlistedAccess(Mem))
-      return;
-    int64_t Payload = sitePayload(In.OrigAddr, In.I.Size, IsWrite);
-    Emit(Instruction::intrinsicMem(Opts.EnableDift ? IntrinsicID::TaintSink
-                                                   : IntrinsicID::AsanCheck,
-                                   Mem, Payload));
-  };
-  MemRef StackSlot{SP, NoReg, 1, -8};
-
-  auto BranchIt =
-      Fn.ShadowOf != NoIdx
-          ? BranchIdOfBlock.find({Fn.ShadowOf, B})
-          : BranchIdOfBlock.end();
-
-  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
-    Inst &In = Blk.Insts[Idx];
-    bool IsLast = Idx + 1 == Blk.Insts.size();
-    switch (In.I.Op) {
-    case Opcode::LOAD:
-    case Opcode::LOADS:
-      MemCheck(In, In.I.B.M, /*IsWrite=*/false);
-      TagProp();
-      break;
-    case Opcode::STORE:
-      MemCheck(In, In.I.A.M, /*IsWrite=*/true);
-      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, In.I.A.M,
-                                     In.I.Size));
-      TagProp();
-      break;
-    case Opcode::PUSH:
-    case Opcode::CALL:
-      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
-      TagProp();
-      break;
-    case Opcode::CALLI:
-      Emit(Instruction::intrinsicReg(IntrinsicID::EscapeCheckTgt, In.I.A.R));
-      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
-      TagProp();
-      break;
-    case Opcode::JMPI:
-      FlushRestore();
-      Emit(Instruction::intrinsicReg(IntrinsicID::EscapeCheckTgt, In.I.A.R));
-      break;
-    case Opcode::RET:
-      FlushRestore();
-      Emit(Instruction::intrinsic(IntrinsicID::RAUnpoison));
-      Emit(Instruction::intrinsic(IntrinsicID::EscapeCheckRet));
-      break;
-    case Opcode::EXT:
-    case Opcode::HALT:
-      // External calls to uninstrumented libraries (and program exit)
-      // cannot be recovered from: unconditional restore point.
-      Emit(Instruction::intrinsic(
-          IntrinsicID::RestoreUncond,
-          static_cast<int64_t>(RollbackReason::ExternalCall)));
-      break;
-    case Opcode::FENCE:
-      // Serializing instructions terminate speculative execution.
-      Emit(Instruction::intrinsic(
-          IntrinsicID::RestoreUncond,
-          static_cast<int64_t>(RollbackReason::Serializing)));
-      break;
-    case Opcode::JCC:
-      if (IsLast && BranchIt != BranchIdOfBlock.end()) {
-        FlushRestore();
-        if (Opts.EnableDift)
-          Emit(Instruction::intrinsic(
-              IntrinsicID::TaintBranch,
-              sitePayload(In.OrigAddr, 0, false)));
-        Emit(Instruction::intrinsic(IntrinsicID::StartSimNested,
-                                    BranchIt->second));
-      }
-      break;
-    case Opcode::MOV:
-    case Opcode::LEA:
-    case Opcode::POP:
-    case Opcode::ADD:
-    case Opcode::SUB:
-    case Opcode::AND:
-    case Opcode::OR:
-    case Opcode::XOR:
-    case Opcode::SHL:
-    case Opcode::SHR:
-    case Opcode::SAR:
-    case Opcode::MUL:
-    case Opcode::UDIV:
-    case Opcode::UREM:
-    case Opcode::NEG:
-    case Opcode::CMP:
-    case Opcode::TEST:
-    case Opcode::SET:
-    case Opcode::CMOV:
-      TagProp();
-      break;
-    default:
-      break;
-    }
-    if (IsLast && (In.I.isTerminator() || In.I.info().IsCall))
-      FlushRestore();
-    Out.push_back(std::move(In));
-    ++SinceRestore;
-    if (SinceRestore >= Opts.RestoreInterval)
-      FlushRestore();
-  }
-  FlushRestore();
-  Blk.Insts = std::move(Out);
-}
-
-void Rewriter::instrumentBaselineBlock(uint32_t F, uint32_t B) {
-  // The Listing 3 architecture: normal execution and speculation
-  // simulation share one copy, so every instrumentation site below
-  // executes during normal runs too, paying the per-site guard (the
-  // runtime's in-simulation check) that Speculation Shadows eliminates.
-  if (TrampolineBlocks.count({F, B}))
-    return;
-  BasicBlock &Blk = M.Funcs[F].Blocks[B];
-  std::vector<Inst> Out;
-  Out.reserve(Blk.Insts.size() * 3);
-  auto Emit = [&](Instruction I) { Out.emplace_back(std::move(I)); };
-
-  if (Opts.EnableCoverage)
-    Emit(Instruction::intrinsic(IntrinsicID::CovSpecGuard, NumSpecGuards++));
-  if (B == 0)
-    Emit(Instruction::intrinsic(IntrinsicID::RAPoison));
-
-  unsigned SinceRestore = 0;
-  auto FlushRestore = [&] {
-    if (SinceRestore == 0)
-      return;
-    Emit(Instruction::intrinsic(IntrinsicID::RestoreCond, SinceRestore));
-    SinceRestore = 0;
-  };
-  MemRef StackSlot{SP, NoReg, 1, -8};
-  auto BranchIt = BranchIdOfBlock.find({F, B});
-
-  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
-    Inst &In = Blk.Insts[Idx];
-    bool IsLast = Idx + 1 == Blk.Insts.size();
-    switch (In.I.Op) {
-    case Opcode::LOAD:
-    case Opcode::LOADS:
-      if (!isAllowlistedAccess(In.I.B.M))
-        Emit(Instruction::intrinsicMem(
-            IntrinsicID::AsanCheck, In.I.B.M,
-            sitePayload(In.OrigAddr, In.I.Size, false)));
-      break;
-    case Opcode::STORE:
-      if (!isAllowlistedAccess(In.I.A.M))
-        Emit(Instruction::intrinsicMem(
-            IntrinsicID::AsanCheck, In.I.A.M,
-            sitePayload(In.OrigAddr, In.I.Size, true)));
-      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, In.I.A.M,
-                                     In.I.Size));
-      break;
-    case Opcode::PUSH:
-    case Opcode::CALL:
-    case Opcode::CALLI:
-      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
-      break;
-    case Opcode::RET:
-      FlushRestore();
-      Emit(Instruction::intrinsic(IntrinsicID::RAUnpoison));
-      break;
-    case Opcode::EXT:
-    case Opcode::HALT:
-      Emit(Instruction::intrinsic(
-          IntrinsicID::RestoreUncond,
-          static_cast<int64_t>(RollbackReason::ExternalCall)));
-      break;
-    case Opcode::FENCE:
-      Emit(Instruction::intrinsic(
-          IntrinsicID::RestoreUncond,
-          static_cast<int64_t>(RollbackReason::Serializing)));
-      break;
-    case Opcode::JCC:
-      if (IsLast && BranchIt != BranchIdOfBlock.end()) {
-        FlushRestore();
-        if (Opts.EnableCoverage)
-          Emit(Instruction::intrinsic(IntrinsicID::CovGuard,
-                                      NumNormalGuards++));
-        Emit(Instruction::intrinsic(IntrinsicID::StartSim,
-                                    BranchIt->second));
-      }
-      break;
-    default:
-      break;
-    }
-    if (IsLast && (In.I.isTerminator() || In.I.info().IsCall))
-      FlushRestore();
-    Out.push_back(std::move(In));
-    ++SinceRestore;
-    if (SinceRestore >= Opts.RestoreInterval)
-      FlushRestore();
-  }
-  FlushRestore();
-  Blk.Insts = std::move(Out);
-}
-
-Expected<RewriteResult> Rewriter::run() {
-  NumReal = static_cast<uint32_t>(M.Funcs.size());
-  if (NumReal == 0)
-    return makeError("module has no functions to rewrite");
-
-  if (Shadows())
-    rewriting::cloneShadowFunctions(M);
-  createTrampolines();
-  if (Shadows())
-    findMarkerBlocks();
-
-  for (uint32_t F = 0; F != NumReal; ++F) {
-    // Snapshot the block count: instrumentation appends no blocks, but
-    // trampolines appended earlier must be skipped by index set anyway.
-    Function &Fn = M.Funcs[F];
-    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
-      if (TrampolineBlocks.count({F, B}))
-        continue;
-      if (Shadows())
-        instrumentRealBlock(F, B);
-      else
-        instrumentBaselineBlock(F, B);
-    }
-  }
-  if (Shadows()) {
-    for (uint32_t F = NumReal; F != M.Funcs.size(); ++F)
-      for (uint32_t B = 0; B != M.Funcs[F].Blocks.size(); ++B)
-        instrumentShadowBlock(F, B);
-  }
-
-  RewriteResult Res;
-  auto LayoutOrErr = layOut(M, Res.Binary);
-  if (!LayoutOrErr)
-    return LayoutOrErr.takeError();
-  const LayoutResult &L = *LayoutOrErr;
-
-  runtime::MetaTable &Meta = Res.Meta;
-  Meta.RealTextStart = L.TextStart;
-  Meta.RealTextEnd = L.ShadowStart;
-  Meta.ShadowTextStart = L.ShadowStart;
-  Meta.ShadowTextEnd = L.TextEnd;
-  Meta.SimFlagAddr = obj::SimFlagAddr;
-  for (const BlockRef &R : TrampolineRefs)
-    Meta.Trampolines.push_back(L.blockAddr(R));
-  if (Shadows())
-    for (uint32_t F = 0; F != NumReal; ++F)
-      Meta.FuncMap[L.FuncStart[F]] = L.FuncStart[M.Funcs[F].ShadowIdx];
-  for (size_t I = 0; I != MarkerBlockRefs.size(); ++I) {
-    Meta.MarkerSites.insert(L.blockAddr(MarkerBlockRefs[I]));
-    Meta.MarkerResume.push_back(L.blockAddr(MarkerResumeRefs[I]));
-  }
-  Meta.TagPrograms = M.TagPrograms;
-  Meta.NumNormalGuards = NumNormalGuards;
-  Meta.NumSpecGuards = NumSpecGuards;
-
-  Res.Binary.Metadata[runtime::MetaSectionName] = Meta.serialize();
-  return Res;
-}
-
-Expected<RewriteResult> core::rewriteModule(Module M,
+Expected<RewriteResult> core::rewriteModule(ir::Module M,
                                             const RewriterOptions &Opts) {
-  Rewriter R(M, Opts);
-  return R.run();
+  return passes::runPipeline(std::move(M),
+                             passes::PipelineBuilder::forOptions(Opts));
 }
 
 Expected<RewriteResult> core::rewriteBinary(const obj::ObjectFile &In,
                                             const RewriterOptions &Opts) {
-  auto ModOrErr = disasm::disassemble(In);
-  if (!ModOrErr)
-    return ModOrErr.takeError();
-  return rewriteModule(std::move(*ModOrErr), Opts);
+  return passes::runPipeline(In, passes::PipelineBuilder::forOptions(Opts));
 }

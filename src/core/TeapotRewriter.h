@@ -6,27 +6,31 @@
 /// transform plus the instrumentation passes, reassembles, and attaches
 /// the ".teapot.meta" side tables the runtime needs.
 ///
-/// Pass pipeline (Teapot mode):
+/// The transform itself lives in src/passes/ as a pipeline of ModulePass
+/// stages composed by passes::PipelineBuilder (see ARCHITECTURE.md).
+/// RewriteMode::Teapot maps to
 ///
-///   1. cloneShadowFunctions     Real/Shadow copies, direct edges redirected
-///   2. trampoline creation      per conditional branch (Section 5.2)
-///   3. marker placement         indirect-transfer targets in the Real Copy
-///                               get MARKERNOP + MarkerCheck (Listing 4)
-///   4. Real-Copy instrumentation   RA poison/unpoison, per-block async
-///                               DIFT updates, coverage guard + StartSim
-///                               before conditional branches — and nothing
-///                               else: no ASan checks, no memory logging,
-///                               no guards (the Speculation Shadows claim)
-///   5. Shadow-Copy instrumentation  unguarded ASan/Kasper sinks, memory
-///                               logging, synchronous DIFT, conditional +
-///                               unconditional restore points, escape
-///                               checks, nested StartSim, lazy coverage
-///   6. layout + metadata
+///   clone-shadow-functions   Real/Shadow copies, direct edges redirected
+///   create-trampolines       per conditional branch (Section 5.2)
+///   place-markers            indirect-transfer targets in the Real Copy
+///   instrument-real-copy     RA poison/unpoison, per-block async DIFT,
+///                            marker NOP + MarkerCheck, coverage guard +
+///                            StartSim — and nothing else: no ASan checks,
+///                            no memory logging, no guards (the
+///                            Speculation Shadows claim)
+///   instrument-shadow-copy   unguarded ASan/Kasper sinks, memory logging,
+///                            synchronous DIFT, restore points, escape
+///                            checks, nested StartSim, lazy coverage
+///   layout-and-meta          reassembly + ".teapot.meta" side tables
 ///
-/// SpecFuzzBaseline mode reproduces the prior-work architecture the paper
-/// argues against (Listing 3): a single copy where every instrumentation
-/// site executes in both modes and the runtime's in-simulation check
-/// plays the role of the per-site `if (in_simulation)` guard.
+/// RewriteMode::SpecFuzzBaseline reproduces the prior-work architecture
+/// the paper argues against (Listing 3) as
+///
+///   create-trampolines, instrument-baseline, layout-and-meta
+///
+/// — a single copy where every instrumentation site executes in both
+/// modes and the runtime's in-simulation check plays the role of the
+/// per-site `if (in_simulation)` guard.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +39,7 @@
 
 #include "ir/IR.h"
 #include "obj/ObjectFile.h"
+#include "passes/Statistics.h"
 #include "runtime/MetaTable.h"
 #include "support/Error.h"
 
@@ -63,6 +68,9 @@ struct RewriterOptions {
 struct RewriteResult {
   obj::ObjectFile Binary;
   runtime::MetaTable Meta;
+  /// Per-pass wall time, IR growth, and counters of the pipeline run
+  /// that produced this result (the `--stats` dump).
+  passes::PassStatistics Stats;
 };
 
 /// Disassembles and rewrites \p In.

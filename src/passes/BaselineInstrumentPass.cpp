@@ -1,0 +1,113 @@
+//===- passes/BaselineInstrumentPass.cpp ----------------------------------===//
+
+#include "passes/BaselineInstrumentPass.h"
+
+#include "passes/InstrumentCommon.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::isa;
+using namespace teapot::passes;
+
+void BaselineInstrumentPass::instrumentBlock(RewriteContext &Ctx, uint32_t F,
+                                             uint32_t B) {
+  if (Ctx.isTrampoline(F, B))
+    return;
+  BasicBlock &Blk = Ctx.M.Funcs[F].Blocks[B];
+  std::vector<Inst> Out;
+  Out.reserve(Blk.Insts.size() * 3);
+  auto Emit = [&](Instruction I) { Out.emplace_back(std::move(I)); };
+
+  if (Cfg.EnableCoverage)
+    Emit(Instruction::intrinsic(IntrinsicID::CovSpecGuard,
+                                Ctx.NumSpecGuards++));
+  if (B == 0)
+    Emit(Instruction::intrinsic(IntrinsicID::RAPoison));
+
+  unsigned SinceRestore = 0;
+  auto FlushRestore = [&] {
+    if (SinceRestore == 0)
+      return;
+    Emit(Instruction::intrinsic(IntrinsicID::RestoreCond, SinceRestore));
+    SinceRestore = 0;
+  };
+  MemRef StackSlot{SP, NoReg, 1, -8};
+  auto BranchIt = Ctx.BranchIdOfBlock.find({F, B});
+
+  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
+    Inst &In = Blk.Insts[Idx];
+    bool IsLast = Idx + 1 == Blk.Insts.size();
+    switch (In.I.Op) {
+    case Opcode::LOAD:
+    case Opcode::LOADS:
+      if (!isAllowlistedAccess(In.I.B.M))
+        Emit(Instruction::intrinsicMem(
+            IntrinsicID::AsanCheck, In.I.B.M,
+            sitePayload(In.OrigAddr, In.I.Size, false)));
+      break;
+    case Opcode::STORE:
+      if (!isAllowlistedAccess(In.I.A.M))
+        Emit(Instruction::intrinsicMem(
+            IntrinsicID::AsanCheck, In.I.A.M,
+            sitePayload(In.OrigAddr, In.I.Size, true)));
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, In.I.A.M,
+                                     In.I.Size));
+      break;
+    case Opcode::PUSH:
+    case Opcode::CALL:
+    case Opcode::CALLI:
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
+      break;
+    case Opcode::RET:
+      FlushRestore();
+      Emit(Instruction::intrinsic(IntrinsicID::RAUnpoison));
+      break;
+    case Opcode::EXT:
+    case Opcode::HALT:
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::ExternalCall)));
+      break;
+    case Opcode::FENCE:
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::Serializing)));
+      break;
+    case Opcode::JCC:
+      if (IsLast && BranchIt != Ctx.BranchIdOfBlock.end()) {
+        FlushRestore();
+        if (Cfg.EnableCoverage)
+          Emit(Instruction::intrinsic(IntrinsicID::CovGuard,
+                                      Ctx.NumNormalGuards++));
+        Emit(Instruction::intrinsic(IntrinsicID::StartSim,
+                                    BranchIt->second));
+      }
+      break;
+    default:
+      break;
+    }
+    if (IsLast && (In.I.isTerminator() || In.I.info().IsCall))
+      FlushRestore();
+    Out.push_back(std::move(In));
+    ++SinceRestore;
+    if (SinceRestore >= Cfg.RestoreInterval)
+      FlushRestore();
+  }
+  FlushRestore();
+  Blk.Insts = std::move(Out);
+}
+
+Error BaselineInstrumentPass::run(RewriteContext &Ctx) {
+  if (Ctx.hasShadows())
+    return makeError("instrument-baseline is a single-copy pass; it cannot "
+                     "follow clone-shadow-functions");
+  for (uint32_t F = 0; F != Ctx.NumReal; ++F) {
+    Function &Fn = Ctx.M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      if (Ctx.isTrampoline(F, B))
+        continue;
+      instrumentBlock(Ctx, F, B);
+    }
+  }
+  return Error::success();
+}

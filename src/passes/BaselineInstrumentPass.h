@@ -1,0 +1,47 @@
+//===- passes/BaselineInstrumentPass.h - Guarded single copy ------*- C++ -*-===//
+///
+/// \file
+/// The Listing 3 architecture the paper argues against: normal execution
+/// and speculation simulation share one copy, so every instrumentation
+/// site below executes during normal runs too, paying the per-site guard
+/// (the runtime's in-simulation check) that Speculation Shadows
+/// eliminates. Detection is ASan-only (the SpecFuzz policy).
+///
+/// Composes with TrampolinePass only — never with the clone/marker/
+/// shadow passes (a single-copy pipeline has no Shadow Copy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_BASELINEINSTRUMENTPASS_H
+#define TEAPOT_PASSES_BASELINEINSTRUMENTPASS_H
+
+#include "passes/Pass.h"
+
+namespace teapot {
+namespace passes {
+
+class BaselineInstrumentPass : public ModulePass {
+public:
+  struct Config {
+    /// Emit normal + speculative coverage guards.
+    bool EnableCoverage = true;
+    /// Conditional restore point spacing, in original instructions.
+    unsigned RestoreInterval = 50;
+  };
+
+  BaselineInstrumentPass() = default;
+  explicit BaselineInstrumentPass(Config Cfg) : Cfg(Cfg) {}
+
+  const char *name() const override { return "instrument-baseline"; }
+  Error run(RewriteContext &Ctx) override;
+
+private:
+  void instrumentBlock(RewriteContext &Ctx, uint32_t F, uint32_t B);
+
+  Config Cfg;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_BASELINEINSTRUMENTPASS_H

@@ -1,15 +1,24 @@
-//===- rewriting/Clone.cpp ------------------------------------------------===//
+//===- passes/CloneShadowFunctionsPass.cpp --------------------------------===//
 
-#include "rewriting/Clone.h"
+#include "passes/CloneShadowFunctionsPass.h"
 
 using namespace teapot;
 using namespace teapot::ir;
-using namespace teapot::rewriting;
+using namespace teapot::passes;
 
-void rewriting::cloneShadowFunctions(Module &M) {
-  const uint32_t NumReal = static_cast<uint32_t>(M.Funcs.size());
+Error CloneShadowFunctionsPass::run(RewriteContext &Ctx) {
+  Module &M = Ctx.M;
+  const uint32_t NumReal = Ctx.NumReal;
+  if (M.Funcs.size() != NumReal)
+    return makeError("clone-shadow-functions must run first (module "
+                     "already grew from %u to %zu functions)",
+                     NumReal, M.Funcs.size());
+  if (!Ctx.TrampolineRefs.empty() || !Ctx.BranchIdOfBlock.empty())
+    return makeError("clone-shadow-functions must run before "
+                     "create-trampolines: single-copy trampolines would be "
+                     "cloned and StartSim would simulate in the Real Copy");
+
   M.Funcs.reserve(NumReal * 2);
-
   for (uint32_t F = 0; F != NumReal; ++F) {
     Function Clone = M.Funcs[F]; // byte-for-byte copy
     Clone.Name += "$spec";
@@ -39,4 +48,6 @@ void rewriting::cloneShadowFunctions(Module &M) {
     }
     M.Funcs.push_back(std::move(Clone));
   }
+  Ctx.count("functions.cloned", NumReal);
+  return Error::success();
 }

@@ -1,4 +1,4 @@
-//===- rewriting/Clone.h - Shadow-copy function cloning -----------*- C++ -*-===//
+//===- passes/CloneShadowFunctionsPass.h - Shadow-copy cloning ----*- C++ -*-===//
 ///
 /// \file
 /// The structural half of Speculation Shadows (Section 5.2): clone every
@@ -13,29 +13,26 @@
 /// pointer flows into the Shadow Copy and must be caught at run time by
 /// the escape checks.
 ///
+/// Must be the first pass of a shadowing pipeline: clone of function i
+/// gets index NumReal + i, and IsShadow/ShadowOf/ShadowIdx are linked up.
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef TEAPOT_REWRITING_CLONE_H
-#define TEAPOT_REWRITING_CLONE_H
+#ifndef TEAPOT_PASSES_CLONESHADOWFUNCTIONSPASS_H
+#define TEAPOT_PASSES_CLONESHADOWFUNCTIONSPASS_H
 
-#include "ir/IR.h"
+#include "passes/Pass.h"
 
 namespace teapot {
-namespace rewriting {
+namespace passes {
 
-/// Clones all functions of \p M. Clone of function i gets index
-/// NumOriginal + i; IsShadow/ShadowOf/ShadowIdx are linked up. Must run
-/// before any instrumentation pass.
-void cloneShadowFunctions(ir::Module &M);
+class CloneShadowFunctionsPass : public ModulePass {
+public:
+  const char *name() const override { return "clone-shadow-functions"; }
+  Error run(RewriteContext &Ctx) override;
+};
 
-/// Returns the shadow counterpart of a real-copy block.
-inline ir::BlockRef shadowBlock(const ir::Module &M, ir::BlockRef Real) {
-  uint32_t SIdx = M.Funcs[Real.Func].ShadowIdx;
-  assert(SIdx != ir::NoIdx && "function has no shadow copy");
-  return {SIdx, Real.Block};
-}
-
-} // namespace rewriting
+} // namespace passes
 } // namespace teapot
 
-#endif // TEAPOT_REWRITING_CLONE_H
+#endif // TEAPOT_PASSES_CLONESHADOWFUNCTIONSPASS_H

@@ -1,0 +1,34 @@
+//===- passes/InstrumentCommon.h - Shared instrumentation helpers -*- C++ -*-===//
+///
+/// \file
+/// Small helpers shared by the Real-Copy, Shadow-Copy, and baseline
+/// instrumentation passes. Internal to src/passes/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_INSTRUMENTCOMMON_H
+#define TEAPOT_PASSES_INSTRUMENTCOMMON_H
+
+#include "isa/Instruction.h"
+
+namespace teapot {
+namespace passes {
+
+/// Packs the (size, is-write, site) report payload shared with the
+/// runtime (see SpecRuntime.cpp).
+inline int64_t sitePayload(uint64_t OrigAddr, unsigned Size, bool IsWrite) {
+  return static_cast<int64_t>((OrigAddr << 16) |
+                              (static_cast<uint64_t>(IsWrite) << 8) | Size);
+}
+
+/// Accesses based off rsp/rbp with a constant offset are allowlisted
+/// (Section 6.2.1) so __builtin_return_address-style reads keep working
+/// and frame traffic stays cheap.
+inline bool isAllowlistedAccess(const isa::MemRef &M) {
+  return (M.Base == isa::SP || M.Base == isa::FP) && M.Index == isa::NoReg;
+}
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_INSTRUMENTCOMMON_H

@@ -1,0 +1,40 @@
+//===- passes/LayoutAndMetaPass.cpp ---------------------------------------===//
+
+#include "passes/LayoutAndMetaPass.h"
+
+#include "ir/Layout.h"
+#include "obj/Layout.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::passes;
+
+Error LayoutAndMetaPass::run(RewriteContext &Ctx) {
+  Module &M = Ctx.M;
+  auto LayoutOrErr = layOut(M, Ctx.Binary);
+  if (!LayoutOrErr)
+    return LayoutOrErr.takeError();
+  const LayoutResult &L = *LayoutOrErr;
+
+  runtime::MetaTable &Meta = Ctx.Meta;
+  Meta.RealTextStart = L.TextStart;
+  Meta.RealTextEnd = L.ShadowStart;
+  Meta.ShadowTextStart = L.ShadowStart;
+  Meta.ShadowTextEnd = L.TextEnd;
+  Meta.SimFlagAddr = obj::SimFlagAddr;
+  for (const BlockRef &R : Ctx.TrampolineRefs)
+    Meta.Trampolines.push_back(L.blockAddr(R));
+  if (Ctx.hasShadows())
+    for (uint32_t F = 0; F != Ctx.NumReal; ++F)
+      Meta.FuncMap[L.FuncStart[F]] = L.FuncStart[M.Funcs[F].ShadowIdx];
+  for (size_t I = 0; I != Ctx.MarkerBlockRefs.size(); ++I) {
+    Meta.MarkerSites.insert(L.blockAddr(Ctx.MarkerBlockRefs[I]));
+    Meta.MarkerResume.push_back(L.blockAddr(Ctx.MarkerResumeRefs[I]));
+  }
+  Meta.TagPrograms = M.TagPrograms;
+  Meta.NumNormalGuards = Ctx.NumNormalGuards;
+  Meta.NumSpecGuards = Ctx.NumSpecGuards;
+
+  Ctx.Binary.Metadata[runtime::MetaSectionName] = Meta.serialize();
+  return Error::success();
+}

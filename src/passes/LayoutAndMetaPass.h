@@ -1,0 +1,30 @@
+//===- passes/LayoutAndMetaPass.h - Reassembly + side tables ------*- C++ -*-===//
+///
+/// \file
+/// The terminal pass of every pipeline: lays the module out into a
+/// runnable TBF object (ir::layOut), resolves every BlockRef the earlier
+/// passes recorded to final addresses, and publishes the ".teapot.meta"
+/// side tables (text ranges, trampoline table, real->shadow function
+/// map, marker sites/resumes, tag programs, guard counts) into
+/// RewriteContext::Binary / Meta.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_LAYOUTANDMETAPASS_H
+#define TEAPOT_PASSES_LAYOUTANDMETAPASS_H
+
+#include "passes/Pass.h"
+
+namespace teapot {
+namespace passes {
+
+class LayoutAndMetaPass : public ModulePass {
+public:
+  const char *name() const override { return "layout-and-meta"; }
+  Error run(RewriteContext &Ctx) override;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_LAYOUTANDMETAPASS_H

@@ -1,0 +1,45 @@
+//===- passes/MarkerPlacementPass.cpp -------------------------------------===//
+
+#include "passes/MarkerPlacementPass.h"
+
+#include <set>
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::isa;
+using namespace teapot::passes;
+
+Error MarkerPlacementPass::run(RewriteContext &Ctx) {
+  if (!Ctx.hasShadows())
+    return makeError("place-markers requires clone-shadow-functions to "
+                     "run first (resume points live in the Shadow Copy)");
+
+  Module &M = Ctx.M;
+  std::set<std::pair<uint32_t, uint32_t>> Needed;
+  for (uint32_t F = 0; F != Ctx.NumReal; ++F) {
+    Function &Fn = M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      const BasicBlock &Blk = Fn.Blocks[B];
+      const Inst *Term = Blk.terminator();
+      if (Term && Term->I.info().IsCall && Blk.FallSucc)
+        Needed.insert({Blk.FallSucc->Func, Blk.FallSucc->Block});
+      for (const BlockRef &R : Blk.IndirectSuccs)
+        Needed.insert({R.Func, R.Block});
+    }
+  }
+
+  // Assign ids in (func, block) order — the order the instrumentation
+  // pass encounters the blocks, so ids equal the legacy rewriter's.
+  for (uint32_t F = 0; F != Ctx.NumReal; ++F) {
+    for (uint32_t B = 0; B != M.Funcs[F].Blocks.size(); ++B) {
+      if (!Needed.count({F, B}))
+        continue;
+      auto MarkerId = static_cast<uint32_t>(Ctx.MarkerBlockRefs.size());
+      Ctx.MarkerIdOfBlock[{F, B}] = MarkerId;
+      Ctx.MarkerBlockRefs.push_back({F, B});
+      Ctx.MarkerResumeRefs.push_back(Ctx.shadowBlock({F, B}));
+    }
+  }
+  Ctx.count("marker.sites", Ctx.MarkerBlockRefs.size());
+  return Error::success();
+}

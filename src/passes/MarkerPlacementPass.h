@@ -1,0 +1,33 @@
+//===- passes/MarkerPlacementPass.h - Marker-site selection -------*- C++ -*-===//
+///
+/// \file
+/// Selects the Real-Copy blocks that may be targets of indirect
+/// control-flow transfers (returns from calls, jump-table targets) and
+/// assigns their marker ids (Listing 4). Marker ids are assigned in
+/// (function, block) order; RealCopyInstrumentPass inserts the actual
+/// MARKERNOP + MarkerCheck sequence and LayoutAndMetaPass publishes the
+/// marker-site / resume-address tables.
+///
+/// Requires CloneShadowFunctionsPass: every marker's resume point is the
+/// block's Shadow-Copy counterpart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_MARKERPLACEMENTPASS_H
+#define TEAPOT_PASSES_MARKERPLACEMENTPASS_H
+
+#include "passes/Pass.h"
+
+namespace teapot {
+namespace passes {
+
+class MarkerPlacementPass : public ModulePass {
+public:
+  const char *name() const override { return "place-markers"; }
+  Error run(RewriteContext &Ctx) override;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_MARKERPLACEMENTPASS_H

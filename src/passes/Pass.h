@@ -1,0 +1,117 @@
+//===- passes/Pass.h - Rewriting pass interface -------------------*- C++ -*-===//
+///
+/// \file
+/// The instrumentation-pass layer: a pipeline of ModulePasses transforms
+/// a lifted ir::Module into an instrumented binary plus its runtime side
+/// tables. Each pipeline stage of the paper (shadow cloning, trampoline
+/// creation, marker placement, Real/Shadow-Copy instrumentation, layout +
+/// metadata) is one pass; a shared RewriteContext carries the module, the
+/// MetaTable under construction, and the cross-pass indices the stages
+/// hand to each other.
+///
+/// Passes only ever *append* functions/blocks/instructions (the IR's
+/// index-stability contract), so a BlockRef recorded by an early pass
+/// stays valid for every later one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_PASS_H
+#define TEAPOT_PASSES_PASS_H
+
+#include "ir/IR.h"
+#include "passes/Statistics.h"
+#include "runtime/MetaTable.h"
+#include "support/Error.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace teapot {
+namespace passes {
+
+/// State shared by the passes of one pipeline run. Early passes fill the
+/// cross-pass indices; the instrumentation passes consume them; the
+/// layout pass produces the outputs.
+class RewriteContext {
+public:
+  explicit RewriteContext(ir::Module &M)
+      : M(M), NumReal(static_cast<uint32_t>(M.Funcs.size())) {}
+
+  RewriteContext(const RewriteContext &) = delete;
+  RewriteContext &operator=(const RewriteContext &) = delete;
+
+  ir::Module &M;
+  /// Function count before any pass ran: functions [0, NumReal) are the
+  /// Real Copy, anything appended later is Shadow Copy.
+  const uint32_t NumReal;
+
+  /// --- Branch-site bookkeeping (TrampolinePass -> instrumentation). ---
+  /// Branch site id -> trampoline block.
+  std::vector<ir::BlockRef> TrampolineRefs;
+  /// Real-copy (func, block) of a conditional branch -> branch site id.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> BranchIdOfBlock;
+  /// Blocks that are trampoline glue, not program code; instrumentation
+  /// passes must leave them untouched.
+  std::set<std::pair<uint32_t, uint32_t>> TrampolineBlocks;
+
+  /// --- Marker bookkeeping (MarkerPlacementPass -> RealCopy/Layout). ---
+  /// Real-copy (func, block) needing a marker -> marker id.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> MarkerIdOfBlock;
+  /// Marker id -> real block carrying the marker NOP.
+  std::vector<ir::BlockRef> MarkerBlockRefs;
+  /// Marker id -> Shadow-Copy resume block.
+  std::vector<ir::BlockRef> MarkerResumeRefs;
+
+  /// --- Coverage guard id allocation (instrumentation -> Layout). ---
+  uint32_t NumNormalGuards = 0;
+  uint32_t NumSpecGuards = 0;
+
+  /// --- Outputs (LayoutAndMetaPass). ---
+  obj::ObjectFile Binary;
+  runtime::MetaTable Meta;
+
+  /// True once CloneShadowFunctionsPass has run.
+  bool hasShadows() const { return M.Funcs.size() > NumReal; }
+
+  /// Shadow counterpart of a Real-Copy block.
+  ir::BlockRef shadowBlock(ir::BlockRef Real) const {
+    uint32_t SIdx = M.Funcs[Real.Func].ShadowIdx;
+    assert(SIdx != ir::NoIdx && "function has no shadow copy");
+    return {SIdx, Real.Block};
+  }
+
+  bool isTrampoline(uint32_t F, uint32_t B) const {
+    return TrampolineBlocks.count({F, B}) != 0;
+  }
+
+  /// Bumps a named counter on the currently running pass's statistics
+  /// (no-op when run outside a PassManager).
+  void count(const std::string &Counter, uint64_t N = 1) {
+    if (ActiveStat)
+      ActiveStat->Counters[Counter] += N;
+  }
+
+  /// Set by PassManager around each pass's run().
+  PassStat *ActiveStat = nullptr;
+};
+
+/// One stage of the rewriting pipeline.
+class ModulePass {
+public:
+  virtual ~ModulePass() = default;
+
+  /// Stable kebab-case stage name (statistics, diagnostics, tests).
+  virtual const char *name() const = 0;
+
+  /// Transforms the module / context. Returning a failure aborts the
+  /// pipeline. Passes validate their own ordering preconditions here
+  /// (e.g. the shadow passes require CloneShadowFunctionsPass first).
+  virtual Error run(RewriteContext &Ctx) = 0;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_PASS_H

@@ -1,0 +1,93 @@
+//===- passes/PassManager.cpp ---------------------------------------------===//
+
+#include "passes/PassManager.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace teapot;
+using namespace teapot::passes;
+
+namespace {
+
+struct ModuleSize {
+  uint64_t Funcs = 0;
+  uint64_t Blocks = 0;
+  uint64_t Insts = 0;
+};
+
+ModuleSize measure(const ir::Module &M) {
+  ModuleSize S;
+  S.Funcs = M.Funcs.size();
+  for (const ir::Function &F : M.Funcs) {
+    S.Blocks += F.Blocks.size();
+    for (const ir::BasicBlock &B : F.Blocks)
+      S.Insts += B.Insts.size();
+  }
+  return S;
+}
+
+} // namespace
+
+Error PassManager::run(RewriteContext &Ctx) {
+  Stats.Passes.clear();
+  for (std::unique_ptr<ModulePass> &P : Passes) {
+    PassStat Stat;
+    Stat.Name = P->name();
+    ModuleSize Before = measure(Ctx.M);
+    auto Start = std::chrono::steady_clock::now();
+
+    Ctx.ActiveStat = &Stat;
+    Error Err = P->run(Ctx);
+    Ctx.ActiveStat = nullptr;
+
+    auto End = std::chrono::steady_clock::now();
+    ModuleSize After = measure(Ctx.M);
+    Stat.Seconds = std::chrono::duration<double>(End - Start).count();
+    Stat.InstsAdded = After.Insts - Before.Insts;
+    Stat.BlocksAdded = After.Blocks - Before.Blocks;
+    Stat.FuncsAdded = After.Funcs - Before.Funcs;
+    Stats.Passes.push_back(std::move(Stat));
+
+    if (Err)
+      return makeError("pass '%s' failed: %s", P->name(),
+                       Err.message().c_str());
+  }
+  return Error::success();
+}
+
+std::vector<std::string> PassManager::passNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Passes.size());
+  for (const std::unique_ptr<ModulePass> &P : Passes)
+    Names.push_back(P->name());
+  return Names;
+}
+
+std::string PassStatistics::format() const {
+  std::string Out;
+  char Line[256];
+  snprintf(Line, sizeof(Line), "  %-24s %10s %8s %8s\n", "pass", "time(us)",
+           "+insts", "+blocks");
+  Out += Line;
+  double TotalUs = 0;
+  uint64_t TotalInsts = 0;
+  for (const PassStat &S : Passes) {
+    snprintf(Line, sizeof(Line), "  %-24s %10.1f %8llu %8llu\n",
+             S.Name.c_str(), S.Seconds * 1e6,
+             static_cast<unsigned long long>(S.InstsAdded),
+             static_cast<unsigned long long>(S.BlocksAdded));
+    Out += Line;
+    for (const auto &[Name, Value] : S.Counters) {
+      snprintf(Line, sizeof(Line), "      %-28s %llu\n", Name.c_str(),
+               static_cast<unsigned long long>(Value));
+      Out += Line;
+    }
+    TotalUs += S.Seconds * 1e6;
+    TotalInsts += S.InstsAdded;
+  }
+  snprintf(Line, sizeof(Line), "  %-24s %10.1f %8llu\n", "total", TotalUs,
+           static_cast<unsigned long long>(TotalInsts));
+  Out += Line;
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- passes/PassManager.h - Pipeline execution ------------------*- C++ -*-===//
+///
+/// \file
+/// Runs a sequence of ModulePasses over one RewriteContext, recording
+/// per-pass wall time and module-growth statistics. Construction is the
+/// PipelineBuilder's job; the manager only executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_PASSMANAGER_H
+#define TEAPOT_PASSES_PASSMANAGER_H
+
+#include "passes/Pass.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace passes {
+
+class PassManager {
+public:
+  PassManager() = default;
+  PassManager(PassManager &&) = default;
+  PassManager &operator=(PassManager &&) = default;
+
+  /// Appends \p P to the pipeline.
+  void add(std::unique_ptr<ModulePass> P) { Passes.push_back(std::move(P)); }
+
+  /// Runs every pass in order. Stops at (and returns) the first failure.
+  /// Statistics are reset at the start of each run().
+  Error run(RewriteContext &Ctx);
+
+  /// Per-pass measurements of the last run().
+  const PassStatistics &stats() const { return Stats; }
+
+  /// Stage names in execution order.
+  std::vector<std::string> passNames() const;
+
+  size_t size() const { return Passes.size(); }
+
+private:
+  std::vector<std::unique_ptr<ModulePass>> Passes;
+  PassStatistics Stats;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_PASSMANAGER_H

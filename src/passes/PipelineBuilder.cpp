@@ -1,0 +1,88 @@
+//===- passes/PipelineBuilder.cpp -----------------------------------------===//
+
+#include "passes/PipelineBuilder.h"
+
+#include "disasm/Disassembler.h"
+#include "passes/BaselineInstrumentPass.h"
+#include "passes/CloneShadowFunctionsPass.h"
+#include "passes/LayoutAndMetaPass.h"
+#include "passes/MarkerPlacementPass.h"
+#include "passes/RealCopyInstrumentPass.h"
+#include "passes/ShadowCopyInstrumentPass.h"
+#include "passes/TrampolinePass.h"
+
+using namespace teapot;
+using namespace teapot::core;
+using namespace teapot::passes;
+
+PassManager PipelineBuilder::build() && {
+  PassManager PM;
+  for (std::unique_ptr<ModulePass> &P : Passes)
+    PM.add(std::move(P));
+  Passes.clear();
+  return PM;
+}
+
+std::vector<std::string> PipelineBuilder::passNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Passes.size());
+  for (const std::unique_ptr<ModulePass> &P : Passes)
+    Names.push_back(P->name());
+  return Names;
+}
+
+PipelineBuilder PipelineBuilder::teapot(const RewriterOptions &Opts) {
+  PipelineBuilder B;
+  B.addPass<CloneShadowFunctionsPass>();
+  B.addPass<TrampolinePass>();
+  B.addPass<MarkerPlacementPass>();
+  B.addPass<RealCopyInstrumentPass>(RealCopyInstrumentPass::Config{
+      Opts.EnableDift, Opts.EnableCoverage});
+  B.addPass<ShadowCopyInstrumentPass>(ShadowCopyInstrumentPass::Config{
+      Opts.EnableDift, Opts.EnableCoverage, Opts.RestoreInterval});
+  B.addPass<LayoutAndMetaPass>();
+  return B;
+}
+
+PipelineBuilder
+PipelineBuilder::specFuzzBaseline(const RewriterOptions &Opts) {
+  PipelineBuilder B;
+  B.addPass<TrampolinePass>();
+  B.addPass<BaselineInstrumentPass>(BaselineInstrumentPass::Config{
+      Opts.EnableCoverage, Opts.RestoreInterval});
+  B.addPass<LayoutAndMetaPass>();
+  return B;
+}
+
+PipelineBuilder PipelineBuilder::forOptions(const RewriterOptions &Opts) {
+  switch (Opts.Mode) {
+  case RewriteMode::Teapot:
+    return teapot(Opts);
+  case RewriteMode::SpecFuzzBaseline:
+    return specFuzzBaseline(Opts);
+  }
+  reportFatalError("unknown RewriteMode");
+}
+
+Expected<RewriteResult> passes::runPipeline(ir::Module M,
+                                            PipelineBuilder Pipeline) {
+  if (M.Funcs.empty())
+    return makeError("module has no functions to rewrite");
+  RewriteContext Ctx(M);
+  PassManager PM = std::move(Pipeline).build();
+  if (Error Err = PM.run(Ctx))
+    return Err;
+  RewriteResult Res;
+  Res.Binary = std::move(Ctx.Binary);
+  Res.Meta = std::move(Ctx.Meta);
+  Res.Stats = PM.stats();
+  return Res;
+}
+
+Expected<RewriteResult> passes::runPipeline(const obj::ObjectFile &In,
+                                            PipelineBuilder Pipeline) {
+  auto ModOrErr = disasm::disassemble(In);
+  if (!ModOrErr)
+    return ModOrErr.takeError();
+  return runPipeline(std::move(*ModOrErr), std::move(Pipeline));
+}

@@ -1,0 +1,84 @@
+//===- passes/PipelineBuilder.h - Declarative pipeline assembly ---*- C++ -*-===//
+///
+/// \file
+/// Composes rewriting pipelines from passes. The two architectures the
+/// paper compares — Speculation Shadows and the guarded single copy —
+/// plus every ablation variant are *pass compositions* built here, not
+/// flag-checks inside instrumentation code:
+///
+///   teapot():           clone-shadow-functions, create-trampolines,
+///                       place-markers, instrument-real-copy,
+///                       instrument-shadow-copy, layout-and-meta
+///   specFuzzBaseline(): create-trampolines, instrument-baseline,
+///                       layout-and-meta
+///
+/// New instrumentation passes slot in with add()/addPass() — see
+/// ARCHITECTURE.md for the recipe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_PIPELINEBUILDER_H
+#define TEAPOT_PASSES_PIPELINEBUILDER_H
+
+#include "core/TeapotRewriter.h"
+#include "passes/PassManager.h"
+
+#include <memory>
+#include <utility>
+
+namespace teapot {
+namespace passes {
+
+class PipelineBuilder {
+public:
+  /// Appends \p P to the pipeline under construction.
+  PipelineBuilder &add(std::unique_ptr<ModulePass> P) {
+    Passes.push_back(std::move(P));
+    return *this;
+  }
+
+  /// Constructs a PassT in place: addPass<TrampolinePass>().
+  template <typename PassT, typename... ArgTs>
+  PipelineBuilder &addPass(ArgTs &&...Args) {
+    return add(std::make_unique<PassT>(std::forward<ArgTs>(Args)...));
+  }
+
+  /// Moves the accumulated passes into a runnable PassManager.
+  PassManager build() &&;
+
+  /// Stage names in order (introspection/tests without building).
+  std::vector<std::string> passNames() const;
+
+  size_t size() const { return Passes.size(); }
+
+  /// --- Named configurations. ---
+
+  /// The Speculation Shadows pipeline (RewriteMode::Teapot).
+  static PipelineBuilder teapot(const core::RewriterOptions &Opts = {});
+
+  /// The guarded single-copy baseline (RewriteMode::SpecFuzzBaseline).
+  /// Ignores Opts.EnableDift: the baseline is always ASan-only.
+  static PipelineBuilder
+  specFuzzBaseline(const core::RewriterOptions &Opts = {});
+
+  /// Dispatches on Opts.Mode — the RewriterOptions-driven entry the
+  /// core::rewriteBinary/rewriteModule drivers use.
+  static PipelineBuilder forOptions(const core::RewriterOptions &Opts);
+
+private:
+  std::vector<std::unique_ptr<ModulePass>> Passes;
+};
+
+/// Runs \p Pipeline over \p M and packages the context's outputs (plus
+/// per-pass statistics) as a core::RewriteResult.
+Expected<core::RewriteResult> runPipeline(ir::Module M,
+                                          PipelineBuilder Pipeline);
+
+/// Disassembles \p In first, then runs \p Pipeline.
+Expected<core::RewriteResult> runPipeline(const obj::ObjectFile &In,
+                                          PipelineBuilder Pipeline);
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_PIPELINEBUILDER_H

@@ -1,0 +1,136 @@
+//===- passes/RealCopyInstrumentPass.cpp ----------------------------------===//
+
+#include "passes/RealCopyInstrumentPass.h"
+
+#include "core/TagProgramBuilder.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::isa;
+using namespace teapot::passes;
+
+namespace {
+
+/// Instructions the synchronous fallback must propagate tags for.
+bool hasTagEffect(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::MOV:
+  case Opcode::LOAD:
+  case Opcode::LOADS:
+  case Opcode::STORE:
+  case Opcode::LEA:
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::SAR:
+  case Opcode::MUL:
+  case Opcode::UDIV:
+  case Opcode::UREM:
+  case Opcode::NEG:
+  case Opcode::CMP:
+  case Opcode::TEST:
+  case Opcode::SET:
+  case Opcode::CMOV:
+  case Opcode::CALL:
+  case Opcode::CALLI:
+  case Opcode::EXT:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void RealCopyInstrumentPass::instrumentBlock(RewriteContext &Ctx, uint32_t F,
+                                             uint32_t B) {
+  Module &M = Ctx.M;
+  BasicBlock &Blk = M.Funcs[F].Blocks[B];
+
+  // The asynchronous DIFT snippet is computed from the original
+  // instructions before we rewrite the block. Blocks whose accesses
+  // cannot be re-expressed at the block end (heap-pointer indirection)
+  // degrade to synchronous per-instruction propagation — taint must not
+  // silently vanish from the Real Copy.
+  uint32_t TagProgIdx = NoIdx;
+  bool SyncDift = false;
+  if (Cfg.EnableDift) {
+    core::BlockTagPlan Plan = core::buildBlockTagProgram(Blk);
+    if (Plan.NeedsSync) {
+      SyncDift = true;
+      Ctx.count("tag.sync.blocks");
+    } else if (!Plan.Program.empty()) {
+      TagProgIdx = static_cast<uint32_t>(M.TagPrograms.size());
+      M.TagPrograms.push_back(std::move(Plan.Program));
+      Ctx.count("tag.programs");
+    }
+  }
+
+  std::vector<Inst> Out;
+  Out.reserve(Blk.Insts.size() + 6);
+
+  // Markers must be the very first thing control reaches: an indirect
+  // transfer landing here during simulation must bounce back into the
+  // Shadow Copy before any Real-Copy effect happens.
+  auto MarkerIt = Ctx.MarkerIdOfBlock.find({F, B});
+  if (MarkerIt != Ctx.MarkerIdOfBlock.end()) {
+    Out.emplace_back(Instruction::markerNop());
+    Out.emplace_back(
+        Instruction::intrinsic(IntrinsicID::MarkerCheck, MarkerIt->second));
+  }
+  if (B == 0)
+    Out.emplace_back(Instruction::intrinsic(IntrinsicID::RAPoison));
+
+  auto BranchIt = Ctx.BranchIdOfBlock.find({F, B});
+  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
+    Inst &In = Blk.Insts[Idx];
+    bool IsLast = Idx + 1 == Blk.Insts.size();
+    // The snippet goes before the terminator — and before a CALL too:
+    // nothing may follow a CALL, or the pushed return address would not
+    // land on the continuation block's marker.
+    if (IsLast && TagProgIdx != NoIdx &&
+        (In.I.isTerminator() || In.I.info().IsCall)) {
+      Out.emplace_back(
+          Instruction::intrinsic(IntrinsicID::TagBlock, TagProgIdx));
+      TagProgIdx = NoIdx;
+    }
+    if (SyncDift && hasTagEffect(In.I))
+      Out.emplace_back(Instruction::intrinsic(IntrinsicID::TagProp));
+    if (In.I.Op == Opcode::RET)
+      Out.emplace_back(Instruction::intrinsic(IntrinsicID::RAUnpoison));
+    if (IsLast && In.I.Op == Opcode::JCC &&
+        BranchIt != Ctx.BranchIdOfBlock.end()) {
+      if (Cfg.EnableCoverage)
+        Out.emplace_back(Instruction::intrinsic(IntrinsicID::CovGuard,
+                                                Ctx.NumNormalGuards++));
+      Out.emplace_back(Instruction::intrinsic(IntrinsicID::StartSim,
+                                              BranchIt->second));
+    }
+    Out.push_back(std::move(In));
+  }
+  if (TagProgIdx != NoIdx) // fallthrough block without terminator
+    Out.emplace_back(
+        Instruction::intrinsic(IntrinsicID::TagBlock, TagProgIdx));
+  Blk.Insts = std::move(Out);
+}
+
+Error RealCopyInstrumentPass::run(RewriteContext &Ctx) {
+  if (!Ctx.hasShadows())
+    return makeError("instrument-real-copy requires clone-shadow-functions "
+                     "(single-copy pipelines use instrument-baseline)");
+  for (uint32_t F = 0; F != Ctx.NumReal; ++F) {
+    Function &Fn = Ctx.M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      if (Ctx.isTrampoline(F, B))
+        continue;
+      instrumentBlock(Ctx, F, B);
+    }
+  }
+  return Error::success();
+}

@@ -1,0 +1,50 @@
+//===- passes/RealCopyInstrumentPass.h - Real-Copy instrumentation -*- C++ -*-===//
+///
+/// \file
+/// Instruments the Real Copy — and *only* with what normal execution
+/// needs (the Speculation Shadows claim): RA poison/unpoison, per-block
+/// asynchronous DIFT snippets (TagProgramBuilder), marker NOP +
+/// MarkerCheck at marker sites, and the coverage guard + StartSim pair
+/// before conditional branches. No ASan checks, no memory logging, no
+/// per-site guards — those live exclusively in the Shadow Copy.
+///
+/// Blocks whose accesses cannot be re-expressed at the block end degrade
+/// to synchronous per-instruction tag propagation (taint must not
+/// silently vanish from the Real Copy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_REALCOPYINSTRUMENTPASS_H
+#define TEAPOT_PASSES_REALCOPYINSTRUMENTPASS_H
+
+#include "passes/Pass.h"
+
+namespace teapot {
+namespace passes {
+
+class RealCopyInstrumentPass : public ModulePass {
+public:
+  struct Config {
+    /// Compile per-block tag transfer programs (Kasper DIFT). When
+    /// false, the Real Copy carries no taint tracking at all.
+    bool EnableDift = true;
+    /// Emit normal-execution coverage guards before StartSim.
+    bool EnableCoverage = true;
+  };
+
+  RealCopyInstrumentPass() = default;
+  explicit RealCopyInstrumentPass(Config Cfg) : Cfg(Cfg) {}
+
+  const char *name() const override { return "instrument-real-copy"; }
+  Error run(RewriteContext &Ctx) override;
+
+private:
+  void instrumentBlock(RewriteContext &Ctx, uint32_t F, uint32_t B);
+
+  Config Cfg;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_REALCOPYINSTRUMENTPASS_H

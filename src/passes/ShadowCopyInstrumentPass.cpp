@@ -1,0 +1,155 @@
+//===- passes/ShadowCopyInstrumentPass.cpp --------------------------------===//
+
+#include "passes/ShadowCopyInstrumentPass.h"
+
+#include "passes/InstrumentCommon.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::isa;
+using namespace teapot::passes;
+
+void ShadowCopyInstrumentPass::instrumentBlock(RewriteContext &Ctx,
+                                               uint32_t F, uint32_t B) {
+  if (Ctx.isTrampoline(F, B))
+    return; // trampolines are glue, not program code
+  Function &Fn = Ctx.M.Funcs[F];
+  BasicBlock &Blk = Fn.Blocks[B];
+  std::vector<Inst> Out;
+  Out.reserve(Blk.Insts.size() * 3);
+
+  auto Emit = [&](Instruction I) { Out.emplace_back(std::move(I)); };
+
+  if (Cfg.EnableCoverage)
+    Emit(Instruction::intrinsic(IntrinsicID::CovSpecGuard,
+                                Ctx.NumSpecGuards++));
+  if (B == 0)
+    Emit(Instruction::intrinsic(IntrinsicID::RAPoison));
+
+  unsigned SinceRestore = 0;
+  auto FlushRestore = [&] {
+    if (SinceRestore == 0)
+      return;
+    Emit(Instruction::intrinsic(IntrinsicID::RestoreCond, SinceRestore));
+    SinceRestore = 0;
+  };
+  auto TagProp = [&] {
+    if (Cfg.EnableDift)
+      Emit(Instruction::intrinsic(IntrinsicID::TagProp));
+  };
+  auto MemCheck = [&](const Inst &In, const MemRef &Mem, bool IsWrite) {
+    if (isAllowlistedAccess(Mem))
+      return;
+    int64_t Payload = sitePayload(In.OrigAddr, In.I.Size, IsWrite);
+    Emit(Instruction::intrinsicMem(Cfg.EnableDift ? IntrinsicID::TaintSink
+                                                  : IntrinsicID::AsanCheck,
+                                   Mem, Payload));
+  };
+  MemRef StackSlot{SP, NoReg, 1, -8};
+
+  auto BranchIt = Fn.ShadowOf != NoIdx
+                      ? Ctx.BranchIdOfBlock.find({Fn.ShadowOf, B})
+                      : Ctx.BranchIdOfBlock.end();
+
+  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
+    Inst &In = Blk.Insts[Idx];
+    bool IsLast = Idx + 1 == Blk.Insts.size();
+    switch (In.I.Op) {
+    case Opcode::LOAD:
+    case Opcode::LOADS:
+      MemCheck(In, In.I.B.M, /*IsWrite=*/false);
+      TagProp();
+      break;
+    case Opcode::STORE:
+      MemCheck(In, In.I.A.M, /*IsWrite=*/true);
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, In.I.A.M,
+                                     In.I.Size));
+      TagProp();
+      break;
+    case Opcode::PUSH:
+    case Opcode::CALL:
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
+      TagProp();
+      break;
+    case Opcode::CALLI:
+      Emit(Instruction::intrinsicReg(IntrinsicID::EscapeCheckTgt, In.I.A.R));
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
+      TagProp();
+      break;
+    case Opcode::JMPI:
+      FlushRestore();
+      Emit(Instruction::intrinsicReg(IntrinsicID::EscapeCheckTgt, In.I.A.R));
+      break;
+    case Opcode::RET:
+      FlushRestore();
+      Emit(Instruction::intrinsic(IntrinsicID::RAUnpoison));
+      Emit(Instruction::intrinsic(IntrinsicID::EscapeCheckRet));
+      break;
+    case Opcode::EXT:
+    case Opcode::HALT:
+      // External calls to uninstrumented libraries (and program exit)
+      // cannot be recovered from: unconditional restore point.
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::ExternalCall)));
+      break;
+    case Opcode::FENCE:
+      // Serializing instructions terminate speculative execution.
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::Serializing)));
+      break;
+    case Opcode::JCC:
+      if (IsLast && BranchIt != Ctx.BranchIdOfBlock.end()) {
+        FlushRestore();
+        if (Cfg.EnableDift)
+          Emit(Instruction::intrinsic(IntrinsicID::TaintBranch,
+                                      sitePayload(In.OrigAddr, 0, false)));
+        Emit(Instruction::intrinsic(IntrinsicID::StartSimNested,
+                                    BranchIt->second));
+      }
+      break;
+    case Opcode::MOV:
+    case Opcode::LEA:
+    case Opcode::POP:
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SAR:
+    case Opcode::MUL:
+    case Opcode::UDIV:
+    case Opcode::UREM:
+    case Opcode::NEG:
+    case Opcode::CMP:
+    case Opcode::TEST:
+    case Opcode::SET:
+    case Opcode::CMOV:
+      TagProp();
+      break;
+    default:
+      break;
+    }
+    if (IsLast && (In.I.isTerminator() || In.I.info().IsCall))
+      FlushRestore();
+    Out.push_back(std::move(In));
+    ++SinceRestore;
+    if (SinceRestore >= Cfg.RestoreInterval)
+      FlushRestore();
+  }
+  FlushRestore();
+  Blk.Insts = std::move(Out);
+}
+
+Error ShadowCopyInstrumentPass::run(RewriteContext &Ctx) {
+  if (!Ctx.hasShadows())
+    return makeError("instrument-shadow-copy requires "
+                     "clone-shadow-functions to run first");
+  for (uint32_t F = Ctx.NumReal; F != Ctx.M.Funcs.size(); ++F)
+    for (uint32_t B = 0; B != Ctx.M.Funcs[F].Blocks.size(); ++B)
+      instrumentBlock(Ctx, F, B);
+  return Error::success();
+}

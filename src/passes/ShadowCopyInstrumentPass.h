@@ -1,0 +1,53 @@
+//===- passes/ShadowCopyInstrumentPass.h - Shadow-Copy passes -----*- C++ -*-===//
+///
+/// \file
+/// Instruments the Shadow Copy, where everything speculation-simulation
+/// needs lives *unguarded* (it only ever executes during simulation):
+/// ASan/Kasper sinks, memory logging for rollback, synchronous DIFT,
+/// conditional + unconditional restore points, escape checks on indirect
+/// transfers, nested StartSim before conditional branches, and lazy
+/// speculative coverage.
+///
+/// Requires CloneShadowFunctionsPass (there must be a Shadow Copy) and
+/// TrampolinePass (nested StartSim needs branch-site ids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_SHADOWCOPYINSTRUMENTPASS_H
+#define TEAPOT_PASSES_SHADOWCOPYINSTRUMENTPASS_H
+
+#include "passes/Pass.h"
+
+namespace teapot {
+namespace passes {
+
+class ShadowCopyInstrumentPass : public ModulePass {
+public:
+  struct Config {
+    /// Emit Kasper DIFT sinks (TaintSink/TagProp/TaintBranch). When
+    /// false, plain ASan checks are emitted instead (the SpecFuzz
+    /// detection policy).
+    bool EnableDift = true;
+    /// Emit speculative coverage guards.
+    bool EnableCoverage = true;
+    /// Conditional restore point spacing, in original instructions
+    /// ("between every 50 instructions", Section 6.1).
+    unsigned RestoreInterval = 50;
+  };
+
+  ShadowCopyInstrumentPass() = default;
+  explicit ShadowCopyInstrumentPass(Config Cfg) : Cfg(Cfg) {}
+
+  const char *name() const override { return "instrument-shadow-copy"; }
+  Error run(RewriteContext &Ctx) override;
+
+private:
+  void instrumentBlock(RewriteContext &Ctx, uint32_t F, uint32_t B);
+
+  Config Cfg;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_SHADOWCOPYINSTRUMENTPASS_H

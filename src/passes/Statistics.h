@@ -1,0 +1,50 @@
+//===- passes/Statistics.h - Per-pass timing and counters ---------*- C++ -*-===//
+///
+/// \file
+/// Statistics the PassManager records while a pipeline runs: wall time
+/// and IR growth per pass (measured automatically), plus named counters
+/// passes bump themselves (trampolines created, tag programs compiled,
+/// ...). Carried on core::RewriteResult so tools can print a
+/// `--stats`-style dump after rewriting.
+///
+/// This header is dependency-free so core/TeapotRewriter.h can embed the
+/// statistics in its result type without pulling in the pass machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_STATISTICS_H
+#define TEAPOT_PASSES_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace passes {
+
+/// One pipeline stage's measurements.
+struct PassStat {
+  std::string Name;
+  /// Wall-clock seconds spent in the pass.
+  double Seconds = 0;
+  /// Module growth while the pass ran (passes only append).
+  uint64_t InstsAdded = 0;
+  uint64_t BlocksAdded = 0;
+  uint64_t FuncsAdded = 0;
+  /// Pass-specific named counters.
+  std::map<std::string, uint64_t> Counters;
+};
+
+/// The ordered per-pass statistics of one pipeline run.
+struct PassStatistics {
+  std::vector<PassStat> Passes;
+
+  /// Renders an aligned human-readable table (the `--stats` dump).
+  std::string format() const;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_STATISTICS_H

@@ -1,0 +1,50 @@
+//===- passes/TrampolinePass.cpp ------------------------------------------===//
+
+#include "passes/TrampolinePass.h"
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::isa;
+using namespace teapot::passes;
+
+Error TrampolinePass::run(RewriteContext &Ctx) {
+  Module &M = Ctx.M;
+  const bool Shadows = Ctx.hasShadows();
+  for (uint32_t F = 0; F != Ctx.NumReal; ++F) {
+    Function &Fn = M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      BasicBlock &Blk = Fn.Blocks[B];
+      const Inst *Term = Blk.terminator();
+      if (!Term || Term->I.Op != Opcode::JCC)
+        continue;
+      assert(Blk.TakenSucc && Blk.FallSucc && "JCC without successors");
+
+      auto BranchId = static_cast<uint32_t>(Ctx.TrampolineRefs.size());
+      Ctx.BranchIdOfBlock[{F, B}] = BranchId;
+
+      BlockRef WrongTaken, WrongFall;
+      uint32_t HostFunc;
+      if (Shadows) {
+        HostFunc = Fn.ShadowIdx;
+        WrongTaken = Ctx.shadowBlock(*Blk.FallSucc);
+        WrongFall = Ctx.shadowBlock(*Blk.TakenSucc);
+      } else {
+        HostFunc = F;
+        WrongTaken = *Blk.FallSucc;
+        WrongFall = *Blk.TakenSucc;
+      }
+      BlockRef TrampRef = M.addBlock(HostFunc);
+      BasicBlock &Tramp = M.block(TrampRef);
+      Inst CondJump(Instruction::jcc(Term->I.CC, 0));
+      CondJump.Target = WrongTaken;
+      Inst Fallback(Instruction::jmp(0));
+      Fallback.Target = WrongFall;
+      Tramp.Insts.push_back(std::move(CondJump));
+      Tramp.Insts.push_back(std::move(Fallback));
+      Ctx.TrampolineRefs.push_back(TrampRef);
+      Ctx.TrampolineBlocks.insert({TrampRef.Func, TrampRef.Block});
+    }
+  }
+  Ctx.count("trampolines.created", Ctx.TrampolineRefs.size());
+  return Error::success();
+}

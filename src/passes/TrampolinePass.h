@@ -1,0 +1,34 @@
+//===- passes/TrampolinePass.h - Branch-site trampolines ----------*- C++ -*-===//
+///
+/// \file
+/// Creates one trampoline block per conditional branch (Section 5.2) and
+/// assigns the branch-site ids the runtime's StartSim uses. The
+/// trampoline's first jump keeps the original condition but targets the
+/// *opposite* destination, so whichever way the branch would really go,
+/// control enters the wrong path — in the Shadow Copy when one exists
+/// (CloneShadowFunctionsPass ran), in the same copy under the
+/// single-copy baseline.
+///
+/// Fills RewriteContext::TrampolineRefs / BranchIdOfBlock /
+/// TrampolineBlocks for the instrumentation and layout passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_PASSES_TRAMPOLINEPASS_H
+#define TEAPOT_PASSES_TRAMPOLINEPASS_H
+
+#include "passes/Pass.h"
+
+namespace teapot {
+namespace passes {
+
+class TrampolinePass : public ModulePass {
+public:
+  const char *name() const override { return "create-trampolines"; }
+  Error run(RewriteContext &Ctx) override;
+};
+
+} // namespace passes
+} // namespace teapot
+
+#endif // TEAPOT_PASSES_TRAMPOLINEPASS_H

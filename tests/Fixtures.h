@@ -1,0 +1,163 @@
+//===- tests/Fixtures.h - Shared victim-program fixtures ----------*- C++ -*-===//
+///
+/// \file
+/// The Spectre-V1 victim programs shared by rewriter_test.cpp (semantic
+/// and detection tests) and passes_test.cpp (byte-identity equivalence
+/// corpus). One definition so the two suites cannot silently diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_TESTS_FIXTURES_H
+#define TEAPOT_TESTS_FIXTURES_H
+
+namespace teapot {
+namespace testutil {
+
+/// A classic Spectre-V1 victim: attacker-controlled index, bounds check,
+/// dependent second access (Listing 1 of the paper).
+inline const char *V1Victim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *buf = malloc(64);
+  int i;
+  for (i = 0; i < 64; i = i + 1) { buf[i] = i; }
+  int acc = 0;
+  if (idx < 64) {
+    int v = buf[idx];
+    acc = buf[v & 63];
+  }
+  return acc;
+}
+)";
+
+/// CMOV-clamped variant: conditional moves are not speculated, so no
+/// gadget exists (the Figure 2 / Appendix A.1 discussion).
+inline const char *CmovSafeVictim = R"(
+.text
+main:
+    mov r0, buf64
+    mov r1, 16
+    ext 1              ; read one byte of input
+    ld1 r2, [buf64]    ; idx
+    mov r0, 64
+    ext 4              ; heap buffer
+    mov r3, r0
+    mov r4, 0
+    cmp r2, 64
+    cmov.ae r2, r4     ; clamp instead of branching
+    ld1 r5, [r3 + r2]
+    and r5, 63
+    ld1 r0, [r3 + r5]
+    halt
+.bss
+buf64:
+    .space 64
+)";
+
+/// lfence mitigation: the serializing instruction ends the simulated
+/// speculation before the out-of-bounds access.
+inline const char *FencedVictim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *buf = malloc(64);
+  int acc = 0;
+  if (idx < 64) {
+    fence();
+    int v = buf[idx];
+    acc = buf[v & 63];
+  }
+  return acc;
+}
+)";
+
+/// Speculation must cross a function return to reach the access — this
+/// exercises the marker NOP + MarkerCheck machinery of Listing 4 (and
+/// mirrors the Appendix A.2 case study's shape).
+inline const char *CrossReturnVictim = R"(
+int clamp(int idx) {
+  if (idx < 64) { return idx; }
+  return 0;
+}
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  char *buf = malloc(64);
+  int v = buf[clamp(idx8[0])];
+  int acc = buf[v & 63];
+  return acc;
+}
+)";
+
+/// Massage-policy victim: a speculatively bypassed null check makes a
+/// helper return -1, turning a != loop bound into a wild out-of-bounds
+/// walk whose (attacker-massaged) values are dereferenced — the
+/// Listing 6 pattern.
+inline const char *MassageVictim = R"(
+int size_of(int *hdr) {
+  if (hdr == 0) { return 0 - 1; }
+  return *hdr;
+}
+int main() {
+  char dummy[8];
+  read_input(dummy, 1);
+  char *arr = malloc(2);
+  int *hdr = malloc(8);
+  *hdr = 2;
+  int n = size_of(hdr);
+  int i = 0;
+  int acc = 0;
+  while (i != n) {
+    int v = arr[i];
+    int w = arr[v & 7];
+    if (w > 100) { acc = acc + 1; }
+    i = i + 1;
+  }
+  return acc;
+}
+)";
+
+/// Requires two nested mispredictions: the bounds check is duplicated,
+/// so a single flipped branch still exits before the access.
+inline const char *NestedVictim = R"(
+int main() {
+  char idx8[8];
+  read_input(idx8, 1);
+  int idx = idx8[0];
+  char *buf = malloc(64);
+  int acc = 0;
+  if (idx < 64) {
+    if (idx < 64) {
+      int v = buf[idx];
+      acc = buf[v & 63];
+    }
+  }
+  return acc;
+}
+)";
+
+/// Switch via jump table (compile with SwitchLowering::JumpTable):
+/// indirect jumps in the Shadow Copy must bounce through markers.
+inline const char *SwitchProg = R"(
+int main() {
+  char b[8];
+  read_input(b, 1);
+  int v = b[0] & 3;
+  int r;
+  switch (v) {
+    case 0: { r = 10; break; }
+    case 1: { r = 11; break; }
+    case 2: { r = 12; break; }
+    default: { r = 13; break; }
+  }
+  return r;
+}
+)";
+
+} // namespace testutil
+} // namespace teapot
+
+#endif // TEAPOT_TESTS_FIXTURES_H

@@ -1,0 +1,365 @@
+//===- tests/passes_test.cpp - Instrumentation-pass pipeline ----------------===//
+//
+// Unit tests for the src/passes/ layer: pipeline shapes and ordering
+// invariants, RewriteContext state handoff between passes, per-pass
+// statistics — and the refactor's anchor: PipelineBuilder output is
+// byte-identical to the preserved pre-refactor monolithic rewriter
+// (tests/reference/LegacyRewriter.cpp) on the rewriter_test fixtures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fixtures.h"
+#include "TestUtil.h"
+#include "disasm/Disassembler.h"
+#include "passes/BaselineInstrumentPass.h"
+#include "passes/CloneShadowFunctionsPass.h"
+#include "passes/LayoutAndMetaPass.h"
+#include "passes/MarkerPlacementPass.h"
+#include "passes/PipelineBuilder.h"
+#include "passes/RealCopyInstrumentPass.h"
+#include "passes/ShadowCopyInstrumentPass.h"
+#include "passes/TrampolinePass.h"
+#include "reference/LegacyRewriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::ir;
+using namespace teapot::passes;
+using namespace teapot::testutil;
+
+namespace {
+
+/// All fixture binaries (the shared tests/Fixtures.h corpus),
+/// compiled/assembled once.
+std::vector<std::pair<std::string, obj::ObjectFile>> fixtureBinaries() {
+  std::vector<std::pair<std::string, obj::ObjectFile>> Bins;
+  Bins.emplace_back("v1", compileOrDie(V1Victim));
+  Bins.emplace_back("cmov", assembleOrDie(CmovSafeVictim));
+  Bins.emplace_back("fenced", compileOrDie(FencedVictim));
+  Bins.emplace_back("cross-return", compileOrDie(CrossReturnVictim));
+  Bins.emplace_back("massage", compileOrDie(MassageVictim));
+  Bins.emplace_back("nested", compileOrDie(NestedVictim));
+  lang::CompileOptions JT;
+  JT.Switches = lang::SwitchLowering::JumpTable;
+  Bins.emplace_back("jump-table", compileOrDie(SwitchProg, JT));
+  return Bins;
+}
+
+/// The rewriter configurations both RewriteModes and the ablation
+/// variants exercise.
+std::vector<std::pair<std::string, core::RewriterOptions>>
+allConfigurations() {
+  std::vector<std::pair<std::string, core::RewriterOptions>> Cfgs;
+  {
+    core::RewriterOptions O;
+    Cfgs.emplace_back("teapot", O);
+  }
+  {
+    core::RewriterOptions O;
+    O.EnableDift = false;
+    Cfgs.emplace_back("teapot-asan-only", O);
+  }
+  {
+    core::RewriterOptions O;
+    O.EnableCoverage = false;
+    Cfgs.emplace_back("teapot-no-coverage", O);
+  }
+  {
+    core::RewriterOptions O;
+    O.RestoreInterval = 5;
+    Cfgs.emplace_back("teapot-restore-5", O);
+  }
+  {
+    core::RewriterOptions O;
+    O.Mode = core::RewriteMode::SpecFuzzBaseline;
+    O.EnableDift = false;
+    Cfgs.emplace_back("specfuzz-baseline", O);
+  }
+  return Cfgs;
+}
+
+ir::Module liftOrDie(const obj::ObjectFile &Bin) {
+  auto M = disasm::disassemble(Bin);
+  if (!M) {
+    ADD_FAILURE() << "disassemble failed: " << M.message();
+    abort();
+  }
+  return std::move(*M);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pipeline shape
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineBuilder, TeapotModeComposesTheSixStagePipeline) {
+  auto Names = PipelineBuilder::teapot().passNames();
+  std::vector<std::string> Expected = {
+      "clone-shadow-functions", "create-trampolines",
+      "place-markers",          "instrument-real-copy",
+      "instrument-shadow-copy", "layout-and-meta"};
+  EXPECT_EQ(Names, Expected);
+}
+
+TEST(PipelineBuilder, BaselineModeComposesTheSingleCopyPipeline) {
+  core::RewriterOptions O;
+  O.Mode = core::RewriteMode::SpecFuzzBaseline;
+  auto Names = PipelineBuilder::forOptions(O).passNames();
+  std::vector<std::string> Expected = {"create-trampolines",
+                                       "instrument-baseline",
+                                       "layout-and-meta"};
+  EXPECT_EQ(Names, Expected);
+}
+
+TEST(PipelineBuilder, ForOptionsDispatchesOnMode) {
+  core::RewriterOptions Teapot;
+  EXPECT_EQ(PipelineBuilder::forOptions(Teapot).passNames(),
+            PipelineBuilder::teapot().passNames());
+  core::RewriterOptions Baseline;
+  Baseline.Mode = core::RewriteMode::SpecFuzzBaseline;
+  EXPECT_EQ(PipelineBuilder::forOptions(Baseline).size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ordering invariants
+//===----------------------------------------------------------------------===//
+
+TEST(PassOrdering, ShadowPassesRequireCloneFirst) {
+  // Each shadow-dependent pass must refuse to run on a module that was
+  // never cloned.
+  for (auto MakePipeline : {
+           +[]() -> PipelineBuilder {
+             return std::move(PipelineBuilder().addPass<MarkerPlacementPass>());
+           },
+           +[]() -> PipelineBuilder {
+             return std::move(
+                 PipelineBuilder().addPass<RealCopyInstrumentPass>());
+           },
+           +[]() -> PipelineBuilder {
+             return std::move(
+                 PipelineBuilder().addPass<ShadowCopyInstrumentPass>());
+           },
+       }) {
+    ir::Module M = liftOrDie(compileOrDie(V1Victim));
+    RewriteContext Ctx(M);
+    PassManager PM = MakePipeline().build();
+    Error Err = PM.run(Ctx);
+    EXPECT_TRUE(static_cast<bool>(Err));
+  }
+}
+
+TEST(PassOrdering, CloneMustRunFirstAndOnlyOnce) {
+  ir::Module M = liftOrDie(compileOrDie(V1Victim));
+  RewriteContext Ctx(M);
+  PassManager PM = std::move(PipelineBuilder()
+                                 .addPass<CloneShadowFunctionsPass>()
+                                 .addPass<CloneShadowFunctionsPass>())
+                       .build();
+  Error Err = PM.run(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_NE(Err.message().find("clone-shadow-functions"), std::string::npos);
+}
+
+TEST(PassOrdering, CloneRefusesToRunAfterTrampolines) {
+  // Trampolines created before cloning would be duplicated into the
+  // Shadow Copy with Real-Copy targets; the clone pass must reject the
+  // composition instead of emitting a silently corrupt binary.
+  ir::Module M = liftOrDie(compileOrDie(V1Victim));
+  RewriteContext Ctx(M);
+  PassManager PM = std::move(PipelineBuilder()
+                                 .addPass<TrampolinePass>()
+                                 .addPass<CloneShadowFunctionsPass>())
+                       .build();
+  Error Err = PM.run(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_NE(Err.message().find("create-trampolines"), std::string::npos);
+}
+
+TEST(PassOrdering, BaselinePassRefusesShadowedModules) {
+  ir::Module M = liftOrDie(compileOrDie(V1Victim));
+  RewriteContext Ctx(M);
+  PassManager PM = std::move(PipelineBuilder()
+                                 .addPass<CloneShadowFunctionsPass>()
+                                 .addPass<BaselineInstrumentPass>())
+                       .build();
+  Error Err = PM.run(Ctx);
+  EXPECT_TRUE(static_cast<bool>(Err));
+}
+
+//===----------------------------------------------------------------------===//
+// RewriteContext state handoff
+//===----------------------------------------------------------------------===//
+
+TEST(RewriteContext, CloneAndTrampolineHandoff) {
+  ir::Module M = liftOrDie(compileOrDie(V1Victim));
+  RewriteContext Ctx(M);
+  const uint32_t NumReal = Ctx.NumReal;
+
+  PassManager PM = std::move(PipelineBuilder()
+                                 .addPass<CloneShadowFunctionsPass>()
+                                 .addPass<TrampolinePass>())
+                       .build();
+  Error Err = PM.run(Ctx);
+  ASSERT_FALSE(static_cast<bool>(Err)) << Err.message();
+
+  // Clone doubled the function count and linked shadow indices.
+  ASSERT_EQ(M.Funcs.size(), 2 * size_t(NumReal));
+  EXPECT_TRUE(Ctx.hasShadows());
+  for (uint32_t F = 0; F != NumReal; ++F) {
+    EXPECT_EQ(M.Funcs[F].ShadowIdx, NumReal + F);
+    EXPECT_EQ(M.Funcs[NumReal + F].ShadowOf, F);
+    EXPECT_TRUE(M.Funcs[NumReal + F].IsShadow);
+    EXPECT_EQ(M.Funcs[NumReal + F].Name, M.Funcs[F].Name + "$spec");
+  }
+
+  // Trampolines: one per real-copy conditional branch, hosted in the
+  // Shadow Copy, recorded consistently across the three indices.
+  EXPECT_FALSE(Ctx.TrampolineRefs.empty());
+  EXPECT_EQ(Ctx.TrampolineRefs.size(), Ctx.BranchIdOfBlock.size());
+  EXPECT_EQ(Ctx.TrampolineRefs.size(), Ctx.TrampolineBlocks.size());
+  for (const BlockRef &R : Ctx.TrampolineRefs) {
+    EXPECT_GE(R.Func, NumReal) << "trampoline not in the Shadow Copy";
+    EXPECT_TRUE(Ctx.isTrampoline(R.Func, R.Block));
+    // Trampoline shape: JCC to the wrong taken target + JMP fallback.
+    const BasicBlock &Tramp = M.block(R);
+    ASSERT_EQ(Tramp.Insts.size(), 2u);
+    EXPECT_EQ(Tramp.Insts[0].I.Op, isa::Opcode::JCC);
+    EXPECT_EQ(Tramp.Insts[1].I.Op, isa::Opcode::JMP);
+  }
+  for (const auto &[Site, Id] : Ctx.BranchIdOfBlock) {
+    EXPECT_LT(Site.first, NumReal) << "branch site must be a real block";
+    ASSERT_LT(Id, Ctx.TrampolineRefs.size());
+  }
+}
+
+TEST(RewriteContext, MarkerPlacementHandoff) {
+  ir::Module M = liftOrDie(compileOrDie(CrossReturnVictim));
+  RewriteContext Ctx(M);
+  PassManager PM = std::move(PipelineBuilder()
+                                 .addPass<CloneShadowFunctionsPass>()
+                                 .addPass<TrampolinePass>()
+                                 .addPass<MarkerPlacementPass>())
+                       .build();
+  Error Err = PM.run(Ctx);
+  ASSERT_FALSE(static_cast<bool>(Err)) << Err.message();
+
+  // The call in main creates at least one marker (the continuation).
+  ASSERT_FALSE(Ctx.MarkerBlockRefs.empty());
+  ASSERT_EQ(Ctx.MarkerBlockRefs.size(), Ctx.MarkerResumeRefs.size());
+  ASSERT_EQ(Ctx.MarkerBlockRefs.size(), Ctx.MarkerIdOfBlock.size());
+  for (size_t I = 0; I != Ctx.MarkerBlockRefs.size(); ++I) {
+    const BlockRef &Real = Ctx.MarkerBlockRefs[I];
+    const BlockRef &Resume = Ctx.MarkerResumeRefs[I];
+    EXPECT_LT(Real.Func, Ctx.NumReal);
+    EXPECT_GE(Resume.Func, Ctx.NumReal);
+    // Resume is the marker block's shadow counterpart.
+    EXPECT_EQ(Resume.Func, M.Funcs[Real.Func].ShadowIdx);
+    EXPECT_EQ(Resume.Block, Real.Block);
+    // Id table agrees with the ref vectors.
+    auto It = Ctx.MarkerIdOfBlock.find({Real.Func, Real.Block});
+    ASSERT_NE(It, Ctx.MarkerIdOfBlock.end());
+    EXPECT_EQ(It->second, I);
+  }
+}
+
+TEST(RewriteContext, InstrumentationConsumesIndicesAndAllocatesGuards) {
+  ir::Module M = liftOrDie(compileOrDie(V1Victim));
+  RewriteContext Ctx(M);
+  PassManager PM = std::move(PipelineBuilder::teapot()).build();
+  Error Err = PM.run(Ctx);
+  ASSERT_FALSE(static_cast<bool>(Err)) << Err.message();
+
+  // Guard id ranges ended up in the meta table.
+  EXPECT_GT(Ctx.NumNormalGuards, 0u);
+  EXPECT_GT(Ctx.NumSpecGuards, 0u);
+  EXPECT_EQ(Ctx.Meta.NumNormalGuards, Ctx.NumNormalGuards);
+  EXPECT_EQ(Ctx.Meta.NumSpecGuards, Ctx.NumSpecGuards);
+  // Layout resolved every cross-pass ref into the meta table.
+  EXPECT_EQ(Ctx.Meta.Trampolines.size(), Ctx.TrampolineRefs.size());
+  EXPECT_EQ(Ctx.Meta.MarkerResume.size(), Ctx.MarkerResumeRefs.size());
+  EXPECT_FALSE(Ctx.Binary.Metadata.find(runtime::MetaSectionName) ==
+               Ctx.Binary.Metadata.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Per-pass statistics
+//===----------------------------------------------------------------------===//
+
+TEST(PassStatistics, RecordedPerPassAndCarriedOnResult) {
+  auto RW = rewriteOrDie(compileOrDie(V1Victim));
+  const passes::PassStatistics &Stats = RW.Stats;
+  ASSERT_EQ(Stats.Passes.size(), 6u);
+  EXPECT_EQ(Stats.Passes[0].Name, "clone-shadow-functions");
+  EXPECT_EQ(Stats.Passes.back().Name, "layout-and-meta");
+
+  // Clone doubles functions; trampolines add blocks; both instrument
+  // passes add instructions.
+  EXPECT_GT(Stats.Passes[0].FuncsAdded, 0u);
+  EXPECT_GT(Stats.Passes[1].BlocksAdded, 0u);
+  EXPECT_GT(Stats.Passes[1].Counters.at("trampolines.created"), 0u);
+  EXPECT_GT(Stats.Passes[3].InstsAdded, 0u);
+  EXPECT_GT(Stats.Passes[4].InstsAdded, 0u);
+  for (const passes::PassStat &S : Stats.Passes)
+    EXPECT_GE(S.Seconds, 0.0);
+
+  // The dump renders one line per pass.
+  std::string Dump = Stats.format();
+  for (const passes::PassStat &S : Stats.Passes)
+    EXPECT_NE(Dump.find(S.Name), std::string::npos) << Dump;
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identity vs the pre-refactor rewriter
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, PipelineMatchesLegacyRewriterByteForByte) {
+  auto Bins = fixtureBinaries();
+  auto Cfgs = allConfigurations();
+  for (const auto &[BinName, Bin] : Bins) {
+    for (const auto &[CfgName, Opts] : Cfgs) {
+      SCOPED_TRACE(BinName + " / " + CfgName);
+      auto Legacy = legacyref::legacyRewriteBinary(Bin, Opts);
+      ASSERT_TRUE(Legacy) << Legacy.message();
+      auto New = core::rewriteBinary(Bin, Opts);
+      ASSERT_TRUE(New) << New.message();
+
+      EXPECT_EQ(New->Binary.serialize(), Legacy->Binary.serialize())
+          << "rewritten binary bytes diverge from the pre-refactor "
+             "rewriter";
+      EXPECT_EQ(New->Meta.serialize(), Legacy->Meta.serialize())
+          << "metadata side tables diverge from the pre-refactor rewriter";
+    }
+  }
+}
+
+TEST(Equivalence, ExplicitPipelinesMatchRewriterOptionsDispatch) {
+  // The named PipelineBuilder configurations and the RewriterOptions
+  // driver are the same thing — a config is not a second implementation.
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+
+  auto ViaOptions = core::rewriteBinary(Bin, core::RewriterOptions());
+  ASSERT_TRUE(ViaOptions) << ViaOptions.message();
+  auto ViaPipeline = passes::runPipeline(Bin, PipelineBuilder::teapot());
+  ASSERT_TRUE(ViaPipeline) << ViaPipeline.message();
+  EXPECT_EQ(ViaOptions->Binary.serialize(), ViaPipeline->Binary.serialize());
+
+  core::RewriterOptions BO;
+  BO.Mode = core::RewriteMode::SpecFuzzBaseline;
+  BO.EnableDift = false;
+  auto BaseOptions = core::rewriteBinary(Bin, BO);
+  ASSERT_TRUE(BaseOptions) << BaseOptions.message();
+  auto BasePipeline =
+      passes::runPipeline(Bin, PipelineBuilder::specFuzzBaseline(BO));
+  ASSERT_TRUE(BasePipeline) << BasePipeline.message();
+  EXPECT_EQ(BaseOptions->Binary.serialize(),
+            BasePipeline->Binary.serialize());
+}
+
+TEST(Equivalence, EmptyModuleStillRejected) {
+  ir::Module M;
+  auto RW = core::rewriteModule(std::move(M), core::RewriterOptions());
+  ASSERT_FALSE(RW);
+  EXPECT_NE(RW.message().find("no functions"), std::string::npos);
+}

@@ -1,0 +1,547 @@
+//===- tests/reference/LegacyRewriter.cpp - Pre-refactor rewriter ----------===//
+//
+// The pre-refactor src/core/TeapotRewriter.cpp (plus the
+// src/rewriting/Clone.cpp helpers it used), kept as the equivalence
+// oracle for the pass-pipeline refactor. Only mechanical changes were
+// made: namespace legacyref, LegacyRewriteResult instead of
+// core::RewriteResult, and the clone helpers inlined.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reference/LegacyRewriter.h"
+
+#include "core/TagProgramBuilder.h"
+#include "disasm/Disassembler.h"
+#include "ir/Layout.h"
+#include "obj/Layout.h"
+
+#include <map>
+#include <set>
+
+using namespace teapot;
+using namespace teapot::core;
+using namespace teapot::legacyref;
+using namespace teapot::isa;
+using namespace teapot::ir;
+
+namespace {
+
+// --- formerly src/rewriting/Clone.{h,cpp} ---
+
+void cloneShadowFunctions(Module &M) {
+  const uint32_t NumReal = static_cast<uint32_t>(M.Funcs.size());
+  M.Funcs.reserve(NumReal * 2);
+
+  for (uint32_t F = 0; F != NumReal; ++F) {
+    Function Clone = M.Funcs[F]; // byte-for-byte copy
+    Clone.Name += "$spec";
+    Clone.IsShadow = true;
+    Clone.ShadowOf = F;
+    Clone.ShadowIdx = NoIdx;
+    M.Funcs[F].ShadowIdx = NumReal + F;
+
+    auto Remap = [&](BlockRef &R) {
+      assert(R.Func < NumReal && "clone input already references a shadow");
+      R.Func += NumReal;
+    };
+    for (BasicBlock &B : Clone.Blocks) {
+      if (B.TakenSucc)
+        Remap(*B.TakenSucc);
+      if (B.FallSucc)
+        Remap(*B.FallSucc);
+      for (BlockRef &R : B.IndirectSuccs)
+        Remap(R);
+      for (Inst &In : B.Insts) {
+        if (In.Target)
+          Remap(*In.Target);
+        if (In.Callee != NoIdx)
+          In.Callee += NumReal;
+        // FuncImm deliberately left pointing at the Real Copy.
+      }
+    }
+    M.Funcs.push_back(std::move(Clone));
+  }
+}
+
+BlockRef shadowBlock(const Module &M, BlockRef Real) {
+  uint32_t SIdx = M.Funcs[Real.Func].ShadowIdx;
+  assert(SIdx != NoIdx && "function has no shadow copy");
+  return {SIdx, Real.Block};
+}
+
+// --- formerly src/core/TeapotRewriter.cpp ---
+
+int64_t sitePayload(uint64_t OrigAddr, unsigned Size, bool IsWrite) {
+  return static_cast<int64_t>((OrigAddr << 16) |
+                              (static_cast<uint64_t>(IsWrite) << 8) | Size);
+}
+
+bool isAllowlistedAccess(const MemRef &M) {
+  return (M.Base == SP || M.Base == FP) && M.Index == NoReg;
+}
+
+class Rewriter {
+public:
+  Rewriter(Module &M, const RewriterOptions &Opts) : M(M), Opts(Opts) {}
+
+  Expected<LegacyRewriteResult> run();
+
+private:
+  Module &M;
+  const RewriterOptions &Opts;
+  uint32_t NumReal = 0;
+  bool Shadows() const { return Opts.Mode == RewriteMode::Teapot; }
+
+  std::vector<BlockRef> TrampolineRefs; // branch id -> trampoline block
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> BranchIdOfBlock;
+  std::set<std::pair<uint32_t, uint32_t>> TrampolineBlocks;
+
+  std::set<std::pair<uint32_t, uint32_t>> MarkerNeeded;
+  std::vector<BlockRef> MarkerBlockRefs;  // marker id -> real block
+  std::vector<BlockRef> MarkerResumeRefs; // marker id -> shadow block
+
+  uint32_t NumNormalGuards = 0;
+  uint32_t NumSpecGuards = 0;
+
+  void createTrampolines();
+  void findMarkerBlocks();
+  void instrumentRealBlock(uint32_t F, uint32_t B);
+  void instrumentShadowBlock(uint32_t F, uint32_t B);
+  void instrumentBaselineBlock(uint32_t F, uint32_t B);
+};
+
+} // namespace
+
+void Rewriter::createTrampolines() {
+  for (uint32_t F = 0; F != NumReal; ++F) {
+    Function &Fn = M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      BasicBlock &Blk = Fn.Blocks[B];
+      const Inst *Term = Blk.terminator();
+      if (!Term || Term->I.Op != Opcode::JCC)
+        continue;
+      assert(Blk.TakenSucc && Blk.FallSucc && "JCC without successors");
+
+      auto BranchId = static_cast<uint32_t>(TrampolineRefs.size());
+      BranchIdOfBlock[{F, B}] = BranchId;
+
+      BlockRef WrongTaken, WrongFall;
+      uint32_t HostFunc;
+      if (Shadows()) {
+        HostFunc = Fn.ShadowIdx;
+        WrongTaken = shadowBlock(M, *Blk.FallSucc);
+        WrongFall = shadowBlock(M, *Blk.TakenSucc);
+      } else {
+        HostFunc = F;
+        WrongTaken = *Blk.FallSucc;
+        WrongFall = *Blk.TakenSucc;
+      }
+      BlockRef TrampRef = M.addBlock(HostFunc);
+      BasicBlock &Tramp = M.block(TrampRef);
+      Inst CondJump(Instruction::jcc(Term->I.CC, 0));
+      CondJump.Target = WrongTaken;
+      Inst Fallback(Instruction::jmp(0));
+      Fallback.Target = WrongFall;
+      Tramp.Insts.push_back(std::move(CondJump));
+      Tramp.Insts.push_back(std::move(Fallback));
+      TrampolineRefs.push_back(TrampRef);
+      TrampolineBlocks.insert({TrampRef.Func, TrampRef.Block});
+    }
+  }
+}
+
+void Rewriter::findMarkerBlocks() {
+  for (uint32_t F = 0; F != NumReal; ++F) {
+    Function &Fn = M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      const BasicBlock &Blk = Fn.Blocks[B];
+      const Inst *Term = Blk.terminator();
+      if (Term && Term->I.info().IsCall && Blk.FallSucc)
+        MarkerNeeded.insert({Blk.FallSucc->Func, Blk.FallSucc->Block});
+      for (const BlockRef &R : Blk.IndirectSuccs)
+        MarkerNeeded.insert({R.Func, R.Block});
+    }
+  }
+}
+
+void Rewriter::instrumentRealBlock(uint32_t F, uint32_t B) {
+  BasicBlock &Blk = M.Funcs[F].Blocks[B];
+
+  uint32_t TagProgIdx = NoIdx;
+  bool SyncDift = false;
+  if (Opts.EnableDift) {
+    BlockTagPlan Plan = buildBlockTagProgram(Blk);
+    if (Plan.NeedsSync) {
+      SyncDift = true;
+    } else if (!Plan.Program.empty()) {
+      TagProgIdx = static_cast<uint32_t>(M.TagPrograms.size());
+      M.TagPrograms.push_back(std::move(Plan.Program));
+    }
+  }
+  auto HasTagEffect = [](const isa::Instruction &I) {
+    switch (I.Op) {
+    case Opcode::MOV:
+    case Opcode::LOAD:
+    case Opcode::LOADS:
+    case Opcode::STORE:
+    case Opcode::LEA:
+    case Opcode::PUSH:
+    case Opcode::POP:
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SAR:
+    case Opcode::MUL:
+    case Opcode::UDIV:
+    case Opcode::UREM:
+    case Opcode::NEG:
+    case Opcode::CMP:
+    case Opcode::TEST:
+    case Opcode::SET:
+    case Opcode::CMOV:
+    case Opcode::CALL:
+    case Opcode::CALLI:
+    case Opcode::EXT:
+      return true;
+    default:
+      return false;
+    }
+  };
+
+  std::vector<Inst> Out;
+  Out.reserve(Blk.Insts.size() + 6);
+
+  if (MarkerNeeded.count({F, B})) {
+    auto MarkerId = static_cast<uint32_t>(MarkerBlockRefs.size());
+    MarkerBlockRefs.push_back({F, B});
+    MarkerResumeRefs.push_back(shadowBlock(M, {F, B}));
+    Out.emplace_back(Instruction::markerNop());
+    Out.emplace_back(
+        Instruction::intrinsic(IntrinsicID::MarkerCheck, MarkerId));
+  }
+  if (B == 0)
+    Out.emplace_back(Instruction::intrinsic(IntrinsicID::RAPoison));
+
+  auto BranchIt = BranchIdOfBlock.find({F, B});
+  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
+    Inst &In = Blk.Insts[Idx];
+    bool IsLast = Idx + 1 == Blk.Insts.size();
+    if (IsLast && TagProgIdx != NoIdx &&
+        (In.I.isTerminator() || In.I.info().IsCall)) {
+      Out.emplace_back(
+          Instruction::intrinsic(IntrinsicID::TagBlock, TagProgIdx));
+      TagProgIdx = NoIdx;
+    }
+    if (SyncDift && HasTagEffect(In.I))
+      Out.emplace_back(Instruction::intrinsic(IntrinsicID::TagProp));
+    if (In.I.Op == Opcode::RET)
+      Out.emplace_back(Instruction::intrinsic(IntrinsicID::RAUnpoison));
+    if (IsLast && In.I.Op == Opcode::JCC &&
+        BranchIt != BranchIdOfBlock.end()) {
+      if (Opts.EnableCoverage)
+        Out.emplace_back(Instruction::intrinsic(IntrinsicID::CovGuard,
+                                                NumNormalGuards++));
+      Out.emplace_back(Instruction::intrinsic(IntrinsicID::StartSim,
+                                              BranchIt->second));
+    }
+    Out.push_back(std::move(In));
+  }
+  if (TagProgIdx != NoIdx) // fallthrough block without terminator
+    Out.emplace_back(
+        Instruction::intrinsic(IntrinsicID::TagBlock, TagProgIdx));
+  Blk.Insts = std::move(Out);
+}
+
+void Rewriter::instrumentShadowBlock(uint32_t F, uint32_t B) {
+  if (TrampolineBlocks.count({F, B}))
+    return; // trampolines are glue, not program code
+  Function &Fn = M.Funcs[F];
+  BasicBlock &Blk = Fn.Blocks[B];
+  std::vector<Inst> Out;
+  Out.reserve(Blk.Insts.size() * 3);
+
+  auto Emit = [&](Instruction I) { Out.emplace_back(std::move(I)); };
+
+  if (Opts.EnableCoverage)
+    Emit(Instruction::intrinsic(IntrinsicID::CovSpecGuard, NumSpecGuards++));
+  if (B == 0)
+    Emit(Instruction::intrinsic(IntrinsicID::RAPoison));
+
+  unsigned SinceRestore = 0;
+  auto FlushRestore = [&] {
+    if (SinceRestore == 0)
+      return;
+    Emit(Instruction::intrinsic(IntrinsicID::RestoreCond, SinceRestore));
+    SinceRestore = 0;
+  };
+  auto TagProp = [&] {
+    if (Opts.EnableDift)
+      Emit(Instruction::intrinsic(IntrinsicID::TagProp));
+  };
+  auto MemCheck = [&](const Inst &In, const MemRef &Mem, bool IsWrite) {
+    if (isAllowlistedAccess(Mem))
+      return;
+    int64_t Payload = sitePayload(In.OrigAddr, In.I.Size, IsWrite);
+    Emit(Instruction::intrinsicMem(Opts.EnableDift ? IntrinsicID::TaintSink
+                                                   : IntrinsicID::AsanCheck,
+                                   Mem, Payload));
+  };
+  MemRef StackSlot{SP, NoReg, 1, -8};
+
+  auto BranchIt =
+      Fn.ShadowOf != NoIdx
+          ? BranchIdOfBlock.find({Fn.ShadowOf, B})
+          : BranchIdOfBlock.end();
+
+  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
+    Inst &In = Blk.Insts[Idx];
+    bool IsLast = Idx + 1 == Blk.Insts.size();
+    switch (In.I.Op) {
+    case Opcode::LOAD:
+    case Opcode::LOADS:
+      MemCheck(In, In.I.B.M, /*IsWrite=*/false);
+      TagProp();
+      break;
+    case Opcode::STORE:
+      MemCheck(In, In.I.A.M, /*IsWrite=*/true);
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, In.I.A.M,
+                                     In.I.Size));
+      TagProp();
+      break;
+    case Opcode::PUSH:
+    case Opcode::CALL:
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
+      TagProp();
+      break;
+    case Opcode::CALLI:
+      Emit(Instruction::intrinsicReg(IntrinsicID::EscapeCheckTgt, In.I.A.R));
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
+      TagProp();
+      break;
+    case Opcode::JMPI:
+      FlushRestore();
+      Emit(Instruction::intrinsicReg(IntrinsicID::EscapeCheckTgt, In.I.A.R));
+      break;
+    case Opcode::RET:
+      FlushRestore();
+      Emit(Instruction::intrinsic(IntrinsicID::RAUnpoison));
+      Emit(Instruction::intrinsic(IntrinsicID::EscapeCheckRet));
+      break;
+    case Opcode::EXT:
+    case Opcode::HALT:
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::ExternalCall)));
+      break;
+    case Opcode::FENCE:
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::Serializing)));
+      break;
+    case Opcode::JCC:
+      if (IsLast && BranchIt != BranchIdOfBlock.end()) {
+        FlushRestore();
+        if (Opts.EnableDift)
+          Emit(Instruction::intrinsic(
+              IntrinsicID::TaintBranch,
+              sitePayload(In.OrigAddr, 0, false)));
+        Emit(Instruction::intrinsic(IntrinsicID::StartSimNested,
+                                    BranchIt->second));
+      }
+      break;
+    case Opcode::MOV:
+    case Opcode::LEA:
+    case Opcode::POP:
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SAR:
+    case Opcode::MUL:
+    case Opcode::UDIV:
+    case Opcode::UREM:
+    case Opcode::NEG:
+    case Opcode::CMP:
+    case Opcode::TEST:
+    case Opcode::SET:
+    case Opcode::CMOV:
+      TagProp();
+      break;
+    default:
+      break;
+    }
+    if (IsLast && (In.I.isTerminator() || In.I.info().IsCall))
+      FlushRestore();
+    Out.push_back(std::move(In));
+    ++SinceRestore;
+    if (SinceRestore >= Opts.RestoreInterval)
+      FlushRestore();
+  }
+  FlushRestore();
+  Blk.Insts = std::move(Out);
+}
+
+void Rewriter::instrumentBaselineBlock(uint32_t F, uint32_t B) {
+  if (TrampolineBlocks.count({F, B}))
+    return;
+  BasicBlock &Blk = M.Funcs[F].Blocks[B];
+  std::vector<Inst> Out;
+  Out.reserve(Blk.Insts.size() * 3);
+  auto Emit = [&](Instruction I) { Out.emplace_back(std::move(I)); };
+
+  if (Opts.EnableCoverage)
+    Emit(Instruction::intrinsic(IntrinsicID::CovSpecGuard, NumSpecGuards++));
+  if (B == 0)
+    Emit(Instruction::intrinsic(IntrinsicID::RAPoison));
+
+  unsigned SinceRestore = 0;
+  auto FlushRestore = [&] {
+    if (SinceRestore == 0)
+      return;
+    Emit(Instruction::intrinsic(IntrinsicID::RestoreCond, SinceRestore));
+    SinceRestore = 0;
+  };
+  MemRef StackSlot{SP, NoReg, 1, -8};
+  auto BranchIt = BranchIdOfBlock.find({F, B});
+
+  for (size_t Idx = 0; Idx != Blk.Insts.size(); ++Idx) {
+    Inst &In = Blk.Insts[Idx];
+    bool IsLast = Idx + 1 == Blk.Insts.size();
+    switch (In.I.Op) {
+    case Opcode::LOAD:
+    case Opcode::LOADS:
+      if (!isAllowlistedAccess(In.I.B.M))
+        Emit(Instruction::intrinsicMem(
+            IntrinsicID::AsanCheck, In.I.B.M,
+            sitePayload(In.OrigAddr, In.I.Size, false)));
+      break;
+    case Opcode::STORE:
+      if (!isAllowlistedAccess(In.I.A.M))
+        Emit(Instruction::intrinsicMem(
+            IntrinsicID::AsanCheck, In.I.A.M,
+            sitePayload(In.OrigAddr, In.I.Size, true)));
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, In.I.A.M,
+                                     In.I.Size));
+      break;
+    case Opcode::PUSH:
+    case Opcode::CALL:
+    case Opcode::CALLI:
+      Emit(Instruction::intrinsicMem(IntrinsicID::MemLog, StackSlot, 8));
+      break;
+    case Opcode::RET:
+      FlushRestore();
+      Emit(Instruction::intrinsic(IntrinsicID::RAUnpoison));
+      break;
+    case Opcode::EXT:
+    case Opcode::HALT:
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::ExternalCall)));
+      break;
+    case Opcode::FENCE:
+      Emit(Instruction::intrinsic(
+          IntrinsicID::RestoreUncond,
+          static_cast<int64_t>(RollbackReason::Serializing)));
+      break;
+    case Opcode::JCC:
+      if (IsLast && BranchIt != BranchIdOfBlock.end()) {
+        FlushRestore();
+        if (Opts.EnableCoverage)
+          Emit(Instruction::intrinsic(IntrinsicID::CovGuard,
+                                      NumNormalGuards++));
+        Emit(Instruction::intrinsic(IntrinsicID::StartSim,
+                                    BranchIt->second));
+      }
+      break;
+    default:
+      break;
+    }
+    if (IsLast && (In.I.isTerminator() || In.I.info().IsCall))
+      FlushRestore();
+    Out.push_back(std::move(In));
+    ++SinceRestore;
+    if (SinceRestore >= Opts.RestoreInterval)
+      FlushRestore();
+  }
+  FlushRestore();
+  Blk.Insts = std::move(Out);
+}
+
+Expected<LegacyRewriteResult> Rewriter::run() {
+  NumReal = static_cast<uint32_t>(M.Funcs.size());
+  if (NumReal == 0)
+    return makeError("module has no functions to rewrite");
+
+  if (Shadows())
+    cloneShadowFunctions(M);
+  createTrampolines();
+  if (Shadows())
+    findMarkerBlocks();
+
+  for (uint32_t F = 0; F != NumReal; ++F) {
+    Function &Fn = M.Funcs[F];
+    for (uint32_t B = 0; B != Fn.Blocks.size(); ++B) {
+      if (TrampolineBlocks.count({F, B}))
+        continue;
+      if (Shadows())
+        instrumentRealBlock(F, B);
+      else
+        instrumentBaselineBlock(F, B);
+    }
+  }
+  if (Shadows()) {
+    for (uint32_t F = NumReal; F != M.Funcs.size(); ++F)
+      for (uint32_t B = 0; B != M.Funcs[F].Blocks.size(); ++B)
+        instrumentShadowBlock(F, B);
+  }
+
+  LegacyRewriteResult Res;
+  auto LayoutOrErr = layOut(M, Res.Binary);
+  if (!LayoutOrErr)
+    return LayoutOrErr.takeError();
+  const LayoutResult &L = *LayoutOrErr;
+
+  runtime::MetaTable &Meta = Res.Meta;
+  Meta.RealTextStart = L.TextStart;
+  Meta.RealTextEnd = L.ShadowStart;
+  Meta.ShadowTextStart = L.ShadowStart;
+  Meta.ShadowTextEnd = L.TextEnd;
+  Meta.SimFlagAddr = obj::SimFlagAddr;
+  for (const BlockRef &R : TrampolineRefs)
+    Meta.Trampolines.push_back(L.blockAddr(R));
+  if (Shadows())
+    for (uint32_t F = 0; F != NumReal; ++F)
+      Meta.FuncMap[L.FuncStart[F]] = L.FuncStart[M.Funcs[F].ShadowIdx];
+  for (size_t I = 0; I != MarkerBlockRefs.size(); ++I) {
+    Meta.MarkerSites.insert(L.blockAddr(MarkerBlockRefs[I]));
+    Meta.MarkerResume.push_back(L.blockAddr(MarkerResumeRefs[I]));
+  }
+  Meta.TagPrograms = M.TagPrograms;
+  Meta.NumNormalGuards = NumNormalGuards;
+  Meta.NumSpecGuards = NumSpecGuards;
+
+  Res.Binary.Metadata[runtime::MetaSectionName] = Meta.serialize();
+  return Res;
+}
+
+Expected<LegacyRewriteResult>
+legacyref::legacyRewriteModule(Module M, const RewriterOptions &Opts) {
+  Rewriter R(M, Opts);
+  return R.run();
+}
+
+Expected<LegacyRewriteResult>
+legacyref::legacyRewriteBinary(const obj::ObjectFile &In,
+                               const RewriterOptions &Opts) {
+  auto ModOrErr = disasm::disassemble(In);
+  if (!ModOrErr)
+    return ModOrErr.takeError();
+  return legacyRewriteModule(std::move(*ModOrErr), Opts);
+}

@@ -1,0 +1,37 @@
+//===- tests/reference/LegacyRewriter.h - Pre-refactor rewriter --*- C++ -*-===//
+///
+/// \file
+/// The monolithic pre-refactor Teapot rewriter, preserved verbatim as a
+/// *test-only* reference implementation: passes_test.cpp asserts that
+/// the pass-pipeline rewriter produces byte-identical binaries and
+/// metadata. Not part of the product library — never include this
+/// outside tests/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_TESTS_REFERENCE_LEGACYREWRITER_H
+#define TEAPOT_TESTS_REFERENCE_LEGACYREWRITER_H
+
+#include "core/TeapotRewriter.h"
+
+namespace teapot {
+namespace legacyref {
+
+struct LegacyRewriteResult {
+  obj::ObjectFile Binary;
+  runtime::MetaTable Meta;
+};
+
+/// The pre-refactor core::rewriteModule, byte-for-byte.
+Expected<LegacyRewriteResult>
+legacyRewriteModule(ir::Module M, const core::RewriterOptions &Opts);
+
+/// The pre-refactor core::rewriteBinary, byte-for-byte.
+Expected<LegacyRewriteResult>
+legacyRewriteBinary(const obj::ObjectFile &In,
+                    const core::RewriterOptions &Opts);
+
+} // namespace legacyref
+} // namespace teapot
+
+#endif // TEAPOT_TESTS_REFERENCE_LEGACYREWRITER_H
