@@ -1,21 +1,25 @@
 //===- examples/scan_cots_binary.cpp - The full Figure 3 workflow -----------===//
 //
 // End-to-end COTS scan: take a *stripped* binary (one of the evaluation
-// workloads, by name), statically rewrite it, then run a coverage-guided
-// fuzzing campaign against the instrumented binary and report every
-// unique gadget with its controllability/channel classification.
+// workloads, by name), statically rewrite it, then run a parallel
+// coverage-guided fuzzing campaign against the instrumented binary and
+// report every unique gadget with its controllability/channel
+// classification. With one worker (the default) the campaign is
+// byte-identical to the classic single-threaded fuzzer; more workers
+// shard the corpus across threads and sync discoveries every epoch.
 //
-//   $ ./scan_cots_binary [workload] [iterations]
-//   $ ./scan_cots_binary brotli 2000
+//   $ ./scan_cots_binary [workload] [iterations] [workers]
+//   $ ./scan_cots_binary brotli 2000 4
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/TeapotRewriter.h"
-#include "fuzz/Fuzzer.h"
+#include "fuzz/Campaign.h"
 #include "lang/MiniCC.h"
 #include "workloads/Harness.h"
 #include "workloads/Programs.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -25,6 +29,8 @@ using namespace teapot::workloads;
 int main(int argc, char **argv) {
   const char *Name = argc > 1 ? argv[1] : "libhtp";
   uint64_t Iters = argc > 2 ? strtoull(argv[2], nullptr, 10) : 800;
+  unsigned Workers =
+      argc > 3 ? static_cast<unsigned>(strtoul(argv[3], nullptr, 10)) : 1;
 
   const Workload *W = findWorkload(Name);
   if (!W) {
@@ -54,34 +60,59 @@ int main(int argc, char **argv) {
          RW->Meta.Trampolines.size(), RW->Meta.MarkerSites.size(),
          RW->Meta.NumNormalGuards, RW->Meta.NumSpecGuards);
 
-  InstrumentedTarget Target(*RW, runtime::RuntimeOptions());
-  Target.RT.Reports.OnNewGadget = [](const runtime::GadgetReport &R) {
+  fuzz::CampaignOptions CO;
+  CO.Seed = 1;
+  CO.TotalIterations = Iters;
+  CO.Workers = Workers;
+  CO.SyncInterval = 256;
+  CO.MaxInputLen = 512;
+  fuzz::Campaign C(instrumentedTargetFactory(*RW, runtime::RuntimeOptions()),
+                   CO);
+  for (const auto &Seed : W->Seeds())
+    C.addSeed(Seed);
+
+  C.gadgets().OnNewGadget = [](const runtime::GadgetReport &R) {
     printf("    [gadget] %s\n", R.describe().c_str());
   };
+  auto Start = std::chrono::steady_clock::now();
+  C.OnEpoch = [&](const fuzz::CampaignProgress &P) {
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    printf("[epoch %3llu] execs %7llu | corpus %5zu | cov %zu+%zu | "
+           "gadgets %zu | %.0f exec/s\n",
+           static_cast<unsigned long long>(P.Epoch),
+           static_cast<unsigned long long>(P.Executions), P.CorpusSize,
+           P.NormalEdges, P.SpecEdges, P.UniqueGadgets,
+           Secs > 0 ? static_cast<double>(P.Executions) / Secs : 0.0);
+  };
 
-  fuzz::FuzzerOptions FO;
-  FO.Seed = 1;
-  FO.MaxIterations = Iters;
-  FO.MaxInputLen = 512;
-  fuzz::Fuzzer F(Target, FO);
-  for (const auto &Seed : W->Seeds())
-    F.addSeed(Seed);
-
-  printf("[*] fuzzing for %llu executions...\n",
-         static_cast<unsigned long long>(Iters));
-  fuzz::FuzzerStats S = F.run();
+  printf("[*] fuzzing for %llu executions on %u worker(s)...\n",
+         static_cast<unsigned long long>(Iters), Workers);
+  fuzz::CampaignStats S = C.run();
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
 
   printf("\n[*] campaign summary\n");
-  printf("    executions:        %llu\n",
-         static_cast<unsigned long long>(S.Executions));
-  printf("    corpus size:       %zu\n", F.corpus().size());
-  printf("    normal coverage:   %zu guards\n",
-         Target.RT.Cov.normalCovered());
-  printf("    spec coverage:     %zu guards\n",
-         Target.RT.Cov.specCovered());
-  printf("    simulations:       %llu\n",
-         static_cast<unsigned long long>(Target.RT.Stats.Simulations));
-  printf("    unique gadgets:    %zu\n",
-         Target.RT.Reports.unique().size());
+  printf("    executions:        %llu (%.0f/sec)\n",
+         static_cast<unsigned long long>(S.Executions),
+         Secs > 0 ? static_cast<double>(S.Executions) / Secs : 0.0);
+  printf("    epochs:            %llu\n",
+         static_cast<unsigned long long>(S.Epochs));
+  printf("    corpus size:       %zu\n", C.corpus().size());
+  printf("    normal coverage:   %zu guards\n", S.NormalEdges);
+  printf("    spec coverage:     %zu guards\n", S.SpecEdges);
+  printf("    cross-worker imports: %llu\n",
+         static_cast<unsigned long long>(S.Imports));
+  printf("    unique gadgets:    %zu\n", S.UniqueGadgets);
+  for (const fuzz::WorkerStats &WS : S.PerWorker)
+    printf("      worker %zu: %llu execs, %llu adds, %llu imports, "
+           "shard %zu, cov %zu+%zu\n",
+           static_cast<size_t>(&WS - S.PerWorker.data()),
+           static_cast<unsigned long long>(WS.Executions),
+           static_cast<unsigned long long>(WS.CorpusAdds),
+           static_cast<unsigned long long>(WS.Imports), WS.ShardSize,
+           WS.NormalEdges, WS.SpecEdges);
   return 0;
 }

@@ -1,0 +1,240 @@
+//===- fuzz/Campaign.cpp --------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace teapot;
+using namespace teapot::fuzz;
+
+namespace {
+
+void mergeMax(std::vector<uint8_t> &Dst, const std::vector<uint8_t> &Src) {
+  if (Dst.size() < Src.size())
+    Dst.resize(Src.size(), 0);
+  for (size_t I = 0; I != Src.size(); ++I)
+    if (Src[I] > Dst[I])
+      Dst[I] = Src[I];
+}
+
+size_t countCovered(const std::vector<uint8_t> &Map) {
+  size_t N = 0;
+  for (uint8_t B : Map)
+    N += B != 0;
+  return N;
+}
+
+} // namespace
+
+/// One worker: everything here is private to its thread during an epoch;
+/// the campaign thread only touches it between epochs (after join).
+struct Campaign::Worker {
+  unsigned Index = 0;
+  RNG Rand{0};
+  std::unique_ptr<FuzzTarget> Target;
+  CorpusShard Shard;
+  /// This worker's slice of CampaignOptions::TotalIterations.
+  uint64_t Budget = 0;
+  uint64_t Executed = 0;
+  WorkerStats Stats;
+  /// Inputs other workers published, pending adoption. A cursor instead
+  /// of erase-from-front keeps publication order stable and cheap.
+  std::vector<std::vector<uint8_t>> Inbox;
+  size_t InboxCursor = 0;
+  /// Locally-novel inputs found this epoch, collected by syncEpoch().
+  std::vector<std::vector<uint8_t>> Outbox;
+  bool Seeded = false;
+
+  bool finished() const { return Seeded && Executed >= Budget; }
+};
+
+uint64_t Campaign::workerSeed(uint64_t CampaignSeed, unsigned WorkerIndex) {
+  if (WorkerIndex == 0)
+    return CampaignSeed; // Workers == 1 reproduces the Fuzzer stream.
+  RNG Splitter(CampaignSeed);
+  uint64_t S = 0;
+  for (unsigned I = 0; I != WorkerIndex; ++I)
+    S = Splitter.next();
+  return S;
+}
+
+Campaign::Campaign(TargetFactory Factory, CampaignOptions Opts)
+    : Factory(std::move(Factory)), Opts(Opts) {
+  if (this->Opts.Workers == 0)
+    this->Opts.Workers = 1;
+  if (this->Opts.SyncInterval == 0)
+    this->Opts.SyncInterval = 1;
+}
+
+Campaign::~Campaign() = default;
+
+void Campaign::addSeed(std::vector<uint8_t> Seed) {
+  if (Seed.size() > Opts.MaxInputLen)
+    Seed.resize(Opts.MaxInputLen);
+  Seeds.push_back(std::move(Seed));
+}
+
+void Campaign::runWorkerEpoch(Worker &W) {
+  MutationOptions MO;
+  MO.MaxInputLen = Opts.MaxInputLen;
+  MO.MaxStackedMutations = Opts.MaxStackedMutations;
+
+  uint64_t EpochExecs = 0;
+  auto ExecAndMerge = [&](const std::vector<uint8_t> &In) {
+    W.Target->execute(In);
+    ++W.Executed;
+    ++W.Stats.Executions;
+    ++EpochExecs;
+    return W.Shard.mergeCoverage(W.Target->normalCoverage(),
+                                 W.Target->specCoverage());
+  };
+
+  if (!W.Seeded) {
+    // Mirror Fuzzer::run: every seed executes up front, even past the
+    // budget, to warm the coverage maps.
+    for (const auto &Seed : W.Shard.entries())
+      ExecAndMerge(Seed);
+    W.Seeded = true;
+  }
+
+  // Adopt what other workers published. Imports execute on *this*
+  // worker's target (its coverage maps decide novelty) and count
+  // against its budget like any other execution.
+  while (W.InboxCursor != W.Inbox.size() && W.Executed < W.Budget &&
+         EpochExecs < Opts.SyncInterval) {
+    const std::vector<uint8_t> &In = W.Inbox[W.InboxCursor];
+    if (W.Shard.containsHash(hashInput(In))) {
+      ++W.InboxCursor; // identical bytes already in the shard: free skip
+      continue;
+    }
+    if (ExecAndMerge(In)) {
+      W.Shard.add(In); // adopted, but not republished
+      ++W.Stats.Imports;
+    }
+    ++W.InboxCursor;
+  }
+
+  // Fuzz the private shard — the Fuzzer::run loop, verbatim.
+  while (W.Executed < W.Budget && EpochExecs < Opts.SyncInterval) {
+    const auto &Parent = W.Shard.entries()[W.Rand.below(W.Shard.size())];
+    std::vector<uint8_t> Input =
+        mutateInput(W.Rand, Parent, W.Shard.entries(), MO);
+    if (ExecAndMerge(Input)) {
+      W.Outbox.push_back(Input);
+      W.Shard.add(std::move(Input));
+      ++W.Stats.CorpusAdds;
+    }
+  }
+}
+
+void Campaign::syncEpoch(uint64_t Epoch) {
+  (void)Epoch;
+  // Drop consumed inbox prefixes (workers are joined; main thread only).
+  for (auto &WP : Workers) {
+    WP->Inbox.erase(WP->Inbox.begin(),
+                    WP->Inbox.begin() +
+                        static_cast<long>(WP->InboxCursor));
+    WP->InboxCursor = 0;
+  }
+  // Publish every worker's epoch discoveries in worker-index order: into
+  // the merged corpus, and into every *other* still-running worker's
+  // inbox (a finished worker has no budget left to execute imports, so
+  // queueing for it would only pin dead copies). Main thread only —
+  // this ordering is what keeps the campaign independent of thread
+  // scheduling.
+  for (auto &WP : Workers) {
+    Worker &W = *WP;
+    for (std::vector<uint8_t> &Input : W.Outbox) {
+      for (auto &Other : Workers)
+        if (Other->Index != W.Index && !Other->finished())
+          Other->Inbox.push_back(Input);
+      MergedCorpus.push_back(std::move(Input));
+    }
+    W.Outbox.clear();
+  }
+  // Fold per-worker gadget sinks into the campaign-unique set (worker
+  // order, so duplicate gadgets resolve to the lowest-index reporter).
+  for (auto &WP : Workers)
+    if (const runtime::ReportSink *S = WP->Target->reports())
+      Gadgets.merge(*S);
+  // Union coverage, for progress reporting.
+  for (auto &WP : Workers) {
+    mergeMax(MergedNormal, WP->Shard.normalMap());
+    mergeMax(MergedSpec, WP->Shard.specMap());
+  }
+}
+
+CampaignStats Campaign::run() {
+  if (Seeds.empty())
+    Seeds.push_back({}); // like Fuzzer: start from the empty input
+
+  // Fresh campaign state on every call, so run() is re-runnable (and
+  // reproduces itself exactly — targets are rebuilt by the factory).
+  MergedNormal.clear();
+  MergedSpec.clear();
+  Gadgets.clear();
+  Workers.clear();
+  for (unsigned I = 0; I != Opts.Workers; ++I) {
+    auto W = std::make_unique<Worker>();
+    W->Index = I;
+    W->Rand = RNG(workerSeed(Opts.Seed, I));
+    W->Target = Factory();
+    W->Budget = Opts.TotalIterations / Opts.Workers +
+                (I < Opts.TotalIterations % Opts.Workers ? 1 : 0);
+    for (const auto &Seed : Seeds)
+      W->Shard.add(Seed);
+    Workers.push_back(std::move(W));
+  }
+  MergedCorpus = Seeds;
+
+  uint64_t Epoch = 0;
+  auto AnyUnfinished = [&] {
+    return std::any_of(Workers.begin(), Workers.end(),
+                       [](const auto &W) { return !W->finished(); });
+  };
+  do {
+    if (Workers.size() == 1) {
+      runWorkerEpoch(*Workers[0]);
+    } else {
+      std::vector<std::thread> Threads;
+      Threads.reserve(Workers.size());
+      for (auto &WP : Workers)
+        if (!WP->finished())
+          Threads.emplace_back([this, W = WP.get()] { runWorkerEpoch(*W); });
+      for (std::thread &T : Threads)
+        T.join();
+    }
+    syncEpoch(Epoch);
+    ++Epoch;
+
+    if (OnEpoch) {
+      CampaignProgress P;
+      P.Epoch = Epoch;
+      for (const auto &W : Workers)
+        P.Executions += W->Executed;
+      P.CorpusSize = MergedCorpus.size();
+      P.NormalEdges = countCovered(MergedNormal);
+      P.SpecEdges = countCovered(MergedSpec);
+      P.UniqueGadgets = Gadgets.uniqueCount();
+      OnEpoch(P);
+    }
+  } while (AnyUnfinished());
+
+  CampaignStats S;
+  S.Epochs = Epoch;
+  for (const auto &WP : Workers) {
+    WorkerStats WS = WP->Stats;
+    WS.ShardSize = WP->Shard.size();
+    WS.NormalEdges = WP->Shard.NormalEdges;
+    WS.SpecEdges = WP->Shard.SpecEdges;
+    S.Executions += WS.Executions;
+    S.CorpusAdds += WS.CorpusAdds;
+    S.Imports += WS.Imports;
+    S.PerWorker.push_back(WS);
+  }
+  S.NormalEdges = countCovered(MergedNormal);
+  S.SpecEdges = countCovered(MergedSpec);
+  S.UniqueGadgets = Gadgets.uniqueCount();
+  return S;
+}

@@ -1,0 +1,134 @@
+//===- fuzz/Campaign.h - Parallel fuzzing campaigns ---------------*- C++ -*-===//
+///
+/// \file
+/// The multi-worker fuzzing campaign: N worker threads, each owning an
+/// isolated FuzzTarget (own VM, own runtime), a private CorpusShard, and
+/// a per-worker RNG stream split deterministically from the campaign
+/// seed. Workers fuzz independently and exchange coverage-novel inputs
+/// through a shared corpus at *epoch barriers* — deterministic points in
+/// per-worker execution counts — so the campaign's corpus and gadget set
+/// depend only on (seed, budget, workers, sync interval), never on how
+/// the OS scheduled the threads. See docs/FUZZING.md for the protocol
+/// and its determinism proof sketch.
+///
+/// The scheduler divides the execution budget across workers such that
+/// `Workers == 1` degenerates to exactly the single-threaded Fuzzer:
+/// same RNG stream, same algorithm (CorpusShard.h), byte-identical
+/// corpus and gadget set under the same seed and budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_FUZZ_CAMPAIGN_H
+#define TEAPOT_FUZZ_CAMPAIGN_H
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/GadgetSink.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace teapot {
+namespace fuzz {
+
+struct CampaignOptions {
+  uint64_t Seed = 1;
+  /// Execution budget summed over all workers (imports included), the
+  /// analogue of FuzzerOptions::MaxIterations.
+  uint64_t TotalIterations = 20000;
+  unsigned Workers = 1;
+  /// Per-worker executions between corpus syncs (one epoch). Smaller
+  /// values propagate discoveries faster but synchronize more often.
+  uint64_t SyncInterval = 512;
+  size_t MaxInputLen = 4096;
+  /// Mutations applied per picked parent (havoc stacking).
+  unsigned MaxStackedMutations = 8;
+};
+
+struct WorkerStats {
+  uint64_t Executions = 0;
+  /// Locally coverage-novel inputs this worker added (and published).
+  uint64_t CorpusAdds = 0;
+  /// Inputs adopted from other workers' publications.
+  uint64_t Imports = 0;
+  size_t ShardSize = 0;
+  size_t NormalEdges = 0;
+  size_t SpecEdges = 0;
+};
+
+struct CampaignStats {
+  uint64_t Executions = 0;
+  uint64_t CorpusAdds = 0;
+  uint64_t Imports = 0;
+  uint64_t Epochs = 0;
+  /// Guards covered in the campaign-merged maps (union over workers).
+  size_t NormalEdges = 0;
+  size_t SpecEdges = 0;
+  size_t UniqueGadgets = 0;
+  std::vector<WorkerStats> PerWorker;
+};
+
+/// Epoch-granular progress snapshot handed to Campaign::OnEpoch.
+struct CampaignProgress {
+  uint64_t Epoch = 0;
+  uint64_t Executions = 0;   // campaign-wide so far
+  size_t CorpusSize = 0;     // merged corpus entries so far
+  size_t NormalEdges = 0;    // union coverage so far
+  size_t SpecEdges = 0;
+  size_t UniqueGadgets = 0;
+};
+
+class Campaign {
+public:
+  Campaign(TargetFactory Factory, CampaignOptions Opts);
+  ~Campaign();
+
+  /// Adds an initial seed input (given to every worker).
+  void addSeed(std::vector<uint8_t> Seed);
+
+  /// Runs the whole campaign. Each call starts afresh: new targets from
+  /// the factory, empty corpus/coverage/gadget state, same seeds — so a
+  /// repeated run() reproduces the first one exactly.
+  CampaignStats run();
+
+  /// The merged campaign corpus: seeds first, then every published
+  /// (coverage-novel) input in deterministic (epoch, worker, sequence)
+  /// order. For Workers == 1 this is exactly Fuzzer::corpus().
+  const std::vector<std::vector<uint8_t>> &corpus() const {
+    return MergedCorpus;
+  }
+
+  /// Campaign-unique gadget reports (cross-worker deduped). The
+  /// non-const overload lets a driver hook gadgets().OnNewGadget before
+  /// run() for a live discovery feed.
+  const GadgetSink &gadgets() const { return Gadgets; }
+  GadgetSink &gadgets() { return Gadgets; }
+
+  /// Invoked on the campaign thread after every epoch barrier.
+  std::function<void(const CampaignProgress &)> OnEpoch;
+
+  /// The deterministic seed split: worker 0 inherits the campaign seed
+  /// itself (the Workers == 1 identity), workers I > 0 get the I-th
+  /// output of a SplitMix64 stream seeded with it.
+  static uint64_t workerSeed(uint64_t CampaignSeed, unsigned WorkerIndex);
+
+private:
+  struct Worker;
+
+  void runWorkerEpoch(Worker &W);
+  void syncEpoch(uint64_t Epoch);
+
+  TargetFactory Factory;
+  CampaignOptions Opts;
+  std::vector<std::vector<uint8_t>> Seeds;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::vector<uint8_t>> MergedCorpus;
+  std::vector<uint8_t> MergedNormal; // bucketized union maps
+  std::vector<uint8_t> MergedSpec;
+  GadgetSink Gadgets;
+};
+
+} // namespace fuzz
+} // namespace teapot
+
+#endif // TEAPOT_FUZZ_CAMPAIGN_H

@@ -1,0 +1,150 @@
+//===- fuzz/CorpusShard.cpp -----------------------------------------------===//
+
+#include "fuzz/CorpusShard.h"
+
+#include <algorithm>
+
+using namespace teapot;
+using namespace teapot::fuzz;
+
+uint8_t fuzz::bucketize(uint8_t Count) {
+  if (Count == 0)
+    return 0;
+  if (Count <= 3)
+    return Count;
+  if (Count <= 7)
+    return 4;
+  if (Count <= 15)
+    return 5;
+  if (Count <= 31)
+    return 6;
+  if (Count <= 127)
+    return 7;
+  return 8;
+}
+
+uint64_t fuzz::hashInput(const std::vector<uint8_t> &Input) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (uint8_t B : Input) {
+    H ^= B;
+    H *= 0x100000001b3ULL;
+  }
+  // Fold in the length so {0} and {0,0} differ even though FNV folds
+  // zero bytes weakly.
+  H ^= Input.size();
+  return H;
+}
+
+bool CorpusShard::mergeCoverage(const std::vector<uint8_t> &NormalRun,
+                                const std::vector<uint8_t> &SpecRun) {
+  auto Merge = [](std::vector<uint8_t> &Global,
+                  const std::vector<uint8_t> &Run, size_t &EdgeStat) {
+    if (Global.size() < Run.size())
+      Global.resize(Run.size(), 0);
+    bool New = false;
+    for (size_t I = 0; I != Run.size(); ++I) {
+      uint8_t B = bucketize(Run[I]);
+      if (B > Global[I]) {
+        if (Global[I] == 0)
+          ++EdgeStat;
+        Global[I] = B;
+        New = true;
+      }
+    }
+    return New;
+  };
+  bool NewNormal = Merge(GlobalNormal, NormalRun, NormalEdges);
+  bool NewSpec = Merge(GlobalSpec, SpecRun, SpecEdges);
+  return NewNormal || NewSpec;
+}
+
+std::vector<uint8_t>
+fuzz::mutateInput(RNG &Rand, const std::vector<uint8_t> &Parent,
+                  const std::vector<std::vector<uint8_t>> &Corpus,
+                  const MutationOptions &Opts) {
+  std::vector<uint8_t> Input = Parent;
+  unsigned Stack = 1 + static_cast<unsigned>(
+                           Rand.below(Opts.MaxStackedMutations));
+  static const uint64_t Interesting[] = {
+      0,    1,   2,        7,         8,          9,    10,  15,
+      16,   31,  32,       63,        64,         100,  127, 128,
+      255,  256, 1023,     1024,      4096,       65535,
+      0x7fffffffffffffffULL, 0xffffffffffffffffULL};
+  for (unsigned S = 0; S != Stack; ++S) {
+    if (Input.empty()) {
+      Input.push_back(static_cast<uint8_t>(Rand.next()));
+      continue;
+    }
+    switch (Rand.below(8)) {
+    case 0: { // bit flip
+      size_t Bit = Rand.below(Input.size() * 8);
+      Input[Bit / 8] ^= static_cast<uint8_t>(1u << (Bit % 8));
+      break;
+    }
+    case 1: // random byte
+      Input[Rand.below(Input.size())] = static_cast<uint8_t>(Rand.next());
+      break;
+    case 2: { // arithmetic +-1..35 on a byte
+      size_t I = Rand.below(Input.size());
+      int Delta = static_cast<int>(Rand.range(1, 35));
+      Input[I] = static_cast<uint8_t>(Input[I] +
+                                      (Rand.chance(1, 2) ? Delta : -Delta));
+      break;
+    }
+    case 3: { // interesting value, 1/2/4/8 bytes
+      unsigned Width = 1u << Rand.below(4);
+      if (Input.size() < Width)
+        break;
+      size_t Off = Rand.below(Input.size() - Width + 1);
+      uint64_t V = Interesting[Rand.below(std::size(Interesting))];
+      for (unsigned I = 0; I != Width; ++I)
+        Input[Off + I] = static_cast<uint8_t>(V >> (I * 8));
+      break;
+    }
+    case 4: { // insert a random byte
+      if (Input.size() >= Opts.MaxInputLen)
+        break;
+      Input.insert(Input.begin() +
+                       static_cast<long>(Rand.below(Input.size() + 1)),
+                   static_cast<uint8_t>(Rand.next()));
+      break;
+    }
+    case 5: { // erase a span
+      if (Input.size() < 2)
+        break;
+      size_t At = Rand.below(Input.size());
+      size_t Len = 1 + Rand.below(std::min<size_t>(8, Input.size() - At));
+      Input.erase(Input.begin() + static_cast<long>(At),
+                  Input.begin() + static_cast<long>(At + Len));
+      break;
+    }
+    case 6: { // duplicate a span (helps grow structured inputs)
+      if (Input.empty() || Input.size() >= Opts.MaxInputLen)
+        break;
+      size_t At = Rand.below(Input.size());
+      size_t Len = 1 + Rand.below(std::min<size_t>(16, Input.size() - At));
+      std::vector<uint8_t> Span(Input.begin() + static_cast<long>(At),
+                                Input.begin() + static_cast<long>(At + Len));
+      Input.insert(Input.begin() + static_cast<long>(At), Span.begin(),
+                   Span.end());
+      break;
+    }
+    case 7: { // splice with another corpus entry
+      if (Corpus.size() < 2)
+        break;
+      const auto &Other = Corpus[Rand.below(Corpus.size())];
+      if (Other.empty())
+        break;
+      size_t Cut = Rand.below(Input.size());
+      size_t OtherCut = Rand.below(Other.size());
+      Input.resize(Cut);
+      Input.insert(Input.end(), Other.begin() + static_cast<long>(OtherCut),
+                   Other.end());
+      break;
+    }
+    }
+    if (Input.size() > Opts.MaxInputLen)
+      Input.resize(Opts.MaxInputLen);
+  }
+  return Input;
+}

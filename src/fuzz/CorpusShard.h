@@ -1,0 +1,101 @@
+//===- fuzz/CorpusShard.h - Per-worker corpus + coverage state ----*- C++ -*-===//
+///
+/// \file
+/// The state one fuzzing worker owns privately: its corpus entries, the
+/// bucketized coverage high-water maps that decide novelty, and the
+/// havoc mutation engine. Extracted from the original single-threaded
+/// `Fuzzer` so that a campaign worker and the plain `Fuzzer` execute the
+/// *same* algorithm — every RNG draw in the same order — which is what
+/// makes a one-worker campaign byte-identical to the classic fuzzer
+/// (see docs/FUZZING.md).
+///
+/// A shard is deliberately lock-free: workers never touch each other's
+/// shards. Cross-worker exchange goes through the campaign's epoch sync
+/// (Campaign.h), never through this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_FUZZ_CORPUSSHARD_H
+#define TEAPOT_FUZZ_CORPUSSHARD_H
+
+#include "support/RNG.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace teapot {
+namespace fuzz {
+
+/// AFL-style count bucketing: 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+.
+uint8_t bucketize(uint8_t Count);
+
+/// FNV-1a content hash, used to skip re-importing inputs a shard already
+/// holds. Never used for novelty (coverage decides that).
+uint64_t hashInput(const std::vector<uint8_t> &Input);
+
+/// Knobs the mutation engine reads. A subset of FuzzerOptions /
+/// CampaignOptions, so both can hand their settings down.
+struct MutationOptions {
+  size_t MaxInputLen = 4096;
+  /// Mutations applied per picked parent (havoc stacking).
+  unsigned MaxStackedMutations = 8;
+};
+
+/// One stacked-havoc mutation round: bit flips, arithmetic, interesting
+/// values, insert/erase/duplicate, and splices against \p Corpus.
+/// Consumes RNG draws in a fixed order — the determinism contract both
+/// Fuzzer and Campaign rely on.
+std::vector<uint8_t> mutateInput(RNG &Rand,
+                                 const std::vector<uint8_t> &Parent,
+                                 const std::vector<std::vector<uint8_t>> &Corpus,
+                                 const MutationOptions &Opts);
+
+class CorpusShard {
+public:
+  /// Appends an entry. Duplicate contents are allowed — a re-executed
+  /// input can be coverage-novel again when the target's persistent
+  /// heuristic state shifted in between.
+  void add(std::vector<uint8_t> Entry) {
+    Hashes.insert(hashInput(Entry));
+    Entries.push_back(std::move(Entry));
+  }
+
+  /// True if an identical byte string is already in the shard. Campaign
+  /// import filter only; the single-worker path never calls this.
+  bool containsHash(uint64_t H) const { return Hashes.count(H) != 0; }
+
+  const std::vector<std::vector<uint8_t>> &entries() const {
+    return Entries;
+  }
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Folds one run's guard hit-count maps into the bucketized high-water
+  /// maps; returns true if either map shows a new bucket (the input is
+  /// coverage-novel for this shard). Normal is merged before spec, and
+  /// the edge counters count guards going 0 -> covered — exactly the
+  /// original Fuzzer::mergeCoverage.
+  bool mergeCoverage(const std::vector<uint8_t> &NormalRun,
+                     const std::vector<uint8_t> &SpecRun);
+
+  /// Bucketized high-water maps (index = guard id).
+  const std::vector<uint8_t> &normalMap() const { return GlobalNormal; }
+  const std::vector<uint8_t> &specMap() const { return GlobalSpec; }
+
+  /// Guards seen covered at least once (0 -> nonzero transitions).
+  size_t NormalEdges = 0;
+  size_t SpecEdges = 0;
+
+private:
+  std::vector<std::vector<uint8_t>> Entries;
+  std::unordered_set<uint64_t> Hashes;
+  std::vector<uint8_t> GlobalNormal;
+  std::vector<uint8_t> GlobalSpec;
+};
+
+} // namespace fuzz
+} // namespace teapot
+
+#endif // TEAPOT_FUZZ_CORPUSSHARD_H

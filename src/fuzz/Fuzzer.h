@@ -10,14 +10,22 @@
 /// Everything is deterministic under a seed, and campaigns are budgeted
 /// in executions rather than wall time so experiments reproduce exactly.
 ///
+/// This class drives exactly one target on one thread; its corpus and
+/// mutation machinery live in CorpusShard.h so the multi-worker
+/// Campaign (Campaign.h) runs the identical algorithm per worker.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TEAPOT_FUZZ_FUZZER_H
 #define TEAPOT_FUZZ_FUZZER_H
 
+#include "fuzz/CorpusShard.h"
+#include "runtime/Report.h"
 #include "support/RNG.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,9 +45,28 @@ public:
   virtual const std::vector<uint8_t> &normalCoverage() const = 0;
   virtual const std::vector<uint8_t> &specCoverage() const = 0;
 
-  /// Unique gadgets discovered so far (for progress reporting).
-  virtual size_t uniqueGadgets() const { return 0; }
+  /// The target's deduplicating gadget collector, or null for targets
+  /// without a detector (e.g. the native-execution baseline). Pure
+  /// virtual on purpose: every target must *declare* its gadget
+  /// accounting — the old `uniqueGadgets() { return 0; }` default let a
+  /// detector-bearing target silently under-report by forgetting the
+  /// override. Campaigns also merge these sinks into the campaign-wide
+  /// GadgetSink.
+  virtual const runtime::ReportSink *reports() const = 0;
+
+  /// Unique gadgets discovered so far (for progress reporting). Derived
+  /// from reports(), not overridable.
+  size_t uniqueGadgets() const {
+    const runtime::ReportSink *S = reports();
+    return S ? S->unique().size() : 0;
+  }
 };
+
+/// Builds one isolated target per call. A Campaign calls it once per
+/// worker; each target must be independently executable (own VM/runtime
+/// state) so workers never share mutable state. workloads/Harness.h
+/// provides factories for the standard target kinds.
+using TargetFactory = std::function<std::unique_ptr<FuzzTarget>()>;
 
 struct FuzzerOptions {
   uint64_t Seed = 1;
@@ -56,9 +83,6 @@ struct FuzzerStats {
   size_t SpecEdges = 0;
 };
 
-/// AFL-style count bucketing: 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+.
-uint8_t bucketize(uint8_t Count);
-
 class Fuzzer {
 public:
   Fuzzer(FuzzTarget &Target, FuzzerOptions Opts);
@@ -69,18 +93,15 @@ public:
   /// Runs the campaign for Opts.MaxIterations executions.
   FuzzerStats run();
 
-  const std::vector<std::vector<uint8_t>> &corpus() const { return Corpus; }
+  const std::vector<std::vector<uint8_t>> &corpus() const {
+    return Shard.entries();
+  }
 
 private:
-  bool mergeCoverage(); // true if either map shows new buckets
-  std::vector<uint8_t> mutate(const std::vector<uint8_t> &Parent);
-
   FuzzTarget &Target;
   FuzzerOptions Opts;
   RNG Rand;
-  std::vector<std::vector<uint8_t>> Corpus;
-  std::vector<uint8_t> GlobalNormal; // bucketized high-water marks
-  std::vector<uint8_t> GlobalSpec;
+  CorpusShard Shard;
   FuzzerStats Stats;
 };
 

@@ -1,0 +1,60 @@
+//===- fuzz/GadgetSink.cpp ------------------------------------------------===//
+
+#include "fuzz/GadgetSink.h"
+
+using namespace teapot;
+using namespace teapot::fuzz;
+
+bool GadgetSink::report(const runtime::GadgetReport &R) {
+  bool New;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    New = Seen.emplace(Key(R.Site, R.Chan, R.Ctrl), R).second;
+  }
+  if (New && OnNewGadget)
+    OnNewGadget(R);
+  return New;
+}
+
+size_t GadgetSink::merge(const runtime::ReportSink &Sink) {
+  std::vector<runtime::GadgetReport> Fresh;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const runtime::GadgetReport &R : Sink.unique())
+      if (Seen.emplace(Key(R.Site, R.Chan, R.Ctrl), R).second)
+        Fresh.push_back(R);
+  }
+  if (OnNewGadget)
+    for (const runtime::GadgetReport &R : Fresh)
+      OnNewGadget(R);
+  return Fresh.size();
+}
+
+std::vector<runtime::GadgetReport> GadgetSink::unique() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<runtime::GadgetReport> Out;
+  Out.reserve(Seen.size());
+  for (const auto &[K, R] : Seen)
+    Out.push_back(R);
+  return Out;
+}
+
+size_t GadgetSink::uniqueCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Seen.size();
+}
+
+void GadgetSink::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Seen.clear();
+}
+
+size_t GadgetSink::count(runtime::Controllability Ctrl,
+                         runtime::Channel Chan) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const auto &[K, R] : Seen)
+    if (R.Ctrl == Ctrl && R.Chan == Chan)
+      ++N;
+  return N;
+}

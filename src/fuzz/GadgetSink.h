@@ -1,0 +1,71 @@
+//===- fuzz/GadgetSink.h - Cross-worker gadget dedupe -------------*- C++ -*-===//
+///
+/// \file
+/// Campaign-wide gadget accounting. Each worker's runtime deduplicates
+/// its own reports in a runtime::ReportSink; the GadgetSink is the level
+/// above: it folds every worker's sink into one campaign-unique set,
+/// keyed like ReportSink on (site, channel, controllability) — the
+/// marker/PC pair plus the Table 4 classification — so the same gadget
+/// found by four workers counts once.
+///
+/// Thread safety: report() and merge() are serialized by a mutex, but the
+/// campaign only calls merge() at epoch barriers (one lock per worker per
+/// epoch — lock-light by construction). unique() returns reports in key
+/// order, so the set is deterministic no matter which worker reported a
+/// gadget first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_FUZZ_GADGETSINK_H
+#define TEAPOT_FUZZ_GADGETSINK_H
+
+#include "runtime/Report.h"
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+namespace teapot {
+namespace fuzz {
+
+class GadgetSink {
+public:
+  /// Uniqueness key, identical to ReportSink's.
+  using Key =
+      std::tuple<uint64_t, runtime::Channel, runtime::Controllability>;
+
+  /// Adds one report; returns true if it was campaign-new. Thread-safe.
+  bool report(const runtime::GadgetReport &R);
+
+  /// Folds every unique report of \p Sink in; returns how many were
+  /// campaign-new. Thread-safe; intended for epoch barriers.
+  size_t merge(const runtime::ReportSink &Sink);
+
+  /// Snapshot of the campaign-unique reports, ordered by key (site,
+  /// channel, controllability) — independent of discovery interleaving.
+  std::vector<runtime::GadgetReport> unique() const;
+
+  size_t uniqueCount() const;
+
+  /// Count of campaign-unique gadgets matching (Ctrl, Chan), mirroring
+  /// ReportSink::count for Table 4-style breakdowns.
+  size_t count(runtime::Controllability Ctrl, runtime::Channel Chan) const;
+
+  /// Forgets every report; the OnNewGadget hook stays installed.
+  void clear();
+
+  /// Invoked (outside the lock, on the reporting/merging thread) for
+  /// every campaign-new gadget — the campaign driver's progress feed.
+  std::function<void(const runtime::GadgetReport &)> OnNewGadget;
+
+private:
+  mutable std::mutex Mu;
+  std::map<Key, runtime::GadgetReport> Seen;
+};
+
+} // namespace fuzz
+} // namespace teapot
+
+#endif // TEAPOT_FUZZ_GADGETSINK_H

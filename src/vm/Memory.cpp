@@ -49,21 +49,39 @@ void Memory::write(uint64_t Addr, const void *In, size_t N) {
   }
 }
 
+static bool isZeroPage(const Memory::Page &P) {
+  for (uint8_t B : P)
+    if (B != 0)
+      return false;
+  return true;
+}
+
 void Memory::captureBaseline() {
   Baseline.clear();
-  for (const auto &[Idx, P] : Pages)
-    Baseline.emplace(Idx, std::make_unique<Page>(*P));
+  for (auto It = Pages.begin(); It != Pages.end();) {
+    if (isZeroPage(*It->second)) {
+      // Reclaim: an unmapped page reads as zero, so this page needs
+      // neither a live mapping nor a snapshot copy.
+      It = Pages.erase(It);
+      continue;
+    }
+    Baseline.emplace(It->first, std::make_unique<Page>(*It->second));
+    ++It;
+  }
   Dirty.clear();
   TrackDirty = true;
 }
 
-void Memory::resetToBaseline() {
+size_t Memory::resetToBaseline() {
+  size_t Restored = 0;
   for (uint64_t Idx : Dirty) {
     auto BIt = Baseline.find(Idx);
     if (BIt == Baseline.end())
-      Pages.erase(Idx);
+      Pages.erase(Idx); // materialized after capture (or zero at capture)
     else
       *Pages[Idx] = *BIt->second;
+    ++Restored;
   }
   Dirty.clear();
+  return Restored;
 }

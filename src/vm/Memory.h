@@ -11,7 +11,12 @@
 /// to shadow regions.
 ///
 /// A baseline snapshot supports O(dirty pages) resets between fuzzing
-/// runs.
+/// runs — the per-execution restore a fuzzing campaign leans on.
+/// Snapshots are sparse: pages that are all-zero at capture time are
+/// reclaimed (unmapped) instead of copied, since an unmapped page
+/// already reads as zero; the mostly-zero shadow regions therefore cost
+/// nothing to snapshot, and a reset un-maps them again rather than
+/// keeping stale zero copies alive.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,15 +60,22 @@ public:
     write(Addr, &V, Size);
   }
 
-  /// Captures the current contents as the reset baseline.
+  /// Captures the current contents as the reset baseline. All-zero
+  /// pages are reclaimed (unmapped, not snapshotted): they are
+  /// indistinguishable from unmapped pages to readers and would only
+  /// bloat the snapshot.
   void captureBaseline();
 
   /// Restores every page written since captureBaseline() to its baseline
-  /// contents (or unmaps it if it was not mapped then).
-  void resetToBaseline();
+  /// contents (or unmaps it if it was not mapped then). Returns the
+  /// number of pages restored — O(dirty pages), independent of the
+  /// total mapped footprint.
+  size_t resetToBaseline();
 
   size_t mappedPageCount() const { return Pages.size(); }
   size_t dirtyPageCount() const { return Dirty.size(); }
+  /// Pages held by the baseline snapshot (excludes reclaimed zero pages).
+  size_t baselinePageCount() const { return Baseline.size(); }
 
 private:
   Page *pageForWrite(uint64_t PageIdx);

@@ -78,3 +78,44 @@ void EmulatorTarget::execute(const std::vector<uint8_t> &Input) {
   M.setInput(Input);
   LastStop = E.run(Budget);
 }
+
+/// Wraps a target-building callable as a TargetFactory, applying the
+/// optional input poke to every instance.
+template <typename MakeFn>
+static fuzz::TargetFactory withPoke(std::optional<uint64_t> PokeAddr,
+                                    MakeFn Make) {
+  return [PokeAddr, Make] {
+    auto T = Make();
+    if (PokeAddr)
+      T->pokeInputTo(*PokeAddr);
+    return std::unique_ptr<fuzz::FuzzTarget>(std::move(T));
+  };
+}
+
+fuzz::TargetFactory
+workloads::instrumentedTargetFactory(const core::RewriteResult &RW,
+                                     runtime::RuntimeOptions RTOpts,
+                                     uint64_t Budget,
+                                     std::optional<uint64_t> PokeAddr) {
+  return withPoke(PokeAddr, [RWp = &RW, RTOpts, Budget] {
+    return std::make_unique<InstrumentedTarget>(*RWp, RTOpts, Budget);
+  });
+}
+
+fuzz::TargetFactory
+workloads::nativeTargetFactory(const obj::ObjectFile &Bin, uint64_t Budget,
+                               std::optional<uint64_t> PokeAddr) {
+  return withPoke(PokeAddr, [Binp = &Bin, Budget] {
+    return std::make_unique<NativeTarget>(*Binp, Budget);
+  });
+}
+
+fuzz::TargetFactory
+workloads::emulatorTargetFactory(const obj::ObjectFile &Bin,
+                                 baselines::SpecTaintOptions Opts,
+                                 uint64_t Budget,
+                                 std::optional<uint64_t> PokeAddr) {
+  return withPoke(PokeAddr, [Binp = &Bin, Opts, Budget] {
+    return std::make_unique<EmulatorTarget>(*Binp, Opts, Budget);
+  });
+}

@@ -15,6 +15,10 @@
 /// guest address before each run — how the Table 3 experiment feeds the
 /// injected gadgets' designated user-input variable.
 ///
+/// The *TargetFactory helpers wrap each kind as a fuzz::TargetFactory so
+/// a Campaign can construct one isolated instance per worker over the
+/// same (shared, read-only) rewrite result or binary.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TEAPOT_WORKLOADS_HARNESS_H
@@ -48,9 +52,7 @@ public:
   const std::vector<uint8_t> &specCoverage() const override {
     return RT.Cov.specMap();
   }
-  size_t uniqueGadgets() const override {
-    return RT.Reports.unique().size();
-  }
+  const runtime::ReportSink *reports() const override { return &RT.Reports; }
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
@@ -73,6 +75,9 @@ public:
     return Empty;
   }
   const std::vector<uint8_t> &specCoverage() const override { return Empty; }
+  /// No detector attached: honestly reports "no gadget accounting"
+  /// rather than a silent zero count.
+  const runtime::ReportSink *reports() const override { return nullptr; }
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
@@ -96,9 +101,7 @@ public:
     return Empty;
   }
   const std::vector<uint8_t> &specCoverage() const override { return Empty; }
-  size_t uniqueGadgets() const override {
-    return E.Reports.unique().size();
-  }
+  const runtime::ReportSink *reports() const override { return &E.Reports; }
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
@@ -111,6 +114,30 @@ private:
   std::optional<uint64_t> PokeAddr;
   std::vector<uint8_t> Empty;
 };
+
+// --- Campaign target factories --------------------------------------------
+//
+// Each returned factory builds a fresh, isolated target per call. The
+// referenced rewrite result / binary is captured by pointer and must
+// outlive the campaign; it is only ever read (Machine::loadObject copies
+// it into guest memory), so any number of workers can share it.
+
+fuzz::TargetFactory
+instrumentedTargetFactory(const core::RewriteResult &RW,
+                          runtime::RuntimeOptions RTOpts,
+                          uint64_t Budget = DefaultRunBudget,
+                          std::optional<uint64_t> PokeAddr = std::nullopt);
+
+fuzz::TargetFactory
+nativeTargetFactory(const obj::ObjectFile &Bin,
+                    uint64_t Budget = DefaultRunBudget,
+                    std::optional<uint64_t> PokeAddr = std::nullopt);
+
+fuzz::TargetFactory
+emulatorTargetFactory(const obj::ObjectFile &Bin,
+                      baselines::SpecTaintOptions Opts,
+                      uint64_t Budget = DefaultRunBudget,
+                      std::optional<uint64_t> PokeAddr = std::nullopt);
 
 } // namespace workloads
 } // namespace teapot

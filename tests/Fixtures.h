@@ -10,8 +10,49 @@
 #ifndef TEAPOT_TESTS_FIXTURES_H
 #define TEAPOT_TESTS_FIXTURES_H
 
+#include "fuzz/Fuzzer.h"
+
+#include <algorithm>
+#include <vector>
+
 namespace teapot {
 namespace testutil {
+
+/// Synthetic fuzz target shared by fuzz_test.cpp (single-threaded
+/// Fuzzer) and campaign_test.cpp (byte-identity + determinism): guards
+/// fire byte by byte as the magic prefix "TEA!" is matched, so the
+/// fuzzer must discover it through coverage. One definition so the
+/// "campaign worker == Fuzzer algorithm" tests cannot silently diverge
+/// from the target the Fuzzer suite exercises.
+class MagicTarget : public fuzz::FuzzTarget {
+public:
+  MagicTarget() : Normal(16, 0), Spec(1, 0) {}
+
+  void execute(const std::vector<uint8_t> &Input) override {
+    std::fill(Normal.begin(), Normal.end(), 0);
+    static const uint8_t Magic[4] = {'T', 'E', 'A', '!'};
+    Normal[0] = 1;
+    for (unsigned I = 0; I != 4; ++I) {
+      if (Input.size() <= I || Input[I] != Magic[I])
+        break;
+      Normal[1 + I] = 1;
+      if (I == 3)
+        Solved = true;
+    }
+    if (Input.size() > 8)
+      Normal[9] = 1;
+  }
+  const std::vector<uint8_t> &normalCoverage() const override {
+    return Normal;
+  }
+  const std::vector<uint8_t> &specCoverage() const override { return Spec; }
+  const runtime::ReportSink *reports() const override { return nullptr; }
+
+  bool Solved = false;
+
+private:
+  std::vector<uint8_t> Normal, Spec;
+};
 
 /// A classic Spectre-V1 victim: attacker-controlled index, bounds check,
 /// dependent second access (Listing 1 of the paper).

@@ -1,11 +1,13 @@
 //===- tests/fuzz_test.cpp - Coverage-guided fuzzer tests --------------------===//
 
+#include "Fixtures.h"
 #include "fuzz/Fuzzer.h"
 
 #include <gtest/gtest.h>
 
 using namespace teapot;
 using namespace teapot::fuzz;
+using teapot::testutil::MagicTarget;
 
 TEST(Bucketize, AflBuckets) {
   EXPECT_EQ(bucketize(0), 0);
@@ -18,40 +20,9 @@ TEST(Bucketize, AflBuckets) {
   EXPECT_EQ(bucketize(255), 8);
 }
 
-namespace {
-
-/// Synthetic target: coverage guards fire based on input properties, so
-/// the fuzzer must discover the "magic" prefix byte by byte.
-class MagicTarget : public FuzzTarget {
-public:
-  MagicTarget() : Normal(16, 0), Spec(1, 0) {}
-
-  void execute(const std::vector<uint8_t> &Input) override {
-    std::fill(Normal.begin(), Normal.end(), 0);
-    static const uint8_t Magic[4] = {'T', 'E', 'A', '!'};
-    Normal[0] = 1;
-    for (unsigned I = 0; I != 4; ++I) {
-      if (Input.size() <= I || Input[I] != Magic[I])
-        break;
-      Normal[1 + I] = 1;
-      if (I == 3)
-        Solved = true;
-    }
-    if (Input.size() > 8)
-      Normal[9] = 1;
-  }
-  const std::vector<uint8_t> &normalCoverage() const override {
-    return Normal;
-  }
-  const std::vector<uint8_t> &specCoverage() const override { return Spec; }
-
-  bool Solved = false;
-
-private:
-  std::vector<uint8_t> Normal, Spec;
-};
-
-} // namespace
+// The MagicTarget fixture lives in Fixtures.h, shared with
+// campaign_test.cpp so the byte-identity tests there exercise the same
+// target this suite does.
 
 TEST(Fuzzer, DiscoversMagicPrefixThroughCoverage) {
   MagicTarget T;
@@ -123,6 +94,7 @@ TEST(Fuzzer, SpecCoverageAlsoGuides) {
     const std::vector<uint8_t> &specCoverage() const override {
       return Spec;
     }
+    const runtime::ReportSink *reports() const override { return nullptr; }
     bool Hit = false;
 
   private:

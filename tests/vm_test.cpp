@@ -33,6 +33,77 @@ TEST(Memory, BaselineReset) {
   EXPECT_EQ(M.dirtyPageCount(), 0u);
 }
 
+TEST(Memory, DirtyPageRestoreIsExact) {
+  Memory M;
+  // Three baseline pages with distinct patterns, plus a cross-page value.
+  for (uint64_t Page = 0; Page != 3; ++Page)
+    for (uint64_t Off = 0; Off != Memory::PageSize; Off += 64)
+      M.writeU8(0x10000 + Page * Memory::PageSize + Off,
+                static_cast<uint8_t>(1 + Page + Off / 64));
+  M.writeUnsigned(0x11000 - 4, 0xa1b2c3d4e5f60708ULL, 8);
+  M.captureBaseline();
+
+  std::vector<uint8_t> Before(3 * Memory::PageSize);
+  M.read(0x10000, Before.data(), Before.size());
+
+  // Scribble over two baseline pages and two fresh ones (the write at
+  // 0x12ffc straddles the 0x13000 page boundary into unmapped space).
+  for (uint64_t Off = 0; Off != Memory::PageSize; ++Off)
+    M.writeU8(0x10000 + Off, 0xee);
+  M.writeUnsigned(0x12ffc, 0xffffffffffffffffULL, 8);
+  M.writeU8(0x40000, 7);
+  size_t Restored = M.resetToBaseline();
+  EXPECT_EQ(Restored, 4u); // pages 0x10, 0x12, 0x13, 0x40
+
+  std::vector<uint8_t> After(3 * Memory::PageSize);
+  M.read(0x10000, After.data(), After.size());
+  EXPECT_EQ(Before, After);
+  EXPECT_EQ(M.readU8(0x40000), 0);
+  EXPECT_EQ(M.dirtyPageCount(), 0u);
+}
+
+TEST(Memory, UntouchedPagesAreNotRestored) {
+  Memory M;
+  M.writeU8(0x1000, 1);
+  M.writeU8(0x2000, 2);
+  M.captureBaseline();
+  M.writeU8(0x1000, 9); // only one page dirtied
+  EXPECT_EQ(M.dirtyPageCount(), 1u);
+  EXPECT_EQ(M.resetToBaseline(), 1u); // O(dirty), not O(mapped)
+  EXPECT_EQ(M.resetToBaseline(), 0u); // idempotent: nothing left to do
+  EXPECT_EQ(M.readU8(0x1000), 1);
+  EXPECT_EQ(M.readU8(0x2000), 2);
+}
+
+TEST(Memory, ZeroPagesReclaimedAtCapture) {
+  Memory M;
+  // A page holding only zeros is indistinguishable from an unmapped one.
+  M.writeUnsigned(0x8000, 0, 8);
+  M.writeU8(0x9000, 3);
+  EXPECT_EQ(M.mappedPageCount(), 2u);
+  M.captureBaseline();
+  EXPECT_EQ(M.mappedPageCount(), 1u)   << "zero page should be unmapped";
+  EXPECT_EQ(M.baselinePageCount(), 1u) << "zero page should not be copied";
+  EXPECT_EQ(M.readU8(0x8000), 0);
+  // Writing it again materializes a fresh page; reset unmaps it again.
+  M.writeU8(0x8000, 0x55);
+  M.resetToBaseline();
+  EXPECT_EQ(M.readU8(0x8000), 0);
+  EXPECT_EQ(M.mappedPageCount(), 1u);
+  EXPECT_EQ(M.readU8(0x9000), 3);
+}
+
+TEST(Memory, RecaptureRebasesTheSnapshot) {
+  Memory M;
+  M.writeU8(0x1000, 1);
+  M.captureBaseline();
+  M.writeU8(0x1000, 2);
+  M.captureBaseline(); // new baseline: 2 is now the reset target
+  M.writeU8(0x1000, 3);
+  M.resetToBaseline();
+  EXPECT_EQ(M.readU8(0x1000), 2);
+}
+
 TEST(Machine, ArithmeticAndHaltStatus) {
   auto R = runNative(assembleOrDie(R"(
 .text
