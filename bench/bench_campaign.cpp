@@ -1,28 +1,53 @@
 //===- bench/bench_campaign.cpp - Campaign scaling curve --------------------===//
 //
-// Throughput (execs/sec) of the parallel fuzzing campaign over 1/2/4/8
-// workers, same total execution budget. Workers are embarrassingly
-// parallel between epoch barriers, so on enough cores the curve is
-// near-linear up to the core count; the speedup column is measured
-// against the 1-worker row (which is byte-identical to the classic
-// single-threaded Fuzzer).
+// Throughput (execs/sec and guest insts/sec) of the parallel fuzzing
+// campaign over 1/2/4/8 workers, same total execution budget. Workers
+// are embarrassingly parallel between epoch barriers, so on enough
+// cores the curve is near-linear up to the core count; the speedup
+// column is measured against the 1-worker row (which is byte-identical
+// to the classic single-threaded Fuzzer).
 //
-//   $ ./bench_campaign [workload] [total-execs]
+//   $ ./bench_campaign [workload] [total-execs] [--json FILE]
 //   $ ./bench_campaign libhtp 4000
+//   $ ./bench_campaign jsmn 2000 --json BENCH_campaign.json
+//
+// --json appends one machine-readable summary object per worker count,
+// feeding the BENCH_vm.json perf-trajectory artifact in CI.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "fuzz/Campaign.h"
 
+#include <string>
 #include <thread>
 
 using namespace teapot;
 using namespace teapot::bench;
 
 int main(int argc, char **argv) {
-  const char *Name = argc > 1 ? argv[1] : "libhtp";
-  uint64_t Total = argc > 2 ? strtoull(argv[2], nullptr, 10) : 4000;
+  const char *Name = "libhtp";
+  uint64_t Total = 4000;
+  const char *JsonPath = nullptr;
+  int Pos = 0;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json") {
+      if (I + 1 >= argc) {
+        fprintf(stderr, "--json requires a file operand\n");
+        return 1;
+      }
+      JsonPath = argv[++I];
+    } else if (Arg.rfind("--", 0) == 0) {
+      fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return 1;
+    } else if (Pos == 0) {
+      Name = argv[I];
+      ++Pos;
+    } else {
+      Total = strtoull(argv[I], nullptr, 10);
+    }
+  }
 
   const workloads::Workload *W = workloads::findWorkload(Name);
   if (!W) {
@@ -33,15 +58,30 @@ int main(int argc, char **argv) {
   Bin.strip();
   core::RewriteResult RW = teapotRewrite(Bin);
 
+  FILE *Json = nullptr;
+  if (JsonPath) {
+    Json = fopen(JsonPath, "w");
+    if (!Json) {
+      fprintf(stderr, "cannot open %s\n", JsonPath);
+      return 1;
+    }
+    fprintf(Json, "{\n  \"workload\": \"%s\",\n  \"total_execs\": %llu,\n"
+            "  \"hardware_threads\": %u,\n  \"rows\": [\n",
+            Name, static_cast<unsigned long long>(Total),
+            std::thread::hardware_concurrency());
+  }
+
   printHeader("Campaign scaling: execs/sec vs workers");
   printf("workload %s, %llu total execs, sync every 256 execs/worker, "
          "%u hardware thread(s)\n\n",
          Name, static_cast<unsigned long long>(Total),
          std::thread::hardware_concurrency());
-  printf("%8s %10s %9s %10s %8s %8s %7s %8s\n", "workers", "execs",
-         "wall(s)", "execs/s", "speedup", "corpus", "edges", "gadgets");
+  printf("%8s %10s %9s %10s %10s %8s %8s %7s %8s\n", "workers", "execs",
+         "wall(s)", "execs/s", "Minsts/s", "speedup", "corpus", "edges",
+         "gadgets");
 
   double BaseRate = 0;
+  bool FirstRow = true;
   for (unsigned Workers : {1u, 2u, 4u, 8u}) {
     fuzz::CampaignOptions CO;
     CO.Seed = 1;
@@ -58,12 +98,31 @@ int main(int argc, char **argv) {
     fuzz::CampaignStats S;
     double Secs = timeIt(1, [&] { S = C.run(); });
     double Rate = Secs > 0 ? static_cast<double>(S.Executions) / Secs : 0;
+    double InstRate =
+        Secs > 0 ? static_cast<double>(S.GuestInsts) / Secs : 0;
     if (Workers == 1)
       BaseRate = Rate;
-    printf("%8u %10llu %9.3f %10.0f %7.2fx %8zu %7zu %8zu\n", Workers,
-           static_cast<unsigned long long>(S.Executions), Secs, Rate,
-           BaseRate > 0 ? Rate / BaseRate : 0.0, C.corpus().size(),
-           S.NormalEdges + S.SpecEdges, S.UniqueGadgets);
+    printf("%8u %10llu %9.3f %10.0f %10.1f %7.2fx %8zu %7zu %8zu\n",
+           Workers, static_cast<unsigned long long>(S.Executions), Secs,
+           Rate, InstRate / 1e6, BaseRate > 0 ? Rate / BaseRate : 0.0,
+           C.corpus().size(), S.NormalEdges + S.SpecEdges, S.UniqueGadgets);
+    if (Json) {
+      fprintf(Json,
+              "%s    {\"workers\": %u, \"execs\": %llu, \"wall_s\": %.6f, "
+              "\"execs_per_sec\": %.1f, \"guest_insts\": %llu, "
+              "\"insts_per_sec\": %.1f, \"corpus\": %zu, \"edges\": %zu, "
+              "\"gadgets\": %zu}",
+              FirstRow ? "" : ",\n", Workers,
+              static_cast<unsigned long long>(S.Executions), Secs, Rate,
+              static_cast<unsigned long long>(S.GuestInsts), InstRate,
+              C.corpus().size(), S.NormalEdges + S.SpecEdges,
+              S.UniqueGadgets);
+      FirstRow = false;
+    }
+  }
+  if (Json) {
+    fprintf(Json, "\n  ]\n}\n");
+    fclose(Json);
   }
   printf("\nShapes to expect: speedup tracks min(workers, cores); corpus\n"
          "and gadget counts stay in the same ballpark at every worker\n"

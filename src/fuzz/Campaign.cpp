@@ -228,9 +228,11 @@ CampaignStats Campaign::run() {
     WS.ShardSize = WP->Shard.size();
     WS.NormalEdges = WP->Shard.NormalEdges;
     WS.SpecEdges = WP->Shard.SpecEdges;
+    WS.GuestInsts = WP->Target->executedInsts();
     S.Executions += WS.Executions;
     S.CorpusAdds += WS.CorpusAdds;
     S.Imports += WS.Imports;
+    S.GuestInsts += WS.GuestInsts;
     S.PerWorker.push_back(WS);
   }
   S.NormalEdges = countCovered(MergedNormal);

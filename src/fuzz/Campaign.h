@@ -54,6 +54,8 @@ struct WorkerStats {
   size_t ShardSize = 0;
   size_t NormalEdges = 0;
   size_t SpecEdges = 0;
+  /// Guest instructions this worker's target executed in total.
+  uint64_t GuestInsts = 0;
 };
 
 struct CampaignStats {
@@ -65,6 +67,9 @@ struct CampaignStats {
   size_t NormalEdges = 0;
   size_t SpecEdges = 0;
   size_t UniqueGadgets = 0;
+  /// Guest instructions summed over all workers — the numerator of the
+  /// campaign's insts/sec throughput figure.
+  uint64_t GuestInsts = 0;
   std::vector<WorkerStats> PerWorker;
 };
 

@@ -43,5 +43,6 @@ FuzzerStats Fuzzer::run() {
   }
   Stats.NormalEdges = Shard.NormalEdges;
   Stats.SpecEdges = Shard.SpecEdges;
+  Stats.GuestInsts = Target.executedInsts();
   return Stats;
 }

@@ -60,6 +60,11 @@ public:
     const runtime::ReportSink *S = reports();
     return S ? S->unique().size() : 0;
   }
+
+  /// Total guest instructions executed across every execute() call, for
+  /// throughput reporting (the per-run VM counter resets per execution;
+  /// targets accumulate it). Targets without a VM may report 0.
+  virtual uint64_t executedInsts() const { return 0; }
 };
 
 /// Builds one isolated target per call. A Campaign calls it once per
@@ -81,6 +86,10 @@ struct FuzzerStats {
   uint64_t CorpusAdds = 0;
   size_t NormalEdges = 0; // bucketized-new normal guards seen
   size_t SpecEdges = 0;
+  /// Guest instructions executed (FuzzTarget::executedInsts at the end
+  /// of the run) — execs/sec times this/Executions is the true
+  /// interpreter throughput.
+  uint64_t GuestInsts = 0;
 };
 
 class Fuzzer {

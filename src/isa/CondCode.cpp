@@ -8,40 +8,6 @@
 using namespace teapot;
 using namespace teapot::isa;
 
-bool isa::evalCond(CondCode CC, uint8_t F) {
-  bool Z = F & FlagZ, S = F & FlagS, C = F & FlagC, O = F & FlagO;
-  switch (CC) {
-  case CondCode::EQ:
-    return Z;
-  case CondCode::NE:
-    return !Z;
-  case CondCode::LT:
-    return S != O;
-  case CondCode::LE:
-    return Z || S != O;
-  case CondCode::GT:
-    return !Z && S == O;
-  case CondCode::GE:
-    return S == O;
-  case CondCode::B:
-    return C;
-  case CondCode::BE:
-    return C || Z;
-  case CondCode::A:
-    return !C && !Z;
-  case CondCode::AE:
-    return !C;
-  case CondCode::S:
-    return S;
-  case CondCode::NS:
-    return !S;
-  case CondCode::NumCondCodes:
-    break;
-  }
-  assert(false && "invalid condition code");
-  return false;
-}
-
 CondCode isa::negateCond(CondCode CC) {
   switch (CC) {
   case CondCode::EQ:

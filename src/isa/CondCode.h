@@ -40,8 +40,40 @@ enum class CondCode : uint8_t {
   NumCondCodes,
 };
 
-/// Evaluates \p CC against \p Flags.
-bool evalCond(CondCode CC, uint8_t Flags);
+/// Evaluates \p CC against \p Flags. Inline: this sits on the
+/// interpreter's conditional-branch hot path.
+inline bool evalCond(CondCode CC, uint8_t F) {
+  bool Z = F & FlagZ, S = F & FlagS, C = F & FlagC, O = F & FlagO;
+  switch (CC) {
+  case CondCode::EQ:
+    return Z;
+  case CondCode::NE:
+    return !Z;
+  case CondCode::LT:
+    return S != O;
+  case CondCode::LE:
+    return Z || S != O;
+  case CondCode::GT:
+    return !Z && S == O;
+  case CondCode::GE:
+    return S == O;
+  case CondCode::B:
+    return C;
+  case CondCode::BE:
+    return C || Z;
+  case CondCode::A:
+    return !C && !Z;
+  case CondCode::AE:
+    return !C;
+  case CondCode::S:
+    return S;
+  case CondCode::NS:
+    return !S;
+  case CondCode::NumCondCodes:
+    break;
+  }
+  return false;
+}
 
 /// Returns the logical negation (EQ <-> NE, LT <-> GE, ...).
 CondCode negateCond(CondCode CC);

@@ -1,0 +1,291 @@
+//===- vm/BlockCache.cpp - Block-compiled instruction cache ---------------===//
+
+#include "vm/BlockCache.h"
+
+#include "vm/Memory.h"
+
+using namespace teapot;
+using namespace teapot::isa;
+using namespace teapot::vm;
+
+void BlockCache::setCodeRegion(uint64_t Base, uint64_t Size) {
+  clear();
+  if (Size > MaxIndexedCodeSize)
+    Size = 0; // pathological image: run everything through the step path
+  CodeBase = Base;
+  CodeSize = Size;
+  Index.assign(static_cast<size_t>(Size), nullptr);
+}
+
+void BlockCache::clear() {
+  std::fill(Index.begin(), Index.end(), nullptr);
+  Blocks.clear();
+}
+
+/// True if \p Op always transfers control away from the fall-through
+/// path, making further decode-ahead pointless (the bytes after it may
+/// be data or another function's prologue).
+static bool alwaysDiverts(Opcode Op) {
+  switch (Op) {
+  case Opcode::JMP:
+  case Opcode::JMPI:
+  case Opcode::CALL:
+  case Opcode::CALLI:
+  case Opcode::RET:
+  case Opcode::HALT:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Flags liveness
+//===----------------------------------------------------------------------===//
+
+/// True if \p Op evaluates a condition code.
+static bool readsFlags(Opcode Op) {
+  return Op == Opcode::JCC || Op == Opcode::SET || Op == Opcode::CMOV;
+}
+
+/// True if \p Op unconditionally rewrites all four flag bits, killing
+/// the previous FLAGS value.
+static bool writesAllFlags(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::SAR:
+  case Opcode::MUL:
+  case Opcode::NEG:
+  case Opcode::CMP:
+  case Opcode::TEST:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True if executing \p Op can make the current FLAGS architecturally
+/// observable outside straight-line dataflow: faulting memory accesses
+/// and division (fault hook / StopState), intrinsics and externals
+/// (handlers copy CPU state, e.g. for checkpoints), and every control
+/// transfer that can leave the block (the successor's liveness is
+/// unknown). A flag value live across any of these must be computed.
+static bool observesFlags(Opcode Op) {
+  switch (Op) {
+  case Opcode::LOAD:
+  case Opcode::LOADS:
+  case Opcode::STORE:
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::UDIV:
+  case Opcode::UREM:
+  case Opcode::EXT:
+  case Opcode::INTR:
+  case Opcode::HALT:
+  case Opcode::JMP:
+  case Opcode::JCC:
+  case Opcode::JMPI:
+  case Opcode::CALL:
+  case Opcode::CALLI:
+  case Opcode::RET:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Backward pass over the block: FlagsNeeded[i] tells whether the FLAGS
+/// value instruction i writes can ever be read. Conservative at the
+/// block exit (a chained successor may branch on our flags).
+static void computeFlagsNeeded(const std::vector<BlockInst> &Insts,
+                               std::vector<bool> &FlagsNeeded) {
+  FlagsNeeded.assign(Insts.size(), true);
+  bool Live = true;
+  for (size_t I = Insts.size(); I-- > 0;) {
+    Opcode Op = Insts[I].D.I.Op;
+    FlagsNeeded[I] = Live;
+    if (readsFlags(Op) || observesFlags(Op))
+      Live = true;
+    else if (writesAllFlags(Op))
+      Live = false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+static uint8_t log2u8(uint8_t V) {
+  uint8_t L = 0;
+  while ((1u << L) < V)
+    ++L;
+  return L;
+}
+
+/// Splits a two-operand ALU form into its RR/RI uop kind. \p RR must be
+/// followed by RI in UopKind declaration order.
+static UopKind aluKind(UopKind RR, const Instruction &I) {
+  return I.B.isReg() ? RR
+                     : static_cast<UopKind>(static_cast<uint8_t>(RR) + 1);
+}
+
+static void setMemFields(Uop &U, const MemRef &M) {
+  U.B = M.Base;
+  U.X = M.Index;
+  U.ScaleLog = log2u8(M.Scale);
+  U.Imm = M.Disp;
+}
+
+/// Lowers one decoded instruction to its micro-op.
+static Uop lower(const Decoded &D, bool FlagsNeeded) {
+  const Instruction &I = D.I;
+  Uop U;
+  U.Len = static_cast<uint8_t>(D.Length);
+  U.A = I.A.R;
+  if (I.B.isReg())
+    U.B = I.B.R;
+  else
+    U.Imm = I.B.Imm;
+
+  switch (I.Op) {
+  case Opcode::NOP:
+  case Opcode::MARKERNOP:
+  case Opcode::FENCE:
+    U.Kind = UopKind::Nop;
+    break;
+  case Opcode::MOV:
+    U.Kind = aluKind(UopKind::MovRR, I);
+    break;
+  case Opcode::ADD:
+    U.Kind = FlagsNeeded ? aluKind(UopKind::AddRR, I)
+                         : aluKind(UopKind::AddRR_NF, I);
+    break;
+  case Opcode::SUB:
+    U.Kind = FlagsNeeded ? aluKind(UopKind::SubRR, I)
+                         : aluKind(UopKind::SubRR_NF, I);
+    break;
+  case Opcode::CMP:
+    U.Kind = FlagsNeeded ? aluKind(UopKind::CmpRR, I) : UopKind::Nop;
+    break;
+  case Opcode::TEST:
+    U.Kind = FlagsNeeded ? aluKind(UopKind::TestRR, I) : UopKind::Nop;
+    break;
+  case Opcode::AND:
+    U.Kind = aluKind(UopKind::AndRR, I);
+    break;
+  case Opcode::OR:
+    U.Kind = aluKind(UopKind::OrRR, I);
+    break;
+  case Opcode::XOR:
+    U.Kind = aluKind(UopKind::XorRR, I);
+    break;
+  case Opcode::SHL:
+    U.Kind = aluKind(UopKind::ShlRR, I);
+    break;
+  case Opcode::SHR:
+    U.Kind = aluKind(UopKind::ShrRR, I);
+    break;
+  case Opcode::SAR:
+    U.Kind = aluKind(UopKind::SarRR, I);
+    break;
+  case Opcode::MUL:
+    U.Kind = aluKind(UopKind::MulRR, I);
+    break;
+  case Opcode::NOT:
+    U.Kind = UopKind::NotR;
+    break;
+  case Opcode::NEG:
+    U.Kind = UopKind::NegR;
+    break;
+  case Opcode::SET:
+    U.Kind = UopKind::SetCC;
+    U.X = static_cast<uint8_t>(I.CC);
+    break;
+  case Opcode::CMOV:
+    U.Kind = aluKind(UopKind::CmovRR, I);
+    U.X = static_cast<uint8_t>(I.CC);
+    break;
+  case Opcode::LEA:
+    U.Kind = UopKind::Lea;
+    setMemFields(U, I.B.M);
+    break;
+  case Opcode::LOAD:
+  case Opcode::LOADS:
+    U.Kind = I.Op == Opcode::LOAD ? UopKind::Load : UopKind::LoadS;
+    setMemFields(U, I.B.M);
+    U.SizeLog = log2u8(I.Size);
+    break;
+  case Opcode::STORE:
+    if (!I.B.isReg()) {
+      U.Kind = UopKind::Fallback; // needs disp + imm: two 64-bit payloads
+      break;
+    }
+    U.Kind = UopKind::StoreR;
+    U.A = I.B.R; // source register
+    setMemFields(U, I.A.M);
+    U.SizeLog = log2u8(I.Size);
+    break;
+  case Opcode::PUSH:
+    if (I.A.isReg()) {
+      U.Kind = UopKind::PushR;
+    } else {
+      U.Kind = UopKind::PushI;
+      U.Imm = I.A.Imm;
+    }
+    break;
+  case Opcode::POP:
+    U.Kind = UopKind::PopR;
+    break;
+  case Opcode::JMP:
+    U.Kind = UopKind::Jmp;
+    U.Imm = I.A.Imm;
+    break;
+  case Opcode::JCC:
+    U.Kind = UopKind::Jcc;
+    U.X = static_cast<uint8_t>(I.CC);
+    U.Imm = I.A.Imm;
+    break;
+  default:
+    U.Kind = UopKind::Fallback; // JMPI/CALL/CALLI/RET/HALT/EXT/INTR/div
+    break;
+  }
+  return U;
+}
+
+DecodedBlock *BlockCache::build(uint64_t PC, const Memory &Mem) {
+  auto Owner = std::make_unique<DecodedBlock>();
+  DecodedBlock *B = Owner.get();
+  B->Entry = PC;
+  uint64_t A = PC;
+  while (B->Insts.size() < MaxBlockInsts) {
+    if (A - CodeBase >= CodeSize)
+      break; // ran off the code region; the step path faults exactly here
+    uint8_t Buf[40];
+    Mem.read(A, Buf, sizeof(Buf));
+    auto D = decode(Buf, sizeof(Buf), 0);
+    if (!D)
+      break; // undecodable tail: the block ends one instruction early
+    A += D->Length;
+    B->Insts.push_back({*D, A});
+    if (alwaysDiverts(D->I.Op))
+      break;
+  }
+  if (B->Insts.empty())
+    return nullptr; // entry itself undecodable: step path raises BadFetch
+
+  std::vector<bool> FlagsNeeded;
+  computeFlagsNeeded(B->Insts, FlagsNeeded);
+  B->Uops.reserve(B->Insts.size());
+  for (size_t I = 0; I != B->Insts.size(); ++I)
+    B->Uops.push_back(lower(B->Insts[I].D, FlagsNeeded[I]));
+
+  Index[PC - CodeBase] = B;
+  Blocks.push_back(std::move(Owner));
+  return B;
+}

@@ -1,0 +1,213 @@
+//===- vm/BlockCache.h - Block-compiled instruction cache ---------*- C++ -*-===//
+///
+/// \file
+/// The block-compilation front-end of the Machine's execution engine.
+/// Straight-line runs of instructions are decoded once into dense
+/// DecodedBlock buffers; the executor then iterates a block's array
+/// between budget checks instead of paying a per-instruction hash-map
+/// probe in the decode cache.
+///
+/// Blocks are keyed by their entry PC through a *flat* direct-mapped
+/// index over the loaded code region (one slot per code byte), so a
+/// dispatch is a subtract, a bounds check, and an array load. PCs
+/// outside the region (the halt sentinel, wild fetches) simply have no
+/// block and fall back to the single-step path.
+///
+/// Blocks additionally carry a two-entry branch-target chain (exit PC ->
+/// successor block) so hot loops and call/return pairs never touch the
+/// flat index at all after the first iteration.
+///
+/// Invalidation rules (see docs/VM.md):
+///   - Machine::loadObject clears the cache and re-registers the code
+///     region; that is the only event that changes code bytes, so blocks
+///     never go stale while a program runs (exactly the contract the
+///     per-instruction decode cache had).
+///   - Blocks hold decoded instructions only, never execution state, so
+///     runtime hooks that redirect the PC (fault hook, intrinsic
+///     handler) need no cache interaction: the executor detects the
+///     redirect by comparing the PC against the instruction's
+///     fall-through address and exits the block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_VM_BLOCKCACHE_H
+#define TEAPOT_VM_BLOCKCACHE_H
+
+#include "isa/Encoding.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace teapot {
+namespace vm {
+
+class Memory;
+
+/// One pre-decoded instruction inside a block. NextPC is the PC value
+/// the Machine exposes while executing it (the fall-through address):
+/// branches are end-relative and CALL pushes this value, and the
+/// executor detects control transfers by the PC diverging from it.
+struct BlockInst {
+  isa::Decoded D;
+  uint64_t NextPC = 0;
+};
+
+/// Micro-op kinds. Block compilation lowers each decoded instruction to
+/// exactly one Uop: common forms get a specialized kind with operands
+/// pre-resolved (register-register vs register-immediate split at
+/// translation time, so the executor never probes Operand kinds), and
+/// everything else lowers to Fallback, which runs the untouched
+/// reference semantics (Machine::exec) on the original Decoded.
+///
+/// _NF ("no flags") variants are emitted when the backward
+/// flags-liveness pass proves the instruction's FLAGS result is
+/// overwritten before anything can read or architecturally observe it;
+/// flag-dead CMP/TEST lower all the way to Nop.
+enum class UopKind : uint8_t {
+  Nop, // NOP, MARKERNOP, FENCE, and flag-dead CMP/TEST
+  MovRR,
+  MovRI,
+  AddRR,
+  AddRI,
+  AddRR_NF,
+  AddRI_NF,
+  SubRR,
+  SubRI,
+  SubRR_NF,
+  SubRI_NF,
+  CmpRR,
+  CmpRI,
+  TestRR,
+  TestRI,
+  AndRR,
+  AndRI,
+  OrRR,
+  OrRI,
+  XorRR,
+  XorRI,
+  ShlRR,
+  ShlRI,
+  ShrRR,
+  ShrRI,
+  SarRR,
+  SarRI,
+  MulRR,
+  MulRI,
+  NotR,
+  NegR,
+  SetCC,
+  CmovRR,
+  CmovRI,
+  Lea,    // full base + index*scale + disp (either reg may be NoReg)
+  Load,   // zero-extending load, full addressing
+  LoadS,  // sign-extending load
+  StoreR, // store of a register source (store-immediate -> Fallback:
+          // it would need two 64-bit payloads)
+  PushR,
+  PushI,
+  PopR,
+  Jmp,
+  Jcc,
+  Fallback, // JMPI/CALL/CALLI/RET/HALT/EXT/INTR/UDIV/UREM/store-imm/...
+};
+
+/// One 16-byte micro-op. Uops[i] corresponds 1:1 to Insts[i]; the
+/// executor tracks the PC locally by accumulating Len and only writes
+/// it to the CPU before operations that can fault, stop, or be
+/// observed by a hook.
+struct Uop {
+  UopKind Kind = UopKind::Fallback;
+  uint8_t Len = 0;      // encoded length: the PC advance
+  uint8_t A = 0;        // dst / src register
+  uint8_t B = 0;        // second register / base register (NoReg: absent)
+  uint8_t X = 0;        // index register (NoReg: absent), or CondCode
+  uint8_t ScaleLog = 0; // log2 of the index scale
+  uint8_t SizeLog = 0;  // log2 of the access size
+  uint8_t Pad = 0;
+  int64_t Imm = 0; // immediate / displacement / branch offset
+};
+static_assert(sizeof(Uop) == 16, "keep the uop stream dense");
+
+/// A decoded straight-line run starting at Entry. Ends at the first
+/// unconditionally-diverting instruction (JMP/JMPI/CALL/CALLI/RET/HALT),
+/// at an undecodable byte, at the code-region edge, or at the length
+/// cap. Conditional branches, intrinsics, and external calls sit in the
+/// middle of blocks; the executor exits early when they divert.
+struct DecodedBlock {
+  uint64_t Entry = 0;
+  std::vector<BlockInst> Insts;
+  /// The compiled form: Uops[i] executes Insts[i].
+  std::vector<Uop> Uops;
+
+  /// Branch-target chain: the last two distinct exit PCs and their
+  /// successor blocks. Successors live in the same cache, so the
+  /// pointers stay valid until clear() destroys both sides.
+  struct Link {
+    uint64_t PC = ~0ULL;
+    DecodedBlock *B = nullptr;
+  };
+  Link Links[2];
+  uint8_t NextLink = 0;
+};
+
+class BlockCache {
+public:
+  /// Length cap per block: bounds decode-ahead waste when entry points
+  /// land just before long straight-line runs that later entries cover.
+  static constexpr size_t MaxBlockInsts = 128;
+  /// Safety cap on the flat index (8 bytes per code byte). Code regions
+  /// beyond this simply are not block-compiled; execution still works
+  /// through the single-step path.
+  static constexpr uint64_t MaxIndexedCodeSize = 64ULL << 20;
+
+  /// Registers the loaded code region [Base, Base+Size) and drops every
+  /// block. Call on every Machine::loadObject.
+  void setCodeRegion(uint64_t Base, uint64_t Size);
+
+  /// Drops all blocks (and with them all chain links).
+  void clear();
+
+  /// The block starting at \p PC, building it on first use. Null when
+  /// PC is outside the code region or starts with an undecodable byte.
+  DecodedBlock *lookup(uint64_t PC, const Memory &Mem) {
+    uint64_t Off = PC - CodeBase;
+    if (Off >= CodeSize)
+      return nullptr;
+    if (DecodedBlock *B = Index[Off])
+      return B;
+    return build(PC, Mem);
+  }
+
+  /// Successor lookup from \p From exiting to \p PC: consults the
+  /// chain first, falling back to (and then updating) the flat index.
+  DecodedBlock *next(DecodedBlock *From, uint64_t PC, const Memory &Mem) {
+    if (From->Links[0].PC == PC)
+      return From->Links[0].B;
+    if (From->Links[1].PC == PC)
+      return From->Links[1].B;
+    DecodedBlock *N = lookup(PC, Mem);
+    if (N) {
+      From->Links[From->NextLink & 1] = {PC, N};
+      ++From->NextLink;
+    }
+    return N;
+  }
+
+  size_t blockCount() const { return Blocks.size(); }
+  uint64_t codeBase() const { return CodeBase; }
+  uint64_t codeSize() const { return CodeSize; }
+
+private:
+  DecodedBlock *build(uint64_t PC, const Memory &Mem);
+
+  uint64_t CodeBase = 0;
+  uint64_t CodeSize = 0;
+  std::vector<DecodedBlock *> Index; // one slot per code byte
+  std::vector<std::unique_ptr<DecodedBlock>> Blocks;
+};
+
+} // namespace vm
+} // namespace teapot
+
+#endif // TEAPOT_VM_BLOCKCACHE_H

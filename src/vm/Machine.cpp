@@ -23,12 +23,25 @@ Machine::Machine() {
 
 Error Machine::loadObject(const obj::ObjectFile &Obj) {
   ICache.clear();
+  uint64_t CodeLo = ~0ULL, CodeHi = 0;
   for (const obj::Section &S : Obj.Sections) {
+    if (S.Kind == obj::SectionKind::Code && S.size()) {
+      CodeLo = std::min(CodeLo, S.Addr);
+      CodeHi = std::max(CodeHi, S.Addr + S.size());
+    }
     if (S.Kind == obj::SectionKind::Bss)
       continue; // sparse memory reads as zero
     if (!S.Bytes.empty())
       Mem.write(S.Addr, S.Bytes.data(), S.Bytes.size());
   }
+  // (Re-)registering the code region is also the block-cache
+  // invalidation point: the new image's bytes are in memory, every old
+  // block is dropped. The write watch keeps both decode caches
+  // coherent if the guest later stores into this region.
+  uint64_t CodeSize = CodeLo < CodeHi ? CodeHi - CodeLo : 0;
+  Blocks.setCodeRegion(CodeLo < CodeHi ? CodeLo : 0, CodeSize);
+  Mem.watchRange(CodeLo < CodeHi ? CodeLo : 0, CodeSize);
+  ICacheEpoch = BlocksEpoch = Mem.watchEpoch();
   C = CPU();
   C.PC = Obj.Entry;
   C.R[SP] = obj::StackTop - 16;
@@ -57,6 +70,10 @@ void Machine::resetToBaseline() {
 }
 
 const Decoded *Machine::decodeAt(uint64_t Addr) {
+  if (ICacheEpoch != Mem.watchEpoch()) {
+    ICache.clear(); // code bytes changed under us: re-decode
+    ICacheEpoch = Mem.watchEpoch();
+  }
   auto It = ICache.find(Addr);
   if (It != ICache.end())
     return &It->second;
@@ -77,10 +94,12 @@ bool Machine::raiseFault(FaultKind K, uint64_t Addr, StopState &StopOut) {
   return false;
 }
 
-bool Machine::guestRead(uint64_t Addr, uint64_t &Out, unsigned Size,
-                        bool Signed, StopState &StopOut) {
+Machine::Access Machine::guestRead(uint64_t Addr, uint64_t &Out,
+                                   unsigned Size, bool Signed,
+                                   StopState &StopOut) {
   if (!obj::isUserAddress(Addr) || !obj::isUserAddress(Addr + Size - 1))
-    return raiseFault(FaultKind::BadMemory, Addr, StopOut);
+    return raiseFault(FaultKind::BadMemory, Addr, StopOut) ? Access::Resumed
+                                                           : Access::Stopped;
   uint64_t V = Mem.readUnsigned(Addr, Size);
   if (Signed && Size < 8) {
     uint64_t SignBit = 1ULL << (Size * 8 - 1);
@@ -88,15 +107,16 @@ bool Machine::guestRead(uint64_t Addr, uint64_t &Out, unsigned Size,
       V |= ~((SignBit << 1) - 1);
   }
   Out = V;
-  return true;
+  return Access::Ok;
 }
 
-bool Machine::guestWrite(uint64_t Addr, uint64_t V, unsigned Size,
-                         StopState &StopOut) {
+Machine::Access Machine::guestWrite(uint64_t Addr, uint64_t V, unsigned Size,
+                                    StopState &StopOut) {
   if (!obj::isUserAddress(Addr) || !obj::isUserAddress(Addr + Size - 1))
-    return raiseFault(FaultKind::BadMemory, Addr, StopOut);
+    return raiseFault(FaultKind::BadMemory, Addr, StopOut) ? Access::Resumed
+                                                           : Access::Stopped;
   Mem.writeUnsigned(Addr, V, Size);
-  return true;
+  return Access::Ok;
 }
 
 bool Machine::execExt(uint64_t Index, StopState &StopOut) {
@@ -128,9 +148,17 @@ bool Machine::execExt(uint64_t Index, StopState &StopOut) {
     if (Len) {
       if (!obj::isUserAddress(Buf) || !obj::isUserAddress(Buf + Len - 1))
         return raiseFault(FaultKind::BadMemory, Buf, StopOut);
-      size_t Old = Output.size();
-      Output.resize(Old + Len);
-      Mem.read(Buf, Output.data() + Old, Len);
+      // Accumulated-output cap (MaxOutputBytes): faulting behaves as if
+      // uncapped (checked above), but bytes past the cap are dropped.
+      uint64_t Room = MaxOutputBytes > Output.size()
+                          ? MaxOutputBytes - Output.size()
+                          : 0;
+      uint64_t N = std::min(Len, Room);
+      if (N) {
+        size_t Old = Output.size();
+        Output.resize(Old + N);
+        Mem.read(Buf, Output.data() + Old, N);
+      }
     }
     return true;
   }
@@ -149,34 +177,49 @@ bool Machine::execExt(uint64_t Index, StopState &StopOut) {
   }
 }
 
+// Flag semantics, shared verbatim between the reference interpreter
+// (exec) and the specialized micro-op handlers in runBlocks — one
+// source of truth for how each operation sets FLAGS.
+namespace {
+inline void flagsZS(CPU &C, uint64_t V) {
+  C.Flags &= ~(FlagZ | FlagS);
+  if (V == 0)
+    C.Flags |= FlagZ;
+  if (V >> 63)
+    C.Flags |= FlagS;
+}
+inline void flagsLogic(CPU &C, uint64_t V) {
+  flagsZS(C, V);
+  C.Flags &= ~(FlagC | FlagO);
+}
+inline void flagsAdd(CPU &C, uint64_t A, uint64_t B, uint64_t Res) {
+  flagsLogic(C, Res);
+  if (Res < A)
+    C.Flags |= FlagC;
+  if ((~(A ^ B) & (A ^ Res)) >> 63)
+    C.Flags |= FlagO;
+}
+inline void flagsSub(CPU &C, uint64_t A, uint64_t B, uint64_t Res) {
+  flagsLogic(C, Res);
+  if (A < B)
+    C.Flags |= FlagC;
+  if (((A ^ B) & (A ^ Res)) >> 63)
+    C.Flags |= FlagO;
+}
+} // namespace
+
 bool Machine::exec(const Decoded &D, StopState &StopOut) {
   const Instruction &I = D.I;
-  auto SetZS = [&](uint64_t V) {
-    C.Flags &= ~(FlagZ | FlagS);
-    if (V == 0)
-      C.Flags |= FlagZ;
-    if (V >> 63)
-      C.Flags |= FlagS;
-  };
+  auto SetZS = [&](uint64_t V) { flagsZS(C, V); };
   auto ClearCO = [&] { C.Flags &= ~(FlagC | FlagO); };
   auto SrcValue = [&](const Operand &O) -> uint64_t {
     return O.isReg() ? C.R[O.R] : static_cast<uint64_t>(O.Imm);
   };
   auto DoAddFlags = [&](uint64_t A, uint64_t B, uint64_t Res) {
-    SetZS(Res);
-    ClearCO();
-    if (Res < A)
-      C.Flags |= FlagC;
-    if ((~(A ^ B) & (A ^ Res)) >> 63)
-      C.Flags |= FlagO;
+    flagsAdd(C, A, B, Res);
   };
   auto DoSubFlags = [&](uint64_t A, uint64_t B, uint64_t Res) {
-    SetZS(Res);
-    ClearCO();
-    if (A < B)
-      C.Flags |= FlagC;
-    if (((A ^ B) & (A ^ Res)) >> 63)
-      C.Flags |= FlagO;
+    flagsSub(C, A, B, Res);
   };
 
   switch (I.Op) {
@@ -186,25 +229,46 @@ bool Machine::exec(const Decoded &D, StopState &StopOut) {
   case Opcode::LOAD:
   case Opcode::LOADS: {
     uint64_t V;
-    if (!guestRead(effectiveAddr(I.B.M), V, I.Size, I.Op == Opcode::LOADS,
-                   StopOut))
+    switch (guestRead(effectiveAddr(I.B.M), V, I.Size,
+                      I.Op == Opcode::LOADS, StopOut)) {
+    case Access::Stopped:
       return false;
+    case Access::Resumed:
+      return true; // squashed
+    case Access::Ok:
+      break;
+    }
     C.R[I.A.R] = V;
     return true;
   }
   case Opcode::STORE:
-    return guestWrite(effectiveAddr(I.A.M), SrcValue(I.B), I.Size, StopOut);
+    return guestWrite(effectiveAddr(I.A.M), SrcValue(I.B), I.Size,
+                      StopOut) != Access::Stopped;
   case Opcode::LEA:
     C.R[I.A.R] = effectiveAddr(I.B.M);
     return true;
   case Opcode::PUSH: {
+    switch (guestWrite(C.R[SP] - 8, SrcValue(I.A), 8, StopOut)) {
+    case Access::Stopped:
+      return false;
+    case Access::Resumed:
+      return true; // squashed: SP unchanged
+    case Access::Ok:
+      break;
+    }
     C.R[SP] -= 8;
-    return guestWrite(C.R[SP], SrcValue(I.A), 8, StopOut);
+    return true;
   }
   case Opcode::POP: {
     uint64_t V;
-    if (!guestRead(C.R[SP], V, 8, false, StopOut))
+    switch (guestRead(C.R[SP], V, 8, false, StopOut)) {
+    case Access::Stopped:
       return false;
+    case Access::Resumed:
+      return true; // squashed
+    case Access::Ok:
+      break;
+    }
     C.R[I.A.R] = V;
     C.R[SP] += 8;
     return true;
@@ -304,25 +368,33 @@ bool Machine::exec(const Decoded &D, StopState &StopOut) {
   case Opcode::JMPI:
     C.PC = C.R[I.A.R];
     return true;
-  case Opcode::CALL: {
-    C.R[SP] -= 8;
-    if (!guestWrite(C.R[SP], C.PC, 8, StopOut))
-      return false;
-    C.PC += static_cast<uint64_t>(I.A.Imm);
-    return true;
-  }
+  case Opcode::CALL:
   case Opcode::CALLI: {
-    uint64_t Target = C.R[I.A.R];
-    C.R[SP] -= 8;
-    if (!guestWrite(C.R[SP], C.PC, 8, StopOut))
+    uint64_t Target = I.Op == Opcode::CALL
+                          ? C.PC + static_cast<uint64_t>(I.A.Imm)
+                          : C.R[I.A.R];
+    switch (guestWrite(C.R[SP] - 8, C.PC, 8, StopOut)) {
+    case Access::Stopped:
       return false;
+    case Access::Resumed:
+      return true; // squashed: no push, no branch
+    case Access::Ok:
+      break;
+    }
+    C.R[SP] -= 8;
     C.PC = Target;
     return true;
   }
   case Opcode::RET: {
     uint64_t V;
-    if (!guestRead(C.R[SP], V, 8, false, StopOut))
+    switch (guestRead(C.R[SP], V, 8, false, StopOut)) {
+    case Access::Stopped:
       return false;
+    case Access::Resumed:
+      return true; // squashed: the hook's PC (or fall-through) stands
+    case Access::Ok:
+      break;
+    }
     C.R[SP] += 8;
     C.PC = V;
     return true;
@@ -370,10 +442,390 @@ bool Machine::step(StopState &StopOut) {
 }
 
 StopState Machine::run(uint64_t MaxInsts) {
+  return UseBlockEngine ? runBlocks(MaxInsts) : runReference(MaxInsts);
+}
+
+/// The reference interpreter: the original per-instruction loop. Every
+/// step() call — including a fault-hook redirect that executes nothing —
+/// consumes one budget unit; runBlocks replicates that accounting
+/// exactly so the two engines stop at identical points.
+StopState Machine::runReference(uint64_t MaxInsts) {
   StopState Stop;
   for (uint64_t N = 0; N != MaxInsts; ++N)
     if (!step(Stop))
       return Stop;
+  Stop.Kind = StopKind::OutOfGas;
+  return Stop;
+}
+
+StopState Machine::runBlocks(uint64_t MaxInsts) {
+  StopState Stop;
+  uint64_t Remaining = MaxInsts;
+  DecodedBlock *B = nullptr;
+
+  // Per-block execution state. Instruction-count bookkeeping is batched
+  // per block and settled on every exit path, so final counts are
+  // identical to the reference loop. The PC is likewise tracked locally
+  // (accumulating encoded lengths) and written to the CPU only before
+  // operations that can fault, stop, or be observed by a hook — so C.PC
+  // and ExecutedInsts are stale *between* such points but exact at
+  // every point anything can look (docs/VM.md).
+  const Uop *UBase = nullptr;
+  const Uop *U = nullptr;
+  const Uop *UE = nullptr;
+  uint64_t PC = 0;
+  bool Diverted = false;
+
+  // Effective address of a uop's pre-resolved memory operand.
+  auto EA = [&](const Uop &Op) {
+    uint64_t A = static_cast<uint64_t>(Op.Imm);
+    if (Op.B != NoReg)
+      A += C.R[Op.B];
+    if (Op.X != NoReg)
+      A += C.R[Op.X] << Op.ScaleLog;
+    return A;
+  };
+
+  // Threaded dispatch: one handler label per UopKind, in exact enum
+  // declaration order. Each handler ends in its own indirect jump,
+  // which branch predictors track far better than one shared switch
+  // jump — the classic token-threading layout.
+  static const void *const Handlers[] = {
+      &&H_Nop,      &&H_MovRR,    &&H_MovRI,    &&H_AddRR,    &&H_AddRI,
+      &&H_AddRR_NF, &&H_AddRI_NF, &&H_SubRR,    &&H_SubRI,    &&H_SubRR_NF,
+      &&H_SubRI_NF, &&H_CmpRR,    &&H_CmpRI,    &&H_TestRR,   &&H_TestRI,
+      &&H_AndRR,    &&H_AndRI,    &&H_OrRR,     &&H_OrRI,     &&H_XorRR,
+      &&H_XorRI,    &&H_ShlRR,    &&H_ShlRI,    &&H_ShrRR,    &&H_ShrRI,
+      &&H_SarRR,    &&H_SarRI,    &&H_MulRR,    &&H_MulRI,    &&H_NotR,
+      &&H_NegR,     &&H_SetCC,    &&H_CmovRR,   &&H_CmovRI,   &&H_Lea,
+      &&H_Load,     &&H_LoadS,    &&H_StoreR,   &&H_PushR,    &&H_PushI,
+      &&H_PopR,     &&H_Jmp,      &&H_Jcc,      &&H_Fallback,
+  };
+  static_assert(sizeof(Handlers) / sizeof(Handlers[0]) ==
+                    static_cast<size_t>(UopKind::Fallback) + 1,
+                "handler table must cover every UopKind, in order");
+
+// Advance to the next uop of the current block, or fall off its end.
+#define TEAPOT_DISPATCH()                                                      \
+  do {                                                                         \
+    if (++U == UE)                                                             \
+      goto block_exit;                                                         \
+    PC += U->Len;                                                              \
+    goto *Handlers[static_cast<uint8_t>(U->Kind)];                             \
+  } while (0)
+
+dispatch:
+  if (__builtin_expect(BlocksEpoch != Mem.watchEpoch(), 0)) {
+    // A store hit the code region: every block is stale.
+    Blocks.clear();
+    BlocksEpoch = Mem.watchEpoch();
+    B = nullptr;
+  }
+  if (!B) {
+    if (!Remaining)
+      goto out_of_gas;
+    B = Blocks.lookup(C.PC, Mem);
+    if (!B) {
+      // No block here: the halt sentinel, a PC outside the code region,
+      // or an undecodable entry byte. Fall back to exact single-step
+      // semantics (sentinel halt, BadFetch + fault-hook redirect); a
+      // redirect consumes one budget unit, as in the reference loop.
+      if (!step(Stop))
+        return Stop;
+      --Remaining;
+      goto dispatch;
+    }
+  }
+// Entered from `dispatch` above and directly from the taken-branch fast
+// path (which has already verified the epoch and settled the finished
+// block's counters).
+enter_block:
+  if (__builtin_expect(Remaining < B->Uops.size(), 0)) {
+    // The budget expires inside this block. Blocks elide dead flag
+    // updates and defer PC writes, both of which would become
+    // observable at an arbitrary cutoff — so the final < MaxBlockInsts
+    // instructions of a budgeted run execute through the reference
+    // step() path instead, which stops bit-exactly.
+    while (Remaining) {
+      if (!step(Stop))
+        return Stop;
+      --Remaining;
+    }
+    goto out_of_gas;
+  }
+  UBase = B->Uops.data();
+  U = UBase;
+  UE = UBase + B->Uops.size();
+  PC = B->Entry + U->Len;
+  Diverted = false;
+  goto *Handlers[static_cast<uint8_t>(U->Kind)];
+
+H_Nop:
+  TEAPOT_DISPATCH();
+H_MovRR:
+  C.R[U->A] = C.R[U->B];
+  TEAPOT_DISPATCH();
+H_MovRI:
+  C.R[U->A] = static_cast<uint64_t>(U->Imm);
+  TEAPOT_DISPATCH();
+H_AddRR: {
+  uint64_t A = C.R[U->A], S = C.R[U->B], Res = A + S;
+  C.R[U->A] = Res;
+  flagsAdd(C, A, S, Res);
+  TEAPOT_DISPATCH();
+}
+H_AddRI: {
+  uint64_t A = C.R[U->A], S = static_cast<uint64_t>(U->Imm), Res = A + S;
+  C.R[U->A] = Res;
+  flagsAdd(C, A, S, Res);
+  TEAPOT_DISPATCH();
+}
+H_AddRR_NF:
+  C.R[U->A] += C.R[U->B];
+  TEAPOT_DISPATCH();
+H_AddRI_NF:
+  C.R[U->A] += static_cast<uint64_t>(U->Imm);
+  TEAPOT_DISPATCH();
+H_SubRR: {
+  uint64_t A = C.R[U->A], S = C.R[U->B], Res = A - S;
+  C.R[U->A] = Res;
+  flagsSub(C, A, S, Res);
+  TEAPOT_DISPATCH();
+}
+H_SubRI: {
+  uint64_t A = C.R[U->A], S = static_cast<uint64_t>(U->Imm), Res = A - S;
+  C.R[U->A] = Res;
+  flagsSub(C, A, S, Res);
+  TEAPOT_DISPATCH();
+}
+H_SubRR_NF:
+  C.R[U->A] -= C.R[U->B];
+  TEAPOT_DISPATCH();
+H_SubRI_NF:
+  C.R[U->A] -= static_cast<uint64_t>(U->Imm);
+  TEAPOT_DISPATCH();
+H_CmpRR: {
+  uint64_t A = C.R[U->A], S = C.R[U->B];
+  flagsSub(C, A, S, A - S);
+  TEAPOT_DISPATCH();
+}
+H_CmpRI: {
+  uint64_t A = C.R[U->A], S = static_cast<uint64_t>(U->Imm);
+  flagsSub(C, A, S, A - S);
+  TEAPOT_DISPATCH();
+}
+H_TestRR:
+  flagsLogic(C, C.R[U->A] & C.R[U->B]);
+  TEAPOT_DISPATCH();
+H_TestRI:
+  flagsLogic(C, C.R[U->A] & static_cast<uint64_t>(U->Imm));
+  TEAPOT_DISPATCH();
+H_AndRR:
+  flagsLogic(C, C.R[U->A] &= C.R[U->B]);
+  TEAPOT_DISPATCH();
+H_AndRI:
+  flagsLogic(C, C.R[U->A] &= static_cast<uint64_t>(U->Imm));
+  TEAPOT_DISPATCH();
+H_OrRR:
+  flagsLogic(C, C.R[U->A] |= C.R[U->B]);
+  TEAPOT_DISPATCH();
+H_OrRI:
+  flagsLogic(C, C.R[U->A] |= static_cast<uint64_t>(U->Imm));
+  TEAPOT_DISPATCH();
+H_XorRR:
+  flagsLogic(C, C.R[U->A] ^= C.R[U->B]);
+  TEAPOT_DISPATCH();
+H_XorRI:
+  flagsLogic(C, C.R[U->A] ^= static_cast<uint64_t>(U->Imm));
+  TEAPOT_DISPATCH();
+H_ShlRR:
+  flagsLogic(C, C.R[U->A] <<= (C.R[U->B] & 63));
+  TEAPOT_DISPATCH();
+H_ShlRI:
+  flagsLogic(C, C.R[U->A] <<= (U->Imm & 63));
+  TEAPOT_DISPATCH();
+H_ShrRR:
+  flagsLogic(C, C.R[U->A] >>= (C.R[U->B] & 63));
+  TEAPOT_DISPATCH();
+H_ShrRI:
+  flagsLogic(C, C.R[U->A] >>= (U->Imm & 63));
+  TEAPOT_DISPATCH();
+H_SarRR:
+  C.R[U->A] = static_cast<uint64_t>(static_cast<int64_t>(C.R[U->A]) >>
+                                    (C.R[U->B] & 63));
+  flagsLogic(C, C.R[U->A]);
+  TEAPOT_DISPATCH();
+H_SarRI:
+  C.R[U->A] = static_cast<uint64_t>(static_cast<int64_t>(C.R[U->A]) >>
+                                    (U->Imm & 63));
+  flagsLogic(C, C.R[U->A]);
+  TEAPOT_DISPATCH();
+H_MulRR:
+  flagsLogic(C, C.R[U->A] *= C.R[U->B]);
+  TEAPOT_DISPATCH();
+H_MulRI:
+  flagsLogic(C, C.R[U->A] *= static_cast<uint64_t>(U->Imm));
+  TEAPOT_DISPATCH();
+H_NotR:
+  C.R[U->A] = ~C.R[U->A];
+  TEAPOT_DISPATCH();
+H_NegR:
+  C.R[U->A] = 0 - C.R[U->A];
+  flagsLogic(C, C.R[U->A]);
+  TEAPOT_DISPATCH();
+H_SetCC:
+  C.R[U->A] = evalCond(static_cast<CondCode>(U->X), C.Flags) ? 1 : 0;
+  TEAPOT_DISPATCH();
+H_CmovRR:
+  if (evalCond(static_cast<CondCode>(U->X), C.Flags))
+    C.R[U->A] = C.R[U->B];
+  TEAPOT_DISPATCH();
+H_CmovRI:
+  if (evalCond(static_cast<CondCode>(U->X), C.Flags))
+    C.R[U->A] = static_cast<uint64_t>(U->Imm);
+  TEAPOT_DISPATCH();
+H_Lea:
+  C.R[U->A] = EA(*U);
+  TEAPOT_DISPATCH();
+H_Load:
+H_LoadS: {
+  C.PC = PC; // a fault (hook, StopState) observes the PC
+  uint64_t V;
+  switch (guestRead(EA(*U), V, 1u << U->SizeLog, U->Kind == UopKind::LoadS,
+                    Stop)) {
+  case Access::Stopped:
+    ExecutedInsts += static_cast<uint64_t>(U - UBase) + 1;
+    return Stop;
+  case Access::Resumed:
+    ++U;
+    Diverted = true;
+    goto block_exit; // squashed; the hook may have redirected us
+  case Access::Ok:
+    break;
+  }
+  C.R[U->A] = V;
+  TEAPOT_DISPATCH();
+}
+H_StoreR: {
+  C.PC = PC;
+  switch (guestWrite(EA(*U), C.R[U->A], 1u << U->SizeLog, Stop)) {
+  case Access::Stopped:
+    ExecutedInsts += static_cast<uint64_t>(U - UBase) + 1;
+    return Stop;
+  case Access::Resumed:
+    ++U;
+    Diverted = true;
+    goto block_exit;
+  case Access::Ok:
+    break;
+  }
+  if (__builtin_expect(BlocksEpoch != Mem.watchEpoch(), 0)) {
+    ++U;
+    Diverted = true;
+    goto block_exit; // the store patched code: this block is stale
+  }
+  TEAPOT_DISPATCH();
+}
+H_PushR:
+H_PushI: {
+  C.PC = PC;
+  uint64_t V =
+      U->Kind == UopKind::PushR ? C.R[U->A] : static_cast<uint64_t>(U->Imm);
+  switch (guestWrite(C.R[SP] - 8, V, 8, Stop)) {
+  case Access::Stopped:
+    ExecutedInsts += static_cast<uint64_t>(U - UBase) + 1;
+    return Stop;
+  case Access::Resumed:
+    ++U;
+    Diverted = true;
+    goto block_exit; // squashed: SP unchanged
+  case Access::Ok:
+    break;
+  }
+  C.R[SP] -= 8;
+  if (__builtin_expect(BlocksEpoch != Mem.watchEpoch(), 0)) {
+    ++U;
+    Diverted = true;
+    goto block_exit; // wild SP: the push patched code
+  }
+  TEAPOT_DISPATCH();
+}
+H_PopR: {
+  C.PC = PC;
+  uint64_t V;
+  switch (guestRead(C.R[SP], V, 8, false, Stop)) {
+  case Access::Stopped:
+    ExecutedInsts += static_cast<uint64_t>(U - UBase) + 1;
+    return Stop;
+  case Access::Resumed:
+    ++U;
+    Diverted = true;
+    goto block_exit; // squashed
+  case Access::Ok:
+    break;
+  }
+  C.R[U->A] = V;
+  C.R[SP] += 8;
+  TEAPOT_DISPATCH();
+}
+H_Jcc:
+  if (!evalCond(static_cast<CondCode>(U->X), C.Flags))
+    TEAPOT_DISPATCH();
+  goto H_Jmp;
+H_Jmp: {
+  uint64_t T = PC + static_cast<uint64_t>(U->Imm);
+  // This block is done: settle its counters here, once.
+  uint64_t Done = static_cast<uint64_t>(U - UBase) + 1;
+  ExecutedInsts += Done;
+  Remaining -= Done;
+  C.PC = T;
+  // Taken-branch fast path: a chained successor re-enters the uop loop
+  // directly, skipping the dispatch epilogue — this is what keeps hot
+  // loop back-edges off the front-end entirely.
+  DecodedBlock *N = B->Links[0].PC == T   ? B->Links[0].B
+                    : B->Links[1].PC == T ? B->Links[1].B
+                                          : nullptr;
+  if (N && __builtin_expect(BlocksEpoch == Mem.watchEpoch(), 1)) {
+    B = N;
+    goto enter_block;
+  }
+  Diverted = true;
+  goto block_exit_settled; // chain miss: let next() record the link
+}
+H_Fallback: {
+  // Reference semantics on the original decoded instruction:
+  // intrinsics, externals, calls/returns, division, HALT.
+  C.PC = PC;
+  if (!exec(B->Insts[U - UBase].D, Stop)) {
+    ExecutedInsts += static_cast<uint64_t>(U - UBase) + 1;
+    return Stop;
+  }
+  if (C.PC != PC || BlocksEpoch != Mem.watchEpoch()) {
+    // Control transfer — a taken branch, a call/return, or a
+    // hook/intrinsic redirect (rollback, trampoline, marker bounce) —
+    // or a write that patched the code region. Exit the block; the
+    // chain resolves hot successors without touching the index.
+    ++U;
+    Diverted = true;
+    goto block_exit;
+  }
+  TEAPOT_DISPATCH();
+}
+
+#undef TEAPOT_DISPATCH
+
+block_exit: {
+  uint64_t Done = static_cast<uint64_t>(U - UBase);
+  ExecutedInsts += Done;
+  Remaining -= Done;
+}
+block_exit_settled:
+  if (!Diverted)
+    C.PC = PC; // settle the lazy PC at the block boundary
+  B = Blocks.next(B, C.PC, Mem);
+  goto dispatch;
+
+out_of_gas:
   Stop.Kind = StopKind::OutOfGas;
   return Stop;
 }

@@ -2,8 +2,11 @@
 ///
 /// \file
 /// The execution platform that stands in for a real x86-64 CPU + OS
-/// process. It interprets TISA binaries with a pre-decoded instruction
-/// cache and exposes exactly the hooks Teapot's runtime library needs:
+/// process. It executes TISA binaries through a block-compiled engine
+/// (straight-line runs decoded once into micro-op buffers, vm/BlockCache.h,
+/// with a single-step reference interpreter kept for differential
+/// testing — see docs/VM.md) and exposes exactly the hooks Teapot's
+/// runtime library needs:
 ///
 ///   - an IntrinsicHandler receiving every INTR instruction,
 ///   - a fault hook (the "custom signal handler" of Section 6.1),
@@ -24,6 +27,7 @@
 #include "isa/Instruction.h"
 #include "obj/ObjectFile.h"
 #include "support/Error.h"
+#include "vm/BlockCache.h"
 #include "vm/Memory.h"
 
 #include <functional>
@@ -103,12 +107,29 @@ public:
   /// the start of a fresh run on the same binary.
   void resetToBaseline();
 
-  /// Executes up to \p MaxInsts instructions.
+  /// Executes up to \p MaxInsts instructions through the block-compiled
+  /// engine (or the reference interpreter when UseBlockEngine is off;
+  /// both engines are exactly equivalent, including budget accounting —
+  /// see docs/VM.md and tests/vm_block_test.cpp).
   StopState run(uint64_t MaxInsts);
 
   /// Executes one instruction; returns false if the machine stopped
-  /// (details in \p StopOut).
+  /// (details in \p StopOut). This is the reference interpreter path;
+  /// run() composes whole decoded blocks out of the same semantics.
   bool step(StopState &StopOut);
+
+  /// Engine selector: block-compiled execution by default; switch off to
+  /// run the reference step() interpreter (differential testing, or
+  /// callers that single-step anyway).
+  bool UseBlockEngine = true;
+
+  /// Cap on the *accumulated* output() size across ExtWriteOut calls
+  /// (each call is additionally capped at 1 MiB). Long campaigns on
+  /// write-happy programs would otherwise grow the vector without
+  /// bound; once full, further output bytes are dropped (the guest
+  /// still sees success, as a full pipe is not its bug).
+  uint64_t MaxOutputBytes = DefaultMaxOutputBytes;
+  static constexpr uint64_t DefaultMaxOutputBytes = 16ULL << 20;
 
   // --- Hooks -------------------------------------------------------------
   IntrinsicHandler *Intrinsics = nullptr;
@@ -131,6 +152,8 @@ public:
   // --- Introspection ------------------------------------------------------
   uint64_t executedInsts() const { return ExecutedInsts; }
   uint64_t executedIntrinsics() const { return ExecutedIntrinsics; }
+  /// The block-compilation front-end (compiled-block count, code region).
+  const BlockCache &blockCache() const { return Blocks; }
 
   /// Decodes (with caching) the instruction at \p Addr. Returns null on
   /// failure. The runtime uses this to inspect covered instructions.
@@ -150,15 +173,33 @@ public:
   static constexpr uint64_t HaltSentinel = 0x7fff'dead'0000ULL;
 
 private:
+  /// Outcome of a guest memory access. When the fault hook resumes the
+  /// machine (Resumed), the faulting instruction is *squashed*: it
+  /// retires no architectural side effects (no destination write, no SP
+  /// adjustment, no branch) beyond whatever the hook itself did — the
+  /// deterministic analogue of a signal handler skipping the
+  /// instruction. (Previously the instruction continued with an
+  /// uninitialized loaded value, which corrupted hook-restored state.)
+  enum class Access : uint8_t { Ok, Resumed, Stopped };
+
+  StopState runBlocks(uint64_t MaxInsts);
+  StopState runReference(uint64_t MaxInsts);
   bool exec(const isa::Decoded &D, StopState &StopOut);
   bool execExt(uint64_t Index, StopState &StopOut);
-  bool guestRead(uint64_t Addr, uint64_t &Out, unsigned Size, bool Signed,
-                 StopState &StopOut);
-  bool guestWrite(uint64_t Addr, uint64_t V, unsigned Size,
-                  StopState &StopOut);
+  Access guestRead(uint64_t Addr, uint64_t &Out, unsigned Size, bool Signed,
+                   StopState &StopOut);
+  Access guestWrite(uint64_t Addr, uint64_t V, unsigned Size,
+                    StopState &StopOut);
   bool raiseFault(FaultKind K, uint64_t Addr, StopState &StopOut);
 
   std::unordered_map<uint64_t, isa::Decoded> ICache;
+  BlockCache Blocks;
+  /// Code-write coherence: Memory bumps watchEpoch() on any write into
+  /// the code region; each decoded-instruction cache tracks the epoch
+  /// it last synced with and drops its entries when it changes, so
+  /// both engines stay coherent under guest stores into code.
+  uint64_t ICacheEpoch = 0;
+  uint64_t BlocksEpoch = 0;
   std::vector<uint8_t> Input;
   uint64_t InputCursor = 0;
   std::vector<uint8_t> Output;

@@ -5,44 +5,50 @@
 using namespace teapot;
 using namespace teapot::vm;
 
+const Memory::PageCell *Memory::tlbFill(uint64_t Idx) const {
+  auto It = Pages.find(Idx);
+  PageCell *Cell = It == Pages.end() ? nullptr : It->second.get();
+  TLB[Idx & (TLBSlots - 1)] = {Idx, Cell};
+  return Cell;
+}
+
+Memory::PageCell *Memory::pageForWrite(uint64_t Idx) {
+  auto It = Pages.find(Idx);
+  if (It == Pages.end()) {
+    auto P = std::make_unique<PageCell>();
+    P->Data.fill(0);
+    It = Pages.emplace(Idx, std::move(P)).first;
+  }
+  PageCell *Cell = It->second.get();
+  TLB[Idx & (TLBSlots - 1)] = {Idx, Cell};
+  markDirty(Idx, *Cell);
+  return Cell;
+}
+
 void Memory::read(uint64_t Addr, void *Out, size_t N) const {
   auto *Dst = static_cast<uint8_t *>(Out);
   while (N) {
-    uint64_t PageIdx = Addr / PageSize;
-    uint64_t Off = Addr % PageSize;
+    uint64_t Off = Addr & (PageSize - 1);
     size_t Chunk = static_cast<size_t>(
         std::min<uint64_t>(N, PageSize - Off));
-    auto It = Pages.find(PageIdx);
-    if (It == Pages.end())
+    const PageCell *Cell = tlbLookup(Addr >> PageShift);
+    if (!Cell)
       memset(Dst, 0, Chunk);
     else
-      memcpy(Dst, It->second->data() + Off, Chunk);
+      memcpy(Dst, Cell->Data.data() + Off, Chunk);
     Dst += Chunk;
     Addr += Chunk;
     N -= Chunk;
   }
 }
 
-Memory::Page *Memory::pageForWrite(uint64_t PageIdx) {
-  auto It = Pages.find(PageIdx);
-  if (It == Pages.end()) {
-    auto P = std::make_unique<Page>();
-    P->fill(0);
-    It = Pages.emplace(PageIdx, std::move(P)).first;
-  }
-  if (TrackDirty)
-    Dirty.insert(PageIdx);
-  return It->second.get();
-}
-
 void Memory::write(uint64_t Addr, const void *In, size_t N) {
   auto *Src = static_cast<const uint8_t *>(In);
   while (N) {
-    uint64_t PageIdx = Addr / PageSize;
-    uint64_t Off = Addr % PageSize;
+    uint64_t Off = Addr & (PageSize - 1);
     size_t Chunk = static_cast<size_t>(
         std::min<uint64_t>(N, PageSize - Off));
-    memcpy(pageForWrite(PageIdx)->data() + Off, Src, Chunk);
+    memcpy(tlbLookupWrite(Addr >> PageShift)->Data.data() + Off, Src, Chunk);
     Src += Chunk;
     Addr += Chunk;
     N -= Chunk;
@@ -50,38 +56,55 @@ void Memory::write(uint64_t Addr, const void *In, size_t N) {
 }
 
 static bool isZeroPage(const Memory::Page &P) {
-  for (uint8_t B : P)
-    if (B != 0)
-      return false;
-  return true;
+  // Word-wise scan (the compiler vectorizes the 8-byte loop); this runs
+  // over every mapped page on each captureBaseline, so the old per-byte
+  // loop was a measurable slice of campaign startup.
+  uint64_t Acc = 0;
+  const uint8_t *D = P.data();
+  for (size_t I = 0; I != Memory::PageSize; I += 8) {
+    uint64_t W;
+    memcpy(&W, D + I, 8);
+    Acc |= W;
+  }
+  return Acc == 0;
 }
 
 void Memory::captureBaseline() {
   Baseline.clear();
   for (auto It = Pages.begin(); It != Pages.end();) {
-    if (isZeroPage(*It->second)) {
+    if (isZeroPage(It->second->Data)) {
       // Reclaim: an unmapped page reads as zero, so this page needs
       // neither a live mapping nor a snapshot copy.
       It = Pages.erase(It);
       continue;
     }
-    Baseline.emplace(It->first, std::make_unique<Page>(*It->second));
+    It->second->Dirty = false;
+    Baseline.emplace(It->first, std::make_unique<Page>(It->second->Data));
     ++It;
   }
-  Dirty.clear();
+  DirtyList.clear();
   TrackDirty = true;
+  flushTLB(); // reclaimed pages may be cached
 }
 
 size_t Memory::resetToBaseline() {
   size_t Restored = 0;
-  for (uint64_t Idx : Dirty) {
+  for (uint64_t Idx : DirtyList) {
+    auto PIt = Pages.find(Idx);
+    if (PIt == Pages.end())
+      continue; // unreachable: a dirty page is by construction mapped
+    if (Idx - WatchLoPage <= WatchPageSpan)
+      ++WatchEpoch; // restoring (or unmapping) a code page changes it
     auto BIt = Baseline.find(Idx);
-    if (BIt == Baseline.end())
-      Pages.erase(Idx); // materialized after capture (or zero at capture)
-    else
-      *Pages[Idx] = *BIt->second;
+    if (BIt == Baseline.end()) {
+      Pages.erase(PIt); // materialized after capture (or zero at capture)
+    } else {
+      PIt->second->Data = *BIt->second;
+      PIt->second->Dirty = false;
+    }
     ++Restored;
   }
-  Dirty.clear();
+  DirtyList.clear();
+  flushTLB(); // unmapped pages may be cached
   return Restored;
 }

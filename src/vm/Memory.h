@@ -10,6 +10,24 @@
 /// itself is policy-free and also serves the runtime's host-side accesses
 /// to shadow regions.
 ///
+/// Hot-path structure (one Memory is owned by one Machine and never
+/// shared between threads):
+///
+///   - a small direct-mapped TLB of (page index -> PageCell*) entries is
+///     consulted before the `Pages` hash map on every access; misses are
+///     filled from the map, and unmapped pages are cached as negative
+///     entries (a later write refills the slot via pageForWrite). The
+///     TLB is flushed whenever pages can be unmapped: captureBaseline
+///     (zero-page reclaim) and resetToBaseline (post-capture unmap).
+///   - each live page carries an inline dirty bit; the first tracked
+///     write after a capture appends the page to `DirtyList` instead of
+///     inserting into a hash set, so steady-state tracked writes are a
+///     flag test.
+///   - accesses of <= 8 bytes that stay within one page (all aligned
+///     power-of-two accesses do) are served by a single fixed-width
+///     load/store on the page buffer instead of the cross-page memcpy
+///     chunk loop.
+///
 /// A baseline snapshot supports O(dirty pages) resets between fuzzing
 /// runs — the per-execution restore a fuzzing campaign leans on.
 /// Snapshots are sparse: pages that are all-zero at capture time are
@@ -28,7 +46,6 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace teapot {
@@ -37,7 +54,17 @@ namespace vm {
 class Memory {
 public:
   static constexpr uint64_t PageSize = 4096;
+  static constexpr uint64_t PageShift = 12;
   using Page = std::array<uint8_t, PageSize>;
+
+  /// A live page: its contents plus the inline dirty bit consulted by
+  /// the tracked-write fast path.
+  struct PageCell {
+    Page Data;
+    bool Dirty = false;
+  };
+
+  Memory() { flushTLB(); }
 
   /// Reads \p N bytes at \p Addr; unmapped bytes read as zero.
   void read(uint64_t Addr, void *Out, size_t N) const;
@@ -46,19 +73,90 @@ public:
   void write(uint64_t Addr, const void *In, size_t N);
 
   uint8_t readU8(uint64_t Addr) const {
-    uint8_t V;
-    read(Addr, &V, 1);
-    return V;
+    const PageCell *Cell = tlbLookup(Addr >> PageShift);
+    return Cell ? Cell->Data[Addr & (PageSize - 1)] : 0;
   }
+  /// Little-endian load of \p Size in {1,2,4,8} bytes (other sizes and
+  /// page-straddling accesses fall back to the chunked read()).
   uint64_t readUnsigned(uint64_t Addr, unsigned Size) const {
+    uint64_t Off = Addr & (PageSize - 1);
+    if (Off + Size <= PageSize) {
+      const PageCell *Cell = tlbLookup(Addr >> PageShift);
+      if (!Cell)
+        return 0;
+      const uint8_t *P = Cell->Data.data() + Off;
+      uint64_t V;
+      switch (Size) {
+      case 1:
+        return *P;
+      case 2: {
+        uint16_t W;
+        memcpy(&W, P, 2);
+        return W;
+      }
+      case 4: {
+        uint32_t W;
+        memcpy(&W, P, 4);
+        return W;
+      }
+      case 8:
+        memcpy(&V, P, 8);
+        return V;
+      default:
+        break;
+      }
+    }
     uint64_t V = 0;
     read(Addr, &V, Size);
     return V;
   }
-  void writeU8(uint64_t Addr, uint8_t V) { write(Addr, &V, 1); }
+  void writeU8(uint64_t Addr, uint8_t V) {
+    PageCell *Cell = tlbLookupWrite(Addr >> PageShift);
+    Cell->Data[Addr & (PageSize - 1)] = V;
+  }
   void writeUnsigned(uint64_t Addr, uint64_t V, unsigned Size) {
+    uint64_t Off = Addr & (PageSize - 1);
+    if (Off + Size <= PageSize) {
+      PageCell *Cell = tlbLookupWrite(Addr >> PageShift);
+      uint8_t *P = Cell->Data.data() + Off;
+      switch (Size) {
+      case 1:
+        *P = static_cast<uint8_t>(V);
+        return;
+      case 2: {
+        uint16_t W = static_cast<uint16_t>(V);
+        memcpy(P, &W, 2);
+        return;
+      }
+      case 4: {
+        uint32_t W = static_cast<uint32_t>(V);
+        memcpy(P, &W, 4);
+        return;
+      }
+      case 8:
+        memcpy(P, &V, 8);
+        return;
+      default:
+        break;
+      }
+    }
     write(Addr, &V, Size);
   }
+
+  /// Registers a page-granular watch range (the Machine's code region).
+  /// Any write that touches a watched page bumps watchEpoch(); the
+  /// execution engines use this to invalidate decoded-instruction
+  /// caches, so guest stores into code stay coherent on both engines.
+  void watchRange(uint64_t Base, uint64_t Size) {
+    if (Size == 0) {
+      WatchLoPage = ~0ULL;
+      WatchPageSpan = 0;
+      return;
+    }
+    WatchLoPage = Base >> PageShift;
+    WatchPageSpan = ((Base + Size - 1) >> PageShift) - WatchLoPage;
+  }
+  uint64_t watchEpoch() const { return WatchEpoch; }
 
   /// Captures the current contents as the reset baseline. All-zero
   /// pages are reclaimed (unmapped, not snapshotted): they are
@@ -73,17 +171,72 @@ public:
   size_t resetToBaseline();
 
   size_t mappedPageCount() const { return Pages.size(); }
-  size_t dirtyPageCount() const { return Dirty.size(); }
+  size_t dirtyPageCount() const { return DirtyList.size(); }
   /// Pages held by the baseline snapshot (excludes reclaimed zero pages).
   size_t baselinePageCount() const { return Baseline.size(); }
 
 private:
-  Page *pageForWrite(uint64_t PageIdx);
+  // Direct-mapped TLB. Index ~0 is an impossible page index (addresses
+  // are 64-bit, so real indices fit in 52 bits) and marks an empty slot.
+  // Cell == nullptr with a matching Idx is a cached negative entry
+  // ("known unmapped"); pageForWrite overwrites the slot when the page
+  // materializes. Mutable: lookups on const Memory still fill slots.
+  struct TLBEntry {
+    uint64_t Idx;
+    PageCell *Cell;
+  };
+  static constexpr size_t TLBSlots = 256; // 1 MiB of reach, 4 KiB of table
 
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  void flushTLB() {
+    for (TLBEntry &E : TLB) {
+      E.Idx = ~0ULL;
+      E.Cell = nullptr;
+    }
+  }
+
+  /// Read path: cached cell, or null for an unmapped page.
+  const PageCell *tlbLookup(uint64_t Idx) const {
+    const TLBEntry &E = TLB[Idx & (TLBSlots - 1)];
+    if (E.Idx == Idx)
+      return E.Cell;
+    return tlbFill(Idx);
+  }
+
+  /// Write path: cached cell with the dirty bit maintained, or the
+  /// materializing slow path.
+  PageCell *tlbLookupWrite(uint64_t Idx) {
+    if (Idx - WatchLoPage <= WatchPageSpan)
+      ++WatchEpoch; // write into the watched (code) range
+    TLBEntry &E = TLB[Idx & (TLBSlots - 1)];
+    if (E.Idx == Idx && E.Cell) {
+      markDirty(Idx, *E.Cell);
+      return E.Cell;
+    }
+    return pageForWrite(Idx);
+  }
+
+  void markDirty(uint64_t Idx, PageCell &Cell) {
+    if (TrackDirty && !Cell.Dirty) {
+      Cell.Dirty = true;
+      DirtyList.push_back(Idx);
+    }
+  }
+
+  const PageCell *tlbFill(uint64_t Idx) const;
+  PageCell *pageForWrite(uint64_t Idx);
+
+  std::unordered_map<uint64_t, std::unique_ptr<PageCell>> Pages;
   std::unordered_map<uint64_t, std::unique_ptr<Page>> Baseline;
-  std::unordered_set<uint64_t> Dirty;
+  /// Pages whose dirty bit was set since the last capture; each page
+  /// appears at most once (the bit dedupes).
+  std::vector<uint64_t> DirtyList;
+  mutable std::array<TLBEntry, TLBSlots> TLB;
   bool TrackDirty = false;
+  // Code-region write watch: [WatchLoPage, WatchLoPage+WatchPageSpan].
+  // The default never matches any page index (indices fit in 52 bits).
+  uint64_t WatchLoPage = ~0ULL;
+  uint64_t WatchPageSpan = 0;
+  uint64_t WatchEpoch = 0;
 };
 
 } // namespace vm

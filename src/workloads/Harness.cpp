@@ -29,6 +29,7 @@ void InstrumentedTarget::execute(const std::vector<uint8_t> &Input) {
   }
   M.setInput(Input);
   LastStop = M.run(Budget);
+  TotalInsts += M.executedInsts();
 }
 
 NativeTarget::NativeTarget(const obj::ObjectFile &Bin, uint64_t Budget)
@@ -51,6 +52,7 @@ void NativeTarget::execute(const std::vector<uint8_t> &Input) {
   }
   M.setInput(Input);
   LastStop = M.run(Budget);
+  TotalInsts += M.executedInsts();
 }
 
 EmulatorTarget::EmulatorTarget(const obj::ObjectFile &Bin,
@@ -77,6 +79,7 @@ void EmulatorTarget::execute(const std::vector<uint8_t> &Input) {
   }
   M.setInput(Input);
   LastStop = E.run(Budget);
+  TotalInsts += M.executedInsts();
 }
 
 /// Wraps a target-building callable as a TargetFactory, applying the

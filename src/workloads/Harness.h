@@ -53,6 +53,7 @@ public:
     return RT.Cov.specMap();
   }
   const runtime::ReportSink *reports() const override { return &RT.Reports; }
+  uint64_t executedInsts() const override { return TotalInsts; }
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
@@ -62,6 +63,7 @@ public:
 
 private:
   uint64_t Budget;
+  uint64_t TotalInsts = 0;
   std::optional<uint64_t> PokeAddr;
 };
 
@@ -78,6 +80,7 @@ public:
   /// No detector attached: honestly reports "no gadget accounting"
   /// rather than a silent zero count.
   const runtime::ReportSink *reports() const override { return nullptr; }
+  uint64_t executedInsts() const override { return TotalInsts; }
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
@@ -86,6 +89,7 @@ public:
 
 private:
   uint64_t Budget;
+  uint64_t TotalInsts = 0;
   std::optional<uint64_t> PokeAddr;
   std::vector<uint8_t> Empty;
 };
@@ -102,6 +106,7 @@ public:
   }
   const std::vector<uint8_t> &specCoverage() const override { return Empty; }
   const runtime::ReportSink *reports() const override { return &E.Reports; }
+  uint64_t executedInsts() const override { return TotalInsts; }
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
@@ -111,6 +116,7 @@ public:
 
 private:
   uint64_t Budget;
+  uint64_t TotalInsts = 0;
   std::optional<uint64_t> PokeAddr;
   std::vector<uint8_t> Empty;
 };

@@ -1,0 +1,336 @@
+//===- tests/vm_block_test.cpp - Block engine ≡ reference interpreter -------===//
+//
+// Differential tests for the block-compiled execution engine
+// (vm/BlockCache + Machine::runBlocks): on every workload and on an
+// instrumented target, the block engine must produce exactly the state
+// the reference step() interpreter produces — StopState, register file,
+// FLAGS, PC, executed-instruction counts, and output bytes — including
+// at every possible budget cutoff and across fault-hook redirects.
+// Plus BlockCache invalidation coverage on loadObject.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "obj/Layout.h"
+#include "workloads/Harness.h"
+#include "workloads/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::vm;
+using namespace teapot::workloads;
+
+namespace {
+
+struct EngineState {
+  StopState Stop;
+  CPU C;
+  uint64_t Insts = 0;
+  uint64_t Intrinsics = 0;
+  std::vector<uint8_t> Output;
+};
+
+EngineState runEngine(const obj::ObjectFile &Bin, bool BlockEngine,
+                      const std::vector<uint8_t> &Input, uint64_t Budget) {
+  Machine M;
+  M.UseBlockEngine = BlockEngine;
+  cantFail(M.loadObject(Bin));
+  M.setInput(Input);
+  EngineState S;
+  S.Stop = M.run(Budget);
+  S.C = M.C;
+  S.Insts = M.executedInsts();
+  S.Intrinsics = M.executedIntrinsics();
+  S.Output = M.output();
+  return S;
+}
+
+void expectSameState(const EngineState &B, const EngineState &R,
+                     const std::string &What) {
+  EXPECT_EQ(B.Stop.Kind, R.Stop.Kind) << What;
+  EXPECT_EQ(B.Stop.Fault, R.Stop.Fault) << What;
+  EXPECT_EQ(B.Stop.FaultAddr, R.Stop.FaultAddr) << What;
+  EXPECT_EQ(B.Stop.ExitStatus, R.Stop.ExitStatus) << What;
+  EXPECT_EQ(B.C.PC, R.C.PC) << What;
+  EXPECT_EQ(B.C.Flags, R.C.Flags) << What;
+  for (unsigned I = 0; I != isa::NumRegs; ++I)
+    EXPECT_EQ(B.C.R[I], R.C.R[I]) << What << " r" << I;
+  EXPECT_EQ(B.Insts, R.Insts) << What;
+  EXPECT_EQ(B.Intrinsics, R.Intrinsics) << What;
+  EXPECT_EQ(B.Output, R.Output) << What;
+}
+
+class WorkloadDifferential
+    : public ::testing::TestWithParam<const Workload *> {};
+
+std::vector<const Workload *> allParams() {
+  std::vector<const Workload *> Out;
+  for (const Workload &W : allWorkloads())
+    Out.push_back(&W);
+  return Out;
+}
+
+} // namespace
+
+// Every evaluation workload, on every seed plus the large crafted
+// input: block engine ≡ reference interpreter, bit for bit.
+TEST_P(WorkloadDifferential, BlockEngineMatchesReference) {
+  const Workload &W = *GetParam();
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  std::vector<std::vector<uint8_t>> Inputs = W.Seeds();
+  Inputs.push_back(W.LargeInput(2500));
+  for (const auto &In : Inputs) {
+    EngineState B = runEngine(Bin, /*BlockEngine=*/true, In, 20'000'000);
+    EngineState R = runEngine(Bin, /*BlockEngine=*/false, In, 20'000'000);
+    expectSameState(B, R, std::string(W.Name) + "/" +
+                              std::to_string(In.size()) + "B");
+    EXPECT_GT(B.Insts, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDifferential,
+                         ::testing::ValuesIn(allParams()),
+                         [](const auto &Info) {
+                           return std::string(Info.param->Name);
+                         });
+
+// The Teapot-instrumented jsmn fixture: both engines drive the full
+// runtime (speculation simulation, rollbacks, DIFT, coverage) to the
+// same architectural results — StopState, registers, coverage maps,
+// and gadget reports.
+TEST(BlockEngineInstrumented, JsmnFixtureMatchesReference) {
+  const Workload &W = *findWorkload("jsmn");
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  Bin.strip();
+  core::RewriteResult RW = rewriteOrDie(Bin);
+
+  runtime::RuntimeOptions RT;
+  InstrumentedTarget Block(RW, RT);
+  InstrumentedTarget Ref(RW, RT);
+  Ref.M.UseBlockEngine = false;
+
+  std::vector<std::vector<uint8_t>> Inputs = W.Seeds();
+  Inputs.push_back(W.LargeInput(1200));
+  Inputs.push_back({'{', '[', '"', 0xff, 'x'}); // malformed on purpose
+  for (const auto &In : Inputs) {
+    Block.execute(In);
+    Ref.execute(In);
+    EXPECT_EQ(Block.LastStop.Kind, Ref.LastStop.Kind);
+    EXPECT_EQ(Block.LastStop.ExitStatus, Ref.LastStop.ExitStatus);
+    EXPECT_EQ(Block.M.C.PC, Ref.M.C.PC);
+    EXPECT_EQ(Block.M.C.Flags, Ref.M.C.Flags);
+    for (unsigned I = 0; I != isa::NumRegs; ++I)
+      EXPECT_EQ(Block.M.C.R[I], Ref.M.C.R[I]) << "r" << I;
+    EXPECT_EQ(Block.M.executedInsts(), Ref.M.executedInsts());
+    EXPECT_EQ(Block.M.executedIntrinsics(), Ref.M.executedIntrinsics());
+    EXPECT_EQ(Block.M.output(), Ref.M.output());
+    EXPECT_EQ(Block.normalCoverage(), Ref.normalCoverage());
+    EXPECT_EQ(Block.specCoverage(), Ref.specCoverage());
+    EXPECT_EQ(Block.uniqueGadgets(), Ref.uniqueGadgets());
+  }
+  // The block engine actually engaged (this is not a trivial pass).
+  EXPECT_GT(Block.M.blockCache().blockCount(), 0u);
+  EXPECT_EQ(Ref.M.blockCache().blockCount(), 0u);
+}
+
+// Budget accounting must be *exact*: for every cutoff k, both engines
+// stop at the same instruction with the same state. The program mixes
+// straight-line ALU runs, loads/stores, calls, and a loop, so cutoffs
+// land on every uop class including mid-block boundaries.
+TEST(BlockEngineBudget, ExactAtEveryCutoff) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r0, 0
+    mov r1, 3
+loop:
+    st8 [buf], r1
+    ld8 r2, [buf]
+    add r0, r2
+    call bump
+    sub r1, 1
+    cmp r1, 0
+    j.ne loop
+    halt
+bump:
+    add r0, 1
+    ret
+.bss
+buf:
+    .space 8
+)");
+  // Find the total step count first, then sweep every budget 0..N+2.
+  EngineState Full = runEngine(Bin, false, {}, 1'000'000);
+  ASSERT_EQ(Full.Stop.Kind, StopKind::Halted);
+  for (uint64_t K = 0; K <= Full.Insts + 2; ++K) {
+    EngineState B = runEngine(Bin, true, {}, K);
+    EngineState R = runEngine(Bin, false, {}, K);
+    expectSameState(B, R, "budget=" + std::to_string(K));
+    if (K <= Full.Insts)
+      EXPECT_EQ(B.Insts, K);
+  }
+}
+
+// A fault-hook redirect consumes one budget unit without executing an
+// instruction (the reference loop's accounting); the block engine must
+// replicate that, and resume correctly at the redirect target.
+TEST(BlockEngineFaults, HookRedirectBudgetParity) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r1, 0x300000000000
+    ld8 r0, [r1]          ; faults: hook redirects to recover
+    halt                  ; skipped
+recover:
+    mov r0, 55
+    halt
+)");
+  const obj::Symbol *Rec = Bin.findSymbol("recover");
+  ASSERT_NE(Rec, nullptr);
+  for (uint64_t K = 0; K <= 8; ++K) {
+    EngineState S[2];
+    for (int E = 0; E != 2; ++E) {
+      Machine M;
+      M.UseBlockEngine = E == 0;
+      cantFail(M.loadObject(Bin));
+      M.FaultHook = [&](Machine &Mach, FaultKind, uint64_t) {
+        Mach.C.PC = Rec->Addr;
+        return true;
+      };
+      S[E].Stop = M.run(K);
+      S[E].C = M.C;
+      S[E].Insts = M.executedInsts();
+      S[E].Output = M.output();
+    }
+    expectSameState(S[0], S[1], "hook budget=" + std::to_string(K));
+  }
+}
+
+// An unhandled fault stops both engines with identical fault details.
+TEST(BlockEngineFaults, UnhandledFaultParity) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r0, 7
+    mov r1, 0x300000000000
+    st4 [r1], r0
+    halt
+)");
+  EngineState B = runEngine(Bin, true, {}, 100);
+  EngineState R = runEngine(Bin, false, {}, 100);
+  expectSameState(B, R, "unhandled fault");
+  EXPECT_EQ(B.Stop.Kind, StopKind::Fault);
+  EXPECT_EQ(B.Stop.Fault, FaultKind::BadMemory);
+}
+
+// loadObject must invalidate the block cache: after loading a second
+// binary with different code at the same addresses, stale blocks from
+// the first binary must not execute.
+TEST(BlockCacheInvalidation, LoadObjectDropsBlocks) {
+  auto BinA = assembleOrDie(R"(
+.text
+main:
+    mov r0, 1
+    add r0, 10
+    halt
+)");
+  auto BinB = assembleOrDie(R"(
+.text
+main:
+    mov r0, 2
+    mul r0, 30
+    halt
+)");
+  Machine M;
+  cantFail(M.loadObject(BinA));
+  EXPECT_EQ(M.run(100).ExitStatus, 11u);
+  size_t BlocksA = M.blockCache().blockCount();
+  EXPECT_GT(BlocksA, 0u);
+
+  cantFail(M.loadObject(BinB));
+  EXPECT_EQ(M.blockCache().blockCount(), 0u) << "stale blocks survived";
+  EXPECT_EQ(M.run(100).ExitStatus, 60u)
+      << "executed stale code from the previous image";
+}
+
+// A guest store into the code region (any fuzzed wild store can reach
+// it) must invalidate decoded blocks — including the rest of the block
+// the store itself sits in, which decode-ahead compiled from the
+// pre-store bytes. Both engines must fault identically at the smashed
+// instruction.
+TEST(BlockEngineCoherence, GuestStoreIntoCodeRegion) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r0, 1
+    st1 [patch], 0xff     ; smash the opcode of the next instruction
+patch:
+    mov r0, 2             ; decoded ahead of time, never validly executed
+    halt
+)");
+  EngineState B = runEngine(Bin, true, {}, 100);
+  EngineState R = runEngine(Bin, false, {}, 100);
+  expectSameState(B, R, "store into code");
+  EXPECT_EQ(B.Stop.Kind, StopKind::Fault);
+  EXPECT_EQ(B.Stop.Fault, FaultKind::BadFetch);
+  EXPECT_EQ(B.C.R[isa::R0], 1u) << "stale pre-store decode executed";
+}
+
+// Chained hot loops and the sentinel return path: a RET from the entry
+// lands on the halt sentinel, which has no block (outside the code
+// region) and must halt identically on both engines.
+TEST(BlockEngine, SentinelReturnParity) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r0, 3
+    mov r1, 100
+again:
+    add r0, 2
+    sub r1, 1
+    cmp r1, 0
+    j.ne again
+    ret
+)");
+  EngineState B = runEngine(Bin, true, {}, 10'000);
+  EngineState R = runEngine(Bin, false, {}, 10'000);
+  expectSameState(B, R, "sentinel return");
+  EXPECT_EQ(B.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(B.Stop.ExitStatus, 203u);
+}
+
+// The accumulated-output cap (MaxOutputBytes): output stops growing at
+// the cap, identically on both engines, and the guest still runs to
+// completion.
+TEST(BlockEngine, OutputCapKnob) {
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r3, 8            ; 8 writes of 16 bytes = 128 bytes total
+loop:
+    mov r0, buf
+    mov r1, 16
+    ext 3                ; write_out
+    sub r3, 1
+    cmp r3, 0
+    j.ne loop
+    mov r0, 0
+    halt
+.data
+buf:
+    .quad 0x1111111111111111
+    .quad 0x2222222222222222
+)");
+  for (bool Block : {true, false}) {
+    Machine M;
+    M.UseBlockEngine = Block;
+    M.MaxOutputBytes = 40; // cap mid-write: 2 full writes + 8 bytes
+    cantFail(M.loadObject(Bin));
+    StopState S = M.run(10'000);
+    EXPECT_EQ(S.Kind, StopKind::Halted);
+    EXPECT_EQ(S.ExitStatus, 0u);
+    EXPECT_EQ(M.output().size(), 40u);
+  }
+}
