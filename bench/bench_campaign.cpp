@@ -1,23 +1,27 @@
 //===- bench/bench_campaign.cpp - Campaign scaling curve --------------------===//
 //
 // Throughput (execs/sec and guest insts/sec) of the parallel fuzzing
-// campaign over 1/2/4/8 workers, same total execution budget. Workers
-// are embarrassingly parallel between epoch barriers, so on enough
-// cores the curve is near-linear up to the core count; the speedup
-// column is measured against the 1-worker row (which is byte-identical
-// to the classic single-threaded Fuzzer).
+// campaign over 1/2/4/8 workers, same total execution budget, driven
+// through the teapot::Scanner facade (load + rewrite once, one run()
+// per worker count). Workers are embarrassingly parallel between epoch
+// barriers, so on enough cores the curve is near-linear up to the core
+// count; the speedup column is measured against the 1-worker row (which
+// is byte-identical to the classic single-threaded fuzzer).
 //
 //   $ ./bench_campaign [workload] [total-execs] [--json FILE]
 //   $ ./bench_campaign libhtp 4000
 //   $ ./bench_campaign jsmn 2000 --json BENCH_campaign.json
 //
-// --json appends one machine-readable summary object per worker count,
+// --json emits one machine-readable summary object per worker count,
 // feeding the BENCH_vm.json perf-trajectory artifact in CI.
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Scanner.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
 #include "BenchUtil.h"
-#include "fuzz/Campaign.h"
 
 #include <string>
 #include <thread>
@@ -26,6 +30,8 @@ using namespace teapot;
 using namespace teapot::bench;
 
 int main(int argc, char **argv) {
+  support::ExitOnError Exit("bench_campaign: ");
+
   const char *Name = "libhtp";
   uint64_t Total = 4000;
   const char *JsonPath = nullptr;
@@ -45,19 +51,24 @@ int main(int argc, char **argv) {
       Name = argv[I];
       ++Pos;
     } else {
-      Total = strtoull(argv[I], nullptr, 10);
+      Total = Exit(
+          support::parseUInt(Arg, "total-execs", 1'000'000'000ULL));
     }
   }
 
-  const workloads::Workload *W = workloads::findWorkload(Name);
-  if (!W) {
-    fprintf(stderr, "unknown workload '%s'\n", Name);
-    return 1;
-  }
-  obj::ObjectFile Bin = buildWorkload(*W);
-  Bin.strip();
-  core::RewriteResult RW = teapotRewrite(Bin);
+  ScanConfig Cfg = Exit(ScanConfig::preset("teapot"));
+  Cfg.Campaign.Seed = 1;
+  Cfg.Campaign.TotalIterations = Total;
+  Cfg.Campaign.SyncInterval = 256;
+  Cfg.Campaign.MaxInputLen = 512;
 
+  Scanner S(Cfg);
+  Exit(S.loadWorkload(Name));
+  Exit(S.rewrite());
+
+  // Open the artifact only once the inputs resolved (a bad workload
+  // name must not truncate an existing file), but still before minutes
+  // of benching so a bad path fails fast.
   FILE *Json = nullptr;
   if (JsonPath) {
     Json = fopen(JsonPath, "w");
@@ -65,10 +76,6 @@ int main(int argc, char **argv) {
       fprintf(stderr, "cannot open %s\n", JsonPath);
       return 1;
     }
-    fprintf(Json, "{\n  \"workload\": \"%s\",\n  \"total_execs\": %llu,\n"
-            "  \"hardware_threads\": %u,\n  \"rows\": [\n",
-            Name, static_cast<unsigned long long>(Total),
-            std::thread::hardware_concurrency());
   }
 
   printHeader("Campaign scaling: execs/sec vs workers");
@@ -80,48 +87,43 @@ int main(int argc, char **argv) {
          "wall(s)", "execs/s", "Minsts/s", "speedup", "corpus", "edges",
          "gadgets");
 
-  double BaseRate = 0;
-  bool FirstRow = true;
-  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
-    fuzz::CampaignOptions CO;
-    CO.Seed = 1;
-    CO.TotalIterations = Total;
-    CO.Workers = Workers;
-    CO.SyncInterval = 256;
-    CO.MaxInputLen = 512;
-    fuzz::Campaign C(
-        workloads::instrumentedTargetFactory(RW, runtime::RuntimeOptions()),
-        CO);
-    for (const auto &Seed : W->Seeds())
-      C.addSeed(Seed);
+  json::Value Doc = json::Value::object();
+  Doc.set("workload", Name);
+  Doc.set("total_execs", Total);
+  Doc.set("hardware_threads", std::thread::hardware_concurrency());
+  json::Value Rows = json::Value::array();
 
-    fuzz::CampaignStats S;
-    double Secs = timeIt(1, [&] { S = C.run(); });
-    double Rate = Secs > 0 ? static_cast<double>(S.Executions) / Secs : 0;
-    double InstRate =
-        Secs > 0 ? static_cast<double>(S.GuestInsts) / Secs : 0;
+  double BaseRate = 0;
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    S.config().Campaign.Workers = Workers;
+    ScanResult R = Exit(S.run());
+    double Rate = R.execsPerSec();
     if (Workers == 1)
       BaseRate = Rate;
-    printf("%8u %10llu %9.3f %10.0f %10.1f %7.2fx %8zu %7zu %8zu\n",
-           Workers, static_cast<unsigned long long>(S.Executions), Secs,
-           Rate, InstRate / 1e6, BaseRate > 0 ? Rate / BaseRate : 0.0,
-           C.corpus().size(), S.NormalEdges + S.SpecEdges, S.UniqueGadgets);
-    if (Json) {
-      fprintf(Json,
-              "%s    {\"workers\": %u, \"execs\": %llu, \"wall_s\": %.6f, "
-              "\"execs_per_sec\": %.1f, \"guest_insts\": %llu, "
-              "\"insts_per_sec\": %.1f, \"corpus\": %zu, \"edges\": %zu, "
-              "\"gadgets\": %zu}",
-              FirstRow ? "" : ",\n", Workers,
-              static_cast<unsigned long long>(S.Executions), Secs, Rate,
-              static_cast<unsigned long long>(S.GuestInsts), InstRate,
-              C.corpus().size(), S.NormalEdges + S.SpecEdges,
-              S.UniqueGadgets);
-      FirstRow = false;
-    }
+    printf("%8u %10llu %9.3f %10.0f %10.1f %7.2fx %8llu %7llu %8zu\n",
+           Workers, static_cast<unsigned long long>(R.Executions),
+           R.WallSeconds, Rate, R.instsPerSec() / 1e6,
+           BaseRate > 0 ? Rate / BaseRate : 0.0,
+           static_cast<unsigned long long>(R.CorpusSize),
+           static_cast<unsigned long long>(R.NormalEdges + R.SpecEdges),
+           R.Gadgets.size());
+    json::Value Row = json::Value::object();
+    Row.set("workers", Workers);
+    Row.set("execs", R.Executions);
+    Row.set("wall_s", R.WallSeconds);
+    Row.set("execs_per_sec", Rate);
+    Row.set("guest_insts", R.GuestInsts);
+    Row.set("insts_per_sec", R.instsPerSec());
+    Row.set("corpus", R.CorpusSize);
+    Row.set("edges", R.NormalEdges + R.SpecEdges);
+    Row.set("gadgets", R.Gadgets.size());
+    Rows.push(std::move(Row));
   }
+  Doc.set("rows", std::move(Rows));
+
   if (Json) {
-    fprintf(Json, "\n  ]\n}\n");
+    std::string Text = Doc.dump(true) + "\n";
+    fwrite(Text.data(), 1, Text.size(), Json);
     fclose(Json);
   }
   printf("\nShapes to expect: speedup tracks min(workers, cores); corpus\n"

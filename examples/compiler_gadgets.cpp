@@ -11,10 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/TeapotRewriter.h"
-#include "fuzz/Fuzzer.h"
-#include "lang/MiniCC.h"
-#include "workloads/Harness.h"
+#include "api/Scanner.h"
 
 #include <cstdio>
 
@@ -45,33 +42,29 @@ int main() {
 )";
 
 static void scan(const char *Label, lang::SwitchLowering SL) {
+  support::ExitOnError Exit("compiler_gadgets: ");
   lang::CompileOptions CO;
   CO.Switches = SL;
-  auto Bin = lang::compile(Source, CO);
-  if (!Bin) {
-    fprintf(stderr, "compile error: %s\n", Bin.message().c_str());
-    exit(1);
-  }
-  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
-  if (!RW) {
-    fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
-    exit(1);
-  }
 
-  workloads::InstrumentedTarget T(*RW, runtime::RuntimeOptions());
-  fuzz::FuzzerOptions FO;
-  FO.Seed = 9;
-  FO.MaxIterations = 300;
-  FO.MaxInputLen = 8;
-  fuzz::Fuzzer F(T, FO);
+  // One-worker campaigns are byte-identical to the classic
+  // single-threaded fuzzer, so this reproduces the original experiment.
+  ScanConfig Cfg = Exit(ScanConfig::preset("teapot"));
+  Cfg.Campaign.Seed = 9;
+  Cfg.Campaign.TotalIterations = 300;
+  Cfg.Campaign.Workers = 1;
+  Cfg.Campaign.MaxInputLen = 8;
+
+  Scanner S(Cfg);
+  Exit(S.loadSource(Source, CO));
+  Exit(S.rewrite());
   for (uint8_t Idx : {0, 1, 2, 3, 9, 200})
-    F.addSeed({Idx});
-  F.run();
+    S.addSeed({Idx});
+  ScanResult R = Exit(S.run());
 
-  printf("%-22s: %2zu conditional-branch sites, %2zu gadgets\n", Label,
-         RW->Meta.Trampolines.size(), T.RT.Reports.unique().size());
-  for (const auto &R : T.RT.Reports.unique())
-    printf("    %s\n", R.describe().c_str());
+  printf("%-22s: %2llu conditional-branch sites, %2zu gadgets\n", Label,
+         static_cast<unsigned long long>(R.BranchSites), R.Gadgets.size());
+  for (const auto &G : R.Gadgets)
+    printf("    %s\n", G.describe().c_str());
 }
 
 int main() {

@@ -10,9 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/TeapotRewriter.h"
-#include "lang/MiniCC.h"
-#include "workloads/Harness.h"
+#include "api/Scanner.h"
 
 #include <cstdio>
 
@@ -54,34 +52,29 @@ int main() {
 )";
 
 static size_t scan(const char *Label, const char *Src) {
-  auto Bin = lang::compile(Src);
-  if (!Bin) {
-    fprintf(stderr, "compile error: %s\n", Bin.message().c_str());
-    exit(1);
-  }
-  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
-  if (!RW) {
-    fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
-    exit(1);
-  }
+  support::ExitOnError Exit("patch_and_verify: ");
+  Scanner S(Exit(ScanConfig::preset("teapot")));
+  Exit(S.loadSource(Src));
+  Exit(S.rewrite());
   // The --stats-style dump: what each pipeline pass added, and how long
-  // it took (RewriteResult carries the PassManager's measurements).
+  // it took (the RewriteResult carries the PassManager's measurements).
   printf("%s\n", Label);
-  printf("  rewriter pass statistics:\n%s", RW->Stats.format().c_str());
-  workloads::InstrumentedTarget T(*RW, runtime::RuntimeOptions());
+  printf("  rewriter pass statistics:\n%s",
+         S.rewriteResult()->Stats.format().c_str());
+
   // Drive the victim across the interesting boundary values.
-  for (uint8_t Idx : {0, 10, 63, 64, 65, 128, 200, 255})
-    T.execute({Idx});
+  ScanResult R =
+      Exit(S.runInputs({{0}, {10}, {63}, {64}, {65}, {128}, {200}, {255}}));
 
   printf("  simulations: %llu, serializing rollbacks: %llu\n",
-         static_cast<unsigned long long>(T.RT.Stats.Simulations),
-         static_cast<unsigned long long>(T.RT.Stats.Rollbacks[static_cast<
-             size_t>(isa::RollbackReason::Serializing)]));
-  if (T.RT.Reports.unique().empty())
+         static_cast<unsigned long long>(R.Simulations),
+         static_cast<unsigned long long>(R.Rollbacks[static_cast<size_t>(
+             isa::RollbackReason::Serializing)]));
+  if (R.Gadgets.empty())
     printf("  no gadgets\n");
-  for (const auto &R : T.RT.Reports.unique())
-    printf("  %s\n", R.describe().c_str());
-  return T.RT.Reports.unique().size();
+  for (const auto &G : R.Gadgets)
+    printf("  %s\n", G.describe().c_str());
+  return R.Gadgets.size();
 }
 
 int main() {

@@ -2,16 +2,15 @@
 //
 // Compiles the canonical Spectre-V1 victim (Listing 1 of the paper),
 // statically rewrites it with Speculation Shadows, runs it on one
-// out-of-bounds input, and prints the gadget reports.
+// out-of-bounds input, and prints the gadget reports — all through the
+// teapot::Scanner facade's three calls: load, rewrite, run.
 //
 //   $ ./quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/TeapotRewriter.h"
+#include "api/Scanner.h"
 #include "support/StringUtils.h"
-#include "lang/MiniCC.h"
-#include "workloads/Harness.h"
 
 #include <cstdio>
 
@@ -36,21 +35,21 @@ int main() {
 )";
 
 int main() {
-  // 1. Build the victim binary (stands in for any COTS TBF binary).
-  auto Bin = lang::compile(Victim);
-  if (!Bin) {
-    fprintf(stderr, "compile error: %s\n", Bin.message().c_str());
-    return 1;
-  }
-  Bin->strip(); // Teapot needs no symbols
+  support::ExitOnError Exit("quickstart: ");
 
-  // 2. Static rewriting: disassemble, clone Real/Shadow copies, insert
-  //    trampolines, markers, and the Kasper-policy instrumentation.
-  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
-  if (!RW) {
-    fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
-    return 1;
-  }
+  // 1. One scanner, configured by preset. "teapot" is the paper's full
+  //    configuration: Speculation Shadows + Kasper DIFT.
+  Scanner S(Exit(ScanConfig::preset("teapot")));
+
+  // 2. Load: build the victim binary (stands in for any COTS TBF
+  //    binary).
+  Exit(S.loadSource(Victim));
+
+  // 3. Rewrite (on a stripped copy — Teapot needs no symbols):
+  //    disassemble, clone Real/Shadow copies, insert trampolines,
+  //    markers, and the Kasper-policy instrumentation.
+  Exit(S.rewrite());
+  const core::RewriteResult *RW = S.rewriteResult();
   printf("rewritten: real text %s..%s, shadow text %s..%s, %zu branch "
          "sites\n",
          toHex(RW->Meta.RealTextStart).c_str(),
@@ -59,24 +58,21 @@ int main() {
          toHex(RW->Meta.ShadowTextEnd).c_str(),
          RW->Meta.Trampolines.size());
 
-  // 3. Run the instrumented binary on one malicious input: index 200 is
+  // 4. Run the instrumented binary on one malicious input: index 200 is
   //    architecturally rejected by the bounds check, but the simulated
   //    misprediction executes the wrong path and the runtime flags it.
-  workloads::InstrumentedTarget Target(*RW, runtime::RuntimeOptions());
-  Target.execute({200});
+  ScanResult R = Exit(S.runInputs({{200}}));
 
-  printf("program exited with status %llu after %llu instructions "
-         "(%llu simulations)\n",
-         static_cast<unsigned long long>(Target.LastStop.ExitStatus),
-         static_cast<unsigned long long>(Target.M.executedInsts()),
-         static_cast<unsigned long long>(Target.RT.Stats.Simulations));
+  printf("executed %llu guest instructions (%llu simulations)\n",
+         static_cast<unsigned long long>(R.GuestInsts),
+         static_cast<unsigned long long>(R.Simulations));
 
-  // 4. The reports.
-  if (Target.RT.Reports.unique().empty()) {
+  // 5. The reports — structured records, ready for R.toJson() too.
+  if (R.Gadgets.empty()) {
     printf("no gadgets found (unexpected!)\n");
     return 1;
   }
-  for (const auto &R : Target.RT.Reports.unique())
-    printf("  FOUND %s\n", R.describe().c_str());
+  for (const auto &G : R.Gadgets)
+    printf("  FOUND %s\n", G.describe().c_str());
   return 0;
 }

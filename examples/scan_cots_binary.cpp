@@ -1,118 +1,183 @@
 //===- examples/scan_cots_binary.cpp - The full Figure 3 workflow -----------===//
 //
-// End-to-end COTS scan: take a *stripped* binary (one of the evaluation
-// workloads, by name), statically rewrite it, then run a parallel
-// coverage-guided fuzzing campaign against the instrumented binary and
-// report every unique gadget with its controllability/channel
-// classification. With one worker (the default) the campaign is
-// byte-identical to the classic single-threaded fuzzer; more workers
-// shard the corpus across threads and sync discoveries every epoch.
+// End-to-end COTS scan through the teapot::Scanner facade: take a
+// *stripped* binary (one of the evaluation workloads, by name),
+// statically rewrite it per the chosen preset, run a parallel
+// coverage-guided fuzzing campaign against it, and report every unique
+// gadget with its controllability/channel classification — optionally as
+// a machine-readable JSON scan result.
 //
-//   $ ./scan_cots_binary [workload] [iterations] [workers]
-//   $ ./scan_cots_binary brotli 2000 4
+//   $ ./scan_cots_binary [--workload NAME] [--iters N] [--workers N]
+//                        [--preset NAME] [--json FILE]
+//   $ ./scan_cots_binary --workload brotli --iters 2000 --workers 4
+//   $ ./scan_cots_binary --workload jsmn --preset specfuzz-baseline \
+//                        --json scan.json
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/TeapotRewriter.h"
-#include "fuzz/Campaign.h"
-#include "lang/MiniCC.h"
-#include "workloads/Harness.h"
-#include "workloads/Programs.h"
+#include "api/Scanner.h"
+#include "support/StringUtils.h"
 
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
+#include <set>
 
 using namespace teapot;
-using namespace teapot::workloads;
+
+static void usage(FILE *To) {
+  fprintf(To,
+          "usage: scan_cots_binary [options]\n"
+          "  --workload NAME   evaluation workload (default libhtp)\n"
+          "  --iters N         total campaign executions (default 800)\n"
+          "  --workers N       campaign worker threads (default 1)\n"
+          "  --preset NAME     teapot | teapot-nodift | specfuzz-baseline |"
+          " native\n"
+          "  --inject          splice the Table 3 artificial gadgets in "
+          "before scanning\n"
+          "  --json FILE       write the structured ScanResult as JSON\n"
+          "  --help            this text\n");
+}
 
 int main(int argc, char **argv) {
-  const char *Name = argc > 1 ? argv[1] : "libhtp";
-  uint64_t Iters = argc > 2 ? strtoull(argv[2], nullptr, 10) : 800;
-  unsigned Workers =
-      argc > 3 ? static_cast<unsigned>(strtoul(argv[3], nullptr, 10)) : 1;
+  support::ExitOnError Exit("scan_cots_binary: ");
 
-  const Workload *W = findWorkload(Name);
-  if (!W) {
-    fprintf(stderr, "unknown workload '%s' (try: jsmn libyaml libhtp "
-                    "brotli openssl)\n",
-            Name);
-    return 1;
+  std::string Workload = "libhtp";
+  std::string Preset = "teapot";
+  uint64_t Iters = 800;
+  unsigned Workers = 1;
+  bool Inject = false;
+  const char *JsonPath = nullptr;
+
+  auto NextOperand = [&](int &I) -> const char * {
+    if (I + 1 >= argc) {
+      fprintf(stderr, "scan_cots_binary: %s requires an operand\n", argv[I]);
+      exit(1);
+    }
+    return argv[++I];
+  };
+  for (int I = 1; I < argc; ++I) {
+    if (!strcmp(argv[I], "--workload")) {
+      Workload = NextOperand(I);
+    } else if (!strcmp(argv[I], "--iters")) {
+      Iters = Exit(support::parseUInt(NextOperand(I), "--iters",
+                                      1'000'000'000ULL));
+    } else if (!strcmp(argv[I], "--workers")) {
+      Workers = static_cast<unsigned>(Exit(support::parseUInt(
+          NextOperand(I), "--workers", ScanConfig::MaxWorkers)));
+    } else if (!strcmp(argv[I], "--preset")) {
+      Preset = NextOperand(I);
+    } else if (!strcmp(argv[I], "--inject")) {
+      Inject = true;
+    } else if (!strcmp(argv[I], "--json")) {
+      JsonPath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--help")) {
+      usage(stdout);
+      return 0;
+    } else {
+      fprintf(stderr, "scan_cots_binary: unknown argument '%s'\n", argv[I]);
+      usage(stderr);
+      return 1;
+    }
   }
 
-  // The COTS binary: compiled, then stripped of symbols and relocations.
-  auto Bin = lang::compile(W->Source);
-  if (!Bin) {
-    fprintf(stderr, "compile error: %s\n", Bin.message().c_str());
-    return 1;
+  ScanConfig Cfg = Exit(ScanConfig::preset(Preset));
+  Cfg.Campaign.Seed = 1;
+  Cfg.Campaign.TotalIterations = Iters;
+  Cfg.Campaign.Workers = Workers;
+  Cfg.Campaign.SyncInterval = 256;
+  Cfg.Campaign.MaxInputLen = 512;
+  Cfg.InjectGadgets = Inject;
+
+  Scanner S(Cfg);
+  Exit(S.loadWorkload(Workload));
+  printf("[*] %s: %zu bytes of text\n", Workload.c_str(),
+         S.binary()->findSection(".text")->Bytes.size());
+
+  Exit(S.rewrite());
+  Exit(S.config().validate());
+
+  // Open the artifact only after everything that can fail has been
+  // resolved (a bad workload/config must not truncate an existing
+  // file), but before the campaign runs so a bad path fails fast
+  // instead of discarding the whole scan.
+  FILE *JsonFile = nullptr;
+  if (JsonPath) {
+    JsonFile = fopen(JsonPath, "w");
+    if (!JsonFile) {
+      fprintf(stderr, "scan_cots_binary: cannot open %s\n", JsonPath);
+      return 1;
+    }
   }
-  Bin->strip();
-  printf("[*] %s: %zu bytes of stripped text\n", Name,
-         Bin->findSection(".text")->Bytes.size());
+  if (const workloads::InjectionResult *Inj = S.injection())
+    printf("[*] injected %zu artificial gadget(s) (%zu unreachable, "
+           "input slot %s)\n",
+           Inj->SiteMarkers.size(), Inj->UnreachableMarkers.size(),
+           toHex(Inj->InjInputAddr).c_str());
+  if (const core::RewriteResult *RW = S.rewriteResult())
+    printf("[*] instrumented (%s): %zu branch sites, %zu marker sites, "
+           "%u+%u coverage guards\n",
+           Preset.c_str(), RW->Meta.Trampolines.size(),
+           RW->Meta.MarkerSites.size(), RW->Meta.NumNormalGuards,
+           RW->Meta.NumSpecGuards);
+  else
+    printf("[*] native preset: running the original binary, no detector\n");
 
-  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
-  if (!RW) {
-    fprintf(stderr, "rewrite error: %s\n", RW.message().c_str());
-    return 1;
-  }
-  printf("[*] instrumented: %zu branch sites, %zu marker sites, "
-         "%u+%u coverage guards\n",
-         RW->Meta.Trampolines.size(), RW->Meta.MarkerSites.size(),
-         RW->Meta.NumNormalGuards, RW->Meta.NumSpecGuards);
-
-  fuzz::CampaignOptions CO;
-  CO.Seed = 1;
-  CO.TotalIterations = Iters;
-  CO.Workers = Workers;
-  CO.SyncInterval = 256;
-  CO.MaxInputLen = 512;
-  fuzz::Campaign C(instrumentedTargetFactory(*RW, runtime::RuntimeOptions()),
-                   CO);
-  for (const auto &Seed : W->Seeds())
-    C.addSeed(Seed);
-
-  C.gadgets().OnNewGadget = [](const runtime::GadgetReport &R) {
+  S.OnGadget = [](const runtime::GadgetReport &R) {
     printf("    [gadget] %s\n", R.describe().c_str());
   };
-  auto Start = std::chrono::steady_clock::now();
-  C.OnEpoch = [&](const fuzz::CampaignProgress &P) {
-    double Secs = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - Start)
-                      .count();
+  S.OnEpoch = [](const fuzz::CampaignProgress &P) {
     printf("[epoch %3llu] execs %7llu | corpus %5zu | cov %zu+%zu | "
-           "gadgets %zu | %.0f exec/s\n",
+           "gadgets %zu\n",
            static_cast<unsigned long long>(P.Epoch),
            static_cast<unsigned long long>(P.Executions), P.CorpusSize,
-           P.NormalEdges, P.SpecEdges, P.UniqueGadgets,
-           Secs > 0 ? static_cast<double>(P.Executions) / Secs : 0.0);
+           P.NormalEdges, P.SpecEdges, P.UniqueGadgets);
   };
 
   printf("[*] fuzzing for %llu executions on %u worker(s)...\n",
          static_cast<unsigned long long>(Iters), Workers);
-  fuzz::CampaignStats S = C.run();
-  double Secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  ScanResult R = Exit(S.run());
 
   printf("\n[*] campaign summary\n");
   printf("    executions:        %llu (%.0f/sec)\n",
-         static_cast<unsigned long long>(S.Executions),
-         Secs > 0 ? static_cast<double>(S.Executions) / Secs : 0.0);
+         static_cast<unsigned long long>(R.Executions), R.execsPerSec());
   printf("    epochs:            %llu\n",
-         static_cast<unsigned long long>(S.Epochs));
-  printf("    corpus size:       %zu\n", C.corpus().size());
-  printf("    normal coverage:   %zu guards\n", S.NormalEdges);
-  printf("    spec coverage:     %zu guards\n", S.SpecEdges);
+         static_cast<unsigned long long>(R.Epochs));
+  printf("    corpus size:       %llu\n",
+         static_cast<unsigned long long>(R.CorpusSize));
+  printf("    normal coverage:   %llu guards\n",
+         static_cast<unsigned long long>(R.NormalEdges));
+  printf("    spec coverage:     %llu guards\n",
+         static_cast<unsigned long long>(R.SpecEdges));
   printf("    cross-worker imports: %llu\n",
-         static_cast<unsigned long long>(S.Imports));
-  printf("    unique gadgets:    %zu\n", S.UniqueGadgets);
-  for (const fuzz::WorkerStats &WS : S.PerWorker)
+         static_cast<unsigned long long>(R.Imports));
+  printf("    unique gadgets:    %zu\n", R.Gadgets.size());
+  if (!R.InjectedSites.empty()) {
+    std::set<uint64_t> Markers(R.InjectedSites.begin(),
+                               R.InjectedSites.end());
+    std::set<uint64_t> Found;
+    for (const auto &G : R.Gadgets)
+      if (Markers.count(G.Site))
+        Found.insert(G.Site);
+    printf("    injected ground truth: %zu/%zu sites detected\n",
+           Found.size(), Markers.size());
+  }
+  for (size_t I = 0; I != R.PerWorker.size(); ++I) {
+    const ScanWorkerStats &WS = R.PerWorker[I];
     printf("      worker %zu: %llu execs, %llu adds, %llu imports, "
-           "shard %zu, cov %zu+%zu\n",
-           static_cast<size_t>(&WS - S.PerWorker.data()),
-           static_cast<unsigned long long>(WS.Executions),
+           "shard %llu, cov %llu+%llu\n",
+           I, static_cast<unsigned long long>(WS.Executions),
            static_cast<unsigned long long>(WS.CorpusAdds),
-           static_cast<unsigned long long>(WS.Imports), WS.ShardSize,
-           WS.NormalEdges, WS.SpecEdges);
+           static_cast<unsigned long long>(WS.Imports),
+           static_cast<unsigned long long>(WS.ShardSize),
+           static_cast<unsigned long long>(WS.NormalEdges),
+           static_cast<unsigned long long>(WS.SpecEdges));
+  }
+
+  if (JsonFile) {
+    std::string Doc = R.toJsonString();
+    fwrite(Doc.data(), 1, Doc.size(), JsonFile);
+    fclose(JsonFile);
+    printf("[*] wrote %s (%zu bytes)\n", JsonPath, Doc.size());
+  }
   return 0;
 }

@@ -1,0 +1,388 @@
+//===- api/ScanResult.cpp -------------------------------------------------===//
+
+#include "api/ScanResult.h"
+
+#include <cstring>
+#include <limits>
+
+using namespace teapot;
+
+// --- Writers ----------------------------------------------------------------
+
+static json::Value gadgetToJson(const runtime::GadgetReport &R) {
+  json::Value G = json::Value::object();
+  G.set("site", R.Site);
+  G.set("channel", runtime::channelName(R.Chan));
+  G.set("controllability", runtime::controllabilityName(R.Ctrl));
+  G.set("branch", R.BranchId);
+  G.set("depth", static_cast<unsigned>(R.Depth));
+  return G;
+}
+
+json::Value ScanResult::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("schema", SchemaName);
+  V.set("workload", Workload);
+  V.set("preset", Preset);
+  V.set("seed", Seed);
+  V.set("workers", Workers);
+  V.set("iterations", Iterations);
+
+  json::Value RW = json::Value::object();
+  RW.set("branch_sites", BranchSites);
+  RW.set("marker_sites", MarkerSites);
+  RW.set("normal_guards", NormalGuards);
+  RW.set("spec_guards", SpecGuards);
+  json::Value PassArr = json::Value::array();
+  for (const ScanPassStats &P : Passes) {
+    json::Value PV = json::Value::object();
+    PV.set("name", P.Name);
+    PV.set("seconds", P.Seconds);
+    PV.set("insts_added", P.InstsAdded);
+    PV.set("blocks_added", P.BlocksAdded);
+    PV.set("funcs_added", P.FuncsAdded);
+    json::Value CV = json::Value::object();
+    for (const auto &[Key, Count] : P.Counters)
+      CV.set(Key, Count);
+    PV.set("counters", std::move(CV));
+    PassArr.push(std::move(PV));
+  }
+  RW.set("passes", std::move(PassArr));
+  V.set("rewrite", std::move(RW));
+
+  json::Value C = json::Value::object();
+  C.set("executions", Executions);
+  C.set("epochs", Epochs);
+  C.set("corpus_adds", CorpusAdds);
+  C.set("imports", Imports);
+  C.set("guest_insts", GuestInsts);
+  C.set("corpus_size", CorpusSize);
+  C.set("normal_edges", NormalEdges);
+  C.set("spec_edges", SpecEdges);
+  C.set("wall_seconds", WallSeconds);
+  json::Value WArr = json::Value::array();
+  for (const ScanWorkerStats &W : PerWorker) {
+    json::Value WV = json::Value::object();
+    WV.set("executions", W.Executions);
+    WV.set("corpus_adds", W.CorpusAdds);
+    WV.set("imports", W.Imports);
+    WV.set("guest_insts", W.GuestInsts);
+    WV.set("shard_size", W.ShardSize);
+    WV.set("normal_edges", W.NormalEdges);
+    WV.set("spec_edges", W.SpecEdges);
+    WArr.push(std::move(WV));
+  }
+  C.set("per_worker", std::move(WArr));
+  V.set("campaign", std::move(C));
+
+  json::Value Spec = json::Value::object();
+  Spec.set("simulations", Simulations);
+  Spec.set("nested_simulations", NestedSimulations);
+  json::Value RB = json::Value::object();
+  for (size_t I = 0;
+       I != static_cast<size_t>(isa::RollbackReason::NumReasons); ++I)
+    RB.set(isa::rollbackReasonName(static_cast<isa::RollbackReason>(I)),
+           Rollbacks[I]);
+  Spec.set("rollbacks", std::move(RB));
+  V.set("speculation", std::move(Spec));
+
+  json::Value Inj = json::Value::object();
+  json::Value Sites = json::Value::array();
+  for (uint64_t Site : InjectedSites)
+    Sites.push(Site);
+  Inj.set("sites", std::move(Sites));
+  Inj.set("input_addr", InjectInputAddr);
+  V.set("injection", std::move(Inj));
+
+  json::Value GArr = json::Value::array();
+  for (const runtime::GadgetReport &R : Gadgets)
+    GArr.push(gadgetToJson(R));
+  V.set("gadgets", std::move(GArr));
+  return V;
+}
+
+// --- Readers ----------------------------------------------------------------
+
+namespace {
+/// Typed member extraction with diagnosed-by-path errors.
+struct Reader {
+  const json::Value &V;
+  const char *Path;
+
+  Error missing(const char *Key) const {
+    return makeError("scan result: missing %s.%s", Path, Key);
+  }
+
+  Error getU64(const char *Key, uint64_t &Out) const {
+    const json::Value *M = V.find(Key);
+    if (!M)
+      return missing(Key);
+    if (!M->isUInt())
+      return makeError("scan result: %s.%s is not an unsigned integer",
+                       Path, Key);
+    Out = M->asUInt();
+    return Error::success();
+  }
+
+  template <typename T> Error getUInt(const char *Key, T &Out) const {
+    uint64_t U = 0;
+    if (Error E = getU64(Key, U))
+      return E;
+    if (U > std::numeric_limits<T>::max())
+      return makeError("scan result: %s.%s out of range", Path, Key);
+    Out = static_cast<T>(U);
+    return Error::success();
+  }
+
+  Error getDouble(const char *Key, double &Out) const {
+    const json::Value *M = V.find(Key);
+    if (!M)
+      return missing(Key);
+    if (!M->isNumber())
+      return makeError("scan result: %s.%s is not a number", Path, Key);
+    Out = M->asDouble();
+    return Error::success();
+  }
+
+  Error getString(const char *Key, std::string &Out) const {
+    const json::Value *M = V.find(Key);
+    if (!M)
+      return missing(Key);
+    if (!M->isString())
+      return makeError("scan result: %s.%s is not a string", Path, Key);
+    Out = M->asString();
+    return Error::success();
+  }
+
+  Expected<const json::Value *> getObject(const char *Key) const {
+    const json::Value *M = V.find(Key);
+    if (!M)
+      return missing(Key);
+    if (!M->isObject())
+      return makeError("scan result: %s.%s is not an object", Path, Key);
+    return M;
+  }
+
+  Expected<const json::Value *> getArray(const char *Key) const {
+    const json::Value *M = V.find(Key);
+    if (!M)
+      return missing(Key);
+    if (!M->isArray())
+      return makeError("scan result: %s.%s is not an array", Path, Key);
+    return M;
+  }
+};
+} // namespace
+
+static Expected<runtime::GadgetReport> gadgetFromJson(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("scan result: gadget entry is not an object");
+  Reader R{V, "gadgets[]"};
+  runtime::GadgetReport G;
+  std::string Chan, Ctrl;
+  if (Error E = R.getU64("site", G.Site))
+    return E;
+  if (Error E = R.getString("channel", Chan))
+    return E;
+  if (Error E = R.getString("controllability", Ctrl))
+    return E;
+  if (Error E = R.getUInt("branch", G.BranchId))
+    return E;
+  if (Error E = R.getUInt("depth", G.Depth))
+    return E;
+  auto C = runtime::channelFromName(Chan);
+  if (!C)
+    return C.takeError();
+  G.Chan = *C;
+  auto CT = runtime::controllabilityFromName(Ctrl);
+  if (!CT)
+    return CT.takeError();
+  G.Ctrl = *CT;
+  return G;
+}
+
+Expected<ScanResult> ScanResult::fromJson(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("scan result: document is not an object");
+  Reader Top{V, "$"};
+  ScanResult R;
+
+  std::string Schema;
+  if (Error E = Top.getString("schema", Schema))
+    return E;
+  if (Schema != SchemaName)
+    return makeError("scan result: unsupported schema '%s' (want %s)",
+                     Schema.c_str(), SchemaName);
+  if (Error E = Top.getString("workload", R.Workload))
+    return E;
+  if (Error E = Top.getString("preset", R.Preset))
+    return E;
+  if (Error E = Top.getU64("seed", R.Seed))
+    return E;
+  if (Error E = Top.getUInt("workers", R.Workers))
+    return E;
+  if (Error E = Top.getU64("iterations", R.Iterations))
+    return E;
+
+  auto RWObj = Top.getObject("rewrite");
+  if (!RWObj)
+    return RWObj.takeError();
+  Reader RW{**RWObj, "rewrite"};
+  if (Error E = RW.getU64("branch_sites", R.BranchSites))
+    return E;
+  if (Error E = RW.getU64("marker_sites", R.MarkerSites))
+    return E;
+  if (Error E = RW.getUInt("normal_guards", R.NormalGuards))
+    return E;
+  if (Error E = RW.getUInt("spec_guards", R.SpecGuards))
+    return E;
+  auto PassArr = RW.getArray("passes");
+  if (!PassArr)
+    return PassArr.takeError();
+  for (const json::Value &PV : (*PassArr)->items()) {
+    if (!PV.isObject())
+      return makeError("scan result: rewrite.passes entry is not an object");
+    Reader PR{PV, "rewrite.passes[]"};
+    ScanPassStats P;
+    if (Error E = PR.getString("name", P.Name))
+      return E;
+    if (Error E = PR.getDouble("seconds", P.Seconds))
+      return E;
+    if (Error E = PR.getU64("insts_added", P.InstsAdded))
+      return E;
+    if (Error E = PR.getU64("blocks_added", P.BlocksAdded))
+      return E;
+    if (Error E = PR.getU64("funcs_added", P.FuncsAdded))
+      return E;
+    auto CObj = PR.getObject("counters");
+    if (!CObj)
+      return CObj.takeError();
+    for (const auto &[Key, Count] : (*CObj)->members()) {
+      if (!Count.isUInt())
+        return makeError("scan result: rewrite.passes[].counters.%s is not "
+                         "an unsigned integer",
+                         Key.c_str());
+      P.Counters[Key] = Count.asUInt();
+    }
+    R.Passes.push_back(std::move(P));
+  }
+
+  auto CObj = Top.getObject("campaign");
+  if (!CObj)
+    return CObj.takeError();
+  Reader C{**CObj, "campaign"};
+  if (Error E = C.getU64("executions", R.Executions))
+    return E;
+  if (Error E = C.getU64("epochs", R.Epochs))
+    return E;
+  if (Error E = C.getU64("corpus_adds", R.CorpusAdds))
+    return E;
+  if (Error E = C.getU64("imports", R.Imports))
+    return E;
+  if (Error E = C.getU64("guest_insts", R.GuestInsts))
+    return E;
+  if (Error E = C.getU64("corpus_size", R.CorpusSize))
+    return E;
+  if (Error E = C.getU64("normal_edges", R.NormalEdges))
+    return E;
+  if (Error E = C.getU64("spec_edges", R.SpecEdges))
+    return E;
+  if (Error E = C.getDouble("wall_seconds", R.WallSeconds))
+    return E;
+  auto WArr = C.getArray("per_worker");
+  if (!WArr)
+    return WArr.takeError();
+  for (const json::Value &WV : (*WArr)->items()) {
+    if (!WV.isObject())
+      return makeError(
+          "scan result: campaign.per_worker entry is not an object");
+    Reader WR{WV, "campaign.per_worker[]"};
+    ScanWorkerStats W;
+    if (Error E = WR.getU64("executions", W.Executions))
+      return E;
+    if (Error E = WR.getU64("corpus_adds", W.CorpusAdds))
+      return E;
+    if (Error E = WR.getU64("imports", W.Imports))
+      return E;
+    if (Error E = WR.getU64("guest_insts", W.GuestInsts))
+      return E;
+    if (Error E = WR.getU64("shard_size", W.ShardSize))
+      return E;
+    if (Error E = WR.getU64("normal_edges", W.NormalEdges))
+      return E;
+    if (Error E = WR.getU64("spec_edges", W.SpecEdges))
+      return E;
+    R.PerWorker.push_back(W);
+  }
+
+  auto SpecObj = Top.getObject("speculation");
+  if (!SpecObj)
+    return SpecObj.takeError();
+  Reader Spec{**SpecObj, "speculation"};
+  if (Error E = Spec.getU64("simulations", R.Simulations))
+    return E;
+  if (Error E = Spec.getU64("nested_simulations", R.NestedSimulations))
+    return E;
+  auto RBObj = Spec.getObject("rollbacks");
+  if (!RBObj)
+    return RBObj.takeError();
+  Reader RB{**RBObj, "speculation.rollbacks"};
+  for (size_t I = 0;
+       I != static_cast<size_t>(isa::RollbackReason::NumReasons); ++I)
+    if (Error E = RB.getU64(
+            isa::rollbackReasonName(static_cast<isa::RollbackReason>(I)),
+            R.Rollbacks[I]))
+      return E;
+
+  auto InjObj = Top.getObject("injection");
+  if (!InjObj)
+    return InjObj.takeError();
+  Reader Inj{**InjObj, "injection"};
+  auto SitesArr = Inj.getArray("sites");
+  if (!SitesArr)
+    return SitesArr.takeError();
+  for (const json::Value &SV : (*SitesArr)->items()) {
+    if (!SV.isUInt())
+      return makeError(
+          "scan result: injection.sites entry is not an unsigned integer");
+    R.InjectedSites.push_back(SV.asUInt());
+  }
+  if (Error E = Inj.getU64("input_addr", R.InjectInputAddr))
+    return E;
+
+  auto GArr = Top.getArray("gadgets");
+  if (!GArr)
+    return GArr.takeError();
+  for (const json::Value &GV : (*GArr)->items()) {
+    auto G = gadgetFromJson(GV);
+    if (!G)
+      return G.takeError();
+    R.Gadgets.push_back(*G);
+  }
+  return R;
+}
+
+Expected<ScanResult> ScanResult::fromJsonString(std::string_view Text) {
+  auto V = json::parse(Text);
+  if (!V)
+    return V.takeError();
+  return fromJson(*V);
+}
+
+bool ScanResult::operator==(const ScanResult &O) const {
+  return Workload == O.Workload && Preset == O.Preset && Seed == O.Seed &&
+         Workers == O.Workers && Iterations == O.Iterations &&
+         Passes == O.Passes && BranchSites == O.BranchSites &&
+         MarkerSites == O.MarkerSites && NormalGuards == O.NormalGuards &&
+         SpecGuards == O.SpecGuards && Executions == O.Executions &&
+         Epochs == O.Epochs && CorpusAdds == O.CorpusAdds &&
+         Imports == O.Imports && GuestInsts == O.GuestInsts &&
+         CorpusSize == O.CorpusSize && NormalEdges == O.NormalEdges &&
+         SpecEdges == O.SpecEdges && WallSeconds == O.WallSeconds &&
+         PerWorker == O.PerWorker &&
+         Simulations == O.Simulations &&
+         NestedSimulations == O.NestedSimulations &&
+         std::memcmp(Rollbacks, O.Rollbacks, sizeof(Rollbacks)) == 0 &&
+         InjectedSites == O.InjectedSites &&
+         InjectInputAddr == O.InjectInputAddr && Gadgets == O.Gadgets;
+}

@@ -1,0 +1,147 @@
+//===- api/ScanResult.h - Structured scan results -----------------*- C++ -*-===//
+///
+/// \file
+/// The machine-readable outcome of one teapot::Scanner run: the gadget
+/// set (the paper's Table 4 records), per-phase rewriter statistics, and
+/// campaign throughput/coverage summaries, with lossless JSON
+/// serialization (`toJson`/`fromJson` round-trip exactly).
+///
+/// The JSON schema is documented in docs/API.md; its top-level `schema`
+/// field is versioned ("teapot.scan.v1") so downstream consumers (the CI
+/// artifact validators, dashboards) can detect incompatible changes.
+///
+/// Stability guarantees:
+///   - `Gadgets` is ordered by (site, channel, controllability) — the
+///     ReportSink/GadgetSink contract — so two runs with the same seed
+///     serialize byte-identically.
+///   - Object keys serialize in a fixed order (json::Value objects are
+///     insertion-ordered).
+///   - Enum-valued fields serialize as their stable printed names
+///     ("Cache", "User", ...) and parse back through
+///     runtime::channelFromName / controllabilityFromName.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_API_SCANRESULT_H
+#define TEAPOT_API_SCANRESULT_H
+
+#include "isa/Instruction.h"
+#include "runtime/Report.h"
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace teapot {
+
+/// One rewrite-pipeline stage's measurements (the serializable mirror of
+/// passes::PassStat, named counters included).
+struct ScanPassStats {
+  std::string Name;
+  double Seconds = 0;
+  uint64_t InstsAdded = 0;
+  uint64_t BlocksAdded = 0;
+  uint64_t FuncsAdded = 0;
+  /// Pass-specific named counters (trampolines created, tag programs
+  /// compiled, ...), key-sorted.
+  std::map<std::string, uint64_t> Counters;
+
+  bool operator==(const ScanPassStats &O) const = default;
+};
+
+/// One campaign worker's share of the run (the serializable mirror of
+/// fuzz::WorkerStats).
+struct ScanWorkerStats {
+  uint64_t Executions = 0;
+  uint64_t CorpusAdds = 0;
+  uint64_t Imports = 0;
+  uint64_t GuestInsts = 0;
+  uint64_t ShardSize = 0;
+  uint64_t NormalEdges = 0;
+  uint64_t SpecEdges = 0;
+
+  bool operator==(const ScanWorkerStats &O) const = default;
+};
+
+/// The structured result of a Scanner run.
+struct ScanResult {
+  /// Schema version stamped into the JSON (`schema` key).
+  static constexpr const char *SchemaName = "teapot.scan.v1";
+
+  // --- Provenance ----------------------------------------------------------
+  std::string Workload; // workload name, or "custom" for loadSource/Binary
+  std::string Preset;   // ScanConfig preset the run used
+  uint64_t Seed = 0;
+  unsigned Workers = 0;
+  uint64_t Iterations = 0; // requested execution budget (0 for runInputs)
+
+  // --- Rewrite phase (empty/zero for the native preset) --------------------
+  std::vector<ScanPassStats> Passes;
+  uint64_t BranchSites = 0; // conditional-branch trampolines
+  uint64_t MarkerSites = 0; // indirect-transfer markers
+  uint32_t NormalGuards = 0;
+  uint32_t SpecGuards = 0;
+
+  // --- Campaign / execution ------------------------------------------------
+  uint64_t Executions = 0;
+  uint64_t Epochs = 0;
+  uint64_t CorpusAdds = 0;
+  uint64_t Imports = 0;
+  uint64_t GuestInsts = 0;
+  uint64_t CorpusSize = 0;
+  uint64_t NormalEdges = 0; // guards covered at least once
+  uint64_t SpecEdges = 0;
+  double WallSeconds = 0;
+  /// Per-worker breakdown, indexed by worker id (empty for runInputs).
+  std::vector<ScanWorkerStats> PerWorker;
+
+  // --- Speculation-simulation stats ----------------------------------------
+  // Filled by single-target runs (Scanner::runInputs); campaign workers
+  // keep their runtimes private, so campaign results report zeros here.
+  uint64_t Simulations = 0;
+  uint64_t NestedSimulations = 0;
+  uint64_t Rollbacks[static_cast<size_t>(isa::RollbackReason::NumReasons)] =
+      {};
+
+  // --- Injection ground truth (Table 3 runs; empty otherwise) --------------
+  /// Synthetic site markers of the artificially injected gadgets.
+  std::vector<uint64_t> InjectedSites;
+  uint64_t InjectInputAddr = 0;
+
+  // --- Gadgets -------------------------------------------------------------
+  /// Unique gadget records in (Site, Chan, Ctrl) key order.
+  std::vector<runtime::GadgetReport> Gadgets;
+
+  // --- Derived -------------------------------------------------------------
+  double execsPerSec() const {
+    return WallSeconds > 0 ? static_cast<double>(Executions) / WallSeconds
+                           : 0;
+  }
+  double instsPerSec() const {
+    return WallSeconds > 0 ? static_cast<double>(GuestInsts) / WallSeconds
+                           : 0;
+  }
+  uint64_t rollbackTotal() const {
+    uint64_t N = 0;
+    for (uint64_t R : Rollbacks)
+      N += R;
+    return N;
+  }
+
+  // --- Serialization -------------------------------------------------------
+  json::Value toJson() const;
+  static Expected<ScanResult> fromJson(const json::Value &V);
+
+  /// Pretty-printed JSON document (what --json files contain).
+  std::string toJsonString() const { return toJson().dump(true) + "\n"; }
+  static Expected<ScanResult> fromJsonString(std::string_view Text);
+
+  bool operator==(const ScanResult &O) const;
+};
+
+} // namespace teapot
+
+#endif // TEAPOT_API_SCANRESULT_H

@@ -1,0 +1,346 @@
+//===- api/Scanner.cpp ----------------------------------------------------===//
+
+#include "api/Scanner.h"
+
+#include "baselines/SpecFuzz.h"
+#include "disasm/Disassembler.h"
+#include "workloads/Programs.h"
+
+#include <chrono>
+
+using namespace teapot;
+
+// --- ScanConfig -------------------------------------------------------------
+
+const std::vector<std::string> &ScanConfig::presetNames() {
+  static const std::vector<std::string> Names = {
+      "teapot", "teapot-nodift", "specfuzz-baseline", "native"};
+  return Names;
+}
+
+Expected<ScanConfig> ScanConfig::preset(std::string_view Name) {
+  ScanConfig C;
+  C.Preset = std::string(Name);
+  if (Name == "teapot") {
+    // The paper's configuration: Speculation Shadows + Kasper DIFT.
+    return C;
+  }
+  if (Name == "teapot-nodift") {
+    // Speculation Shadows with the SpecFuzz detection policy: plain ASan
+    // checks instead of the DIFT instrumentation, every speculative
+    // violation a gadget.
+    C.Rewriter.EnableDift = false;
+    C.Runtime.EnableDift = false;
+    return C;
+  }
+  if (Name == "specfuzz-baseline") {
+    // Listing 3: guarded single-copy instrumentation, ASan-only policy,
+    // SpecFuzz nesting heuristic.
+    C.Rewriter.Mode = core::RewriteMode::SpecFuzzBaseline;
+    C.Runtime = baselines::specFuzzRuntimeOptions();
+    return C;
+  }
+  if (Name == "native") {
+    // Uninstrumented execution, no detector (the normalization baseline).
+    C.Kind = TargetKind::Native;
+    return C;
+  }
+  std::string Valid;
+  for (const std::string &N : presetNames())
+    Valid += (Valid.empty() ? "" : ", ") + N;
+  return makeError("unknown preset '%.*s' (valid: %s)",
+                   static_cast<int>(Name.size()), Name.data(),
+                   Valid.c_str());
+}
+
+Error ScanConfig::validate() const {
+  if (Campaign.Workers == 0)
+    return makeError("scan config: campaign workers must be at least 1");
+  if (Campaign.Workers > MaxWorkers)
+    return makeError("scan config: %u workers exceeds the maximum %u",
+                     Campaign.Workers, MaxWorkers);
+  if (Campaign.MaxInputLen == 0)
+    return makeError("scan config: max input length must be non-zero");
+  if (Campaign.SyncInterval == 0)
+    return makeError("scan config: sync interval must be non-zero");
+  if (RunBudget == 0)
+    return makeError("scan config: per-run instruction budget must be "
+                     "non-zero");
+  if (RunBudget > MaxRunBudget)
+    return makeError("scan config: per-run instruction budget %llu exceeds "
+                     "the maximum %llu",
+                     static_cast<unsigned long long>(RunBudget),
+                     static_cast<unsigned long long>(MaxRunBudget));
+  if (InjectGadgets && Kind == TargetKind::Native)
+    return makeError("scan config: gadget injection requires an "
+                     "instrumented target (the native preset has no "
+                     "detector to score against)");
+  return Error::success();
+}
+
+// --- Scanner ----------------------------------------------------------------
+
+Scanner::Scanner(ScanConfig Config) : Cfg(std::move(Config)) {}
+
+Error Scanner::loadWorkload(const std::string &Name) {
+  const workloads::Workload *W = workloads::findWorkload(Name);
+  if (!W) {
+    std::string Known;
+    for (const workloads::Workload &K : workloads::allWorkloads())
+      Known += (Known.empty() ? "" : ", ") + std::string(K.Name);
+    return makeError("unknown workload '%s' (try: %s)", Name.c_str(),
+                     Known.c_str());
+  }
+  auto Bin = lang::compile(W->Source);
+  if (!Bin)
+    return makeError("compiling workload '%s': %s", Name.c_str(),
+                     Bin.message().c_str());
+  adoptBinary(std::move(*Bin), Name);
+  WorkloadInjectCount = W->InjectCount;
+  WorkloadUnreachable = W->UnreachableFuncs;
+  if (Cfg.AutoSeeds)
+    for (auto &Seed : W->Seeds())
+      SeedCorpus.push_back(std::move(Seed));
+  return Error::success();
+}
+
+Error Scanner::loadSource(std::string_view Source,
+                          const lang::CompileOptions &Opts) {
+  auto Bin = lang::compile(Source, Opts);
+  if (!Bin)
+    return makeError("compile error: %s", Bin.message().c_str());
+  adoptBinary(std::move(*Bin), "custom");
+  return Error::success();
+}
+
+Error Scanner::loadBinary(obj::ObjectFile Bin) {
+  adoptBinary(std::move(Bin), "custom");
+  return Error::success();
+}
+
+/// The one place per-binary state changes hands: everything derived
+/// from a previous load — rewrite result, injection ground truth,
+/// workload metadata, and the seed corpus (one binary, one corpus) —
+/// is reset together.
+void Scanner::adoptBinary(obj::ObjectFile Bin, std::string Name) {
+  Loaded = std::move(Bin);
+  Rewritten.reset();
+  Injection.reset();
+  WorkloadName = std::move(Name);
+  WorkloadInjectCount = 0;
+  WorkloadUnreachable.clear();
+  SeedCorpus.clear();
+}
+
+Error Scanner::rewrite() {
+  if (!Loaded)
+    return makeError("no binary loaded (call loadWorkload/loadSource/"
+                     "loadBinary first)");
+  if (Cfg.Kind == ScanConfig::TargetKind::Native)
+    return Error::success(); // native runs the original binary as-is
+
+  if (Cfg.InjectGadgets) {
+    // Table 3 path: lift the *unstripped* binary (gadgets may target
+    // named unreachable functions), splice the artificial gadgets into
+    // the module, then rewrite the injected module.
+    auto Lifted = disasm::disassemble(*Loaded);
+    if (!Lifted)
+      return makeError("lift error: %s", Lifted.message().c_str());
+    workloads::InjectorOptions IO = Cfg.Injector;
+    if (IO.Count == 0)
+      IO.Count = WorkloadInjectCount;
+    if (IO.Count == 0)
+      return makeError("gadget injection: no count configured and the "
+                       "loaded binary publishes no InjectCount (set "
+                       "config().Injector.Count)");
+    if (IO.UnreachableFuncs.empty())
+      IO.UnreachableFuncs = WorkloadUnreachable;
+    auto Inj = workloads::injectGadgets(*Lifted, IO);
+    if (!Inj)
+      return makeError("gadget injection: %s", Inj.message().c_str());
+    auto RW = core::rewriteModule(std::move(*Lifted), Cfg.Rewriter);
+    if (!RW)
+      return makeError("rewrite error: %s", RW.message().c_str());
+    Rewritten = std::move(*RW);
+    Injection = std::move(*Inj);
+    return Error::success();
+  }
+
+  // Teapot scans COTS binaries: rewrite a stripped copy (no symbols,
+  // no relocations), whatever the load path provided. Deciding here —
+  // not at load time — keeps config() freely mutable between phases.
+  obj::ObjectFile Stripped = *Loaded;
+  Stripped.strip();
+  auto RW = core::rewriteBinary(Stripped, Cfg.Rewriter);
+  if (!RW)
+    return makeError("rewrite error: %s", RW.message().c_str());
+  Rewritten = std::move(*RW);
+  Injection.reset();
+  return Error::success();
+}
+
+Error Scanner::requireTarget() const {
+  if (!Loaded)
+    return makeError("no binary loaded (call loadWorkload/loadSource/"
+                     "loadBinary first)");
+  if (Cfg.Kind == ScanConfig::TargetKind::Instrumented && !Rewritten)
+    return makeError("binary not instrumented (call rewrite() before "
+                     "run())");
+  return Error::success();
+}
+
+/// Applies the ScanConfig machine tuning to a freshly built target.
+static void tuneMachine(vm::Machine &M, const ScanConfig &Cfg) {
+  M.UseBlockEngine = Cfg.UseBlockEngine;
+  M.MaxOutputBytes = Cfg.MaxOutputBytes;
+}
+
+std::unique_ptr<fuzz::FuzzTarget> Scanner::makeTarget() const {
+  if (Cfg.Kind == ScanConfig::TargetKind::Native) {
+    auto T = std::make_unique<workloads::NativeTarget>(*Loaded,
+                                                       Cfg.RunBudget);
+    tuneMachine(T->M, Cfg);
+    if (Cfg.PokeAddr)
+      T->pokeInputTo(*Cfg.PokeAddr);
+    return T;
+  }
+  runtime::RuntimeOptions RTO = Cfg.Runtime;
+  std::optional<uint64_t> Poke = Cfg.PokeAddr;
+  if (Injection) {
+    // Section 7.2 taint configuration: only the injected input slot is
+    // attacker-controlled; real input taint and the Massage policy are
+    // off so reports score cleanly against the ground truth.
+    RTO.TaintInput = false;
+    RTO.MassagePolicy = false;
+    RTO.ExtraTaintAddr = Injection->InjInputAddr;
+    RTO.ExtraTaintLen = 8;
+    Poke = Injection->InjInputAddr;
+  }
+  auto T = std::make_unique<workloads::InstrumentedTarget>(*Rewritten, RTO,
+                                                           Cfg.RunBudget);
+  tuneMachine(T->M, Cfg);
+  if (Poke)
+    T->pokeInputTo(*Poke);
+  return T;
+}
+
+fuzz::TargetFactory Scanner::makeFactory() const {
+  return [this] { return makeTarget(); };
+}
+
+ScanResult Scanner::baseResult(uint64_t Iterations) const {
+  ScanResult R;
+  R.Workload = WorkloadName;
+  R.Preset = Cfg.Preset;
+  R.Seed = Cfg.Campaign.Seed;
+  R.Workers = Cfg.Campaign.Workers;
+  R.Iterations = Iterations;
+  if (Rewritten) {
+    R.BranchSites = Rewritten->Meta.Trampolines.size();
+    R.MarkerSites = Rewritten->Meta.MarkerSites.size();
+    R.NormalGuards = Rewritten->Meta.NumNormalGuards;
+    R.SpecGuards = Rewritten->Meta.NumSpecGuards;
+    for (const passes::PassStat &P : Rewritten->Stats.Passes)
+      R.Passes.push_back({P.Name, P.Seconds, P.InstsAdded, P.BlocksAdded,
+                          P.FuncsAdded, P.Counters});
+  }
+  if (Injection) {
+    R.InjectedSites = Injection->SiteMarkers;
+    R.InjectInputAddr = Injection->InjInputAddr;
+  }
+  return R;
+}
+
+Expected<ScanResult> Scanner::run() {
+  if (Error E = Cfg.validate())
+    return E;
+  if (Error E = requireTarget())
+    return E;
+
+  fuzz::Campaign C(makeFactory(), Cfg.Campaign);
+  if (Injection) {
+    // The Table 3 seed schedule: the poke reads the input's trailing 8
+    // bytes, so make sure both in- and out-of-bounds injected-input
+    // values appear in the initial corpus.
+    for (const auto &Seed : SeedCorpus) {
+      std::vector<uint8_t> OOB = Seed;
+      OOB.insert(OOB.end(), {200, 0, 0, 0, 0, 0, 0, 0});
+      C.addSeed(std::move(OOB));
+      std::vector<uint8_t> InB = Seed;
+      InB.insert(InB.end(), {5, 0, 0, 0, 0, 0, 0, 0});
+      C.addSeed(std::move(InB));
+    }
+  } else {
+    for (const auto &Seed : SeedCorpus)
+      C.addSeed(Seed);
+  }
+  if (OnGadget)
+    C.gadgets().OnNewGadget = OnGadget;
+  if (OnEpoch)
+    C.OnEpoch = OnEpoch;
+
+  auto Start = std::chrono::steady_clock::now();
+  fuzz::CampaignStats S = C.run();
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  ScanResult R = baseResult(Cfg.Campaign.TotalIterations);
+  R.Executions = S.Executions;
+  R.Epochs = S.Epochs;
+  R.CorpusAdds = S.CorpusAdds;
+  R.Imports = S.Imports;
+  R.GuestInsts = S.GuestInsts;
+  R.CorpusSize = C.corpus().size();
+  R.NormalEdges = S.NormalEdges;
+  R.SpecEdges = S.SpecEdges;
+  R.WallSeconds = Secs;
+  for (const fuzz::WorkerStats &W : S.PerWorker)
+    R.PerWorker.push_back({W.Executions, W.CorpusAdds, W.Imports,
+                           W.GuestInsts, W.ShardSize, W.NormalEdges,
+                           W.SpecEdges});
+  R.Gadgets = C.gadgets().unique(); // key-ordered
+  LastCorpus = C.corpus();
+  return R;
+}
+
+Expected<ScanResult> Scanner::runInputs(
+    const std::vector<std::vector<uint8_t>> &Inputs) {
+  if (Error E = Cfg.validate())
+    return E;
+  if (Error E = requireTarget())
+    return E;
+
+  std::unique_ptr<fuzz::FuzzTarget> T = makeTarget();
+  // Route the live-discovery feed from the target's own sink. The sink
+  // is key-deduplicated, so the hook fires once per unique gadget.
+  auto *IT = dynamic_cast<workloads::InstrumentedTarget *>(T.get());
+  if (IT && OnGadget)
+    IT->RT.Reports.OnNewGadget = OnGadget;
+
+  auto Start = std::chrono::steady_clock::now();
+  for (const auto &Input : Inputs)
+    T->execute(Input);
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  ScanResult R = baseResult(0);
+  R.Workers = 1;
+  R.Executions = Inputs.size();
+  R.GuestInsts = T->executedInsts();
+  R.WallSeconds = Secs;
+  if (IT) {
+    R.NormalEdges = IT->RT.Cov.normalCovered();
+    R.SpecEdges = IT->RT.Cov.specCovered();
+    R.Simulations = IT->RT.Stats.Simulations;
+    R.NestedSimulations = IT->RT.Stats.NestedSimulations;
+    for (size_t I = 0;
+         I != static_cast<size_t>(isa::RollbackReason::NumReasons); ++I)
+      R.Rollbacks[I] = IT->RT.Stats.Rollbacks[I];
+  }
+  if (const runtime::ReportSink *Sink = T->reports())
+    R.Gadgets = Sink->unique(); // key-ordered
+  LastCorpus.clear();
+  return R;
+}

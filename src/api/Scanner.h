@@ -1,0 +1,225 @@
+//===- api/Scanner.h - The Teapot facade API ----------------------*- C++ -*-===//
+///
+/// \file
+/// The single library entry point for the paper's end-to-end workflow
+/// (Figure 3): lift → Speculation-Shadows rewrite → coverage-guided
+/// campaign → gadget classification, behind three calls:
+///
+///   support::ExitOnError Exit("myscan: ");
+///   teapot::Scanner S(Exit(teapot::ScanConfig::preset("teapot")));
+///   Exit(S.loadWorkload("jsmn"));   // or loadSource / loadBinary
+///   Exit(S.rewrite());
+///   teapot::ScanResult R = Exit(S.run());
+///   fwrite to file: R.toJsonString()
+///
+/// A ScanConfig composes every knob the hand-wired paths used to plumb
+/// separately — core::RewriterOptions, runtime::RuntimeOptions,
+/// fuzz::CampaignOptions, and the vm::Machine tuning (per-run budget,
+/// output cap, block-engine toggle) — with named presets:
+///
+///   teapot            Speculation Shadows + Kasper DIFT (the paper)
+///   teapot-nodift     Speculation Shadows, SpecFuzz detection policy
+///   specfuzz-baseline single-copy guarded instrumentation (Listing 3)
+///   native            no rewrite, no detector (normalization baseline)
+///
+/// Determinism: a Scanner run is a pure function of (config, loaded
+/// binary, seed corpus). With the same seed it produces gadget sets and
+/// corpora byte-identical to the hand-wired compile → rewriteBinary →
+/// Campaign path it replaces (locked by tests/api_test.cpp).
+///
+/// All failures propagate as Expected<T>/Error — nothing prints or
+/// exits; tools wrap calls in support::ExitOnError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_API_SCANNER_H
+#define TEAPOT_API_SCANNER_H
+
+#include "api/ScanResult.h"
+#include "core/TeapotRewriter.h"
+#include "fuzz/Campaign.h"
+#include "lang/MiniCC.h"
+#include "runtime/SpecRuntime.h"
+#include "support/Error.h"
+#include "vm/Machine.h"
+#include "workloads/Harness.h"
+#include "workloads/Injector.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace teapot {
+
+/// Everything one scan needs, in one struct. Start from a preset and
+/// override fields; Scanner::run() validates before executing.
+struct ScanConfig {
+  /// Which target the campaign drives.
+  enum class TargetKind : uint8_t {
+    Instrumented, // rewritten binary + SpecRuntime (the evaluation path)
+    Native,       // original binary, no detector (baseline)
+  };
+
+  /// The preset name this config started from (recorded in results).
+  std::string Preset = "teapot";
+  TargetKind Kind = TargetKind::Instrumented;
+
+  /// Static-rewriting phase (ignored for TargetKind::Native).
+  core::RewriterOptions Rewriter;
+  /// Runtime library attached to instrumented targets.
+  runtime::RuntimeOptions Runtime;
+  /// Fuzzing-campaign phase (seed, budget, workers, sync interval).
+  fuzz::CampaignOptions Campaign;
+
+  // --- vm::Machine tuning --------------------------------------------------
+  /// Per-execution guest instruction budget.
+  uint64_t RunBudget = workloads::DefaultRunBudget;
+  /// Accumulated guest-output cap per execution.
+  uint64_t MaxOutputBytes = vm::Machine::DefaultMaxOutputBytes;
+  /// Block-compiled execution engine (off: reference interpreter).
+  bool UseBlockEngine = true;
+
+  /// Table 3-style input poke: copy the input's trailing 8 bytes to this
+  /// guest address before every run.
+  std::optional<uint64_t> PokeAddr;
+
+  // --- Artificial gadget injection (Section 7.2 / Table 3) -----------------
+  /// Splice sample Spectre-V1 gadgets into the lifted module at
+  /// rewrite() time, giving the scan a known ground truth. When on, the
+  /// facade applies the paper's whole experiment methodology: the binary
+  /// is kept unstripped (gadgets can target named unreachable
+  /// functions), the runtime tags only the injected input slot
+  /// (TaintInput/MassagePolicy off, ExtraTaint on it), every run pokes
+  /// the input's trailing 8 bytes into that slot, and run() extends each
+  /// seed with in- and out-of-bounds poke bytes.
+  bool InjectGadgets = false;
+  /// Injector knobs. Count == 0 means "the loaded workload's published
+  /// InjectCount" (and likewise its UnreachableFuncs when empty).
+  workloads::InjectorOptions Injector = {0, 7, {}, 4};
+
+  /// When loadWorkload() is used, automatically add the workload's seed
+  /// corpus (in its canonical order).
+  bool AutoSeeds = true;
+
+  /// Hard ceilings validate() enforces (misconfiguration guards, not
+  /// tuning knobs).
+  static constexpr unsigned MaxWorkers = 512;
+  static constexpr uint64_t MaxRunBudget = 1ULL << 40;
+
+  /// Named preset lookup; unknown names are diagnosed errors listing the
+  /// valid spellings.
+  static Expected<ScanConfig> preset(std::string_view Name);
+  /// The preset names, in documentation order.
+  static const std::vector<std::string> &presetNames();
+
+  /// Rejects impossible configurations (0 workers, 0-length inputs,
+  /// oversized budgets, ...).
+  Error validate() const;
+};
+
+/// The facade. Owns the compiled/loaded binary, the rewrite result, the
+/// seed corpus, and the campaign wiring. One Scanner scans one binary;
+/// run() may be called repeatedly (e.g. with different worker counts)
+/// and each run starts from fresh campaign state.
+class Scanner {
+public:
+  explicit Scanner(ScanConfig Config = {});
+
+  /// Mutable between phases: adjust (say) Campaign.Workers between
+  /// run() calls. Changes to Rewriter options after rewrite() only take
+  /// effect on the next rewrite().
+  ScanConfig &config() { return Cfg; }
+  const ScanConfig &config() const { return Cfg; }
+
+  // --- Phase 1: load -------------------------------------------------------
+  // Loading resets all per-binary state, including the seed corpus
+  // (one binary, one corpus); with Cfg.AutoSeeds, loadWorkload adopts
+  // the workload's published seeds.
+  /// Compiles a named evaluation workload (jsmn, libyaml, libhtp,
+  /// brotli, openssl).
+  Error loadWorkload(const std::string &Name);
+  /// Compiles MiniCC source (any COTS-binary stand-in).
+  Error loadSource(std::string_view Source,
+                   const lang::CompileOptions &Opts = {});
+  /// Adopts an already-built binary.
+  Error loadBinary(obj::ObjectFile Bin);
+
+  // --- Phase 2: rewrite ----------------------------------------------------
+  /// Runs the configured instrumentation pipeline on a stripped copy of
+  /// the loaded binary (Teapot needs no symbols; the Table 3 injection
+  /// path lifts the unstripped original instead). For the native preset
+  /// this records nothing and is a no-op (kept so drivers can use the
+  /// same three calls for every preset).
+  Error rewrite();
+
+  // --- Seeds ---------------------------------------------------------------
+  void addSeed(std::vector<uint8_t> Seed) {
+    SeedCorpus.push_back(std::move(Seed));
+  }
+  void clearSeeds() { SeedCorpus.clear(); }
+  const std::vector<std::vector<uint8_t>> &seeds() const {
+    return SeedCorpus;
+  }
+
+  // --- Phase 3: run --------------------------------------------------------
+  /// The coverage-guided campaign per Cfg.Campaign. Deterministic under
+  /// (config, binary, seeds); repeated calls reproduce each other.
+  Expected<ScanResult> run();
+
+  /// Executes exactly \p Inputs, in order, on one fresh target — the
+  /// single-input / boundary-value workflows (quickstart,
+  /// patch-and-verify). No mutation, no coverage guidance; the result's
+  /// campaign section reflects the sweep (Executions = Inputs.size()),
+  /// and the speculation section is populated from the target's runtime.
+  Expected<ScanResult> runInputs(
+      const std::vector<std::vector<uint8_t>> &Inputs);
+
+  // --- Introspection -------------------------------------------------------
+  /// The loaded binary (null before a load call).
+  const obj::ObjectFile *binary() const {
+    return Loaded ? &*Loaded : nullptr;
+  }
+  /// The rewrite result (null before rewrite(), and always for native).
+  const core::RewriteResult *rewriteResult() const {
+    return Rewritten ? &*Rewritten : nullptr;
+  }
+  /// The injection ground truth (null unless Cfg.InjectGadgets and
+  /// rewrite() ran).
+  const workloads::InjectionResult *injection() const {
+    return Injection ? &*Injection : nullptr;
+  }
+  /// The merged corpus of the last run() (empty before).
+  const std::vector<std::vector<uint8_t>> &corpus() const {
+    return LastCorpus;
+  }
+
+  // --- Live feeds ----------------------------------------------------------
+  /// Every run-unique gadget, as discovered.
+  std::function<void(const runtime::GadgetReport &)> OnGadget;
+  /// Campaign epoch barriers (run() only).
+  std::function<void(const fuzz::CampaignProgress &)> OnEpoch;
+
+private:
+  void adoptBinary(obj::ObjectFile Bin, std::string Name);
+  Error requireTarget() const;
+  fuzz::TargetFactory makeFactory() const;
+  std::unique_ptr<fuzz::FuzzTarget> makeTarget() const;
+  ScanResult baseResult(uint64_t Iterations) const;
+
+  ScanConfig Cfg;
+  std::string WorkloadName; // "custom" unless loadWorkload
+  std::optional<obj::ObjectFile> Loaded;
+  std::optional<core::RewriteResult> Rewritten;
+  std::optional<workloads::InjectionResult> Injection;
+  /// Injector defaults published by the loaded workload (Table 3).
+  unsigned WorkloadInjectCount = 0;
+  std::vector<std::string> WorkloadUnreachable;
+  std::vector<std::vector<uint8_t>> SeedCorpus;
+  std::vector<std::vector<uint8_t>> LastCorpus;
+};
+
+} // namespace teapot
+
+#endif // TEAPOT_API_SCANNER_H

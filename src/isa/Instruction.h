@@ -113,6 +113,25 @@ enum class RollbackReason : uint8_t {
   NumReasons,
 };
 
+/// Stable lower_snake spelling for stats dumps and JSON scan results.
+inline const char *rollbackReasonName(RollbackReason R) {
+  switch (R) {
+  case RollbackReason::InstBudget:
+    return "inst_budget";
+  case RollbackReason::ExternalCall:
+    return "external_call";
+  case RollbackReason::Serializing:
+    return "serializing";
+  case RollbackReason::EscapedControl:
+    return "escaped_control";
+  case RollbackReason::GuestFault:
+    return "guest_fault";
+  case RollbackReason::NumReasons:
+    break;
+  }
+  return "?";
+}
+
 /// A fully decoded instruction.
 struct Instruction {
   Opcode Op = Opcode::NOP;

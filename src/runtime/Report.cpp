@@ -33,6 +33,25 @@ const char *runtime::controllabilityName(Controllability C) {
   return "?";
 }
 
+Expected<Channel> runtime::channelFromName(std::string_view Name) {
+  for (Channel C : {Channel::MDS, Channel::Cache, Channel::Port,
+                    Channel::Asan})
+    if (Name == channelName(C))
+      return C;
+  return makeError("unknown channel '%.*s'", static_cast<int>(Name.size()),
+                   Name.data());
+}
+
+Expected<Controllability>
+runtime::controllabilityFromName(std::string_view Name) {
+  for (Controllability C : {Controllability::User, Controllability::Massage,
+                            Controllability::Unknown})
+    if (Name == controllabilityName(C))
+      return C;
+  return makeError("unknown controllability '%.*s'",
+                   static_cast<int>(Name.size()), Name.data());
+}
+
 std::string GadgetReport::describe() const {
   return formatString("%s-%s gadget at %s (branch %u, depth %u)",
                       controllabilityName(Ctrl), channelName(Chan),

@@ -12,10 +12,14 @@
 #ifndef TEAPOT_RUNTIME_REPORT_H
 #define TEAPOT_RUNTIME_REPORT_H
 
+#include "support/Error.h"
+
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 namespace teapot {
@@ -39,6 +43,12 @@ enum class Controllability : uint8_t {
 const char *channelName(Channel C);
 const char *controllabilityName(Controllability C);
 
+/// Inverse of channelName / controllabilityName (exact match on the
+/// printed spelling, e.g. "Cache", "ASan", "Massage") — the parsers the
+/// JSON scan-result reader uses. Unknown names are diagnosed errors.
+Expected<Channel> channelFromName(std::string_view Name);
+Expected<Controllability> controllabilityFromName(std::string_view Name);
+
 struct GadgetReport {
   /// Original-binary address of the transmitting instruction; for
   /// artificially injected gadgets this is the injector's synthetic site
@@ -52,18 +62,29 @@ struct GadgetReport {
   uint8_t Depth = 0;
 
   std::string describe() const;
+
+  bool operator==(const GadgetReport &O) const = default;
 };
 
 /// Deduplicating report collector. Uniqueness key: (Site, Chan, Ctrl).
 class ReportSink {
 public:
+  /// The uniqueness key and the ordering key of unique().
+  using Key = std::tuple<uint64_t, Channel, Controllability>;
+  static Key keyOf(const GadgetReport &R) {
+    return std::make_tuple(R.Site, R.Chan, R.Ctrl);
+  }
+
   /// Returns true if the report was new.
   bool report(const GadgetReport &R) {
-    auto Key = std::make_tuple(R.Site, R.Chan, R.Ctrl);
-    auto [It, New] = Seen.emplace(Key, R);
-    (void)It;
+    auto Pos = std::lower_bound(Unique.begin(), Unique.end(), R,
+                                [](const GadgetReport &A,
+                                   const GadgetReport &B) {
+                                  return keyOf(A) < keyOf(B);
+                                });
+    bool New = Pos == Unique.end() || keyOf(*Pos) != keyOf(R);
     if (New) {
-      Unique.push_back(R);
+      Unique.insert(Pos, R);
       if (OnNewGadget)
         OnNewGadget(R);
     }
@@ -71,7 +92,20 @@ public:
     return New;
   }
 
-  const std::vector<GadgetReport> &unique() const { return Unique; }
+  /// The unique reports in ascending (Site, Chan, Ctrl) key order —
+  /// *not* discovery order. The ordering is part of the API contract:
+  /// it makes printed reports, serialized scan results, and GadgetSink
+  /// merges diff-able across runs and worker counts regardless of which
+  /// execution found a gadget first. (Discovery order is still
+  /// observable through the OnNewGadget hook.)
+  const std::vector<GadgetReport> &unique() const {
+    assert(std::is_sorted(Unique.begin(), Unique.end(),
+                          [](const GadgetReport &A, const GadgetReport &B) {
+                            return keyOf(A) < keyOf(B);
+                          }) &&
+           "unique() must stay key-ordered");
+    return Unique;
+  }
   uint64_t totalHits() const { return Total; }
 
   /// Count of unique gadgets matching (Ctrl, Chan).
@@ -84,7 +118,6 @@ public:
   }
 
   void clear() {
-    Seen.clear();
     Unique.clear();
     Total = 0;
   }
@@ -94,7 +127,8 @@ public:
   std::function<void(const GadgetReport &)> OnNewGadget;
 
 private:
-  std::map<std::tuple<uint64_t, Channel, Controllability>, GadgetReport> Seen;
+  /// Maintained in key order by report() — both the dedup index (via
+  /// lower_bound) and the stable unique() sequence; see unique().
   std::vector<GadgetReport> Unique;
   uint64_t Total = 0;
 };

@@ -118,6 +118,40 @@ inline void cantFail(Error Err) {
     reportFatalError("cantFail called on failure: " + Err.message());
 }
 
+namespace support {
+
+/// Tool-side error sink: unwraps Expected<T>/Error results, and on
+/// failure prints `<banner><message>` to stderr and exits non-zero.
+/// Replaces the per-tool `if (!X) { fprintf(stderr, ...); return 1; }`
+/// blocks; library code keeps propagating Expected/Error as before.
+///
+///   support::ExitOnError Exit("scan_cots_binary: ");
+///   auto Bin = Exit(lang::compile(Src));
+class ExitOnError {
+public:
+  explicit ExitOnError(std::string Banner = "") : Banner(std::move(Banner)) {}
+
+  template <typename T> T operator()(Expected<T> ValOrErr) const {
+    if (!ValOrErr)
+      die(ValOrErr.message());
+    return std::move(ValOrErr.get());
+  }
+
+  void operator()(Error Err) const {
+    if (Err)
+      die(Err.message());
+  }
+
+private:
+  [[noreturn]] void die(const std::string &Message) const {
+    fprintf(stderr, "%s%s\n", Banner.c_str(), Message.c_str());
+    exit(1);
+  }
+
+  std::string Banner;
+};
+
+} // namespace support
 } // namespace teapot
 
 #endif // TEAPOT_SUPPORT_ERROR_H

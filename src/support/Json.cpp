@@ -1,0 +1,459 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::json;
+
+void Value::set(std::string Key, Value V) {
+  assert((K == Kind::Object || K == Kind::Null) && "set on non-object");
+  K = Kind::Object;
+  for (auto &M : Obj)
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return;
+    }
+  Obj.emplace_back(std::move(Key), std::move(V));
+}
+
+const Value *Value::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+std::string json::quote(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Shortest of %.15g / %.17g that parses back to exactly \p D, so the
+/// writer is lossless but does not pad every double to 17 digits.
+static std::string formatDouble(double D) {
+  if (std::isnan(D) || std::isinf(D))
+    return "0"; // JSON has no NaN/Inf; scan results never produce them
+  char Buf[40];
+  snprintf(Buf, sizeof(Buf), "%.15g", D);
+  if (strtod(Buf, nullptr) != D)
+    snprintf(Buf, sizeof(Buf), "%.17g", D);
+  // Ensure the text re-parses as Double, not an integer.
+  if (!strpbrk(Buf, ".eE"))
+    strcat(Buf, ".0");
+  return Buf;
+}
+
+void Value::dumpTo(std::string &Out, bool Pretty, unsigned Depth) const {
+  auto Newline = [&](unsigned D) {
+    if (!Pretty)
+      return;
+    Out += '\n';
+    Out.append(2 * D, ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    break;
+  case Kind::Int:
+    Out += std::to_string(I);
+    break;
+  case Kind::UInt:
+    Out += std::to_string(U);
+    break;
+  case Kind::Double:
+    Out += formatDouble(D);
+    break;
+  case Kind::String:
+    Out += quote(S);
+    break;
+  case Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &V : Arr) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Newline(Depth + 1);
+      V.dumpTo(Out, Pretty, Depth + 1);
+    }
+    if (!Arr.empty())
+      Newline(Depth);
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &M : Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Newline(Depth + 1);
+      Out += quote(M.first);
+      Out += Pretty ? ": " : ":";
+      M.second.dumpTo(Out, Pretty, Depth + 1);
+    }
+    if (!Obj.empty())
+      Newline(Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string Value::dump(bool Pretty) const {
+  std::string Out;
+  dumpTo(Out, Pretty, 0);
+  return Out;
+}
+
+// --- Parser ----------------------------------------------------------------
+
+namespace {
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Expected<Value> parseDocument() {
+    Value V;
+    if (Error E = parseValue(V))
+      return E;
+    skipWs();
+    if (Pos != Text.size())
+      return err("trailing characters after JSON document");
+    return V;
+  }
+
+private:
+  Error err(const char *Msg) {
+    return makeError("json: %s at offset %zu", Msg, Pos);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char *W) {
+    size_t N = strlen(W);
+    if (Text.compare(Pos, N, W) == 0) {
+      Pos += N;
+      return true;
+    }
+    return false;
+  }
+
+  /// Containers nest by recursion; cap the depth so corrupt or hostile
+  /// input (e.g. a megabyte of '[') yields a diagnosed Error rather
+  /// than a stack overflow. 200 is far beyond any scan-result shape.
+  static constexpr unsigned MaxDepth = 200;
+
+  Error parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return err("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{' || C == '[') {
+      if (Depth >= MaxDepth)
+        return err("nesting too deep");
+      ++Depth;
+      Error E = C == '{' ? parseObject(Out) : parseArray(Out);
+      --Depth;
+      return E;
+    }
+    if (C == '"')
+      return parseString(Out);
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber(Out);
+    if (consumeWord("true")) {
+      Out = Value(true);
+      return Error::success();
+    }
+    if (consumeWord("false")) {
+      Out = Value(false);
+      return Error::success();
+    }
+    if (consumeWord("null")) {
+      Out = Value(nullptr);
+      return Error::success();
+    }
+    return err("unexpected character");
+  }
+
+  Error parseObject(Value &Out) {
+    ++Pos; // '{'
+    Out = Value::object();
+    skipWs();
+    if (consume('}'))
+      return Error::success();
+    while (true) {
+      skipWs();
+      Value Key;
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return err("expected object key string");
+      if (Error E = parseString(Key))
+        return E;
+      skipWs();
+      if (!consume(':'))
+        return err("expected ':' after object key");
+      Value Member;
+      if (Error E = parseValue(Member))
+        return E;
+      Out.set(Key.asString(), std::move(Member));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Error::success();
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  Error parseArray(Value &Out) {
+    ++Pos; // '['
+    Out = Value::array();
+    skipWs();
+    if (consume(']'))
+      return Error::success();
+    while (true) {
+      Value Item;
+      if (Error E = parseValue(Item))
+        return E;
+      Out.push(std::move(Item));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Error::success();
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  /// Reads 4 hex digits of a \u escape into \p Out.
+  Error hex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return err("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char H = Text[Pos++];
+      Out <<= 4;
+      if (H >= '0' && H <= '9')
+        Out |= H - '0';
+      else if (H >= 'a' && H <= 'f')
+        Out |= H - 'a' + 10;
+      else if (H >= 'A' && H <= 'F')
+        Out |= H - 'A' + 10;
+      else
+        return err("bad hex digit in \\u escape");
+    }
+    return Error::success();
+  }
+
+  Error parseString(Value &Out) {
+    ++Pos; // opening '"'
+    std::string S;
+    while (true) {
+      if (Pos >= Text.size())
+        return err("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        break;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return err("unescaped control character in string");
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return err("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        S += '"';
+        break;
+      case '\\':
+        S += '\\';
+        break;
+      case '/':
+        S += '/';
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'u': {
+        unsigned V = 0;
+        if (Error Err = hex4(V))
+          return Err;
+        // Combine surrogate pairs into one code point; lone or
+        // misordered surrogates would decode to invalid UTF-8, so they
+        // are errors (the writer itself only emits \u00xx).
+        if (V >= 0xdc00 && V <= 0xdfff)
+          return err("lone low surrogate in \\u escape");
+        if (V >= 0xd800 && V <= 0xdbff) {
+          if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return err("high surrogate not followed by \\u escape");
+          Pos += 2;
+          unsigned Lo = 0;
+          if (Error Err = hex4(Lo))
+            return Err;
+          if (Lo < 0xdc00 || Lo > 0xdfff)
+            return err("high surrogate not followed by low surrogate");
+          V = 0x10000 + ((V - 0xd800) << 10) + (Lo - 0xdc00);
+        }
+        // Encode the code point as UTF-8.
+        if (V < 0x80) {
+          S += static_cast<char>(V);
+        } else if (V < 0x800) {
+          S += static_cast<char>(0xc0 | (V >> 6));
+          S += static_cast<char>(0x80 | (V & 0x3f));
+        } else if (V < 0x10000) {
+          S += static_cast<char>(0xe0 | (V >> 12));
+          S += static_cast<char>(0x80 | ((V >> 6) & 0x3f));
+          S += static_cast<char>(0x80 | (V & 0x3f));
+        } else {
+          S += static_cast<char>(0xf0 | (V >> 18));
+          S += static_cast<char>(0x80 | ((V >> 12) & 0x3f));
+          S += static_cast<char>(0x80 | ((V >> 6) & 0x3f));
+          S += static_cast<char>(0x80 | (V & 0x3f));
+        }
+        break;
+      }
+      default:
+        return err("unknown escape character");
+      }
+    }
+    Out = Value(std::move(S));
+    return Error::success();
+  }
+
+  Error parseNumber(Value &Out) {
+    size_t Start = Pos;
+    bool Neg = consume('-');
+    if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+      return err("malformed number");
+    size_t IntStart = Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (Text[IntStart] == '0' && Pos - IntStart > 1)
+      return err("leading zeros are not valid JSON");
+    bool Fractional = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Fractional = true;
+      ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return err("malformed fraction");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Fractional = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return err("malformed exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Lit(Text.substr(Start, Pos - Start));
+    errno = 0;
+    if (Fractional) {
+      double D = strtod(Lit.c_str(), nullptr);
+      // Overflow to Inf is rejected (JSON has no Inf); underflow to 0
+      // is accepted as the nearest representable value.
+      if (!std::isfinite(D))
+        return err("number out of range");
+      Out = Value(D);
+      return Error::success();
+    }
+    if (Neg) {
+      long long V = strtoll(Lit.c_str(), nullptr, 10);
+      if (errno == ERANGE)
+        return err("integer out of range");
+      Out = Value(static_cast<int64_t>(V));
+      return Error::success();
+    }
+    unsigned long long V = strtoull(Lit.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+      return err("integer out of range");
+    Out = Value(static_cast<uint64_t>(V));
+    return Error::success();
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+} // namespace
+
+Expected<Value> json::parse(std::string_view Text) {
+  return Parser(Text).parseDocument();
+}

@@ -1,0 +1,184 @@
+//===- support/Json.h - Minimal JSON writer/parser ----------------*- C++ -*-===//
+///
+/// \file
+/// A small JSON document model for the structured-result surfaces of the
+/// public API (api::ScanResult, bench --json emitters): a Value variant,
+/// a writer, and a strict parser.
+///
+/// Design points that matter to callers:
+///
+///   - Objects are *insertion-ordered*: keys serialize in the order they
+///     were set(), so emitters control field order and two runs producing
+///     the same data produce byte-identical text (diff-able artifacts).
+///   - Integers are kept exact. A 64-bit site address round-trips as the
+///     same integer, never through a double (which would lose precision
+///     above 2^53). The parser classifies `-`-prefixed integrals as Int,
+///     other integrals as UInt, and anything with `.`/`e` as Double.
+///   - Doubles serialize with round-trip precision (shortest of %.15g /
+///     %.17g that parses back equal), so toJson → parse → dump is stable.
+///
+/// Errors flow through the usual Expected<T> machinery; the parser
+/// reports the byte offset of the first offending character.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_JSON_H
+#define TEAPOT_SUPPORT_JSON_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace teapot {
+namespace json {
+
+class Value {
+public:
+  enum class Kind : uint8_t {
+    Null,
+    Bool,
+    Int,    // negative integral
+    UInt,   // non-negative integral
+    Double, // fractional / exponent form
+    String,
+    Array,
+    Object,
+  };
+
+  Value() = default; // null
+  Value(std::nullptr_t) {}
+  Value(bool B) : K(Kind::Bool), B(B) {}
+  /// Non-negative signed values normalize to UInt so an integer's kind
+  /// depends only on its value, never on the C++ type it came from (a
+  /// parse → dump → parse cycle preserves kinds).
+  Value(long long V) {
+    if (V < 0) {
+      K = Kind::Int;
+      I = V;
+    } else {
+      K = Kind::UInt;
+      U = static_cast<uint64_t>(V);
+    }
+  }
+  Value(unsigned long long V) : K(Kind::UInt), U(V) {}
+  Value(int V) : Value(static_cast<long long>(V)) {}
+  Value(unsigned V) : Value(static_cast<unsigned long long>(V)) {}
+  Value(long V) : Value(static_cast<long long>(V)) {}
+  Value(unsigned long V) : Value(static_cast<unsigned long long>(V)) {}
+  Value(double D) : K(Kind::Double), D(D) {}
+  Value(const char *S) : K(Kind::String), S(S) {}
+  Value(std::string_view S) : K(Kind::String), S(S) {}
+  Value(std::string S) : K(Kind::String), S(std::move(S)) {}
+
+  /// Empty aggregates (an empty object still serializes as `{}`).
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const {
+    return K == Kind::Int || K == Kind::UInt || K == Kind::Double;
+  }
+  /// True for integral numbers representable as uint64_t.
+  bool isUInt() const { return K == Kind::UInt; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const {
+    assert(K == Kind::Bool && "asBool on non-bool");
+    return B;
+  }
+  uint64_t asUInt() const {
+    assert(K == Kind::UInt && "asUInt on non-uint");
+    return U;
+  }
+  int64_t asInt() const {
+    assert((K == Kind::Int || K == Kind::UInt) && "asInt on non-integer");
+    return K == Kind::Int ? I : static_cast<int64_t>(U);
+  }
+  /// Any number as double (integers convert; may round above 2^53).
+  double asDouble() const {
+    assert(isNumber() && "asDouble on non-number");
+    if (K == Kind::Double)
+      return D;
+    if (K == Kind::Int)
+      return static_cast<double>(I);
+    return static_cast<double>(U);
+  }
+  const std::string &asString() const {
+    assert(K == Kind::String && "asString on non-string");
+    return S;
+  }
+
+  // --- Array ---------------------------------------------------------------
+  void push(Value V) {
+    assert((K == Kind::Array || K == Kind::Null) && "push on non-array");
+    K = Kind::Array;
+    Arr.push_back(std::move(V));
+  }
+  const std::vector<Value> &items() const {
+    assert(K == Kind::Array && "items on non-array");
+    return Arr;
+  }
+
+  // --- Object --------------------------------------------------------------
+  /// Sets \p Key (appending in insertion order; overwrites in place if
+  /// the key already exists).
+  void set(std::string Key, Value V);
+  /// Member lookup; null if absent or not an object.
+  const Value *find(std::string_view Key) const;
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    assert(K == Kind::Object && "members on non-object");
+    return Obj;
+  }
+
+  size_t size() const {
+    if (K == Kind::Array)
+      return Arr.size();
+    if (K == Kind::Object)
+      return Obj.size();
+    return 0;
+  }
+
+  /// Serializes. Compact by default; \p Pretty indents with two spaces
+  /// (stable layout either way).
+  std::string dump(bool Pretty = false) const;
+
+private:
+  void dumpTo(std::string &Out, bool Pretty, unsigned Depth) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  uint64_t U = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+Expected<Value> parse(std::string_view Text);
+
+/// Escapes \p S as a quoted JSON string literal.
+std::string quote(std::string_view S);
+
+} // namespace json
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_JSON_H

@@ -69,6 +69,50 @@ bool teapot::parseInt(std::string_view S, int64_t &Out) {
   return true;
 }
 
+Expected<uint64_t> support::parseUInt(std::string_view S) {
+  std::string_view T = trim(S);
+  if (T.empty())
+    return makeError("expected an unsigned integer, got empty string");
+  int Base = 10;
+  std::string_view Digits = T;
+  if (Digits.size() > 2 && Digits[0] == '0' &&
+      (Digits[1] == 'x' || Digits[1] == 'X')) {
+    Base = 16;
+    Digits.remove_prefix(2);
+  }
+  uint64_t V = 0;
+  for (char C : Digits) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (Base == 16 && C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (Base == 16 && C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      return makeError("'%.*s' is not an unsigned integer",
+                       static_cast<int>(T.size()), T.data());
+    uint64_t Next = V * Base + Digit;
+    if (Next / Base != V || Next < static_cast<uint64_t>(Digit))
+      return makeError("'%.*s' does not fit in 64 bits",
+                       static_cast<int>(T.size()), T.data());
+    V = Next;
+  }
+  return V;
+}
+
+Expected<uint64_t> support::parseUInt(std::string_view S, const char *What,
+                                      uint64_t Max) {
+  auto V = parseUInt(S);
+  if (!V)
+    return makeError("%s: %s", What, V.message().c_str());
+  if (*V > Max)
+    return makeError("%s: %llu exceeds the maximum %llu", What,
+                     static_cast<unsigned long long>(*V),
+                     static_cast<unsigned long long>(Max));
+  return V;
+}
+
 std::string teapot::formatString(const char *Fmt, ...) {
   char Buf[2048];
   va_list Args;

@@ -9,6 +9,8 @@
 #ifndef TEAPOT_SUPPORT_STRINGUTILS_H
 #define TEAPOT_SUPPORT_STRINGUTILS_H
 
+#include "support/Error.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -33,6 +35,20 @@ bool parseInt(std::string_view S, int64_t &Out);
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+namespace support {
+
+/// Strict unsigned-integer parser for tool command lines (decimal or
+/// 0x-hex). Unlike bare strtoull — which silently yields 0 for garbage
+/// like "banana" — any malformed, negative, empty, or out-of-range input
+/// is a diagnosed error naming the offending text.
+Expected<uint64_t> parseUInt(std::string_view S);
+
+/// parseUInt with an upper bound: values above \p Max are rejected with
+/// a message naming \p What (e.g. "workers").
+Expected<uint64_t> parseUInt(std::string_view S, const char *What,
+                             uint64_t Max);
+
+} // namespace support
 } // namespace teapot
 
 #endif // TEAPOT_SUPPORT_STRINGUTILS_H

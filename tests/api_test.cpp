@@ -1,0 +1,409 @@
+//===- tests/api_test.cpp - teapot::Scanner facade tests --------------------===//
+//
+// The API-stability contract of the src/api/ layer:
+//
+//   1. Facade == hand-wired: a Scanner run reproduces the classic
+//      lang::compile → core::rewriteBinary → fuzz::Campaign path
+//      byte-for-byte (gadgets AND corpus) under the same seed.
+//   2. ScanResult JSON round-trips losslessly (toJson → fromJson → ==,
+//      and dump → parse → dump is byte-identical).
+//   3. Config errors propagate as Expected/Error diagnostics, never
+//      prints or exits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Scanner.h"
+#include "core/TeapotRewriter.h"
+#include "fuzz/Campaign.h"
+#include "lang/MiniCC.h"
+#include "workloads/Harness.h"
+#include "workloads/Programs.h"
+
+#include "Fixtures.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace teapot;
+
+namespace {
+
+std::vector<runtime::ReportSink::Key>
+keysOf(const std::vector<runtime::GadgetReport> &Rs) {
+  std::vector<runtime::ReportSink::Key> Keys;
+  for (const auto &R : Rs)
+    Keys.push_back(runtime::ReportSink::keyOf(R));
+  return Keys;
+}
+
+/// The pre-facade hand-wired pipeline, exactly as scan_cots_binary used
+/// to spell it: compile, strip, rewriteBinary, Campaign over the
+/// instrumented target factory with the workload's seeds.
+struct HandWired {
+  core::RewriteResult RW;
+  std::vector<runtime::GadgetReport> Gadgets;
+  std::vector<std::vector<uint8_t>> Corpus;
+  fuzz::CampaignStats Stats;
+};
+
+HandWired runHandWired(const char *WorkloadName,
+                       const fuzz::CampaignOptions &CO) {
+  const workloads::Workload *W = workloads::findWorkload(WorkloadName);
+  EXPECT_NE(W, nullptr);
+  auto Bin = lang::compile(W->Source);
+  EXPECT_TRUE(static_cast<bool>(Bin));
+  Bin->strip();
+  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
+  EXPECT_TRUE(static_cast<bool>(RW));
+
+  fuzz::Campaign C(
+      workloads::instrumentedTargetFactory(*RW, runtime::RuntimeOptions()),
+      CO);
+  for (const auto &Seed : W->Seeds())
+    C.addSeed(Seed);
+  fuzz::CampaignStats S = C.run();
+  return {std::move(*RW), C.gadgets().unique(), C.corpus(), S};
+}
+
+fuzz::CampaignOptions smallCampaign(unsigned Workers) {
+  fuzz::CampaignOptions CO;
+  CO.Seed = 1;
+  CO.TotalIterations = 400;
+  CO.Workers = Workers;
+  CO.SyncInterval = 128;
+  CO.MaxInputLen = 256;
+  return CO;
+}
+
+// --- 1. Facade == hand-wired ------------------------------------------------
+
+class ApiEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ApiEquivalence, FacadeMatchesHandWiredPath) {
+  unsigned Workers = GetParam();
+  HandWired Ref = runHandWired("jsmn", smallCampaign(Workers));
+
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign = smallCampaign(Workers);
+  Scanner S(Cfg);
+  cantFail(S.loadWorkload("jsmn"));
+  cantFail(S.rewrite());
+  ScanResult R = cantFail(S.run());
+
+  // Same campaign accounting...
+  EXPECT_EQ(R.Executions, Ref.Stats.Executions);
+  EXPECT_EQ(R.CorpusAdds, Ref.Stats.CorpusAdds);
+  EXPECT_EQ(R.NormalEdges, Ref.Stats.NormalEdges);
+  EXPECT_EQ(R.SpecEdges, Ref.Stats.SpecEdges);
+  EXPECT_EQ(R.GuestInsts, Ref.Stats.GuestInsts);
+  // ...the same gadget set in the same stable order...
+  EXPECT_EQ(keysOf(R.Gadgets), keysOf(Ref.Gadgets));
+  // ...and a byte-identical corpus.
+  EXPECT_EQ(S.corpus(), Ref.Corpus);
+  // Rewrite metadata surfaced faithfully.
+  EXPECT_EQ(R.BranchSites, Ref.RW.Meta.Trampolines.size());
+  EXPECT_EQ(R.MarkerSites, Ref.RW.Meta.MarkerSites.size());
+  EXPECT_EQ(R.NormalGuards, Ref.RW.Meta.NumNormalGuards);
+  EXPECT_EQ(R.SpecGuards, Ref.RW.Meta.NumSpecGuards);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ApiEquivalence, ::testing::Values(1u, 2u));
+
+TEST(Api, RunIsReproducible) {
+  auto Once = [] {
+    ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+    Cfg.Campaign = smallCampaign(2);
+    Scanner S(Cfg);
+    cantFail(S.loadWorkload("jsmn"));
+    cantFail(S.rewrite());
+    ScanResult R = cantFail(S.run());
+    return std::make_tuple(keysOf(R.Gadgets), S.corpus(), R.Executions,
+                           R.CorpusAdds, R.NormalEdges, R.SpecEdges);
+  };
+  EXPECT_EQ(Once(), Once());
+}
+
+TEST(Api, RunInputsMatchesHandWiredTarget) {
+  // The single-input sweep (quickstart/patch_and_verify workflow)
+  // against the hand-wired InstrumentedTarget it replaces.
+  auto Bin = lang::compile(testutil::V1Victim);
+  ASSERT_TRUE(static_cast<bool>(Bin));
+  Bin->strip();
+  auto RW = core::rewriteBinary(*Bin, core::RewriterOptions());
+  ASSERT_TRUE(static_cast<bool>(RW));
+  workloads::InstrumentedTarget T(*RW, runtime::RuntimeOptions());
+  for (uint8_t Idx : {5, 200, 255})
+    T.execute({Idx});
+
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Scanner S(Cfg);
+  cantFail(S.loadSource(testutil::V1Victim));
+  cantFail(S.rewrite());
+  ScanResult R = cantFail(S.runInputs({{5}, {200}, {255}}));
+
+  EXPECT_EQ(R.Executions, 3u);
+  EXPECT_EQ(keysOf(R.Gadgets), keysOf(T.RT.Reports.unique()));
+  EXPECT_EQ(R.Simulations, T.RT.Stats.Simulations);
+  EXPECT_EQ(R.GuestInsts, T.executedInsts());
+  EXPECT_GT(R.Gadgets.size(), 0u);
+}
+
+TEST(Api, PresetsDiffer) {
+  // The four presets must materialize their documented configurations.
+  ScanConfig Teapot = cantFail(ScanConfig::preset("teapot"));
+  EXPECT_TRUE(Teapot.Rewriter.EnableDift);
+  EXPECT_EQ(Teapot.Kind, ScanConfig::TargetKind::Instrumented);
+
+  ScanConfig NoDift = cantFail(ScanConfig::preset("teapot-nodift"));
+  EXPECT_FALSE(NoDift.Rewriter.EnableDift);
+  EXPECT_FALSE(NoDift.Runtime.EnableDift);
+  EXPECT_EQ(NoDift.Rewriter.Mode, core::RewriteMode::Teapot);
+
+  ScanConfig SpecFuzz = cantFail(ScanConfig::preset("specfuzz-baseline"));
+  EXPECT_EQ(SpecFuzz.Rewriter.Mode, core::RewriteMode::SpecFuzzBaseline);
+  EXPECT_FALSE(SpecFuzz.Runtime.EnableDift);
+  EXPECT_EQ(SpecFuzz.Runtime.Nesting, runtime::NestingPolicy::SpecFuzz);
+
+  ScanConfig Native = cantFail(ScanConfig::preset("native"));
+  EXPECT_EQ(Native.Kind, ScanConfig::TargetKind::Native);
+}
+
+TEST(Api, SpecFuzzBaselinePresetRuns) {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("specfuzz-baseline"));
+  Scanner S(Cfg);
+  cantFail(S.loadSource(testutil::V1Victim));
+  cantFail(S.rewrite());
+  ScanResult R = cantFail(S.runInputs({{200}}));
+  // The SpecFuzz policy reports raw speculative violations with no
+  // controllability classification.
+  ASSERT_GT(R.Gadgets.size(), 0u);
+  for (const auto &G : R.Gadgets) {
+    EXPECT_EQ(G.Chan, runtime::Channel::Asan);
+    EXPECT_EQ(G.Ctrl, runtime::Controllability::Unknown);
+  }
+}
+
+TEST(Api, NativePresetRunsWithoutDetector) {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("native"));
+  Cfg.Campaign = smallCampaign(1);
+  Cfg.Campaign.TotalIterations = 50;
+  Scanner S(Cfg);
+  cantFail(S.loadWorkload("jsmn"));
+  cantFail(S.rewrite()); // no-op for native
+  EXPECT_EQ(S.rewriteResult(), nullptr);
+  ScanResult R = cantFail(S.run());
+  EXPECT_EQ(R.Executions, 50u);
+  EXPECT_TRUE(R.Gadgets.empty());
+  EXPECT_EQ(R.BranchSites, 0u);
+}
+
+TEST(Api, InjectionFindsGroundTruthSites) {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign = smallCampaign(1);
+  Cfg.InjectGadgets = true;
+  Scanner S(Cfg);
+  cantFail(S.loadWorkload("jsmn"));
+  cantFail(S.rewrite());
+  ASSERT_NE(S.injection(), nullptr);
+  EXPECT_EQ(S.injection()->SiteMarkers.size(), 3u); // jsmn's InjectCount
+
+  ScanResult R = cantFail(S.run());
+  ASSERT_FALSE(R.InjectedSites.empty());
+  // Every detected injected-site gadget must be a published marker, and
+  // at least one must be found under this budget.
+  std::set<uint64_t> Markers(R.InjectedSites.begin(), R.InjectedSites.end());
+  size_t TruePositives = 0;
+  for (const auto &G : R.Gadgets)
+    TruePositives += Markers.count(G.Site);
+  EXPECT_GT(TruePositives, 0u);
+}
+
+// --- 2. JSON round-trip -----------------------------------------------------
+
+TEST(Api, ScanResultJsonRoundTripsFromRealRun) {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign = smallCampaign(2);
+  Scanner S(Cfg);
+  cantFail(S.loadWorkload("jsmn"));
+  cantFail(S.rewrite());
+  ScanResult R = cantFail(S.run());
+
+  std::string Doc = R.toJsonString();
+  ScanResult Back = cantFail(ScanResult::fromJsonString(Doc));
+  EXPECT_TRUE(R == Back);
+  // Serialization is canonical: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(Back.toJsonString(), Doc);
+}
+
+TEST(Api, ScanResultJsonRoundTripsEdgeValues) {
+  ScanResult R;
+  R.Workload = "edge \"case\"\n\tworkload";
+  R.Preset = "teapot";
+  R.Seed = ~0ULL; // UINT64_MAX must not round through a double
+  R.Workers = 512;
+  R.Iterations = 1ULL << 62;
+  R.Passes.push_back(
+      {"clone-shadow-functions", 0.1234567890123456789, 7, 3, 1,
+       {{"trampolines", 42}, {"tag.programs", 9}}});
+  R.BranchSites = 11;
+  R.MarkerSites = 5;
+  R.NormalGuards = 64;
+  R.SpecGuards = 65;
+  R.Executions = 123456789;
+  R.Epochs = 3;
+  R.CorpusAdds = 17;
+  R.Imports = 2;
+  R.GuestInsts = 0xdeadbeefcafeULL;
+  R.CorpusSize = 99;
+  R.NormalEdges = 40;
+  R.SpecEdges = 41;
+  R.WallSeconds = 1e-9;
+  R.PerWorker.push_back({10, 1, 2, 3, 4, 5, 6});
+  R.PerWorker.push_back({11, 0, 0, 0, 0, 0, 0});
+  R.Simulations = 1000;
+  R.NestedSimulations = 10;
+  R.Rollbacks[static_cast<size_t>(isa::RollbackReason::Serializing)] = 5;
+  R.Rollbacks[static_cast<size_t>(isa::RollbackReason::GuestFault)] = 1;
+  R.InjectedSites = {0x10000000, 0x10000001};
+  R.InjectInputAddr = 0x7fff0000;
+  R.Gadgets.push_back({0x10000000, runtime::Channel::Cache,
+                       runtime::Controllability::User, 7, 2});
+  R.Gadgets.push_back({0xffffffffffffffffULL, runtime::Channel::Asan,
+                       runtime::Controllability::Unknown, 0, 6});
+
+  ScanResult Back = cantFail(ScanResult::fromJsonString(R.toJsonString()));
+  EXPECT_TRUE(R == Back);
+  EXPECT_EQ(Back.Seed, ~0ULL);
+  EXPECT_EQ(Back.Gadgets[1].Site, 0xffffffffffffffffULL);
+  EXPECT_EQ(Back.Passes[0].Counters.at("trampolines"), 42u);
+  EXPECT_EQ(Back.toJsonString(), R.toJsonString());
+}
+
+TEST(Api, ScanResultFromJsonDiagnosesBadDocuments) {
+  // Not JSON at all.
+  auto E1 = ScanResult::fromJsonString("not json");
+  EXPECT_FALSE(static_cast<bool>(E1));
+
+  // Valid JSON, wrong schema.
+  auto E2 = ScanResult::fromJsonString("{\"schema\": \"bogus.v9\"}");
+  ASSERT_FALSE(static_cast<bool>(E2));
+  EXPECT_NE(E2.message().find("unsupported schema"), std::string::npos);
+
+  // Missing a required section.
+  ScanResult R;
+  R.Preset = "teapot";
+  json::Value V = R.toJson();
+  std::string Doc = V.dump();
+  // Knock out the campaign section by renaming the key.
+  size_t P = Doc.find("\"campaign\"");
+  ASSERT_NE(P, std::string::npos);
+  Doc.replace(P, 10, "\"renamed!\"");
+  auto E3 = ScanResult::fromJsonString(Doc);
+  ASSERT_FALSE(static_cast<bool>(E3));
+  EXPECT_NE(E3.message().find("campaign"), std::string::npos);
+
+  // A gadget with an unknown channel name.
+  ScanResult G;
+  G.Gadgets.push_back({1, runtime::Channel::MDS,
+                       runtime::Controllability::User, 0, 1});
+  std::string GDoc = G.toJsonString();
+  size_t Q = GDoc.find("\"MDS\"");
+  ASSERT_NE(Q, std::string::npos);
+  GDoc.replace(Q, 5, "\"XYZ\"");
+  auto E4 = ScanResult::fromJsonString(GDoc);
+  ASSERT_FALSE(static_cast<bool>(E4));
+  EXPECT_NE(E4.message().find("unknown channel"), std::string::npos);
+}
+
+// --- 3. Error propagation ---------------------------------------------------
+
+TEST(Api, UnknownPresetIsDiagnosed) {
+  auto C = ScanConfig::preset("speculative-teapot");
+  ASSERT_FALSE(static_cast<bool>(C));
+  EXPECT_NE(C.message().find("unknown preset"), std::string::npos);
+  EXPECT_NE(C.message().find("specfuzz-baseline"), std::string::npos);
+}
+
+TEST(Api, BadConfigsFailValidation) {
+  Scanner S;
+  cantFail(S.loadWorkload("jsmn"));
+  cantFail(S.rewrite());
+
+  S.config().Campaign.Workers = 0;
+  auto R1 = S.run();
+  ASSERT_FALSE(static_cast<bool>(R1));
+  EXPECT_NE(R1.message().find("workers"), std::string::npos);
+
+  S.config().Campaign.Workers = ScanConfig::MaxWorkers + 1;
+  auto R2 = S.run();
+  ASSERT_FALSE(static_cast<bool>(R2));
+  EXPECT_NE(R2.message().find("exceeds"), std::string::npos);
+
+  S.config().Campaign.Workers = 1;
+  S.config().RunBudget = ScanConfig::MaxRunBudget + 1;
+  auto R3 = S.run();
+  ASSERT_FALSE(static_cast<bool>(R3));
+  EXPECT_NE(R3.message().find("budget"), std::string::npos);
+
+  S.config().RunBudget = 0;
+  auto R4 = S.run();
+  ASSERT_FALSE(static_cast<bool>(R4));
+
+  S.config().RunBudget = workloads::DefaultRunBudget;
+  S.config().Campaign.MaxInputLen = 0;
+  auto R5 = S.run();
+  ASSERT_FALSE(static_cast<bool>(R5));
+}
+
+TEST(Api, ReloadResetsSeedCorpus) {
+  // One binary, one corpus: re-loading must not accumulate or leak
+  // seeds across binaries.
+  Scanner S;
+  cantFail(S.loadWorkload("jsmn"));
+  size_t JsmnSeeds = S.seeds().size();
+  ASSERT_GT(JsmnSeeds, 0u);
+  cantFail(S.loadWorkload("jsmn"));
+  EXPECT_EQ(S.seeds().size(), JsmnSeeds); // not doubled
+
+  S.addSeed({1, 2, 3});
+  cantFail(S.loadWorkload("libhtp"));
+  const auto &Seeds = S.seeds();
+  EXPECT_EQ(std::count(Seeds.begin(), Seeds.end(),
+                       std::vector<uint8_t>({1, 2, 3})),
+            0); // manual seed gone with its binary
+}
+
+TEST(Api, InjectionToggleAfterLoadStillSeesSymbols) {
+  // The strip decision is taken at rewrite() time, so enabling
+  // injection between load and rewrite must work — including for
+  // libyaml, whose injection targets named unreachable functions that
+  // stripping would have destroyed.
+  Scanner S;
+  cantFail(S.loadWorkload("libyaml"));
+  S.config().InjectGadgets = true;
+  cantFail(S.rewrite());
+  ASSERT_NE(S.injection(), nullptr);
+  EXPECT_EQ(S.injection()->UnreachableMarkers.size(), 2u); // Table 3
+}
+
+TEST(Api, PhaseOrderIsEnforced) {
+  Scanner S;
+  auto R1 = S.rewrite();
+  ASSERT_TRUE(static_cast<bool>(R1)); // Error: no binary loaded
+  EXPECT_NE(R1.message().find("no binary loaded"), std::string::npos);
+
+  auto R2 = S.run();
+  ASSERT_FALSE(static_cast<bool>(R2));
+
+  cantFail(S.loadSource(testutil::V1Victim));
+  auto R3 = S.run(); // loaded but not rewritten
+  ASSERT_FALSE(static_cast<bool>(R3));
+  EXPECT_NE(R3.message().find("rewrite()"), std::string::npos);
+
+  auto R4 = S.loadWorkload("no-such-workload");
+  ASSERT_TRUE(static_cast<bool>(R4));
+  EXPECT_NE(R4.message().find("unknown workload"), std::string::npos);
+}
+
+} // namespace

@@ -305,6 +305,51 @@ TEST(ReportSink, DeduplicatesBySiteChannelCtrl) {
   EXPECT_EQ(S.count(Controllability::Massage, Channel::Port), 0u);
 }
 
+TEST(ReportSink, UniqueIsKeyOrderedRegardlessOfDiscoveryOrder) {
+  // unique() returns (Site, Chan, Ctrl) key order — the documented API
+  // contract that makes JSON output and GadgetSink merges diff-able.
+  ReportSink S;
+  auto Add = [&](uint64_t Site, Channel C, Controllability Ct) {
+    GadgetReport R;
+    R.Site = Site;
+    R.Chan = C;
+    R.Ctrl = Ct;
+    S.report(R);
+  };
+  Add(0x500, Channel::Port, Controllability::User);
+  Add(0x100, Channel::Cache, Controllability::Massage);
+  Add(0x100, Channel::Cache, Controllability::User);
+  Add(0x300, Channel::MDS, Controllability::User);
+  Add(0x100, Channel::MDS, Controllability::User);
+
+  const auto &U = S.unique();
+  ASSERT_EQ(U.size(), 5u);
+  for (size_t I = 1; I < U.size(); ++I)
+    EXPECT_LT(ReportSink::keyOf(U[I - 1]), ReportSink::keyOf(U[I]));
+  EXPECT_EQ(U.front().Site, 0x100u);
+  EXPECT_EQ(U.back().Site, 0x500u);
+
+  // A second sink fed in a different order yields the same sequence.
+  ReportSink S2;
+  for (auto It = U.rbegin(); It != U.rend(); ++It)
+    S2.report(*It);
+  EXPECT_EQ(S2.unique(), U);
+}
+
+TEST(Report, NameEnumRoundTrips) {
+  for (Channel C : {Channel::MDS, Channel::Cache, Channel::Port,
+                    Channel::Asan})
+    EXPECT_EQ(cantFail(channelFromName(channelName(C))), C);
+  for (Controllability C : {Controllability::User, Controllability::Massage,
+                            Controllability::Unknown})
+    EXPECT_EQ(cantFail(controllabilityFromName(controllabilityName(C))), C);
+
+  auto BadChan = channelFromName("cache"); // case-sensitive, like printing
+  ASSERT_FALSE(static_cast<bool>(BadChan));
+  EXPECT_NE(BadChan.message().find("unknown channel"), std::string::npos);
+  EXPECT_FALSE(static_cast<bool>(controllabilityFromName("root")));
+}
+
 TEST(ReportSink, CallbackFiresOnNewOnly) {
   ReportSink S;
   int Calls = 0;

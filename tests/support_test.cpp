@@ -2,6 +2,7 @@
 
 #include "support/ByteStream.h"
 #include "support/Error.h"
+#include "support/Json.h"
 #include "support/RNG.h"
 #include "support/StringUtils.h"
 
@@ -109,6 +110,37 @@ TEST(StringUtils, ToHex) {
   EXPECT_EQ(toHex(0), "0x0");
 }
 
+TEST(StringUtils, ParseUIntAcceptsWellFormed) {
+  EXPECT_EQ(cantFail(support::parseUInt("42")), 42u);
+  EXPECT_EQ(cantFail(support::parseUInt("0")), 0u);
+  EXPECT_EQ(cantFail(support::parseUInt("0x10")), 16u);
+  EXPECT_EQ(cantFail(support::parseUInt("  7 ")), 7u);
+  EXPECT_EQ(cantFail(support::parseUInt("18446744073709551615")),
+            0xffffffffffffffffULL);
+}
+
+TEST(StringUtils, ParseUIntDiagnosesGarbage) {
+  // The strtoull failure mode this replaces: "banana" parsed as 0.
+  auto Banana = support::parseUInt("banana");
+  ASSERT_FALSE(static_cast<bool>(Banana));
+  EXPECT_NE(Banana.message().find("banana"), std::string::npos);
+
+  EXPECT_FALSE(static_cast<bool>(support::parseUInt("")));
+  EXPECT_FALSE(static_cast<bool>(support::parseUInt("-3")));
+  EXPECT_FALSE(static_cast<bool>(support::parseUInt("12x")));
+  EXPECT_FALSE(static_cast<bool>(support::parseUInt("1 2")));
+  // One past UINT64_MAX overflows.
+  EXPECT_FALSE(static_cast<bool>(support::parseUInt("18446744073709551616")));
+}
+
+TEST(StringUtils, ParseUIntEnforcesBound) {
+  EXPECT_EQ(cantFail(support::parseUInt("8", "workers", 8)), 8u);
+  auto Over = support::parseUInt("9", "workers", 8);
+  ASSERT_FALSE(static_cast<bool>(Over));
+  EXPECT_NE(Over.message().find("workers"), std::string::npos);
+  EXPECT_NE(Over.message().find("exceeds"), std::string::npos);
+}
+
 TEST(ByteStream, Roundtrip) {
   ByteWriter W;
   W.u8(7);
@@ -141,4 +173,116 @@ TEST(ByteStream, TruncationDetected) {
   ByteReader R(W.Out);
   uint64_t V;
   EXPECT_FALSE(R.u64(V));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(json::Value(nullptr).dump(), "null");
+  EXPECT_EQ(json::Value(true).dump(), "true");
+  EXPECT_EQ(json::Value(false).dump(), "false");
+  EXPECT_EQ(json::Value(0).dump(), "0");
+  EXPECT_EQ(json::Value(-12).dump(), "-12");
+  EXPECT_EQ(json::Value(0xffffffffffffffffULL).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(json::Value("hi \"there\"\n").dump(), "\"hi \\\"there\\\"\\n\"");
+}
+
+TEST(Json, UInt64KeepsExactness) {
+  // A 64-bit site address must not round through a double.
+  uint64_t Site = 0xfedcba9876543210ULL;
+  json::Value V(Site);
+  auto Back = cantFail(json::parse(V.dump()));
+  ASSERT_TRUE(Back.isUInt());
+  EXPECT_EQ(Back.asUInt(), Site);
+}
+
+TEST(Json, DoubleRoundTrips) {
+  for (double D : {0.1, 1e-9, 123456.789, 0.1234567890123456789, 3.0}) {
+    json::Value V(D);
+    auto Back = cantFail(json::parse(V.dump()));
+    EXPECT_EQ(Back.asDouble(), D) << V.dump();
+    // Canonical: re-dumping the parsed value is byte-identical.
+    EXPECT_EQ(Back.dump(), V.dump());
+  }
+}
+
+TEST(Json, ObjectsAreInsertionOrdered) {
+  json::Value O = json::Value::object();
+  O.set("zebra", 1);
+  O.set("alpha", 2);
+  O.set("mid", json::Value::array());
+  EXPECT_EQ(O.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":[]}");
+  O.set("zebra", 9); // overwrite keeps position
+  EXPECT_EQ(O.dump(), "{\"zebra\":9,\"alpha\":2,\"mid\":[]}");
+}
+
+TEST(Json, ParseNestedDocument) {
+  auto V = cantFail(json::parse(
+      " { \"a\" : [ 1 , -2 , 2.5 , \"s\" , true , null ] , "
+      "\"b\" : { \"c\" : {} } } "));
+  ASSERT_TRUE(V.isObject());
+  const json::Value *A = V.find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->size(), 6u);
+  EXPECT_EQ(A->items()[0].asUInt(), 1u);
+  EXPECT_EQ(A->items()[1].asInt(), -2);
+  EXPECT_EQ(A->items()[2].asDouble(), 2.5);
+  EXPECT_EQ(A->items()[3].asString(), "s");
+  EXPECT_TRUE(A->items()[4].asBool());
+  EXPECT_TRUE(A->items()[5].isNull());
+  ASSERT_NE(V.find("b"), nullptr);
+  EXPECT_NE(V.find("b")->find("c"), nullptr);
+  EXPECT_EQ(V.find("nope"), nullptr);
+}
+
+TEST(Json, ParseStringEscapes) {
+  auto V = cantFail(json::parse(R"("a\"b\\c\nd\u0041e")"));
+  EXPECT_EQ(V.asString(), "a\"b\\c\ndAe");
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 as a \u escape pair must decode to 4-byte UTF-8, not two
+  // 3-byte CESU-8 sequences.
+  auto V = cantFail(json::parse(R"("\ud83d\ude00")"));
+  EXPECT_EQ(V.asString(), "\xf0\x9f\x98\x80");
+  // Lone or misordered surrogates would be invalid UTF-8 -> errors.
+  EXPECT_FALSE(static_cast<bool>(json::parse(R"("\ud83d")")));
+  EXPECT_FALSE(static_cast<bool>(json::parse(R"("\ude00")")));
+  EXPECT_FALSE(static_cast<bool>(json::parse(R"("\ud83dxx")")));
+  EXPECT_FALSE(static_cast<bool>(json::parse(R"("\ud83dA")")));
+}
+
+TEST(Json, ParserDiagnosesMalformedInput) {
+  EXPECT_FALSE(static_cast<bool>(json::parse("")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("{")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("[1,]")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("{\"a\" 1}")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("\"unterminated")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("01")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("-012")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("01x")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("1 trailing")));
+  EXPECT_FALSE(static_cast<bool>(json::parse("1e999"))); // overflows to Inf
+  // Hostile nesting must error, not smash the stack.
+  auto Deep = json::parse(std::string(1000000, '['));
+  ASSERT_FALSE(static_cast<bool>(Deep));
+  EXPECT_NE(Deep.message().find("nesting too deep"), std::string::npos);
+  EXPECT_FALSE(static_cast<bool>(json::parse("truth")));
+  auto E = json::parse("{\"a\": nope}");
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("offset"), std::string::npos);
+}
+
+TEST(Json, PrettyPrintIsStable) {
+  json::Value O = json::Value::object();
+  O.set("n", 1);
+  json::Value A = json::Value::array();
+  A.push("x");
+  O.set("a", std::move(A));
+  EXPECT_EQ(O.dump(true), "{\n  \"n\": 1,\n  \"a\": [\n    \"x\"\n  ]\n}");
+  auto Back = cantFail(json::parse(O.dump(true)));
+  EXPECT_EQ(Back.dump(), O.dump());
 }
