@@ -10,16 +10,33 @@
 //   $ ./scan_cots_binary [--workload NAME] [--iters N] [--workers N]
 //                        [--preset NAME] [--json FILE]
 //   $ ./scan_cots_binary --workload brotli --iters 2000 --workers 4
-//   $ ./scan_cots_binary --workload jsmn --preset specfuzz-baseline \
-//                        --json scan.json
+//   $ ./scan_cots_binary --workload jsmn --preset specfuzz-baseline
+//                          --json scan.json
+//
+// Campaigns are durable: --corpus-out snapshots the full campaign state
+// (teapot.corpus.v1), --corpus-in + --resume continues it
+// byte-identically (raise --iters to extend a finished campaign), and
+// --corpus-in alone reuses a previous corpus as seeds for a fresh
+// campaign. --baseline diffs the scan against a previous ScanResult
+// JSON and exits 2 on gadget regressions — the CI gate.
+//
+//   $ ./scan_cots_binary --workload jsmn --iters 400 --corpus-out c.json
+//   $ ./scan_cots_binary --workload jsmn --iters 800
+//                          --corpus-in c.json --resume
+//   $ ./scan_cots_binary --workload jsmn --iters 400 --inject
+//                          --baseline tests/golden/jsmn-injected.scan.json
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/ScanDiff.h"
 #include "api/Scanner.h"
+#include "support/File.h"
 #include "support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <set>
 
 using namespace teapot;
@@ -35,7 +52,23 @@ static void usage(FILE *To) {
           "  --inject          splice the Table 3 artificial gadgets in "
           "before scanning\n"
           "  --json FILE       write the structured ScanResult as JSON\n"
-          "  --help            this text\n");
+          "  --corpus-in FILE  teapot.corpus.v1 snapshot: import its corpus "
+          "as seeds,\n"
+          "                    or resume the whole campaign with --resume\n"
+          "  --corpus-out FILE write the campaign state snapshot after the "
+          "scan\n"
+          "  --resume          continue the --corpus-in campaign "
+          "byte-identically\n"
+          "  --baseline FILE   diff against a previous ScanResult JSON; "
+          "exit 2 on\n"
+          "                    lost/weakened gadgets (injected sites only "
+          "when the\n"
+          "                    baseline has injection ground truth)\n"
+          "  --max-epochs N    stop after N campaign epochs even with "
+          "budget left\n"
+          "  --help            this text\n"
+          "exit codes: 0 = ok, 1 = errors, 2 = gadget regressions vs "
+          "--baseline\n");
 }
 
 int main(int argc, char **argv) {
@@ -45,8 +78,13 @@ int main(int argc, char **argv) {
   std::string Preset = "teapot";
   uint64_t Iters = 800;
   unsigned Workers = 1;
+  uint64_t MaxEpochs = 0;
   bool Inject = false;
+  bool Resume = false;
   const char *JsonPath = nullptr;
+  const char *CorpusInPath = nullptr;
+  const char *CorpusOutPath = nullptr;
+  const char *BaselinePath = nullptr;
 
   auto NextOperand = [&](int &I) -> const char * {
     if (I + 1 >= argc) {
@@ -70,6 +108,17 @@ int main(int argc, char **argv) {
       Inject = true;
     } else if (!strcmp(argv[I], "--json")) {
       JsonPath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--corpus-in")) {
+      CorpusInPath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--corpus-out")) {
+      CorpusOutPath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--resume")) {
+      Resume = true;
+    } else if (!strcmp(argv[I], "--baseline")) {
+      BaselinePath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--max-epochs")) {
+      MaxEpochs = Exit(support::parseUInt(NextOperand(I), "--max-epochs",
+                                          1'000'000'000ULL));
     } else if (!strcmp(argv[I], "--help")) {
       usage(stdout);
       return 0;
@@ -80,12 +129,18 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Resume && !CorpusInPath) {
+    fprintf(stderr, "scan_cots_binary: --resume requires --corpus-in\n");
+    return 1;
+  }
+
   ScanConfig Cfg = Exit(ScanConfig::preset(Preset));
   Cfg.Campaign.Seed = 1;
   Cfg.Campaign.TotalIterations = Iters;
   Cfg.Campaign.Workers = Workers;
   Cfg.Campaign.SyncInterval = 256;
   Cfg.Campaign.MaxInputLen = 512;
+  Cfg.Campaign.MaxEpochs = MaxEpochs;
   Cfg.InjectGadgets = Inject;
 
   Scanner S(Cfg);
@@ -96,18 +151,52 @@ int main(int argc, char **argv) {
   Exit(S.rewrite());
   Exit(S.config().validate());
 
-  // Open the artifact only after everything that can fail has been
-  // resolved (a bad workload/config must not truncate an existing
-  // file), but before the campaign runs so a bad path fails fast
-  // instead of discarding the whole scan.
-  FILE *JsonFile = nullptr;
-  if (JsonPath) {
-    JsonFile = fopen(JsonPath, "w");
-    if (!JsonFile) {
-      fprintf(stderr, "scan_cots_binary: cannot open %s\n", JsonPath);
-      return 1;
+  if (CorpusInPath) {
+    json::Value Snapshot =
+        Exit(json::parse(Exit(support::readFile(CorpusInPath))));
+    if (Resume) {
+      Exit(S.resume(std::move(Snapshot)));
+      printf("[*] resuming campaign state from %s\n", CorpusInPath);
+    } else {
+      size_t N = Exit(S.importCorpus(Snapshot));
+      printf("[*] imported %zu corpus entries from %s as seeds\n", N,
+             CorpusInPath);
     }
   }
+
+  // The regression baseline is read before the campaign so a bad path
+  // or malformed file fails fast instead of discarding the whole scan.
+  std::optional<ScanResult> Baseline;
+  if (BaselinePath)
+    Baseline = Exit(
+        ScanResult::fromJsonString(Exit(support::readFile(BaselinePath))));
+
+  // Open the artifacts only after everything else that can fail has
+  // been resolved (a bad workload/config must not truncate an existing
+  // file), but before the campaign runs so a bad path fails fast
+  // instead of discarding the whole scan. The writes at the end are
+  // checked too: fwrite/fclose failures (full disk, quota) must not
+  // exit 0 with a truncated artifact.
+  auto OpenArtifact = [&](const char *Path) {
+    FILE *F = fopen(Path, "w");
+    if (!F)
+      Exit(makeError("cannot open %s for writing: %s", Path,
+                     strerror(errno)));
+    return F;
+  };
+  auto WriteArtifact = [&](FILE *F, const char *Path,
+                           const std::string &Doc) {
+    if (fwrite(Doc.data(), 1, Doc.size(), F) != Doc.size()) {
+      int E = errno;
+      fclose(F);
+      Exit(makeError("error writing %s: %s", Path, strerror(E)));
+    }
+    if (fclose(F) != 0)
+      Exit(makeError("error writing %s: %s", Path, strerror(errno)));
+    printf("[*] wrote %s (%zu bytes)\n", Path, Doc.size());
+  };
+  FILE *JsonFile = JsonPath ? OpenArtifact(JsonPath) : nullptr;
+  FILE *CorpusFile = CorpusOutPath ? OpenArtifact(CorpusOutPath) : nullptr;
   if (const workloads::InjectionResult *Inj = S.injection())
     printf("[*] injected %zu artificial gadget(s) (%zu unreachable, "
            "input slot %s)\n",
@@ -173,11 +262,23 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(WS.SpecEdges));
   }
 
-  if (JsonFile) {
-    std::string Doc = R.toJsonString();
-    fwrite(Doc.data(), 1, Doc.size(), JsonFile);
-    fclose(JsonFile);
-    printf("[*] wrote %s (%zu bytes)\n", JsonPath, Doc.size());
+  if (JsonFile)
+    WriteArtifact(JsonFile, JsonPath, R.toJsonString());
+  if (CorpusFile)
+    WriteArtifact(CorpusFile, CorpusOutPath,
+                  Exit(S.saveState()).dump(true) + "\n");
+
+  if (Baseline) {
+    ScanDiffOptions DO;
+    // Gate on the reliably re-findable injected sites when the baseline
+    // carries that ground truth; a baseline without injection would
+    // make the injected-only gate vacuous (empty gate set, always OK),
+    // so such baselines gate on the full gadget set instead.
+    DO.InjectedOnly = !Baseline->InjectedSites.empty();
+    ScanDiff D = diffScans(*Baseline, R, DO);
+    printf("\n%s", D.describe().c_str());
+    if (D.hasRegressions())
+      return 2;
   }
   return 0;
 }

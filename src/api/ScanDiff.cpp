@@ -1,0 +1,186 @@
+//===- api/ScanDiff.cpp ---------------------------------------------------===//
+
+#include "api/ScanDiff.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace teapot;
+
+namespace {
+
+/// Gadget identity across scans: the transmitting site and the leaking
+/// channel. Controllability is the *classification* being compared.
+using SiteChan = std::pair<uint64_t, runtime::Channel>;
+
+/// Strongest (most attacker-controlled) report per identity. The enum
+/// order User < Massage < Unknown is attacker-strength order, so the
+/// minimum controllability wins. Selected explicitly rather than
+/// assuming key order: a baseline may come from external tooling or a
+/// hand-merged file, and a wrong "strongest" pick here would let a
+/// weakened gadget through the regression gate.
+std::map<SiteChan, runtime::GadgetReport>
+strongestByIdentity(const std::vector<runtime::GadgetReport> &Gadgets) {
+  std::map<SiteChan, runtime::GadgetReport> Out;
+  for (const runtime::GadgetReport &G : Gadgets) {
+    auto [It, Inserted] = Out.emplace(SiteChan{G.Site, G.Chan}, G);
+    if (!Inserted && static_cast<uint8_t>(G.Ctrl) <
+                         static_cast<uint8_t>(It->second.Ctrl))
+      It->second = G;
+  }
+  return Out;
+}
+
+} // namespace
+
+ScanDiff teapot::diffScans(const ScanResult &Before, const ScanResult &After,
+                           const ScanDiffOptions &Opts) {
+  ScanDiff D;
+  D.Workload = After.Workload;
+  D.Preset = After.Preset;
+  D.GadgetsBefore = Before.Gadgets.size();
+  D.GadgetsAfter = After.Gadgets.size();
+  D.InjectedOnly = Opts.InjectedOnly;
+
+  auto B = strongestByIdentity(Before.Gadgets);
+  auto A = strongestByIdentity(After.Gadgets);
+  for (const auto &[Key, G] : A)
+    if (!B.count(Key))
+      D.NewGadgets.push_back(G);
+  for (const auto &[Key, G] : B) {
+    auto It = A.find(Key);
+    if (It == A.end()) {
+      D.LostGadgets.push_back(G);
+    } else if (It->second.Ctrl != G.Ctrl) {
+      GadgetDelta Delta;
+      Delta.Before = G;
+      Delta.After = It->second;
+      Delta.Weakened = static_cast<uint8_t>(It->second.Ctrl) >
+                       static_cast<uint8_t>(G.Ctrl);
+      D.ChangedGadgets.push_back(Delta);
+    }
+  }
+
+  // Regression accounting: losing detection, or telling the operator
+  // less about exploitability, at the sites that matter.
+  std::set<uint64_t> Gate(Before.InjectedSites.begin(),
+                          Before.InjectedSites.end());
+  auto Counts = [&](uint64_t Site) {
+    return !Opts.InjectedOnly || Gate.count(Site) != 0;
+  };
+  for (const runtime::GadgetReport &G : D.LostGadgets)
+    if (Counts(G.Site))
+      D.RegressedLost.push_back(G);
+  for (const GadgetDelta &C : D.ChangedGadgets)
+    if (C.Weakened && Counts(C.Before.Site))
+      D.RegressedChanged.push_back(C);
+
+  auto Delta = [](uint64_t BeforeV, uint64_t AfterV) {
+    return static_cast<int64_t>(AfterV) - static_cast<int64_t>(BeforeV);
+  };
+  D.NormalEdgeDelta = Delta(Before.NormalEdges, After.NormalEdges);
+  D.SpecEdgeDelta = Delta(Before.SpecEdges, After.SpecEdges);
+  D.CorpusSizeDelta = Delta(Before.CorpusSize, After.CorpusSize);
+  D.ExecutionsDelta = Delta(Before.Executions, After.Executions);
+  D.GadgetCountDelta = Delta(Before.Gadgets.size(), After.Gadgets.size());
+  D.ExecsPerSecBefore = Before.execsPerSec();
+  D.ExecsPerSecAfter = After.execsPerSec();
+  D.InstsPerSecBefore = Before.instsPerSec();
+  D.InstsPerSecAfter = After.instsPerSec();
+  return D;
+}
+
+json::Value ScanDiff::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("schema", SchemaName);
+  V.set("workload", Workload);
+  V.set("preset", Preset);
+  V.set("gadgets_before", GadgetsBefore);
+  V.set("gadgets_after", GadgetsAfter);
+
+  auto GadgetArray = [](const std::vector<runtime::GadgetReport> &Gs) {
+    json::Value A = json::Value::array();
+    for (const runtime::GadgetReport &G : Gs)
+      A.push(runtime::gadgetToJson(G));
+    return A;
+  };
+  auto DeltaArray = [](const std::vector<GadgetDelta> &Ds) {
+    json::Value A = json::Value::array();
+    for (const GadgetDelta &C : Ds) {
+      json::Value E = json::Value::object();
+      E.set("before", runtime::gadgetToJson(C.Before));
+      E.set("after", runtime::gadgetToJson(C.After));
+      E.set("weakened", C.Weakened);
+      A.push(std::move(E));
+    }
+    return A;
+  };
+  V.set("new", GadgetArray(NewGadgets));
+  V.set("lost", GadgetArray(LostGadgets));
+  V.set("changed", DeltaArray(ChangedGadgets));
+
+  json::Value Reg = json::Value::object();
+  Reg.set("injected_only", InjectedOnly);
+  Reg.set("lost", GadgetArray(RegressedLost));
+  Reg.set("weakened", DeltaArray(RegressedChanged));
+  Reg.set("count", static_cast<uint64_t>(RegressedLost.size() +
+                                         RegressedChanged.size()));
+  V.set("regressions", std::move(Reg));
+
+  json::Value Dl = json::Value::object();
+  Dl.set("normal_edges", static_cast<long long>(NormalEdgeDelta));
+  Dl.set("spec_edges", static_cast<long long>(SpecEdgeDelta));
+  Dl.set("corpus_size", static_cast<long long>(CorpusSizeDelta));
+  Dl.set("executions", static_cast<long long>(ExecutionsDelta));
+  Dl.set("gadgets", static_cast<long long>(GadgetCountDelta));
+  V.set("deltas", std::move(Dl));
+
+  json::Value Tp = json::Value::object();
+  Tp.set("execs_per_sec_before", ExecsPerSecBefore);
+  Tp.set("execs_per_sec_after", ExecsPerSecAfter);
+  Tp.set("insts_per_sec_before", InstsPerSecBefore);
+  Tp.set("insts_per_sec_after", InstsPerSecAfter);
+  V.set("throughput", std::move(Tp));
+  return V;
+}
+
+std::string ScanDiff::describe() const {
+  std::string Out = formatString(
+      "scan diff: %s (%s), %llu -> %llu gadgets\n", Workload.c_str(),
+      Preset.c_str(), static_cast<unsigned long long>(GadgetsBefore),
+      static_cast<unsigned long long>(GadgetsAfter));
+  Out += formatString("  new: %zu, lost: %zu, changed: %zu\n",
+                      NewGadgets.size(), LostGadgets.size(),
+                      ChangedGadgets.size());
+  for (const runtime::GadgetReport &G : NewGadgets)
+    Out += "    [new]     " + G.describe() + "\n";
+  for (const runtime::GadgetReport &G : LostGadgets)
+    Out += "    [lost]    " + G.describe() + "\n";
+  for (const GadgetDelta &C : ChangedGadgets)
+    Out += formatString("    [changed] %s at %s: %s -> %s%s\n",
+                        runtime::channelName(C.Before.Chan),
+                        toHex(C.Before.Site).c_str(),
+                        runtime::controllabilityName(C.Before.Ctrl),
+                        runtime::controllabilityName(C.After.Ctrl),
+                        C.Weakened ? " (weakened)" : "");
+  Out += formatString(
+      "  coverage: normal %+lld, spec %+lld; corpus %+lld; "
+      "executions %+lld\n",
+      static_cast<long long>(NormalEdgeDelta),
+      static_cast<long long>(SpecEdgeDelta),
+      static_cast<long long>(CorpusSizeDelta),
+      static_cast<long long>(ExecutionsDelta));
+  if (ExecsPerSecBefore > 0 && ExecsPerSecAfter > 0)
+    Out += formatString("  throughput: %.0f -> %.0f execs/s (%+.1f%%)\n",
+                        ExecsPerSecBefore, ExecsPerSecAfter,
+                        (ExecsPerSecAfter / ExecsPerSecBefore - 1.0) * 100);
+  size_t NumRegressions = RegressedLost.size() + RegressedChanged.size();
+  Out += formatString("  regressions: %zu lost, %zu weakened%s -> %s\n",
+                      RegressedLost.size(), RegressedChanged.size(),
+                      InjectedOnly ? " (injected sites only)" : "",
+                      NumRegressions == 0 ? "OK" : "FAIL");
+  return Out;
+}

@@ -1,0 +1,107 @@
+//===- api/ScanDiff.h - Cross-scan gadget diffing -----------------*- C++ -*-===//
+///
+/// \file
+/// Structural comparison of two ScanResults — the regression currency of
+/// the repo: CI diffs every scan.json against a checked-in golden
+/// baseline and gates merges on the result, and developers diff scans
+/// across branches/configs to see what a change did to detection.
+///
+/// Gadgets are matched by (site, channel). A gadget only in the current
+/// scan is *new*; only in the baseline, *lost*; present in both with a
+/// different controllability classification, *changed*. Losing a gadget
+/// is always a regression; a change only when the classification
+/// weakened (User > Massage > Unknown in attacker-strength order — a
+/// downgrade means the detector now tells an operator less about
+/// exploitability). New gadgets never regress: more detection is
+/// progress, and an intentionally grown baseline is re-recorded.
+///
+/// ScanDiffOptions::InjectedOnly restricts *regression accounting* to
+/// the baseline's injected ground-truth sites (Table 3). That is the CI
+/// gate mode: injected gadgets are deterministically re-findable under
+/// any corpus seeding, while incidental gadget sets may legitimately
+/// drift when a cached corpus reshapes the mutation trajectory. The
+/// full new/lost/changed lists are reported either way.
+///
+/// Tools map hasRegressions() to exit code 2 (0 = clean, 1 = usage/IO
+/// errors) — teapot_diff's contract with the scan-regress CI job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_API_SCANDIFF_H
+#define TEAPOT_API_SCANDIFF_H
+
+#include "api/ScanResult.h"
+
+#include <string>
+#include <vector>
+
+namespace teapot {
+
+struct ScanDiffOptions {
+  /// Count only gadgets at the baseline's injection ground-truth sites
+  /// as regressions (the CI gate mode; see file comment).
+  bool InjectedOnly = false;
+};
+
+/// A gadget present in both scans whose classification changed.
+struct GadgetDelta {
+  runtime::GadgetReport Before;
+  runtime::GadgetReport After;
+  /// Controllability downgraded (e.g. User -> Unknown): a regression.
+  bool Weakened = false;
+
+  bool operator==(const GadgetDelta &O) const = default;
+};
+
+/// The structured outcome of diffScans. JSON schema "teapot.diff.v1".
+struct ScanDiff {
+  static constexpr const char *SchemaName = "teapot.diff.v1";
+
+  // --- Provenance ----------------------------------------------------------
+  std::string Workload; // from the current scan
+  std::string Preset;
+  uint64_t GadgetsBefore = 0;
+  uint64_t GadgetsAfter = 0;
+  /// The option the diff ran under (recorded in the report).
+  bool InjectedOnly = false;
+
+  // --- Gadget deltas (always fully populated, in key order) ----------------
+  std::vector<runtime::GadgetReport> NewGadgets;
+  std::vector<runtime::GadgetReport> LostGadgets;
+  std::vector<GadgetDelta> ChangedGadgets;
+
+  // --- Regressions (respecting ScanDiffOptions::InjectedOnly) --------------
+  std::vector<runtime::GadgetReport> RegressedLost;
+  std::vector<GadgetDelta> RegressedChanged;
+
+  // --- Coverage / corpus / throughput deltas (after minus before) ----------
+  int64_t NormalEdgeDelta = 0;
+  int64_t SpecEdgeDelta = 0;
+  int64_t CorpusSizeDelta = 0;
+  int64_t ExecutionsDelta = 0;
+  int64_t GadgetCountDelta = 0;
+  double ExecsPerSecBefore = 0;
+  double ExecsPerSecAfter = 0;
+  double InstsPerSecBefore = 0;
+  double InstsPerSecAfter = 0;
+
+  bool hasRegressions() const {
+    return !RegressedLost.empty() || !RegressedChanged.empty();
+  }
+
+  /// Serializes the report (schema teapot.diff.v1; key-ordered gadget
+  /// records, so two diffs of the same scans are byte-identical).
+  json::Value toJson() const;
+
+  /// Human-readable multi-line report (what teapot_diff prints).
+  std::string describe() const;
+};
+
+/// Compares \p After (the current scan) against \p Before (the
+/// baseline).
+ScanDiff diffScans(const ScanResult &Before, const ScanResult &After,
+                   const ScanDiffOptions &Opts = {});
+
+} // namespace teapot
+
+#endif // TEAPOT_API_SCANDIFF_H

@@ -9,16 +9,6 @@ using namespace teapot;
 
 // --- Writers ----------------------------------------------------------------
 
-static json::Value gadgetToJson(const runtime::GadgetReport &R) {
-  json::Value G = json::Value::object();
-  G.set("site", R.Site);
-  G.set("channel", runtime::channelName(R.Chan));
-  G.set("controllability", runtime::controllabilityName(R.Ctrl));
-  G.set("branch", R.BranchId);
-  G.set("depth", static_cast<unsigned>(R.Depth));
-  return G;
-}
-
 json::Value ScanResult::toJson() const {
   json::Value V = json::Value::object();
   V.set("schema", SchemaName);
@@ -96,7 +86,7 @@ json::Value ScanResult::toJson() const {
 
   json::Value GArr = json::Value::array();
   for (const runtime::GadgetReport &R : Gadgets)
-    GArr.push(gadgetToJson(R));
+    GArr.push(runtime::gadgetToJson(R));
   V.set("gadgets", std::move(GArr));
   return V;
 }
@@ -173,33 +163,6 @@ struct Reader {
   }
 };
 } // namespace
-
-static Expected<runtime::GadgetReport> gadgetFromJson(const json::Value &V) {
-  if (!V.isObject())
-    return makeError("scan result: gadget entry is not an object");
-  Reader R{V, "gadgets[]"};
-  runtime::GadgetReport G;
-  std::string Chan, Ctrl;
-  if (Error E = R.getU64("site", G.Site))
-    return E;
-  if (Error E = R.getString("channel", Chan))
-    return E;
-  if (Error E = R.getString("controllability", Ctrl))
-    return E;
-  if (Error E = R.getUInt("branch", G.BranchId))
-    return E;
-  if (Error E = R.getUInt("depth", G.Depth))
-    return E;
-  auto C = runtime::channelFromName(Chan);
-  if (!C)
-    return C.takeError();
-  G.Chan = *C;
-  auto CT = runtime::controllabilityFromName(Ctrl);
-  if (!CT)
-    return CT.takeError();
-  G.Ctrl = *CT;
-  return G;
-}
 
 Expected<ScanResult> ScanResult::fromJson(const json::Value &V) {
   if (!V.isObject())
@@ -354,7 +317,7 @@ Expected<ScanResult> ScanResult::fromJson(const json::Value &V) {
   if (!GArr)
     return GArr.takeError();
   for (const json::Value &GV : (*GArr)->items()) {
-    auto G = gadgetFromJson(GV);
+    auto G = runtime::gadgetFromJson(GV);
     if (!G)
       return G.takeError();
     R.Gadgets.push_back(*G);

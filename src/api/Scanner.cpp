@@ -4,9 +4,11 @@
 
 #include "baselines/SpecFuzz.h"
 #include "disasm/Disassembler.h"
+#include "support/StringUtils.h"
 #include "workloads/Programs.h"
 
 #include <chrono>
+#include <iterator>
 
 using namespace teapot;
 
@@ -126,10 +128,13 @@ void Scanner::adoptBinary(obj::ObjectFile Bin, std::string Name) {
   Loaded = std::move(Bin);
   Rewritten.reset();
   Injection.reset();
+  Camp.reset();          // a snapshot of the old binary's campaign
+  PendingResume.reset(); // cannot resume onto a different binary
   WorkloadName = std::move(Name);
   WorkloadInjectCount = 0;
   WorkloadUnreachable.clear();
   SeedCorpus.clear();
+  ImportedSeeds.clear();
 }
 
 Error Scanner::rewrite() {
@@ -257,8 +262,23 @@ Expected<ScanResult> Scanner::run() {
   if (Error E = requireTarget())
     return E;
 
-  fuzz::Campaign C(makeFactory(), Cfg.Campaign);
-  if (Injection) {
+  // Build the new campaign off to the side: the previous one (and its
+  // saveState()-able state) must survive a failed resume-load intact.
+  auto NewCamp = std::make_unique<fuzz::Campaign>(makeFactory(),
+                                                  Cfg.Campaign);
+  fuzz::Campaign &C = *NewCamp;
+  const bool IsResume = PendingResume.has_value();
+  if (IsResume) {
+    // Restore the scheduled snapshot; the campaign continues from its
+    // epoch barrier, so the seed schedule below is irrelevant (seeds
+    // already live in the restored shards). The pending snapshot is
+    // consumed only on success — after a failed load (option mismatch,
+    // corruption) a retried run() must fail again, not silently start
+    // a fresh campaign that looks like the resumed one.
+    if (Error E = C.loadState(*PendingResume))
+      return E;
+    PendingResume.reset();
+  } else if (Injection) {
     // The Table 3 seed schedule: the poke reads the input's trailing 8
     // bytes, so make sure both in- and out-of-bounds injected-input
     // values appear in the initial corpus.
@@ -274,10 +294,17 @@ Expected<ScanResult> Scanner::run() {
     for (const auto &Seed : SeedCorpus)
       C.addSeed(Seed);
   }
+  if (!IsResume) {
+    // Imported corpus entries ride along verbatim, after the regular
+    // seed schedule (see importCorpus()).
+    for (const auto &Seed : ImportedSeeds)
+      C.addSeed(Seed);
+  }
   if (OnGadget)
     C.gadgets().OnNewGadget = OnGadget;
   if (OnEpoch)
     C.OnEpoch = OnEpoch;
+  Camp = std::move(NewCamp); // nothing can fail before run() anymore
 
   auto Start = std::chrono::steady_clock::now();
   fuzz::CampaignStats S = C.run();
@@ -302,6 +329,59 @@ Expected<ScanResult> Scanner::run() {
   R.Gadgets = C.gadgets().unique(); // key-ordered
   LastCorpus = C.corpus();
   return R;
+}
+
+Expected<json::Value> Scanner::saveState() const {
+  if (!Camp)
+    return makeError("no campaign to snapshot (call run() first)");
+  return Camp->saveState();
+}
+
+Error Scanner::resume(json::Value Snapshot) {
+  // Light up-front validation; the full options/geometry check happens
+  // in run() when the campaign exists to compare against.
+  if (!Snapshot.isObject())
+    return makeError("corpus snapshot: document is not an object");
+  const json::Value *Schema = Snapshot.find("schema");
+  if (!Schema || !Schema->isString())
+    return makeError("corpus snapshot: missing schema tag");
+  if (Schema->asString() != fuzz::Campaign::SnapshotSchemaName)
+    return makeError("corpus snapshot: unsupported schema '%s' (want %s)",
+                     Schema->asString().c_str(),
+                     fuzz::Campaign::SnapshotSchemaName);
+  PendingResume = std::move(Snapshot);
+  return Error::success();
+}
+
+Expected<size_t> Scanner::importCorpus(const json::Value &Snapshot) {
+  if (!Snapshot.isObject())
+    return makeError("corpus snapshot: document is not an object");
+  const json::Value *Schema = Snapshot.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != fuzz::Campaign::SnapshotSchemaName)
+    return makeError("corpus snapshot: missing or unsupported schema tag "
+                     "(want %s)",
+                     fuzz::Campaign::SnapshotSchemaName);
+  const json::Value *Corpus = Snapshot.find("corpus");
+  if (!Corpus || !Corpus->isArray())
+    return makeError("corpus snapshot: missing corpus array");
+  // Decode into a local vector first: a corrupt entry mid-array must
+  // not half-apply (a retried import would duplicate the prefix).
+  std::vector<std::vector<uint8_t>> Decoded;
+  Decoded.reserve(Corpus->size());
+  for (const json::Value &E : Corpus->items()) {
+    if (!E.isString())
+      return makeError("corpus snapshot: corpus entry is not a hex string");
+    auto Bytes = hexDecode(E.asString());
+    if (!Bytes)
+      return Bytes.takeError();
+    Decoded.push_back(std::move(*Bytes));
+  }
+  size_t N = Decoded.size();
+  ImportedSeeds.insert(ImportedSeeds.end(),
+                       std::make_move_iterator(Decoded.begin()),
+                       std::make_move_iterator(Decoded.end()));
+  return N;
 }
 
 Expected<ScanResult> Scanner::runInputs(

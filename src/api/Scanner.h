@@ -166,7 +166,41 @@ public:
   // --- Phase 3: run --------------------------------------------------------
   /// The coverage-guided campaign per Cfg.Campaign. Deterministic under
   /// (config, binary, seeds); repeated calls reproduce each other.
+  /// After resume(), the next run() continues the restored campaign
+  /// instead of starting afresh (set Cfg.Campaign.MaxEpochs to stop a
+  /// run at an epoch barrier and snapshot mid-campaign).
   Expected<ScanResult> run();
+
+  // --- Persistence (teapot.corpus.v1) --------------------------------------
+  /// Serializes the last run()'s campaign — corpus, coverage, gadgets,
+  /// RNG positions, per-worker target state — as a teapot.corpus.v1
+  /// snapshot. A campaign resumed from it continues byte-identically to
+  /// the uninterrupted run. Error before the first run().
+  Expected<json::Value> saveState() const;
+
+  /// Schedules \p Snapshot to be restored into the next run()'s
+  /// campaign. Validation happens inside run() (the campaign must exist
+  /// to check options/geometry); a mismatched snapshot fails that run.
+  /// The scan config, loaded binary, and seed corpus must be the same
+  /// as when the snapshot was taken — the snapshot records campaign
+  /// state, not the binary.
+  Error resume(json::Value Snapshot);
+
+  /// Adopts the merged corpus of \p Snapshot as additional seed inputs
+  /// for a *fresh* campaign (no RNG/coverage state carries over) — the
+  /// cross-run corpus reuse mode, e.g. CI carrying a corpus between
+  /// builds. Imported entries are fed to the campaign verbatim: the
+  /// injection seed schedule (in-/out-of-bounds poke variants) applies
+  /// only to the regular seed corpus, because imported inputs already
+  /// carry the previous campaign's poke bytes — re-extending them would
+  /// double the corpus on every import cycle. Returns the number of
+  /// inputs imported.
+  Expected<size_t> importCorpus(const json::Value &Snapshot);
+
+  /// Corpus entries adopted by importCorpus(), pending the next run().
+  const std::vector<std::vector<uint8_t>> &importedSeeds() const {
+    return ImportedSeeds;
+  }
 
   /// Executes exactly \p Inputs, in order, on one fresh target — the
   /// single-input / boundary-value workflows (quickstart,
@@ -210,6 +244,10 @@ private:
 
   ScanConfig Cfg;
   std::string WorkloadName; // "custom" unless loadWorkload
+  /// The last run()'s campaign, kept alive so saveState() can snapshot
+  /// it (run() replaces it; resume() restores into the next one).
+  std::unique_ptr<fuzz::Campaign> Camp;
+  std::optional<json::Value> PendingResume;
   std::optional<obj::ObjectFile> Loaded;
   std::optional<core::RewriteResult> Rewritten;
   std::optional<workloads::InjectionResult> Injection;
@@ -217,6 +255,7 @@ private:
   unsigned WorkloadInjectCount = 0;
   std::vector<std::string> WorkloadUnreachable;
   std::vector<std::vector<uint8_t>> SeedCorpus;
+  std::vector<std::vector<uint8_t>> ImportedSeeds;
   std::vector<std::vector<uint8_t>> LastCorpus;
 };
 

@@ -4,6 +4,7 @@
 
 #include "isa/Encoding.h"
 #include "runtime/ShadowLayout.h"
+#include "support/StringUtils.h"
 
 #include <cstring>
 
@@ -47,6 +48,83 @@ void SpecTaintEmulator::resetRun() {
   if (Opts.ExtraTaintLen)
     Tags.setMemTag(Opts.ExtraTaintAddr,
                    static_cast<unsigned>(Opts.ExtraTaintLen), TagUser);
+}
+
+json::Value SpecTaintEmulator::saveState() const {
+  assert(Checkpoints.empty() && "saveState mid-simulation");
+  json::Value V = json::Value::object();
+  json::Value Tries = json::Value::object();
+  for (const auto &[PC, N] : BranchTries)
+    Tries.set(toHex(PC), N); // std::map: key-ordered, stable text
+  V.set("branch_tries", std::move(Tries));
+  json::Value Rep = json::Value::object();
+  Rep.set("total_hits", Reports.totalHits());
+  json::Value Uniq = json::Value::array();
+  for (const GadgetReport &R : Reports.unique())
+    Uniq.push(gadgetToJson(R));
+  Rep.set("unique", std::move(Uniq));
+  V.set("reports", std::move(Rep));
+  json::Value St = json::Value::object();
+  St.set("emulated_insts", Stats.EmulatedInsts);
+  St.set("simulations", Stats.Simulations);
+  St.set("rollbacks", Stats.Rollbacks);
+  V.set("stats", std::move(St));
+  return V;
+}
+
+Error SpecTaintEmulator::loadState(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("emulator state: not an object");
+  const json::Value *Tries = V.find("branch_tries");
+  if (!Tries || !Tries->isObject())
+    return makeError("emulator state: missing branch_tries object");
+  std::map<uint64_t, uint32_t> NewTries;
+  for (const auto &[Key, N] : Tries->members()) {
+    int64_t PC = 0;
+    if (!parseInt(Key, PC) || PC < 0 || !N.isUInt() ||
+        N.asUInt() > UINT32_MAX)
+      return makeError("emulator state: bad branch_tries entry '%s'",
+                       Key.c_str());
+    NewTries[static_cast<uint64_t>(PC)] = static_cast<uint32_t>(N.asUInt());
+  }
+  const json::Value *Rep = V.find("reports");
+  if (!Rep || !Rep->isObject())
+    return makeError("emulator state: missing reports object");
+  const json::Value *Total = Rep->find("total_hits");
+  const json::Value *Uniq = Rep->find("unique");
+  if (!Total || !Total->isUInt() || !Uniq || !Uniq->isArray())
+    return makeError("emulator state: reports needs total_hits + unique[]");
+  std::vector<GadgetReport> Gadgets;
+  for (const json::Value &GV : Uniq->items()) {
+    auto G = gadgetFromJson(GV);
+    if (!G)
+      return G.takeError();
+    Gadgets.push_back(*G);
+  }
+  const json::Value *St = V.find("stats");
+  if (!St || !St->isObject())
+    return makeError("emulator state: missing stats object");
+  SpecTaintStats NewStats;
+  auto GetStat = [&](const char *Key, uint64_t &Out) -> Error {
+    const json::Value *M = St->find(Key);
+    if (!M || !M->isUInt())
+      return makeError("emulator state: stats.%s is not an unsigned "
+                       "integer",
+                       Key);
+    Out = M->asUInt();
+    return Error::success();
+  };
+  if (Error E = GetStat("emulated_insts", NewStats.EmulatedInsts))
+    return E;
+  if (Error E = GetStat("simulations", NewStats.Simulations))
+    return E;
+  if (Error E = GetStat("rollbacks", NewStats.Rollbacks))
+    return E;
+  if (Error E = Reports.restore(std::move(Gadgets), Total->asUInt()))
+    return E;
+  BranchTries = std::move(NewTries);
+  Stats = NewStats;
+  return Error::success();
 }
 
 void SpecTaintEmulator::rollback() {

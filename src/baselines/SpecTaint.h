@@ -62,6 +62,15 @@ public:
   /// Per-run reset (taint state, branch try counters persist).
   void resetRun();
 
+  /// Serializes/restores the cross-run state — the per-branch try
+  /// counters (which steer later simulations), the report sink, and the
+  /// stats — so a resumed campaign's fresh emulator target continues
+  /// byte-identically (the campaign snapshot path; see
+  /// fuzz::FuzzTarget::saveState). The translation cache is excluded:
+  /// it is a pure cache with no behavioral effect.
+  json::Value saveState() const;
+  Error loadState(const json::Value &V);
+
   /// Emulates until the program stops or \p MaxInsts guest instructions
   /// ran.
   vm::StopState run(uint64_t MaxInsts);

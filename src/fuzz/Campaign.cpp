@@ -2,6 +2,8 @@
 
 #include "fuzz/Campaign.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 #include <thread>
 
@@ -37,6 +39,10 @@ struct Campaign::Worker {
   /// This worker's slice of CampaignOptions::TotalIterations.
   uint64_t Budget = 0;
   uint64_t Executed = 0;
+  /// Guest instructions executed by *previous* incarnations of this
+  /// worker's target (restored from a snapshot); the live target's
+  /// executedInsts() counts from zero after a resume.
+  uint64_t GuestInstsBase = 0;
   WorkerStats Stats;
   /// Inputs other workers published, pending adoption. A cursor instead
   /// of erase-from-front keeps publication order stable and cheap.
@@ -166,34 +172,51 @@ void Campaign::syncEpoch(uint64_t Epoch) {
 }
 
 CampaignStats Campaign::run() {
-  if (Seeds.empty())
-    Seeds.push_back({}); // like Fuzzer: start from the empty input
+  StopRequested.store(false, std::memory_order_relaxed);
 
-  // Fresh campaign state on every call, so run() is re-runnable (and
-  // reproduces itself exactly — targets are rebuilt by the factory).
-  MergedNormal.clear();
-  MergedSpec.clear();
-  Gadgets.clear();
-  Workers.clear();
-  for (unsigned I = 0; I != Opts.Workers; ++I) {
-    auto W = std::make_unique<Worker>();
-    W->Index = I;
-    W->Rand = RNG(workerSeed(Opts.Seed, I));
-    W->Target = Factory();
-    W->Budget = Opts.TotalIterations / Opts.Workers +
-                (I < Opts.TotalIterations % Opts.Workers ? 1 : 0);
-    for (const auto &Seed : Seeds)
-      W->Shard.add(Seed);
-    Workers.push_back(std::move(W));
+  if (!Resumed) {
+    if (Seeds.empty())
+      Seeds.push_back({}); // like Fuzzer: start from the empty input
+
+    // Fresh campaign state on every call, so run() is re-runnable (and
+    // reproduces itself exactly — targets are rebuilt by the factory).
+    MergedNormal.clear();
+    MergedSpec.clear();
+    Gadgets.clear();
+    Workers.clear();
+    CurEpoch = 0;
+    for (unsigned I = 0; I != Opts.Workers; ++I) {
+      auto W = std::make_unique<Worker>();
+      W->Index = I;
+      W->Rand = RNG(workerSeed(Opts.Seed, I));
+      W->Target = Factory();
+      for (const auto &Seed : Seeds)
+        W->Shard.add(Seed);
+      Workers.push_back(std::move(W));
+    }
+    MergedCorpus = Seeds;
   }
-  MergedCorpus = Seeds;
+  // (Re)split the execution budget. On a resume this recomputes the
+  // identical split — unless TotalIterations was raised, which extends
+  // every worker proportionally (how a finished campaign is continued).
+  for (unsigned I = 0; I != Workers.size(); ++I)
+    Workers[I]->Budget = Opts.TotalIterations / Opts.Workers +
+                         (I < Opts.TotalIterations % Opts.Workers ? 1 : 0);
 
-  uint64_t Epoch = 0;
+  uint64_t Epoch = CurEpoch;
   auto AnyUnfinished = [&] {
     return std::any_of(Workers.begin(), Workers.end(),
                        [](const auto &W) { return !W->finished(); });
   };
-  do {
+  // A fresh campaign always runs at least one epoch (seeds execute even
+  // on a zero budget, mirroring Fuzzer::run). A resumed one already did
+  // that; if its budget is spent — or it already sits at the absolute
+  // MaxEpochs barrier — it must add nothing, not even an empty epoch,
+  // so "save at the final barrier, resume" is the identity and "run to
+  // epoch k, save" composes with "resume to epoch k".
+  bool Stop = Resumed && (!AnyUnfinished() ||
+                          (Opts.MaxEpochs != 0 && Epoch >= Opts.MaxEpochs));
+  while (!Stop) {
     if (Workers.size() == 1) {
       runWorkerEpoch(*Workers[0]);
     } else {
@@ -207,6 +230,7 @@ CampaignStats Campaign::run() {
     }
     syncEpoch(Epoch);
     ++Epoch;
+    CurEpoch = Epoch; // every saved quantity is now barrier-consistent
 
     if (OnEpoch) {
       CampaignProgress P;
@@ -219,7 +243,14 @@ CampaignStats Campaign::run() {
       P.UniqueGadgets = Gadgets.uniqueCount();
       OnEpoch(P);
     }
-  } while (AnyUnfinished());
+    Stop = StopRequested.load(std::memory_order_relaxed) ||
+           (Opts.MaxEpochs != 0 && Epoch >= Opts.MaxEpochs) ||
+           !AnyUnfinished();
+  }
+  // loadState() arms exactly one continuing run(); the next call starts
+  // afresh again, per the class contract ("each call normally starts
+  // afresh"). The finished state stays live for saveState().
+  Resumed = false;
 
   CampaignStats S;
   S.Epochs = Epoch;
@@ -228,7 +259,7 @@ CampaignStats Campaign::run() {
     WS.ShardSize = WP->Shard.size();
     WS.NormalEdges = WP->Shard.NormalEdges;
     WS.SpecEdges = WP->Shard.SpecEdges;
-    WS.GuestInsts = WP->Target->executedInsts();
+    WS.GuestInsts = WP->GuestInstsBase + WP->Target->executedInsts();
     S.Executions += WS.Executions;
     S.CorpusAdds += WS.CorpusAdds;
     S.Imports += WS.Imports;
@@ -239,4 +270,318 @@ CampaignStats Campaign::run() {
   S.SpecEdges = countCovered(MergedSpec);
   S.UniqueGadgets = Gadgets.uniqueCount();
   return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence: the teapot.corpus.v1 snapshot format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+json::Value inputsToJson(const std::vector<std::vector<uint8_t>> &Inputs) {
+  json::Value A = json::Value::array();
+  for (const auto &In : Inputs)
+    A.push(hexEncode(In));
+  return A;
+}
+
+Expected<std::vector<std::vector<uint8_t>>>
+inputsFromJson(const json::Value *A, const char *What) {
+  if (!A || !A->isArray())
+    return makeError("corpus snapshot: missing or non-array %s", What);
+  std::vector<std::vector<uint8_t>> Out;
+  Out.reserve(A->size());
+  for (const json::Value &E : A->items()) {
+    if (!E.isString())
+      return makeError("corpus snapshot: %s entry is not a hex string",
+                       What);
+    auto Bytes = hexDecode(E.asString());
+    if (!Bytes)
+      return makeError("corpus snapshot: %s entry: %s", What,
+                       Bytes.message().c_str());
+    Out.push_back(std::move(*Bytes));
+  }
+  return Out;
+}
+
+Expected<std::vector<uint8_t>> mapFromJson(const json::Value &Obj,
+                                           const char *Key,
+                                           const char *What) {
+  const json::Value *M = Obj.find(Key);
+  if (!M || !M->isString())
+    return makeError("corpus snapshot: missing or non-string %s.%s", What,
+                     Key);
+  auto Bytes = hexDecode(M->asString());
+  if (!Bytes)
+    return makeError("corpus snapshot: %s.%s: %s", What, Key,
+                     Bytes.message().c_str());
+  return Bytes;
+}
+
+Error getU64(const json::Value &Obj, const char *Key, const char *What,
+             uint64_t &Out) {
+  const json::Value *M = Obj.find(Key);
+  if (!M || !M->isUInt())
+    return makeError("corpus snapshot: missing or non-integer %s.%s", What,
+                     Key);
+  Out = M->asUInt();
+  return Error::success();
+}
+
+} // namespace
+
+json::Value Campaign::saveState() const {
+  assert(!Workers.empty() &&
+         "saveState before run(): nothing to snapshot yet");
+  json::Value V = json::Value::object();
+  V.set("schema", SnapshotSchemaName);
+
+  json::Value O = json::Value::object();
+  O.set("seed", Opts.Seed);
+  O.set("total_iterations", Opts.TotalIterations);
+  O.set("workers", Opts.Workers);
+  O.set("sync_interval", Opts.SyncInterval);
+  O.set("max_input_len", static_cast<uint64_t>(Opts.MaxInputLen));
+  O.set("max_stacked_mutations", Opts.MaxStackedMutations);
+  V.set("options", std::move(O));
+
+  V.set("epoch", CurEpoch);
+  V.set("corpus", inputsToJson(MergedCorpus));
+
+  json::Value Cov = json::Value::object();
+  Cov.set("normal", hexEncode(MergedNormal));
+  Cov.set("spec", hexEncode(MergedSpec));
+  V.set("coverage", std::move(Cov));
+
+  json::Value GArr = json::Value::array();
+  for (const runtime::GadgetReport &R : Gadgets.unique())
+    GArr.push(runtime::gadgetToJson(R));
+  V.set("gadgets", std::move(GArr));
+
+  json::Value WArr = json::Value::array();
+  for (const auto &WP : Workers) {
+    const Worker &W = *WP;
+    assert(W.Outbox.empty() && "saveState between barriers");
+    json::Value WV = json::Value::object();
+    WV.set("rng_state", W.Rand.state());
+    WV.set("executed", W.Executed);
+    WV.set("seeded", W.Seeded);
+    WV.set("guest_insts",
+           W.GuestInstsBase + W.Target->executedInsts());
+    json::Value St = json::Value::object();
+    St.set("executions", W.Stats.Executions);
+    St.set("corpus_adds", W.Stats.CorpusAdds);
+    St.set("imports", W.Stats.Imports);
+    WV.set("stats", std::move(St));
+    json::Value Sh = json::Value::object();
+    Sh.set("entries", inputsToJson(W.Shard.entries()));
+    Sh.set("normal", hexEncode(W.Shard.normalMap()));
+    Sh.set("spec", hexEncode(W.Shard.specMap()));
+    Sh.set("normal_edges", static_cast<uint64_t>(W.Shard.NormalEdges));
+    Sh.set("spec_edges", static_cast<uint64_t>(W.Shard.SpecEdges));
+    WV.set("shard", std::move(Sh));
+    // Unconsumed imports only; the cursor prefix is logically gone.
+    std::vector<std::vector<uint8_t>> Pending(
+        W.Inbox.begin() + static_cast<long>(W.InboxCursor), W.Inbox.end());
+    WV.set("inbox", inputsToJson(Pending));
+    WV.set("target", W.Target->saveState());
+    WArr.push(std::move(WV));
+  }
+  V.set("workers", std::move(WArr));
+  return V;
+}
+
+Error Campaign::loadState(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("corpus snapshot: document is not an object");
+  const json::Value *Schema = V.find("schema");
+  if (!Schema || !Schema->isString())
+    return makeError("corpus snapshot: missing schema tag");
+  if (Schema->asString() != SnapshotSchemaName)
+    return makeError("corpus snapshot: unsupported schema '%s' (want %s)",
+                     Schema->asString().c_str(), SnapshotSchemaName);
+
+  const json::Value *O = V.find("options");
+  if (!O || !O->isObject())
+    return makeError("corpus snapshot: missing options object");
+  uint64_t Seed = 0, TotalIters = 0, NumWorkers = 0, SyncInterval = 0,
+           MaxLen = 0, MaxStacked = 0;
+  if (Error E = getU64(*O, "seed", "options", Seed))
+    return E;
+  if (Error E = getU64(*O, "total_iterations", "options", TotalIters))
+    return E;
+  if (Error E = getU64(*O, "workers", "options", NumWorkers))
+    return E;
+  if (Error E = getU64(*O, "sync_interval", "options", SyncInterval))
+    return E;
+  if (Error E = getU64(*O, "max_input_len", "options", MaxLen))
+    return E;
+  if (Error E = getU64(*O, "max_stacked_mutations", "options", MaxStacked))
+    return E;
+  // The determinism guarantee only holds when the resumed campaign
+  // replays the same algorithm: every option that feeds the RNG stream
+  // or the sync protocol must match. (TotalIterations may legitimately
+  // differ — raising it is how a finished campaign is extended.)
+  if (Seed != Opts.Seed)
+    return makeError("corpus snapshot: seed mismatch (snapshot %llu, "
+                     "campaign %llu)",
+                     static_cast<unsigned long long>(Seed),
+                     static_cast<unsigned long long>(Opts.Seed));
+  if (NumWorkers != Opts.Workers)
+    return makeError("corpus snapshot: worker-count mismatch (snapshot "
+                     "%llu, campaign %u)",
+                     static_cast<unsigned long long>(NumWorkers),
+                     Opts.Workers);
+  if (SyncInterval != Opts.SyncInterval)
+    return makeError("corpus snapshot: sync-interval mismatch (snapshot "
+                     "%llu, campaign %llu)",
+                     static_cast<unsigned long long>(SyncInterval),
+                     static_cast<unsigned long long>(Opts.SyncInterval));
+  if (MaxLen != Opts.MaxInputLen || MaxStacked != Opts.MaxStackedMutations)
+    return makeError("corpus snapshot: mutation-knob mismatch (max input "
+                     "len / stacked mutations differ)");
+
+  uint64_t Epoch = 0;
+  if (Error E = getU64(V, "epoch", "$", Epoch))
+    return E;
+  auto Corpus = inputsFromJson(V.find("corpus"), "corpus");
+  if (!Corpus)
+    return Corpus.takeError();
+  const json::Value *Cov = V.find("coverage");
+  if (!Cov || !Cov->isObject())
+    return makeError("corpus snapshot: missing coverage object");
+  auto Normal = mapFromJson(*Cov, "normal", "coverage");
+  if (!Normal)
+    return Normal.takeError();
+  auto Spec = mapFromJson(*Cov, "spec", "coverage");
+  if (!Spec)
+    return Spec.takeError();
+
+  const json::Value *GArr = V.find("gadgets");
+  if (!GArr || !GArr->isArray())
+    return makeError("corpus snapshot: missing gadgets array");
+  std::vector<runtime::GadgetReport> Reports;
+  for (const json::Value &GV : GArr->items()) {
+    auto G = runtime::gadgetFromJson(GV);
+    if (!G)
+      return G.takeError();
+    Reports.push_back(*G);
+  }
+
+  const json::Value *WArr = V.find("workers");
+  if (!WArr || !WArr->isArray())
+    return makeError("corpus snapshot: missing workers array");
+  if (WArr->size() != Opts.Workers)
+    return makeError("corpus snapshot: %zu worker records for a %u-worker "
+                     "campaign",
+                     WArr->size(), Opts.Workers);
+
+  // Build the new worker set off to the side; only commit (and only
+  // construct targets' state) once every record parsed.
+  std::vector<std::unique_ptr<Worker>> NewWorkers;
+  for (size_t I = 0; I != WArr->size(); ++I) {
+    const json::Value &WV = WArr->items()[I];
+    if (!WV.isObject())
+      return makeError("corpus snapshot: workers[%zu] is not an object", I);
+    auto W = std::make_unique<Worker>();
+    W->Index = static_cast<unsigned>(I);
+    uint64_t RngState = 0, GuestInsts = 0;
+    if (Error E = getU64(WV, "rng_state", "workers[]", RngState))
+      return E;
+    W->Rand = RNG(RngState);
+    if (Error E = getU64(WV, "executed", "workers[]", W->Executed))
+      return E;
+    if (Error E = getU64(WV, "guest_insts", "workers[]", GuestInsts))
+      return E;
+    W->GuestInstsBase = GuestInsts;
+    const json::Value *Seeded = WV.find("seeded");
+    if (!Seeded || !Seeded->isBool())
+      return makeError("corpus snapshot: workers[%zu].seeded missing", I);
+    W->Seeded = Seeded->asBool();
+    const json::Value *St = WV.find("stats");
+    if (!St || !St->isObject())
+      return makeError("corpus snapshot: workers[%zu].stats missing", I);
+    if (Error E = getU64(*St, "executions", "workers[].stats",
+                         W->Stats.Executions))
+      return E;
+    if (Error E = getU64(*St, "corpus_adds", "workers[].stats",
+                         W->Stats.CorpusAdds))
+      return E;
+    if (Error E =
+            getU64(*St, "imports", "workers[].stats", W->Stats.Imports))
+      return E;
+    const json::Value *Sh = WV.find("shard");
+    if (!Sh || !Sh->isObject())
+      return makeError("corpus snapshot: workers[%zu].shard missing", I);
+    auto Entries = inputsFromJson(Sh->find("entries"), "shard.entries");
+    if (!Entries)
+      return Entries.takeError();
+    for (auto &E : *Entries)
+      W->Shard.add(std::move(E));
+    auto ShNormal = mapFromJson(*Sh, "normal", "shard");
+    if (!ShNormal)
+      return ShNormal.takeError();
+    auto ShSpec = mapFromJson(*Sh, "spec", "shard");
+    if (!ShSpec)
+      return ShSpec.takeError();
+    uint64_t NEdges = 0, SEdges = 0;
+    if (Error E = getU64(*Sh, "normal_edges", "workers[].shard", NEdges))
+      return E;
+    if (Error E = getU64(*Sh, "spec_edges", "workers[].shard", SEdges))
+      return E;
+    // Integrity: the edge counters count 0 -> covered transitions, so
+    // each must equal its map's nonzero-entry count. A truncated (but
+    // valid-hex) map or a stale counter fails here instead of silently
+    // skewing novelty decisions after the resume.
+    auto Nonzero = [](const std::vector<uint8_t> &Map) {
+      size_t N = 0;
+      for (uint8_t B : Map)
+        N += B != 0;
+      return N;
+    };
+    if (Nonzero(*ShNormal) != NEdges || Nonzero(*ShSpec) != SEdges)
+      return makeError("corpus snapshot: workers[%zu].shard edge counters "
+                       "disagree with the coverage maps (truncated or "
+                       "corrupted snapshot?)",
+                       I);
+    if (!NewWorkers.empty() &&
+        (ShNormal->size() !=
+             NewWorkers.front()->Shard.normalMap().size() ||
+         ShSpec->size() != NewWorkers.front()->Shard.specMap().size()))
+      return makeError("corpus snapshot: workers[%zu].shard coverage "
+                       "geometry differs from worker 0's",
+                       I);
+    W->Shard.restoreCoverage(std::move(*ShNormal), std::move(*ShSpec),
+                             static_cast<size_t>(NEdges),
+                             static_cast<size_t>(SEdges));
+    auto Inbox = inputsFromJson(WV.find("inbox"), "inbox");
+    if (!Inbox)
+      return Inbox.takeError();
+    W->Inbox = std::move(*Inbox);
+    W->InboxCursor = 0;
+    const json::Value *TS = WV.find("target");
+    if (!TS)
+      return makeError("corpus snapshot: workers[%zu].target missing", I);
+    W->Target = Factory();
+    if (Error E = W->Target->loadState(*TS))
+      return E;
+    NewWorkers.push_back(std::move(W));
+  }
+
+  // The merged union maps must share the shards' geometry (mergeMax
+  // only ever grows a map to the largest shard's size).
+  if (!NewWorkers.empty() &&
+      (Normal->size() != NewWorkers.front()->Shard.normalMap().size() ||
+       Spec->size() != NewWorkers.front()->Shard.specMap().size()))
+    return makeError("corpus snapshot: merged coverage geometry differs "
+                     "from the worker shards'");
+
+  Workers = std::move(NewWorkers);
+  MergedCorpus = std::move(*Corpus);
+  MergedNormal = std::move(*Normal);
+  MergedSpec = std::move(*Spec);
+  Gadgets.restore(Reports);
+  CurEpoch = Epoch;
+  Resumed = true;
+  return Error::success();
 }

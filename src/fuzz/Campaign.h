@@ -24,6 +24,7 @@
 #include "fuzz/Fuzzer.h"
 #include "fuzz/GadgetSink.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -43,6 +44,11 @@ struct CampaignOptions {
   size_t MaxInputLen = 4096;
   /// Mutations applied per picked parent (havoc stacking).
   unsigned MaxStackedMutations = 8;
+  /// Stop after this many campaign epochs even if budget remains (0 =
+  /// run to budget exhaustion). The count is absolute — it includes
+  /// epochs executed before a snapshot was taken — so "run to epoch k,
+  /// save" composes with "resume, run to epoch m".
+  uint64_t MaxEpochs = 0;
 };
 
 struct WorkerStats {
@@ -56,6 +62,8 @@ struct WorkerStats {
   size_t SpecEdges = 0;
   /// Guest instructions this worker's target executed in total.
   uint64_t GuestInsts = 0;
+
+  bool operator==(const WorkerStats &O) const = default;
 };
 
 struct CampaignStats {
@@ -71,6 +79,8 @@ struct CampaignStats {
   /// campaign's insts/sec throughput figure.
   uint64_t GuestInsts = 0;
   std::vector<WorkerStats> PerWorker;
+
+  bool operator==(const CampaignStats &O) const = default;
 };
 
 /// Epoch-granular progress snapshot handed to Campaign::OnEpoch.
@@ -91,10 +101,41 @@ public:
   /// Adds an initial seed input (given to every worker).
   void addSeed(std::vector<uint8_t> Seed);
 
-  /// Runs the whole campaign. Each call starts afresh: new targets from
-  /// the factory, empty corpus/coverage/gadget state, same seeds — so a
-  /// repeated run() reproduces the first one exactly.
+  /// Runs the campaign. Each call normally starts afresh: new targets
+  /// from the factory, empty corpus/coverage/gadget state, same seeds —
+  /// so a repeated run() reproduces the first one exactly. loadState()
+  /// arms exactly the *next* run() to instead *continue* the restored
+  /// campaign (same workers, corpus, coverage, gadgets) until the
+  /// budget/epoch limits are reached; calls after that start afresh
+  /// again. The hard guarantee: a campaign saved at any epoch barrier
+  /// and resumed produces corpora, coverage, gadget sets, and
+  /// per-worker stats byte-identical to the uninterrupted run.
   CampaignStats run();
+
+  /// Asks run() to return at the next epoch barrier (callable from
+  /// OnEpoch or from another thread). State stays live, so saveState()
+  /// can snapshot the interrupted campaign.
+  void requestStop() { StopRequested.store(true, std::memory_order_relaxed); }
+
+  // --- Persistence (teapot.corpus.v1) --------------------------------------
+  /// Schema tag stamped into snapshots.
+  static constexpr const char *SnapshotSchemaName = "teapot.corpus.v1";
+
+  /// Serializes the complete campaign state — options, epoch counter,
+  /// merged corpus, union coverage, campaign-unique gadgets, and per
+  /// worker: RNG stream position, executed/budget counters, shard
+  /// (entries + high-water maps), pending inbox, per-target persistent
+  /// state. Valid once run() has returned (finished or stopped); every
+  /// saved quantity is epoch-barrier-consistent.
+  json::Value saveState() const;
+
+  /// Restores a saveState() snapshot into this campaign: workers are
+  /// rebuilt through the target factory and their cross-run target
+  /// state reloaded. The snapshot's options must match this campaign's
+  /// (seed, workers, sync interval, input-length and mutation knobs);
+  /// TotalIterations may be raised to extend a finished campaign.
+  /// After a successful load the next run() continues the campaign.
+  Error loadState(const json::Value &V);
 
   /// The merged campaign corpus: seeds first, then every published
   /// (coverage-novel) input in deterministic (epoch, worker, sequence)
@@ -131,6 +172,12 @@ private:
   std::vector<uint8_t> MergedNormal; // bucketized union maps
   std::vector<uint8_t> MergedSpec;
   GadgetSink Gadgets;
+  /// Epoch barrier the campaign currently rests at (run() resumes the
+  /// epoch numbering from here after loadState()).
+  uint64_t CurEpoch = 0;
+  /// Set by loadState(): the next run() continues instead of resetting.
+  bool Resumed = false;
+  std::atomic<bool> StopRequested{false};
 };
 
 } // namespace fuzz

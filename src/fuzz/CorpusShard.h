@@ -84,6 +84,18 @@ public:
   const std::vector<uint8_t> &normalMap() const { return GlobalNormal; }
   const std::vector<uint8_t> &specMap() const { return GlobalSpec; }
 
+  /// Restores the high-water maps and edge counters from a snapshot
+  /// (the campaign resume path; entries are restored through add(),
+  /// which rebuilds the hash index as a side effect).
+  void restoreCoverage(std::vector<uint8_t> NormalMap,
+                       std::vector<uint8_t> SpecMap, size_t NormalEdgeCount,
+                       size_t SpecEdgeCount) {
+    GlobalNormal = std::move(NormalMap);
+    GlobalSpec = std::move(SpecMap);
+    NormalEdges = NormalEdgeCount;
+    SpecEdges = SpecEdgeCount;
+  }
+
   /// Guards seen covered at least once (0 -> nonzero transitions).
   size_t NormalEdges = 0;
   size_t SpecEdges = 0;

@@ -21,6 +21,7 @@
 
 #include "fuzz/CorpusShard.h"
 #include "runtime/Report.h"
+#include "support/Json.h"
 #include "support/RNG.h"
 
 #include <cstdint>
@@ -65,6 +66,24 @@ public:
   /// throughput reporting (the per-run VM counter resets per execution;
   /// targets accumulate it). Targets without a VM may report 0.
   virtual uint64_t executedInsts() const { return 0; }
+
+  /// Serializes whatever state the target carries *across* executions
+  /// that influences later executions or reporting — for the
+  /// instrumented target: the runtime's nesting-heuristic counters,
+  /// accumulated coverage maps, and report sink. The campaign snapshot
+  /// (teapot.corpus.v1) embeds this per worker so a resumed campaign's
+  /// freshly built targets behave byte-identically to the originals.
+  /// Targets with no such state return null (the default).
+  virtual json::Value saveState() const { return json::Value(); }
+
+  /// Restores a saveState() value into a freshly built target. The
+  /// default accepts only null (a stateless target's save).
+  virtual Error loadState(const json::Value &V) {
+    if (!V.isNull())
+      return makeError("fuzz target: this target kind is stateless but "
+                       "the snapshot carries target state");
+    return Error::success();
+  }
 };
 
 /// Builds one isolated target per call. A Campaign calls it once per

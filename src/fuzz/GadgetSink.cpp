@@ -49,6 +49,13 @@ void GadgetSink::clear() {
   Seen.clear();
 }
 
+void GadgetSink::restore(const std::vector<runtime::GadgetReport> &Reports) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Seen.clear();
+  for (const runtime::GadgetReport &R : Reports)
+    Seen.emplace(Key(R.Site, R.Chan, R.Ctrl), R);
+}
+
 size_t GadgetSink::count(runtime::Controllability Ctrl,
                          runtime::Channel Chan) const {
   std::lock_guard<std::mutex> Lock(Mu);

@@ -56,6 +56,12 @@ public:
   /// Forgets every report; the OnNewGadget hook stays installed.
   void clear();
 
+  /// Replaces the campaign-unique set with a unique() snapshot (the
+  /// campaign resume path). OnNewGadget does not fire — these gadgets
+  /// were discovered before the snapshot was taken. Main thread only
+  /// (no workers running).
+  void restore(const std::vector<runtime::GadgetReport> &Reports);
+
   /// Invoked (outside the lock, on the reporting/merging thread) for
   /// every campaign-new gadget — the campaign driver's progress feed.
   std::function<void(const runtime::GadgetReport &)> OnNewGadget;

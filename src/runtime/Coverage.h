@@ -55,6 +55,20 @@ public:
     LazyBuf.resize(Mark);
   }
 
+  /// Restores accumulated hit maps captured from normalMap()/specMap()
+  /// (the campaign-resume path). Returns false when the geometry does
+  /// not match the init() guard counts — the snapshot belongs to a
+  /// different rewrite of the binary.
+  bool restoreMaps(std::vector<uint8_t> NormalMap,
+                   std::vector<uint8_t> SpecMap) {
+    if (NormalMap.size() != Normal.size() || SpecMap.size() != Spec.size())
+      return false;
+    Normal = std::move(NormalMap);
+    Spec = std::move(SpecMap);
+    LazyBuf.clear();
+    return true;
+  }
+
   /// Number of guards hit at least once.
   size_t normalCovered() const { return covered(Normal); }
   size_t specCovered() const { return covered(Spec); }

@@ -57,3 +57,55 @@ std::string GadgetReport::describe() const {
                       controllabilityName(Ctrl), channelName(Chan),
                       toHex(Site).c_str(), BranchId, Depth);
 }
+
+json::Value runtime::gadgetToJson(const GadgetReport &R) {
+  json::Value G = json::Value::object();
+  G.set("site", R.Site);
+  G.set("channel", channelName(R.Chan));
+  G.set("controllability", controllabilityName(R.Ctrl));
+  G.set("branch", R.BranchId);
+  G.set("depth", static_cast<unsigned>(R.Depth));
+  return G;
+}
+
+Expected<GadgetReport> runtime::gadgetFromJson(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("gadget record is not an object");
+  GadgetReport G;
+  auto GetU64 = [&](const char *Key, uint64_t Max,
+                    uint64_t &Out) -> Error {
+    const json::Value *M = V.find(Key);
+    if (!M)
+      return makeError("gadget record: missing %s", Key);
+    if (!M->isUInt() || M->asUInt() > Max)
+      return makeError("gadget record: %s is not an unsigned integer in "
+                       "range",
+                       Key);
+    Out = M->asUInt();
+    return Error::success();
+  };
+  uint64_t Branch = 0, Depth = 0;
+  if (Error E = GetU64("site", UINT64_MAX, G.Site))
+    return E;
+  if (Error E = GetU64("branch", UINT32_MAX, Branch))
+    return E;
+  if (Error E = GetU64("depth", UINT8_MAX, Depth))
+    return E;
+  G.BranchId = static_cast<uint32_t>(Branch);
+  G.Depth = static_cast<uint8_t>(Depth);
+  const json::Value *Chan = V.find("channel");
+  const json::Value *Ctrl = V.find("controllability");
+  if (!Chan || !Chan->isString())
+    return makeError("gadget record: missing or non-string channel");
+  if (!Ctrl || !Ctrl->isString())
+    return makeError("gadget record: missing or non-string controllability");
+  auto C = channelFromName(Chan->asString());
+  if (!C)
+    return C.takeError();
+  G.Chan = *C;
+  auto CT = controllabilityFromName(Ctrl->asString());
+  if (!CT)
+    return CT.takeError();
+  G.Ctrl = *CT;
+  return G;
+}

@@ -13,6 +13,7 @@
 #define TEAPOT_RUNTIME_REPORT_H
 
 #include "support/Error.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -65,6 +66,13 @@ struct GadgetReport {
 
   bool operator==(const GadgetReport &O) const = default;
 };
+
+/// The canonical JSON form of a gadget record, shared by the
+/// teapot.scan.v1 result, the teapot.corpus.v1 snapshot, and the diff
+/// report: {"site", "channel", "controllability", "branch", "depth"},
+/// in that key order, enums as their printed names.
+json::Value gadgetToJson(const GadgetReport &R);
+Expected<GadgetReport> gadgetFromJson(const json::Value &V);
 
 /// Deduplicating report collector. Uniqueness key: (Site, Chan, Ctrl).
 class ReportSink {
@@ -120,6 +128,20 @@ public:
   void clear() {
     Unique.clear();
     Total = 0;
+  }
+
+  /// Restores a snapshot taken from unique()/totalHits() — the campaign
+  /// resume path. \p Reports must be key-ordered and key-unique (the
+  /// unique() contract); violations are diagnosed errors. OnNewGadget
+  /// does not fire: these gadgets were discovered before the snapshot.
+  Error restore(std::vector<GadgetReport> Reports, uint64_t TotalHits) {
+    for (size_t I = 1; I < Reports.size(); ++I)
+      if (!(keyOf(Reports[I - 1]) < keyOf(Reports[I])))
+        return makeError("report sink restore: records are not in "
+                         "strictly ascending key order");
+    Unique = std::move(Reports);
+    Total = TotalHits;
+    return Error::success();
   }
 
   /// Invoked on every newly discovered unique gadget (the fuzzer's

@@ -3,6 +3,7 @@
 #include "runtime/SpecRuntime.h"
 
 #include "obj/Layout.h"
+#include "support/StringUtils.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +64,168 @@ void SpecRuntime::resetRun() {
   if (Opts.EnableDift && Opts.ExtraTaintLen)
     Tags.setMemTag(Opts.ExtraTaintAddr,
                    static_cast<unsigned>(Opts.ExtraTaintLen), TagUser);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-run state persistence (campaign snapshot/resume)
+//===----------------------------------------------------------------------===//
+
+json::Value SpecRuntime::saveState() const {
+  assert(Checkpoints.empty() && "saveState mid-simulation");
+  json::Value V = json::Value::object();
+  json::Value Enc = json::Value::array();
+  for (uint32_t N : BranchEncounters)
+    Enc.push(N);
+  V.set("branch_encounters", std::move(Enc));
+  json::Value Sim = json::Value::array();
+  for (uint32_t N : BranchSimulations)
+    Sim.push(N);
+  V.set("branch_simulations", std::move(Sim));
+
+  json::Value Cv = json::Value::object();
+  Cv.set("normal", hexEncode(Cov.normalMap()));
+  Cv.set("spec", hexEncode(Cov.specMap()));
+  V.set("coverage", std::move(Cv));
+
+  json::Value Rep = json::Value::object();
+  Rep.set("total_hits", Reports.totalHits());
+  json::Value Uniq = json::Value::array();
+  for (const GadgetReport &R : Reports.unique())
+    Uniq.push(gadgetToJson(R));
+  Rep.set("unique", std::move(Uniq));
+  V.set("reports", std::move(Rep));
+
+  json::Value St = json::Value::object();
+  St.set("simulations", Stats.Simulations);
+  St.set("nested_simulations", Stats.NestedSimulations);
+  json::Value RB = json::Value::object();
+  for (size_t I = 0;
+       I != static_cast<size_t>(isa::RollbackReason::NumReasons); ++I)
+    RB.set(isa::rollbackReasonName(static_cast<isa::RollbackReason>(I)),
+           Stats.Rollbacks[I]);
+  St.set("rollbacks", std::move(RB));
+  St.set("asan_violations", Stats.AsanViolations);
+  St.set("skipped_by_heuristic", Stats.SkippedByHeuristic);
+  St.set("max_depth_seen", Stats.MaxDepthSeen);
+  V.set("stats", std::move(St));
+  return V;
+}
+
+Error SpecRuntime::loadState(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("runtime state: not an object");
+  auto LoadCounters = [&](const char *Key,
+                          std::vector<uint32_t> &Out) -> Error {
+    const json::Value *A = V.find(Key);
+    if (!A || !A->isArray())
+      return makeError("runtime state: missing or non-array %s", Key);
+    if (A->size() != Meta.Trampolines.size())
+      return makeError("runtime state: %s has %zu entries, binary has %zu "
+                       "branch sites",
+                       Key, A->size(), Meta.Trampolines.size());
+    std::vector<uint32_t> New;
+    New.reserve(A->size());
+    for (const json::Value &E : A->items()) {
+      if (!E.isUInt() || E.asUInt() > UINT32_MAX)
+        return makeError("runtime state: %s entry is not a 32-bit unsigned "
+                         "integer",
+                         Key);
+      New.push_back(static_cast<uint32_t>(E.asUInt()));
+    }
+    Out = std::move(New);
+    return Error::success();
+  };
+  std::vector<uint32_t> Enc, Sim;
+  if (Error E = LoadCounters("branch_encounters", Enc))
+    return E;
+  if (Error E = LoadCounters("branch_simulations", Sim))
+    return E;
+
+  const json::Value *Cv = V.find("coverage");
+  if (!Cv || !Cv->isObject())
+    return makeError("runtime state: missing coverage object");
+  const json::Value *CN = Cv->find("normal");
+  const json::Value *CS = Cv->find("spec");
+  if (!CN || !CN->isString() || !CS || !CS->isString())
+    return makeError("runtime state: coverage maps must be hex strings");
+  auto Normal = hexDecode(CN->asString());
+  if (!Normal)
+    return Normal.takeError();
+  auto Spec = hexDecode(CS->asString());
+  if (!Spec)
+    return Spec.takeError();
+
+  const json::Value *Rep = V.find("reports");
+  if (!Rep || !Rep->isObject())
+    return makeError("runtime state: missing reports object");
+  const json::Value *Total = Rep->find("total_hits");
+  const json::Value *Uniq = Rep->find("unique");
+  if (!Total || !Total->isUInt() || !Uniq || !Uniq->isArray())
+    return makeError("runtime state: reports needs total_hits + unique[]");
+  std::vector<GadgetReport> Gadgets;
+  for (const json::Value &GV : Uniq->items()) {
+    auto G = gadgetFromJson(GV);
+    if (!G)
+      return G.takeError();
+    Gadgets.push_back(*G);
+  }
+
+  const json::Value *St = V.find("stats");
+  if (!St || !St->isObject())
+    return makeError("runtime state: missing stats object");
+  RuntimeStats NewStats;
+  auto GetStat = [&](const json::Value &Obj, const char *Key,
+                     uint64_t &Out) -> Error {
+    const json::Value *M = Obj.find(Key);
+    if (!M || !M->isUInt())
+      return makeError("runtime state: stats.%s is not an unsigned integer",
+                       Key);
+    Out = M->asUInt();
+    return Error::success();
+  };
+  if (Error E = GetStat(*St, "simulations", NewStats.Simulations))
+    return E;
+  if (Error E =
+          GetStat(*St, "nested_simulations", NewStats.NestedSimulations))
+    return E;
+  const json::Value *RB = St->find("rollbacks");
+  if (!RB || !RB->isObject())
+    return makeError("runtime state: missing stats.rollbacks");
+  for (size_t I = 0;
+       I != static_cast<size_t>(isa::RollbackReason::NumReasons); ++I)
+    if (Error E = GetStat(
+            *RB, isa::rollbackReasonName(static_cast<isa::RollbackReason>(I)),
+            NewStats.Rollbacks[I]))
+      return E;
+  if (Error E = GetStat(*St, "asan_violations", NewStats.AsanViolations))
+    return E;
+  if (Error E =
+          GetStat(*St, "skipped_by_heuristic", NewStats.SkippedByHeuristic))
+    return E;
+  uint64_t MaxDepth = 0;
+  if (Error E = GetStat(*St, "max_depth_seen", MaxDepth))
+    return E;
+  if (MaxDepth > UINT32_MAX)
+    return makeError("runtime state: stats.max_depth_seen out of range");
+  NewStats.MaxDepthSeen = static_cast<unsigned>(MaxDepth);
+
+  // All pieces parsed; validate the remaining failure cases up front so
+  // the commit below is all-or-nothing (a half-applied snapshot would be
+  // worse than a rejected one).
+  for (size_t I = 1; I < Gadgets.size(); ++I)
+    if (!(ReportSink::keyOf(Gadgets[I - 1]) < ReportSink::keyOf(Gadgets[I])))
+      return makeError("runtime state: reports.unique is not in strictly "
+                       "ascending key order");
+  if (Normal->size() != Cov.normalMap().size() ||
+      Spec->size() != Cov.specMap().size())
+    return makeError("runtime state: coverage geometry mismatch (snapshot "
+                     "from a different rewrite?)");
+  Cov.restoreMaps(std::move(*Normal), std::move(*Spec));
+  cantFail(Reports.restore(std::move(Gadgets), Total->asUInt()));
+  BranchEncounters = std::move(Enc);
+  BranchSimulations = std::move(Sim);
+  Stats = NewStats;
+  return Error::success();
 }
 
 //===----------------------------------------------------------------------===//

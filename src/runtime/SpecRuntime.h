@@ -103,6 +103,16 @@ public:
   /// state does not.
   void resetRun();
 
+  /// Serializes every piece of state that persists *across* runs — the
+  /// per-branch nesting-heuristic counters, the accumulated two-mode
+  /// coverage maps, the report sink, and the runtime statistics. A
+  /// fresh SpecRuntime over the same rewrite result that loadState()s
+  /// this value behaves byte-identically to the original from the next
+  /// execution on: the campaign snapshot format (teapot.corpus.v1)
+  /// embeds it per worker. Call between runs only (never mid-simulation).
+  json::Value saveState() const;
+  Error loadState(const json::Value &V);
+
   bool onIntrinsic(vm::Machine &M, const isa::Instruction &I) override;
 
   bool inSimulation() const { return !Checkpoints.empty(); }

@@ -1,0 +1,44 @@
+//===- support/File.cpp ---------------------------------------------------===//
+
+#include "support/File.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+using namespace teapot;
+
+Expected<std::string> support::readFile(const std::string &Path) {
+  FILE *F = fopen(Path.c_str(), "rb");
+  if (!F)
+    return makeError("cannot open %s: %s", Path.c_str(), strerror(errno));
+  std::string Out;
+  char Buf[64 * 1024];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) != 0)
+    Out.append(Buf, N);
+  if (ferror(F)) {
+    int E = errno;
+    fclose(F);
+    return makeError("error reading %s: %s", Path.c_str(), strerror(E));
+  }
+  fclose(F);
+  return Out;
+}
+
+Error support::writeFile(const std::string &Path, std::string_view Contents) {
+  FILE *F = fopen(Path.c_str(), "wb");
+  if (!F)
+    return makeError("cannot open %s for writing: %s", Path.c_str(),
+                     strerror(errno));
+  if (fwrite(Contents.data(), 1, Contents.size(), F) != Contents.size()) {
+    int E = errno;
+    fclose(F);
+    return makeError("error writing %s: %s", Path.c_str(), strerror(E));
+  }
+  // fclose flushes stdio's buffer; a full device (ENOSPC) commonly
+  // surfaces only here, after every fwrite "succeeded".
+  if (fclose(F) != 0)
+    return makeError("error writing %s: %s", Path.c_str(), strerror(errno));
+  return Error::success();
+}

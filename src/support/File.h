@@ -1,0 +1,35 @@
+//===- support/File.h - Checked file input/output ---------------*- C++ -*-===//
+///
+/// \file
+/// Whole-file read/write with every C stdio failure surfaced as an
+/// Error naming the path. Tools that emit artifacts (scan results,
+/// corpus snapshots, diff reports) must go through writeFile (or check
+/// fwrite/fclose themselves): an unchecked fclose is how a full disk
+/// turns into a silently truncated scan.json and a green CI run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_FILE_H
+#define TEAPOT_SUPPORT_FILE_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+
+namespace teapot {
+namespace support {
+
+/// Reads the whole file at \p Path. Missing/unreadable files are
+/// diagnosed errors carrying the strerror text.
+Expected<std::string> readFile(const std::string &Path);
+
+/// Writes \p Contents to \p Path (truncating). Open, write, and close
+/// failures are all reported — fclose is where buffered writes to a
+/// full device actually fail.
+Error writeFile(const std::string &Path, std::string_view Contents);
+
+} // namespace support
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_FILE_H

@@ -53,6 +53,11 @@ public:
   /// parent sequence more than one step.
   RNG fork() { return RNG(next()); }
 
+  /// The raw stream position. `RNG(state())` reconstructs a generator
+  /// that continues the sequence exactly — the campaign snapshot format
+  /// persists RNG positions through this.
+  uint64_t state() const { return State; }
+
 private:
   uint64_t State;
 };

@@ -36,6 +36,41 @@ std::string teapot::toHex(uint64_t V) {
   return Buf;
 }
 
+std::string teapot::hexEncode(const std::vector<uint8_t> &Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (uint8_t B : Bytes) {
+    Out.push_back(Digits[B >> 4]);
+    Out.push_back(Digits[B & 0xf]);
+  }
+  return Out;
+}
+
+Expected<std::vector<uint8_t>> teapot::hexDecode(std::string_view Hex) {
+  if (Hex.size() % 2 != 0)
+    return makeError("hex string has odd length %zu", Hex.size());
+  auto Nibble = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  };
+  std::vector<uint8_t> Out;
+  Out.reserve(Hex.size() / 2);
+  for (size_t I = 0; I != Hex.size(); I += 2) {
+    int Hi = Nibble(Hex[I]), Lo = Nibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return makeError("invalid hex digit '%c' at offset %zu",
+                       Hi < 0 ? Hex[I] : Hex[I + 1], Hi < 0 ? I : I + 1);
+    Out.push_back(static_cast<uint8_t>(Hi << 4 | Lo));
+  }
+  return Out;
+}
+
 bool teapot::parseInt(std::string_view S, int64_t &Out) {
   S = trim(S);
   if (S.empty())

@@ -27,6 +27,14 @@ std::vector<std::string_view> split(std::string_view S, char Sep);
 /// Formats \p V as 0x-prefixed lowercase hex.
 std::string toHex(uint64_t V);
 
+/// Encodes \p Bytes as an unprefixed lowercase hex string (two digits
+/// per byte) — the byte-vector representation inside JSON snapshots.
+std::string hexEncode(const std::vector<uint8_t> &Bytes);
+
+/// Inverse of hexEncode. Odd length or any non-hex digit is a diagnosed
+/// error (snapshot corruption must never decode to plausible bytes).
+Expected<std::vector<uint8_t>> hexDecode(std::string_view Hex);
+
 /// Parses a decimal, 0x-hex, or negative integer. Returns false on any
 /// malformed input (including trailing garbage).
 bool parseInt(std::string_view S, int64_t &Out);

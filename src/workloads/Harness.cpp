@@ -32,6 +32,29 @@ void InstrumentedTarget::execute(const std::vector<uint8_t> &Input) {
   TotalInsts += M.executedInsts();
 }
 
+json::Value InstrumentedTarget::saveState() const {
+  json::Value V = json::Value::object();
+  V.set("kind", "instrumented");
+  V.set("runtime", RT.saveState());
+  return V;
+}
+
+Error InstrumentedTarget::loadState(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("target state: expected an object for the "
+                     "instrumented target");
+  const json::Value *Kind = V.find("kind");
+  if (!Kind || !Kind->isString() || Kind->asString() != "instrumented")
+    return makeError("target state: snapshot is for target kind '%s', "
+                     "this campaign builds instrumented targets",
+                     Kind && Kind->isString() ? Kind->asString().c_str()
+                                              : "?");
+  const json::Value *R = V.find("runtime");
+  if (!R)
+    return makeError("target state: missing runtime state");
+  return RT.loadState(*R);
+}
+
 NativeTarget::NativeTarget(const obj::ObjectFile &Bin, uint64_t Budget)
     : Budget(Budget) {
   cantFail(M.loadObject(Bin));
@@ -80,6 +103,29 @@ void EmulatorTarget::execute(const std::vector<uint8_t> &Input) {
   M.setInput(Input);
   LastStop = E.run(Budget);
   TotalInsts += M.executedInsts();
+}
+
+json::Value EmulatorTarget::saveState() const {
+  json::Value V = json::Value::object();
+  V.set("kind", "emulator");
+  V.set("emulator", E.saveState());
+  return V;
+}
+
+Error EmulatorTarget::loadState(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("target state: expected an object for the emulator "
+                     "target");
+  const json::Value *Kind = V.find("kind");
+  if (!Kind || !Kind->isString() || Kind->asString() != "emulator")
+    return makeError("target state: snapshot is for target kind '%s', "
+                     "this campaign builds emulator targets",
+                     Kind && Kind->isString() ? Kind->asString().c_str()
+                                              : "?");
+  const json::Value *S = V.find("emulator");
+  if (!S)
+    return makeError("target state: missing emulator state");
+  return E.loadState(*S);
 }
 
 /// Wraps a target-building callable as a TargetFactory, applying the

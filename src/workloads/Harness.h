@@ -55,6 +55,12 @@ public:
   const runtime::ReportSink *reports() const override { return &RT.Reports; }
   uint64_t executedInsts() const override { return TotalInsts; }
 
+  /// Persists the SpecRuntime's cross-run state (heuristic counters,
+  /// accumulated coverage, report sink) so a resumed campaign's fresh
+  /// target continues byte-identically; see FuzzTarget::saveState.
+  json::Value saveState() const override;
+  Error loadState(const json::Value &V) override;
+
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
   vm::Machine M;
@@ -107,6 +113,11 @@ public:
   const std::vector<uint8_t> &specCoverage() const override { return Empty; }
   const runtime::ReportSink *reports() const override { return &E.Reports; }
   uint64_t executedInsts() const override { return TotalInsts; }
+
+  /// Persists the emulator's cross-run state (branch try counters,
+  /// report sink); see FuzzTarget::saveState.
+  json::Value saveState() const override;
+  Error loadState(const json::Value &V) override;
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 

@@ -1,0 +1,571 @@
+//===- tests/persist_test.cpp - Campaign snapshot/resume tests --------------===//
+//
+// The persistence contracts under test (docs/FUZZING.md):
+//
+//   1. Round-trip: dump ∘ parse ∘ dump of a teapot.corpus.v1 snapshot
+//      is byte-identical, and loading a snapshot into a fresh campaign
+//      reproduces the same snapshot byte for byte.
+//   2. Resume determinism: a campaign saved at *any* epoch barrier and
+//      resumed produces corpus, coverage, gadget set, and per-worker
+//      stats byte-identical to the uninterrupted run — at every cutoff,
+//      for 1/2/3 workers, on synthetic and real instrumented targets.
+//   3. Version/corruption rejection: wrong schema, mismatched options,
+//      and damaged payloads are diagnosed errors, never half-applied.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fixtures.h"
+#include "TestUtil.h"
+#include "api/Scanner.h"
+#include "fuzz/Campaign.h"
+#include "workloads/Harness.h"
+#include "workloads/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::fuzz;
+
+namespace {
+
+/// Synthetic detector-bearing target (same shape as campaign_test's):
+/// coverage guards fire per input byte, and inputs starting with 0xab
+/// report a gadget — so snapshots carry non-trivial corpus, coverage,
+/// and gadget state without the cost of a real VM.
+class GadgetyTarget : public FuzzTarget {
+public:
+  GadgetyTarget() : Normal(40, 0), Spec(1, 0) {}
+
+  void execute(const std::vector<uint8_t> &Input) override {
+    std::fill(Normal.begin(), Normal.end(), 0);
+    Normal[0] = 1;
+    if (!Input.empty())
+      Normal[1 + Input[0] % 32] = 1;
+    if (Input.size() >= 2 && Input[0] == 0xab) {
+      runtime::GadgetReport R;
+      R.Site = 0x1000 + Input[1] % 4;
+      R.Chan = runtime::Channel::Cache;
+      R.Ctrl = runtime::Controllability::User;
+      Sink.report(R);
+    }
+  }
+  const std::vector<uint8_t> &normalCoverage() const override {
+    return Normal;
+  }
+  const std::vector<uint8_t> &specCoverage() const override { return Spec; }
+  const runtime::ReportSink *reports() const override { return &Sink; }
+
+  runtime::ReportSink Sink;
+
+private:
+  std::vector<uint8_t> Normal, Spec;
+};
+
+CampaignOptions syntheticOptions(unsigned Workers) {
+  CampaignOptions CO;
+  CO.Seed = 7;
+  CO.TotalIterations = 3000;
+  CO.Workers = Workers;
+  CO.SyncInterval = 256;
+  CO.MaxInputLen = 16;
+  return CO;
+}
+
+std::unique_ptr<Campaign> makeSynthetic(CampaignOptions CO) {
+  auto C = std::make_unique<Campaign>(
+      [] { return std::make_unique<GadgetyTarget>(); }, CO);
+  C->addSeed({0xab, 0});
+  C->addSeed({'s', 'e', 'e', 'd'});
+  return C;
+}
+
+/// Serializes a snapshot through its on-disk text form — the round the
+/// CLI takes — and asserts text stability before handing it back.
+json::Value throughText(const json::Value &Snapshot) {
+  std::string Text = Snapshot.dump(true);
+  auto Parsed = json::parse(Text);
+  EXPECT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->dump(true), Text)
+      << "dump-parse-dump must be byte-identical";
+  return *Parsed;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(Persist, SnapshotRoundTripIsByteIdentical) {
+  auto C = makeSynthetic(syntheticOptions(2));
+  C->run();
+  json::Value Snap = C->saveState();
+  std::string Text = Snap.dump(true);
+  auto Parsed = json::parse(Text);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->dump(true), Text);
+
+  const json::Value *Schema = Snap.find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->asString(), "teapot.corpus.v1");
+}
+
+TEST(Persist, LoadedCampaignReproducesTheSnapshot) {
+  auto C = makeSynthetic(syntheticOptions(3));
+  C->run();
+  json::Value Snap = C->saveState();
+
+  auto D = makeSynthetic(syntheticOptions(3));
+  Error E = D->loadState(throughText(Snap));
+  ASSERT_FALSE(E) << E.message();
+  EXPECT_EQ(D->saveState().dump(true), Snap.dump(true))
+      << "load ∘ save must be the identity";
+  EXPECT_EQ(D->corpus(), C->corpus());
+}
+
+//===----------------------------------------------------------------------===//
+// Resume determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the uninterrupted campaign, then for every epoch cutoff k:
+/// run-to-k, snapshot, serialize through text, load into a fresh
+/// campaign, run to completion — and require byte-identical corpus,
+/// merged snapshot, gadget set, and per-worker stats.
+template <typename MakeCampaign>
+void checkEveryCutoff(MakeCampaign Make) {
+  auto Full = Make(0);
+  CampaignStats FullStats = Full->run();
+  std::string FullSnap = Full->saveState().dump(true);
+  ASSERT_GE(FullStats.Epochs, 2u) << "need multiple epochs to cut at";
+
+  for (uint64_t K = 1; K <= FullStats.Epochs; ++K) {
+    auto Cut = Make(K);
+    CampaignStats CutStats = Cut->run();
+    EXPECT_EQ(CutStats.Epochs, K);
+    if (K < FullStats.Epochs)
+      EXPECT_LT(CutStats.Executions, FullStats.Executions);
+
+    auto Resumed = Make(0);
+    Error E = Resumed->loadState(throughText(Cut->saveState()));
+    ASSERT_FALSE(E) << "cutoff " << K << ": " << E.message();
+    CampaignStats ResumedStats = Resumed->run();
+
+    EXPECT_EQ(ResumedStats, FullStats) << "stats diverged at cutoff " << K;
+    EXPECT_EQ(Resumed->corpus(), Full->corpus())
+        << "corpus diverged at cutoff " << K;
+    EXPECT_EQ(Resumed->gadgets().unique(), Full->gadgets().unique())
+        << "gadgets diverged at cutoff " << K;
+    EXPECT_EQ(Resumed->saveState().dump(true), FullSnap)
+        << "snapshot diverged at cutoff " << K;
+  }
+}
+
+} // namespace
+
+TEST(Persist, ResumeIsByteIdenticalAtEveryCutoffOneWorker) {
+  checkEveryCutoff([](uint64_t MaxEpochs) {
+    CampaignOptions CO = syntheticOptions(1);
+    CO.MaxEpochs = MaxEpochs;
+    return makeSynthetic(CO);
+  });
+}
+
+TEST(Persist, ResumeIsByteIdenticalAtEveryCutoffTwoWorkers) {
+  checkEveryCutoff([](uint64_t MaxEpochs) {
+    CampaignOptions CO = syntheticOptions(2);
+    CO.MaxEpochs = MaxEpochs;
+    return makeSynthetic(CO);
+  });
+}
+
+TEST(Persist, ResumeIsByteIdenticalAtEveryCutoffThreeWorkers) {
+  checkEveryCutoff([](uint64_t MaxEpochs) {
+    CampaignOptions CO = syntheticOptions(3);
+    CO.MaxEpochs = MaxEpochs;
+    return makeSynthetic(CO);
+  });
+}
+
+TEST(Persist, ResumeIsByteIdenticalOnInstrumentedJsmn) {
+  // The real thing: a rewritten workload under the SpecRuntime, whose
+  // cross-run state (nesting-heuristic counters, accumulated coverage,
+  // report sink) must survive the snapshot for the resumed campaign to
+  // stay byte-identical.
+  const workloads::Workload &W = *workloads::findWorkload("jsmn");
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  Bin.strip();
+  auto RW = rewriteOrDie(Bin);
+  runtime::RuntimeOptions RT;
+
+  auto Make = [&](uint64_t MaxEpochs) {
+    CampaignOptions CO;
+    CO.Seed = 21;
+    CO.TotalIterations = 160;
+    CO.Workers = 2;
+    CO.SyncInterval = 20;
+    CO.MaxInputLen = 128;
+    CO.MaxEpochs = MaxEpochs;
+    auto C = std::make_unique<Campaign>(
+        workloads::instrumentedTargetFactory(RW, RT), CO);
+    for (const auto &Seed : W.Seeds())
+      C->addSeed(Seed);
+    return C;
+  };
+  checkEveryCutoff(Make);
+}
+
+TEST(Persist, ResumeIsByteIdenticalOnEmulatorTarget) {
+  // The SpecTaint baseline also carries cross-run state (per-branch try
+  // counters steering later simulations, the report sink); its snapshot
+  // path must keep emulator campaigns resumable too.
+  obj::ObjectFile Bin = compileOrDie(V1Victim);
+  auto Make = [&](uint64_t MaxEpochs) {
+    CampaignOptions CO;
+    CO.Seed = 9;
+    CO.TotalIterations = 60;
+    CO.Workers = 2;
+    CO.SyncInterval = 10;
+    CO.MaxInputLen = 32;
+    CO.MaxEpochs = MaxEpochs;
+    auto C = std::make_unique<Campaign>(
+        workloads::emulatorTargetFactory(Bin, {}), CO);
+    C->addSeed({1});
+    return C;
+  };
+  checkEveryCutoff(Make);
+}
+
+TEST(Persist, ResumeAtTheMaxEpochsBarrierRunsNothing) {
+  // MaxEpochs is absolute: resuming a snapshot already at (or past)
+  // the barrier must not execute another epoch — "run to epoch k,
+  // save" composes with "resume to epoch k".
+  CampaignOptions CO = syntheticOptions(2);
+  CO.MaxEpochs = 2;
+  auto Cut = makeSynthetic(CO);
+  CampaignStats CutStats = Cut->run();
+  ASSERT_EQ(CutStats.Epochs, 2u);
+  json::Value Snap = Cut->saveState();
+
+  auto Resumed = makeSynthetic(CO); // same MaxEpochs = 2
+  ASSERT_FALSE(Resumed->loadState(Snap));
+  CampaignStats S = Resumed->run();
+  EXPECT_EQ(S, CutStats) << "an extra epoch ran past the barrier";
+  EXPECT_EQ(Resumed->saveState().dump(true), Snap.dump(true));
+}
+
+TEST(Persist, RunAfterAResumedRunStartsAfresh) {
+  // loadState() arms exactly one continuing run(); the call after that
+  // must reproduce a fresh campaign (the class's re-runnability
+  // contract), not return stale stats from the finished resumed state.
+  auto Reference = makeSynthetic(syntheticOptions(2));
+  CampaignStats Fresh = Reference->run();
+
+  CampaignOptions CO = syntheticOptions(2);
+  CO.MaxEpochs = 1;
+  auto Cut = makeSynthetic(CO);
+  Cut->run();
+
+  auto C = makeSynthetic(syntheticOptions(2));
+  ASSERT_FALSE(C->loadState(Cut->saveState()));
+  C->run();               // the armed, continuing run
+  CampaignStats S = C->run(); // must start afresh
+  EXPECT_EQ(S, Fresh);
+  EXPECT_EQ(C->corpus(), Reference->corpus());
+}
+
+TEST(Persist, ResumedCampaignCompletesTheBudgetExactly) {
+  CampaignOptions CO = syntheticOptions(2);
+  CO.MaxEpochs = 1;
+  auto Cut = makeSynthetic(CO);
+  CampaignStats CutStats = Cut->run();
+  ASSERT_LT(CutStats.Executions, CO.TotalIterations);
+
+  CO.MaxEpochs = 0;
+  auto Resumed = makeSynthetic(CO);
+  ASSERT_FALSE(Resumed->loadState(Cut->saveState()));
+  CampaignStats S = Resumed->run();
+  EXPECT_EQ(S.Executions, CO.TotalIterations);
+}
+
+TEST(Persist, RaisingTheBudgetExtendsAFinishedCampaign) {
+  CampaignOptions CO = syntheticOptions(2);
+  auto C = makeSynthetic(CO);
+  CampaignStats First = C->run();
+  EXPECT_EQ(First.Executions, CO.TotalIterations);
+  json::Value Snap = C->saveState();
+
+  CO.TotalIterations = 4000;
+  auto Extended = makeSynthetic(CO);
+  ASSERT_FALSE(Extended->loadState(Snap));
+  CampaignStats S = Extended->run();
+  EXPECT_EQ(S.Executions, 4000u);
+  EXPECT_GE(S.Epochs, First.Epochs);
+}
+
+TEST(Persist, ResumingAFinishedCampaignIsTheIdentity) {
+  auto C = makeSynthetic(syntheticOptions(2));
+  CampaignStats Full = C->run();
+  json::Value Snap = C->saveState();
+
+  auto D = makeSynthetic(syntheticOptions(2));
+  ASSERT_FALSE(D->loadState(Snap));
+  CampaignStats S = D->run();
+  EXPECT_EQ(S, Full) << "a finished campaign must not add epochs";
+  EXPECT_EQ(D->saveState().dump(true), Snap.dump(true));
+}
+
+TEST(Persist, RequestStopHaltsAtTheNextBarrier) {
+  CampaignOptions CO = syntheticOptions(2);
+  auto C = makeSynthetic(CO);
+  uint64_t SeenEpochs = 0;
+  C->OnEpoch = [&](const CampaignProgress &P) {
+    SeenEpochs = P.Epoch;
+    C->requestStop();
+  };
+  CampaignStats S = C->run();
+  EXPECT_EQ(SeenEpochs, 1u);
+  EXPECT_EQ(S.Epochs, 1u);
+  EXPECT_LT(S.Executions, CO.TotalIterations);
+}
+
+//===----------------------------------------------------------------------===//
+// Version / corruption rejection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Takes a valid snapshot, lets \p Mutate damage it, and expects
+/// loadState to produce an error mentioning \p ExpectSubstring.
+void expectRejected(const std::function<void(json::Value &)> &Mutate,
+                    const char *ExpectSubstring) {
+  auto C = makeSynthetic(syntheticOptions(2));
+  C->run();
+  json::Value Snap = C->saveState();
+  Mutate(Snap);
+  auto D = makeSynthetic(syntheticOptions(2));
+  Error E = D->loadState(Snap);
+  ASSERT_TRUE(static_cast<bool>(E)) << "expected rejection";
+  EXPECT_NE(E.message().find(ExpectSubstring), std::string::npos)
+      << "got: " << E.message();
+}
+
+} // namespace
+
+TEST(Persist, RejectsUnknownSchemaVersion) {
+  expectRejected([](json::Value &V) { V.set("schema", "teapot.corpus.v2"); },
+                 "unsupported schema");
+  expectRejected([](json::Value &V) { V.set("schema", json::Value()); },
+                 "schema");
+}
+
+TEST(Persist, RejectsOptionMismatches) {
+  // Every option that feeds the RNG stream or the sync protocol must
+  // match the resuming campaign; the snapshot names the culprit.
+  auto SetOpt = [](json::Value &V, const char *Key, uint64_t New) {
+    json::Value O = *V.find("options");
+    O.set(Key, New);
+    V.set("options", std::move(O));
+  };
+  expectRejected([&](json::Value &V) { SetOpt(V, "seed", 99); },
+                 "seed mismatch");
+  expectRejected([&](json::Value &V) { SetOpt(V, "workers", 3); },
+                 "worker-count mismatch");
+  expectRejected([&](json::Value &V) { SetOpt(V, "sync_interval", 64); },
+                 "sync-interval mismatch");
+  expectRejected([&](json::Value &V) { SetOpt(V, "max_input_len", 4096); },
+                 "mutation-knob mismatch");
+}
+
+TEST(Persist, RejectsCorruptPayloads) {
+  // Damaged corpus entry (odd-length hex).
+  expectRejected(
+      [](json::Value &V) {
+        json::Value C = json::Value::array();
+        C.push("abc"); // odd length
+        V.set("corpus", std::move(C));
+      },
+      "corpus");
+  // Worker record count disagrees with the options.
+  expectRejected(
+      [](json::Value &V) {
+        json::Value W = json::Value::array();
+        V.set("workers", std::move(W));
+      },
+      "worker records");
+  // Gadget with an unknown channel spelling.
+  expectRejected(
+      [](json::Value &V) {
+        json::Value G = json::Value::object();
+        G.set("site", 1);
+        G.set("channel", "Microwave");
+        G.set("controllability", "User");
+        G.set("branch", 0);
+        G.set("depth", 0);
+        json::Value A = json::Value::array();
+        A.push(std::move(G));
+        V.set("gadgets", std::move(A));
+      },
+      "unknown channel");
+  // Missing epoch counter.
+  expectRejected([](json::Value &V) { V.set("epoch", json::Value()); },
+                 "epoch");
+  // Truncated (but valid-hex) shard coverage map: the edge counters no
+  // longer match the map's nonzero count.
+  expectRejected(
+      [](json::Value &V) {
+        json::Value WArr = *V.find("workers");
+        json::Value W0 = WArr.items()[0];
+        json::Value Sh = *W0.find("shard");
+        std::string Map = Sh.find("normal")->asString();
+        Sh.set("normal", Map.substr(0, Map.size() / 2));
+        W0.set("shard", std::move(Sh));
+        json::Value NewArr = json::Value::array();
+        NewArr.push(std::move(W0));
+        for (size_t I = 1; I < WArr.size(); ++I)
+          NewArr.push(WArr.items()[I]);
+        V.set("workers", std::move(NewArr));
+      },
+      "edge counters disagree");
+}
+
+TEST(Persist, RejectedLoadLeavesTheCampaignRunnable) {
+  // A rejected snapshot must not half-apply: the campaign still runs
+  // fresh afterwards and reproduces a normal run.
+  auto Reference = makeSynthetic(syntheticOptions(2));
+  CampaignStats Want = Reference->run();
+
+  auto C = makeSynthetic(syntheticOptions(2));
+  json::Value Bad = json::Value::object();
+  Bad.set("schema", "teapot.corpus.v1");
+  EXPECT_TRUE(static_cast<bool>(C->loadState(Bad)));
+  CampaignStats Got = C->run();
+  EXPECT_EQ(Got, Want);
+}
+
+//===----------------------------------------------------------------------===//
+// Scanner-level save/resume
+//===----------------------------------------------------------------------===//
+
+TEST(Persist, ScannerSaveStateRequiresARun) {
+  Scanner S(cantFail(ScanConfig::preset("teapot")));
+  auto Snap = S.saveState();
+  EXPECT_FALSE(static_cast<bool>(Snap));
+  EXPECT_NE(Snap.message().find("run() first"), std::string::npos);
+}
+
+TEST(Persist, ScannerFailedResumeStaysFailedOnRetry) {
+  // A snapshot that fails to load must keep failing on a retried
+  // run(): silently falling back to a fresh campaign would hand the
+  // caller a from-scratch result disguised as the resumed one. And the
+  // previous campaign's state must survive the failure — saveState()
+  // still snapshots the last successful run.
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign.TotalIterations = 60;
+  Cfg.Campaign.MaxInputLen = 64;
+  Scanner S(Cfg);
+  ASSERT_FALSE(S.loadWorkload("jsmn"));
+  ASSERT_FALSE(S.rewrite());
+  ASSERT_TRUE(static_cast<bool>(S.run()));
+  std::string Good = cantFail(S.saveState()).dump(true);
+
+  json::Value Bad = json::Value::object();
+  Bad.set("schema", "teapot.corpus.v1"); // passes resume()'s light check
+  ASSERT_FALSE(S.resume(Bad));
+  auto First = S.run();
+  ASSERT_FALSE(static_cast<bool>(First));
+  auto Second = S.run();
+  ASSERT_FALSE(static_cast<bool>(Second))
+      << "retry after failed resume ran a fresh campaign";
+  EXPECT_EQ(cantFail(S.saveState()).dump(true), Good)
+      << "failed resume clobbered the previous campaign";
+}
+
+TEST(Persist, ScannerResumeMatchesUninterruptedScan) {
+  auto Configure = [](uint64_t MaxEpochs) {
+    ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+    Cfg.Campaign.Seed = 5;
+    Cfg.Campaign.TotalIterations = 150;
+    Cfg.Campaign.Workers = 2;
+    Cfg.Campaign.SyncInterval = 20;
+    Cfg.Campaign.MaxInputLen = 128;
+    Cfg.Campaign.MaxEpochs = MaxEpochs;
+    return Cfg;
+  };
+
+  Scanner Full(Configure(0));
+  ASSERT_FALSE(Full.loadWorkload("jsmn"));
+  ASSERT_FALSE(Full.rewrite());
+  auto FullRes = Full.run();
+  ASSERT_TRUE(static_cast<bool>(FullRes)) << FullRes.message();
+  std::string FullSnap = cantFail(Full.saveState()).dump(true);
+
+  Scanner Cut(Configure(2));
+  ASSERT_FALSE(Cut.loadWorkload("jsmn"));
+  ASSERT_FALSE(Cut.rewrite());
+  auto CutRes = Cut.run();
+  ASSERT_TRUE(static_cast<bool>(CutRes)) << CutRes.message();
+  ASSERT_LT(CutRes->Executions, FullRes->Executions);
+  json::Value Snap = cantFail(Cut.saveState());
+
+  Scanner Resumed(Configure(0));
+  ASSERT_FALSE(Resumed.loadWorkload("jsmn"));
+  ASSERT_FALSE(Resumed.rewrite());
+  ASSERT_FALSE(Resumed.resume(throughText(Snap)));
+  auto ResRes = Resumed.run();
+  ASSERT_TRUE(static_cast<bool>(ResRes)) << ResRes.message();
+
+  EXPECT_EQ(ResRes->Executions, FullRes->Executions);
+  EXPECT_EQ(ResRes->Epochs, FullRes->Epochs);
+  EXPECT_EQ(ResRes->CorpusSize, FullRes->CorpusSize);
+  EXPECT_EQ(ResRes->Gadgets, FullRes->Gadgets);
+  EXPECT_EQ(ResRes->PerWorker, FullRes->PerWorker);
+  EXPECT_EQ(Resumed.corpus(), Full.corpus());
+  EXPECT_EQ(cantFail(Resumed.saveState()).dump(true), FullSnap);
+}
+
+TEST(Persist, ScannerImportCorpusSeedsAFreshCampaign) {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign.TotalIterations = 120;
+  Cfg.Campaign.SyncInterval = 20;
+  Cfg.Campaign.MaxInputLen = 128;
+
+  Scanner First(Cfg);
+  ASSERT_FALSE(First.loadWorkload("jsmn"));
+  ASSERT_FALSE(First.rewrite());
+  ASSERT_TRUE(static_cast<bool>(First.run()));
+  json::Value Snap = cantFail(First.saveState());
+  size_t PriorCorpus = First.corpus().size();
+  ASSERT_GT(PriorCorpus, 0u);
+
+  // A corrupt snapshot must not half-apply its prefix.
+  {
+    Scanner Broken(Cfg);
+    ASSERT_FALSE(Broken.loadWorkload("jsmn"));
+    json::Value Corrupt = Snap; // deep copy
+    json::Value C = *Corrupt.find("corpus");
+    C.push("abc"); // odd-length hex at the end
+    Corrupt.set("corpus", std::move(C));
+    auto R = Broken.importCorpus(Corrupt);
+    ASSERT_FALSE(static_cast<bool>(R));
+    EXPECT_TRUE(Broken.importedSeeds().empty())
+        << "failed import adopted a prefix of the corpus";
+  }
+
+  Scanner Second(Cfg);
+  ASSERT_FALSE(Second.loadWorkload("jsmn"));
+  ASSERT_FALSE(Second.rewrite());
+  size_t BaseSeeds = Second.seeds().size();
+  auto N = Second.importCorpus(Snap);
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  EXPECT_EQ(*N, PriorCorpus);
+  EXPECT_EQ(Second.seeds().size(), BaseSeeds)
+      << "imports must not pollute the regular seed corpus";
+  EXPECT_EQ(Second.importedSeeds().size(), PriorCorpus);
+  auto Res = Second.run();
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  // Every imported entry re-executes as a seed.
+  EXPECT_GE(Res->CorpusSize, BaseSeeds + PriorCorpus);
+}

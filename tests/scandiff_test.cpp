@@ -1,0 +1,222 @@
+//===- tests/scandiff_test.cpp - Cross-scan diff semantics ------------------===//
+//
+// The diff contracts (docs/API.md):
+//
+//   - gadget identity is (site, channel); controllability is the
+//     classification being compared
+//   - new = progress, lost = regression, changed = regression only when
+//     the classification weakened (User > Massage > Unknown)
+//   - --injected-only restricts regression accounting to the baseline's
+//     injected ground-truth sites
+//   - identical scans diff clean (exit 0 in the tool; hasRegressions()
+//     false here)
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/ScanDiff.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+using runtime::Channel;
+using runtime::Controllability;
+using runtime::GadgetReport;
+
+namespace {
+
+GadgetReport gadget(uint64_t Site, Channel Chan, Controllability Ctrl) {
+  GadgetReport G;
+  G.Site = Site;
+  G.Chan = Chan;
+  G.Ctrl = Ctrl;
+  return G;
+}
+
+/// A minimal ScanResult carrying the given key-ordered gadget set.
+ScanResult scanWith(std::vector<GadgetReport> Gadgets) {
+  ScanResult R;
+  R.Workload = "jsmn";
+  R.Preset = "teapot";
+  R.Executions = 400;
+  R.NormalEdges = 40;
+  R.SpecEdges = 120;
+  R.CorpusSize = 60;
+  R.WallSeconds = 2.0;
+  R.GuestInsts = 4000;
+  R.Gadgets = std::move(Gadgets);
+  return R;
+}
+
+} // namespace
+
+TEST(ScanDiff, IdenticalScansDiffClean) {
+  ScanResult A = scanWith({gadget(0x10, Channel::Cache, Controllability::User),
+                           gadget(0x20, Channel::MDS, Controllability::Massage)});
+  ScanDiff D = diffScans(A, A);
+  EXPECT_TRUE(D.NewGadgets.empty());
+  EXPECT_TRUE(D.LostGadgets.empty());
+  EXPECT_TRUE(D.ChangedGadgets.empty());
+  EXPECT_FALSE(D.hasRegressions());
+  EXPECT_EQ(D.NormalEdgeDelta, 0);
+  EXPECT_EQ(D.ExecutionsDelta, 0);
+}
+
+TEST(ScanDiff, NewGadgetIsNotARegression) {
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::User)});
+  ScanResult After = scanWith({gadget(0x10, Channel::Cache,
+                                      Controllability::User),
+                               gadget(0x30, Channel::Port,
+                                      Controllability::Massage)});
+  ScanDiff D = diffScans(Before, After);
+  ASSERT_EQ(D.NewGadgets.size(), 1u);
+  EXPECT_EQ(D.NewGadgets[0].Site, 0x30u);
+  EXPECT_TRUE(D.LostGadgets.empty());
+  EXPECT_FALSE(D.hasRegressions());
+  EXPECT_EQ(D.GadgetCountDelta, 1);
+}
+
+TEST(ScanDiff, LostGadgetIsARegression) {
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::User),
+                                gadget(0x20, Channel::MDS,
+                                       Controllability::User)});
+  ScanResult After = scanWith({gadget(0x10, Channel::Cache,
+                                      Controllability::User)});
+  ScanDiff D = diffScans(Before, After);
+  ASSERT_EQ(D.LostGadgets.size(), 1u);
+  EXPECT_EQ(D.LostGadgets[0].Site, 0x20u);
+  EXPECT_TRUE(D.hasRegressions());
+  ASSERT_EQ(D.RegressedLost.size(), 1u);
+}
+
+TEST(ScanDiff, WeakenedControllabilityIsARegression) {
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::User)});
+  ScanResult After = scanWith({gadget(0x10, Channel::Cache,
+                                      Controllability::Unknown)});
+  ScanDiff D = diffScans(Before, After);
+  EXPECT_TRUE(D.NewGadgets.empty());
+  EXPECT_TRUE(D.LostGadgets.empty());
+  ASSERT_EQ(D.ChangedGadgets.size(), 1u);
+  EXPECT_TRUE(D.ChangedGadgets[0].Weakened);
+  EXPECT_TRUE(D.hasRegressions());
+  ASSERT_EQ(D.RegressedChanged.size(), 1u);
+}
+
+TEST(ScanDiff, StrengthenedControllabilityIsNotARegression) {
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::Unknown)});
+  ScanResult After = scanWith({gadget(0x10, Channel::Cache,
+                                      Controllability::User)});
+  ScanDiff D = diffScans(Before, After);
+  ASSERT_EQ(D.ChangedGadgets.size(), 1u);
+  EXPECT_FALSE(D.ChangedGadgets[0].Weakened);
+  EXPECT_FALSE(D.hasRegressions());
+}
+
+TEST(ScanDiff, SameSiteDifferentChannelIsNewPlusLost) {
+  // The channel is part of the gadget's identity: a Cache leak at a
+  // site is not "the same gadget" as a Port leak there.
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::User)});
+  ScanResult After = scanWith({gadget(0x10, Channel::Port,
+                                      Controllability::User)});
+  ScanDiff D = diffScans(Before, After);
+  EXPECT_EQ(D.NewGadgets.size(), 1u);
+  EXPECT_EQ(D.LostGadgets.size(), 1u);
+  EXPECT_TRUE(D.ChangedGadgets.empty());
+  EXPECT_TRUE(D.hasRegressions());
+}
+
+TEST(ScanDiff, InjectedOnlyIgnoresIncidentalChurn) {
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::User),
+                                gadget(0x999, Channel::MDS,
+                                       Controllability::User)});
+  Before.InjectedSites = {0x10};
+  // Both the injected site's gadget and the incidental one vanish.
+  ScanResult After = scanWith({});
+
+  ScanDiffOptions Opts;
+  Opts.InjectedOnly = true;
+  ScanDiff D = diffScans(Before, After, Opts);
+  EXPECT_EQ(D.LostGadgets.size(), 2u) << "full lists stay complete";
+  ASSERT_EQ(D.RegressedLost.size(), 1u)
+      << "only the injected site gates";
+  EXPECT_EQ(D.RegressedLost[0].Site, 0x10u);
+  EXPECT_TRUE(D.hasRegressions());
+
+  // Losing only the incidental gadget is not a gated regression.
+  ScanResult After2 = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::User)});
+  ScanDiff D2 = diffScans(Before, After2, Opts);
+  EXPECT_EQ(D2.LostGadgets.size(), 1u);
+  EXPECT_FALSE(D2.hasRegressions());
+}
+
+TEST(ScanDiff, UnorderedBaselineStillGatesOnTheStrongestRecord) {
+  // A baseline from external tooling may not be key-ordered; the
+  // strongest (minimum-enum) controllability per identity must win
+  // regardless of record order, or a weakened gadget slips the gate.
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::Unknown),
+                                gadget(0x10, Channel::Cache,
+                                       Controllability::User)});
+  ScanResult After = scanWith({gadget(0x10, Channel::Cache,
+                                      Controllability::Unknown)});
+  ScanDiff D = diffScans(Before, After);
+  ASSERT_EQ(D.ChangedGadgets.size(), 1u);
+  EXPECT_EQ(D.ChangedGadgets[0].Before.Ctrl, Controllability::User);
+  EXPECT_TRUE(D.ChangedGadgets[0].Weakened);
+  EXPECT_TRUE(D.hasRegressions());
+}
+
+TEST(ScanDiff, CoverageAndThroughputDeltas) {
+  ScanResult Before = scanWith({});
+  ScanResult After = scanWith({});
+  After.NormalEdges = 50;  // +10
+  After.SpecEdges = 100;   // -20
+  After.CorpusSize = 90;   // +30
+  After.Executions = 800;  // +400
+  After.WallSeconds = 1.0; // throughput 200 -> 800
+  ScanDiff D = diffScans(Before, After);
+  EXPECT_EQ(D.NormalEdgeDelta, 10);
+  EXPECT_EQ(D.SpecEdgeDelta, -20);
+  EXPECT_EQ(D.CorpusSizeDelta, 30);
+  EXPECT_EQ(D.ExecutionsDelta, 400);
+  EXPECT_DOUBLE_EQ(D.ExecsPerSecBefore, 200.0);
+  EXPECT_DOUBLE_EQ(D.ExecsPerSecAfter, 800.0);
+}
+
+TEST(ScanDiff, JsonReportShape) {
+  ScanResult Before = scanWith({gadget(0x10, Channel::Cache,
+                                       Controllability::User),
+                                gadget(0x20, Channel::MDS,
+                                       Controllability::User)});
+  Before.InjectedSites = {0x20};
+  ScanResult After = scanWith({gadget(0x30, Channel::Port,
+                                      Controllability::Massage)});
+  ScanDiffOptions Opts;
+  Opts.InjectedOnly = true;
+  ScanDiff D = diffScans(Before, After, Opts);
+
+  json::Value V = D.toJson();
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("schema")->asString(), "teapot.diff.v1");
+  EXPECT_EQ(V.find("workload")->asString(), "jsmn");
+  EXPECT_EQ(V.find("new")->size(), 1u);
+  EXPECT_EQ(V.find("lost")->size(), 2u);
+  const json::Value *Reg = V.find("regressions");
+  ASSERT_NE(Reg, nullptr);
+  EXPECT_TRUE(Reg->find("injected_only")->asBool());
+  EXPECT_EQ(Reg->find("lost")->size(), 1u);
+  EXPECT_EQ(Reg->find("count")->asUInt(), 1u);
+  // Stable serialization: dump twice, byte-identical.
+  EXPECT_EQ(V.dump(true), D.toJson().dump(true));
+
+  // The human report names the verdict.
+  EXPECT_NE(D.describe().find("FAIL"), std::string::npos);
+  ScanDiff Clean = diffScans(Before, Before, Opts);
+  EXPECT_NE(Clean.describe().find("OK"), std::string::npos);
+}

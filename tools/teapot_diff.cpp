@@ -1,0 +1,105 @@
+//===- tools/teapot_diff.cpp - Compare two scan results ---------------------===//
+//
+// The regression gate: compare a current ScanResult JSON against a
+// baseline and report new/lost/changed gadgets, coverage deltas, and
+// throughput deltas.
+//
+//   $ teapot_diff [options] BASELINE.json CURRENT.json
+//   $ teapot_diff --injected-only tests/golden/jsmn-injected.scan.json \
+//                 scan.json
+//
+// Exit codes (the CI contract):
+//   0  no gadget regressions
+//   1  usage / IO / parse errors
+//   2  regressions (lost or weakened gadgets; with --injected-only,
+//      only at the baseline's injected ground-truth sites)
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/ScanDiff.h"
+#include "support/File.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace teapot;
+
+static void usage(FILE *To) {
+  fprintf(To,
+          "usage: teapot_diff [options] BASELINE.json CURRENT.json\n"
+          "  --injected-only   gate only on the baseline's injected\n"
+          "                    ground-truth sites (the CI mode)\n"
+          "  --json FILE       write the structured diff report "
+          "(teapot.diff.v1)\n"
+          "  --help            this text\n"
+          "exit codes: 0 = no gadget regressions, 1 = errors, "
+          "2 = regressions\n");
+}
+
+int main(int argc, char **argv) {
+  support::ExitOnError Exit("teapot_diff: ");
+
+  ScanDiffOptions Opts;
+  const char *JsonPath = nullptr;
+  const char *Paths[2] = {nullptr, nullptr};
+  int NumPaths = 0;
+  for (int I = 1; I < argc; ++I) {
+    if (!strcmp(argv[I], "--injected-only")) {
+      Opts.InjectedOnly = true;
+    } else if (!strcmp(argv[I], "--json")) {
+      if (I + 1 >= argc) {
+        fprintf(stderr, "teapot_diff: --json requires an operand\n");
+        return 1;
+      }
+      JsonPath = argv[++I];
+    } else if (!strcmp(argv[I], "--help")) {
+      usage(stdout);
+      return 0;
+    } else if (argv[I][0] == '-') {
+      fprintf(stderr, "teapot_diff: unknown argument '%s'\n", argv[I]);
+      usage(stderr);
+      return 1;
+    } else if (NumPaths == 2) {
+      fprintf(stderr, "teapot_diff: too many operands\n");
+      usage(stderr);
+      return 1;
+    } else {
+      Paths[NumPaths++] = argv[I];
+    }
+  }
+  if (NumPaths != 2) {
+    usage(stderr);
+    return 1;
+  }
+
+  auto Load = [&](const char *Path) {
+    std::string Text = Exit(support::readFile(Path));
+    auto R = ScanResult::fromJsonString(Text);
+    if (!R) {
+      fprintf(stderr, "teapot_diff: %s: %s\n", Path, R.message().c_str());
+      exit(1);
+    }
+    return std::move(*R);
+  };
+  ScanResult Before = Load(Paths[0]);
+  ScanResult After = Load(Paths[1]);
+
+  if (Opts.InjectedOnly && Before.InjectedSites.empty()) {
+    // An empty gate set would make every diff pass; a misconfigured
+    // baseline (e.g. regenerated without --inject) must be loud, not a
+    // permanently green CI gate.
+    fprintf(stderr,
+            "teapot_diff: --injected-only, but the baseline carries no "
+            "injection ground truth (injection.sites is empty) — the "
+            "regression gate would be vacuous\n");
+    return 1;
+  }
+
+  ScanDiff D = diffScans(Before, After, Opts);
+  fputs(D.describe().c_str(), stdout);
+
+  if (JsonPath)
+    Exit(support::writeFile(JsonPath, D.toJson().dump(true) + "\n"));
+
+  return D.hasRegressions() ? 2 : 0;
+}
