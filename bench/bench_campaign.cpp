@@ -1,25 +1,36 @@
 //===- bench/bench_campaign.cpp - Campaign scaling curve --------------------===//
 //
 // Throughput (execs/sec and guest insts/sec) of the parallel fuzzing
-// campaign over 1/2/4/8 workers, same total execution budget, driven
-// through the teapot::Scanner facade (load + rewrite once, one run()
-// per worker count). Workers are embarrassingly parallel between epoch
-// barriers, so on enough cores the curve is near-linear up to the core
-// count; the speedup column is measured against the 1-worker row (which
-// is byte-identical to the classic single-threaded fuzzer).
+// campaign, driven through the teapot::Scanner facade (load + rewrite
+// once, one run() per row):
 //
-//   $ ./bench_campaign [workload] [total-execs] [--json FILE]
+//   1. an engine comparison at one worker — the same campaign executed
+//      on each vm::Machine tier (interp, block, jit), speedup measured
+//      against the block engine (the pre-JIT default), and
+//   2. the worker scaling curve over 1/2/4/8 workers on one engine.
+//      Workers are embarrassingly parallel between epoch barriers, so on
+//      enough cores the curve is near-linear up to the core count; the
+//      speedup column is measured against the 1-worker row.
+//
+// All tiers are bit-exact, so every row of the engine sweep reports the
+// same corpus/edges/gadgets — only the wall clock moves.
+//
+//   $ ./bench_campaign [workload] [total-execs] [--engine NAME] [--json FILE]
 //   $ ./bench_campaign libhtp 4000
-//   $ ./bench_campaign jsmn 2000 --json BENCH_campaign.json
+//   $ ./bench_campaign jsmn 2000 --engine jit --json BENCH_campaign.json
 //
-// --json emits one machine-readable summary object per worker count,
-// feeding the BENCH_vm.json perf-trajectory artifact in CI.
+// --engine restricts both sweeps to one tier; by default the engine
+// comparison covers all three and the worker sweep runs on jit.
+// --json emits one machine-readable object with per-engine rows
+// ("engines") and per-worker-count rows ("rows"), feeding the
+// BENCH_vm.json perf-trajectory artifact in CI.
 //
 //===----------------------------------------------------------------------===//
 
 #include "api/Scanner.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "vm/Machine.h"
 
 #include "BenchUtil.h"
 
@@ -35,6 +46,8 @@ int main(int argc, char **argv) {
   const char *Name = "libhtp";
   uint64_t Total = 4000;
   const char *JsonPath = nullptr;
+  bool EngineGiven = false;
+  vm::Machine::Engine Engine = vm::Machine::Engine::Jit;
   int Pos = 0;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -44,6 +57,18 @@ int main(int argc, char **argv) {
         return 1;
       }
       JsonPath = argv[++I];
+    } else if (Arg == "--engine") {
+      if (I + 1 >= argc) {
+        fprintf(stderr, "--engine requires an operand\n");
+        return 1;
+      }
+      if (!vm::parseEngineName(argv[++I], Engine)) {
+        fprintf(stderr,
+                "--engine expects interp, block, or jit (got '%s')\n",
+                argv[I]);
+        return 1;
+      }
+      EngineGiven = true;
     } else if (Arg.rfind("--", 0) == 0) {
       fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return 1;
@@ -61,6 +86,7 @@ int main(int argc, char **argv) {
   Cfg.Campaign.TotalIterations = Total;
   Cfg.Campaign.SyncInterval = 256;
   Cfg.Campaign.MaxInputLen = 512;
+  Cfg.Engine = Engine;
 
   Scanner S(Cfg);
   Exit(S.loadWorkload(Name));
@@ -78,21 +104,66 @@ int main(int argc, char **argv) {
     }
   }
 
+  json::Value Doc = json::Value::object();
+  Doc.set("workload", Name);
+  Doc.set("total_execs", Total);
+  Doc.set("hardware_threads", std::thread::hardware_concurrency());
+  Doc.set("engine", vm::engineName(vm::resolveEngine(Engine)));
+
+  // --- 1. Engine comparison (1 worker) -------------------------------------
+  printHeader("Campaign throughput: execution engines (1 worker)");
+  printf("workload %s, %llu total execs per row\n\n", Name,
+         static_cast<unsigned long long>(Total));
+  printf("%8s %10s %9s %10s %10s %9s %8s %7s %8s\n", "engine", "execs",
+         "wall(s)", "execs/s", "Minsts/s", "vs block", "corpus", "edges",
+         "gadgets");
+
+  const vm::Machine::Engine AllEngines[] = {vm::Machine::Engine::Interpreter,
+                                            vm::Machine::Engine::Block,
+                                            vm::Machine::Engine::Jit};
+  json::Value EngineRows = json::Value::array();
+  double BlockRate = 0;
+  S.config().Campaign.Workers = 1;
+  for (vm::Machine::Engine E : AllEngines) {
+    if (EngineGiven && E != Engine)
+      continue;
+    S.config().Engine = E;
+    ScanResult R = Exit(S.run());
+    double Rate = R.execsPerSec();
+    if (R.Engine == "block" && BlockRate == 0)
+      BlockRate = Rate;
+    printf("%8s %10llu %9.3f %10.0f %10.1f %8.2fx %8llu %7llu %8zu\n",
+           R.Engine.c_str(), static_cast<unsigned long long>(R.Executions),
+           R.WallSeconds, Rate, R.instsPerSec() / 1e6,
+           BlockRate > 0 ? Rate / BlockRate : 0.0,
+           static_cast<unsigned long long>(R.CorpusSize),
+           static_cast<unsigned long long>(R.NormalEdges + R.SpecEdges),
+           R.Gadgets.size());
+    json::Value Row = json::Value::object();
+    Row.set("engine", R.Engine); // the resolved tier the row measured
+    Row.set("requested", vm::engineName(E));
+    Row.set("execs", R.Executions);
+    Row.set("wall_s", R.WallSeconds);
+    Row.set("execs_per_sec", Rate);
+    Row.set("guest_insts", R.GuestInsts);
+    Row.set("insts_per_sec", R.instsPerSec());
+    EngineRows.push(std::move(Row));
+  }
+  Doc.set("engines", std::move(EngineRows));
+
+  // --- 2. Worker scaling (selected engine) ---------------------------------
+  S.config().Engine = Engine;
   printHeader("Campaign scaling: execs/sec vs workers");
-  printf("workload %s, %llu total execs, sync every 256 execs/worker, "
-         "%u hardware thread(s)\n\n",
-         Name, static_cast<unsigned long long>(Total),
+  printf("workload %s, engine %s, %llu total execs, sync every 256 "
+         "execs/worker, %u hardware thread(s)\n\n",
+         Name, vm::engineName(vm::resolveEngine(Engine)),
+         static_cast<unsigned long long>(Total),
          std::thread::hardware_concurrency());
   printf("%8s %10s %9s %10s %10s %8s %8s %7s %8s\n", "workers", "execs",
          "wall(s)", "execs/s", "Minsts/s", "speedup", "corpus", "edges",
          "gadgets");
 
-  json::Value Doc = json::Value::object();
-  Doc.set("workload", Name);
-  Doc.set("total_execs", Total);
-  Doc.set("hardware_threads", std::thread::hardware_concurrency());
   json::Value Rows = json::Value::array();
-
   double BaseRate = 0;
   for (unsigned Workers : {1u, 2u, 4u, 8u}) {
     S.config().Campaign.Workers = Workers;
@@ -109,6 +180,7 @@ int main(int argc, char **argv) {
            R.Gadgets.size());
     json::Value Row = json::Value::object();
     Row.set("workers", Workers);
+    Row.set("engine", R.Engine);
     Row.set("execs", R.Executions);
     Row.set("wall_s", R.WallSeconds);
     Row.set("execs_per_sec", Rate);
@@ -126,8 +198,10 @@ int main(int argc, char **argv) {
     fwrite(Text.data(), 1, Text.size(), Json);
     fclose(Json);
   }
-  printf("\nShapes to expect: speedup tracks min(workers, cores); corpus\n"
-         "and gadget counts stay in the same ballpark at every worker\n"
+  printf("\nShapes to expect: the engine rows find identical corpora and\n"
+         "gadget sets (bit-exact tiers) in interp < block < jit speed\n"
+         "order; worker-scaling speedup tracks min(workers, cores), with\n"
+         "corpus and gadget counts in the same ballpark at every worker\n"
          "count (sharded exploration, not lost exploration).\n");
   return 0;
 }

@@ -28,8 +28,11 @@ static void BM_EncodeDecode(benchmark::State &State) {
 }
 BENCHMARK(BM_EncodeDecode);
 
-static void BM_VmDispatch(benchmark::State &State) {
-  // A tight arithmetic loop: measures raw interpreter throughput.
+namespace {
+
+/// The shared dispatch workload: a tight arithmetic loop, so the numbers
+/// measure raw engine throughput rather than memory or hook costs.
+void benchDispatch(benchmark::State &State, vm::Machine::Engine Eng) {
   auto Bin = assembler::assemble(R"(
 .text
 main:
@@ -43,6 +46,7 @@ loop:
     halt
 )");
   vm::Machine M;
+  M.Eng = Eng;
   cantFail(M.loadObject(*Bin));
   M.captureBaseline();
   for (auto _ : State) {
@@ -51,7 +55,22 @@ loop:
   }
   State.SetItemsProcessed(State.iterations() * 400000);
 }
+
+} // namespace
+
+static void BM_VmDispatch(benchmark::State &State) {
+  // Pinned to the block engine: the pre-JIT compiled tier, and the
+  // baseline BM_JitDispatch is compared against.
+  benchDispatch(State, vm::Machine::Engine::Block);
+}
 BENCHMARK(BM_VmDispatch);
+
+static void BM_JitDispatch(benchmark::State &State) {
+  // The per-block x86-64 JIT tier (resolves to block on non-x86-64
+  // hosts, where both benchmarks then report the same engine).
+  benchDispatch(State, vm::Machine::Engine::Jit);
+}
+BENCHMARK(BM_JitDispatch);
 
 static void BM_MemoryReset(benchmark::State &State) {
   vm::Memory Mem;

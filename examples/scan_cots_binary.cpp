@@ -49,6 +49,10 @@ static void usage(FILE *To) {
           "  --workers N       campaign worker threads (default 1)\n"
           "  --preset NAME     teapot | teapot-nodift | specfuzz-baseline |"
           " native\n"
+          "  --engine NAME     execution tier: interp | block | jit "
+          "(default jit;\n"
+          "                    jit falls back to block on non-x86-64 "
+          "hosts)\n"
           "  --inject          splice the Table 3 artificial gadgets in "
           "before scanning\n"
           "  --json FILE       write the structured ScanResult as JSON\n"
@@ -76,6 +80,7 @@ int main(int argc, char **argv) {
 
   std::string Workload = "libhtp";
   std::string Preset = "teapot";
+  vm::Machine::Engine Engine = vm::Machine::Engine::Jit;
   uint64_t Iters = 800;
   unsigned Workers = 1;
   uint64_t MaxEpochs = 0;
@@ -104,6 +109,15 @@ int main(int argc, char **argv) {
           NextOperand(I), "--workers", ScanConfig::MaxWorkers)));
     } else if (!strcmp(argv[I], "--preset")) {
       Preset = NextOperand(I);
+    } else if (!strcmp(argv[I], "--engine")) {
+      const char *Name = NextOperand(I);
+      if (!vm::parseEngineName(Name, Engine)) {
+        fprintf(stderr,
+                "scan_cots_binary: --engine expects interp, block, or "
+                "jit (got '%s')\n",
+                Name);
+        return 1;
+      }
     } else if (!strcmp(argv[I], "--inject")) {
       Inject = true;
     } else if (!strcmp(argv[I], "--json")) {
@@ -142,6 +156,7 @@ int main(int argc, char **argv) {
   Cfg.Campaign.MaxInputLen = 512;
   Cfg.Campaign.MaxEpochs = MaxEpochs;
   Cfg.InjectGadgets = Inject;
+  Cfg.Engine = Engine;
 
   Scanner S(Cfg);
   Exit(S.loadWorkload(Workload));
@@ -227,6 +242,7 @@ int main(int argc, char **argv) {
   ScanResult R = Exit(S.run());
 
   printf("\n[*] campaign summary\n");
+  printf("    engine:            %s\n", R.Engine.c_str());
   printf("    executions:        %llu (%.0f/sec)\n",
          static_cast<unsigned long long>(R.Executions), R.execsPerSec());
   printf("    epochs:            %llu\n",

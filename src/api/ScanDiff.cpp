@@ -41,6 +41,8 @@ ScanDiff teapot::diffScans(const ScanResult &Before, const ScanResult &After,
   ScanDiff D;
   D.Workload = After.Workload;
   D.Preset = After.Preset;
+  D.EngineBefore = Before.Engine;
+  D.EngineAfter = After.Engine;
   D.GadgetsBefore = Before.Gadgets.size();
   D.GadgetsAfter = After.Gadgets.size();
   D.InjectedOnly = Opts.InjectedOnly;
@@ -98,6 +100,8 @@ json::Value ScanDiff::toJson() const {
   V.set("schema", SchemaName);
   V.set("workload", Workload);
   V.set("preset", Preset);
+  V.set("engine_before", EngineBefore);
+  V.set("engine_after", EngineAfter);
   V.set("gadgets_before", GadgetsBefore);
   V.set("gadgets_after", GadgetsAfter);
 
@@ -152,6 +156,9 @@ std::string ScanDiff::describe() const {
       "scan diff: %s (%s), %llu -> %llu gadgets\n", Workload.c_str(),
       Preset.c_str(), static_cast<unsigned long long>(GadgetsBefore),
       static_cast<unsigned long long>(GadgetsAfter));
+  if (!EngineBefore.empty() || !EngineAfter.empty())
+    Out += formatString("  engine: %s -> %s\n", EngineBefore.c_str(),
+                        EngineAfter.c_str());
   Out += formatString("  new: %zu, lost: %zu, changed: %zu\n",
                       NewGadgets.size(), LostGadgets.size(),
                       ChangedGadgets.size());

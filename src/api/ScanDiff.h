@@ -60,6 +60,11 @@ struct ScanDiff {
   // --- Provenance ----------------------------------------------------------
   std::string Workload; // from the current scan
   std::string Preset;
+  /// Execution tiers the two scans ran on. Context for the throughput
+  /// deltas: all tiers are bit-exact, so cross-engine diffs may differ
+  /// wildly in execs/sec but never legitimately in gadgets.
+  std::string EngineBefore;
+  std::string EngineAfter;
   uint64_t GadgetsBefore = 0;
   uint64_t GadgetsAfter = 0;
   /// The option the diff ran under (recorded in the report).

@@ -14,6 +14,7 @@ json::Value ScanResult::toJson() const {
   V.set("schema", SchemaName);
   V.set("workload", Workload);
   V.set("preset", Preset);
+  V.set("engine", Engine);
   V.set("seed", Seed);
   V.set("workers", Workers);
   V.set("iterations", Iterations);
@@ -180,6 +181,11 @@ Expected<ScanResult> ScanResult::fromJson(const json::Value &V) {
     return E;
   if (Error E = Top.getString("preset", R.Preset))
     return E;
+  // "engine" postdates the first v1 artifacts; documents without it
+  // were produced when the block engine was the only compiled tier.
+  if (V.find("engine"))
+    if (Error E = Top.getString("engine", R.Engine))
+      return E;
   if (Error E = Top.getU64("seed", R.Seed))
     return E;
   if (Error E = Top.getUInt("workers", R.Workers))
@@ -333,7 +339,8 @@ Expected<ScanResult> ScanResult::fromJsonString(std::string_view Text) {
 }
 
 bool ScanResult::operator==(const ScanResult &O) const {
-  return Workload == O.Workload && Preset == O.Preset && Seed == O.Seed &&
+  return Workload == O.Workload && Preset == O.Preset &&
+         Engine == O.Engine && Seed == O.Seed &&
          Workers == O.Workers && Iterations == O.Iterations &&
          Passes == O.Passes && BranchSites == O.BranchSites &&
          MarkerSites == O.MarkerSites && NormalGuards == O.NormalGuards &&

@@ -74,6 +74,10 @@ struct ScanResult {
   // --- Provenance ----------------------------------------------------------
   std::string Workload; // workload name, or "custom" for loadSource/Binary
   std::string Preset;   // ScanConfig preset the run used
+  /// Execution tier the campaign machines ran on ("interp", "block",
+  /// "jit"). Pre-JIT artifacts lack the key; reads default it to
+  /// "block", which is what those runs used.
+  std::string Engine = "block";
   uint64_t Seed = 0;
   unsigned Workers = 0;
   uint64_t Iterations = 0; // requested execution budget (0 for runInputs)

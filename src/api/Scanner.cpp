@@ -196,7 +196,7 @@ Error Scanner::requireTarget() const {
 
 /// Applies the ScanConfig machine tuning to a freshly built target.
 static void tuneMachine(vm::Machine &M, const ScanConfig &Cfg) {
-  M.UseBlockEngine = Cfg.UseBlockEngine;
+  M.Eng = Cfg.Engine;
   M.MaxOutputBytes = Cfg.MaxOutputBytes;
 }
 
@@ -237,6 +237,10 @@ ScanResult Scanner::baseResult(uint64_t Iterations) const {
   ScanResult R;
   R.Workload = WorkloadName;
   R.Preset = Cfg.Preset;
+  // The engine the campaign machines actually ran on (Jit downgrades to
+  // Block on hosts without a JIT backend), so artifacts from different
+  // tiers are distinguishable in teapot_diff.
+  R.Engine = vm::engineName(vm::resolveEngine(Cfg.Engine));
   R.Seed = Cfg.Campaign.Seed;
   R.Workers = Cfg.Campaign.Workers;
   R.Iterations = Iterations;

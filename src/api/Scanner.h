@@ -15,7 +15,7 @@
 /// A ScanConfig composes every knob the hand-wired paths used to plumb
 /// separately — core::RewriterOptions, runtime::RuntimeOptions,
 /// fuzz::CampaignOptions, and the vm::Machine tuning (per-run budget,
-/// output cap, block-engine toggle) — with named presets:
+/// output cap, execution-engine tier) — with named presets:
 ///
 ///   teapot            Speculation Shadows + Kasper DIFT (the paper)
 ///   teapot-nodift     Speculation Shadows, SpecFuzz detection policy
@@ -78,8 +78,11 @@ struct ScanConfig {
   uint64_t RunBudget = workloads::DefaultRunBudget;
   /// Accumulated guest-output cap per execution.
   uint64_t MaxOutputBytes = vm::Machine::DefaultMaxOutputBytes;
-  /// Block-compiled execution engine (off: reference interpreter).
-  bool UseBlockEngine = true;
+  /// Execution tier for the campaign machines. All tiers are bit-exact
+  /// against each other (gadget sets and corpora are engine-invariant);
+  /// they differ only in throughput. Jit resolves to Block on hosts
+  /// without a JIT backend; results record the engine actually used.
+  vm::Machine::Engine Engine = vm::Machine::Engine::Jit;
 
   /// Table 3-style input poke: copy the input's trailing 8 bytes to this
   /// guest address before every run.

@@ -140,6 +140,11 @@ struct DecodedBlock {
   /// The compiled form: Uops[i] executes Insts[i].
   std::vector<Uop> Uops;
 
+  /// Host machine code for this block (vm/Jit.h), compiled on first JIT
+  /// execution. Owned by the Jit's code arena; Jit::flush() nulls it on
+  /// every invalidation (and must run before BlockCache::clear()).
+  const void *JitCode = nullptr;
+
   /// Branch-target chain: the last two distinct exit PCs and their
   /// successor blocks. Successors live in the same cache, so the
   /// pointers stay valid until clear() destroys both sides.

@@ -1,0 +1,53 @@
+//===- vm/CodeBuffer.cpp --------------------------------------------------===//
+
+#include "vm/CodeBuffer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define TEAPOT_HAVE_MMAP 1
+#endif
+
+using namespace teapot;
+using namespace teapot::vm;
+
+std::unique_ptr<CodeBuffer> CodeBuffer::create(size_t Capacity) {
+#if TEAPOT_HAVE_MMAP
+  // Map RX up front: this doubles as the capability probe — a kernel
+  // that refuses executable anonymous mappings fails here, once, and
+  // the Machine falls back to the block engine.
+  void *P = mmap(nullptr, Capacity, PROT_READ | PROT_EXEC,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return nullptr;
+  return std::unique_ptr<CodeBuffer>(
+      new CodeBuffer(static_cast<uint8_t *>(P), Capacity));
+#else
+  (void)Capacity;
+  return nullptr;
+#endif
+}
+
+CodeBuffer::~CodeBuffer() {
+#if TEAPOT_HAVE_MMAP
+  if (Base)
+    munmap(Base, Cap);
+#endif
+}
+
+void CodeBuffer::beginWrite() {
+#if TEAPOT_HAVE_MMAP
+  if (Writable)
+    return;
+  mprotect(Base, Cap, PROT_READ | PROT_WRITE);
+  Writable = true;
+#endif
+}
+
+void CodeBuffer::endWrite() {
+#if TEAPOT_HAVE_MMAP
+  if (!Writable)
+    return;
+  mprotect(Base, Cap, PROT_READ | PROT_EXEC);
+  Writable = false;
+#endif
+}

@@ -1,0 +1,79 @@
+//===- vm/CodeBuffer.h - W^X executable code arena ----------------*- C++ -*-===//
+///
+/// \file
+/// The executable memory arena backing the JIT tier (vm/Jit.h). One
+/// contiguous mmap reservation, bump-allocated, with a strict W^X
+/// lifecycle: the buffer is writable *or* executable, never both.
+/// Compilation happens inside a beginWrite()/endWrite() bracket
+/// (mprotect to RW, emit + patch, mprotect back to RX); execution only
+/// ever sees RX pages.
+///
+/// The reservation is deliberately a single mapping: every intra-arena
+/// branch (block chaining, stub jumps) is a rel32, which is only
+/// guaranteed to reach when all code shares one contiguous range. The
+/// virtual reservation is cheap — pages materialize on first touch — so
+/// the arena is sized generously and *flushed wholesale* (bump pointer
+/// reset) when it fills or when compiled code is invalidated, QEMU
+/// translation-cache style, rather than tracking per-block lifetimes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_VM_CODEBUFFER_H
+#define TEAPOT_VM_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace teapot {
+namespace vm {
+
+class CodeBuffer {
+public:
+  /// Maps a \p Capacity-byte RX arena. Returns null when the host
+  /// refuses executable mappings (hardened kernels, unsupported
+  /// platforms) — the caller falls back to a non-JIT tier.
+  static std::unique_ptr<CodeBuffer> create(size_t Capacity);
+  ~CodeBuffer();
+
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// Flips the arena writable (and non-executable) for emission.
+  void beginWrite();
+  /// Flips the arena back to executable (and non-writable).
+  void endWrite();
+  bool writable() const { return Writable; }
+
+  /// Bump-allocates \p N bytes, or null when the arena is full (the
+  /// caller flushes and recompiles). Only valid while writable.
+  uint8_t *alloc(size_t N) {
+    if (Used + N > Cap)
+      return nullptr;
+    uint8_t *P = Base + Used;
+    Used += N;
+    return P;
+  }
+  /// Rewinds the bump pointer to \p Mark (undo of a partial emission).
+  void rewind(size_t Mark) { Used = Mark; }
+
+  /// Wholesale flush: every compiled byte is discarded.
+  void reset() { Used = 0; }
+
+  uint8_t *base() const { return Base; }
+  size_t used() const { return Used; }
+  size_t capacity() const { return Cap; }
+
+private:
+  CodeBuffer(uint8_t *Base, size_t Cap) : Base(Base), Cap(Cap) {}
+
+  uint8_t *Base = nullptr;
+  size_t Cap = 0;
+  size_t Used = 0;
+  bool Writable = false;
+};
+
+} // namespace vm
+} // namespace teapot
+
+#endif // TEAPOT_VM_CODEBUFFER_H

@@ -1,0 +1,1577 @@
+//===- vm/Jit.cpp - Per-block x86-64 JIT tier -----------------------------===//
+//
+// Codegen notes (see Jit.h for the execution model):
+//
+// Host register map (fixed; pinned in the enter thunk):
+//   rbx = &C.R[0]            guest register file base (guest reg g lives
+//                            at [rbx + 8g]; FLAGS / PC at fixed offsets)
+//   r12 = &Mem.TLB[0]        TLB table base
+//   r13 = &Machine           first argument of every slow-path helper
+//   r14 = &ExecutedInsts     settled batch-wise at block exits
+//   r15 = remaining budget   settled batch-wise at block exits
+//   rax rcx rdx rsi rdi r8   scratch (caller-saved; helpers may clobber)
+//
+// FLAGS strategy: the architectural FLAGS byte (at [rbx + FlagsDisp]) is
+// kept current at every flag-writing uop, exactly like the block
+// engine's handlers — the `_NF` liveness results already removed the
+// dead ones at lowering time, so "lazy materialization" is a lowering
+// fact, not a codegen fact. Guest ADD/SUB/CMP/TEST/AND/OR/XOR map to
+// the identical host operation whose flags match guest semantics
+// bit-for-bit (CF = carry/borrow, OF = signed overflow, ZF/SF direct;
+// logic ops clear CF/OF on both sides); shifts/MUL/NEG re-`test` the
+// result because the guest defines them as SetZS+ClearCO. After any
+// such op the *host* flags mirror the guest flags, so a following
+// Jcc/SET/CMOV uses the native condition directly; when the mirror has
+// been clobbered (memory op, helper call, `_NF` arithmetic), conditions
+// evaluate by indexing a 16-entry truth mask with the FLAGS byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Jit.h"
+
+#include "isa/CondCode.h"
+#include "obj/Layout.h"
+#include "vm/Machine.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+
+using namespace teapot;
+using namespace teapot::vm;
+// Pulled in by name: `using namespace isa` would make R8/R12/R13
+// ambiguous against the host-register enum below.
+using isa::CondCode;
+using isa::evalCond;
+using isa::NoReg;
+using isa::SP;
+
+bool Jit::available() {
+#ifdef __x86_64__
+  // One-time probe: a hardened kernel may refuse anonymous RX mappings.
+  static const bool Avail = [] {
+    auto CB = CodeBuffer::create(4096);
+    return CB != nullptr;
+  }();
+  return Avail;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<Jit> Jit::create(Machine &M) {
+  if (!available())
+    return nullptr;
+  auto Arena = CodeBuffer::create(DefaultArenaBytes);
+  if (!Arena)
+    return nullptr;
+  return std::unique_ptr<Jit>(new Jit(M, std::move(Arena)));
+}
+
+Jit::Jit(Machine &M, std::unique_ptr<CodeBuffer> A)
+    : M(M), Arena(std::move(A)), Dispatch(DispatchSlots) {
+  // Dispatch is sized before the stubs are emitted: the dispatch stub
+  // embeds Dispatch.data(), and the vector is never resized after.
+  Arena->beginWrite();
+  emitRuntimeStubs();
+  Arena->endWrite();
+}
+
+Jit::~Jit() = default;
+
+void Jit::flush() {
+  for (DecodedBlock *B : Compiled)
+    B->JitCode = nullptr;
+  Compiled.clear();
+  EntryByPC.clear();
+  PendingChains.clear();
+  // Every cached entry points into the generation being dropped.
+  std::fill(Dispatch.begin(), Dispatch.end(), DispatchEntry{});
+  Arena->beginWrite();
+  Arena->reset();
+  emitRuntimeStubs();
+  Arena->endWrite();
+  ++Flushes;
+}
+
+const void *Jit::entry(DecodedBlock &B) {
+  if (B.JitCode)
+    return B.JitCode;
+  Arena->beginWrite();
+  const void *P = compile(B);
+  Arena->endWrite();
+  if (!P) {
+    // Arena full: wholesale flush (QEMU translation-cache style) and
+    // retry once. Hot blocks recompile on demand.
+    flush();
+    Arena->beginWrite();
+    P = compile(B);
+    Arena->endWrite();
+  }
+  return P;
+}
+
+void Jit::noteDispatch(uint64_t PC, const void *Entry) {
+  DispatchEntry &D = Dispatch[dispatchSlot(PC)];
+  D.PC = PC;
+  D.Entry = Entry;
+}
+
+// --- Slow-path helpers (reference semantics, one source of truth) ---------
+//
+// Every helper writes C.PC first (the PC is architecturally "at the next
+// instruction" while executing, and the fault hook / StopState observe
+// it), then performs the exact Machine::exec semantics including the
+// squash-on-resume contract. Return: 0 = continue in-block, ExitDivert
+// = exit the block (counters settled by the per-uop exit stub),
+// ExitStopped = machine stopped (StopState in M->JitStop).
+
+uint64_t Jit::loadSlow(Machine *M, uint64_t Addr, uint64_t NextPC,
+                       uint64_t Packed) {
+  M->C.PC = NextPC;
+  uint64_t V;
+  switch (M->guestRead(Addr, V, 1u << ((Packed >> 8) & 0xff),
+                       (Packed >> 16) & 1, M->JitStop)) {
+  case Machine::Access::Stopped:
+    return ExitStopped;
+  case Machine::Access::Resumed:
+    return ExitDivert; // squashed; the hook may have redirected us
+  case Machine::Access::Ok:
+    break;
+  }
+  M->C.R[Packed & 0xff] = V;
+  return 0;
+}
+
+uint64_t Jit::storeSlow(Machine *M, uint64_t Addr, uint64_t NextPC,
+                        uint64_t Value, uint64_t SizeLog) {
+  M->C.PC = NextPC;
+  switch (M->guestWrite(Addr, Value, 1u << SizeLog, M->JitStop)) {
+  case Machine::Access::Stopped:
+    return ExitStopped;
+  case Machine::Access::Resumed:
+    return ExitDivert;
+  case Machine::Access::Ok:
+    break;
+  }
+  if (M->BlocksEpoch != M->Mem.watchEpoch())
+    return ExitDivert; // the store patched code: this block is stale
+  return 0;
+}
+
+uint64_t Jit::pushSlow(Machine *M, uint64_t Value, uint64_t NextPC) {
+  M->C.PC = NextPC;
+  switch (M->guestWrite(M->C.R[SP] - 8, Value, 8, M->JitStop)) {
+  case Machine::Access::Stopped:
+    return ExitStopped;
+  case Machine::Access::Resumed:
+    return ExitDivert; // squashed: SP unchanged
+  case Machine::Access::Ok:
+    break;
+  }
+  M->C.R[SP] -= 8;
+  if (M->BlocksEpoch != M->Mem.watchEpoch())
+    return ExitDivert; // wild SP: the push patched code
+  return 0;
+}
+
+uint64_t Jit::popSlow(Machine *M, uint64_t Reg, uint64_t NextPC) {
+  M->C.PC = NextPC;
+  uint64_t V;
+  switch (M->guestRead(M->C.R[SP], V, 8, false, M->JitStop)) {
+  case Machine::Access::Stopped:
+    return ExitStopped;
+  case Machine::Access::Resumed:
+    return ExitDivert;
+  case Machine::Access::Ok:
+    break;
+  }
+  M->C.R[Reg] = V;
+  M->C.R[SP] += 8;
+  return 0;
+}
+
+uint64_t Jit::fallbackSlow(Machine *M, const BlockInst *BI) {
+  M->C.PC = BI->NextPC;
+  if (!M->exec(BI->D, M->JitStop))
+    return ExitStopped;
+  if (M->BlocksEpoch != M->Mem.watchEpoch())
+    return ExitDivert; // code patch: compiled blocks are stale — the
+                       // driver must flush before any more run
+  if (M->C.PC != BI->NextPC)
+    return ExitChain; // control transfer into still-valid code: the
+                      // stub may re-enter through the dispatch cache
+  return 0;
+}
+
+uint64_t Jit::intrRunSlow(Machine *M, const BlockInst *BI, uint64_t N) {
+  // Per-uop semantics are exactly N fallbackSlow calls — PC write,
+  // stop, epoch, and redirect checked after every intrinsic (a
+  // rollback can restore code pages and redirect the PC mid-run) —
+  // minus the exec() opcode dispatch and (N-1) trips through
+  // generated code.
+  for (uint64_t K = 0; K != N; ++K) {
+    const BlockInst &B = BI[K];
+    M->C.PC = B.NextPC;
+    ++M->ExecutedIntrinsics;
+    if (M->Intrinsics && !M->Intrinsics->onIntrinsic(*M, B.D.I)) {
+      M->JitStop.Kind = StopKind::ExtError;
+      return ExitStopped | ((K + 1) << 3);
+    }
+    if (M->BlocksEpoch != M->Mem.watchEpoch())
+      return ExitDivert | ((K + 1) << 3);
+    if (M->C.PC != B.NextPC)
+      return ExitChain | ((K + 1) << 3);
+  }
+  return 0;
+}
+
+#ifdef __x86_64__
+
+namespace {
+
+// Host register numbers (x86-64 encoding).
+enum HostReg {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+constexpr int32_t FlagsDisp =
+    int32_t(offsetof(CPU, Flags) - offsetof(CPU, R));
+constexpr int32_t PCDisp = int32_t(offsetof(CPU, PC) - offsetof(CPU, R));
+
+inline bool isInt8(int64_t V) { return V >= -128 && V <= 127; }
+inline bool isInt32(int64_t V) {
+  return V >= INT32_MIN && V <= INT32_MAX;
+}
+
+/// x86 condition nibble per guest CondCode, valid when host flags hold
+/// the guest-semantic result (the "mirror" state).
+constexpr uint8_t HostCC[] = {
+    0x4, // EQ -> e
+    0x5, // NE -> ne
+    0xC, // LT -> l    (SF != OF)
+    0xE, // LE -> le
+    0xF, // GT -> g
+    0xD, // GE -> ge
+    0x2, // B  -> b    (CF)
+    0x6, // BE -> be
+    0x7, // A  -> a
+    0x3, // AE -> ae
+    0x8, // S  -> s
+    0x9, // NS -> ns
+};
+static_assert(sizeof(HostCC) == size_t(CondCode::NumCondCodes),
+              "one host condition per guest CondCode");
+
+/// 16-bit truth mask per CondCode: bit f = evalCond(CC, f). Used when
+/// the host-flags mirror is invalid: index the mask with the FLAGS byte
+/// and branch on the extracted bit (bt leaves it in CF).
+uint16_t condMask(CondCode CC) {
+  uint16_t Mask = 0;
+  for (unsigned F = 0; F != 16; ++F)
+    if (evalCond(CC, uint8_t(F)))
+      Mask |= uint16_t(1u << F);
+  return Mask;
+}
+
+/// Forward-reference label: rel32 holes collected until bound.
+struct Label {
+  int64_t Pos = -1;
+  std::vector<uint32_t> Refs;
+};
+
+/// Minimal x86-64 instruction emitter over the arena bump pointer.
+struct Emitter {
+  CodeBuffer &CB;
+  bool OOM = false;
+
+  explicit Emitter(CodeBuffer &CB) : CB(CB) {}
+
+  size_t pos() const { return CB.used(); }
+  const uint8_t *addr() const { return CB.base() + CB.used(); }
+
+  void b(uint8_t V) {
+    if (uint8_t *P = CB.alloc(1))
+      *P = V;
+    else
+      OOM = true;
+  }
+  void w32(uint32_t V) {
+    if (uint8_t *P = CB.alloc(4))
+      memcpy(P, &V, 4);
+    else
+      OOM = true;
+  }
+  void w64(uint64_t V) {
+    if (uint8_t *P = CB.alloc(8))
+      memcpy(P, &V, 8);
+    else
+      OOM = true;
+  }
+  void patch32(uint32_t At, int32_t V) {
+    // Refs recorded just before an alloc failure can sit at the arena
+    // edge; the whole emission is rewound on OOM, so just skip them.
+    if (At + 4 <= CB.capacity())
+      memcpy(CB.base() + At, &V, 4);
+  }
+
+  void rex(bool W, int R, int X, int B) {
+    uint8_t V = 0x40 | (W << 3) | ((R >= 8) << 2) | ((X >= 8) << 1) |
+                (B >= 8);
+    if (V != 0x40 || W)
+      b(V);
+  }
+
+  /// ModRM (+SIB for rsp/r12 bases) for [Base + Disp].
+  void modMem(int Reg, int Base, int32_t Disp) {
+    int R = Reg & 7, B = Base & 7;
+    bool SIB = B == 4; // rsp/r12 encodings require a SIB byte
+    uint8_t RM = SIB ? 4 : B;
+    if (Disp == 0 && B != 5) {
+      b((R << 3) | RM);
+      if (SIB)
+        b(0x24);
+    } else if (isInt8(Disp)) {
+      b(0x40 | (R << 3) | RM);
+      if (SIB)
+        b(0x24);
+      b(uint8_t(Disp));
+    } else {
+      b(0x80 | (R << 3) | RM);
+      if (SIB)
+        b(0x24);
+      w32(uint32_t(Disp));
+    }
+  }
+
+  /// ModRM+SIB for [Base + Index << ScaleLog] (mod 00; Base != rbp/r13).
+  void modMemIdx(int Reg, int Base, int Index, int ScaleLog) {
+    b(((Reg & 7) << 3) | 4);
+    b((ScaleLog << 6) | ((Index & 7) << 3) | (Base & 7));
+  }
+
+  void modReg(int Reg, int RM) { b(0xC0 | ((Reg & 7) << 3) | (RM & 7)); }
+
+  // --- Labels ------------------------------------------------------------
+  void rel(Label &L) {
+    if (L.Pos >= 0) {
+      w32(uint32_t(L.Pos - int64_t(pos() + 4)));
+    } else {
+      L.Refs.push_back(uint32_t(pos()));
+      w32(0);
+    }
+  }
+  void bind(Label &L) {
+    L.Pos = int64_t(pos());
+    for (uint32_t R : L.Refs)
+      patch32(R, int32_t(L.Pos - int64_t(R + 4)));
+    L.Refs.clear();
+  }
+  void jmp(Label &L) {
+    b(0xE9);
+    rel(L);
+  }
+  void jcc(uint8_t CC, Label &L) {
+    b(0x0F);
+    b(0x80 | CC);
+    rel(L);
+  }
+  /// Direct jump to an absolute in-arena address (always rel32-reachable:
+  /// the arena is one contiguous mapping).
+  void jmpAbs(const uint8_t *Target) {
+    b(0xE9);
+    int64_t Rel = Target - (CB.base() + pos() + 4);
+    w32(uint32_t(int32_t(Rel)));
+  }
+
+  // --- Moves -------------------------------------------------------------
+  /// mov Reg, imm64 — narrowest flag-preserving encoding.
+  void movRI(int Reg, uint64_t V) {
+    if (V <= 0xffffffffull) {
+      rex(0, 0, 0, Reg);
+      b(0xB8 | (Reg & 7));
+      w32(uint32_t(V));
+    } else if (isInt32(int64_t(V))) {
+      rex(1, 0, 0, Reg);
+      b(0xC7);
+      modReg(0, Reg);
+      w32(uint32_t(V));
+    } else {
+      rex(1, 0, 0, Reg);
+      b(0xB8 | (Reg & 7));
+      w64(V);
+    }
+  }
+  /// mov Dst, Src (64-bit, reg-reg).
+  void movRR(int Dst, int Src) {
+    rex(1, Src, 0, Dst);
+    b(0x89);
+    modReg(Src, Dst);
+  }
+  /// mov Dst32, Src32 (zero-extends).
+  void movRR32(int Dst, int Src) {
+    rex(0, Src, 0, Dst);
+    b(0x89);
+    modReg(Src, Dst);
+  }
+  /// mov Reg, [Base + Disp] (64-bit).
+  void loadMem(int Reg, int Base, int32_t Disp) {
+    rex(1, Reg, 0, Base);
+    b(0x8B);
+    modMem(Reg, Base, Disp);
+  }
+  /// mov [Base + Disp], Reg (64-bit).
+  void storeMem(int Base, int32_t Disp, int Reg) {
+    rex(1, Reg, 0, Base);
+    b(0x89);
+    modMem(Reg, Base, Disp);
+  }
+  /// Guest register file accessors: guest reg g is [rbx + 8g].
+  void loadGuest(int Host, unsigned G) { loadMem(Host, RBX, int32_t(8 * G)); }
+  void storeGuest(unsigned G, int Host) {
+    storeMem(RBX, int32_t(8 * G), Host);
+  }
+  /// mov qword [rbx + 8G], imm32 (sign-extended).
+  void storeGuestImm32(unsigned G, int32_t V) {
+    rex(1, 0, 0, RBX);
+    b(0xC7);
+    modMem(0, RBX, int32_t(8 * G));
+    w32(uint32_t(V));
+  }
+
+  // --- ALU ---------------------------------------------------------------
+  /// <op> qword [rbx + 8G], Src — Op is the r/m,reg opcode (0x01 add,
+  /// 0x29 sub, 0x21 and, 0x09 or, 0x31 xor, 0x39 cmp, 0x85 test).
+  void aluMemReg(uint8_t Op, unsigned G, int Src) {
+    rex(1, Src, 0, RBX);
+    b(Op);
+    modMem(Src, RBX, int32_t(8 * G));
+  }
+  /// <op> qword [rbx + 8G], imm — Ext is the /digit (0 add, 5 sub,
+  /// 4 and, 1 or, 6 xor, 7 cmp). Imm must be int32.
+  void aluMemImm(uint8_t Ext, unsigned G, int64_t Imm) {
+    rex(1, 0, 0, RBX);
+    if (isInt8(Imm)) {
+      b(0x83);
+      modMem(Ext, RBX, int32_t(8 * G));
+      b(uint8_t(Imm));
+    } else {
+      b(0x81);
+      modMem(Ext, RBX, int32_t(8 * G));
+      w32(uint32_t(Imm));
+    }
+  }
+  /// test qword [rbx + 8G], imm32.
+  void testMemImm(unsigned G, int32_t Imm) {
+    rex(1, 0, 0, RBX);
+    b(0xF7);
+    modMem(0, RBX, int32_t(8 * G));
+    w32(uint32_t(Imm));
+  }
+  /// <op> Dst, Src (64-bit reg-reg; same opcode family as aluMemReg).
+  void aluRR(uint8_t Op, int Dst, int Src) {
+    rex(1, Src, 0, Dst);
+    b(Op);
+    modReg(Src, Dst);
+  }
+  /// add Dst, [Base + Disp].
+  void addRegMem(int Dst, int Base, int32_t Disp) {
+    rex(1, Dst, 0, Base);
+    b(0x03);
+    modMem(Dst, Base, Disp);
+  }
+  /// cmp Reg, imm32 (64-bit).
+  void cmpRegImm(int Reg, int64_t Imm) {
+    rex(1, 0, 0, Reg);
+    if (isInt8(Imm)) {
+      b(0x83);
+      modReg(7, Reg);
+      b(uint8_t(Imm));
+    } else {
+      b(0x81);
+      modReg(7, Reg);
+      w32(uint32_t(Imm));
+    }
+  }
+  /// and Reg32, imm32.
+  void andR32Imm(int Reg, uint32_t Imm) {
+    rex(0, 0, 0, Reg);
+    b(0x81);
+    modReg(4, Reg);
+    w32(Imm);
+  }
+  /// cmp Reg32, imm32.
+  void cmpR32Imm(int Reg, uint32_t Imm) {
+    rex(0, 0, 0, Reg);
+    b(0x81);
+    modReg(7, Reg);
+    w32(Imm);
+  }
+  /// shl/shr/sar qword [rbx + 8G], cl — Ext 4/5/7.
+  void shiftMemCl(uint8_t Ext, unsigned G) {
+    rex(1, 0, 0, RBX);
+    b(0xD3);
+    modMem(Ext, RBX, int32_t(8 * G));
+  }
+  /// shl/shr/sar qword [rbx + 8G], imm8.
+  void shiftMemImm(uint8_t Ext, unsigned G, uint8_t Imm) {
+    rex(1, 0, 0, RBX);
+    b(0xC1);
+    modMem(Ext, RBX, int32_t(8 * G));
+    b(Imm);
+  }
+  /// shl/shr Reg, imm8 (64-bit; Ext 4/5).
+  void shiftRegImm(uint8_t Ext, int Reg, uint8_t Imm) {
+    rex(1, 0, 0, Reg);
+    b(0xC1);
+    modReg(Ext, Reg);
+    b(Imm);
+  }
+  /// shl Reg32, imm8.
+  void shlR32Imm(int Reg, uint8_t Imm) {
+    rex(0, 0, 0, Reg);
+    b(0xC1);
+    modReg(4, Reg);
+    b(Imm);
+  }
+  /// shr Reg32, imm8.
+  void shrR32Imm(int Reg, uint8_t Imm) {
+    rex(0, 0, 0, Reg);
+    b(0xC1);
+    modReg(5, Reg);
+    b(Imm);
+  }
+  /// imul Dst, [rbx + 8G] (64-bit).
+  void imulRegGuest(int Dst, unsigned G) {
+    rex(1, Dst, 0, RBX);
+    b(0x0F);
+    b(0xAF);
+    modMem(Dst, RBX, int32_t(8 * G));
+  }
+  /// imul Dst, Src (64-bit).
+  void imulRR(int Dst, int Src) {
+    rex(1, Dst, 0, Src);
+    b(0x0F);
+    b(0xAF);
+    modReg(Dst, Src);
+  }
+  /// not/neg qword [rbx + 8G] — Ext 2/3.
+  void unaryMem(uint8_t Ext, unsigned G) {
+    rex(1, 0, 0, RBX);
+    b(0xF7);
+    modMem(Ext, RBX, int32_t(8 * G));
+  }
+  /// test Reg, Reg (64-bit).
+  void testRR(int Reg) {
+    rex(1, Reg, 0, Reg);
+    b(0x85);
+    modReg(Reg, Reg);
+  }
+  /// test eax, eax (helper-status check).
+  void testEax() {
+    b(0x85);
+    b(0xC0);
+  }
+  /// cmovcc Dst, Src (64-bit).
+  void cmovRR(uint8_t CC, int Dst, int Src) {
+    rex(1, Dst, 0, Src);
+    b(0x0F);
+    b(0x40 | CC);
+    modReg(Dst, Src);
+  }
+  /// lea Dst, [Base + Disp] (64-bit).
+  void leaRegMem(int Dst, int Base, int32_t Disp) {
+    rex(1, Dst, 0, Base);
+    b(0x8D);
+    modMem(Dst, Base, Disp);
+  }
+  /// cmp byte [Base + Disp], imm8.
+  void cmpMem8Imm(int Base, int32_t Disp, uint8_t Imm) {
+    rex(0, 0, 0, Base);
+    b(0x80);
+    modMem(7, Base, Disp);
+    b(Imm);
+  }
+  /// cmp qword [Base + Disp], Reg.
+  void cmpMemReg(int Base, int32_t Disp, int Reg) {
+    rex(1, Reg, 0, Base);
+    b(0x39);
+    modMem(Reg, Base, Disp);
+  }
+
+  // --- Misc --------------------------------------------------------------
+  void endbr64() {
+    b(0xF3);
+    b(0x0F);
+    b(0x1E);
+    b(0xFA);
+  }
+  /// movabs rax, Fn; call rax.
+  void callAbs(const void *Fn) {
+    movRI(RAX, reinterpret_cast<uint64_t>(Fn));
+    b(0xFF);
+    b(0xD0);
+  }
+
+  /// Materializes the guest FLAGS byte from the current host flags
+  /// (Z=1, S=2, C=4, O=8). Clobbers rax/rcx/rdx/r8; preserves host
+  /// flags (setcc/movzx/lea/mov modify none), so the mirror survives.
+  void matFlags() {
+    b(0x0F); b(0x94); b(0xC0);                   // setz  al
+    b(0x0F); b(0x98); b(0xC1);                   // sets  cl
+    b(0x0F); b(0x92); b(0xC2);                   // setc  dl
+    b(0x41); b(0x0F); b(0x90); b(0xC0);          // seto  r8b
+    b(0x0F); b(0xB6); b(0xC0);                   // movzx eax, al
+    b(0x0F); b(0xB6); b(0xC9);                   // movzx ecx, cl
+    b(0x0F); b(0xB6); b(0xD2);                   // movzx edx, dl
+    b(0x45); b(0x0F); b(0xB6); b(0xC0);          // movzx r8d, r8b
+    b(0x8D); b(0x04); b(0x48);                   // lea eax, [rax+rcx*2]
+    b(0x42); b(0x8D); b(0x0C); b(0x42);          // lea ecx, [rdx+r8*2]
+    b(0x8D); b(0x04); b(0x88);                   // lea eax, [rax+rcx*4]
+    b(0x88);                                     // mov [rbx+FlagsDisp], al
+    modMem(RAX, RBX, FlagsDisp);
+  }
+
+  /// Evaluates guest condition CC into the host carry flag via the
+  /// truth-mask table (mirror-invalid path). Clobbers rax/rcx.
+  void condToCarry(CondCode CC) {
+    b(0x0F); b(0xB6);                            // movzx eax, byte [rbx+..]
+    modMem(RAX, RBX, FlagsDisp);
+    movRI(RCX, condMask(CC));                    // mov ecx, mask
+    b(0x0F); b(0xA3); b(0xC1);                   // bt ecx, eax
+  }
+
+  /// setcc into a guest register (zero-extended). Uses cl.
+  void setCCGuest(uint8_t CC, unsigned G) {
+    b(0x0F); b(0x90 | CC); b(0xC1);              // setcc cl
+    b(0x0F); b(0xB6); b(0xC9);                   // movzx ecx, cl
+    storeGuest(G, RCX);
+  }
+
+  /// add qword [r14], N (ExecutedInsts settle).
+  void settleInsts(uint64_t N) {
+    rex(1, 0, 0, R14);
+    if (isInt8(int64_t(N))) {
+      b(0x83);
+      modMem(0, R14, 0);
+      b(uint8_t(N));
+    } else {
+      b(0x81);
+      modMem(0, R14, 0);
+      w32(uint32_t(N));
+    }
+  }
+  /// sub r15, N (budget settle).
+  void settleBudget(uint64_t N) {
+    rex(1, 0, 0, R15);
+    if (isInt8(int64_t(N))) {
+      b(0x83);
+      modReg(5, R15);
+      b(uint8_t(N));
+    } else {
+      b(0x81);
+      modReg(5, R15);
+      w32(uint32_t(N));
+    }
+  }
+  /// Dynamic settle for intrinsic runs: add [r14], Reg; sub r15, Reg.
+  void settleByReg(int Reg) {
+    rex(1, Reg, 0, R14);
+    b(0x01);
+    modMem(Reg, R14, 0);
+    rex(1, Reg, 0, R15);
+    b(0x29);
+    modReg(Reg, R15);
+  }
+};
+
+} // namespace
+
+void Jit::emitRuntimeStubs() {
+  static_assert(sizeof(Memory::TLBEntry) == 16,
+                "TLB probe codegen assumes 16-byte entries");
+  static_assert(Memory::TLBSlots == 256,
+                "TLB probe codegen assumes a 255 slot mask");
+
+  Emitter E(*Arena);
+
+  // Enter thunk: ExitState enter(uint64_t remaining /*rdi*/,
+  //                              const void *entry /*rsi*/).
+  // Saves callee-saved registers, pins the register map, aligns the
+  // stack so in-block helper calls see a standard ABI frame, and jumps
+  // into the block.
+  EnterThunk = E.addr();
+  E.endbr64();
+  E.b(0x53);                                     // push rbx
+  E.b(0x55);                                     // push rbp
+  E.b(0x41); E.b(0x54);                          // push r12
+  E.b(0x41); E.b(0x55);                          // push r13
+  E.b(0x41); E.b(0x56);                          // push r14
+  E.b(0x41); E.b(0x57);                          // push r15
+  E.b(0x48); E.b(0x83); E.b(0xEC); E.b(0x08);    // sub rsp, 8
+  E.b(0x49); E.b(0x89); E.b(0xFF);               // mov r15, rdi
+  E.movRI(RBX, reinterpret_cast<uint64_t>(&M.C.R[0]));
+  E.movRI(R12, reinterpret_cast<uint64_t>(M.Mem.TLB.data()));
+  E.movRI(R13, reinterpret_cast<uint64_t>(&M));
+  E.movRI(R14, reinterpret_cast<uint64_t>(&M.ExecutedInsts));
+  E.b(0xFF); E.b(0xE6);                          // jmp rsi
+
+  // Shared epilogue: rax = status (set by the exiting stub),
+  // rdx = remaining budget.
+  Epilogue = E.addr();
+  E.b(0x4C); E.b(0x89); E.b(0xFA);               // mov rdx, r15
+  E.b(0x48); E.b(0x83); E.b(0xC4); E.b(0x08);    // add rsp, 8
+  E.b(0x41); E.b(0x5F);                          // pop r15
+  E.b(0x41); E.b(0x5E);                          // pop r14
+  E.b(0x41); E.b(0x5D);                          // pop r13
+  E.b(0x41); E.b(0x5C);                          // pop r12
+  E.b(0x5D);                                     // pop rbp
+  E.b(0x5B);                                     // pop rbx
+  E.b(0xC3);                                     // ret
+
+  // Dispatch stub: computed control flow lands here with C.PC current
+  // and counters settled. Probe the direct-mapped PC cache; a hit jumps
+  // straight to the compiled entry (whose own budget check guards the
+  // tail), a miss exits to the driver's dispatch loop, which compiles /
+  // looks up the target and refills the cache via noteDispatch.
+  static_assert(sizeof(DispatchEntry) == 16 &&
+                    offsetof(DispatchEntry, Entry) == 8,
+                "dispatch probe codegen assumes 16-byte {PC, Entry}");
+  DispatchStub = E.addr();
+  Label Miss;
+  E.loadMem(RAX, RBX, PCDisp);                   // rax = C.PC
+  E.movRR(RCX, RAX);
+  E.shiftRegImm(5, RCX, 2);                      // shr rcx, 2
+  E.aluRR(0x31, RCX, RAX);                       // xor rcx, rax
+  E.andR32Imm(RCX, uint32_t(DispatchSlots - 1)); // dispatchSlot(PC)
+  E.shlR32Imm(RCX, 4);                           // * sizeof(DispatchEntry)
+  E.movRI(RDX, reinterpret_cast<uint64_t>(Dispatch.data()));
+  E.aluRR(0x01, RDX, RCX);                       // add rdx, rcx
+  E.cmpMemReg(RDX, 0, RAX);                      // slot.PC == C.PC?
+  E.jcc(0x5, Miss);                              // jne
+  E.loadMem(RDX, RDX, 8);                        // slot.Entry
+  E.b(0xFF); E.b(0xE2);                          // jmp rdx
+  E.bind(Miss);
+  E.movRI(RAX, ExitDivert);
+  E.jmpAbs(Epilogue);
+}
+
+Jit::ExitState Jit::run(uint64_t Remaining, const void *Entry) const {
+  using Fn = ExitState (*)(uint64_t, const void *);
+  return reinterpret_cast<Fn>(
+      reinterpret_cast<uintptr_t>(EnterThunk))(Remaining, Entry);
+}
+
+const void *Jit::compile(DecodedBlock &B) {
+  const size_t Mark = Arena->used();
+  Emitter E(*Arena);
+  const uint8_t *EntryPtr = E.addr();
+  const uint32_t EntryOff = uint32_t(E.pos());
+  const uint64_t NumUops = B.Uops.size();
+  if (!NumUops)
+    return nullptr;
+
+  // Stable-addressed stub lists (deques: labels referenced across the
+  // whole emission).
+  std::deque<std::pair<uint64_t, Label>> ExitStubs;  // (uop idx, label)
+  auto exitLabel = [&](uint64_t Idx) -> Label & {
+    ExitStubs.emplace_back(Idx, Label{});
+    return ExitStubs.back().second;
+  };
+  // Like ExitStubs, but for fallbackSlow sites: an ExitChain status
+  // re-enters compiled code through the dispatch stub instead of
+  // exiting. Memory-helper sites never chain — their diverts can carry
+  // an epoch bump (fault hook patched code), which must reach the
+  // driver's flush check.
+  std::deque<std::pair<uint64_t, Label>> ChainStubs;
+  auto chainLabel = [&](uint64_t Idx) -> Label & {
+    ChainStubs.emplace_back(Idx, Label{});
+    return ChainStubs.back().second;
+  };
+  // Intrinsic-run stubs: like ChainStubs, but the consumed-uop count is
+  // dynamic (packed into the helper's return value), so the settle is
+  // register-based. The pair holds the run's first uop index.
+  std::deque<std::pair<uint64_t, Label>> RunStubs;
+  auto runLabel = [&](uint64_t Idx) -> Label & {
+    RunStubs.emplace_back(Idx, Label{});
+    return RunStubs.back().second;
+  };
+  struct TakenStub {
+    uint64_t Idx;
+    uint64_t Target;
+    Label L;
+  };
+  std::deque<TakenStub> TakenStubs;
+  // Chain sites emitted for this block; merged into PendingChains only
+  // on success (an OOM rewind must not leave dangling patch offsets).
+  std::vector<std::pair<uint64_t, uint32_t>> NewPending;
+  uint64_t NewPatches = 0;
+
+  /// Block-to-block chain: direct jump when the target is already
+  /// compiled; otherwise a patchable jump that (for now) falls through
+  /// to a resolver stub which exits to the driver with C.PC = Target.
+  auto chainJump = [&](uint64_t Target) {
+    auto It = EntryByPC.find(Target);
+    if (It != EntryByPC.end()) {
+      E.jmpAbs(It->second);
+      ++NewPatches;
+      return;
+    }
+    E.b(0xE9);
+    NewPending.emplace_back(Target, uint32_t(E.pos()));
+    E.w32(0); // rel 0: falls through to the resolver below until patched
+    E.movRI(RAX, Target);
+    E.storeMem(RBX, PCDisp, RAX);
+    E.movRI(RAX, ExitDivert);
+    E.jmpAbs(Epilogue);
+  };
+
+  /// Effective address of a memory uop into rsi (Imm + R[B] + R[X] <<
+  /// ScaleLog). Clobbers rax when an index register is present.
+  auto emitEA = [&](const Uop &U) {
+    E.movRI(RSI, uint64_t(U.Imm));
+    if (U.B != NoReg)
+      E.addRegMem(RSI, RBX, int32_t(8 * U.B));
+    if (U.X != NoReg) {
+      E.loadGuest(RAX, U.X);
+      if (U.ScaleLog)
+        E.shiftRegImm(4, RAX, U.ScaleLog);
+      E.aluRR(0x01, RSI, RAX); // add rsi, rax
+    }
+  };
+
+  /// Guest user-region check on the address in rsi for an access of
+  /// \p Size bytes; branches to \p Slow when any byte falls outside
+  /// LowMem/HighMem (the helper then raises the fault with reference
+  /// semantics). Clobbers rax/rcx.
+  auto emitRegionCheck = [&](unsigned Size, Label &Slow) {
+    Label Ok;
+    E.movRR(RAX, RSI);
+    E.movRI(RCX, obj::HighMemStart);
+    E.aluRR(0x29, RAX, RCX); // sub rax, rcx
+    E.movRI(RCX, (obj::HighMemEnd - obj::HighMemStart) - (Size - 1));
+    E.aluRR(0x39, RAX, RCX); // cmp rax, rcx
+    E.jcc(0x6, Ok);          // jbe: inside HighMem
+    E.cmpRegImm(RSI, int64_t(obj::LowMemEnd - (Size - 1)));
+    E.jcc(0x7, Slow); // ja: outside LowMem too
+    E.bind(Ok);
+  };
+
+  /// TLB probe for the page of the address in rsi: on hit, rax = the
+  /// TLB slot address (entry Idx confirmed) and rcx = the page index.
+  /// Misses branch to \p Slow. Clobbers rax/rcx.
+  auto emitTLBProbe = [&](Label &Slow) {
+    E.movRR(RCX, RSI);
+    E.shiftRegImm(5, RCX, uint8_t(Memory::PageShift)); // shr rcx, 12
+    E.movRR32(RAX, RCX);
+    E.andR32Imm(RAX, uint32_t(Memory::TLBSlots - 1));
+    E.shlR32Imm(RAX, 4); // * sizeof(TLBEntry)
+    E.aluRR(0x01, RAX, R12);
+    E.cmpMemReg(RAX, 0, RCX);
+    E.jcc(0x5, Slow); // jne: TLB miss
+  };
+
+  const int32_t CellOff = int32_t(offsetof(Memory::TLBEntry, Cell));
+  const int32_t DirtyOff = int32_t(offsetof(Memory::PageCell, Dirty));
+
+  // --- Block entry: budget check ----------------------------------------
+  // (An indirect-branch target: the enter thunk arrives via `jmp rsi`.)
+  Label BudgetBail;
+  E.endbr64();
+  E.cmpRegImm(R15, int64_t(NumUops));
+  E.jcc(0x2, BudgetBail); // jb: fewer insts remain than the block holds
+
+  // Host-flags mirror: true while the host FLAGS hold exactly the
+  // guest-semantic result of the last guest flag write.
+  bool Mirror = false;
+
+  for (uint64_t I = 0; I != NumUops; ++I) {
+    const Uop &U = B.Uops[I];
+    const uint64_t NextPC = B.Insts[I].NextPC;
+
+    switch (U.Kind) {
+    case UopKind::Nop:
+      break;
+
+    case UopKind::MovRR:
+      E.loadGuest(RAX, U.B);
+      E.storeGuest(U.A, RAX);
+      break;
+    case UopKind::MovRI:
+      if (isInt32(U.Imm)) {
+        E.storeGuestImm32(U.A, int32_t(U.Imm));
+      } else {
+        E.movRI(RAX, uint64_t(U.Imm));
+        E.storeGuest(U.A, RAX);
+      }
+      break;
+
+    case UopKind::AddRR:
+    case UopKind::AddRR_NF:
+    case UopKind::SubRR:
+    case UopKind::SubRR_NF: {
+      bool IsAdd = U.Kind == UopKind::AddRR || U.Kind == UopKind::AddRR_NF;
+      bool NF = U.Kind == UopKind::AddRR_NF || U.Kind == UopKind::SubRR_NF;
+      E.loadGuest(RAX, U.B);
+      E.aluMemReg(IsAdd ? 0x01 : 0x29, U.A, RAX);
+      if (!NF) {
+        E.matFlags();
+        Mirror = true;
+      } else {
+        Mirror = false;
+      }
+      break;
+    }
+    case UopKind::AddRI:
+    case UopKind::AddRI_NF:
+    case UopKind::SubRI:
+    case UopKind::SubRI_NF: {
+      bool IsAdd = U.Kind == UopKind::AddRI || U.Kind == UopKind::AddRI_NF;
+      bool NF = U.Kind == UopKind::AddRI_NF || U.Kind == UopKind::SubRI_NF;
+      if (isInt32(U.Imm)) {
+        E.aluMemImm(IsAdd ? 0 : 5, U.A, U.Imm);
+      } else {
+        E.movRI(RAX, uint64_t(U.Imm));
+        E.aluMemReg(IsAdd ? 0x01 : 0x29, U.A, RAX);
+      }
+      if (!NF) {
+        E.matFlags();
+        Mirror = true;
+      } else {
+        Mirror = false;
+      }
+      break;
+    }
+
+    case UopKind::CmpRR:
+      E.loadGuest(RAX, U.B);
+      E.aluMemReg(0x39, U.A, RAX);
+      E.matFlags();
+      Mirror = true;
+      break;
+    case UopKind::CmpRI:
+      if (isInt32(U.Imm)) {
+        E.aluMemImm(7, U.A, U.Imm);
+      } else {
+        E.movRI(RAX, uint64_t(U.Imm));
+        E.aluMemReg(0x39, U.A, RAX);
+      }
+      E.matFlags();
+      Mirror = true;
+      break;
+    case UopKind::TestRR:
+      E.loadGuest(RAX, U.B);
+      E.aluMemReg(0x85, U.A, RAX);
+      E.matFlags();
+      Mirror = true;
+      break;
+    case UopKind::TestRI:
+      if (isInt32(U.Imm)) {
+        E.testMemImm(U.A, int32_t(U.Imm));
+      } else {
+        E.movRI(RAX, uint64_t(U.Imm));
+        E.aluMemReg(0x85, U.A, RAX);
+      }
+      E.matFlags();
+      Mirror = true;
+      break;
+
+    case UopKind::AndRR:
+    case UopKind::OrRR:
+    case UopKind::XorRR: {
+      uint8_t Op = U.Kind == UopKind::AndRR  ? 0x21
+                   : U.Kind == UopKind::OrRR ? 0x09
+                                             : 0x31;
+      E.loadGuest(RAX, U.B);
+      E.aluMemReg(Op, U.A, RAX);
+      E.matFlags();
+      Mirror = true;
+      break;
+    }
+    case UopKind::AndRI:
+    case UopKind::OrRI:
+    case UopKind::XorRI: {
+      uint8_t Ext = U.Kind == UopKind::AndRI  ? 4
+                    : U.Kind == UopKind::OrRI ? 1
+                                              : 6;
+      uint8_t Op = U.Kind == UopKind::AndRI  ? 0x21
+                   : U.Kind == UopKind::OrRI ? 0x09
+                                             : 0x31;
+      if (isInt32(U.Imm)) {
+        E.aluMemImm(Ext, U.A, U.Imm);
+      } else {
+        E.movRI(RAX, uint64_t(U.Imm));
+        E.aluMemReg(Op, U.A, RAX);
+      }
+      E.matFlags();
+      Mirror = true;
+      break;
+    }
+
+    case UopKind::ShlRR:
+    case UopKind::ShrRR:
+    case UopKind::SarRR: {
+      uint8_t Ext = U.Kind == UopKind::ShlRR   ? 4
+                    : U.Kind == UopKind::ShrRR ? 5
+                                               : 7;
+      E.loadGuest(RCX, U.B); // hardware masks the count to 63, as the
+      E.shiftMemCl(Ext, U.A); // guest semantics do
+      // Guest shifts are SetZS+ClearCO regardless of count; host flags
+      // are unchanged for count 0, so re-test the result.
+      E.loadGuest(RAX, U.A);
+      E.testRR(RAX);
+      E.matFlags();
+      Mirror = true;
+      break;
+    }
+    case UopKind::ShlRI:
+    case UopKind::ShrRI:
+    case UopKind::SarRI: {
+      uint8_t Ext = U.Kind == UopKind::ShlRI   ? 4
+                    : U.Kind == UopKind::ShrRI ? 5
+                                               : 7;
+      E.shiftMemImm(Ext, U.A, uint8_t(U.Imm & 63));
+      E.loadGuest(RAX, U.A);
+      E.testRR(RAX);
+      E.matFlags();
+      Mirror = true;
+      break;
+    }
+
+    case UopKind::MulRR:
+      E.loadGuest(RAX, U.A);
+      E.imulRegGuest(RAX, U.B);
+      E.storeGuest(U.A, RAX);
+      E.testRR(RAX); // guest MUL is SetZS+ClearCO; imul's flags differ
+      E.matFlags();
+      Mirror = true;
+      break;
+    case UopKind::MulRI:
+      E.loadGuest(RAX, U.A);
+      E.movRI(RCX, uint64_t(U.Imm));
+      E.imulRR(RAX, RCX);
+      E.storeGuest(U.A, RAX);
+      E.testRR(RAX);
+      E.matFlags();
+      Mirror = true;
+      break;
+
+    case UopKind::NotR:
+      E.unaryMem(2, U.A); // no flags on either side
+      break;
+    case UopKind::NegR:
+      E.unaryMem(3, U.A);
+      E.loadGuest(RAX, U.A);
+      E.testRR(RAX);
+      E.matFlags();
+      Mirror = true;
+      break;
+
+    case UopKind::SetCC: {
+      CondCode CC = CondCode(U.X);
+      if (Mirror) {
+        E.setCCGuest(HostCC[U.X], U.A);
+      } else {
+        E.condToCarry(CC);
+        E.setCCGuest(0x2, U.A); // setc: condToCarry left it in CF
+      }
+      break;
+    }
+    case UopKind::CmovRR:
+    case UopKind::CmovRI: {
+      uint8_t CC = Mirror ? HostCC[U.X] : 0x2;
+      if (!Mirror)
+        E.condToCarry(CondCode(U.X)); // before the operand loads (rax!)
+      E.loadGuest(RCX, U.A);
+      if (U.Kind == UopKind::CmovRR)
+        E.loadGuest(RAX, U.B);
+      else
+        E.movRI(RAX, uint64_t(U.Imm));
+      E.cmovRR(CC, RCX, RAX);
+      E.storeGuest(U.A, RCX);
+      break;
+    }
+
+    case UopKind::Lea:
+      emitEA(U);
+      E.storeGuest(U.A, RSI);
+      Mirror = false;
+      break;
+
+    case UopKind::Load:
+    case UopKind::LoadS: {
+      const unsigned Size = 1u << U.SizeLog;
+      const bool Sgn = U.Kind == UopKind::LoadS;
+      Label Slow, Done, Zero;
+      emitEA(U);
+      emitRegionCheck(Size, Slow);
+      emitTLBProbe(Slow);
+      // rdx = in-page offset; reject page-straddling accesses.
+      E.movRR32(RDX, RSI);
+      E.andR32Imm(RDX, uint32_t(Memory::PageSize - 1));
+      if (Size > 1) {
+        E.cmpR32Imm(RDX, uint32_t(Memory::PageSize - Size));
+        E.jcc(0x7, Slow); // ja
+      }
+      E.loadMem(RAX, RAX, CellOff);
+      E.testRR(RAX);
+      E.jcc(0x4, Zero); // jz: cached negative entry — unmapped reads 0
+      switch (Size) {
+      case 1:
+        if (Sgn) {
+          E.rex(1, RCX, RDX, RAX);
+          E.b(0x0F); E.b(0xBE); // movsx rcx, byte [rax+rdx]
+        } else {
+          E.rex(0, RCX, RDX, RAX);
+          E.b(0x0F); E.b(0xB6); // movzx ecx, byte [rax+rdx]
+        }
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      case 2:
+        E.rex(Sgn, RCX, RDX, RAX);
+        E.b(0x0F); E.b(Sgn ? 0xBF : 0xB7); // movsx/movzx, word
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      case 4:
+        E.rex(Sgn, RCX, RDX, RAX);
+        E.b(Sgn ? 0x63 : 0x8B); // movsxd rcx / mov ecx
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      default:
+        E.rex(1, RCX, RDX, RAX);
+        E.b(0x8B); // mov rcx, [rax+rdx]
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      }
+      E.storeGuest(U.A, RCX);
+      E.jmp(Done);
+      E.bind(Zero);
+      E.storeGuestImm32(U.A, 0);
+      E.jmp(Done);
+      E.bind(Slow);
+      E.movRR(RDI, R13); // rsi = addr, still live
+      E.movRI(RDX, NextPC);
+      E.movRI(RCX, uint64_t(U.A) | (uint64_t(U.SizeLog) << 8) |
+                       (Sgn ? 1ull << 16 : 0));
+      E.callAbs(reinterpret_cast<const void *>(&Jit::loadSlow));
+      E.testEax();
+      E.jcc(0x5, exitLabel(I)); // jne: divert or stop
+      E.bind(Done);
+      Mirror = false;
+      break;
+    }
+
+    case UopKind::StoreR:
+    case UopKind::PushR:
+    case UopKind::PushI: {
+      const bool IsPush = U.Kind != UopKind::StoreR;
+      const unsigned Size = IsPush ? 8 : 1u << U.SizeLog;
+      Label Slow, Done, DirtyOk;
+      if (IsPush) {
+        E.loadGuest(RSI, SP);
+        E.leaRegMem(RSI, RSI, -8);
+      } else {
+        emitEA(U);
+      }
+      emitRegionCheck(Size, Slow);
+      // Watch-range exclusion: stores into the watched (code) pages
+      // always take the helper, which performs the epoch bump and
+      // reports the divert — so a chained jump can never run stale
+      // code. The bounds are compile-time constants: the only event
+      // that moves the watch range (loadObject) also flushes the JIT.
+      E.movRR(RCX, RSI);
+      E.shiftRegImm(5, RCX, uint8_t(Memory::PageShift));
+      E.movRI(RAX, M.Mem.WatchLoPage);
+      E.movRR(RDX, RCX);
+      E.aluRR(0x29, RDX, RAX); // sub rdx, rax
+      E.cmpRegImm(RDX, int64_t(M.Mem.WatchPageSpan));
+      E.jcc(0x6, Slow); // jbe: inside the watched range
+      // TLB probe (rcx already holds the page index, but the probe
+      // recomputes it — keep it simple).
+      emitTLBProbe(Slow);
+      E.loadMem(RAX, RAX, CellOff);
+      E.testRR(RAX);
+      E.jcc(0x4, Slow); // jz: unmapped page — helper materializes it
+      // Dirty-tracking fast path: a write needs bookkeeping unless the
+      // page is already dirty or tracking is off.
+      E.cmpMem8Imm(RAX, DirtyOff, 0);
+      E.jcc(0x5, DirtyOk); // jne: already dirty
+      E.movRI(RCX, reinterpret_cast<uint64_t>(&M.Mem.TrackDirty));
+      E.cmpMem8Imm(RCX, 0, 0);
+      E.jcc(0x5, Slow); // jne: tracking on, first write — helper logs it
+      E.bind(DirtyOk);
+      E.movRR32(RDX, RSI);
+      E.andR32Imm(RDX, uint32_t(Memory::PageSize - 1));
+      if (Size > 1) {
+        E.cmpR32Imm(RDX, uint32_t(Memory::PageSize - Size));
+        E.jcc(0x7, Slow);
+      }
+      if (U.Kind == UopKind::PushI)
+        E.movRI(RCX, uint64_t(U.Imm));
+      else
+        E.loadGuest(RCX, U.A);
+      switch (Size) {
+      case 1:
+        E.b(0x88); // mov [rax+rdx], cl
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      case 2:
+        E.b(0x66);
+        E.b(0x89);
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      case 4:
+        E.b(0x89);
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      default:
+        E.rex(1, RCX, RDX, RAX);
+        E.b(0x89);
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        break;
+      }
+      if (IsPush)
+        E.storeGuest(SP, RSI); // rsi still = old SP - 8
+      E.jmp(Done);
+      E.bind(Slow);
+      E.movRR(RDI, R13);
+      if (IsPush) {
+        if (U.Kind == UopKind::PushI)
+          E.movRI(RSI, uint64_t(U.Imm));
+        else
+          E.loadGuest(RSI, U.A);
+        E.movRI(RDX, NextPC);
+        E.callAbs(reinterpret_cast<const void *>(&Jit::pushSlow));
+      } else {
+        // rsi = addr, still live
+        E.movRI(RDX, NextPC);
+        E.loadGuest(RCX, U.A);
+        E.movRI(R8, U.SizeLog);
+        E.callAbs(reinterpret_cast<const void *>(&Jit::storeSlow));
+      }
+      E.testEax();
+      E.jcc(0x5, exitLabel(I));
+      E.bind(Done);
+      Mirror = false;
+      break;
+    }
+
+    case UopKind::PopR: {
+      Label Slow, Done, Zero;
+      E.loadGuest(RSI, SP);
+      emitRegionCheck(8, Slow);
+      emitTLBProbe(Slow);
+      E.movRR32(RDX, RSI);
+      E.andR32Imm(RDX, uint32_t(Memory::PageSize - 1));
+      E.cmpR32Imm(RDX, uint32_t(Memory::PageSize - 8));
+      E.jcc(0x7, Slow);
+      E.loadMem(RAX, RAX, CellOff);
+      E.testRR(RAX);
+      E.jcc(0x4, Zero);
+      E.rex(1, RCX, RDX, RAX);
+      E.b(0x8B); // mov rcx, [rax+rdx]
+      E.modMemIdx(RCX, RAX, RDX, 0);
+      Label Store;
+      E.jmp(Store);
+      E.bind(Zero);
+      E.movRI(RCX, 0);
+      E.bind(Store);
+      // Same order as the reference: R[A] = V, then SP += 8 (POP SP
+      // must end with V + 8).
+      E.storeGuest(U.A, RCX);
+      E.aluMemImm(0, SP, 8);
+      E.jmp(Done);
+      E.bind(Slow);
+      E.movRR(RDI, R13);
+      E.movRI(RSI, U.A);
+      E.movRI(RDX, NextPC);
+      E.callAbs(reinterpret_cast<const void *>(&Jit::popSlow));
+      E.testEax();
+      E.jcc(0x5, exitLabel(I));
+      E.bind(Done);
+      Mirror = false;
+      break;
+    }
+
+    case UopKind::Jmp:
+      // Unconditional: always the block's last uop. Settle and chain.
+      E.settleInsts(I + 1);
+      E.settleBudget(I + 1);
+      chainJump(NextPC + uint64_t(U.Imm));
+      break;
+
+    case UopKind::Jcc: {
+      TakenStubs.push_back({I, NextPC + uint64_t(U.Imm), Label{}});
+      Label &Taken = TakenStubs.back().L;
+      if (Mirror) {
+        E.jcc(HostCC[U.X], Taken);
+      } else {
+        E.condToCarry(CondCode(U.X));
+        E.jcc(0x2, Taken); // jc
+      }
+      // Fall-through continues in-block; jcc preserves host flags, so
+      // the mirror state carries over unchanged.
+      break;
+    }
+
+    case UopKind::Fallback: {
+      const isa::Instruction &Inst = B.Insts[I].D.I;
+      // The diverting terminators get native fast paths: instrumented
+      // code is trampoline-call-heavy, and one helper round-trip per
+      // CALL/RET costs more than the whole block body. Every fast path
+      // ends in the dispatch stub (or a direct chain for CALL), so the
+      // steady state never leaves the arena; every slow path is the
+      // reference helper, exactly as before.
+      const auto callFallback = [&] {
+        E.movRR(RDI, R13);
+        E.movRI(RSI, reinterpret_cast<uint64_t>(&B.Insts[I]));
+        E.callAbs(reinterpret_cast<const void *>(&Jit::fallbackSlow));
+        E.testEax();
+        E.jcc(0x5, chainLabel(I)); // jne: chain, divert, or stop
+        // Status 0 — a squashed terminator whose PC fell through —
+        // continues to the block-end fall-through below.
+      };
+
+      if (Inst.Op == isa::Opcode::INTR) {
+        // Batch the whole run of consecutive intrinsics into one call.
+        uint64_t N = 1;
+        while (I + N != NumUops && B.Uops[I + N].Kind == UopKind::Fallback &&
+               B.Insts[I + N].D.I.Op == isa::Opcode::INTR)
+          ++N;
+        E.movRR(RDI, R13);
+        E.movRI(RSI, reinterpret_cast<uint64_t>(&B.Insts[I]));
+        E.movRI(RDX, N);
+        E.callAbs(reinterpret_cast<const void *>(&Jit::intrRunSlow));
+        E.testEax();
+        E.jcc(0x5, runLabel(I)); // jne: some intrinsic didn't fall through
+        I += N - 1;              // the loop's ++I steps past the run
+        Mirror = false;
+        break;
+      }
+
+      if (Inst.Op == isa::Opcode::JMPI) {
+        // JMPI: C.PC = R[A]. Nothing can fault or stop.
+        E.loadGuest(RAX, Inst.A.R);
+        E.storeMem(RBX, PCDisp, RAX);
+        E.settleInsts(I + 1);
+        E.settleBudget(I + 1);
+        E.jmpAbs(DispatchStub);
+        Mirror = false;
+        break;
+      }
+
+      if (Inst.Op == isa::Opcode::RET) {
+        // RET: pop the return address into the PC — the PopR fast path
+        // with the dispatch stub as its continuation. An unmapped pop
+        // reads 0 (reference semantics); the resulting wild PC misses
+        // the cache and the driver's step() raises the fetch fault.
+        Label Slow, Zero, Got;
+        E.loadGuest(RSI, SP);
+        emitRegionCheck(8, Slow);
+        emitTLBProbe(Slow);
+        E.movRR32(RDX, RSI);
+        E.andR32Imm(RDX, uint32_t(Memory::PageSize - 1));
+        E.cmpR32Imm(RDX, uint32_t(Memory::PageSize - 8));
+        E.jcc(0x7, Slow);
+        E.loadMem(RAX, RAX, CellOff);
+        E.testRR(RAX);
+        E.jcc(0x4, Zero);
+        E.rex(1, RCX, RDX, RAX);
+        E.b(0x8B); // mov rcx, [rax+rdx]
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        E.jmp(Got);
+        E.bind(Zero);
+        E.movRI(RCX, 0);
+        E.bind(Got);
+        E.storeMem(RBX, PCDisp, RCX);
+        E.aluMemImm(0, SP, 8); // SP += 8
+        E.settleInsts(I + 1);
+        E.settleBudget(I + 1);
+        E.jmpAbs(DispatchStub);
+        E.bind(Slow);
+        callFallback();
+        Mirror = false;
+        break;
+      }
+
+      if (Inst.Op == isa::Opcode::CALL || Inst.Op == isa::Opcode::CALLI) {
+        // CALL/CALLI: push the constant return address (the PushI fast
+        // path, including the watch exclusion — a push into the code
+        // region must take the helper and report the epoch bump), then
+        // branch: a compile-time chain for CALL, the dispatch stub for
+        // the register-indirect CALLI.
+        const bool Direct = Inst.Op == isa::Opcode::CALL;
+        Label Slow, DirtyOk;
+        E.loadGuest(RSI, SP);
+        E.leaRegMem(RSI, RSI, -8);
+        emitRegionCheck(8, Slow);
+        E.movRR(RCX, RSI);
+        E.shiftRegImm(5, RCX, uint8_t(Memory::PageShift));
+        E.movRI(RAX, M.Mem.WatchLoPage);
+        E.movRR(RDX, RCX);
+        E.aluRR(0x29, RDX, RAX); // sub rdx, rax
+        E.cmpRegImm(RDX, int64_t(M.Mem.WatchPageSpan));
+        E.jcc(0x6, Slow); // jbe: inside the watched range
+        emitTLBProbe(Slow);
+        E.loadMem(RAX, RAX, CellOff);
+        E.testRR(RAX);
+        E.jcc(0x4, Slow); // jz: unmapped — helper materializes it
+        E.cmpMem8Imm(RAX, DirtyOff, 0);
+        E.jcc(0x5, DirtyOk);
+        E.movRI(RCX, reinterpret_cast<uint64_t>(&M.Mem.TrackDirty));
+        E.cmpMem8Imm(RCX, 0, 0);
+        E.jcc(0x5, Slow);
+        E.bind(DirtyOk);
+        E.movRR32(RDX, RSI);
+        E.andR32Imm(RDX, uint32_t(Memory::PageSize - 1));
+        E.cmpR32Imm(RDX, uint32_t(Memory::PageSize - 8));
+        E.jcc(0x7, Slow);
+        E.movRI(RCX, NextPC); // the return address
+        E.rex(1, RCX, RDX, RAX);
+        E.b(0x89); // mov [rax+rdx], rcx
+        E.modMemIdx(RCX, RAX, RDX, 0);
+        if (!Direct)
+          E.loadGuest(RDX, Inst.A.R); // target: R[A] before SP moves,
+                                      // so CALLI through SP reads the
+                                      // pre-push value (reference order)
+        E.storeGuest(SP, RSI);        // SP -= 8 (rsi = old SP - 8)
+        E.settleInsts(I + 1);
+        E.settleBudget(I + 1);
+        if (Direct) {
+          chainJump(NextPC + uint64_t(Inst.A.Imm));
+        } else {
+          E.storeMem(RBX, PCDisp, RDX);
+          E.jmpAbs(DispatchStub);
+        }
+        E.bind(Slow);
+        callFallback();
+        Mirror = false;
+        break;
+      }
+
+      callFallback();
+      Mirror = false;
+      break;
+    }
+    }
+  }
+
+  // Fall-through off the block's end — the path for non-terminator
+  // final uops and for squashed terminators whose slow path returned 0.
+  // An unconditional Jmp never falls through, and neither does native
+  // JMPI (no slow path, no squash).
+  if (B.Uops.back().Kind != UopKind::Jmp &&
+      !(B.Uops.back().Kind == UopKind::Fallback &&
+        B.Insts.back().D.I.Op == isa::Opcode::JMPI)) {
+    E.settleInsts(NumUops);
+    E.settleBudget(NumUops);
+    chainJump(B.Insts.back().NextPC);
+  }
+
+  // --- Stubs -------------------------------------------------------------
+  // Taken-branch stubs: settle the partial block, then chain.
+  for (TakenStub &S : TakenStubs) {
+    E.bind(S.L);
+    E.settleInsts(S.Idx + 1);
+    E.settleBudget(S.Idx + 1);
+    chainJump(S.Target);
+  }
+  // Helper-exit stubs: rax already holds ExitDivert/ExitStopped.
+  for (auto &[Idx, L] : ExitStubs) {
+    E.bind(L);
+    E.settleInsts(Idx + 1);
+    E.settleBudget(Idx + 1);
+    E.jmpAbs(Epilogue);
+  }
+  // Fallback-status stubs: settle the partial block, then sort the
+  // helper's verdict — ExitChain re-enters compiled code through the
+  // dispatch stub; real diverts and stops exit with rax's status.
+  for (auto &[Idx, L] : ChainStubs) {
+    E.bind(L);
+    E.settleInsts(Idx + 1);
+    E.settleBudget(Idx + 1);
+    E.cmpR32Imm(RAX, uint32_t(ExitChain));
+    Label NotChain;
+    E.jcc(0x5, NotChain); // jne
+    E.jmpAbs(DispatchStub);
+    E.bind(NotChain);
+    E.jmpAbs(Epilogue);
+  }
+  // Intrinsic-run stubs: unpack status | consumed<<3, settle the run's
+  // prefix plus the dynamic consumed count, then sort as above.
+  for (auto &[Idx, L] : RunStubs) {
+    E.bind(L);
+    E.movRR32(RCX, RAX);
+    E.shrR32Imm(RCX, 3);            // rcx = consumed (1..N)
+    E.andR32Imm(RAX, 7);            // rax = status
+    if (Idx)
+      E.leaRegMem(RCX, RCX, int32_t(Idx));
+    E.settleByReg(RCX);
+    E.cmpR32Imm(RAX, uint32_t(ExitChain));
+    Label NotChain;
+    E.jcc(0x5, NotChain); // jne
+    E.jmpAbs(DispatchStub);
+    E.bind(NotChain);
+    E.jmpAbs(Epilogue);
+  }
+  // Budget bail: zero uops executed; C.PC = entry for the step() tail.
+  E.bind(BudgetBail);
+  E.movRI(RAX, B.Entry);
+  E.storeMem(RBX, PCDisp, RAX);
+  E.movRI(RAX, ExitBudget);
+  E.jmpAbs(Epilogue);
+
+  if (E.OOM) {
+    Arena->rewind(Mark);
+    return nullptr;
+  }
+
+  // Commit: register the entry, resolve every pending chain to it —
+  // sites in previously compiled blocks, and this block's own sites
+  // whose target is already compiled (including self-loops, whose
+  // target is this very block).
+  EntryByPC.emplace(B.Entry, EntryPtr);
+  auto Range = PendingChains.equal_range(B.Entry);
+  for (auto It = Range.first; It != Range.second; ++It) {
+    E.patch32(It->second, int32_t(int64_t(EntryOff) - int64_t(It->second + 4)));
+    ++ChainPatches;
+  }
+  PendingChains.erase(Range.first, Range.second);
+  for (auto &[Target, Off] : NewPending) {
+    auto TIt = EntryByPC.find(Target);
+    if (TIt != EntryByPC.end()) {
+      E.patch32(Off, int32_t((TIt->second - Arena->base()) - int64_t(Off + 4)));
+      ++ChainPatches;
+    } else {
+      PendingChains.emplace(Target, Off);
+    }
+  }
+  ChainPatches += NewPatches;
+  B.JitCode = EntryPtr;
+  Compiled.push_back(&B);
+  return EntryPtr;
+}
+
+#else // !__x86_64__
+
+// Non-x86-64 hosts: the backend does not exist. available() is false,
+// create() returns null, and the Machine runs the block engine instead;
+// these definitions only satisfy the linker.
+void Jit::emitRuntimeStubs() {}
+const void *Jit::compile(DecodedBlock &) { return nullptr; }
+Jit::ExitState Jit::run(uint64_t Remaining, const void *) const {
+  return {ExitDivert, Remaining};
+}
+
+#endif // __x86_64__

@@ -1,0 +1,213 @@
+//===- vm/Jit.h - Per-block x86-64 JIT tier -----------------------*- C++ -*-===//
+///
+/// \file
+/// The third execution tier of the Machine (docs/VM.md): each
+/// DecodedBlock is compiled once into a straight host x86-64 code
+/// sequence, eliminating the per-uop dispatch and operand-decode tax
+/// the block engine still pays. The compiled code is *semantically the
+/// uop stream*: it reuses the block compiler's operand resolution and
+/// `_NF` flags-liveness results (flag-dead ops emit no FLAGS code at
+/// all), keeps the architectural FLAGS byte current at every
+/// flag-writing uop, and routes every rare or hook-observable operation
+/// (Fallback uops — EXT/INTR/CALL/RET/DIV/... — and memory slow paths)
+/// back into the interpreter's own helpers, so there is exactly one
+/// source of truth for guest semantics.
+///
+/// Execution model (mirrors Machine::runBlocks exactly — the
+/// differential suite in tests/vm_block_test.cpp pins it):
+///
+///   - Guest registers live in memory (CPU::R), addressed off a pinned
+///     host register; hot scratch values use a fixed caller-saved set.
+///   - Every block entry begins with a budget check: a block whose uop
+///     count exceeds the remaining budget bails out, and the driver
+///     finishes the run through step() — so run(K) is bit-exact for
+///     every K, exactly the PR-3 contract.
+///   - Loads/stores/push/pop inline the Memory TLB fast path (hit +
+///     in-page + unwatched + dirty-tracked); anything else calls a C++
+///     helper that performs the full reference semantics including
+///     fault hooks and squash-on-resume.
+///   - Blocks chain directly: block-ending jumps are emitted as a jump
+///     to a resolver stub and patched to the successor's entry once
+///     both sides are compiled (the code-cache analogue of the block
+///     engine's 2-entry Links).
+///   - Computed control flow (CALL/CALLI/RET/JMPI, and helper exits
+///     that merely moved the PC) re-enters compiled code through a
+///     shared dispatch stub: a direct-mapped guest-PC -> host-entry
+///     cache probed without leaving the arena. Misses exit to the
+///     driver, whose dispatch loop refills the cache — so the steady
+///     state of call-heavy (instrumented) code never round-trips
+///     through C++ per call or return.
+///   - Invalidation is wholesale, through the same watch-epoch
+///     mechanism as the block cache: any event that clears decoded
+///     blocks (loadObject, a guest store into the code region, a
+///     baseline reset restoring code pages) also drops every compiled
+///     block and chain patch.
+///
+/// The backend only exists on x86-64 hosts (`#ifdef __x86_64__`);
+/// elsewhere — or when the host refuses executable mappings —
+/// available() is false and the Machine silently runs the block engine
+/// instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_VM_JIT_H
+#define TEAPOT_VM_JIT_H
+
+#include "vm/BlockCache.h"
+#include "vm/CodeBuffer.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace teapot {
+namespace vm {
+
+class Machine;
+
+class Jit {
+public:
+  /// Default arena size. Virtual reservation only — pages materialize
+  /// on first touch, and one contiguous mapping keeps every chain
+  /// patch within rel32 range.
+  static constexpr size_t DefaultArenaBytes = 32u << 20;
+
+  /// True when this host can run JIT-compiled code (x86-64 and the
+  /// kernel accepts executable anonymous mappings). The probe runs
+  /// once; the result is cached.
+  static bool available();
+
+  /// Builds a JIT tier bound to \p M. The compiled code embeds
+  /// absolute addresses of M's state (registers, TLB, counters), so
+  /// the tier must be destroyed with the Machine and M must never
+  /// move. Returns null when !available().
+  static std::unique_ptr<Jit> create(Machine &M);
+  ~Jit();
+
+  Jit(const Jit &) = delete;
+  Jit &operator=(const Jit &) = delete;
+
+  /// The compiled entry point for \p B, compiling it on first use
+  /// (flushing the arena and retrying once if it is full). Null only
+  /// when a single block cannot fit in an empty arena.
+  const void *entry(DecodedBlock &B);
+
+  /// Drops every compiled block, chain patch, and pending resolver.
+  /// Must be called *before* the corresponding BlockCache::clear() (it
+  /// unlinks the DecodedBlocks' JitCode pointers).
+  void flush();
+
+  /// How compiled code leaves the arena, and what the driver does next.
+  enum ExitStatus : uint64_t {
+    /// Control transfer out of compiled code (unchained branch, helper
+    /// divert, hook redirect, code-region patch). C.PC is correct;
+    /// counters are settled; the driver re-dispatches.
+    ExitDivert = 1,
+    /// A helper stopped the machine; the StopState is in
+    /// Machine::JitStop. Counters are settled.
+    ExitStopped = 2,
+    /// A block entry's budget check failed: fewer instructions remain
+    /// than the block holds. C.PC is the block entry; the driver
+    /// finishes the run bit-exactly through step().
+    ExitBudget = 3,
+    /// Internal to generated code — never reaches the driver. A helper
+    /// moved the PC while every compiled block stayed valid (a taken
+    /// CALL/RET/JMPI, or a hook redirect without a code patch): the
+    /// fallback stub settles counters and re-enters through the
+    /// dispatch stub; a dispatch miss demotes the status to ExitDivert.
+    ExitChain = 4,
+  };
+
+  struct ExitState {
+    uint64_t Status;
+    uint64_t Remaining;
+  };
+
+  /// Runs compiled code starting at \p Entry with \p Remaining budget.
+  ExitState run(uint64_t Remaining, const void *Entry) const;
+
+  /// Records \p Entry (a compiled entry for guest \p PC) in the
+  /// in-code dispatch cache. The driver calls this on every dispatch,
+  /// so exactly the targets the run actually reaches become reachable
+  /// without exiting the arena. Entries never outlive the arena
+  /// generation: flush() clears the cache.
+  void noteDispatch(uint64_t PC, const void *Entry);
+
+  // --- Introspection (tests, benchmarks) ---------------------------------
+  size_t compiledBlocks() const { return Compiled.size(); }
+  size_t codeBytes() const { return Arena ? Arena->used() : 0; }
+  uint64_t flushCount() const { return Flushes; }
+  /// Block-to-block jumps patched to a compiled successor so far.
+  uint64_t chainPatchCount() const { return ChainPatches; }
+
+private:
+  explicit Jit(Machine &M, std::unique_ptr<CodeBuffer> Arena);
+
+  /// Compiles \p B at the arena bump pointer. Returns null when the
+  /// arena is full (caller flushes and retries).
+  const void *compile(DecodedBlock &B);
+  void emitRuntimeStubs();
+
+  // Out-of-line slow paths called from generated code. Each performs
+  // the reference semantics (region check, fault hook, squash on
+  // resume) and returns 0 = continue in-block, ExitDivert, or
+  // ExitStopped (with Machine::JitStop filled in); fallbackSlow also
+  // returns ExitChain for in-arena re-dispatch (see ExitStatus).
+  static uint64_t loadSlow(Machine *M, uint64_t Addr, uint64_t NextPC,
+                           uint64_t Packed);
+  static uint64_t storeSlow(Machine *M, uint64_t Addr, uint64_t NextPC,
+                            uint64_t Value, uint64_t SizeLog);
+  static uint64_t pushSlow(Machine *M, uint64_t Value, uint64_t NextPC);
+  static uint64_t popSlow(Machine *M, uint64_t Reg, uint64_t NextPC);
+  static uint64_t fallbackSlow(Machine *M, const BlockInst *BI);
+  /// Runs \p N consecutive INTR uops as one call — intrinsics are the
+  /// bulk of an instrumented instruction stream (they outnumber real
+  /// instructions), and they arrive in adjacent runs, so one call per
+  /// run replaces one generated-code round trip per intrinsic. Returns
+  /// status | (consumed << 3); consumed counts the uop that produced a
+  /// nonzero status, matching the per-uop settle convention.
+  static uint64_t intrRunSlow(Machine *M, const BlockInst *BI, uint64_t N);
+
+  Machine &M;
+  std::unique_ptr<CodeBuffer> Arena;
+
+  /// Entry thunk (saves host state, pins the register map, jumps into a
+  /// block) and shared exit epilogue, emitted once per arena lifetime.
+  const void *EnterThunk = nullptr;
+  const uint8_t *Epilogue = nullptr;
+  /// Shared in-code re-dispatch: probes the Dispatch cache for C.PC and
+  /// jumps straight to the compiled entry; misses exit with ExitDivert.
+  const uint8_t *DispatchStub = nullptr;
+
+  /// Direct-mapped guest-PC -> compiled-entry cache probed by the
+  /// dispatch stub. Sized once in the constructor (the stub embeds
+  /// data()); slots hold an impossible PC until filled.
+  struct DispatchEntry {
+    uint64_t PC = ~0ULL;
+    const void *Entry = nullptr;
+  };
+  static constexpr size_t DispatchSlots = 512;
+  static size_t dispatchSlot(uint64_t PC) {
+    // Must match the hash the dispatch stub computes.
+    return ((PC >> 2) ^ PC) & (DispatchSlots - 1);
+  }
+  std::vector<DispatchEntry> Dispatch;
+
+  /// Blocks holding a JitCode pointer into the current arena
+  /// generation; flush() unlinks exactly these.
+  std::vector<DecodedBlock *> Compiled;
+  /// Compiled entry by guest PC, for chain resolution.
+  std::unordered_map<uint64_t, const uint8_t *> EntryByPC;
+  /// Unresolved chain sites: guest target PC -> arena offset of the
+  /// jump's rel32 field. Patched when the target compiles.
+  std::unordered_multimap<uint64_t, uint32_t> PendingChains;
+
+  uint64_t Flushes = 0;
+  uint64_t ChainPatches = 0;
+};
+
+} // namespace vm
+} // namespace teapot
+
+#endif // TEAPOT_VM_JIT_H

@@ -3,12 +3,16 @@
 #include "vm/Machine.h"
 
 #include "obj/Layout.h"
+#include "vm/Jit.h"
 
 #include <algorithm>
 
 using namespace teapot;
 using namespace teapot::isa;
 using namespace teapot::vm;
+
+// Out of line: ~Jit must be visible to delete JitTier.
+Machine::~Machine() = default;
 
 Machine::Machine() {
   MallocFn = [](Machine &M, uint64_t Size) {
@@ -23,6 +27,11 @@ Machine::Machine() {
 
 Error Machine::loadObject(const obj::ObjectFile &Obj) {
   ICache.clear();
+  // Drop JIT code before the decoded blocks it hangs off (flush unlinks
+  // the DecodedBlocks' JitCode pointers); setCodeRegion below clears
+  // the blocks themselves.
+  if (JitTier)
+    JitTier->flush();
   uint64_t CodeLo = ~0ULL, CodeHi = 0;
   for (const obj::Section &S : Obj.Sections) {
     if (S.Kind == obj::SectionKind::Code && S.size()) {
@@ -441,8 +450,119 @@ bool Machine::step(StopState &StopOut) {
   return exec(*D, StopOut);
 }
 
+Machine::Engine Machine::resolvedEngine() const {
+  return resolveEngine(Eng);
+}
+
+Machine::Engine teapot::vm::resolveEngine(Machine::Engine E) {
+  if (E == Machine::Engine::Jit && !Jit::available())
+    return Machine::Engine::Block; // non-x86-64, or executable maps refused
+  return E;
+}
+
 StopState Machine::run(uint64_t MaxInsts) {
-  return UseBlockEngine ? runBlocks(MaxInsts) : runReference(MaxInsts);
+  switch (resolvedEngine()) {
+  case Engine::Interpreter:
+    return runReference(MaxInsts);
+  case Engine::Block:
+    return runBlocks(MaxInsts);
+  case Engine::Jit:
+    return runJit(MaxInsts);
+  }
+  return runBlocks(MaxInsts);
+}
+
+/// The JIT driver: dispatches compiled blocks, falling back to step()
+/// for PCs without a block (halt sentinel, wild fetches) and for the
+/// budget tail — the same structure as runBlocks' dispatch loop, with
+/// the uop loop replaced by a call into generated code. Counters and
+/// the PC are settled by the generated code on every exit path, so the
+/// accounting is identical to both other engines.
+StopState Machine::runJit(uint64_t MaxInsts) {
+  if (!JitTier) {
+    JitTier = Jit::create(*this);
+    if (!JitTier)
+      return runBlocks(MaxInsts); // capability probe failed at runtime
+  }
+  StopState Stop;
+  // StopState writes are one-shot within a run; clear the helpers'
+  // sink so nothing stale leaks across runs.
+  JitStop = StopState{};
+  uint64_t Remaining = MaxInsts;
+  for (;;) {
+    if (__builtin_expect(BlocksEpoch != Mem.watchEpoch(), 0)) {
+      // A store hit the code region: every block — and every compiled
+      // chain — is stale. Flush the JIT first; it unlinks the JitCode
+      // pointers of exactly the blocks clear() is about to destroy.
+      JitTier->flush();
+      Blocks.clear();
+      BlocksEpoch = Mem.watchEpoch();
+    }
+    if (!Remaining) {
+      Stop.Kind = StopKind::OutOfGas;
+      return Stop;
+    }
+    DecodedBlock *B = Blocks.lookup(C.PC, Mem);
+    const void *Entry = B ? JitTier->entry(*B) : nullptr;
+    if (!Entry) {
+      // No block here (sentinel, undecodable, outside code) or a block
+      // too large for an empty arena: exact single-step semantics, one
+      // budget unit per step() as in the reference loop.
+      if (!step(Stop))
+        return Stop;
+      --Remaining;
+      continue;
+    }
+    // Refill the in-code dispatch cache: the next computed branch
+    // (CALL/RET/JMPI) to this PC re-enters compiled code directly,
+    // without this loop.
+    JitTier->noteDispatch(B->Entry, Entry);
+    Jit::ExitState E = JitTier->run(Remaining, Entry);
+    Remaining = E.Remaining;
+    switch (E.Status) {
+    case Jit::ExitDivert:
+      continue; // control left compiled code; C.PC is correct
+    case Jit::ExitStopped:
+      return JitStop;
+    case Jit::ExitBudget:
+      // The budget expires inside the block at C.PC. Blocks elide dead
+      // flag updates and defer PC writes, so the tail executes through
+      // the reference step() path, which stops bit-exactly — the same
+      // rule as runBlocks' enter_block check.
+      while (Remaining) {
+        if (!step(Stop))
+          return Stop;
+        --Remaining;
+      }
+      Stop.Kind = StopKind::OutOfGas;
+      return Stop;
+    }
+  }
+}
+
+const char *teapot::vm::engineName(Machine::Engine E) {
+  switch (E) {
+  case Machine::Engine::Interpreter:
+    return "interp";
+  case Machine::Engine::Block:
+    return "block";
+  case Machine::Engine::Jit:
+    return "jit";
+  }
+  return "?";
+}
+
+bool teapot::vm::parseEngineName(std::string_view Name,
+                                 Machine::Engine &Out) {
+  if (Name == "interp")
+    Out = Machine::Engine::Interpreter;
+  else if (Name == "block")
+    Out = Machine::Engine::Block;
+  else if (Name == "jit")
+    Out = Machine::Engine::Jit;
+  else
+    return false;
+  return true;
 }
 
 /// The reference interpreter: the original per-instruction loop. Every

@@ -31,12 +31,16 @@
 #include "vm/Memory.h"
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace teapot {
 namespace vm {
+
+class Jit;
 
 /// Architectural register state.
 struct CPU {
@@ -91,6 +95,12 @@ enum ExtIndex : uint8_t {
 class Machine {
 public:
   Machine();
+  ~Machine();
+
+  /// Non-copyable: the JIT tier (and the UseBlockEngine shim) embed
+  /// absolute addresses of this object's state.
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
 
   CPU C;
   Memory Mem;
@@ -107,10 +117,9 @@ public:
   /// the start of a fresh run on the same binary.
   void resetToBaseline();
 
-  /// Executes up to \p MaxInsts instructions through the block-compiled
-  /// engine (or the reference interpreter when UseBlockEngine is off;
-  /// both engines are exactly equivalent, including budget accounting —
-  /// see docs/VM.md and tests/vm_block_test.cpp).
+  /// Executes up to \p MaxInsts instructions through the selected
+  /// execution tier (all tiers are exactly equivalent, including budget
+  /// accounting — see docs/VM.md and tests/vm_block_test.cpp).
   StopState run(uint64_t MaxInsts);
 
   /// Executes one instruction; returns false if the machine stopped
@@ -118,10 +127,37 @@ public:
   /// run() composes whole decoded blocks out of the same semantics.
   bool step(StopState &StopOut);
 
-  /// Engine selector: block-compiled execution by default; switch off to
-  /// run the reference step() interpreter (differential testing, or
-  /// callers that single-step anyway).
-  bool UseBlockEngine = true;
+  /// The execution tiers, in increasing throughput order. All three are
+  /// bit-exact against each other for every budget cutoff; they differ
+  /// only in speed (docs/VM.md).
+  enum class Engine : uint8_t {
+    Interpreter, ///< reference single-step loop (runReference)
+    Block,       ///< block-compiled threaded interpreter (runBlocks)
+    Jit,         ///< per-block host x86-64 codegen (vm/Jit.h)
+  };
+
+  /// Engine selector. Jit silently resolves to Block on hosts without a
+  /// JIT backend (non-x86-64, or executable mappings refused) — see
+  /// resolvedEngine().
+  Engine Eng = Engine::Jit;
+
+  /// The engine run() will actually use: Eng, downgraded to Block when
+  /// the JIT backend is unavailable on this host.
+  Engine resolvedEngine() const;
+
+  /// Back-compat shim for the old two-tier bool knob: assigning `true`
+  /// selects the Block engine, `false` the reference interpreter;
+  /// reading answers "is a compiled engine on?". New code should set
+  /// Eng directly.
+  struct EngineBoolShim {
+    Engine &E;
+    EngineBoolShim &operator=(bool B) {
+      E = B ? Engine::Block : Engine::Interpreter;
+      return *this;
+    }
+    operator bool() const { return E != Engine::Interpreter; }
+  };
+  EngineBoolShim UseBlockEngine{Eng};
 
   /// Cap on the *accumulated* output() size across ExtWriteOut calls
   /// (each call is additionally capped at 1 MiB). Long campaigns on
@@ -154,6 +190,9 @@ public:
   uint64_t executedIntrinsics() const { return ExecutedIntrinsics; }
   /// The block-compilation front-end (compiled-block count, code region).
   const BlockCache &blockCache() const { return Blocks; }
+  /// The JIT tier, or null while nothing has been JIT-executed yet
+  /// (created lazily on the first runJit dispatch).
+  const Jit *jit() const { return JitTier.get(); }
 
   /// Decodes (with caching) the instruction at \p Addr. Returns null on
   /// failure. The runtime uses this to inspect covered instructions.
@@ -173,6 +212,11 @@ public:
   static constexpr uint64_t HaltSentinel = 0x7fff'dead'0000ULL;
 
 private:
+  /// The JIT tier's generated code and slow-path helpers operate on the
+  /// same private state as the in-class engines (guestRead/guestWrite,
+  /// exec, the epoch bookkeeping) — one source of truth for semantics.
+  friend class Jit;
+
   /// Outcome of a guest memory access. When the fault hook resumes the
   /// machine (Resumed), the faulting instruction is *squashed*: it
   /// retires no architectural side effects (no destination write, no SP
@@ -184,6 +228,7 @@ private:
 
   StopState runBlocks(uint64_t MaxInsts);
   StopState runReference(uint64_t MaxInsts);
+  StopState runJit(uint64_t MaxInsts);
   bool exec(const isa::Decoded &D, StopState &StopOut);
   bool execExt(uint64_t Index, StopState &StopOut);
   Access guestRead(uint64_t Addr, uint64_t &Out, unsigned Size, bool Signed,
@@ -207,10 +252,31 @@ private:
   uint64_t ExecutedInsts = 0;
   uint64_t ExecutedIntrinsics = 0;
 
+  /// The JIT tier (lazily created by runJit) and the StopState its
+  /// slow-path helpers fill in when they stop the machine. Reset at the
+  /// top of every runJit call: StopState writes are one-shot within a
+  /// run, exactly like the engines' local Stop.
+  std::unique_ptr<Jit> JitTier;
+  StopState JitStop;
+
   // Baseline for resets.
   CPU BaselineCPU;
   uint64_t BaselineHeapBump = 0;
 };
+
+/// Stable lower-case engine name ("interp", "block", "jit") for CLI
+/// flags, JSON scan results, and benchmark rows.
+const char *engineName(Machine::Engine E);
+
+/// \p E with the host capability applied: Jit downgrades to Block when
+/// no JIT backend exists on this host. What Machine::resolvedEngine()
+/// reports, without needing a Machine — lets tools record the engine a
+/// config will actually run on.
+Machine::Engine resolveEngine(Machine::Engine E);
+
+/// Parses an engine name as accepted by `--engine`; returns false (and
+/// leaves \p Out untouched) on anything unrecognized.
+bool parseEngineName(std::string_view Name, Machine::Engine &Out);
 
 } // namespace vm
 } // namespace teapot

@@ -51,6 +51,8 @@
 namespace teapot {
 namespace vm {
 
+class Jit;
+
 class Memory {
 public:
   static constexpr uint64_t PageSize = 4096;
@@ -176,6 +178,11 @@ public:
   size_t baselinePageCount() const { return Baseline.size(); }
 
 private:
+  /// The JIT tier emits the TLB probe, dirty-bit test, and watch-range
+  /// exclusion inline in generated code, reading the same structures the
+  /// accessors above use (docs/VM.md).
+  friend class Jit;
+
   // Direct-mapped TLB. Index ~0 is an impossible page index (addresses
   // are 64-bit, so real indices fit in 52 bits) and marks an empty slot.
   // Cell == nullptr with a matching Idx is a cached negative entry

@@ -1,17 +1,24 @@
-//===- tests/vm_block_test.cpp - Block engine ≡ reference interpreter -------===//
+//===- tests/vm_block_test.cpp - Execution tiers ≡ reference interpreter ----===//
 //
-// Differential tests for the block-compiled execution engine
-// (vm/BlockCache + Machine::runBlocks): on every workload and on an
-// instrumented target, the block engine must produce exactly the state
-// the reference step() interpreter produces — StopState, register file,
-// FLAGS, PC, executed-instruction counts, and output bytes — including
-// at every possible budget cutoff and across fault-hook redirects.
-// Plus BlockCache invalidation coverage on loadObject.
+// Differential tests for the Machine's execution tiers (block-compiled
+// engine and the x86-64 JIT): on every workload and on an instrumented
+// target, every engine must produce exactly the state the reference
+// step() interpreter produces — StopState, register file, FLAGS, PC,
+// executed-instruction counts, and output bytes — including at every
+// possible budget cutoff and across fault-hook redirects. Plus
+// invalidation coverage: loadObject, guest stores into the code region
+// (which must also unlink JIT block chains), and the engine knob's
+// back-compat shim.
+//
+// On hosts without a JIT backend, Engine::Jit resolves to Block, so the
+// jit-parametrized differential cases still run (trivially, as a second
+// block-engine pass); the JIT-introspection tests skip themselves.
 //
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
 #include "obj/Layout.h"
+#include "vm/Jit.h"
 #include "workloads/Harness.h"
 #include "workloads/Programs.h"
 
@@ -24,6 +31,10 @@ using namespace teapot::workloads;
 
 namespace {
 
+/// The non-reference tiers, each diffed against Engine::Interpreter.
+constexpr Machine::Engine CompiledEngines[] = {Machine::Engine::Block,
+                                               Machine::Engine::Jit};
+
 struct EngineState {
   StopState Stop;
   CPU C;
@@ -32,10 +43,10 @@ struct EngineState {
   std::vector<uint8_t> Output;
 };
 
-EngineState runEngine(const obj::ObjectFile &Bin, bool BlockEngine,
+EngineState runEngine(const obj::ObjectFile &Bin, Machine::Engine Eng,
                       const std::vector<uint8_t> &Input, uint64_t Budget) {
   Machine M;
-  M.UseBlockEngine = BlockEngine;
+  M.Eng = Eng;
   cantFail(M.loadObject(Bin));
   M.setInput(Input);
   EngineState S;
@@ -62,8 +73,10 @@ void expectSameState(const EngineState &B, const EngineState &R,
   EXPECT_EQ(B.Output, R.Output) << What;
 }
 
-class WorkloadDifferential
-    : public ::testing::TestWithParam<const Workload *> {};
+/// (workload, engine) differential matrix.
+using DiffParam = std::tuple<const Workload *, Machine::Engine>;
+
+class WorkloadDifferential : public ::testing::TestWithParam<DiffParam> {};
 
 std::vector<const Workload *> allParams() {
   std::vector<const Workload *> Out;
@@ -75,71 +88,88 @@ std::vector<const Workload *> allParams() {
 } // namespace
 
 // Every evaluation workload, on every seed plus the large crafted
-// input: block engine ≡ reference interpreter, bit for bit.
-TEST_P(WorkloadDifferential, BlockEngineMatchesReference) {
-  const Workload &W = *GetParam();
+// input: each compiled engine ≡ reference interpreter, bit for bit.
+TEST_P(WorkloadDifferential, EngineMatchesReference) {
+  const Workload &W = *std::get<0>(GetParam());
+  Machine::Engine Eng = std::get<1>(GetParam());
   obj::ObjectFile Bin = compileOrDie(W.Source);
   std::vector<std::vector<uint8_t>> Inputs = W.Seeds();
   Inputs.push_back(W.LargeInput(2500));
   for (const auto &In : Inputs) {
-    EngineState B = runEngine(Bin, /*BlockEngine=*/true, In, 20'000'000);
-    EngineState R = runEngine(Bin, /*BlockEngine=*/false, In, 20'000'000);
-    expectSameState(B, R, std::string(W.Name) + "/" +
+    EngineState E = runEngine(Bin, Eng, In, 20'000'000);
+    EngineState R =
+        runEngine(Bin, Machine::Engine::Interpreter, In, 20'000'000);
+    expectSameState(E, R, std::string(W.Name) + "/" +
                               std::to_string(In.size()) + "B");
-    EXPECT_GT(B.Insts, 0u);
+    EXPECT_GT(E.Insts, 0u);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDifferential,
-                         ::testing::ValuesIn(allParams()),
-                         [](const auto &Info) {
-                           return std::string(Info.param->Name);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadDifferential,
+    ::testing::Combine(::testing::ValuesIn(allParams()),
+                       ::testing::ValuesIn(CompiledEngines)),
+    [](const auto &Info) {
+      return std::string(std::get<0>(Info.param)->Name) + "_" +
+             engineName(std::get<1>(Info.param));
+    });
 
-// The Teapot-instrumented jsmn fixture: both engines drive the full
+// The Teapot-instrumented jsmn fixture: all engines drive the full
 // runtime (speculation simulation, rollbacks, DIFT, coverage) to the
 // same architectural results — StopState, registers, coverage maps,
 // and gadget reports.
-TEST(BlockEngineInstrumented, JsmnFixtureMatchesReference) {
+TEST(EngineInstrumented, JsmnFixtureMatchesReference) {
   const Workload &W = *findWorkload("jsmn");
   obj::ObjectFile Bin = compileOrDie(W.Source);
   Bin.strip();
   core::RewriteResult RW = rewriteOrDie(Bin);
 
   runtime::RuntimeOptions RT;
-  InstrumentedTarget Block(RW, RT);
-  InstrumentedTarget Ref(RW, RT);
-  Ref.M.UseBlockEngine = false;
-
   std::vector<std::vector<uint8_t>> Inputs = W.Seeds();
   Inputs.push_back(W.LargeInput(1200));
   Inputs.push_back({'{', '[', '"', 0xff, 'x'}); // malformed on purpose
-  for (const auto &In : Inputs) {
-    Block.execute(In);
-    Ref.execute(In);
-    EXPECT_EQ(Block.LastStop.Kind, Ref.LastStop.Kind);
-    EXPECT_EQ(Block.LastStop.ExitStatus, Ref.LastStop.ExitStatus);
-    EXPECT_EQ(Block.M.C.PC, Ref.M.C.PC);
-    EXPECT_EQ(Block.M.C.Flags, Ref.M.C.Flags);
-    for (unsigned I = 0; I != isa::NumRegs; ++I)
-      EXPECT_EQ(Block.M.C.R[I], Ref.M.C.R[I]) << "r" << I;
-    EXPECT_EQ(Block.M.executedInsts(), Ref.M.executedInsts());
-    EXPECT_EQ(Block.M.executedIntrinsics(), Ref.M.executedIntrinsics());
-    EXPECT_EQ(Block.M.output(), Ref.M.output());
-    EXPECT_EQ(Block.normalCoverage(), Ref.normalCoverage());
-    EXPECT_EQ(Block.specCoverage(), Ref.specCoverage());
-    EXPECT_EQ(Block.uniqueGadgets(), Ref.uniqueGadgets());
+
+  for (Machine::Engine Eng : CompiledEngines) {
+    // Fresh pair per engine: runtime state (coverage maps, gadget
+    // tables) accumulates across executes, so both sides must see the
+    // same history.
+    InstrumentedTarget Ref(RW, RT);
+    Ref.M.Eng = Machine::Engine::Interpreter;
+    InstrumentedTarget T(RW, RT);
+    T.M.Eng = Eng;
+    for (const auto &In : Inputs) {
+      T.execute(In);
+      Ref.execute(In);
+      const char *N = engineName(Eng);
+      EXPECT_EQ(T.LastStop.Kind, Ref.LastStop.Kind) << N;
+      EXPECT_EQ(T.LastStop.ExitStatus, Ref.LastStop.ExitStatus) << N;
+      EXPECT_EQ(T.M.C.PC, Ref.M.C.PC) << N;
+      EXPECT_EQ(T.M.C.Flags, Ref.M.C.Flags) << N;
+      for (unsigned I = 0; I != isa::NumRegs; ++I)
+        EXPECT_EQ(T.M.C.R[I], Ref.M.C.R[I]) << N << " r" << I;
+      EXPECT_EQ(T.M.executedInsts(), Ref.M.executedInsts()) << N;
+      EXPECT_EQ(T.M.executedIntrinsics(), Ref.M.executedIntrinsics()) << N;
+      EXPECT_EQ(T.M.output(), Ref.M.output()) << N;
+      EXPECT_EQ(T.normalCoverage(), Ref.normalCoverage()) << N;
+      EXPECT_EQ(T.specCoverage(), Ref.specCoverage()) << N;
+      EXPECT_EQ(T.uniqueGadgets(), Ref.uniqueGadgets()) << N;
+    }
+    // The compiled engine actually engaged (not a trivial pass).
+    EXPECT_GT(T.M.blockCache().blockCount(), 0u);
+    if (Eng == Machine::Engine::Jit && Jit::available()) {
+      ASSERT_NE(T.M.jit(), nullptr);
+      EXPECT_GT(T.M.jit()->compiledBlocks(), 0u);
+      EXPECT_GT(T.M.jit()->chainPatchCount(), 0u);
+    }
+    EXPECT_EQ(Ref.M.blockCache().blockCount(), 0u);
   }
-  // The block engine actually engaged (this is not a trivial pass).
-  EXPECT_GT(Block.M.blockCache().blockCount(), 0u);
-  EXPECT_EQ(Ref.M.blockCache().blockCount(), 0u);
 }
 
-// Budget accounting must be *exact*: for every cutoff k, both engines
-// stop at the same instruction with the same state. The program mixes
+// Budget accounting must be *exact*: for every cutoff k, every engine
+// stops at the same instruction with the same state. The program mixes
 // straight-line ALU runs, loads/stores, calls, and a loop, so cutoffs
 // land on every uop class including mid-block boundaries.
-TEST(BlockEngineBudget, ExactAtEveryCutoff) {
+TEST(EngineBudget, ExactAtEveryCutoff) {
   auto Bin = assembleOrDie(R"(
 .text
 main:
@@ -162,21 +192,25 @@ buf:
     .space 8
 )");
   // Find the total step count first, then sweep every budget 0..N+2.
-  EngineState Full = runEngine(Bin, false, {}, 1'000'000);
+  EngineState Full = runEngine(Bin, Machine::Engine::Interpreter, {},
+                               1'000'000);
   ASSERT_EQ(Full.Stop.Kind, StopKind::Halted);
   for (uint64_t K = 0; K <= Full.Insts + 2; ++K) {
-    EngineState B = runEngine(Bin, true, {}, K);
-    EngineState R = runEngine(Bin, false, {}, K);
-    expectSameState(B, R, "budget=" + std::to_string(K));
-    if (K <= Full.Insts)
-      EXPECT_EQ(B.Insts, K);
+    EngineState R = runEngine(Bin, Machine::Engine::Interpreter, {}, K);
+    for (Machine::Engine Eng : CompiledEngines) {
+      EngineState E = runEngine(Bin, Eng, {}, K);
+      expectSameState(E, R, std::string(engineName(Eng)) +
+                                " budget=" + std::to_string(K));
+      if (K <= Full.Insts)
+        EXPECT_EQ(E.Insts, K);
+    }
   }
 }
 
 // A fault-hook redirect consumes one budget unit without executing an
-// instruction (the reference loop's accounting); the block engine must
+// instruction (the reference loop's accounting); every engine must
 // replicate that, and resume correctly at the redirect target.
-TEST(BlockEngineFaults, HookRedirectBudgetParity) {
+TEST(EngineFaults, HookRedirectBudgetParity) {
   auto Bin = assembleOrDie(R"(
 .text
 main:
@@ -189,27 +223,32 @@ recover:
 )");
   const obj::Symbol *Rec = Bin.findSymbol("recover");
   ASSERT_NE(Rec, nullptr);
+  auto RunHooked = [&](Machine::Engine Eng, uint64_t K) {
+    Machine M;
+    M.Eng = Eng;
+    cantFail(M.loadObject(Bin));
+    M.FaultHook = [&](Machine &Mach, FaultKind, uint64_t) {
+      Mach.C.PC = Rec->Addr;
+      return true;
+    };
+    EngineState S;
+    S.Stop = M.run(K);
+    S.C = M.C;
+    S.Insts = M.executedInsts();
+    S.Output = M.output();
+    return S;
+  };
   for (uint64_t K = 0; K <= 8; ++K) {
-    EngineState S[2];
-    for (int E = 0; E != 2; ++E) {
-      Machine M;
-      M.UseBlockEngine = E == 0;
-      cantFail(M.loadObject(Bin));
-      M.FaultHook = [&](Machine &Mach, FaultKind, uint64_t) {
-        Mach.C.PC = Rec->Addr;
-        return true;
-      };
-      S[E].Stop = M.run(K);
-      S[E].C = M.C;
-      S[E].Insts = M.executedInsts();
-      S[E].Output = M.output();
-    }
-    expectSameState(S[0], S[1], "hook budget=" + std::to_string(K));
+    EngineState R = RunHooked(Machine::Engine::Interpreter, K);
+    for (Machine::Engine Eng : CompiledEngines)
+      expectSameState(RunHooked(Eng, K), R,
+                      std::string(engineName(Eng)) +
+                          " hook budget=" + std::to_string(K));
   }
 }
 
-// An unhandled fault stops both engines with identical fault details.
-TEST(BlockEngineFaults, UnhandledFaultParity) {
+// An unhandled fault stops every engine with identical fault details.
+TEST(EngineFaults, UnhandledFaultParity) {
   auto Bin = assembleOrDie(R"(
 .text
 main:
@@ -218,17 +257,19 @@ main:
     st4 [r1], r0
     halt
 )");
-  EngineState B = runEngine(Bin, true, {}, 100);
-  EngineState R = runEngine(Bin, false, {}, 100);
-  expectSameState(B, R, "unhandled fault");
-  EXPECT_EQ(B.Stop.Kind, StopKind::Fault);
-  EXPECT_EQ(B.Stop.Fault, FaultKind::BadMemory);
+  EngineState R = runEngine(Bin, Machine::Engine::Interpreter, {}, 100);
+  EXPECT_EQ(R.Stop.Kind, StopKind::Fault);
+  EXPECT_EQ(R.Stop.Fault, FaultKind::BadMemory);
+  for (Machine::Engine Eng : CompiledEngines)
+    expectSameState(runEngine(Bin, Eng, {}, 100), R,
+                    std::string(engineName(Eng)) + " unhandled fault");
 }
 
-// loadObject must invalidate the block cache: after loading a second
-// binary with different code at the same addresses, stale blocks from
-// the first binary must not execute.
-TEST(BlockCacheInvalidation, LoadObjectDropsBlocks) {
+// loadObject must invalidate the decoded-block and JIT caches: after
+// loading a second binary with different code at the same addresses,
+// stale blocks (or stale compiled host code) from the first binary must
+// not execute.
+TEST(CacheInvalidation, LoadObjectDropsBlocks) {
   auto BinA = assembleOrDie(R"(
 .text
 main:
@@ -243,24 +284,32 @@ main:
     mul r0, 30
     halt
 )");
-  Machine M;
-  cantFail(M.loadObject(BinA));
-  EXPECT_EQ(M.run(100).ExitStatus, 11u);
-  size_t BlocksA = M.blockCache().blockCount();
-  EXPECT_GT(BlocksA, 0u);
+  for (Machine::Engine Eng : CompiledEngines) {
+    Machine M;
+    M.Eng = Eng;
+    cantFail(M.loadObject(BinA));
+    EXPECT_EQ(M.run(100).ExitStatus, 11u) << engineName(Eng);
+    EXPECT_GT(M.blockCache().blockCount(), 0u) << engineName(Eng);
 
-  cantFail(M.loadObject(BinB));
-  EXPECT_EQ(M.blockCache().blockCount(), 0u) << "stale blocks survived";
-  EXPECT_EQ(M.run(100).ExitStatus, 60u)
-      << "executed stale code from the previous image";
+    cantFail(M.loadObject(BinB));
+    EXPECT_EQ(M.blockCache().blockCount(), 0u)
+        << engineName(Eng) << ": stale blocks survived";
+    if (Eng == Machine::Engine::Jit && Jit::available()) {
+      ASSERT_NE(M.jit(), nullptr);
+      EXPECT_EQ(M.jit()->compiledBlocks(), 0u) << "stale JIT code survived";
+    }
+    EXPECT_EQ(M.run(100).ExitStatus, 60u)
+        << engineName(Eng)
+        << ": executed stale code from the previous image";
+  }
 }
 
 // A guest store into the code region (any fuzzed wild store can reach
 // it) must invalidate decoded blocks — including the rest of the block
 // the store itself sits in, which decode-ahead compiled from the
-// pre-store bytes. Both engines must fault identically at the smashed
+// pre-store bytes. Every engine must fault identically at the smashed
 // instruction.
-TEST(BlockEngineCoherence, GuestStoreIntoCodeRegion) {
+TEST(EngineCoherence, GuestStoreIntoCodeRegion) {
   auto Bin = assembleOrDie(R"(
 .text
 main:
@@ -270,18 +319,20 @@ patch:
     mov r0, 2             ; decoded ahead of time, never validly executed
     halt
 )");
-  EngineState B = runEngine(Bin, true, {}, 100);
-  EngineState R = runEngine(Bin, false, {}, 100);
-  expectSameState(B, R, "store into code");
-  EXPECT_EQ(B.Stop.Kind, StopKind::Fault);
-  EXPECT_EQ(B.Stop.Fault, FaultKind::BadFetch);
-  EXPECT_EQ(B.C.R[isa::R0], 1u) << "stale pre-store decode executed";
+  EngineState R = runEngine(Bin, Machine::Engine::Interpreter, {}, 100);
+  for (Machine::Engine Eng : CompiledEngines) {
+    EngineState E = runEngine(Bin, Eng, {}, 100);
+    expectSameState(E, R, std::string(engineName(Eng)) + " store into code");
+    EXPECT_EQ(E.Stop.Kind, StopKind::Fault);
+    EXPECT_EQ(E.Stop.Fault, FaultKind::BadFetch);
+    EXPECT_EQ(E.C.R[isa::R0], 1u) << "stale pre-store decode executed";
+  }
 }
 
 // Chained hot loops and the sentinel return path: a RET from the entry
 // lands on the halt sentinel, which has no block (outside the code
-// region) and must halt identically on both engines.
-TEST(BlockEngine, SentinelReturnParity) {
+// region) and must halt identically on every engine.
+TEST(EngineParity, SentinelReturnParity) {
   auto Bin = assembleOrDie(R"(
 .text
 main:
@@ -294,17 +345,18 @@ again:
     j.ne again
     ret
 )");
-  EngineState B = runEngine(Bin, true, {}, 10'000);
-  EngineState R = runEngine(Bin, false, {}, 10'000);
-  expectSameState(B, R, "sentinel return");
-  EXPECT_EQ(B.Stop.Kind, StopKind::Halted);
-  EXPECT_EQ(B.Stop.ExitStatus, 203u);
+  EngineState R = runEngine(Bin, Machine::Engine::Interpreter, {}, 10'000);
+  EXPECT_EQ(R.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(R.Stop.ExitStatus, 203u);
+  for (Machine::Engine Eng : CompiledEngines)
+    expectSameState(runEngine(Bin, Eng, {}, 10'000), R,
+                    std::string(engineName(Eng)) + " sentinel return");
 }
 
 // The accumulated-output cap (MaxOutputBytes): output stops growing at
-// the cap, identically on both engines, and the guest still runs to
+// the cap, identically on every engine, and the guest still runs to
 // completion.
-TEST(BlockEngine, OutputCapKnob) {
+TEST(EngineParity, OutputCapKnob) {
   auto Bin = assembleOrDie(R"(
 .text
 main:
@@ -323,14 +375,128 @@ buf:
     .quad 0x1111111111111111
     .quad 0x2222222222222222
 )");
-  for (bool Block : {true, false}) {
+  for (Machine::Engine Eng :
+       {Machine::Engine::Interpreter, Machine::Engine::Block,
+        Machine::Engine::Jit}) {
     Machine M;
-    M.UseBlockEngine = Block;
+    M.Eng = Eng;
     M.MaxOutputBytes = 40; // cap mid-write: 2 full writes + 8 bytes
     cantFail(M.loadObject(Bin));
     StopState S = M.run(10'000);
-    EXPECT_EQ(S.Kind, StopKind::Halted);
-    EXPECT_EQ(S.ExitStatus, 0u);
-    EXPECT_EQ(M.output().size(), 40u);
+    EXPECT_EQ(S.Kind, StopKind::Halted) << engineName(Eng);
+    EXPECT_EQ(S.ExitStatus, 0u) << engineName(Eng);
+    EXPECT_EQ(M.output().size(), 40u) << engineName(Eng);
   }
+}
+
+// The old two-tier bool knob still works: it maps onto the Engine enum
+// without ever selecting the JIT (exactly the pre-Engine behavior).
+TEST(EngineKnob, UseBlockEngineShim) {
+  Machine M;
+  M.UseBlockEngine = false;
+  EXPECT_EQ(M.Eng, Machine::Engine::Interpreter);
+  EXPECT_FALSE(static_cast<bool>(M.UseBlockEngine));
+  M.UseBlockEngine = true;
+  EXPECT_EQ(M.Eng, Machine::Engine::Block);
+  EXPECT_TRUE(static_cast<bool>(M.UseBlockEngine));
+  M.Eng = Machine::Engine::Jit;
+  EXPECT_TRUE(static_cast<bool>(M.UseBlockEngine));
+}
+
+TEST(EngineKnob, Names) {
+  EXPECT_STREQ(engineName(Machine::Engine::Interpreter), "interp");
+  EXPECT_STREQ(engineName(Machine::Engine::Block), "block");
+  EXPECT_STREQ(engineName(Machine::Engine::Jit), "jit");
+  Machine::Engine E = Machine::Engine::Block;
+  EXPECT_TRUE(parseEngineName("jit", E));
+  EXPECT_EQ(E, Machine::Engine::Jit);
+  EXPECT_TRUE(parseEngineName("interp", E));
+  EXPECT_EQ(E, Machine::Engine::Interpreter);
+  EXPECT_TRUE(parseEngineName("block", E));
+  EXPECT_EQ(E, Machine::Engine::Block);
+  E = Machine::Engine::Jit;
+  EXPECT_FALSE(parseEngineName("blocks", E));
+  EXPECT_FALSE(parseEngineName("", E));
+  EXPECT_FALSE(parseEngineName("JIT", E));
+  EXPECT_EQ(E, Machine::Engine::Jit) << "failed parse must not write";
+}
+
+// --- JIT-specific coverage (skipped where no backend exists) -------------
+
+// A hot loop compiles, chains its back edge, and a later guest store
+// into the code region drops *all* compiled code — including the chain
+// patches — through the watch-epoch flush. The stale-code check is the
+// loop result: if the smashed tail executed from a surviving chained
+// block, r0 would read 99.
+TEST(JitEngine, ChainedBlocksUnlinkedAfterCodeWrite) {
+  if (!Jit::available())
+    GTEST_SKIP() << "no JIT backend on this host";
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r0, 0
+    mov r1, 50
+loop:
+    add r0, 1
+    sub r1, 1
+    cmp r1, 0
+    j.ne loop             ; hot back edge: chains loop -> loop
+    st1 [patch], 0xff     ; smash the opcode of the next instruction
+patch:
+    mov r0, 99            ; compiled ahead of time, must never execute
+    halt
+)");
+  Machine M;
+  M.Eng = Machine::Engine::Jit;
+  cantFail(M.loadObject(Bin));
+  StopState S = M.run(10'000);
+  ASSERT_NE(M.jit(), nullptr);
+  // The loop chained while it was hot...
+  EXPECT_GT(M.jit()->chainPatchCount(), 0u);
+  // ...and the code-region store flushed every compiled block.
+  EXPECT_EQ(M.jit()->flushCount(), 1u);
+  EXPECT_EQ(M.jit()->compiledBlocks(), 0u)
+      << "compiled code survived a code-region write";
+  // Architectural result identical to the reference interpreter: the
+  // smashed instruction faults, the pre-store loop result stands.
+  EngineState R = runEngine(Bin, Machine::Engine::Interpreter, {}, 10'000);
+  EXPECT_EQ(S.Kind, R.Stop.Kind);
+  EXPECT_EQ(S.Fault, R.Stop.Fault);
+  EXPECT_EQ(M.C.R[isa::R0], 50u) << "stale chained code executed";
+  EXPECT_EQ(M.C.R[isa::R0], R.C.R[isa::R0]);
+}
+
+// The JIT tier engages on a plain run: blocks compile into the arena,
+// hot successors chain, and repeated runs reuse the compiled code
+// (no additional flushes).
+TEST(JitEngine, CompilesAndReusesBlocks) {
+  if (!Jit::available())
+    GTEST_SKIP() << "no JIT backend on this host";
+  auto Bin = assembleOrDie(R"(
+.text
+main:
+    mov r0, 3
+    mov r1, 100
+again:
+    add r0, 2
+    sub r1, 1
+    cmp r1, 0
+    j.ne again
+    ret
+)");
+  Machine M;
+  M.Eng = Machine::Engine::Jit;
+  cantFail(M.loadObject(Bin));
+  EXPECT_EQ(M.run(10'000).ExitStatus, 203u);
+  ASSERT_NE(M.jit(), nullptr);
+  size_t Compiled = M.jit()->compiledBlocks();
+  size_t Bytes = M.jit()->codeBytes();
+  EXPECT_GT(Compiled, 0u);
+  EXPECT_GT(M.jit()->chainPatchCount(), 0u);
+  EXPECT_GT(Bytes, 0u);
+  // A second pristine run executes entirely from the code cache.
+  M.C = CPU();
+  cantFail(M.loadObject(Bin));
+  EXPECT_EQ(M.run(10'000).ExitStatus, 203u);
+  EXPECT_EQ(M.jit()->flushCount(), 1u) << "only the loadObject flush";
 }
