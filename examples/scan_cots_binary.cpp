@@ -32,6 +32,7 @@
 #include "api/Scanner.h"
 #include "support/File.h"
 #include "support/StringUtils.h"
+#include "workloads/Programs.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -44,7 +45,11 @@ using namespace teapot;
 static void usage(FILE *To) {
   fprintf(To,
           "usage: scan_cots_binary [options]\n"
-          "  --workload NAME   evaluation workload (default libhtp)\n"
+          "  --workload NAME   evaluation workload (default libhtp; see\n"
+          "                    --list-workloads), or proggen:SEED[:SIZE] "
+          "for a\n"
+          "                    deterministic generated program\n"
+          "  --list-workloads  print the workload registry and exit\n"
           "  --iters N         total campaign executions (default 800)\n"
           "  --workers N       campaign worker threads (default 1)\n"
           "  --preset NAME     teapot | teapot-nodift | specfuzz-baseline |"
@@ -101,6 +106,13 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (!strcmp(argv[I], "--workload")) {
       Workload = NextOperand(I);
+    } else if (!strcmp(argv[I], "--list-workloads")) {
+      printf("workloads (--workload NAME, matched case-insensitively):\n");
+      for (const workloads::Workload &W : workloads::allWorkloads())
+        printf("  %-10s %s\n", W.Name, W.Desc);
+      printf("  %-10s %s\n", "proggen:S[:Z]",
+             "deterministic generated program (seed S, size knob Z)");
+      return 0;
     } else if (!strcmp(argv[I], "--iters")) {
       Iters = Exit(support::parseUInt(NextOperand(I), "--iters",
                                       1'000'000'000ULL));
@@ -145,6 +157,22 @@ int main(int argc, char **argv) {
 
   if (Resume && !CorpusInPath) {
     fprintf(stderr, "scan_cots_binary: --resume requires --corpus-in\n");
+    return 1;
+  }
+
+  // Validate the workload name up front with a friendly diagnostic that
+  // names every valid spelling (Scanner::loadWorkload would also fail,
+  // but with less context). proggen: spellings are validated by the
+  // facade itself.
+  if (Workload.compare(0, 8, "proggen:") != 0 &&
+      !workloads::findWorkload(Workload)) {
+    fprintf(stderr,
+            "scan_cots_binary: unknown workload '%s'. Valid workloads:\n",
+            Workload.c_str());
+    for (const workloads::Workload &W : workloads::allWorkloads())
+      fprintf(stderr, "  %-10s %s\n", W.Name, W.Desc);
+    fprintf(stderr, "  %-10s deterministic generated program\n",
+            "proggen:S[:Z]");
     return 1;
   }
 

@@ -84,7 +84,53 @@ Error ScanConfig::validate() const {
 
 Scanner::Scanner(ScanConfig Config) : Cfg(std::move(Config)) {}
 
+/// Parses "proggen:SEED[:SIZE]" (decimal fields). Returns false if
+/// \p Name is not a proggen spelling at all; sets \p Err for a proggen
+/// spelling with malformed fields.
+static bool parseProgGenName(const std::string &Name,
+                             lang::ProgGenOptions &Opts, Error &Err) {
+  const std::string Prefix = "proggen:";
+  if (Name.compare(0, Prefix.size(), Prefix) != 0)
+    return false;
+  std::string Rest = Name.substr(Prefix.size());
+  size_t Colon = Rest.find(':');
+  std::string SeedStr = Rest.substr(0, Colon);
+  std::string SizeStr =
+      Colon == std::string::npos ? "" : Rest.substr(Colon + 1);
+  auto ParseU64 = [](const std::string &S, uint64_t &Out) {
+    if (S.empty() || S.size() > 19)
+      return false;
+    Out = 0;
+    for (char C : S) {
+      if (C < '0' || C > '9')
+        return false;
+      Out = Out * 10 + static_cast<uint64_t>(C - '0');
+    }
+    return true;
+  };
+  uint64_t Seed = 0, Size = 0;
+  if (!ParseU64(SeedStr, Seed) ||
+      (!SizeStr.empty() && !ParseU64(SizeStr, Size))) {
+    Err = makeError("bad generated-workload spelling '%s' (expected "
+                    "proggen:SEED[:SIZE], decimal fields)",
+                    Name.c_str());
+    return true;
+  }
+  Opts.Seed = Seed;
+  if (!SizeStr.empty())
+    Opts.Size = static_cast<unsigned>(Size);
+  Err = Error::success();
+  return true;
+}
+
 Error Scanner::loadWorkload(const std::string &Name) {
+  lang::ProgGenOptions GenOpts;
+  Error GenErr = Error::success();
+  if (parseProgGenName(Name, GenOpts, GenErr)) {
+    if (GenErr)
+      return GenErr;
+    return loadGenerated(GenOpts);
+  }
   const workloads::Workload *W = workloads::findWorkload(Name);
   if (!W) {
     std::string Known;
@@ -102,6 +148,20 @@ Error Scanner::loadWorkload(const std::string &Name) {
   WorkloadUnreachable = W->UnreachableFuncs;
   if (Cfg.AutoSeeds)
     for (auto &Seed : W->Seeds())
+      SeedCorpus.push_back(std::move(Seed));
+  return Error::success();
+}
+
+Error Scanner::loadGenerated(const lang::ProgGenOptions &Opts) {
+  std::string Src = lang::generateProgram(Opts);
+  auto Bin = lang::compile(Src.c_str());
+  if (!Bin)
+    return makeError("compiling generated workload '%s': %s",
+                     lang::progGenName(Opts).c_str(),
+                     Bin.message().c_str());
+  adoptBinary(std::move(*Bin), lang::progGenName(Opts));
+  if (Cfg.AutoSeeds)
+    for (auto &Seed : lang::sampleInputs(Opts))
       SeedCorpus.push_back(std::move(Seed));
   return Error::success();
 }

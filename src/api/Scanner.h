@@ -39,6 +39,7 @@
 #include "core/TeapotRewriter.h"
 #include "fuzz/Campaign.h"
 #include "lang/MiniCC.h"
+#include "lang/ProgGen.h"
 #include "runtime/SpecRuntime.h"
 #include "support/Error.h"
 #include "vm/Machine.h"
@@ -140,9 +141,16 @@ public:
   // Loading resets all per-binary state, including the seed corpus
   // (one binary, one corpus); with Cfg.AutoSeeds, loadWorkload adopts
   // the workload's published seeds.
-  /// Compiles a named evaluation workload (jsmn, libyaml, libhtp,
-  /// brotli, openssl).
+  /// Compiles a named evaluation workload (see workloads::allWorkloads,
+  /// matched case-insensitively), or — with the pseudo-workload spelling
+  /// "proggen:SEED[:SIZE]" — a deterministic generated program (see
+  /// lang/ProgGen.h), so every workload-driven tool and bench accepts
+  /// generated targets for free.
   Error loadWorkload(const std::string &Name);
+  /// Compiles a ProgGen program directly from its options; the recorded
+  /// workload name is lang::progGenName(Opts) and, with Cfg.AutoSeeds,
+  /// the corpus is lang::sampleInputs(Opts).
+  Error loadGenerated(const lang::ProgGenOptions &Opts);
   /// Compiles MiniCC source (any COTS-binary stand-in).
   Error loadSource(std::string_view Source,
                    const lang::CompileOptions &Opts = {});

@@ -1,0 +1,402 @@
+//===- lang/ProgGen.cpp - Deterministic MiniCC program generator ------------===//
+//
+// Template-based generation: a program is a set of power-of-two global
+// int tables, a 256-byte global input window, Size-scaled helper
+// functions f0..fN-1 (each built from statement templates over a
+// depth-limited expression grammar), and a fixed main() that folds every
+// input byte through the helper DAG. All randomness flows through one
+// SplitMix64 stream seeded from the options, consumed in a fixed order —
+// that, plus string-only output, is the whole determinism story.
+//
+// Two invariants the emitter enforces structurally:
+//   - scoping: locals declared inside a nested `{ }` are dropped from
+//     the in-scope list when the block closes, so later statements never
+//     reference an out-of-scope name;
+//   - bounded cost: every statement carries a dynamic-cost estimate
+//     (multiplied through enclosing loop trip counts), and a helper
+//     stops emitting call statements once its estimate would exceed
+//     CostCap — so the worst-case instruction count of one helper
+//     invocation is capped, and a full 256-byte main() run stays well
+//     inside every budget the harnesses use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ProgGen.h"
+
+#include "support/RNG.h"
+
+using namespace teapot;
+using namespace teapot::lang;
+
+namespace {
+
+/// Worst-case dynamic-cost cap (rough instruction estimate) for one
+/// invocation of one helper. main() calls one helper per input byte, so
+/// a full 256-byte run costs at most ~256 × CostCap ≈ 5M instructions —
+/// far under the 20M native test budget and the 80M instrumented one.
+constexpr uint64_t CostCap = 20'000;
+
+/// Everything one generation run needs: the RNG stream, the knobs, and
+/// the names in scope while emitting a function body.
+struct Gen {
+  RNG R;
+  unsigned Size;
+  std::string Out;
+
+  // Global tables: name -> power-of-two length (mask = len - 1).
+  std::vector<std::pair<std::string, unsigned>> Tables;
+  unsigned NumHelpers = 0;
+
+  // Per-function emission state.
+  std::vector<std::string> Locals; // int scalars in scope
+  unsigned LoopCounter = 0; // loop induction vars get their own L<n>
+                            // namespace, never entered into Locals — a
+                            // random assignment to an enclosing loop's
+                            // counter would break termination
+  unsigned FuncIdx = 0;            // helpers may call only f0..FuncIdx-1
+  unsigned Indent = 1;
+  uint64_t Est = 0;  // estimated cost of the function being emitted
+  uint64_t Mult = 1; // product of enclosing loop trip counts
+  std::vector<uint64_t> HelperCost; // final estimate per helper
+
+  explicit Gen(const ProgGenOptions &O)
+      : R(O.Seed * 0x9e3779b97f4a7c15ULL + 0x7454806515298ULL),
+        Size(O.Size < 1 ? 1 : (O.Size > 16 ? 16 : O.Size)) {}
+
+  void line(const std::string &S) {
+    Out.append(Indent * 2, ' ');
+    Out += S;
+    Out += "\n";
+  }
+
+  void charge(uint64_t Units) { Est += Units * Mult; }
+
+  // --- Expression grammar --------------------------------------------------
+  // Every value-producing nonterminal returns a parenthesized string, so
+  // generated precedence never depends on MiniCC's parser.
+
+  std::string leaf() {
+    switch (R.below(5)) {
+    case 0:
+      return std::to_string(R.below(256));
+    case 1:
+      return "a";
+    case 2:
+      return "b";
+    case 3:
+      if (!Locals.empty())
+        return Locals[R.below(Locals.size())];
+      return "a";
+    default:
+      // Masked read of the global input window: always in bounds.
+      return "(g_in[(a + " + std::to_string(R.below(64)) + ") & 255])";
+    }
+  }
+
+  std::string expr(unsigned Depth) {
+    if (Depth == 0 || R.chance(1, 4))
+      return leaf();
+    switch (R.below(8)) {
+    case 0:
+      return "(" + expr(Depth - 1) + " + " + expr(Depth - 1) + ")";
+    case 1:
+      return "(" + expr(Depth - 1) + " - " + expr(Depth - 1) + ")";
+    case 2:
+      return "(" + expr(Depth - 1) + " * " + std::to_string(R.range(1, 9)) +
+             ")";
+    case 3:
+      return "(" + expr(Depth - 1) + " ^ " + expr(Depth - 1) + ")";
+    case 4:
+      return "(" + expr(Depth - 1) + " & " + std::to_string(R.below(256)) +
+             ")";
+    case 5:
+      // Divisor ORed with 1: never zero, so UDIV/UREM cannot fault.
+      return "(" + expr(Depth - 1) + (R.chance(1, 2) ? " / (" : " % (") +
+             expr(Depth - 1) + " | 1))";
+    case 6: {
+      // Bounds-masked table lookup on a computed index.
+      const auto &T = Tables[R.below(Tables.size())];
+      return "(" + T.first + "[(" + expr(Depth - 1) + ") & " +
+             std::to_string(T.second - 1) + "])";
+    }
+    default:
+      return "(" + expr(Depth - 1) +
+             (R.chance(1, 2) ? " >> " : " << ") +
+             std::to_string(R.below(8)) + ")";
+    }
+  }
+
+  std::string cond() {
+    static const char *Cmp[] = {"<", "<=", "==", "!=", ">", ">="};
+    return "(" + expr(1) + " " + Cmp[R.below(6)] + " " + expr(1) + ")";
+  }
+
+  // --- Statement templates -------------------------------------------------
+
+  std::string freshLocal() {
+    std::string N = "v" + std::to_string(Locals.size());
+    Locals.push_back(N);
+    return N;
+  }
+
+  /// Emits a nested statement list, un-scoping any locals it declared
+  /// when the block closes.
+  void nested(unsigned Depth, unsigned Stmts) {
+    size_t Mark = Locals.size();
+    block(Depth, Stmts);
+    Locals.resize(Mark);
+  }
+
+  void stmtAssign() {
+    charge(10);
+    if (Locals.empty() || R.chance(1, 3)) {
+      std::string N = freshLocal();
+      line("int " + N + " = " + expr(2) + ";");
+    } else {
+      const std::string &N = Locals[R.below(Locals.size())];
+      line(N + " = " + expr(2) + ";");
+    }
+  }
+
+  void stmtTableStore() {
+    charge(12);
+    const auto &T = Tables[R.below(Tables.size())];
+    line(T.first + "[(" + expr(1) + ") & " + std::to_string(T.second - 1) +
+         "] = " + expr(2) + ";");
+  }
+
+  /// The Spectre-V1 shape: a bounds check guarding a (masked, therefore
+  /// always-safe) dependent table lookup on an input-derived index. The
+  /// mask keeps the access architecturally in bounds even when the
+  /// simulator runs the mispredicted path; the taint on the index is
+  /// what the detectors score.
+  void stmtCheckedLookup() {
+    charge(15);
+    const auto &T = Tables[R.below(Tables.size())];
+    std::string Idx = "(a + " + std::to_string(R.below(200)) + ")";
+    line("if ((" + Idx + " & 255) < " + std::to_string(T.second) + ") {");
+    ++Indent;
+    line("acc = acc + " + T.first + "[" + Idx + " & " +
+         std::to_string(T.second - 1) + "];");
+    --Indent;
+    line("}");
+  }
+
+  void stmtIf(unsigned Depth) {
+    charge(8);
+    line("if " + cond() + " {");
+    ++Indent;
+    nested(Depth, R.range(1, 2));
+    --Indent;
+    if (R.chance(1, 2)) {
+      line("} else {");
+      ++Indent;
+      nested(Depth, 1);
+      --Indent;
+    }
+    line("}");
+  }
+
+  void stmtFor(unsigned Depth) {
+    uint64_t Trips = R.range(2, 6);
+    std::string I = "L" + std::to_string(LoopCounter++);
+    line("int " + I + ";");
+    line("for (" + I + " = 0; " + I + " < " + std::to_string(Trips) +
+         "; " + I + " = " + I + " + 1) {");
+    ++Indent;
+    uint64_t OuterMult = Mult;
+    Mult *= Trips;
+    charge(8);
+    line("acc = acc + ((" + expr(1) + ") & 255);");
+    if (Depth > 0 && R.chance(1, 2))
+      nested(Depth, 1);
+    Mult = OuterMult;
+    --Indent;
+    line("}");
+  }
+
+  void stmtWhile() {
+    uint64_t Trips = R.range(1, 5);
+    std::string I = "L" + std::to_string(LoopCounter++);
+    line("int " + I + " = " + std::to_string(Trips) + ";");
+    line("while (" + I + " > 0) {");
+    ++Indent;
+    charge(8 * Trips);
+    line("acc = acc ^ (" + expr(1) + ");");
+    line(I + " = " + I + " - 1;");
+    --Indent;
+    line("}");
+  }
+
+  void stmtSwitch() {
+    charge(12);
+    line("switch ((" + expr(1) + ") & 3) {");
+    ++Indent;
+    for (int C = 0; C != 3; ++C) {
+      line("case " + std::to_string(C) + ": {");
+      ++Indent;
+      line("acc = acc + " + std::to_string(R.below(100)) + ";");
+      line("break;");
+      --Indent;
+      line("}");
+    }
+    line("default: {");
+    ++Indent;
+    line("acc = acc - " + std::to_string(R.below(100)) + ";");
+    line("break;");
+    --Indent;
+    line("}");
+    --Indent;
+    line("}");
+  }
+
+  void stmtCall() {
+    if (FuncIdx == 0)
+      return stmtAssign();
+    unsigned Callee = static_cast<unsigned>(R.below(FuncIdx));
+    // Cost discipline: skip the call (cheap statement instead) if it
+    // would push this helper's worst-case estimate past the cap.
+    if (Est + (HelperCost[Callee] + 10) * Mult > CostCap)
+      return stmtAssign();
+    charge(HelperCost[Callee] + 10);
+    line("acc = acc + f" + std::to_string(Callee) + "(" + expr(1) + ", " +
+         expr(1) + ");");
+  }
+
+  void block(unsigned Depth, unsigned Stmts) {
+    for (unsigned S = 0; S != Stmts; ++S) {
+      switch (R.below(8)) {
+      case 0:
+        stmtAssign();
+        break;
+      case 1:
+        stmtTableStore();
+        break;
+      case 2:
+        stmtCheckedLookup();
+        break;
+      case 3:
+        if (Depth > 0) {
+          stmtIf(Depth - 1);
+          break;
+        }
+        stmtAssign();
+        break;
+      case 4:
+        if (Depth > 0) {
+          stmtFor(Depth - 1);
+          break;
+        }
+        stmtCheckedLookup();
+        break;
+      case 5:
+        stmtWhile();
+        break;
+      case 6:
+        stmtSwitch();
+        break;
+      default:
+        stmtCall();
+        break;
+      }
+    }
+  }
+
+  void emitHelper(unsigned Idx) {
+    FuncIdx = Idx;
+    Locals.clear();
+    LoopCounter = 0;
+    Indent = 1;
+    Est = 10; // prologue + return
+    Mult = 1;
+    Out += "int f" + std::to_string(Idx) + "(int a, int b) {\n";
+    line("int acc = " + std::to_string(R.below(1000)) + ";");
+    block(/*Depth=*/2, /*Stmts=*/2 + Size / 2);
+    line("return acc;");
+    Out += "}\n\n";
+    HelperCost.push_back(Est);
+  }
+};
+
+} // namespace
+
+std::string lang::generateProgram(const ProgGenOptions &Opts) {
+  Gen G(Opts);
+
+  G.Out += "/* generated: " + progGenName(Opts) + " */\n";
+
+  // Global tables: 2-4 of them, power-of-two sizes, deterministic
+  // contents.
+  unsigned NumTables = 2 + static_cast<unsigned>(G.R.below(3));
+  for (unsigned T = 0; T != NumTables; ++T) {
+    unsigned Len = 8u << G.R.below(3); // 8, 16, or 32
+    std::string Name = "g_tab" + std::to_string(T);
+    G.Out += "int " + Name + "[" + std::to_string(Len) + "] = {";
+    for (unsigned I = 0; I != Len; ++I)
+      G.Out += (I ? ", " : "") + std::to_string(G.R.below(4096));
+    G.Out += "};\n";
+    G.Tables.push_back({Name, Len});
+  }
+  G.Out += "char g_in[256];\n";
+  G.Out += "int g_len;\n\n";
+
+  G.NumHelpers = 1 + G.Size / 2 + static_cast<unsigned>(G.R.below(2));
+  for (unsigned F = 0; F != G.NumHelpers; ++F)
+    G.emitHelper(F);
+
+  // Fixed main(): copy input into the window, fold every byte through a
+  // deterministic rotation of the helpers, emit an 8-byte digest.
+  G.Out += "int main() {\n"
+           "  int n = input_size();\n"
+           "  if (n > 256) { n = 256; }\n"
+           "  char *tmp = malloc(n + 1);\n"
+           "  read_input(tmp, n);\n"
+           "  int i;\n"
+           "  for (i = 0; i < n; i = i + 1) { g_in[i] = tmp[i]; }\n"
+           "  g_len = n;\n";
+  G.Out += "  int acc = " + std::to_string(G.R.below(65536)) + ";\n";
+  G.Out += "  for (i = 0; i < n; i = i + 1) {\n"
+           "    int c = g_in[i];\n";
+  // Each helper gets a slice of the byte stream (i % NumHelpers).
+  for (unsigned F = 0; F != G.NumHelpers; ++F)
+    G.Out += "    if (i % " + std::to_string(G.NumHelpers) +
+             " == " + std::to_string(F) + ") { acc = acc + f" +
+             std::to_string(F) + "(c, i); }\n";
+  G.Out += "  }\n"
+           "  char out[8];\n"
+           "  for (i = 0; i < 8; i = i + 1) {\n"
+           "    out[i] = (acc >> (i * 8)) & 255;\n"
+           "  }\n"
+           "  write_out(out, 8);\n"
+           "  free(tmp);\n"
+           "  return 0;\n"
+           "}\n";
+  return G.Out;
+}
+
+std::vector<std::vector<uint8_t>>
+lang::sampleInputs(const ProgGenOptions &Opts) {
+  // An independent stream (different offset than generateProgram, so
+  // inputs do not replay the structural choices): a few random byte
+  // strings of different lengths, plus a fixed ramp that sweeps the
+  // masked-lookup index space.
+  RNG R(Opts.Seed * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL);
+  std::vector<std::vector<uint8_t>> Inputs;
+  for (unsigned K = 0; K != 3; ++K) {
+    std::vector<uint8_t> In(8 + R.below(48));
+    for (auto &B : In)
+      B = static_cast<uint8_t>(R.next());
+    Inputs.push_back(std::move(In));
+  }
+  std::vector<uint8_t> Ramp(64);
+  for (unsigned I = 0; I != Ramp.size(); ++I)
+    Ramp[I] = static_cast<uint8_t>(I * 7 + 3);
+  Inputs.push_back(std::move(Ramp));
+  return Inputs;
+}
+
+std::string lang::progGenName(const ProgGenOptions &Opts) {
+  unsigned Size = Opts.Size < 1 ? 1 : (Opts.Size > 16 ? 16 : Opts.Size);
+  return "proggen-s" + std::to_string(Opts.Seed) + "-z" +
+         std::to_string(Size);
+}

@@ -1,0 +1,79 @@
+//===- lang/ProgGen.h - Deterministic MiniCC program generator ----*- C++ -*-===//
+///
+/// \file
+/// A seeded, fully deterministic random MiniCC program generator — the
+/// Csmith-style workload amplifier from ROADMAP item 3. Generated
+/// programs compile through the existing MiniCC → TISA pipeline and
+/// drive the cross-engine / cross-preset differential scanning harness
+/// (tests/diffscan_test.cpp, tools/teapot_diffscan).
+///
+/// Determinism contract:
+///   - generateProgram(O) is a pure function of O: the same
+///     ProgGenOptions yield the byte-identical MiniCC source string on
+///     every run, every platform, every build. Compiling that source
+///     yields a byte-identical TISA object (lang::compile is itself
+///     deterministic). Locked by tests/proggen_test.cpp.
+///   - sampleInputs(O) is likewise pure: the seed corpus for a generated
+///     program depends only on the options.
+///
+/// No-UB-by-construction: generated programs never fault and never hang.
+///   - every array access is masked to the array's power-of-two bounds
+///     (`tab[(e) & 31]`), for globals and the 256-byte input window;
+///   - every division / modulus guards the divisor with `| 1`
+///     (TISA UDIV/UREM fault on zero);
+///   - shift amounts are architecturally masked (& 63) by the VM;
+///   - every loop is bounded by a compile-time constant trip count, and
+///     the helper call graph is a DAG (calls go strictly to
+///     lower-numbered helpers), so there is no recursion;
+///   - `int` is 64-bit with wraparound semantics in the VM — overflow is
+///     defined.
+/// A generated program therefore always Halts with exit status 0 within
+/// a budget proportional to Size × input length, and writes at least 8
+/// output bytes (an accumulator digest) for differential comparison.
+///
+/// The programs are not arbitrary: the statement templates are biased
+/// toward the code shapes the detectors care about — bounds-checked
+/// table lookups on input-derived indices (Spectre-V1 shape), nested
+/// validation branches, switches (both lowerings apply), and state
+/// accumulated across helper calls — so cross-preset scans see real
+/// gadget-set deltas, not empty reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_LANG_PROGGEN_H
+#define TEAPOT_LANG_PROGGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace teapot {
+namespace lang {
+
+struct ProgGenOptions {
+  /// Master seed; every structural choice flows from it.
+  uint64_t Seed = 1;
+  /// Size knob: scales helper-function count, statements per function,
+  /// and expression depth. 1 is a handful of statements; 8 is a few
+  /// hundred lines. Values are clamped to [1, 16].
+  unsigned Size = 4;
+};
+
+/// Generates a complete MiniCC program (globals + helpers + main).
+/// main() reads up to 256 input bytes into a global window, folds every
+/// byte through the helper DAG, and writes an 8-byte accumulator digest.
+std::string generateProgram(const ProgGenOptions &Opts);
+
+/// A small deterministic seed corpus matched to the generated program
+/// (same Seed ⇒ same inputs): a few structured byte strings that reach
+/// the input-dependent branches.
+std::vector<std::vector<uint8_t>> sampleInputs(const ProgGenOptions &Opts);
+
+/// Canonical workload-style name for a generated program
+/// ("proggen-s<seed>-z<size>") — what Scanner records as the workload.
+std::string progGenName(const ProgGenOptions &Opts);
+
+} // namespace lang
+} // namespace teapot
+
+#endif // TEAPOT_LANG_PROGGEN_H

@@ -1,4 +1,4 @@
-//===- workloads/Programs.cpp - The five MiniCC evaluation programs --------===//
+//===- workloads/Programs.cpp - The MiniCC evaluation programs -------------===//
 
 #include "workloads/Programs.h"
 
@@ -717,30 +717,640 @@ static std::vector<uint8_t> sslLarge(size_t N) {
 }
 
 //===----------------------------------------------------------------------===//
+// base64_t: RFC 4648 decoder. Table-driven sextet decoding, '=' padding
+// validation, whitespace tolerance — the classic "input byte indexes a
+// 256-entry table" shape on every byte.
+//===----------------------------------------------------------------------===//
+
+static const char *Base64Source = R"(
+char g_b64[256] = "";
+int g_nout;
+
+int b64_init() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { g_b64[i] = 255; }
+  for (i = 0; i < 26; i = i + 1) { g_b64['A' + i] = i; }
+  for (i = 0; i < 26; i = i + 1) { g_b64['a' + i] = 26 + i; }
+  for (i = 0; i < 10; i = i + 1) { g_b64['0' + i] = 52 + i; }
+  g_b64['+'] = 62;
+  g_b64['/'] = 63;
+  return 0;
+}
+
+int b64_decode(char *in, int len, char *out, int cap) {
+  int q0;
+  int q1;
+  int q2;
+  int q3;
+  int nq = 0;
+  int pad = 0;
+  int i;
+  g_nout = 0;
+  for (i = 0; i < len; i = i + 1) {
+    int c = in[i];
+    if (c == 10 || c == 13 || c == 32 || c == 9) { continue; }
+    if (c == '=') {
+      pad = pad + 1;
+      if (pad > 2) { return -1; }
+      continue;
+    }
+    if (pad > 0) { return -2; }
+    int v = g_b64[c];
+    if (v == 255) { return -3; }
+    if (nq == 0) { q0 = v; }
+    else if (nq == 1) { q1 = v; }
+    else if (nq == 2) { q2 = v; }
+    else { q3 = v; }
+    nq = nq + 1;
+    if (nq == 4) {
+      if (g_nout + 3 > cap) { return -4; }
+      out[g_nout] = (q0 << 2) | (q1 >> 4);
+      out[g_nout + 1] = ((q1 & 15) << 4) | (q2 >> 2);
+      out[g_nout + 2] = ((q2 & 3) << 6) | q3;
+      g_nout = g_nout + 3;
+      nq = 0;
+    }
+  }
+  if (nq == 2) {
+    if (pad != 2) { return -5; }
+    if (g_nout + 1 > cap) { return -4; }
+    out[g_nout] = (q0 << 2) | (q1 >> 4);
+    g_nout = g_nout + 1;
+  } else if (nq == 3) {
+    if (pad != 1) { return -6; }
+    if (g_nout + 2 > cap) { return -4; }
+    out[g_nout] = (q0 << 2) | (q1 >> 4);
+    out[g_nout + 1] = ((q1 & 15) << 4) | (q2 >> 2);
+    g_nout = g_nout + 2;
+  } else if (nq != 0) {
+    return -7;
+  }
+  return g_nout;
+}
+
+int main() {
+  b64_init();
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  char *out = malloc(3072 + 4);
+  int r = b64_decode(buf, n, out, 3072);
+  int h = 0;
+  if (r > 0) {
+    int i;
+    for (i = 0; i < r; i = i + 1) { h = (h * 131 + out[i]) & 16777215; }
+  }
+  char res[8];
+  res[0] = r & 255;
+  res[1] = h & 255;
+  res[2] = (h >> 8) & 255;
+  write_out(res, 3);
+  free(out);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> base64Seeds() {
+  auto S = [](const char *T) {
+    return std::vector<uint8_t>(T, T + strlen(T));
+  };
+  return {S("aGVsbG8gd29ybGQ="), S("Zm9vYmFy"), S("TQ=="),
+          S("QUJD\nREVG\n"), S("")};
+}
+
+static std::vector<uint8_t> base64Large(size_t N) {
+  // Valid base64 of deterministic bytes, wrapped at 64 columns.
+  static const char *Alpha =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  RNG R(47);
+  std::string S;
+  unsigned Col = 0;
+  while (S.size() + 8 < N) {
+    uint32_t Word = static_cast<uint32_t>(R.next());
+    for (int K = 0; K != 4; ++K) {
+      S += Alpha[(Word >> (K * 6)) & 63];
+      if (++Col == 64) {
+        S += '\n';
+        Col = 0;
+      }
+    }
+  }
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// url_t: URL splitter. scheme://host:port/path?query#fragment with
+// percent-decoding ('+' as space) and query-parameter key hashing —
+// validation branches over several delimiter classes.
+//===----------------------------------------------------------------------===//
+
+static const char *UrlSource = R"(
+char g_hx[256] = "";
+int g_nq;
+
+int url_init() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { g_hx[i] = 255; }
+  for (i = 0; i < 10; i = i + 1) { g_hx['0' + i] = i; }
+  for (i = 0; i < 6; i = i + 1) {
+    g_hx['a' + i] = 10 + i;
+    g_hx['A' + i] = 10 + i;
+  }
+  return 0;
+}
+
+int is_alpha(int c) {
+  if (c >= 'a' && c <= 'z') { return 1; }
+  if (c >= 'A' && c <= 'Z') { return 1; }
+  return 0;
+}
+
+int is_digit(int c) {
+  if (c >= '0' && c <= '9') { return 1; }
+  return 0;
+}
+
+int pct_decode(char *s, int start, int end, char *out, int cap) {
+  int i = start;
+  int o = 0;
+  while (i < end) {
+    int c = s[i];
+    if (c == '%') {
+      if (i + 2 >= end) { return -1; }
+      int hi = g_hx[s[i + 1]];
+      int lo = g_hx[s[i + 2]];
+      if (hi == 255 || lo == 255) { return -2; }
+      c = hi * 16 + lo;
+      i = i + 3;
+    } else if (c == '+') {
+      c = 32;
+      i = i + 1;
+    } else {
+      i = i + 1;
+    }
+    if (o >= cap) { return -3; }
+    out[o] = c;
+    o = o + 1;
+  }
+  return o;
+}
+
+int parse_query(char *s, int start, int end, int *hashes) {
+  g_nq = 0;
+  int i = start;
+  while (i < end) {
+    int ks = i;
+    while (i < end && s[i] != '=' && s[i] != '&') { i = i + 1; }
+    int h = 0;
+    int k;
+    for (k = ks; k < i; k = k + 1) { h = (h * 33 + s[k]) & 65535; }
+    if (i < end && s[i] == '=') {
+      i = i + 1;
+      while (i < end && s[i] != '&') { i = i + 1; }
+    }
+    if (i < end && s[i] == '&') { i = i + 1; }
+    if (g_nq >= 16) { return -1; }
+    hashes[g_nq] = h;
+    g_nq = g_nq + 1;
+  }
+  return g_nq;
+}
+
+int parse_url(char *u, int len, char *path, int *hashes) {
+  int i = 0;
+  if (i >= len || is_alpha(u[i]) == 0) { return -1; }
+  while (i < len && (is_alpha(u[i]) || is_digit(u[i]) || u[i] == '+')) {
+    i = i + 1;
+  }
+  if (i + 2 >= len || u[i] != ':' || u[i + 1] != '/' || u[i + 2] != '/') {
+    return -2;
+  }
+  i = i + 3;
+  int hs = i;
+  while (i < len && u[i] != ':' && u[i] != '/' && u[i] != '?') {
+    i = i + 1;
+  }
+  if (i == hs) { return -3; }
+  int port = 0;
+  if (i < len && u[i] == ':') {
+    i = i + 1;
+    int ds = i;
+    while (i < len && is_digit(u[i])) {
+      port = port * 10 + (u[i] - '0');
+      if (port > 65535) { return -4; }
+      i = i + 1;
+    }
+    if (i == ds) { return -5; }
+  }
+  int ps = i;
+  while (i < len && u[i] != '?' && u[i] != '#') { i = i + 1; }
+  int plen = pct_decode(u, ps, i, path, 256);
+  if (plen < 0) { return -6; }
+  int nq = 0;
+  if (i < len && u[i] == '?') {
+    int qs = i + 1;
+    int qe = qs;
+    while (qe < len && u[qe] != '#') { qe = qe + 1; }
+    nq = parse_query(u, qs, qe, hashes);
+    if (nq < 0) { return -7; }
+  }
+  return plen * 1000000 + nq * 100000 + port;
+}
+
+int main() {
+  url_init();
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  char *path = malloc(256);
+  int *hashes = malloc(16 * 8);
+  int r = parse_url(buf, n, path, hashes);
+  char res[8];
+  res[0] = r & 255;
+  res[1] = (r >> 8) & 255;
+  res[2] = g_nq & 255;
+  write_out(res, 3);
+  free(hashes);
+  free(path);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> urlSeeds() {
+  auto S = [](const char *T) {
+    return std::vector<uint8_t>(T, T + strlen(T));
+  };
+  return {S("https://example.com:8443/a%20b/c?x=1&y=two#frag"),
+          S("http://host/path+with+plus?q=%41%42"), S("ftp://h/"),
+          S("gopher://hole:70/x")};
+}
+
+static std::vector<uint8_t> urlLarge(size_t N) {
+  std::string S = "https://bench.example.com:8080/";
+  RNG R(48);
+  for (unsigned I = 0; I != 30; ++I)
+    S += "seg%2" + std::string(1, "0123456789abcdef"[R.below(16)]) + "/";
+  S += "leaf?";
+  while (S.size() + 24 < N) {
+    S += "k" + std::to_string(R.below(1000)) + "=v%4" +
+         std::string(1, "0123456789abcdef"[R.below(16)]) + "&";
+  }
+  S += "end=1";
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// smtp_t: SMTP command state machine. Strict HELO -> MAIL -> RCPT ->
+// DATA ordering, dot-stuffed body mode, RSET/NOOP/QUIT — a line-based
+// protocol automaton (vs libhtp's single-request parse). The reply
+// renderer is linked but never called by the driver: it hosts this
+// workload's unreachable Table 3 injection points.
+//===----------------------------------------------------------------------===//
+
+static const char *SmtpSource = R"(
+int g_state;
+int g_nrcpt;
+int g_nlines;
+int g_bodyhash;
+
+int up(int c) {
+  if (c >= 'a' && c <= 'z') { return c - 32; }
+  return c;
+}
+
+int match4(char *s, int len, int a, int b, int c, int d) {
+  if (len < 4) { return 0; }
+  if (up(s[0]) == a && up(s[1]) == b && up(s[2]) == c && up(s[3]) == d) {
+    return 1;
+  }
+  return 0;
+}
+
+int handle_cmd(char *s, int start, int end) {
+  int len = end - start;
+  if (match4(s + start, len, 'H', 'E', 'L', 'O')) {
+    if (g_state != 0) { return -1; }
+    if (len < 6) { return -2; }
+    g_state = 1;
+    return 1;
+  }
+  if (match4(s + start, len, 'M', 'A', 'I', 'L')) {
+    if (g_state != 1) { return -3; }
+    g_state = 2;
+    return 2;
+  }
+  if (match4(s + start, len, 'R', 'C', 'P', 'T')) {
+    if (g_state != 2 && g_state != 3) { return -4; }
+    if (g_nrcpt >= 8) { return -5; }
+    g_nrcpt = g_nrcpt + 1;
+    g_state = 3;
+    return 3;
+  }
+  if (match4(s + start, len, 'D', 'A', 'T', 'A')) {
+    if (g_state != 3) { return -6; }
+    if (g_nrcpt < 1) { return -7; }
+    g_state = 4;
+    return 4;
+  }
+  if (match4(s + start, len, 'Q', 'U', 'I', 'T')) {
+    g_state = 5;
+    return 5;
+  }
+  if (match4(s + start, len, 'N', 'O', 'O', 'P')) { return 6; }
+  if (match4(s + start, len, 'R', 'S', 'E', 'T')) {
+    if (g_state > 1) { g_state = 1; }
+    g_nrcpt = 0;
+    return 7;
+  }
+  return -8;
+}
+
+int handle_body_line(char *s, int start, int end) {
+  if (end - start == 1 && s[start] == '.') {
+    g_state = 1;
+    g_nrcpt = 0;
+    return 10;
+  }
+  int i = start;
+  if (i < end && s[i] == '.') { i = i + 1; }
+  while (i < end) {
+    g_bodyhash = (g_bodyhash * 31 + s[i]) & 16777215;
+    i = i + 1;
+  }
+  g_nlines = g_nlines + 1;
+  if (g_nlines > 64) { return -9; }
+  return 9;
+}
+
+int session(char *s, int len) {
+  int pos = 0;
+  g_state = 0;
+  g_nrcpt = 0;
+  g_nlines = 0;
+  g_bodyhash = 0;
+  int cmds = 0;
+  while (pos < len) {
+    int e = pos;
+    while (e < len && s[e] != 10) { e = e + 1; }
+    int end = e;
+    if (end > pos && s[end - 1] == 13) { end = end - 1; }
+    int rc;
+    if (g_state == 4) { rc = handle_body_line(s, pos, end); }
+    else { rc = handle_cmd(s, pos, end); }
+    if (rc < 0) { return rc; }
+    cmds = cmds + 1;
+    if (g_state == 5) { break; }
+    pos = e + 1;
+  }
+  return cmds * 100 + g_state;
+}
+
+/* Reply renderer: linked into the binary but never called by the
+   fuzzing driver (the unreachable Table 3 injection points live here,
+   like libyaml's emitter module). */
+int smtp_fmt_code(char *out, int cap, int code) {
+  if (cap < 4) { return -1; }
+  out[0] = '0' + (code / 100) % 10;
+  out[1] = '0' + (code / 10) % 10;
+  out[2] = '0' + code % 10;
+  out[3] = 32;
+  return 4;
+}
+
+int smtp_render_reply(char *out, int cap, int code, char *msg, int mlen) {
+  int n = smtp_fmt_code(out, cap, code);
+  if (n < 0) { return -1; }
+  int i;
+  for (i = 0; i < mlen; i = i + 1) {
+    if (n >= cap) { return -2; }
+    out[n] = msg[i];
+    n = n + 1;
+  }
+  return n;
+}
+
+int main() {
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  int r = session(buf, n);
+  char res[8];
+  res[0] = r & 255;
+  res[1] = g_bodyhash & 255;
+  res[2] = (g_bodyhash >> 8) & 255;
+  res[3] = g_nrcpt & 255;
+  write_out(res, 4);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> smtpSeeds() {
+  auto S = [](const char *T) {
+    return std::vector<uint8_t>(T, T + strlen(T));
+  };
+  return {S("HELO mx.example\nMAIL FROM:<a@b>\nRCPT TO:<c@d>\nDATA\n"
+            "Subject: hi\n\nbody text\n.\nQUIT\n"),
+          S("helo relay.test\r\nmail from:<x@y>\r\nrcpt to:<z@w>\r\n"
+            "rcpt to:<q@w>\r\ndata\r\n..dot stuffed\r\n.\r\nquit\r\n"),
+          S("HELO h.example\nNOOP\nRSET\nMAIL FROM:<a@b>\n")};
+}
+
+static std::vector<uint8_t> smtpLarge(size_t N) {
+  std::string S = "HELO bulk.example\nMAIL FROM:<gen@example>\n"
+                  "RCPT TO:<inbox@example>\nDATA\n";
+  RNG R(49);
+  // Stay under the 64-body-line cap; pack long lines instead.
+  for (unsigned Line = 0; Line != 60 && S.size() + 80 < N; ++Line) {
+    S += "X-Line-" + std::to_string(Line) + ": ";
+    unsigned Len = 40 + static_cast<unsigned>(R.below(30));
+    for (unsigned I = 0; I != Len; ++I)
+      S += static_cast<char>('a' + R.below(26));
+    S += "\n";
+  }
+  S += ".\nQUIT\n";
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// varint_t: varint/length-prefixed TLV decoder (protobuf wire-format
+// analogue). Tag -> (field, wire-type) dispatch, bounds-checked
+// length-delimited skips, per-field counting table.
+//===----------------------------------------------------------------------===//
+
+static const char *VarintSource = R"(
+int g_counts[16];
+int g_nrec;
+
+int vint_read(char *in, int len, int *pos) {
+  int v = 0;
+  int shift = 0;
+  while (*pos < len) {
+    int b = in[*pos];
+    *pos = *pos + 1;
+    v = v | ((b & 127) << shift);
+    if ((b & 128) == 0) { return v; }
+    shift = shift + 7;
+    if (shift > 28) { return -1; }
+  }
+  return -2;
+}
+
+int decode_msg(char *in, int len) {
+  int pos = 0;
+  int acc = 0;
+  int i;
+  g_nrec = 0;
+  for (i = 0; i < 16; i = i + 1) { g_counts[i] = 0; }
+  while (pos < len) {
+    int tag = vint_read(in, len, &pos);
+    if (tag < 0) { return -10; }
+    if (tag == 0) { break; }
+    int field = (tag >> 3) & 15;
+    int wire = tag & 7;
+    if (wire == 0) {
+      int v = vint_read(in, len, &pos);
+      if (v < 0) { return -11; }
+      acc = (acc + v) & 16777215;
+    } else if (wire == 2) {
+      int l = vint_read(in, len, &pos);
+      if (l < 0) { return -12; }
+      if (l > len - pos) { return -13; }
+      int k;
+      for (k = 0; k < l; k = k + 1) {
+        acc = (acc * 17 + in[pos + k]) & 16777215;
+      }
+      pos = pos + l;
+    } else if (wire == 5) {
+      if (pos + 4 > len) { return -14; }
+      acc = (acc + in[pos] + in[pos + 1] * 256) & 16777215;
+      pos = pos + 4;
+    } else {
+      return -15;
+    }
+    g_counts[field] = g_counts[field] + 1;
+    g_nrec = g_nrec + 1;
+    if (g_nrec > 256) { return -16; }
+  }
+  return acc;
+}
+
+int main() {
+  int n = input_size();
+  if (n > 4096) { n = 4096; }
+  char *buf = malloc(n + 1);
+  read_input(buf, n);
+  int r = decode_msg(buf, n);
+  char res[8];
+  res[0] = r & 255;
+  res[1] = (r >> 8) & 255;
+  res[2] = g_nrec & 255;
+  res[3] = g_counts[1] & 255;
+  write_out(res, 4);
+  free(buf);
+  return 0;
+}
+)";
+
+static std::vector<std::vector<uint8_t>> varintSeeds() {
+  // 0x08: field 1 wire 0 (varint); 0x12: field 2 wire 2 (bytes);
+  // 0x1d: field 3 wire 5 (fixed32); 0x00: end marker.
+  std::vector<uint8_t> A = {0x08, 5, 0x12, 3, 'a', 'b', 'c',
+                            0x1d, 1, 2, 3, 4, 0x00};
+  std::vector<uint8_t> B = {0x08, 0x96, 0x01, 0x12, 0x00, 0x00};
+  std::vector<uint8_t> C = {0x12, 6, 'v', 'a', 'r', 'i', 'n', 't', 0x00};
+  return {A, B, C};
+}
+
+static std::vector<uint8_t> varintLarge(size_t N) {
+  std::vector<uint8_t> Out;
+  RNG R(50);
+  while (Out.size() + 24 < N && Out.size() < 3500) {
+    unsigned Field = 1 + static_cast<unsigned>(R.below(7));
+    if (R.chance(1, 2)) {
+      Out.push_back(static_cast<uint8_t>(Field << 3)); // wire 0
+      uint32_t V = static_cast<uint32_t>(R.below(1 << 20));
+      while (V >= 128) {
+        Out.push_back(static_cast<uint8_t>((V & 127) | 128));
+        V >>= 7;
+      }
+      Out.push_back(static_cast<uint8_t>(V));
+    } else {
+      Out.push_back(static_cast<uint8_t>((Field << 3) | 2)); // wire 2
+      unsigned L = 4 + static_cast<unsigned>(R.below(12));
+      Out.push_back(static_cast<uint8_t>(L));
+      for (unsigned I = 0; I != L; ++I)
+        Out.push_back(static_cast<uint8_t>(R.next()));
+    }
+  }
+  Out.push_back(0x00);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
 // Registry
 //===----------------------------------------------------------------------===//
 
 const std::vector<Workload> &workloads::allWorkloads() {
   static const std::vector<Workload> All = {
-      {"jsmn", JsmnSource, jsmnSeeds, jsmnLarge, {}, 3},
+      {"jsmn", "JSON tokenizer (jsmn analogue)", JsmnSource, jsmnSeeds,
+       jsmnLarge, {}, 3},
       {"libyaml",
+       "indentation-based document parser with unreachable emitter module "
+       "(libyaml analogue)",
        YamlSource,
        yamlSeeds,
        yamlLarge,
        {"yaml_emit_scalar", "yaml_emit_doc"},
        10},
-      {"libhtp", HtpSource, htpSeeds, htpLarge, {}, 7},
-      {"brotli", BrotliSource, brotliSeeds, brotliLarge, {}, 13},
+      {"libhtp", "HTTP/1.x request parser (libhtp analogue)", HtpSource,
+       htpSeeds, htpLarge, {}, 7},
+      {"brotli", "LZ-style decompressor with nested match validation "
+                 "(brotli analogue)",
+       BrotliSource, brotliSeeds, brotliLarge, {}, 13},
       // openssl is excluded from the Table 3 injection experiment
       // (SpecTaint never published its injection points), hence count 0.
-      {"openssl", SslSource, sslSeeds, sslLarge, {}, 0},
+      {"openssl", "TLS-record / handshake parser (openssl server analogue)",
+       SslSource, sslSeeds, sslLarge, {}, 0},
+      {"base64", "RFC 4648 base64 decoder: table-driven sextets, padding "
+                 "and whitespace handling",
+       Base64Source, base64Seeds, base64Large, {}, 5},
+      {"urlparse", "URL splitter: scheme/host/port/path/query with "
+                   "percent-decoding and query hashing",
+       UrlSource, urlSeeds, urlLarge, {}, 6},
+      {"smtp",
+       "SMTP command state machine with dot-stuffed body and unreachable "
+       "reply renderer",
+       SmtpSource,
+       smtpSeeds,
+       smtpLarge,
+       {"smtp_fmt_code", "smtp_render_reply"},
+       6},
+      {"varint", "varint/length-prefixed TLV decoder (protobuf wire-format "
+                 "analogue)",
+       VarintSource, varintSeeds, varintLarge, {}, 9},
   };
   return All;
 }
 
 const Workload *workloads::findWorkload(const std::string &Name) {
-  for (const Workload &W : allWorkloads())
-    if (Name == W.Name)
+  auto Lower = [](unsigned char C) {
+    return static_cast<char>(C >= 'A' && C <= 'Z' ? C - 'A' + 'a' : C);
+  };
+  for (const Workload &W : allWorkloads()) {
+    const char *P = W.Name;
+    size_t I = 0;
+    for (; *P && I != Name.size(); ++P, ++I)
+      if (Lower(static_cast<unsigned char>(*P)) !=
+          Lower(static_cast<unsigned char>(Name[I])))
+        break;
+    if (!*P && I == Name.size())
       return &W;
+  }
   return nullptr;
 }

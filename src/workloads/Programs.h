@@ -16,6 +16,22 @@
 ///                                       (brotli analogue)
 ///   ssl_t    TLS-record / handshake parser (openssl server analogue)
 ///
+/// Plus the scenario-diversity additions (ROADMAP item 3), which slot
+/// into the same registry so Table 3 injection, presets, and the golden
+/// scan-regress machinery pick them up for free:
+///
+///   base64_t  RFC 4648 decoder: table-driven sextet decoding, padding
+///             and whitespace handling
+///   url_t     URL splitter: scheme/host/port/path/query with
+///             percent-decoding and query-parameter hashing
+///   smtp_t    SMTP command state machine: strict HELO → MAIL → RCPT →
+///             DATA ordering, dot-stuffed body, with an unreachable
+///             reply-renderer module (unreachable injection points)
+///   varint_t  varint/length-prefixed TLV decoder (protobuf wire-format
+///             analogue): tag/wire-type dispatch, bounds-checked skips
+///
+/// See docs/WORKLOADS.md for the registry contract and how to add one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TEAPOT_WORKLOADS_PROGRAMS_H
@@ -30,6 +46,9 @@ namespace workloads {
 
 struct Workload {
   const char *Name;
+  /// One-line human description (shown by `scan_cots_binary
+  /// --list-workloads` and docs/WORKLOADS.md).
+  const char *Desc;
   const char *Source; // MiniCC
   /// Seed corpus for fuzzing.
   std::vector<std::vector<uint8_t>> (*Seeds)();
@@ -42,10 +61,12 @@ struct Workload {
   unsigned InjectCount;
 };
 
-/// All five workloads, in the paper's order.
+/// The workload registry: the paper's five first (in its order), then
+/// the scenario-diversity additions.
 const std::vector<Workload> &allWorkloads();
 
-/// Lookup by name; null if unknown.
+/// Lookup by name (ASCII case-insensitive, so CLI spellings like
+/// "Brotli" resolve); null if unknown — never aborts.
 const Workload *findWorkload(const std::string &Name);
 
 } // namespace workloads

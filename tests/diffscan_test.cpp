@@ -1,0 +1,167 @@
+//===- tests/diffscan_test.cpp - Cross-engine/cross-preset diff scanning ----===//
+//
+// The library-level contract behind tools/teapot_diffscan: on generated
+// programs and the scenario-diversity workloads, a full Scanner campaign
+// is engine-invariant — interp, block, and jit produce identical
+// ScanResults (gadgets, coverage, corpus, executions) once the two
+// legitimately run-varying fields (engine name, wall clock) are
+// normalized — while detector presets legitimately disagree, and that
+// disagreement is exactly what diffScans reports. Plus the proggen:
+// pseudo-workload plumbing through Scanner::loadWorkload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/ScanDiff.h"
+#include "api/Scanner.h"
+#include "lang/ProgGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace teapot;
+
+namespace {
+
+constexpr vm::Machine::Engine AllEngines[] = {
+    vm::Machine::Engine::Interpreter, vm::Machine::Engine::Block,
+    vm::Machine::Engine::Jit};
+
+ScanConfig smallConfig(const std::string &Preset, vm::Machine::Engine Eng,
+                       uint64_t Iters = 120) {
+  auto CfgOrErr = ScanConfig::preset(Preset);
+  EXPECT_TRUE(static_cast<bool>(CfgOrErr)) << Preset;
+  ScanConfig Cfg = std::move(*CfgOrErr);
+  Cfg.Campaign.Seed = 1;
+  Cfg.Campaign.TotalIterations = Iters;
+  Cfg.Campaign.Workers = 1;
+  Cfg.Campaign.SyncInterval = 64;
+  Cfg.Campaign.MaxInputLen = 256;
+  Cfg.Engine = Eng;
+  return Cfg;
+}
+
+/// Runs one full campaign and normalizes the run-varying fields the way
+/// teapot_diffscan does.
+ScanResult scanNormalized(const std::string &Workload, ScanConfig Cfg) {
+  Scanner S(std::move(Cfg));
+  Error E = S.loadWorkload(Workload);
+  EXPECT_FALSE(static_cast<bool>(E)) << Workload;
+  E = S.rewrite();
+  EXPECT_FALSE(static_cast<bool>(E)) << Workload;
+  auto ROrErr = S.run();
+  EXPECT_TRUE(static_cast<bool>(ROrErr)) << Workload;
+  ScanResult R = std::move(*ROrErr);
+  R.WallSeconds = 0;
+  for (ScanPassStats &PS : R.Passes)
+    PS.Seconds = 0;
+  R.Engine = "any";
+  return R;
+}
+
+// Engines are bit-identical at the full-scan level on generated
+// programs, across every preset — the tentpole claim.
+TEST(DiffScan, GeneratedProgramsEngineInvariant) {
+  for (uint64_t Seed : {11ull, 12ull}) {
+    std::string Name = "proggen:" + std::to_string(Seed) + ":4";
+    for (const char *Preset :
+         {"teapot", "teapot-nodift", "specfuzz-baseline"}) {
+      ScanResult Ref = scanNormalized(
+          Name, smallConfig(Preset, vm::Machine::Engine::Interpreter));
+      for (vm::Machine::Engine Eng :
+           {vm::Machine::Engine::Block, vm::Machine::Engine::Jit}) {
+        ScanResult R = scanNormalized(Name, smallConfig(Preset, Eng));
+        EXPECT_TRUE(R == Ref)
+            << Name << "/" << Preset << "/" << vm::engineName(Eng);
+        // The JSON artifacts are byte-identical too (what --out-dir
+        // writes and CI cmp's).
+        EXPECT_EQ(R.toJsonString(), Ref.toJsonString())
+            << Name << "/" << Preset;
+      }
+    }
+  }
+}
+
+// Same invariance on the scenario-diversity workloads.
+TEST(DiffScan, NewWorkloadsEngineInvariant) {
+  for (const char *W : {"base64", "varint"}) {
+    ScanResult Ref = scanNormalized(
+        W, smallConfig("teapot", vm::Machine::Engine::Interpreter));
+    for (vm::Machine::Engine Eng :
+         {vm::Machine::Engine::Block, vm::Machine::Engine::Jit})
+      EXPECT_TRUE(scanNormalized(W, smallConfig("teapot", Eng)) == Ref)
+          << W << "/" << vm::engineName(Eng);
+  }
+}
+
+// Repeating the same scan is byte-identical (the determinism the whole
+// diffing story rests on).
+TEST(DiffScan, ScanRunTwiceIdentical) {
+  std::string Name = "proggen:11:4";
+  ScanResult A = scanNormalized(
+      Name, smallConfig("teapot", vm::Machine::Engine::Jit));
+  ScanResult B = scanNormalized(
+      Name, smallConfig("teapot", vm::Machine::Engine::Jit));
+  EXPECT_EQ(A.toJsonString(), B.toJsonString());
+}
+
+// Preset deltas: diffScans between presets is well-formed, and its
+// new/lost counts are exactly the gadget-set difference. Presets may
+// legitimately disagree; engine choice must not affect the delta.
+TEST(DiffScan, PresetDeltasRecorded) {
+  std::string Name = "proggen:3:4";
+  ScanResult Teapot = scanNormalized(
+      Name, smallConfig("teapot", vm::Machine::Engine::Jit, 100));
+  ScanResult NoDift = scanNormalized(
+      Name, smallConfig("teapot-nodift", vm::Machine::Engine::Jit, 100));
+
+  ScanDiff D = diffScans(Teapot, NoDift, {});
+  EXPECT_EQ(Teapot.Gadgets.size() + D.NewGadgets.size() -
+                D.LostGadgets.size(),
+            NoDift.Gadgets.size());
+  // Cross-preset diffs record deltas but are not engine regressions.
+  for (const auto &G : D.NewGadgets)
+    EXPECT_NE(G.Site, 0u);
+
+  // The delta itself is engine-invariant.
+  ScanResult TeapotI = scanNormalized(
+      Name, smallConfig("teapot", vm::Machine::Engine::Interpreter, 100));
+  ScanResult NoDiftI = scanNormalized(
+      Name,
+      smallConfig("teapot-nodift", vm::Machine::Engine::Interpreter, 100));
+  ScanDiff DI = diffScans(TeapotI, NoDiftI, {});
+  EXPECT_EQ(D.NewGadgets.size(), DI.NewGadgets.size());
+  EXPECT_EQ(D.LostGadgets.size(), DI.LostGadgets.size());
+}
+
+// The proggen: pseudo-workload spelling through Scanner::loadWorkload.
+TEST(DiffScan, ProgGenPseudoWorkload) {
+  Scanner S;
+  ASSERT_FALSE(static_cast<bool>(S.loadWorkload("proggen:5:3")));
+  ASSERT_NE(S.binary(), nullptr);
+  // Auto-adopted sample corpus.
+  EXPECT_EQ(S.seeds().size(), lang::sampleInputs({5, 3}).size());
+
+  // Equivalent to loadGenerated with the same options.
+  lang::ProgGenOptions Opts;
+  Opts.Seed = 5;
+  Opts.Size = 3;
+  Scanner S2;
+  ASSERT_FALSE(static_cast<bool>(S2.loadGenerated(Opts)));
+  EXPECT_EQ(S.binary()->serialize(), S2.binary()->serialize());
+  EXPECT_EQ(S.seeds(), S2.seeds());
+
+  // Default size when the field is omitted.
+  Scanner S3;
+  EXPECT_FALSE(static_cast<bool>(S3.loadWorkload("proggen:5")));
+
+  // Malformed spellings are diagnosed, not crashed on.
+  for (const char *Bad : {"proggen:", "proggen:abc", "proggen:1:xyz",
+                          "proggen:1:2:3", "proggen:99999999999999999999"}) {
+    Scanner SB;
+    Error E = SB.loadWorkload(Bad);
+    EXPECT_TRUE(static_cast<bool>(E)) << Bad;
+    if (E)
+      EXPECT_NE(E.message().find("proggen"), std::string::npos) << Bad;
+  }
+}
+
+} // namespace

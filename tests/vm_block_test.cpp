@@ -165,6 +165,51 @@ TEST(EngineInstrumented, JsmnFixtureMatchesReference) {
   }
 }
 
+// The scenario-diversity workloads, through the same full-runtime
+// differential: every compiled engine drives the instrumented target
+// (speculation simulation, DIFT, coverage, gadget dedup) to exactly the
+// reference interpreter's results. This is the instrumented counterpart
+// of the WorkloadDifferential sweep above, which covers the new
+// workloads natively via allWorkloads().
+TEST(EngineInstrumented, NewWorkloadsMatchReference) {
+  for (const char *Name : {"base64", "urlparse", "smtp", "varint"}) {
+    SCOPED_TRACE(Name);
+    const Workload &W = *findWorkload(Name);
+    obj::ObjectFile Bin = compileOrDie(W.Source);
+    Bin.strip();
+    core::RewriteResult RW = rewriteOrDie(Bin);
+
+    runtime::RuntimeOptions RT;
+    std::vector<std::vector<uint8_t>> Inputs = W.Seeds();
+    Inputs.push_back(W.LargeInput(1200));
+    Inputs.push_back({0xff, '%', '=', '.', 0x80, 0x00}); // malformed
+
+    for (Machine::Engine Eng : CompiledEngines) {
+      InstrumentedTarget Ref(RW, RT);
+      Ref.M.Eng = Machine::Engine::Interpreter;
+      InstrumentedTarget T(RW, RT);
+      T.M.Eng = Eng;
+      for (const auto &In : Inputs) {
+        T.execute(In);
+        Ref.execute(In);
+        const char *N = engineName(Eng);
+        EXPECT_EQ(T.LastStop.Kind, Ref.LastStop.Kind) << N;
+        EXPECT_EQ(T.LastStop.ExitStatus, Ref.LastStop.ExitStatus) << N;
+        EXPECT_EQ(T.M.C.PC, Ref.M.C.PC) << N;
+        EXPECT_EQ(T.M.C.Flags, Ref.M.C.Flags) << N;
+        for (unsigned I = 0; I != isa::NumRegs; ++I)
+          EXPECT_EQ(T.M.C.R[I], Ref.M.C.R[I]) << N << " r" << I;
+        EXPECT_EQ(T.M.executedInsts(), Ref.M.executedInsts()) << N;
+        EXPECT_EQ(T.M.output(), Ref.M.output()) << N;
+        EXPECT_EQ(T.normalCoverage(), Ref.normalCoverage()) << N;
+        EXPECT_EQ(T.specCoverage(), Ref.specCoverage()) << N;
+        EXPECT_EQ(T.uniqueGadgets(), Ref.uniqueGadgets()) << N;
+      }
+      EXPECT_GT(T.M.blockCache().blockCount(), 0u);
+    }
+  }
+}
+
 // Budget accounting must be *exact*: for every cutoff k, every engine
 // stops at the same instruction with the same state. The program mixes
 // straight-line ALU runs, loads/stores, calls, and a loop, so cutoffs

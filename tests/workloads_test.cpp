@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace teapot;
 using namespace teapot::testutil;
 using namespace teapot::workloads;
@@ -93,10 +95,159 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(WorkloadRegistry, LookupAndOrder) {
-  EXPECT_EQ(allWorkloads().size(), 5u);
+  // The paper's five, in its order, then the scenario-diversity four.
+  EXPECT_EQ(allWorkloads().size(), 9u);
   EXPECT_NE(findWorkload("brotli"), nullptr);
   EXPECT_EQ(findWorkload("nope"), nullptr);
   EXPECT_STREQ(allWorkloads()[0].Name, "jsmn");
+  EXPECT_STREQ(allWorkloads()[4].Name, "openssl");
+  EXPECT_STREQ(allWorkloads()[5].Name, "base64");
+  EXPECT_STREQ(allWorkloads()[8].Name, "varint");
+  // Every entry carries a non-empty description (--list-workloads).
+  for (const Workload &W : allWorkloads()) {
+    ASSERT_NE(W.Desc, nullptr) << W.Name;
+    EXPECT_GT(strlen(W.Desc), 0u) << W.Name;
+  }
+}
+
+TEST(WorkloadRegistry, LookupIsCaseInsensitive) {
+  EXPECT_EQ(findWorkload("Brotli"), findWorkload("brotli"));
+  EXPECT_EQ(findWorkload("JSMN"), findWorkload("jsmn"));
+  EXPECT_EQ(findWorkload("Base64"), findWorkload("base64"));
+  EXPECT_EQ(findWorkload("LIBYAML"), findWorkload("libyaml"));
+  EXPECT_NE(findWorkload("SMTP"), nullptr);
+}
+
+// Unknown names return null — never abort — including near-misses,
+// prefixes, and hostile spellings.
+TEST(WorkloadRegistry, UnknownNamesReturnNull) {
+  for (const char *Bad :
+       {"", "jsm", "jsmnn", "jsmn ", " jsmn", "base", "base640",
+        "proggen:1:2", "a-very-long-name-that-matches-nothing", "\xff\xfe"})
+    EXPECT_EQ(findWorkload(Bad), nullptr) << "'" << Bad << "'";
+}
+
+//===----------------------------------------------------------------------===//
+// Golden outputs for the scenario-diversity workloads: fixed inputs,
+// exact expected bytes. These pin the MiniCC programs' semantics — a
+// behavior change (even a benign-looking one) invalidates the golden
+// scan baselines, so it must be deliberate.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint8_t> bytes(const char *S) {
+  return std::vector<uint8_t>(S, S + strlen(S));
+}
+
+std::vector<uint8_t> runWorkload(const char *Name,
+                                 const std::vector<uint8_t> &In) {
+  const Workload *W = findWorkload(Name);
+  EXPECT_NE(W, nullptr) << Name;
+  obj::ObjectFile Bin = compileOrDie(W->Source);
+  RunResult R = runNative(Bin, In);
+  EXPECT_EQ(R.Stop.Kind, vm::StopKind::Halted) << Name;
+  EXPECT_EQ(R.Stop.ExitStatus, 0u) << Name;
+  return R.Output;
+}
+
+} // namespace
+
+TEST(WorkloadGolden, Base64) {
+  // "Zm9vYmFy" -> "foobar": r = 6, h = fold of "foobar".
+  // h = (((((('f'*131+'o')*131+'o')*131+'o'... ) & 0xffffff at each step.
+  uint64_t H = 0;
+  for (char C : std::string("foobar"))
+    H = (H * 131 + static_cast<uint8_t>(C)) & 16777215;
+  std::vector<uint8_t> Expect = {6, static_cast<uint8_t>(H & 255),
+                                 static_cast<uint8_t>((H >> 8) & 255)};
+  EXPECT_EQ(runWorkload("base64", bytes("Zm9vYmFy")), Expect);
+
+  // Padding: "TQ==" -> "M" (1 byte).
+  uint64_t H2 = static_cast<uint8_t>('M') & 16777215;
+  std::vector<uint8_t> Expect2 = {1, static_cast<uint8_t>(H2 & 255),
+                                  static_cast<uint8_t>((H2 >> 8) & 255)};
+  EXPECT_EQ(runWorkload("base64", bytes("TQ==")), Expect2);
+
+  // Invalid character: error code -3 (res[0] = 0xfd), hash 0.
+  EXPECT_EQ(runWorkload("base64", bytes("Zm9v*mFy")),
+            (std::vector<uint8_t>{0xfd, 0, 0}));
+  // Data after padding: -2.
+  EXPECT_EQ(runWorkload("base64", bytes("TQ==AA==")),
+            (std::vector<uint8_t>{0xfe, 0, 0}));
+}
+
+TEST(WorkloadGolden, UrlParse) {
+  // "http://h/abc": plen 4 ("/abc"), nq 0, port 0 -> r = 4*1000000.
+  uint64_t R = 4 * 1000000;
+  std::vector<uint8_t> Expect = {static_cast<uint8_t>(R & 255),
+                                 static_cast<uint8_t>((R >> 8) & 255), 0};
+  EXPECT_EQ(runWorkload("urlparse", bytes("http://h/abc")), Expect);
+
+  // Port and two query params: "http://h:8080/x?a=1&b=2"
+  // plen 2 ("/x"), nq 2, port 8080 -> r = 2*1000000 + 2*100000 + 8080.
+  uint64_t R2 = 2 * 1000000 + 2 * 100000 + 8080;
+  std::vector<uint8_t> Expect2 = {static_cast<uint8_t>(R2 & 255),
+                                  static_cast<uint8_t>((R2 >> 8) & 255), 2};
+  EXPECT_EQ(runWorkload("urlparse", bytes("http://h:8080/x?a=1&b=2")),
+            Expect2);
+
+  // Percent-decoding: "%41" is one decoded byte.
+  // "s://h/%41%42" -> path "/AB" plen 3.
+  uint64_t R3 = 3 * 1000000;
+  EXPECT_EQ(runWorkload("urlparse", bytes("s://h/%41%42")),
+            (std::vector<uint8_t>{static_cast<uint8_t>(R3 & 255),
+                                  static_cast<uint8_t>((R3 >> 8) & 255),
+                                  0}));
+
+  // Missing scheme separator: error -2 (res[0]=0xfe, res[1]=0xff).
+  EXPECT_EQ(runWorkload("urlparse", bytes("nocolon")),
+            (std::vector<uint8_t>{0xfe, 0xff, 0}));
+}
+
+TEST(WorkloadGolden, Smtp) {
+  // Full session: HELO, MAIL, RCPT, DATA, one body line, ".", QUIT =
+  // 7 lines processed, final state 5 -> session = 7*100+5 = 705.
+  // Body hash folds "body" (the "." terminator line isn't hashed).
+  auto In = bytes("HELO mx.example\nMAIL FROM:<a>\nRCPT TO:<b>\nDATA\n"
+                  "body\n.\nQUIT\n");
+  uint64_t H = 0;
+  for (char C : std::string("body"))
+    H = (H * 31 + static_cast<uint8_t>(C)) & 16777215;
+  uint64_t R = 705;
+  std::vector<uint8_t> Expect = {
+      static_cast<uint8_t>(R & 255), static_cast<uint8_t>(H & 255),
+      static_cast<uint8_t>((H >> 8) & 255), 0}; // nrcpt reset by "."
+  EXPECT_EQ(runWorkload("smtp", In), Expect);
+
+  // Out-of-order MAIL before HELO: error -3 (res[0] = 0xfd).
+  EXPECT_EQ(runWorkload("smtp", bytes("MAIL FROM:<a>\n")),
+            (std::vector<uint8_t>{0xfd, 0, 0, 0}));
+
+  // Unknown command: -8 (0xf8).
+  EXPECT_EQ(runWorkload("smtp", bytes("EHLO h\n")),
+            (std::vector<uint8_t>{0xf8, 0, 0, 0}));
+}
+
+TEST(WorkloadGolden, Varint) {
+  // field1 varint 5, field2 bytes "abc", end marker.
+  // acc = (0 + 5) then fold "abc" with *17: ((5*17+97)*17+98)*17+99.
+  uint64_t Acc = 5;
+  for (char C : std::string("abc"))
+    Acc = (Acc * 17 + static_cast<uint8_t>(C)) & 16777215;
+  std::vector<uint8_t> In = {0x08, 5, 0x12, 3, 'a', 'b', 'c', 0x00};
+  std::vector<uint8_t> Expect = {
+      static_cast<uint8_t>(Acc & 255),
+      static_cast<uint8_t>((Acc >> 8) & 255), 2, 1}; // 2 records, 1 in f1
+  EXPECT_EQ(runWorkload("varint", In), Expect);
+
+  // Truncated varint: error -10 -> res[0]=0xf6, res[1]=0xff.
+  EXPECT_EQ(runWorkload("varint", {0x80}),
+            (std::vector<uint8_t>{0xf6, 0xff, 0, 0}));
+
+  // Length-delimited record longer than the remaining input: -13.
+  EXPECT_EQ(runWorkload("varint", {0x12, 200, 'x'}),
+            (std::vector<uint8_t>{0xf3, 0xff, 0, 0}));
 }
 
 //===----------------------------------------------------------------------===//
@@ -189,6 +340,66 @@ TEST(Injector, TeapotFindsInjectedGadgets) {
   for (const auto &R : T.RT.Reports.unique())
     EXPECT_TRUE(Markers.count(R.Site))
         << "false positive at " << std::hex << R.Site;
+}
+
+// Injection ground-truth round-trip over the scenario-diversity
+// workloads: each publishes an InjectCount (+ unreachable functions for
+// smtp), the injector honors it, the injected binary still behaves on
+// the seed corpus, and the Table 3 scan finds gadgets only at injected
+// sites.
+TEST(Injector, NewWorkloadsRoundTrip) {
+  for (const char *Name : {"base64", "urlparse", "smtp", "varint"}) {
+    SCOPED_TRACE(Name);
+    const Workload &W = *findWorkload(Name);
+    ASSERT_GT(W.InjectCount, 0u);
+
+    ir::Module M = liftWorkload(W);
+    InjectorOptions O;
+    O.Count = W.InjectCount;
+    O.UnreachableFuncs = W.UnreachableFuncs;
+    auto Res = injectGadgets(M, O);
+    ASSERT_TRUE(Res) << Res.message();
+    EXPECT_EQ(Res->SiteMarkers.size(), W.InjectCount);
+    EXPECT_EQ(Res->UnreachableMarkers.size(), W.UnreachableFuncs.size());
+
+    // In-bounds poke: observable behaviour unchanged on the seeds.
+    obj::ObjectFile Out;
+    ASSERT_TRUE(ir::layOut(M, Out));
+    obj::ObjectFile Clean = compileOrDie(W.Source);
+    for (const auto &Seed : W.Seeds()) {
+      RunResult Before = runNative(Clean, Seed);
+      vm::Machine Mach;
+      cantFail(Mach.loadObject(Out));
+      Mach.Mem.writeUnsigned(Res->InjInputAddr, 5, 8);
+      Mach.setInput(Seed);
+      vm::StopState S = Mach.run(20'000'000);
+      EXPECT_EQ(S.Kind, vm::StopKind::Halted);
+      EXPECT_EQ(Mach.output(), Before.Output);
+    }
+
+    // Out-of-bounds poke under the Table 3 runtime config: gadgets
+    // found, all at injected sites.
+    auto RW = core::rewriteModule(std::move(M), {});
+    ASSERT_TRUE(RW) << RW.message();
+    runtime::RuntimeOptions RT;
+    RT.TaintInput = false;
+    RT.MassagePolicy = false;
+    RT.ExtraTaintAddr = Res->InjInputAddr;
+    RT.ExtraTaintLen = 8;
+    InstrumentedTarget T(*RW, RT);
+    T.pokeInputTo(Res->InjInputAddr);
+    for (const auto &Seed : W.Seeds()) {
+      std::vector<uint8_t> In = Seed;
+      In.insert(In.end(), {200, 0, 0, 0, 0, 0, 0, 0});
+      T.execute(In);
+    }
+    std::set<uint64_t> Markers(Res->SiteMarkers.begin(),
+                               Res->SiteMarkers.end());
+    EXPECT_GT(T.RT.Reports.unique().size(), 0u);
+    for (const auto &R : T.RT.Reports.unique())
+      EXPECT_TRUE(Markers.count(R.Site))
+          << "false positive at " << std::hex << R.Site;
+  }
 }
 
 TEST(Injector, FailsOnMissingUnreachableFunction) {

@@ -1,0 +1,356 @@
+//===- tools/teapot_diffscan.cpp - Cross-engine / cross-preset diff scans ---===//
+//
+// The differential-scanning harness over generated and registry
+// workloads: every target is scanned with every execution tier
+// (interp / block / jit) under every detector preset (teapot,
+// teapot-nodift, specfuzz-baseline), and the tool asserts the tiers are
+// bit-identical — first at the raw machine level (registers, flags, PC,
+// instruction counts, output on every sample input), then at the scan
+// level (gadget sets, coverage, corpus — the whole ScanResult). Preset
+// gadget deltas (teapot vs each baseline) are recorded and, with
+// --out-dir, each preset's scan is written as a teapot.scan.v1 artifact
+// diffable with teapot_diff.
+//
+//   $ teapot_diffscan --seed 7 --count 25
+//   $ teapot_diffscan --seed 7 --count 25 --workloads \
+//         --json diffscan.json --out-dir scans/
+//
+// Everything the tool emits is deterministic — artifacts zero the
+// wall-clock field and stdout carries no timing — so running it twice
+// with the same options is byte-identical (the CI check).
+//
+// Exit codes: 0 = all engines identical everywhere, 1 = usage/IO errors
+// or an engine divergence (a divergence is a VM bug, never a tolerable
+// delta).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/ScanDiff.h"
+#include "api/Scanner.h"
+#include "lang/ProgGen.h"
+#include "support/File.h"
+#include "support/StringUtils.h"
+#include "vm/Machine.h"
+#include "workloads/Programs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+using namespace teapot;
+
+namespace {
+
+constexpr const char *Presets[] = {"teapot", "teapot-nodift",
+                                   "specfuzz-baseline"};
+constexpr vm::Machine::Engine Engines[] = {vm::Machine::Engine::Interpreter,
+                                           vm::Machine::Engine::Block,
+                                           vm::Machine::Engine::Jit};
+
+void usage(FILE *To) {
+  fprintf(To,
+          "usage: teapot_diffscan [options]\n"
+          "  --seed S       base ProgGen seed (default 7)\n"
+          "  --count N      generated programs, seeds S..S+N-1 (default "
+          "5)\n"
+          "  --size Z       ProgGen size knob 1..16 (default 5)\n"
+          "  --iters N      campaign executions per scan (default 300)\n"
+          "  --workers N    campaign workers (default 1)\n"
+          "  --workloads    also sweep every registry workload\n"
+          "  --json FILE    write the summary report "
+          "(teapot.diffscan.v1)\n"
+          "  --out-dir DIR  write each target's per-preset scans as\n"
+          "                 teapot.scan.v1 artifacts (teapot_diff input)\n"
+          "  --help         this text\n"
+          "exit codes: 0 = engines bit-identical everywhere, 1 = errors "
+          "or divergence\n");
+}
+
+/// One target: a workload-name spelling the Scanner accepts (registry
+/// name or proggen:SEED:SIZE) plus the raw material for the
+/// machine-level differential.
+struct Target {
+  std::string Name;
+  std::string Source;
+  std::vector<std::vector<uint8_t>> Inputs;
+};
+
+struct EngineState {
+  vm::StopState Stop;
+  vm::CPU C;
+  uint64_t Insts = 0;
+  uint64_t Intrinsics = 0;
+  std::vector<uint8_t> Output;
+};
+
+EngineState runRaw(const obj::ObjectFile &Bin, vm::Machine::Engine Eng,
+                   const std::vector<uint8_t> &Input) {
+  vm::Machine M;
+  M.Eng = Eng;
+  cantFail(M.loadObject(Bin));
+  M.setInput(Input);
+  EngineState S;
+  S.Stop = M.run(20'000'000);
+  S.C = M.C;
+  S.Insts = M.executedInsts();
+  S.Intrinsics = M.executedIntrinsics();
+  S.Output = M.output();
+  return S;
+}
+
+/// Bit-compares a compiled engine's raw run against the reference
+/// interpreter: StopState, PC, FLAGS, every register, instruction and
+/// intrinsic counts, output bytes. Returns a diagnostic ("" when
+/// identical).
+/// Target names double as artifact file stems; proggen spellings carry
+/// ':' which some filesystems reject.
+std::string fileStem(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out)
+    if (C == ':' || C == '/')
+      C = '_';
+  return Out;
+}
+
+std::string diffRaw(const EngineState &E, const EngineState &R) {
+  auto Mismatch = [](const char *What) { return std::string(What); };
+  if (E.Stop.Kind != R.Stop.Kind)
+    return Mismatch("stop kind");
+  if (E.Stop.Fault != R.Stop.Fault || E.Stop.FaultAddr != R.Stop.FaultAddr)
+    return Mismatch("fault state");
+  if (E.Stop.ExitStatus != R.Stop.ExitStatus)
+    return Mismatch("exit status");
+  if (E.C.PC != R.C.PC)
+    return Mismatch("pc");
+  if (E.C.Flags != R.C.Flags)
+    return Mismatch("flags");
+  for (unsigned I = 0; I != isa::NumRegs; ++I)
+    if (E.C.R[I] != R.C.R[I])
+      return "r" + std::to_string(I);
+  if (E.Insts != R.Insts)
+    return Mismatch("instruction count");
+  if (E.Intrinsics != R.Intrinsics)
+    return Mismatch("intrinsic count");
+  if (E.Output != R.Output)
+    return Mismatch("output bytes");
+  return "";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  support::ExitOnError Exit("teapot_diffscan: ");
+
+  uint64_t Seed = 7;
+  uint64_t Count = 5;
+  unsigned Size = 5;
+  uint64_t Iters = 300;
+  unsigned Workers = 1;
+  bool SweepWorkloads = false;
+  const char *JsonPath = nullptr;
+  const char *OutDir = nullptr;
+
+  auto NextOperand = [&](int &I) -> const char * {
+    if (I + 1 >= argc) {
+      fprintf(stderr, "teapot_diffscan: %s requires an operand\n", argv[I]);
+      exit(1);
+    }
+    return argv[++I];
+  };
+  for (int I = 1; I < argc; ++I) {
+    if (!strcmp(argv[I], "--seed")) {
+      Seed = Exit(support::parseUInt(NextOperand(I), "--seed",
+                                     ~0ULL >> 1));
+    } else if (!strcmp(argv[I], "--count")) {
+      Count = Exit(support::parseUInt(NextOperand(I), "--count", 10'000));
+    } else if (!strcmp(argv[I], "--size")) {
+      Size = static_cast<unsigned>(
+          Exit(support::parseUInt(NextOperand(I), "--size", 16)));
+    } else if (!strcmp(argv[I], "--iters")) {
+      Iters = Exit(support::parseUInt(NextOperand(I), "--iters",
+                                      1'000'000'000ULL));
+    } else if (!strcmp(argv[I], "--workers")) {
+      Workers = static_cast<unsigned>(Exit(support::parseUInt(
+          NextOperand(I), "--workers", ScanConfig::MaxWorkers)));
+    } else if (!strcmp(argv[I], "--workloads")) {
+      SweepWorkloads = true;
+    } else if (!strcmp(argv[I], "--json")) {
+      JsonPath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--out-dir")) {
+      OutDir = NextOperand(I);
+    } else if (!strcmp(argv[I], "--help")) {
+      usage(stdout);
+      return 0;
+    } else {
+      fprintf(stderr, "teapot_diffscan: unknown argument '%s'\n", argv[I]);
+      usage(stderr);
+      return 1;
+    }
+  }
+
+  if (OutDir && mkdir(OutDir, 0755) != 0 && errno != EEXIST) {
+    fprintf(stderr, "teapot_diffscan: cannot create --out-dir %s: %s\n",
+            OutDir, strerror(errno));
+    return 1;
+  }
+
+  // Assemble the target list: generated programs first (in seed order),
+  // then the registry sweep.
+  std::vector<Target> Targets;
+  for (uint64_t S = 0; S != Count; ++S) {
+    lang::ProgGenOptions GO;
+    GO.Seed = Seed + S;
+    GO.Size = Size;
+    Target T;
+    T.Name = "proggen:" + std::to_string(GO.Seed) + ":" +
+             std::to_string(GO.Size);
+    T.Source = lang::generateProgram(GO);
+    T.Inputs = lang::sampleInputs(GO);
+    Targets.push_back(std::move(T));
+  }
+  if (SweepWorkloads)
+    for (const workloads::Workload &W : workloads::allWorkloads()) {
+      Target T;
+      T.Name = W.Name;
+      T.Source = W.Source;
+      T.Inputs = W.Seeds();
+      T.Inputs.push_back(W.LargeInput(1500));
+      Targets.push_back(std::move(T));
+    }
+
+  printf("[*] diffscan: %zu target(s), %zu preset(s), %zu engine(s), "
+         "%llu iters\n",
+         Targets.size(), std::size(Presets), std::size(Engines),
+         static_cast<unsigned long long>(Iters));
+
+  json::Value Report = json::Value::object();
+  Report.set("schema", "teapot.diffscan.v1");
+  Report.set("seed", Seed);
+  Report.set("count", Count);
+  Report.set("size", static_cast<uint64_t>(Size));
+  Report.set("iters", Iters);
+  json::Value TargetsJson = json::Value::array();
+
+  bool Diverged = false;
+  auto Fail = [&](const std::string &Target, const std::string &What) {
+    fprintf(stderr, "teapot_diffscan: ENGINE DIVERGENCE on %s: %s\n",
+            Target.c_str(), What.c_str());
+    Diverged = true;
+  };
+
+  for (const Target &T : Targets) {
+    json::Value TJ = json::Value::object();
+    TJ.set("target", T.Name);
+
+    // --- Level 1: raw machine bit-identity on every sample input -----------
+    auto Bin = lang::compile(T.Source.c_str());
+    if (!Bin)
+      Exit(makeError("compiling %s: %s", T.Name.c_str(),
+                     Bin.message().c_str()));
+    uint64_t RawInsts = 0;
+    for (const auto &In : T.Inputs) {
+      EngineState Ref =
+          runRaw(*Bin, vm::Machine::Engine::Interpreter, In);
+      RawInsts += Ref.Insts;
+      for (vm::Machine::Engine Eng :
+           {vm::Machine::Engine::Block, vm::Machine::Engine::Jit}) {
+        std::string D = diffRaw(runRaw(*Bin, Eng, In), Ref);
+        if (!D.empty())
+          Fail(T.Name, std::string(vm::engineName(Eng)) + " vs interp: " +
+                           D + " (input " + std::to_string(In.size()) +
+                           "B)");
+      }
+    }
+    TJ.set("raw_inputs", static_cast<uint64_t>(T.Inputs.size()));
+    TJ.set("raw_insts", RawInsts);
+
+    // --- Level 2: full scans, engines × presets -----------------------------
+    // Per preset, every engine's ScanResult must be identical after
+    // normalizing the two fields that legitimately differ between runs
+    // (the recorded engine name and wall-clock time).
+    json::Value PresetsJson = json::Value::object();
+    std::vector<ScanResult> PresetScans; // index-matched with Presets
+    for (const char *Preset : Presets) {
+      std::vector<ScanResult> Runs;
+      for (vm::Machine::Engine Eng : Engines) {
+        ScanConfig Cfg = Exit(ScanConfig::preset(Preset));
+        Cfg.Campaign.Seed = 1;
+        Cfg.Campaign.TotalIterations = Iters;
+        Cfg.Campaign.Workers = Workers;
+        Cfg.Campaign.SyncInterval = 256;
+        Cfg.Campaign.MaxInputLen = 512;
+        Cfg.Engine = Eng;
+        Scanner S(Cfg);
+        Exit(S.loadWorkload(T.Name));
+        Exit(S.rewrite());
+        ScanResult R = Exit(S.run());
+        // Normalize the only legitimately run-varying fields — wall
+        // clock (whole-run and per-pass) and the recorded engine — so
+        // the comparison and the emitted artifacts are both exact.
+        R.WallSeconds = 0;
+        for (ScanPassStats &PS : R.Passes)
+          PS.Seconds = 0;
+        R.Engine = "any"; // normalized: the claim is engine-invariance
+        Runs.push_back(std::move(R));
+      }
+      for (size_t E = 1; E != Runs.size(); ++E)
+        if (!(Runs[E] == Runs[0]))
+          Fail(T.Name, std::string(Preset) + ": " +
+                           vm::engineName(Engines[E]) +
+                           " scan differs from " +
+                           vm::engineName(Engines[0]));
+
+      json::Value PJ = json::Value::object();
+      PJ.set("gadgets", static_cast<uint64_t>(Runs[0].Gadgets.size()));
+      PJ.set("normal_edges", Runs[0].NormalEdges);
+      PJ.set("spec_edges", Runs[0].SpecEdges);
+      PJ.set("corpus", Runs[0].CorpusSize);
+      PresetsJson.set(Preset, std::move(PJ));
+
+      if (OutDir)
+        Exit(support::writeFile(std::string(OutDir) + "/" +
+                                    fileStem(T.Name) + "-" + Preset +
+                                    ".scan.json",
+                                Runs[0].toJsonString()));
+      PresetScans.push_back(std::move(Runs[0]));
+    }
+    TJ.set("presets", std::move(PresetsJson));
+
+    // --- Level 3: preset gadget deltas against the teapot reference ---------
+    // Recorded, not gated: detector presets legitimately disagree (that
+    // disagreement is the experiment); only engine divergence fails.
+    json::Value Deltas = json::Value::object();
+    for (size_t P = 1; P != PresetScans.size(); ++P) {
+      ScanDiff D = diffScans(PresetScans[0], PresetScans[P], {});
+      json::Value DJ = json::Value::object();
+      DJ.set("new_gadgets", static_cast<uint64_t>(D.NewGadgets.size()));
+      DJ.set("lost_gadgets", static_cast<uint64_t>(D.LostGadgets.size()));
+      DJ.set("changed_gadgets",
+             static_cast<uint64_t>(D.ChangedGadgets.size()));
+      Deltas.set(Presets[P], std::move(DJ));
+    }
+    TJ.set("deltas", std::move(Deltas));
+
+    printf("[*] %-24s ok: %zu inputs raw-identical, engines identical "
+           "across %zu presets\n",
+           T.Name.c_str(), T.Inputs.size(), std::size(Presets));
+    TargetsJson.push(std::move(TJ));
+  }
+
+  Report.set("targets", std::move(TargetsJson));
+  Report.set("engines_identical", !Diverged);
+
+  if (JsonPath)
+    Exit(support::writeFile(JsonPath, Report.dump(true) + "\n"));
+
+  if (Diverged) {
+    fprintf(stderr, "teapot_diffscan: FAILED — engine divergence\n");
+    return 1;
+  }
+  printf("[*] all engines bit-identical on %zu target(s)\n",
+         Targets.size());
+  return 0;
+}
