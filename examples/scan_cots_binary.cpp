@@ -30,17 +30,26 @@
 
 #include "api/ScanDiff.h"
 #include "api/Scanner.h"
+#include "support/FaultInjector.h"
 #include "support/File.h"
 #include "support/StringUtils.h"
 #include "workloads/Programs.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <set>
 
 using namespace teapot;
+
+/// Set by the SIGINT handler; polled at epoch barriers so an interrupted
+/// campaign stops at a deterministic point and still flushes its
+/// artifacts (exit code 130).
+static volatile sig_atomic_t GotSigInt = 0;
+
+static void onSigInt(int) { GotSigInt = 1; }
 
 static void usage(FILE *To) {
   fprintf(To,
@@ -75,9 +84,22 @@ static void usage(FILE *To) {
           "                    baseline has injection ground truth)\n"
           "  --max-epochs N    stop after N campaign epochs even with "
           "budget left\n"
+          "  --fault-plan P    deterministic fault injection plan "
+          "(docs/ROBUSTNESS.md),\n"
+          "                    e.g. 'worker.execute@every:97;file.write@1'\n"
+          "  --quarantine-out FILE  write contained crashes as a\n"
+          "                    teapot.quarantine.v1 artifact\n"
+          "  --replay-quarantine FILE  replay every record of a quarantine\n"
+          "                    artifact instead of scanning; exit 0 iff "
+          "all crash\n"
+          "                    signatures reproduce\n"
           "  --help            this text\n"
+          "SIGINT stops the campaign at the next epoch barrier, flushes "
+          "--json/\n"
+          "--corpus-out/--quarantine-out, and exits 130.\n"
           "exit codes: 0 = ok, 1 = errors, 2 = gadget regressions vs "
-          "--baseline\n");
+          "--baseline,\n"
+          "            130 = interrupted (artifacts flushed)\n");
 }
 
 int main(int argc, char **argv) {
@@ -91,9 +113,12 @@ int main(int argc, char **argv) {
   uint64_t MaxEpochs = 0;
   bool Inject = false;
   bool Resume = false;
+  std::string FaultPlan;
   const char *JsonPath = nullptr;
   const char *CorpusInPath = nullptr;
   const char *CorpusOutPath = nullptr;
+  const char *QuarantineOutPath = nullptr;
+  const char *ReplayPath = nullptr;
   const char *BaselinePath = nullptr;
 
   auto NextOperand = [&](int &I) -> const char * {
@@ -145,6 +170,12 @@ int main(int argc, char **argv) {
     } else if (!strcmp(argv[I], "--max-epochs")) {
       MaxEpochs = Exit(support::parseUInt(NextOperand(I), "--max-epochs",
                                           1'000'000'000ULL));
+    } else if (!strcmp(argv[I], "--fault-plan")) {
+      FaultPlan = NextOperand(I);
+    } else if (!strcmp(argv[I], "--quarantine-out")) {
+      QuarantineOutPath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--replay-quarantine")) {
+      ReplayPath = NextOperand(I);
     } else if (!strcmp(argv[I], "--help")) {
       usage(stdout);
       return 0;
@@ -185,6 +216,15 @@ int main(int argc, char **argv) {
   Cfg.Campaign.MaxEpochs = MaxEpochs;
   Cfg.InjectGadgets = Inject;
   Cfg.Engine = Engine;
+  Cfg.FaultPlan = FaultPlan;
+
+  // The tool's artifact I/O has its own injector (one owner per
+  // injector): file.* clauses of --fault-plan drive it, campaign-level
+  // sites drive the per-worker target injectors.
+  support::FaultInjector FileFaults(
+      Exit(support::FaultPlan::parse(FaultPlan)));
+  support::AtomicWriteOptions WriteOpts;
+  WriteOpts.Faults = &FileFaults;
 
   Scanner S(Cfg);
   Exit(S.loadWorkload(Workload));
@@ -194,9 +234,19 @@ int main(int argc, char **argv) {
   Exit(S.rewrite());
   Exit(S.config().validate());
 
+  if (ReplayPath) {
+    json::Value Artifact = Exit(
+        json::parse(Exit(support::readFile(ReplayPath, &FileFaults))));
+    size_t N = Exit(S.replayQuarantine(Artifact));
+    printf("[*] replayed %zu quarantined input(s) from %s: all crash "
+           "signatures reproduce\n",
+           N, ReplayPath);
+    return 0;
+  }
+
   if (CorpusInPath) {
-    json::Value Snapshot =
-        Exit(json::parse(Exit(support::readFile(CorpusInPath))));
+    json::Value Snapshot = Exit(
+        json::parse(Exit(support::readFile(CorpusInPath, &FileFaults))));
     if (Resume) {
       Exit(S.resume(std::move(Snapshot)));
       printf("[*] resuming campaign state from %s\n", CorpusInPath);
@@ -214,32 +264,28 @@ int main(int argc, char **argv) {
     Baseline = Exit(
         ScanResult::fromJsonString(Exit(support::readFile(BaselinePath))));
 
-  // Open the artifacts only after everything else that can fail has
-  // been resolved (a bad workload/config must not truncate an existing
-  // file), but before the campaign runs so a bad path fails fast
-  // instead of discarding the whole scan. The writes at the end are
-  // checked too: fwrite/fclose failures (full disk, quota) must not
-  // exit 0 with a truncated artifact.
-  auto OpenArtifact = [&](const char *Path) {
-    FILE *F = fopen(Path, "w");
+  // Artifacts are written atomically (temp file + rename, bounded
+  // retries) at the end, so a failed scan never truncates an existing
+  // file. Probe each path up front anyway — a bad directory must fail
+  // fast instead of discarding the whole scan. The probe opens in
+  // append mode: it never clobbers existing bytes.
+  auto ProbeArtifact = [&](const char *Path) {
+    if (!Path)
+      return;
+    FILE *F = fopen(Path, "ab");
     if (!F)
       Exit(makeError("cannot open %s for writing: %s", Path,
                      strerror(errno)));
-    return F;
+    fclose(F);
   };
-  auto WriteArtifact = [&](FILE *F, const char *Path,
-                           const std::string &Doc) {
-    if (fwrite(Doc.data(), 1, Doc.size(), F) != Doc.size()) {
-      int E = errno;
-      fclose(F);
-      Exit(makeError("error writing %s: %s", Path, strerror(E)));
-    }
-    if (fclose(F) != 0)
-      Exit(makeError("error writing %s: %s", Path, strerror(errno)));
+  ProbeArtifact(JsonPath);
+  ProbeArtifact(CorpusOutPath);
+  ProbeArtifact(QuarantineOutPath);
+  uint64_t IoRetries = 0;
+  auto WriteArtifact = [&](const char *Path, const std::string &Doc) {
+    IoRetries += Exit(support::writeFileAtomic(Path, Doc, WriteOpts));
     printf("[*] wrote %s (%zu bytes)\n", Path, Doc.size());
   };
-  FILE *JsonFile = JsonPath ? OpenArtifact(JsonPath) : nullptr;
-  FILE *CorpusFile = CorpusOutPath ? OpenArtifact(CorpusOutPath) : nullptr;
   if (const workloads::InjectionResult *Inj = S.injection())
     printf("[*] injected %zu artificial gadget(s) (%zu unreachable, "
            "input slot %s)\n",
@@ -257,17 +303,27 @@ int main(int argc, char **argv) {
   S.OnGadget = [](const runtime::GadgetReport &R) {
     printf("    [gadget] %s\n", R.describe().c_str());
   };
-  S.OnEpoch = [](const fuzz::CampaignProgress &P) {
+  S.OnEpoch = [&S](const fuzz::CampaignProgress &P) {
     printf("[epoch %3llu] execs %7llu | corpus %5zu | cov %zu+%zu | "
-           "gadgets %zu\n",
+           "gadgets %zu",
            static_cast<unsigned long long>(P.Epoch),
            static_cast<unsigned long long>(P.Executions), P.CorpusSize,
            P.NormalEdges, P.SpecEdges, P.UniqueGadgets);
+    if (P.Quarantined)
+      printf(" | quarantined %zu", P.Quarantined);
+    printf("\n");
+    if (GotSigInt)
+      S.requestStop();
   };
+  signal(SIGINT, onSigInt);
 
   printf("[*] fuzzing for %llu executions on %u worker(s)...\n",
          static_cast<unsigned long long>(Iters), Workers);
   ScanResult R = Exit(S.run());
+  if (GotSigInt)
+    printf("[*] interrupted: campaign stopped at epoch %llu, flushing "
+           "artifacts\n",
+           static_cast<unsigned long long>(R.Epochs));
 
   printf("\n[*] campaign summary\n");
   printf("    engine:            %s\n", R.Engine.c_str());
@@ -284,6 +340,14 @@ int main(int argc, char **argv) {
   printf("    cross-worker imports: %llu\n",
          static_cast<unsigned long long>(R.Imports));
   printf("    unique gadgets:    %zu\n", R.Gadgets.size());
+  if (R.Quarantined || R.Degradations || R.WatchdogTrips ||
+      R.FaultsInjected)
+    printf("    robustness:        %llu quarantined, %llu degradations, "
+           "%llu watchdog trips, %llu faults injected\n",
+           static_cast<unsigned long long>(R.Quarantined),
+           static_cast<unsigned long long>(R.Degradations),
+           static_cast<unsigned long long>(R.WatchdogTrips),
+           static_cast<unsigned long long>(R.FaultsInjected));
   if (!R.InjectedSites.empty()) {
     std::set<uint64_t> Markers(R.InjectedSites.begin(),
                                R.InjectedSites.end());
@@ -306,11 +370,17 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(WS.SpecEdges));
   }
 
-  if (JsonFile)
-    WriteArtifact(JsonFile, JsonPath, R.toJsonString());
-  if (CorpusFile)
-    WriteArtifact(CorpusFile, CorpusOutPath,
-                  Exit(S.saveState()).dump(true) + "\n");
+  // Sibling artifacts first so the scan JSON can record the I/O retries
+  // their atomic writes spent (deterministic under a fault plan).
+  if (CorpusOutPath)
+    WriteArtifact(CorpusOutPath, Exit(S.saveState()).dump(true) + "\n");
+  if (QuarantineOutPath)
+    WriteArtifact(QuarantineOutPath,
+                  Exit(S.quarantineJson()).dump(true) + "\n");
+  if (JsonPath) {
+    R.IoRetries = IoRetries;
+    WriteArtifact(JsonPath, R.toJsonString());
+  }
 
   if (Baseline) {
     ScanDiffOptions DO;
@@ -324,5 +394,5 @@ int main(int argc, char **argv) {
     if (D.hasRegressions())
       return 2;
   }
-  return 0;
+  return GotSigInt ? 130 : 0;
 }

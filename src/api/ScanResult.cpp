@@ -77,6 +77,15 @@ json::Value ScanResult::toJson() const {
   Spec.set("rollbacks", std::move(RB));
   V.set("speculation", std::move(Spec));
 
+  json::Value Rob = json::Value::object();
+  Rob.set("fault_plan", FaultPlan);
+  Rob.set("quarantined", Quarantined);
+  Rob.set("degradations", Degradations);
+  Rob.set("watchdog_trips", WatchdogTrips);
+  Rob.set("faults_injected", FaultsInjected);
+  Rob.set("io_retries", IoRetries);
+  V.set("robustness", std::move(Rob));
+
   json::Value Inj = json::Value::object();
   json::Value Sites = json::Value::array();
   for (uint64_t Site : InjectedSites)
@@ -303,6 +312,27 @@ Expected<ScanResult> ScanResult::fromJson(const json::Value &V) {
             R.Rollbacks[I]))
       return E;
 
+  // "robustness" postdates the first v1 artifacts; documents without it
+  // came from builds with no fault injection or containment, so the
+  // all-clean defaults are exact.
+  if (const json::Value *RobV = V.find("robustness")) {
+    if (!RobV->isObject())
+      return makeError("scan result: robustness is not an object");
+    Reader Rob{*RobV, "robustness"};
+    if (Error E = Rob.getString("fault_plan", R.FaultPlan))
+      return E;
+    if (Error E = Rob.getU64("quarantined", R.Quarantined))
+      return E;
+    if (Error E = Rob.getU64("degradations", R.Degradations))
+      return E;
+    if (Error E = Rob.getU64("watchdog_trips", R.WatchdogTrips))
+      return E;
+    if (Error E = Rob.getU64("faults_injected", R.FaultsInjected))
+      return E;
+    if (Error E = Rob.getU64("io_retries", R.IoRetries))
+      return E;
+  }
+
   auto InjObj = Top.getObject("injection");
   if (!InjObj)
     return InjObj.takeError();
@@ -353,6 +383,10 @@ bool ScanResult::operator==(const ScanResult &O) const {
          Simulations == O.Simulations &&
          NestedSimulations == O.NestedSimulations &&
          std::memcmp(Rollbacks, O.Rollbacks, sizeof(Rollbacks)) == 0 &&
+         FaultPlan == O.FaultPlan && Quarantined == O.Quarantined &&
+         Degradations == O.Degradations &&
+         WatchdogTrips == O.WatchdogTrips &&
+         FaultsInjected == O.FaultsInjected && IoRetries == O.IoRetries &&
          InjectedSites == O.InjectedSites &&
          InjectInputAddr == O.InjectInputAddr && Gadgets == O.Gadgets;
 }

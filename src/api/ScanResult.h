@@ -110,6 +110,24 @@ struct ScanResult {
   uint64_t Rollbacks[static_cast<size_t>(isa::RollbackReason::NumReasons)] =
       {};
 
+  // --- Robustness (docs/ROBUSTNESS.md) -------------------------------------
+  // Artifacts predating the robustness layer lack the section; reads
+  // default it to all-clean, which is what those runs were.
+  /// Canonical fault-plan spelling the run was configured with ("" for
+  /// uninjected runs).
+  std::string FaultPlan;
+  /// Contained crashes (inputs moved to the quarantine corpus).
+  uint64_t Quarantined = 0;
+  /// Mid-run JIT-to-block-engine degradations.
+  uint64_t Degradations = 0;
+  /// Executions the runaway-rollback watchdog cut short.
+  uint64_t WatchdogTrips = 0;
+  /// Faults the configured plan injected, across all sites.
+  uint64_t FaultsInjected = 0;
+  /// Atomic-write retries spent persisting this scan's sibling
+  /// artifacts (filled by tools; always 0 from the library).
+  uint64_t IoRetries = 0;
+
   // --- Injection ground truth (Table 3 runs; empty otherwise) --------------
   /// Synthetic site markers of the artificially injected gadgets.
   std::vector<uint64_t> InjectedSites;

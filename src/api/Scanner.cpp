@@ -77,6 +77,8 @@ Error ScanConfig::validate() const {
     return makeError("scan config: gadget injection requires an "
                      "instrumented target (the native preset has no "
                      "detector to score against)");
+  if (auto P = support::FaultPlan::parse(FaultPlan); !P)
+    return makeError("scan config: fault plan: %s", P.message().c_str());
   return Error::success();
 }
 
@@ -258,15 +260,20 @@ Error Scanner::requireTarget() const {
 static void tuneMachine(vm::Machine &M, const ScanConfig &Cfg) {
   M.Eng = Cfg.Engine;
   M.MaxOutputBytes = Cfg.MaxOutputBytes;
+  M.Mem.MaxPages = Cfg.MaxGuestPages;
+  M.JitArenaBytes = Cfg.JitArenaBytes;
 }
 
-std::unique_ptr<fuzz::FuzzTarget> Scanner::makeTarget() const {
+std::unique_ptr<fuzz::FuzzTarget>
+Scanner::makeTarget(const support::FaultPlan &Plan) const {
   if (Cfg.Kind == ScanConfig::TargetKind::Native) {
     auto T = std::make_unique<workloads::NativeTarget>(*Loaded,
                                                        Cfg.RunBudget);
     tuneMachine(T->M, Cfg);
     if (Cfg.PokeAddr)
       T->pokeInputTo(*Cfg.PokeAddr);
+    if (!Plan.empty())
+      T->armFaults(Plan);
     return T;
   }
   runtime::RuntimeOptions RTO = Cfg.Runtime;
@@ -286,7 +293,14 @@ std::unique_ptr<fuzz::FuzzTarget> Scanner::makeTarget() const {
   tuneMachine(T->M, Cfg);
   if (Poke)
     T->pokeInputTo(*Poke);
+  if (!Plan.empty())
+    T->armFaults(Plan);
   return T;
+}
+
+std::unique_ptr<fuzz::FuzzTarget> Scanner::makeTarget() const {
+  // Cfg.validate() vetted the spelling before any path reaches here.
+  return makeTarget(cantFail(support::FaultPlan::parse(Cfg.FaultPlan)));
 }
 
 fuzz::TargetFactory Scanner::makeFactory() const {
@@ -317,6 +331,9 @@ ScanResult Scanner::baseResult(uint64_t Iterations) const {
     R.InjectedSites = Injection->SiteMarkers;
     R.InjectInputAddr = Injection->InjInputAddr;
   }
+  // Canonical spelling (validated by the caller), so artifacts compare
+  // equal however the plan was spelled.
+  R.FaultPlan = cantFail(support::FaultPlan::parse(Cfg.FaultPlan)).spelling();
   return R;
 }
 
@@ -390,9 +407,114 @@ Expected<ScanResult> Scanner::run() {
     R.PerWorker.push_back({W.Executions, W.CorpusAdds, W.Imports,
                            W.GuestInsts, W.ShardSize, W.NormalEdges,
                            W.SpecEdges});
+  R.Quarantined = S.Quarantined;
+  R.Degradations = S.Degradations;
+  R.WatchdogTrips = S.WatchdogTrips;
+  R.FaultsInjected = S.FaultsInjected;
   R.Gadgets = C.gadgets().unique(); // key-ordered
   LastCorpus = C.corpus();
   return R;
+}
+
+const std::vector<fuzz::QuarantineRecord> &Scanner::quarantine() const {
+  static const std::vector<fuzz::QuarantineRecord> Empty;
+  return Camp ? Camp->quarantine() : Empty;
+}
+
+Expected<json::Value> Scanner::quarantineJson() const {
+  if (!Camp)
+    return makeError("no campaign to snapshot (call run() first)");
+  auto Plan = support::FaultPlan::parse(Cfg.FaultPlan);
+  if (!Plan)
+    return makeError("scan config: fault plan: %s", Plan.message().c_str());
+  json::Value V = json::Value::object();
+  V.set("schema", QuarantineSchemaName);
+  V.set("workload", WorkloadName);
+  V.set("preset", Cfg.Preset);
+  V.set("engine", vm::engineName(vm::resolveEngine(Cfg.Engine)));
+  V.set("seed", Cfg.Campaign.Seed);
+  V.set("workers", Cfg.Campaign.Workers);
+  V.set("run_budget", Cfg.RunBudget);
+  V.set("fault_plan", Plan->spelling());
+  json::Value Recs = json::Value::array();
+  for (const fuzz::QuarantineRecord &R : Camp->quarantine()) {
+    json::Value RV = json::Value::object();
+    RV.set("input", hexEncode(R.Input));
+    RV.set("worker", R.Worker);
+    RV.set("epoch", R.Epoch);
+    RV.set("exec_index", R.ExecIndex);
+    RV.set("signature", R.Signature);
+    RV.set("site", R.Site);
+    RV.set("rng_state", R.RngState);
+    Recs.push(std::move(RV));
+  }
+  V.set("records", std::move(Recs));
+  return V;
+}
+
+Expected<size_t> Scanner::replayQuarantine(const json::Value &Artifact) {
+  if (Error E = Cfg.validate())
+    return E;
+  if (Error E = requireTarget())
+    return E;
+  if (!Artifact.isObject())
+    return makeError("quarantine artifact: document is not an object");
+  const json::Value *Schema = Artifact.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != QuarantineSchemaName)
+    return makeError("quarantine artifact: missing or unsupported schema "
+                     "tag (want %s)",
+                     QuarantineSchemaName);
+  const json::Value *Recs = Artifact.find("records");
+  if (!Recs || !Recs->isArray())
+    return makeError("quarantine artifact: missing records array");
+
+  for (size_t I = 0; I != Recs->size(); ++I) {
+    const json::Value &RV = Recs->items()[I];
+    if (!RV.isObject())
+      return makeError("quarantine artifact: records[%zu] is not an "
+                       "object",
+                       I);
+    const json::Value *In = RV.find("input");
+    const json::Value *Sig = RV.find("signature");
+    const json::Value *Site = RV.find("site");
+    if (!In || !In->isString() || !Sig || !Sig->isString() || !Site ||
+        !Site->isString())
+      return makeError("quarantine artifact: records[%zu] needs input, "
+                       "signature, and site strings",
+                       I);
+    auto Input = hexDecode(In->asString());
+    if (!Input)
+      return makeError("quarantine artifact: records[%zu].input: %s", I,
+                       Input.message().c_str());
+
+    // Injected crashes re-arm their site as a one-shot plan; genuine
+    // crashes (site "") must reproduce from the input alone.
+    support::FaultPlan One;
+    if (!Site->asString().empty()) {
+      auto P = support::FaultPlan::parse(Site->asString() + "@1");
+      if (!P)
+        return makeError("quarantine artifact: records[%zu].site: %s", I,
+                         P.message().c_str());
+      One = std::move(*P);
+    }
+    std::unique_ptr<fuzz::FuzzTarget> T = makeTarget(One);
+    std::optional<std::string> Observed;
+    try {
+      T->execute(*Input);
+    } catch (const std::exception &E) {
+      Observed = E.what();
+    }
+    if (!Observed)
+      return makeError("quarantine replay: records[%zu] did not crash "
+                       "(recorded signature '%s')",
+                       I, Sig->asString().c_str());
+    if (*Observed != Sig->asString())
+      return makeError("quarantine replay: records[%zu] crashed with "
+                       "'%s', recorded '%s'",
+                       I, Observed->c_str(), Sig->asString().c_str());
+  }
+  return Recs->size();
 }
 
 Expected<json::Value> Scanner::saveState() const {
@@ -462,9 +584,17 @@ Expected<ScanResult> Scanner::runInputs(
   if (IT && OnGadget)
     IT->RT.Reports.OnNewGadget = OnGadget;
 
+  // Same containment as a campaign worker: a crashing input is counted
+  // and skipped, the sweep continues.
+  uint64_t Quarantined = 0;
   auto Start = std::chrono::steady_clock::now();
-  for (const auto &Input : Inputs)
-    T->execute(Input);
+  for (const auto &Input : Inputs) {
+    try {
+      T->execute(Input);
+    } catch (const std::exception &) {
+      ++Quarantined;
+    }
+  }
   double Secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
@@ -474,6 +604,11 @@ Expected<ScanResult> Scanner::runInputs(
   R.Executions = Inputs.size();
   R.GuestInsts = T->executedInsts();
   R.WallSeconds = Secs;
+  R.Quarantined = Quarantined;
+  fuzz::FuzzTarget::RobustnessStats RS = T->robustnessStats();
+  R.Degradations = RS.Degradations;
+  R.WatchdogTrips = RS.WatchdogTrips;
+  R.FaultsInjected = RS.FaultsInjected;
   if (IT) {
     R.NormalEdges = IT->RT.Cov.normalCovered();
     R.SpecEdges = IT->RT.Cov.specCovered();

@@ -89,6 +89,24 @@ struct ScanConfig {
   /// guest address before every run.
   std::optional<uint64_t> PokeAddr;
 
+  // --- Robustness (docs/ROBUSTNESS.md) -------------------------------------
+  /// Deterministic fault plan (support::FaultPlan::parse spelling, "" =
+  /// no injection) armed on every campaign target's private injector.
+  /// Same config + same plan reproduces the same faults — and therefore
+  /// the same corpus, gadgets, and quarantine — byte-identically.
+  std::string FaultPlan;
+  /// Guest-page ceiling per machine. A guest that touches more pages
+  /// gets a per-execution OutOfMemory stop instead of growing the host
+  /// heap without bound. 0 = unlimited; the default (1 Mi pages = 4 GiB
+  /// touched) is far above any legitimate workload.
+  uint64_t MaxGuestPages = 1 << 20;
+  /// JIT code-arena size in bytes (0 = backend default). Exhaustion
+  /// flushes the arena; a thrashing or unrecoverable arena degrades the
+  /// run to the block engine (bit-exact, so results are unaffected).
+  uint64_t JitArenaBytes = 0;
+  // (The runaway-rollback watchdog is a runtime option:
+  // Runtime.MaxRollbacksPerRun.)
+
   // --- Artificial gadget injection (Section 7.2 / Table 3) -----------------
   /// Splice sample Spectre-V1 gadgets into the lifted module at
   /// rewrite() time, giving the scan a known ground truth. When on, the
@@ -240,6 +258,35 @@ public:
     return LastCorpus;
   }
 
+  // --- Robustness ----------------------------------------------------------
+  /// Asks a running campaign to stop at the next epoch barrier (safe
+  /// from OnEpoch or another thread — the tool's SIGINT path). A no-op
+  /// before the first run().
+  void requestStop() {
+    if (Camp)
+      Camp->requestStop();
+  }
+
+  /// The last run()'s contained crashes (empty before, and for clean
+  /// runs). See fuzz::Campaign::quarantine().
+  const std::vector<fuzz::QuarantineRecord> &quarantine() const;
+
+  /// Serializes the last run()'s quarantine as a teapot.quarantine.v1
+  /// artifact: a provenance header (workload, preset, engine, seed,
+  /// workers, run budget, fault plan) plus one record per contained
+  /// crash — enough to replay each crash on a fresh target. Error
+  /// before the first run().
+  static constexpr const char *QuarantineSchemaName = "teapot.quarantine.v1";
+  Expected<json::Value> quarantineJson() const;
+
+  /// Replays every record of a quarantineJson() artifact on a fresh
+  /// target each: injected faults are re-armed as a one-shot plan
+  /// (`site@1`), the input is executed, and the observed crash
+  /// signature must match the recorded one. The scan config and loaded
+  /// binary must match the artifact's provenance. Returns the number of
+  /// records replayed.
+  Expected<size_t> replayQuarantine(const json::Value &Artifact);
+
   // --- Live feeds ----------------------------------------------------------
   /// Every run-unique gadget, as discovered.
   std::function<void(const runtime::GadgetReport &)> OnGadget;
@@ -250,7 +297,11 @@ private:
   void adoptBinary(obj::ObjectFile Bin, std::string Name);
   Error requireTarget() const;
   fuzz::TargetFactory makeFactory() const;
+  /// Builds a target armed with Cfg.FaultPlan (campaign/runInputs use).
   std::unique_ptr<fuzz::FuzzTarget> makeTarget() const;
+  /// Builds a target armed with an explicit plan (quarantine replay).
+  std::unique_ptr<fuzz::FuzzTarget>
+  makeTarget(const support::FaultPlan &Plan) const;
   ScanResult baseResult(uint64_t Iterations) const;
 
   ScanConfig Cfg;

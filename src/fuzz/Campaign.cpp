@@ -50,6 +50,8 @@ struct Campaign::Worker {
   size_t InboxCursor = 0;
   /// Locally-novel inputs found this epoch, collected by syncEpoch().
   std::vector<std::vector<uint8_t>> Outbox;
+  /// Crashes contained this epoch, collected by syncEpoch().
+  std::vector<QuarantineRecord> Quarantine;
   bool Seeded = false;
 
   bool finished() const { return Seeded && Executed >= Budget; }
@@ -88,7 +90,29 @@ void Campaign::runWorkerEpoch(Worker &W) {
 
   uint64_t EpochExecs = 0;
   auto ExecAndMerge = [&](const std::vector<uint8_t> &In) {
-    W.Target->execute(In);
+    try {
+      W.Target->execute(In);
+    } catch (const std::exception &E) {
+      // Crash containment: the input is quarantined and the execution
+      // charged like any other, so the epoch barrier converges at the
+      // same counts it would have — a hostile input costs one execution,
+      // never the campaign. The target's coverage maps are in an
+      // unknown partial state, so nothing is merged or published.
+      ++W.Executed;
+      ++W.Stats.Executions;
+      ++W.Stats.Quarantined;
+      ++EpochExecs;
+      QuarantineRecord R;
+      R.Input = In;
+      R.Worker = W.Index;
+      R.ExecIndex = W.Executed;
+      R.Signature = E.what();
+      if (const auto *TE = dynamic_cast<const TeapotError *>(&E))
+        R.Site = TE->site();
+      R.RngState = W.Rand.state();
+      W.Quarantine.push_back(std::move(R));
+      return false;
+    }
     ++W.Executed;
     ++W.Stats.Executions;
     ++EpochExecs;
@@ -135,7 +159,6 @@ void Campaign::runWorkerEpoch(Worker &W) {
 }
 
 void Campaign::syncEpoch(uint64_t Epoch) {
-  (void)Epoch;
   // Drop consumed inbox prefixes (workers are joined; main thread only).
   for (auto &WP : Workers) {
     WP->Inbox.erase(WP->Inbox.begin(),
@@ -158,6 +181,15 @@ void Campaign::syncEpoch(uint64_t Epoch) {
       MergedCorpus.push_back(std::move(Input));
     }
     W.Outbox.clear();
+  }
+  // Collect contained crashes in worker-index order (same rule as
+  // corpus publication: campaign order never depends on scheduling).
+  for (auto &WP : Workers) {
+    for (QuarantineRecord &R : WP->Quarantine) {
+      R.Epoch = Epoch;
+      Quarantine.push_back(std::move(R));
+    }
+    WP->Quarantine.clear();
   }
   // Fold per-worker gadget sinks into the campaign-unique set (worker
   // order, so duplicate gadgets resolve to the lowest-index reporter).
@@ -183,6 +215,7 @@ CampaignStats Campaign::run() {
     MergedNormal.clear();
     MergedSpec.clear();
     Gadgets.clear();
+    Quarantine.clear();
     Workers.clear();
     CurEpoch = 0;
     for (unsigned I = 0; I != Opts.Workers; ++I) {
@@ -241,6 +274,7 @@ CampaignStats Campaign::run() {
       P.NormalEdges = countCovered(MergedNormal);
       P.SpecEdges = countCovered(MergedSpec);
       P.UniqueGadgets = Gadgets.uniqueCount();
+      P.Quarantined = Quarantine.size();
       OnEpoch(P);
     }
     Stop = StopRequested.load(std::memory_order_relaxed) ||
@@ -264,6 +298,11 @@ CampaignStats Campaign::run() {
     S.CorpusAdds += WS.CorpusAdds;
     S.Imports += WS.Imports;
     S.GuestInsts += WS.GuestInsts;
+    S.Quarantined += WS.Quarantined;
+    FuzzTarget::RobustnessStats RS = WP->Target->robustnessStats();
+    S.Degradations += RS.Degradations;
+    S.WatchdogTrips += RS.WatchdogTrips;
+    S.FaultsInjected += RS.FaultsInjected;
     S.PerWorker.push_back(WS);
   }
   S.NormalEdges = countCovered(MergedNormal);
@@ -358,6 +397,20 @@ json::Value Campaign::saveState() const {
     GArr.push(runtime::gadgetToJson(R));
   V.set("gadgets", std::move(GArr));
 
+  json::Value QArr = json::Value::array();
+  for (const QuarantineRecord &R : Quarantine) {
+    json::Value QV = json::Value::object();
+    QV.set("input", hexEncode(R.Input));
+    QV.set("worker", R.Worker);
+    QV.set("epoch", R.Epoch);
+    QV.set("exec_index", R.ExecIndex);
+    QV.set("signature", R.Signature);
+    QV.set("site", R.Site);
+    QV.set("rng_state", R.RngState);
+    QArr.push(std::move(QV));
+  }
+  V.set("quarantine", std::move(QArr));
+
   json::Value WArr = json::Value::array();
   for (const auto &WP : Workers) {
     const Worker &W = *WP;
@@ -372,6 +425,7 @@ json::Value Campaign::saveState() const {
     St.set("executions", W.Stats.Executions);
     St.set("corpus_adds", W.Stats.CorpusAdds);
     St.set("imports", W.Stats.Imports);
+    St.set("quarantined", W.Stats.Quarantined);
     WV.set("stats", std::move(St));
     json::Value Sh = json::Value::object();
     Sh.set("entries", inputsToJson(W.Shard.entries()));
@@ -468,6 +522,55 @@ Error Campaign::loadState(const json::Value &V) {
     Reports.push_back(*G);
   }
 
+  // Optional with default: snapshots written before crash containment
+  // existed carry no quarantine array and must keep loading.
+  std::vector<QuarantineRecord> NewQuarantine;
+  if (const json::Value *QArr = V.find("quarantine")) {
+    if (!QArr->isArray())
+      return makeError("corpus snapshot: quarantine is not an array");
+    for (size_t I = 0; I != QArr->size(); ++I) {
+      const json::Value &QV = QArr->items()[I];
+      if (!QV.isObject())
+        return makeError("corpus snapshot: quarantine[%zu] is not an "
+                         "object",
+                         I);
+      QuarantineRecord R;
+      const json::Value *In = QV.find("input");
+      if (!In || !In->isString())
+        return makeError("corpus snapshot: quarantine[%zu].input missing",
+                         I);
+      auto Bytes = hexDecode(In->asString());
+      if (!Bytes)
+        return makeError("corpus snapshot: quarantine[%zu].input: %s", I,
+                         Bytes.message().c_str());
+      R.Input = std::move(*Bytes);
+      uint64_t WIdx = 0;
+      if (Error E = getU64(QV, "worker", "quarantine[]", WIdx))
+        return E;
+      if (WIdx >= Opts.Workers)
+        return makeError("corpus snapshot: quarantine[%zu].worker %llu out "
+                         "of range for a %u-worker campaign",
+                         I, static_cast<unsigned long long>(WIdx),
+                         Opts.Workers);
+      R.Worker = static_cast<unsigned>(WIdx);
+      if (Error E = getU64(QV, "epoch", "quarantine[]", R.Epoch))
+        return E;
+      if (Error E = getU64(QV, "exec_index", "quarantine[]", R.ExecIndex))
+        return E;
+      if (Error E = getU64(QV, "rng_state", "quarantine[]", R.RngState))
+        return E;
+      const json::Value *Sig = QV.find("signature");
+      const json::Value *Site = QV.find("site");
+      if (!Sig || !Sig->isString() || !Site || !Site->isString())
+        return makeError("corpus snapshot: quarantine[%zu] needs signature "
+                         "+ site strings",
+                         I);
+      R.Signature = Sig->asString();
+      R.Site = Site->asString();
+      NewQuarantine.push_back(std::move(R));
+    }
+  }
+
   const json::Value *WArr = V.find("workers");
   if (!WArr || !WArr->isArray())
     return makeError("corpus snapshot: missing workers array");
@@ -510,6 +613,14 @@ Error Campaign::loadState(const json::Value &V) {
     if (Error E =
             getU64(*St, "imports", "workers[].stats", W->Stats.Imports))
       return E;
+    // Optional with default (pre-quarantine snapshots lack the key).
+    if (const json::Value *Q = St->find("quarantined")) {
+      if (!Q->isUInt())
+        return makeError("corpus snapshot: workers[%zu].stats.quarantined "
+                         "is not an unsigned integer",
+                         I);
+      W->Stats.Quarantined = Q->asUInt();
+    }
     const json::Value *Sh = WV.find("shard");
     if (!Sh || !Sh->isObject())
       return makeError("corpus snapshot: workers[%zu].shard missing", I);
@@ -581,6 +692,7 @@ Error Campaign::loadState(const json::Value &V) {
   MergedNormal = std::move(*Normal);
   MergedSpec = std::move(*Spec);
   Gadgets.restore(Reports);
+  Quarantine = std::move(NewQuarantine);
   CurEpoch = Epoch;
   Resumed = true;
   return Error::success();

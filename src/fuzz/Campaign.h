@@ -27,6 +27,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace teapot {
@@ -62,8 +63,35 @@ struct WorkerStats {
   size_t SpecEdges = 0;
   /// Guest instructions this worker's target executed in total.
   uint64_t GuestInsts = 0;
+  /// Executions whose execute() threw; the inputs sit in quarantine.
+  uint64_t Quarantined = 0;
 
   bool operator==(const WorkerStats &O) const = default;
+};
+
+/// One contained crash: everything needed to replay it. An exception
+/// escaping FuzzTarget::execute no longer kills the campaign — the
+/// input lands here (charged against the budget, no coverage merged)
+/// and the epoch barrier converges normally. Records are deterministic
+/// under the same options + fault plan and are part of the saved
+/// campaign state.
+struct QuarantineRecord {
+  std::vector<uint8_t> Input;
+  unsigned Worker = 0;
+  /// Epoch the crash happened in (the barrier it was collected at is
+  /// Epoch + 1).
+  uint64_t Epoch = 0;
+  /// The worker-local execution count after charging this execution —
+  /// i.e. this was the worker's ExecIndex-th execution (1-based).
+  uint64_t ExecIndex = 0;
+  /// Deterministic fault signature (the exception's what()).
+  std::string Signature;
+  /// Fault site for injected faults (TeapotError::site()), else "".
+  std::string Site;
+  /// The worker's RNG stream position right after the crash.
+  uint64_t RngState = 0;
+
+  bool operator==(const QuarantineRecord &O) const = default;
 };
 
 struct CampaignStats {
@@ -78,6 +106,11 @@ struct CampaignStats {
   /// Guest instructions summed over all workers — the numerator of the
   /// campaign's insts/sec throughput figure.
   uint64_t GuestInsts = 0;
+  // Robustness counters, summed over workers (docs/ROBUSTNESS.md).
+  uint64_t Quarantined = 0;
+  uint64_t Degradations = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t FaultsInjected = 0;
   std::vector<WorkerStats> PerWorker;
 
   bool operator==(const CampaignStats &O) const = default;
@@ -91,6 +124,7 @@ struct CampaignProgress {
   size_t NormalEdges = 0;    // union coverage so far
   size_t SpecEdges = 0;
   size_t UniqueGadgets = 0;
+  size_t Quarantined = 0;    // contained crashes so far
 };
 
 class Campaign {
@@ -150,6 +184,12 @@ public:
   const GadgetSink &gadgets() const { return Gadgets; }
   GadgetSink &gadgets() { return Gadgets; }
 
+  /// Every contained crash so far, in deterministic (epoch, worker,
+  /// execution) order. Saved and restored with the campaign.
+  const std::vector<QuarantineRecord> &quarantine() const {
+    return Quarantine;
+  }
+
   /// Invoked on the campaign thread after every epoch barrier.
   std::function<void(const CampaignProgress &)> OnEpoch;
 
@@ -172,6 +212,7 @@ private:
   std::vector<uint8_t> MergedNormal; // bucketized union maps
   std::vector<uint8_t> MergedSpec;
   GadgetSink Gadgets;
+  std::vector<QuarantineRecord> Quarantine;
   /// Epoch barrier the campaign currently rests at (run() resumes the
   /// epoch numbering from here after loadState()).
   uint64_t CurEpoch = 0;

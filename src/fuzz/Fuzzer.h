@@ -67,6 +67,22 @@ public:
   /// targets accumulate it). Targets without a VM may report 0.
   virtual uint64_t executedInsts() const { return 0; }
 
+  /// Robustness counters accumulated across executions (and across
+  /// save/resume — targets persist the bases). All deterministic under
+  /// the same options + fault plan, so they participate in the campaign
+  /// byte-identity guarantee like any other stat.
+  struct RobustnessStats {
+    /// Times the VM abandoned the JIT tier mid-run (broken or
+    /// thrashing arena) and finished through the block engine.
+    uint64_t Degradations = 0;
+    /// Executions the runaway-rollback watchdog cut short.
+    uint64_t WatchdogTrips = 0;
+    /// Faults the target's injector fired, across all sites.
+    uint64_t FaultsInjected = 0;
+    bool operator==(const RobustnessStats &O) const = default;
+  };
+  virtual RobustnessStats robustnessStats() const { return {}; }
+
   /// Serializes whatever state the target carries *across* executions
   /// that influences later executions or reporting — for the
   /// instrumented target: the runtime's nesting-heuristic counters,

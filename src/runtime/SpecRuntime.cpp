@@ -57,6 +57,8 @@ void SpecRuntime::resetRun() {
   Checkpoints.clear();
   MemLog.clear();
   SpecInsts = 0;
+  RollbacksThisRun = 0;
+  WatchdogTripped = false;
   Tags.reset();
   AllocSizes.clear();
   HeapCursor = obj::HeapBase;
@@ -107,6 +109,7 @@ json::Value SpecRuntime::saveState() const {
   St.set("asan_violations", Stats.AsanViolations);
   St.set("skipped_by_heuristic", Stats.SkippedByHeuristic);
   St.set("max_depth_seen", Stats.MaxDepthSeen);
+  St.set("watchdog_trips", Stats.WatchdogTrips);
   V.set("stats", std::move(St));
   return V;
 }
@@ -208,6 +211,14 @@ Error SpecRuntime::loadState(const json::Value &V) {
   if (MaxDepth > UINT32_MAX)
     return makeError("runtime state: stats.max_depth_seen out of range");
   NewStats.MaxDepthSeen = static_cast<unsigned>(MaxDepth);
+  // Optional with default: snapshots written before the watchdog
+  // existed lack the key and must keep loading.
+  if (const json::Value *WT = St->find("watchdog_trips")) {
+    if (!WT->isUInt())
+      return makeError("runtime state: stats.watchdog_trips is not an "
+                       "unsigned integer");
+    NewStats.WatchdogTrips = WT->asUInt();
+  }
 
   // All pieces parsed; validate the remaining failure cases up front so
   // the commit below is all-or-nothing (a half-applied snapshot would be
@@ -311,6 +322,8 @@ void SpecRuntime::installedFree(uint64_t Ptr) {
 //===----------------------------------------------------------------------===//
 
 bool SpecRuntime::shouldSimulate(uint32_t BranchId, unsigned Depth) {
+  if (WatchdogTripped)
+    return false; // runaway run: no new simulations until the next reset
   if (BranchId >= BranchEncounters.size())
     return false;
   uint32_t Enc = ++BranchEncounters[BranchId];
@@ -382,6 +395,14 @@ void SpecRuntime::startSimulation(uint32_t BranchId) {
 void SpecRuntime::rollback(RollbackReason Reason) {
   assert(!Checkpoints.empty() && "rollback without a checkpoint");
   ++Stats.Rollbacks[static_cast<size_t>(Reason)];
+  ++RollbacksThisRun;
+  if (Opts.MaxRollbacksPerRun && !WatchdogTripped &&
+      RollbacksThisRun >= Opts.MaxRollbacksPerRun) {
+    // Runaway execution: in-flight simulations still unwind normally,
+    // but no new one starts until the next resetRun.
+    WatchdogTripped = true;
+    ++Stats.WatchdogTrips;
+  }
   Checkpoint &CP = Checkpoints.back();
 
   // Unwind the memory log in reverse (Section 6.1 "Rollback").

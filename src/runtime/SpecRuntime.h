@@ -76,6 +76,12 @@ struct RuntimeOptions {
   bool LazySpecCoverage = true;
   /// Preserve full AVX state in checkpoints (off: SSE only), Section 6.1.
   bool AvxCheckpoint = false;
+  /// Runaway-rollback watchdog: when an execution performs this many
+  /// rollbacks, simulation is disabled for the remainder of that run
+  /// (Stats.WatchdogTrips counts the trips). 0 disables the watchdog.
+  /// The trip is a pure function of the per-run rollback count, so it
+  /// never perturbs cross-run determinism.
+  uint64_t MaxRollbacksPerRun = 0;
 };
 
 struct RuntimeStats {
@@ -86,6 +92,8 @@ struct RuntimeStats {
   uint64_t AsanViolations = 0;
   uint64_t SkippedByHeuristic = 0;
   unsigned MaxDepthSeen = 0;
+  /// Executions whose rollback count hit RuntimeOptions::MaxRollbacksPerRun.
+  uint64_t WatchdogTrips = 0;
 };
 
 class SpecRuntime : public vm::IntrinsicHandler {
@@ -155,6 +163,10 @@ private:
   std::vector<Checkpoint> Checkpoints;
   std::vector<MemLogEntry> MemLog;
   uint64_t SpecInsts = 0; // transient instructions since the outermost start
+
+  // Runaway-rollback watchdog (per-run; reset by resetRun).
+  uint64_t RollbacksThisRun = 0;
+  bool WatchdogTripped = false;
 
   // Per-branch heuristic state (persists across runs).
   std::vector<uint32_t> BranchEncounters;

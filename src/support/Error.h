@@ -19,6 +19,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <optional>
 #include <string>
 #include <utility>
@@ -58,6 +59,32 @@ private:
 
 /// Builds a failure Error from a printf-style format string.
 Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// The one exception type the stack throws on purpose: a fault injected
+/// at a named site (support/FaultInjector.h), or a hostile-target
+/// condition that cannot be expressed as an Expected return because it
+/// unwinds through code that does not propagate errors (a fuzz target's
+/// execute()). The campaign layer contains it: an escaping TeapotError
+/// quarantines the offending input instead of killing the campaign
+/// (docs/ROBUSTNESS.md).
+///
+/// what() is the *fault signature* — it must be a deterministic function
+/// of the fault, never of wall-clock state or hit counters, so a
+/// quarantined input replays the identical signature.
+class TeapotError : public std::exception {
+public:
+  TeapotError(std::string Site, std::string Message)
+      : Site(std::move(Site)), Message(std::move(Message)) {}
+
+  const char *what() const noexcept override { return Message.c_str(); }
+  /// The fault site that raised this ("worker.execute", ...), or "" for
+  /// conditions not tied to an injection site.
+  const std::string &site() const { return Site; }
+
+private:
+  std::string Site;
+  std::string Message;
+};
 
 /// Either a value of type T or an Error.
 ///

@@ -1,0 +1,174 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <algorithm>
+
+using namespace teapot;
+using namespace teapot::support;
+
+const std::vector<std::string> &support::knownFaultSites() {
+  static const std::vector<std::string> Sites = {
+      "mem.page_alloc", "jit.arena_alloc", "jit.arena_seal",
+      "file.read",      "file.write",      "file.flush",
+      "worker.execute",
+  };
+  return Sites;
+}
+
+bool FaultSchedule::firesAt(uint64_t Hit) const {
+  if (std::binary_search(Hits.begin(), Hits.end(), Hit))
+    return true;
+  if (Every && Hit >= Offset && (Hit - Offset) % Every == 0)
+    return true;
+  return false;
+}
+
+namespace {
+
+bool parseU64(std::string_view S, uint64_t &Out) {
+  if (S.empty() || S.size() > 19)
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+} // namespace
+
+Expected<FaultPlan> FaultPlan::parse(std::string_view Text) {
+  FaultPlan P;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Semi = Text.find(';', Pos);
+    std::string_view Clause = Text.substr(
+        Pos, Semi == std::string_view::npos ? std::string_view::npos
+                                            : Semi - Pos);
+    Pos = Semi == std::string_view::npos ? Text.size() + 1 : Semi + 1;
+    if (Clause.empty())
+      continue; // tolerate empty clauses ("a@1;;b@2", trailing ';')
+
+    size_t At = Clause.find('@');
+    if (At == std::string_view::npos)
+      return makeError("fault plan: clause '%.*s' has no '@' (expected "
+                       "site@N[,N...] or site@every:K[:OFF])",
+                       static_cast<int>(Clause.size()), Clause.data());
+    std::string Site(Clause.substr(0, At));
+    std::string_view Sched = Clause.substr(At + 1);
+    const std::vector<std::string> &Known = knownFaultSites();
+    if (std::find(Known.begin(), Known.end(), Site) == Known.end()) {
+      std::string Valid;
+      for (const std::string &S : Known)
+        Valid += (Valid.empty() ? "" : ", ") + S;
+      return makeError("fault plan: unknown site '%s' (known sites: %s)",
+                       Site.c_str(), Valid.c_str());
+    }
+    FaultSchedule &S = P.Sites[Site]; // repeated clauses merge
+
+    if (Sched.compare(0, 6, "every:") == 0) {
+      std::string_view Rest = Sched.substr(6);
+      size_t Colon = Rest.find(':');
+      uint64_t Every = 0, Offset = 0;
+      bool HasOffset = Colon != std::string_view::npos;
+      if (!parseU64(Rest.substr(0, Colon), Every) || Every == 0 ||
+          (HasOffset && !parseU64(Rest.substr(Colon + 1), Offset)))
+        return makeError("fault plan: bad periodic schedule in '%.*s' "
+                         "(expected site@every:K[:OFF], K >= 1)",
+                         static_cast<int>(Clause.size()), Clause.data());
+      S.Every = Every;
+      S.Offset = HasOffset ? Offset : Every;
+      continue;
+    }
+
+    size_t HPos = 0;
+    while (HPos <= Sched.size()) {
+      size_t Comma = Sched.find(',', HPos);
+      std::string_view Num = Sched.substr(
+          HPos, Comma == std::string_view::npos ? std::string_view::npos
+                                                : Comma - HPos);
+      HPos = Comma == std::string_view::npos ? Sched.size() + 1 : Comma + 1;
+      uint64_t Hit = 0;
+      if (!parseU64(Num, Hit) || Hit == 0)
+        return makeError("fault plan: bad hit list in '%.*s' (expected "
+                         "1-based decimal hit counts)",
+                         static_cast<int>(Clause.size()), Clause.data());
+      S.Hits.push_back(Hit);
+    }
+    std::sort(S.Hits.begin(), S.Hits.end());
+    S.Hits.erase(std::unique(S.Hits.begin(), S.Hits.end()), S.Hits.end());
+  }
+  return P;
+}
+
+std::string FaultPlan::spelling() const {
+  std::string Out;
+  for (const auto &[Site, S] : Sites) {
+    if (!S.Hits.empty()) {
+      Out += (Out.empty() ? "" : ";") + Site + "@";
+      for (size_t I = 0; I != S.Hits.size(); ++I)
+        Out += (I ? "," : "") + std::to_string(S.Hits[I]);
+    }
+    if (S.Every) {
+      Out += (Out.empty() ? "" : ";") + Site +
+             "@every:" + std::to_string(S.Every);
+      if (S.Offset != S.Every)
+        Out += ":" + std::to_string(S.Offset);
+    }
+  }
+  return Out;
+}
+
+bool FaultInjector::shouldFail(std::string_view Site) {
+  if (Plan.empty())
+    return false; // no counters tick: idle() stays true, snapshots clean
+  auto It = Plan.Sites.find(std::string(Site));
+  if (It == Plan.Sites.end())
+    return false; // un-armed site: counting-free (see the header)
+  uint64_t &Hits = Counters[std::string(Site)];
+  ++Hits;
+  if (!It->second.firesAt(Hits))
+    return false;
+  ++Injected;
+  return true;
+}
+
+uint64_t FaultInjector::hitCount(std::string_view Site) const {
+  auto It = Counters.find(std::string(Site));
+  return It == Counters.end() ? 0 : It->second;
+}
+
+json::Value FaultInjector::countersToJson() const {
+  json::Value V = json::Value::object();
+  json::Value C = json::Value::object();
+  for (const auto &[Site, Hits] : Counters)
+    C.set(Site, Hits);
+  V.set("hits", std::move(C));
+  V.set("injected", Injected);
+  return V;
+}
+
+Error FaultInjector::countersFromJson(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("fault injector state: expected an object");
+  const json::Value *C = V.find("hits");
+  if (!C || !C->isObject())
+    return makeError("fault injector state: missing hits object");
+  std::map<std::string, uint64_t> NewCounters;
+  for (const auto &[Site, Hits] : C->members()) {
+    if (!Hits.isUInt())
+      return makeError("fault injector state: hits.%s is not an unsigned "
+                       "integer",
+                       Site.c_str());
+    NewCounters[Site] = Hits.asUInt();
+  }
+  const json::Value *Inj = V.find("injected");
+  if (!Inj || !Inj->isUInt())
+    return makeError("fault injector state: missing injected count");
+  Counters = std::move(NewCounters);
+  Injected = Inj->asUInt();
+  return Error::success();
+}

@@ -1,0 +1,140 @@
+//===- support/FaultInjector.h - Deterministic fault injection ----*- C++ -*-===//
+///
+/// \file
+/// Seeded, fully deterministic fault injection for hostile-target
+/// hardening (docs/ROBUSTNESS.md). A FaultPlan names *fault sites* —
+/// well-known strings compiled into the failure points of the stack
+/// (memory page allocation, JIT arena emission, artifact I/O, worker
+/// execution) — and for each site a hit-counter schedule saying which
+/// occurrences fail. A FaultInjector instance pairs a plan with its own
+/// per-site hit counters, so the same plan driven through the same
+/// sequence of shouldFail() calls fires at exactly the same points,
+/// every run: fault-injected campaigns stay byte-identical.
+///
+/// Plan spelling (parsed by FaultPlan::parse, semicolon-separated):
+///
+///   site@N[,N...]        fail exactly at the 1-based hits N, ...
+///   site@every:K[:OFF]   fail every K-th hit, starting at hit OFF
+///                        (default K, i.e. hits K, 2K, 3K, ...)
+///
+///   mem.page_alloc@3;jit.arena_alloc@every:64;worker.execute@5,12
+///
+/// Site names are validated against the known-site registry so a typo
+/// is a parse error, not a plan that silently never fires.
+///
+/// Threading: one FaultInjector is owned by exactly one user (one fuzz
+/// target = one campaign worker, or one tool's file layer). Counters
+/// are plain integers — determinism across worker threads comes from
+/// the ownership discipline, not from synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_FAULTINJECTOR_H
+#define TEAPOT_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace teapot {
+namespace support {
+
+/// The fault sites compiled into the stack. Keep in sync with
+/// docs/ROBUSTNESS.md's failure-mode matrix.
+///
+///   mem.page_alloc   vm::Memory materializing a guest page
+///   jit.arena_alloc  vm::CodeBuffer bump allocation (block emission)
+///   jit.arena_seal   vm::CodeBuffer endWrite (W^X re-protect)
+///   file.read        support::readFile
+///   file.write       support file-write body (fwrite)
+///   file.flush       support file-write close/flush (fclose)
+///   worker.execute   FuzzTarget::execute entry (throws TeapotError)
+const std::vector<std::string> &knownFaultSites();
+
+/// One site's schedule: explicit hits and/or a periodic rule.
+struct FaultSchedule {
+  /// Sorted 1-based hit counts that fail.
+  std::vector<uint64_t> Hits;
+  /// Periodic rule: fail when (hit - Offset) is a non-negative multiple
+  /// of Every. Every == 0 disables the rule.
+  uint64_t Every = 0;
+  uint64_t Offset = 0;
+
+  bool firesAt(uint64_t Hit) const;
+  bool operator==(const FaultSchedule &O) const = default;
+};
+
+/// A parsed fault plan: site name -> schedule. Key-sorted (std::map) so
+/// iteration and serialization are deterministic.
+struct FaultPlan {
+  std::map<std::string, FaultSchedule> Sites;
+
+  bool empty() const { return Sites.empty(); }
+
+  /// Parses the documented spelling. The empty string is the empty
+  /// plan; unknown site names and malformed schedules are diagnosed
+  /// errors naming the offending clause.
+  static Expected<FaultPlan> parse(std::string_view Text);
+
+  /// The canonical spelling (parse(spelling()) round-trips).
+  std::string spelling() const;
+
+  bool operator==(const FaultPlan &O) const = default;
+};
+
+/// A plan armed with live hit counters. shouldFail() is the single
+/// query every instrumented failure point calls.
+class FaultInjector {
+public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan Plan) : Plan(std::move(Plan)) {}
+
+  void setPlan(FaultPlan P) { Plan = std::move(P); }
+  const FaultPlan &plan() const { return Plan; }
+
+  /// True when nothing is armed and no counter has ever ticked — the
+  /// state a fresh, un-fault-injected target is in (used to keep
+  /// snapshots of plain campaigns byte-identical to older builds).
+  bool idle() const { return Plan.empty() && Counters.empty(); }
+
+  /// Counts one hit of \p Site and reports whether this hit fails.
+  /// With an empty plan this is a counting-free no-op (false), so an
+  /// un-fault-injected campaign carries no injector state and its
+  /// snapshots stay byte-identical to pre-fault-injection builds.
+  /// Only sites named in the plan count: hits at un-armed sites never
+  /// influence firing, and some hit streams (the JIT arena's, which
+  /// tracks compile activity) depend on machine lifetime rather than
+  /// campaign position — counting them would break the resumed-run
+  /// byte-identity that the scheduled counters exist to preserve.
+  bool shouldFail(std::string_view Site);
+
+  /// Total faults injected across all sites.
+  uint64_t injectedCount() const { return Injected; }
+  /// Hits observed at \p Site so far.
+  uint64_t hitCount(std::string_view Site) const;
+
+  // --- Persistence ---------------------------------------------------------
+  // Counter state only (the plan is configuration, carried by the
+  // ScanConfig / tool flags, and must match on resume like every other
+  // campaign option). Embedded in fuzz-target snapshots so a resumed
+  // campaign's injector continues at the exact stream position.
+  json::Value countersToJson() const;
+  Error countersFromJson(const json::Value &V);
+
+private:
+  FaultPlan Plan;
+  /// Site -> hits observed. Key-sorted for stable serialization. Only
+  /// sites that were actually hit appear.
+  std::map<std::string, uint64_t> Counters;
+  uint64_t Injected = 0;
+};
+
+} // namespace support
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_FAULTINJECTOR_H

@@ -2,13 +2,21 @@
 
 #include "support/File.h"
 
+#include "support/FaultInjector.h"
+
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sys/stat.h>
+#include <thread>
 
 using namespace teapot;
 
-Expected<std::string> support::readFile(const std::string &Path) {
+Expected<std::string> support::readFile(const std::string &Path,
+                                        FaultInjector *Faults) {
+  if (Faults && Faults->shouldFail("file.read"))
+    return makeError("cannot read %s: injected file.read fault", Path.c_str());
   FILE *F = fopen(Path.c_str(), "rb");
   if (!F)
     return makeError("cannot open %s: %s", Path.c_str(), strerror(errno));
@@ -41,4 +49,77 @@ Error support::writeFile(const std::string &Path, std::string_view Contents) {
   if (fclose(F) != 0)
     return makeError("error writing %s: %s", Path.c_str(), strerror(errno));
   return Error::success();
+}
+
+namespace {
+
+/// One attempt at writing the temp file, with the injector consulted at
+/// the body-write and flush failure points.
+Error writeTempOnce(const std::string &TmpPath, std::string_view Contents,
+                    support::FaultInjector *Faults) {
+  FILE *F = fopen(TmpPath.c_str(), "wb");
+  if (!F)
+    return makeError("cannot open %s for writing: %s", TmpPath.c_str(),
+                     strerror(errno));
+  bool FailWrite = Faults && Faults->shouldFail("file.write");
+  if (FailWrite ||
+      fwrite(Contents.data(), 1, Contents.size(), F) != Contents.size()) {
+    int E = errno;
+    fclose(F);
+    remove(TmpPath.c_str());
+    if (FailWrite)
+      return makeError("error writing %s: injected file.write fault",
+                       TmpPath.c_str());
+    return makeError("error writing %s: %s", TmpPath.c_str(), strerror(E));
+  }
+  bool FailFlush = Faults && Faults->shouldFail("file.flush");
+  if (FailFlush || fclose(F) != 0) {
+    int E = errno;
+    if (FailFlush)
+      fclose(F);
+    remove(TmpPath.c_str());
+    if (FailFlush)
+      return makeError("error writing %s: injected file.flush fault",
+                       TmpPath.c_str());
+    return makeError("error writing %s: %s", TmpPath.c_str(), strerror(E));
+  }
+  return Error::success();
+}
+
+} // namespace
+
+Expected<unsigned> support::writeFileAtomic(const std::string &Path,
+                                            std::string_view Contents,
+                                            const AtomicWriteOptions &Opts) {
+  // Renaming over /dev/full or /dev/null would "succeed" by replacing
+  // the device node with a regular file, silently defeating both the
+  // caller's intent and the device's error semantics. Degrade to a
+  // plain in-place write for existing non-regular targets.
+  struct stat St;
+  if (stat(Path.c_str(), &St) == 0 && !S_ISREG(St.st_mode)) {
+    if (Error E = writeFile(Path, Contents))
+      return E;
+    return 0u;
+  }
+
+  std::string TmpPath = Path + ".tmp";
+  unsigned MaxAttempts = Opts.MaxAttempts ? Opts.MaxAttempts : 1;
+  Error Last = Error::success();
+  for (unsigned Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
+    if (Attempt != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << Attempt));
+    Last = writeTempOnce(TmpPath, Contents, Opts.Faults);
+    if (Last)
+      continue;
+    if (rename(TmpPath.c_str(), Path.c_str()) != 0) {
+      int E = errno;
+      remove(TmpPath.c_str());
+      Last = makeError("cannot rename %s to %s: %s", TmpPath.c_str(),
+                       Path.c_str(), strerror(E));
+      continue;
+    }
+    return Attempt;
+  }
+  return makeError("%s (after %u attempts)", Last.message().c_str(),
+                   MaxAttempts);
 }

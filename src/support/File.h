@@ -20,14 +20,46 @@
 namespace teapot {
 namespace support {
 
+class FaultInjector;
+
 /// Reads the whole file at \p Path. Missing/unreadable files are
-/// diagnosed errors carrying the strerror text.
-Expected<std::string> readFile(const std::string &Path);
+/// diagnosed errors carrying the strerror text. \p Faults, when set,
+/// arms the `file.read` fault site (deterministic injected read
+/// failures; see support/FaultInjector.h).
+Expected<std::string> readFile(const std::string &Path,
+                               FaultInjector *Faults = nullptr);
 
 /// Writes \p Contents to \p Path (truncating). Open, write, and close
 /// failures are all reported — fclose is where buffered writes to a
 /// full device actually fail.
 Error writeFile(const std::string &Path, std::string_view Contents);
+
+/// Knobs for writeFileAtomic.
+struct AtomicWriteOptions {
+  /// Arms the `file.write` (body) and `file.flush` (close) fault sites.
+  FaultInjector *Faults = nullptr;
+  /// Total attempts on transient write/flush failures (>= 1). The
+  /// backoff between attempts is a short sleep — it never influences
+  /// artifact bytes, only wall time.
+  unsigned MaxAttempts = 3;
+};
+
+/// Durable artifact write: writes \p Contents to `Path.tmp` and
+/// rename(2)s it over \p Path, so a crash, full disk, or injected fault
+/// mid-write can never leave a truncated artifact under the final name
+/// — readers see the old bytes or the new bytes, nothing in between.
+/// Transient failures retry up to Opts.MaxAttempts times with backoff.
+///
+/// When \p Path already exists and is not a regular file (/dev/null,
+/// a pipe, /dev/full in the CI negative case), the write degrades to
+/// the plain in-place writeFile: renaming over a device node is never
+/// what the caller meant, and the device's own error semantics (ENOSPC
+/// on flush) must surface unchanged.
+///
+/// Returns the number of retries consumed (0 = first attempt worked).
+Expected<unsigned> writeFileAtomic(const std::string &Path,
+                                   std::string_view Contents,
+                                   const AtomicWriteOptions &Opts = {});
 
 } // namespace support
 } // namespace teapot

@@ -2,6 +2,8 @@
 
 #include "vm/CodeBuffer.h"
 
+#include "support/FaultInjector.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
 #define TEAPOT_HAVE_MMAP 1
@@ -43,11 +45,22 @@ void CodeBuffer::beginWrite() {
 #endif
 }
 
-void CodeBuffer::endWrite() {
+bool CodeBuffer::endWrite() {
 #if TEAPOT_HAVE_MMAP
   if (!Writable)
-    return;
-  mprotect(Base, Cap, PROT_READ | PROT_EXEC);
+    return true;
+  bool Fail = Faults && Faults->shouldFail("jit.arena_seal");
+  if (!Fail && mprotect(Base, Cap, PROT_READ | PROT_EXEC) != 0)
+    Fail = true;
+  if (Fail)
+    return false; // arena stays RW: caller must not execute from it
   Writable = false;
+  return true;
+#else
+  return true;
 #endif
+}
+
+bool CodeBuffer::allocFaultFires() {
+  return Faults->shouldFail("jit.arena_alloc");
 }

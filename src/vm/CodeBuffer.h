@@ -26,6 +26,9 @@
 #include <memory>
 
 namespace teapot {
+namespace support {
+class FaultInjector;
+} // namespace support
 namespace vm {
 
 class CodeBuffer {
@@ -41,13 +44,23 @@ public:
 
   /// Flips the arena writable (and non-executable) for emission.
   void beginWrite();
-  /// Flips the arena back to executable (and non-writable).
-  void endWrite();
+  /// Flips the arena back to executable (and non-writable). Returns
+  /// false when the re-protect fails (or an injected `jit.arena_seal`
+  /// fault fires): RW code must never be executed, so the caller treats
+  /// the arena as broken and falls back to a non-JIT tier.
+  bool endWrite();
   bool writable() const { return Writable; }
 
+  /// Optional deterministic fault injection (sites `jit.arena_alloc`
+  /// and `jit.arena_seal`, support/FaultInjector.h). Not owned.
+  support::FaultInjector *Faults = nullptr;
+
   /// Bump-allocates \p N bytes, or null when the arena is full (the
-  /// caller flushes and recompiles). Only valid while writable.
+  /// caller flushes and recompiles) or an injected `jit.arena_alloc`
+  /// fault fires. Only valid while writable.
   uint8_t *alloc(size_t N) {
+    if (Faults && allocFaultFires())
+      return nullptr;
     if (Used + N > Cap)
       return nullptr;
     uint8_t *P = Base + Used;
@@ -66,6 +79,10 @@ public:
 
 private:
   CodeBuffer(uint8_t *Base, size_t Cap) : Base(Base), Cap(Cap) {}
+
+  /// Out-of-line injector query so the alloc fast path stays a single
+  /// null test when no injector is armed.
+  bool allocFaultFires();
 
   uint8_t *Base = nullptr;
   size_t Cap = 0;

@@ -63,9 +63,11 @@ bool Jit::available() {
 std::unique_ptr<Jit> Jit::create(Machine &M) {
   if (!available())
     return nullptr;
-  auto Arena = CodeBuffer::create(DefaultArenaBytes);
+  size_t Bytes = M.JitArenaBytes ? M.JitArenaBytes : DefaultArenaBytes;
+  auto Arena = CodeBuffer::create(Bytes);
   if (!Arena)
     return nullptr;
+  Arena->Faults = M.Faults;
   return std::unique_ptr<Jit>(new Jit(M, std::move(Arena)));
 }
 
@@ -75,7 +77,7 @@ Jit::Jit(Machine &M, std::unique_ptr<CodeBuffer> A)
   // embeds Dispatch.data(), and the vector is never resized after.
   Arena->beginWrite();
   emitRuntimeStubs();
-  Arena->endWrite();
+  Broken = !Arena->endWrite();
 }
 
 Jit::~Jit() = default;
@@ -91,23 +93,36 @@ void Jit::flush() {
   Arena->beginWrite();
   Arena->reset();
   emitRuntimeStubs();
-  Arena->endWrite();
+  // A failed re-seal (mprotect failure or injected jit.arena_seal
+  // fault) marks the arena broken until a later flush recovers it; the
+  // driver degrades to the block engine meanwhile.
+  Broken = !Arena->endWrite();
   ++Flushes;
 }
 
 const void *Jit::entry(DecodedBlock &B) {
+  if (Broken)
+    return nullptr; // RW arena: nothing in it may be executed
   if (B.JitCode)
     return B.JitCode;
   Arena->beginWrite();
   const void *P = compile(B);
-  Arena->endWrite();
+  if (!Arena->endWrite()) {
+    Broken = true;
+    return nullptr;
+  }
   if (!P) {
     // Arena full: wholesale flush (QEMU translation-cache style) and
     // retry once. Hot blocks recompile on demand.
     flush();
+    if (Broken)
+      return nullptr;
     Arena->beginWrite();
     P = compile(B);
-    Arena->endWrite();
+    if (!Arena->endWrite()) {
+      Broken = true;
+      return nullptr;
+    }
   }
   return P;
 }
@@ -218,6 +233,14 @@ uint64_t Jit::intrRunSlow(Machine *M, const BlockInst *BI, uint64_t N) {
     if (M->Intrinsics && !M->Intrinsics->onIntrinsic(*M, B.D.I)) {
       M->JitStop.Kind = StopKind::ExtError;
       return ExitStopped | ((K + 1) << 3);
+    }
+    // Mirror of exec()'s post-intrinsic out-of-memory check: a refused
+    // page behind the handler's host-side writes stops (or squashes)
+    // here, at the same uop on every engine.
+    if (__builtin_expect(M->Mem.oomPending(), 0)) {
+      M->Mem.clearOomPending();
+      if (!M->raiseFault(FaultKind::OutOfMemory, B.NextPC, M->JitStop))
+        return ExitStopped | ((K + 1) << 3);
     }
     if (M->BlocksEpoch != M->Mem.watchEpoch())
       return ExitDivert | ((K + 1) << 3);

@@ -89,9 +89,17 @@ public:
   Jit &operator=(const Jit &) = delete;
 
   /// The compiled entry point for \p B, compiling it on first use
-  /// (flushing the arena and retrying once if it is full). Null only
-  /// when a single block cannot fit in an empty arena.
+  /// (flushing the arena and retrying once if it is full). Null when a
+  /// single block cannot fit in an empty arena, when an injected
+  /// `jit.arena_alloc` fault refuses the emission, or when the arena is
+  /// broken (see broken()).
   const void *entry(DecodedBlock &B);
+
+  /// True when the last W^X re-seal failed (mprotect failure or an
+  /// injected `jit.arena_seal` fault): the arena is writable and
+  /// nothing in it may be executed. A later flush() can recover; until
+  /// then the driver finishes runs through the block engine.
+  bool broken() const { return Broken; }
 
   /// Drops every compiled block, chain patch, and pending resolver.
   /// Must be called *before* the corresponding BlockCache::clear() (it
@@ -205,6 +213,7 @@ private:
 
   uint64_t Flushes = 0;
   uint64_t ChainPatches = 0;
+  bool Broken = false;
 };
 
 } // namespace vm

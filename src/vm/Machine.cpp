@@ -125,6 +125,15 @@ Machine::Access Machine::guestWrite(uint64_t Addr, uint64_t V, unsigned Size,
     return raiseFault(FaultKind::BadMemory, Addr, StopOut) ? Access::Resumed
                                                            : Access::Stopped;
   Mem.writeUnsigned(Addr, V, Size);
+  if (__builtin_expect(Mem.oomPending(), 0)) {
+    // Page materialization was refused (ceiling or injected fault). The
+    // write landed in the scratch page — architecturally it never
+    // happened — and the instruction stops or squashes like any fault.
+    Mem.clearOomPending();
+    return raiseFault(FaultKind::OutOfMemory, Addr, StopOut)
+               ? Access::Resumed
+               : Access::Stopped;
+  }
   return Access::Ok;
 }
 
@@ -145,6 +154,10 @@ bool Machine::execExt(uint64_t Index, StopState &StopOut) {
       if (InputReadHook)
         InputReadHook(Buf, N, InputCursor);
       InputCursor += N;
+      if (__builtin_expect(Mem.oomPending(), 0)) {
+        Mem.clearOomPending();
+        return raiseFault(FaultKind::OutOfMemory, Buf, StopOut);
+      }
     }
     C.R[R0] = N;
     return true;
@@ -171,11 +184,23 @@ bool Machine::execExt(uint64_t Index, StopState &StopOut) {
     }
     return true;
   }
-  case ExtMalloc:
-    C.R[R0] = MallocFn(*this, C.R[R0]);
+  case ExtMalloc: {
+    uint64_t Addr = MallocFn(*this, C.R[R0]);
+    C.R[R0] = Addr;
+    // The runtime's allocator writes redzone shadow through Mem; a
+    // refused page behind those writes surfaces here.
+    if (__builtin_expect(Mem.oomPending(), 0)) {
+      Mem.clearOomPending();
+      return raiseFault(FaultKind::OutOfMemory, Addr, StopOut);
+    }
     return true;
+  }
   case ExtFree:
     FreeFn(*this, C.R[R0]);
+    if (__builtin_expect(Mem.oomPending(), 0)) {
+      Mem.clearOomPending();
+      return raiseFault(FaultKind::OutOfMemory, C.R[R0], StopOut);
+    }
     return true;
   case ExtAbort:
     StopOut.Kind = StopKind::Halted;
@@ -424,6 +449,14 @@ bool Machine::exec(const Decoded &D, StopState &StopOut) {
       StopOut.Kind = StopKind::ExtError;
       return false;
     }
+    // Intrinsic handlers write coverage/shadow state host-side through
+    // Mem; a refused page behind those writes surfaces here, after the
+    // handler, identically on every engine (the JIT's intrinsic run
+    // helper performs the same check per uop).
+    if (__builtin_expect(Mem.oomPending(), 0)) {
+      Mem.clearOomPending();
+      return raiseFault(FaultKind::OutOfMemory, C.PC, StopOut);
+    }
     return true;
   case Opcode::NumOpcodes:
     break;
@@ -484,6 +517,19 @@ StopState Machine::runJit(uint64_t MaxInsts) {
     if (!JitTier)
       return runBlocks(MaxInsts); // capability probe failed at runtime
   }
+  if (JitTier->broken())
+    JitTier->flush(); // re-seal attempt: the seal fault may be transient
+  if (JitTier->broken()) {
+    // W^X seal keeps failing: never execute writable code. The block
+    // engine is bit-exact, so degrading is invisible to the guest.
+    ++JitDegrades;
+    return runBlocks(MaxInsts);
+  }
+  // Flush-thrash watchdog: injected arena faults (or pathological
+  // code-region stores) can force a wholesale flush on every dispatch;
+  // past this many flushes in one run the block engine takes over.
+  constexpr uint64_t MaxJitFlushesPerRun = 8;
+  const uint64_t FlushLimit = JitTier->flushCount() + MaxJitFlushesPerRun;
   StopState Stop;
   // StopState writes are one-shot within a run; clear the helpers'
   // sink so nothing stale leaks across runs.
@@ -504,6 +550,11 @@ StopState Machine::runJit(uint64_t MaxInsts) {
     }
     DecodedBlock *B = Blocks.lookup(C.PC, Mem);
     const void *Entry = B ? JitTier->entry(*B) : nullptr;
+    if (__builtin_expect(
+            JitTier->broken() || JitTier->flushCount() > FlushLimit, 0)) {
+      ++JitDegrades;
+      return runBlocks(Remaining);
+    }
     if (!Entry) {
       // No block here (sentinel, undecodable, outside code) or a block
       // too large for an empty arena: exact single-step semantics, one

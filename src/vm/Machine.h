@@ -61,6 +61,9 @@ enum class FaultKind : uint8_t {
   BadFetch,   // PC undecodable or outside code
   BadExt,     // unknown external index
   DivByZero,
+  OutOfMemory, // guest page materialization refused (Memory::MaxPages
+               // ceiling or an injected mem.page_alloc fault) — a
+               // per-execution stop, never a host OOM
 };
 
 struct StopState {
@@ -167,6 +170,18 @@ public:
   uint64_t MaxOutputBytes = DefaultMaxOutputBytes;
   static constexpr uint64_t DefaultMaxOutputBytes = 16ULL << 20;
 
+  /// JIT code-arena size in bytes; 0 selects Jit::DefaultArenaBytes.
+  /// Must be set before the first run() on the Jit engine (the tier is
+  /// created lazily and sizes its arena once). Tests use tiny arenas to
+  /// exercise the flush/degrade paths cheaply.
+  uint64_t JitArenaBytes = 0;
+
+  /// Optional deterministic fault injection for the JIT arena (sites
+  /// `jit.arena_alloc`/`jit.arena_seal`); wired into the CodeBuffer
+  /// when the tier is created. Guest-memory faults are armed separately
+  /// via Mem.Faults. Not owned; set before the first run().
+  support::FaultInjector *Faults = nullptr;
+
   // --- Hooks -------------------------------------------------------------
   IntrinsicHandler *Intrinsics = nullptr;
   /// Return true to resume (after redirecting PC); false to stop.
@@ -188,6 +203,11 @@ public:
   // --- Introspection ------------------------------------------------------
   uint64_t executedInsts() const { return ExecutedInsts; }
   uint64_t executedIntrinsics() const { return ExecutedIntrinsics; }
+  /// Times runJit gave up on the JIT tier mid-run (broken arena or
+  /// flush thrashing) and finished through the block engine. Purely
+  /// informational: all tiers are bit-exact, so degrading never changes
+  /// guest-visible results.
+  uint64_t jitDegrades() const { return JitDegrades; }
   /// The block-compilation front-end (compiled-block count, code region).
   const BlockCache &blockCache() const { return Blocks; }
   /// The JIT tier, or null while nothing has been JIT-executed yet
@@ -251,6 +271,7 @@ private:
   uint64_t HeapBump = 0;
   uint64_t ExecutedInsts = 0;
   uint64_t ExecutedIntrinsics = 0;
+  uint64_t JitDegrades = 0;
 
   /// The JIT tier (lazily created by runJit) and the StopState its
   /// slow-path helpers fill in when they stop the machine. Reset at the

@@ -2,6 +2,8 @@
 
 #include "vm/Memory.h"
 
+#include "support/FaultInjector.h"
+
 using namespace teapot;
 using namespace teapot::vm;
 
@@ -15,6 +17,20 @@ const Memory::PageCell *Memory::tlbFill(uint64_t Idx) const {
 Memory::PageCell *Memory::pageForWrite(uint64_t Idx) {
   auto It = Pages.find(Idx);
   if (It == Pages.end()) {
+    // Materialization attempt. Refusals (injected fault, or the MaxPages
+    // ceiling) are a pure function of the guest write sequence: the JIT
+    // inline store fast path only hits already-dirty cached pages, so
+    // every engine reaches this point for exactly the same writes.
+    if (TrackDirty) {
+      bool Refuse = Faults && Faults->shouldFail("mem.page_alloc");
+      if (MaxPages && Pages.size() >= MaxPages)
+        Refuse = true;
+      if (Refuse) {
+        OomPending = true;
+        Scratch.Data.fill(0);
+        return &Scratch;
+      }
+    }
     auto P = std::make_unique<PageCell>();
     P->Data.fill(0);
     It = Pages.emplace(Idx, std::move(P)).first;
@@ -105,6 +121,7 @@ size_t Memory::resetToBaseline() {
     ++Restored;
   }
   DirtyList.clear();
+  OomPending = false; // per-execution condition
   flushTLB(); // unmapped pages may be cached
   return Restored;
 }

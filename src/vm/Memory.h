@@ -49,6 +49,9 @@
 #include <vector>
 
 namespace teapot {
+namespace support {
+class FaultInjector;
+} // namespace support
 namespace vm {
 
 class Jit;
@@ -67,6 +70,26 @@ public:
   };
 
   Memory() { flushTLB(); }
+
+  /// Page-materialization ceiling, in pages; 0 means unlimited. Only
+  /// enforced while dirty tracking is active (i.e. after
+  /// captureBaseline), so object loading and runtime attach can never
+  /// trip it. A refused materialization sets oomPending() and the write
+  /// lands in a scratch page that is never mapped — readers keep seeing
+  /// zero, identically on every execution engine.
+  uint64_t MaxPages = 0;
+
+  /// Optional deterministic fault injection (site `mem.page_alloc`,
+  /// support/FaultInjector.h); consulted on every tracked
+  /// page-materialization attempt. Not owned.
+  support::FaultInjector *Faults = nullptr;
+
+  /// True when a page materialization was refused (ceiling or injected
+  /// fault) since the last clearOomPending(). The Machine polls this at
+  /// its guest-write boundaries and turns it into a per-execution
+  /// out-of-memory StopState.
+  bool oomPending() const { return OomPending; }
+  void clearOomPending() { OomPending = false; }
 
   /// Reads \p N bytes at \p Addr; unmapped bytes read as zero.
   void read(uint64_t Addr, void *Out, size_t N) const;
@@ -238,6 +261,11 @@ private:
   /// appears at most once (the bit dedupes).
   std::vector<uint64_t> DirtyList;
   mutable std::array<TLBEntry, TLBSlots> TLB;
+  /// Scratch landing pad for writes whose page materialization was
+  /// refused. Never entered into Pages or the TLB, so no read path can
+  /// observe bytes written through it.
+  PageCell Scratch;
+  bool OomPending = false;
   bool TrackDirty = false;
   // Code-region write watch: [WatchLoPage, WatchLoPage+WatchPageSpan].
   // The default never matches any page index (indices fit in 52 bits).

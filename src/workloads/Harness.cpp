@@ -5,6 +5,59 @@
 using namespace teapot;
 using namespace teapot::workloads;
 
+// --- Fault-injection plumbing (shared by every target kind) ----------------
+
+/// One counted hit of the worker.execute site; a scheduled hit escapes
+/// execute() as a TeapotError the campaign quarantines. Called before
+/// any per-run state changes so the target stays reusable.
+static void checkExecuteFault(support::FaultInjector &Faults) {
+  if (Faults.shouldFail("worker.execute"))
+    throw TeapotError("worker.execute", "injected worker.execute fault");
+}
+
+/// Wires \p Faults into the machine's instrumented failure points
+/// (guest page materialization, JIT arena emit/seal).
+static void wireFaults(vm::Machine &M, support::FaultInjector &Faults) {
+  M.Faults = &Faults;
+  M.Mem.Faults = &Faults;
+}
+
+/// Appends the optional "robustness" section to a target snapshot —
+/// only when there is state to carry, so plain campaigns' snapshots
+/// stay byte-identical to pre-fault-injection builds.
+static void saveRobustness(json::Value &V,
+                           const support::FaultInjector &Faults,
+                           uint64_t Degrades) {
+  if (Faults.idle() && Degrades == 0)
+    return;
+  json::Value R = json::Value::object();
+  R.set("degrades", Degrades);
+  R.set("faults", Faults.countersToJson());
+  V.set("robustness", std::move(R));
+}
+
+/// Restores a saveRobustness() section (absent is the idle default).
+static Error loadRobustness(const json::Value &V,
+                            support::FaultInjector &Faults,
+                            uint64_t &DegradeBase) {
+  const json::Value *R = V.find("robustness");
+  if (!R)
+    return Error::success();
+  if (!R->isObject())
+    return makeError("target state: robustness is not an object");
+  const json::Value *D = R->find("degrades");
+  if (!D || !D->isUInt())
+    return makeError("target state: robustness.degrades missing or not "
+                     "an unsigned integer");
+  const json::Value *F = R->find("faults");
+  if (!F)
+    return makeError("target state: robustness.faults missing");
+  if (Error E = Faults.countersFromJson(*F))
+    return E;
+  DegradeBase = D->asUInt();
+  return Error::success();
+}
+
 InstrumentedTarget::InstrumentedTarget(const core::RewriteResult &RW,
                                        runtime::RuntimeOptions RTOpts,
                                        uint64_t Budget)
@@ -14,7 +67,13 @@ InstrumentedTarget::InstrumentedTarget(const core::RewriteResult &RW,
   M.captureBaseline();
 }
 
+void InstrumentedTarget::armFaults(support::FaultPlan Plan) {
+  Faults.setPlan(std::move(Plan));
+  wireFaults(M, Faults);
+}
+
 void InstrumentedTarget::execute(const std::vector<uint8_t> &Input) {
+  checkExecuteFault(Faults);
   M.resetToBaseline();
   RT.resetRun();
   if (PokeAddr) {
@@ -36,6 +95,7 @@ json::Value InstrumentedTarget::saveState() const {
   json::Value V = json::Value::object();
   V.set("kind", "instrumented");
   V.set("runtime", RT.saveState());
+  saveRobustness(V, Faults, M.jitDegrades() + DegradeBase);
   return V;
 }
 
@@ -52,6 +112,8 @@ Error InstrumentedTarget::loadState(const json::Value &V) {
   const json::Value *R = V.find("runtime");
   if (!R)
     return makeError("target state: missing runtime state");
+  if (Error E = loadRobustness(V, Faults, DegradeBase))
+    return E;
   return RT.loadState(*R);
 }
 
@@ -61,7 +123,13 @@ NativeTarget::NativeTarget(const obj::ObjectFile &Bin, uint64_t Budget)
   M.captureBaseline();
 }
 
+void NativeTarget::armFaults(support::FaultPlan Plan) {
+  Faults.setPlan(std::move(Plan));
+  wireFaults(M, Faults);
+}
+
 void NativeTarget::execute(const std::vector<uint8_t> &Input) {
+  checkExecuteFault(Faults);
   M.resetToBaseline();
   if (PokeAddr) {
     // Poke the *last* 8 input bytes: trailing bytes perturb the parsed
@@ -78,6 +146,32 @@ void NativeTarget::execute(const std::vector<uint8_t> &Input) {
   TotalInsts += M.executedInsts();
 }
 
+json::Value NativeTarget::saveState() const {
+  json::Value V = json::Value();
+  uint64_t Degrades = M.jitDegrades() + DegradeBase;
+  if (Faults.idle() && Degrades == 0)
+    return V; // stateless, as before fault injection existed
+  V = json::Value::object();
+  V.set("kind", "native");
+  saveRobustness(V, Faults, Degrades);
+  return V;
+}
+
+Error NativeTarget::loadState(const json::Value &V) {
+  if (V.isNull())
+    return Error::success(); // a plain native target's save
+  if (!V.isObject())
+    return makeError("target state: expected null or an object for the "
+                     "native target");
+  const json::Value *Kind = V.find("kind");
+  if (!Kind || !Kind->isString() || Kind->asString() != "native")
+    return makeError("target state: snapshot is for target kind '%s', "
+                     "this campaign builds native targets",
+                     Kind && Kind->isString() ? Kind->asString().c_str()
+                                              : "?");
+  return loadRobustness(V, Faults, DegradeBase);
+}
+
 EmulatorTarget::EmulatorTarget(const obj::ObjectFile &Bin,
                                baselines::SpecTaintOptions Opts,
                                uint64_t Budget)
@@ -87,7 +181,13 @@ EmulatorTarget::EmulatorTarget(const obj::ObjectFile &Bin,
   M.captureBaseline();
 }
 
+void EmulatorTarget::armFaults(support::FaultPlan Plan) {
+  Faults.setPlan(std::move(Plan));
+  wireFaults(M, Faults);
+}
+
 void EmulatorTarget::execute(const std::vector<uint8_t> &Input) {
+  checkExecuteFault(Faults);
   M.resetToBaseline();
   E.resetRun();
   if (PokeAddr) {
@@ -109,6 +209,7 @@ json::Value EmulatorTarget::saveState() const {
   json::Value V = json::Value::object();
   V.set("kind", "emulator");
   V.set("emulator", E.saveState());
+  saveRobustness(V, Faults, M.jitDegrades() + DegradeBase);
   return V;
 }
 
@@ -125,6 +226,8 @@ Error EmulatorTarget::loadState(const json::Value &V) {
   const json::Value *S = V.find("emulator");
   if (!S)
     return makeError("target state: missing emulator state");
+  if (Error E2 = loadRobustness(V, Faults, DegradeBase))
+    return E2;
   return E.loadState(*S);
 }
 

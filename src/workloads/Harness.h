@@ -28,6 +28,7 @@
 #include "core/TeapotRewriter.h"
 #include "fuzz/Fuzzer.h"
 #include "runtime/SpecRuntime.h"
+#include "support/FaultInjector.h"
 #include "vm/Machine.h"
 
 #include <optional>
@@ -63,13 +64,29 @@ public:
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
+  /// Arms deterministic fault injection: the plan drives this target's
+  /// private injector, which is wired into the machine's memory and JIT
+  /// arena (docs/ROBUSTNESS.md). The `worker.execute` site throws a
+  /// TeapotError at the top of execute() — the campaign contains it in
+  /// quarantine.
+  void armFaults(support::FaultPlan Plan);
+
+  fuzz::FuzzTarget::RobustnessStats robustnessStats() const override {
+    return {M.jitDegrades() + DegradeBase, RT.Stats.WatchdogTrips,
+            Faults.injectedCount()};
+  }
+
   vm::Machine M;
   runtime::SpecRuntime RT;
   vm::StopState LastStop;
+  support::FaultInjector Faults;
 
 private:
   uint64_t Budget;
   uint64_t TotalInsts = 0;
+  /// Degradations carried over from a resumed campaign's snapshot (the
+  /// machine's own counter restarts at 0 in a fresh target).
+  uint64_t DegradeBase = 0;
   std::optional<uint64_t> PokeAddr;
 };
 
@@ -90,12 +107,27 @@ public:
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
+  /// See InstrumentedTarget::armFaults.
+  void armFaults(support::FaultPlan Plan);
+
+  fuzz::FuzzTarget::RobustnessStats robustnessStats() const override {
+    return {M.jitDegrades() + DegradeBase, 0, Faults.injectedCount()};
+  }
+
+  /// A plain native target is stateless; once faults are armed (or a
+  /// degradation happened) the injector's stream position must survive
+  /// save/resume, so saveState() grows a robustness section.
+  json::Value saveState() const override;
+  Error loadState(const json::Value &V) override;
+
   vm::Machine M;
   vm::StopState LastStop;
+  support::FaultInjector Faults;
 
 private:
   uint64_t Budget;
   uint64_t TotalInsts = 0;
+  uint64_t DegradeBase = 0;
   std::optional<uint64_t> PokeAddr;
   std::vector<uint8_t> Empty;
 };
@@ -121,13 +153,22 @@ public:
 
   void pokeInputTo(uint64_t Addr) { PokeAddr = Addr; }
 
+  /// See InstrumentedTarget::armFaults.
+  void armFaults(support::FaultPlan Plan);
+
+  fuzz::FuzzTarget::RobustnessStats robustnessStats() const override {
+    return {M.jitDegrades() + DegradeBase, 0, Faults.injectedCount()};
+  }
+
   vm::Machine M;
   baselines::SpecTaintEmulator E;
   vm::StopState LastStop;
+  support::FaultInjector Faults;
 
 private:
   uint64_t Budget;
   uint64_t TotalInsts = 0;
+  uint64_t DegradeBase = 0;
   std::optional<uint64_t> PokeAddr;
   std::vector<uint8_t> Empty;
 };

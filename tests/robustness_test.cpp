@@ -1,0 +1,800 @@
+//===- tests/robustness_test.cpp - Hostile-target hardening tests -----------===//
+//
+// The robustness contracts under test (docs/ROBUSTNESS.md):
+//
+//   1. Fault plans are deterministic: the same plan driven through the
+//      same call sequence fires at the same points, and the counter
+//      state persists through snapshots.
+//   2. Crash containment: exceptions escaping a worker's execute() are
+//      quarantined, charged against the budget, collected in worker
+//      order at the epoch barrier, saved/resumed with the campaign, and
+//      replayable (injected faults reproduce their signatures).
+//   3. Graceful degradation: guest OOM is a per-execution StopState
+//      identical across all three engines, JIT arena exhaustion falls
+//      back to the block engine with gadget parity, and the rollback
+//      watchdog bounds runaway speculation deterministically.
+//   4. Durable artifacts: writeFileAtomic retries injected failures,
+//      never destroys the previous artifact, and reports attempts.
+//   5. Corrupt snapshots (truncation at every byte, random bit flips)
+//      produce clean diagnostics, never crashes or half-applied state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fixtures.h"
+#include "TestUtil.h"
+#include "api/Scanner.h"
+#include "fuzz/Campaign.h"
+#include "support/FaultInjector.h"
+#include "support/File.h"
+#include "vm/Machine.h"
+#include "workloads/Harness.h"
+#include "workloads/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+
+using namespace teapot;
+using namespace teapot::testutil;
+using namespace teapot::fuzz;
+using namespace teapot::vm;
+using support::FaultInjector;
+using support::FaultPlan;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fault plans and injectors
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlanTest, ParsesAndCanonicalizes) {
+  FaultPlan P = cantFail(
+      FaultPlan::parse("worker.execute@5,12;mem.page_alloc@every:64:7"));
+  ASSERT_EQ(P.Sites.size(), 2u);
+  const support::FaultSchedule &W = P.Sites.at("worker.execute");
+  EXPECT_EQ(W.Hits, (std::vector<uint64_t>{5, 12}));
+  EXPECT_TRUE(W.firesAt(5));
+  EXPECT_TRUE(W.firesAt(12));
+  EXPECT_FALSE(W.firesAt(6));
+  const support::FaultSchedule &M = P.Sites.at("mem.page_alloc");
+  EXPECT_EQ(M.Every, 64u);
+  EXPECT_EQ(M.Offset, 7u);
+  EXPECT_TRUE(M.firesAt(7));
+  EXPECT_TRUE(M.firesAt(71));
+  EXPECT_FALSE(M.firesAt(64));
+
+  // parse(spelling()) round-trips.
+  EXPECT_EQ(cantFail(FaultPlan::parse(P.spelling())), P);
+
+  // The empty string is the empty plan.
+  EXPECT_TRUE(cantFail(FaultPlan::parse("")).empty());
+}
+
+TEST(FaultPlanTest, RejectsBadSpellings) {
+  // A typo'd site name must be a parse error, not a plan that silently
+  // never fires.
+  EXPECT_FALSE(static_cast<bool>(FaultPlan::parse("mem.pgae_alloc@1")));
+  EXPECT_FALSE(static_cast<bool>(FaultPlan::parse("worker.execute")));
+  EXPECT_FALSE(static_cast<bool>(FaultPlan::parse("worker.execute@")));
+  EXPECT_FALSE(static_cast<bool>(FaultPlan::parse("worker.execute@zero")));
+  EXPECT_FALSE(static_cast<bool>(FaultPlan::parse("worker.execute@every:")));
+  EXPECT_FALSE(static_cast<bool>(FaultPlan::parse("file.write@0")));
+}
+
+TEST(FaultInjectorTest, FiresDeterministically) {
+  auto Drive = [](FaultInjector &F) {
+    std::string Pattern;
+    for (int I = 0; I != 24; ++I)
+      Pattern += F.shouldFail("worker.execute") ? 'X' : '.';
+    return Pattern;
+  };
+  FaultInjector A(cantFail(FaultPlan::parse("worker.execute@every:7:3")));
+  FaultInjector B(cantFail(FaultPlan::parse("worker.execute@every:7:3")));
+  std::string PA = Drive(A);
+  EXPECT_EQ(PA, Drive(B)) << "same plan, same call sequence, same firings";
+  EXPECT_EQ(PA, "..X......X......X......X");
+  EXPECT_EQ(A.injectedCount(), 4u);
+  EXPECT_EQ(A.hitCount("worker.execute"), 24u);
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsIdleAndCountingFree) {
+  // An un-fault-injected target must carry no injector state, so plain
+  // campaign snapshots stay byte-identical to pre-fault-injection
+  // builds.
+  FaultInjector F;
+  for (int I = 0; I != 100; ++I)
+    EXPECT_FALSE(F.shouldFail("mem.page_alloc"));
+  EXPECT_TRUE(F.idle());
+  EXPECT_EQ(F.injectedCount(), 0u);
+  EXPECT_EQ(F.hitCount("mem.page_alloc"), 0u);
+
+  // Un-armed sites stay counting-free under a non-empty plan too: the
+  // JIT arena's hit stream tracks compile activity (machine lifetime,
+  // not campaign position), so persisting it would break resumed-run
+  // byte-identity for any armed plan.
+  FaultInjector G(cantFail(FaultPlan::parse("worker.execute@every:7")));
+  for (int I = 0; I != 100; ++I)
+    EXPECT_FALSE(G.shouldFail("jit.arena_alloc"));
+  EXPECT_EQ(G.hitCount("jit.arena_alloc"), 0u);
+  EXPECT_EQ(G.countersToJson().dump(false),
+            FaultInjector(cantFail(FaultPlan::parse("worker.execute@every:7")))
+                .countersToJson()
+                .dump(false));
+}
+
+TEST(FaultInjectorTest, CountersResumeTheStream) {
+  // Persisted counters put a fresh injector at the exact stream
+  // position: the continuation fires identically to the uninterrupted
+  // injector.
+  FaultPlan Plan = cantFail(FaultPlan::parse("file.write@every:5"));
+  FaultInjector Full(Plan), Cut(Plan);
+  for (int I = 0; I != 13; ++I) {
+    Full.shouldFail("file.write");
+    Cut.shouldFail("file.write");
+  }
+  FaultInjector Resumed(Plan);
+  ASSERT_FALSE(Resumed.countersFromJson(Cut.countersToJson()));
+  EXPECT_EQ(Resumed.hitCount("file.write"), 13u);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Resumed.shouldFail("file.write"), Full.shouldFail("file.write"))
+        << "diverged " << I << " hits after resume";
+}
+
+//===----------------------------------------------------------------------===//
+// Durable artifact writes
+//===----------------------------------------------------------------------===//
+
+std::string tempPath(const char *Name) {
+  std::string Dir = ::testing::TempDir();
+  if (!Dir.empty() && Dir.back() != '/')
+    Dir += '/';
+  return Dir + Name;
+}
+
+std::string readOrDie(const std::string &Path) {
+  return cantFail(support::readFile(Path));
+}
+
+TEST(AtomicWriteTest, WritesWithoutRetries) {
+  std::string Path = tempPath("teapot_atomic_plain.txt");
+  EXPECT_EQ(cantFail(support::writeFileAtomic(Path, "hello\n")), 0u);
+  EXPECT_EQ(readOrDie(Path), "hello\n");
+  std::remove(Path.c_str());
+}
+
+TEST(AtomicWriteTest, RetriesAnInjectedFailure) {
+  std::string Path = tempPath("teapot_atomic_retry.txt");
+  FaultInjector F(cantFail(FaultPlan::parse("file.write@1")));
+  support::AtomicWriteOptions Opts;
+  Opts.Faults = &F;
+  EXPECT_EQ(cantFail(support::writeFileAtomic(Path, "second try\n", Opts)),
+            1u);
+  EXPECT_EQ(readOrDie(Path), "second try\n");
+  std::remove(Path.c_str());
+}
+
+TEST(AtomicWriteTest, ExhaustionPreservesThePreviousArtifact) {
+  // The flagship durability property: a write that fails every attempt
+  // must leave the previous artifact byte-identical — the temp file
+  // took the damage, not the destination.
+  std::string Path = tempPath("teapot_atomic_keep.txt");
+  ASSERT_EQ(cantFail(support::writeFileAtomic(Path, "precious\n")), 0u);
+
+  FaultInjector F(cantFail(FaultPlan::parse("file.write@every:1")));
+  support::AtomicWriteOptions Opts;
+  Opts.Faults = &F;
+  auto R = support::writeFileAtomic(Path, "clobber\n", Opts);
+  ASSERT_FALSE(static_cast<bool>(R)) << "every attempt was scheduled to fail";
+  EXPECT_NE(R.message().find("attempts"), std::string::npos)
+      << "got: " << R.message();
+  EXPECT_EQ(readOrDie(Path), "precious\n");
+  std::remove(Path.c_str());
+}
+
+TEST(AtomicWriteTest, MissingDirectoryIsADiagnosedError) {
+  auto R = support::writeFileAtomic(
+      "/nonexistent-teapot-dir/artifact.json", "x");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.message().find("nonexistent-teapot-dir"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Guest OOM: a per-execution StopState, identical on every engine
+//===----------------------------------------------------------------------===//
+
+/// Allocates page after page, dirtying each one, until the configured
+/// Memory::MaxPages ceiling (if any) refuses a materialization.
+const char *PageHungryVictim = R"(
+int main() {
+  int j;
+  int total = 0;
+  for (j = 0; j < 64; j = j + 1) {
+    char *p = malloc(4096);
+    p[0] = 1;
+    p[4095] = 2;
+    total = total + 1;
+  }
+  return total;
+}
+)";
+
+constexpr Machine::Engine AllEngines[] = {Machine::Engine::Interpreter,
+                                          Machine::Engine::Block,
+                                          Machine::Engine::Jit};
+
+struct OomRun {
+  StopState Stop;
+  uint64_t Insts = 0;
+};
+
+OomRun runCapped(const obj::ObjectFile &Bin, Machine::Engine Eng,
+                 uint64_t MaxPages) {
+  Machine M;
+  M.Eng = Eng;
+  cantFail(M.loadObject(Bin));
+  // Refusals happen on the dirty-tracked materialization path — the
+  // fuzzing configuration, where a hostile input's appetite for pages
+  // must not become a host OOM. A plain one-shot run is unaffected.
+  M.captureBaseline();
+  M.resetToBaseline();
+  M.Mem.MaxPages = MaxPages;
+  OomRun R;
+  R.Stop = M.run(10'000'000);
+  R.Insts = M.executedInsts();
+  return R;
+}
+
+TEST(GuestOom, CeilingIsAStopStateOnEveryEngine) {
+  obj::ObjectFile Bin = compileOrDie(PageHungryVictim);
+
+  // Uncapped control: the victim halts normally after 64 allocations.
+  Machine Control;
+  Control.Eng = Machine::Engine::Interpreter;
+  cantFail(Control.loadObject(Bin));
+  size_t BasePages = Control.Mem.mappedPageCount();
+  StopState ControlStop = Control.run(10'000'000);
+  ASSERT_EQ(ControlStop.Kind, StopKind::Halted);
+  ASSERT_EQ(ControlStop.ExitStatus, 64);
+  size_t FullPages = Control.Mem.mappedPageCount();
+  ASSERT_GT(FullPages, BasePages + 16) << "victim must be page-hungry";
+
+  // Capped: some allocations succeed, then a refused materialization
+  // becomes an OutOfMemory fault — the same fault, at the same
+  // instruction, on every engine. Not a host OOM, not an abort.
+  uint64_t Cap = BasePages + 8;
+  OomRun Ref = runCapped(Bin, Machine::Engine::Interpreter, Cap);
+  EXPECT_EQ(Ref.Stop.Kind, StopKind::Fault);
+  EXPECT_EQ(Ref.Stop.Fault, FaultKind::OutOfMemory);
+  for (Machine::Engine Eng : AllEngines) {
+    OomRun R = runCapped(Bin, Eng, Cap);
+    EXPECT_EQ(R.Stop.Kind, Ref.Stop.Kind) << engineName(Eng);
+    EXPECT_EQ(R.Stop.Fault, Ref.Stop.Fault) << engineName(Eng);
+    EXPECT_EQ(R.Stop.FaultAddr, Ref.Stop.FaultAddr) << engineName(Eng);
+    EXPECT_EQ(R.Insts, Ref.Insts) << engineName(Eng);
+  }
+}
+
+TEST(GuestOom, IsAPerExecutionCondition) {
+  // After resetToBaseline the refused pages are gone and the OOM
+  // repeats identically — the machine is reusable, the condition is
+  // per-execution.
+  obj::ObjectFile Bin = compileOrDie(PageHungryVictim);
+  Machine M;
+  M.Eng = Machine::Engine::Jit;
+  cantFail(M.loadObject(Bin));
+  M.captureBaseline();
+  M.Mem.MaxPages = M.Mem.mappedPageCount() + 8;
+
+  M.resetToBaseline();
+  StopState First = M.run(10'000'000);
+  uint64_t FirstInsts = M.executedInsts();
+  ASSERT_EQ(First.Kind, StopKind::Fault);
+  ASSERT_EQ(First.Fault, FaultKind::OutOfMemory);
+
+  M.resetToBaseline();
+  StopState Second = M.run(10'000'000);
+  EXPECT_EQ(Second.Kind, First.Kind);
+  EXPECT_EQ(Second.Fault, First.Fault);
+  EXPECT_EQ(Second.FaultAddr, First.FaultAddr);
+  EXPECT_EQ(M.executedInsts(), FirstInsts);
+}
+
+TEST(GuestOom, InjectedPageFaultMatchesTheCeilingPath) {
+  // mem.page_alloc injection exercises the same refusal path as the
+  // ceiling, with the same engine-invariant StopState.
+  obj::ObjectFile Bin = compileOrDie(PageHungryVictim);
+  std::optional<OomRun> Ref;
+  for (Machine::Engine Eng : AllEngines) {
+    Machine M;
+    M.Eng = Eng;
+    cantFail(M.loadObject(Bin));
+    M.captureBaseline();
+    M.resetToBaseline();
+    // Armed after load so the object's own pages materialize freely.
+    FaultInjector F(cantFail(FaultPlan::parse("mem.page_alloc@3")));
+    M.Mem.Faults = &F;
+    OomRun R;
+    R.Stop = M.run(10'000'000);
+    R.Insts = M.executedInsts();
+    EXPECT_EQ(R.Stop.Kind, StopKind::Fault) << engineName(Eng);
+    EXPECT_EQ(R.Stop.Fault, FaultKind::OutOfMemory) << engineName(Eng);
+    EXPECT_EQ(F.injectedCount(), 1u) << engineName(Eng);
+    if (!Ref)
+      Ref = R;
+    EXPECT_EQ(R.Stop.FaultAddr, Ref->Stop.FaultAddr) << engineName(Eng);
+    EXPECT_EQ(R.Insts, Ref->Insts) << engineName(Eng);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JIT degradation
+//===----------------------------------------------------------------------===//
+
+TEST(JitDegrade, SealFaultsFallBackToTheBlockEngine) {
+  if (resolveEngine(Machine::Engine::Jit) != Machine::Engine::Jit)
+    GTEST_SKIP() << "no JIT backend on this host";
+  obj::ObjectFile Bin = compileOrDie(PageHungryVictim);
+
+  Machine Ref;
+  Ref.Eng = Machine::Engine::Block;
+  cantFail(Ref.loadObject(Bin));
+  StopState RefStop = Ref.run(10'000'000);
+  ASSERT_EQ(RefStop.Kind, StopKind::Halted);
+
+  Machine M;
+  M.Eng = Machine::Engine::Jit;
+  cantFail(M.loadObject(Bin));
+  FaultInjector F(cantFail(FaultPlan::parse("jit.arena_seal@every:1")));
+  M.Faults = &F;
+  StopState Stop = M.run(10'000'000);
+  EXPECT_EQ(Stop.Kind, RefStop.Kind);
+  EXPECT_EQ(Stop.ExitStatus, RefStop.ExitStatus);
+  EXPECT_EQ(M.executedInsts(), Ref.executedInsts());
+  EXPECT_GE(M.jitDegrades(), 1u) << "every seal fails: must degrade";
+}
+
+/// Scans one generated program with the given engine / arena budget and
+/// returns the comparable result fields (wall-clock timings excluded).
+ScanResult scanGenerated(uint64_t ProgSeed, Machine::Engine Eng,
+                         uint64_t ArenaBytes, const char *Plan = "") {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign.Seed = 11;
+  Cfg.Campaign.TotalIterations = 200;
+  Cfg.Campaign.Workers = 2;
+  Cfg.Campaign.SyncInterval = 32;
+  Cfg.Campaign.MaxInputLen = 64;
+  Cfg.Engine = Eng;
+  Cfg.JitArenaBytes = ArenaBytes;
+  Cfg.FaultPlan = Plan;
+  Scanner S(Cfg);
+  lang::ProgGenOptions PG;
+  PG.Seed = ProgSeed;
+  PG.Size = 3;
+  cantFail(S.loadGenerated(PG));
+  cantFail(S.rewrite());
+  return cantFail(S.run());
+}
+
+TEST(JitDegrade, TinyArenaKeepsGadgetParityWithBlock) {
+  // The arena-exhaustion satellite: a JIT squeezed into a toy arena
+  // (constant flush pressure, eventual fallback) must still find
+  // exactly what the block engine finds, over a ProgGen sweep.
+  for (uint64_t ProgSeed : {101u, 202u, 303u}) {
+    ScanResult Jit = scanGenerated(ProgSeed, Machine::Engine::Jit, 1 << 16);
+    ScanResult Block = scanGenerated(ProgSeed, Machine::Engine::Block, 0);
+    EXPECT_EQ(Jit.Executions, Block.Executions) << "prog " << ProgSeed;
+    EXPECT_EQ(Jit.CorpusSize, Block.CorpusSize) << "prog " << ProgSeed;
+    EXPECT_EQ(Jit.NormalEdges, Block.NormalEdges) << "prog " << ProgSeed;
+    EXPECT_EQ(Jit.SpecEdges, Block.SpecEdges) << "prog " << ProgSeed;
+    EXPECT_EQ(Jit.Gadgets, Block.Gadgets) << "prog " << ProgSeed;
+    EXPECT_EQ(Jit.GuestInsts, Block.GuestInsts) << "prog " << ProgSeed;
+  }
+}
+
+TEST(JitDegrade, SealPlanDegradesDeterministically) {
+  if (resolveEngine(Machine::Engine::Jit) != Machine::Engine::Jit)
+    GTEST_SKIP() << "no JIT backend on this host";
+  ScanResult A =
+      scanGenerated(101, Machine::Engine::Jit, 0, "jit.arena_seal@every:1");
+  EXPECT_GT(A.Degradations, 0u);
+  EXPECT_GT(A.FaultsInjected, 0u);
+  ScanResult B =
+      scanGenerated(101, Machine::Engine::Jit, 0, "jit.arena_seal@every:1");
+  EXPECT_EQ(A.Degradations, B.Degradations);
+  EXPECT_EQ(A.FaultsInjected, B.FaultsInjected);
+  // And degradation is invisible to the scan's findings.
+  ScanResult Clean = scanGenerated(101, Machine::Engine::Jit, 0);
+  EXPECT_EQ(A.Gadgets, Clean.Gadgets);
+  EXPECT_EQ(A.CorpusSize, Clean.CorpusSize);
+  EXPECT_EQ(A.NormalEdges, Clean.NormalEdges);
+}
+
+//===----------------------------------------------------------------------===//
+// Rollback watchdog
+//===----------------------------------------------------------------------===//
+
+TEST(Watchdog, BoundsRunawayRollbacksDeterministically) {
+  auto Scan = [](uint64_t MaxRollbacks) {
+    ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+    Cfg.Campaign.TotalIterations = 120;
+    Cfg.Campaign.SyncInterval = 20;
+    Cfg.Campaign.MaxInputLen = 128;
+    Cfg.Runtime.MaxRollbacksPerRun = MaxRollbacks;
+    Scanner S(Cfg);
+    cantFail(S.loadWorkload("jsmn"));
+    cantFail(S.rewrite());
+    return cantFail(S.run());
+  };
+  ScanResult Tripped = Scan(1);
+  EXPECT_GT(Tripped.WatchdogTrips, 0u)
+      << "a 1-rollback budget must trip on jsmn";
+  ScanResult Again = Scan(1);
+  EXPECT_EQ(Again.WatchdogTrips, Tripped.WatchdogTrips);
+  EXPECT_EQ(Again.Executions, Tripped.Executions);
+  EXPECT_EQ(Again.CorpusSize, Tripped.CorpusSize);
+  ScanResult Unbounded = Scan(0);
+  EXPECT_EQ(Unbounded.WatchdogTrips, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash quarantine
+//===----------------------------------------------------------------------===//
+
+/// GadgetyTarget plus a deterministic crash: inputs starting with 0xee
+/// throw (an injected-style TeapotError), inputs starting with 0xdd
+/// throw a plain runtime_error (a "genuine" target crash).
+class CrashyTarget : public FuzzTarget {
+public:
+  CrashyTarget() : Normal(40, 0), Spec(1, 0) {}
+
+  void execute(const std::vector<uint8_t> &Input) override {
+    std::fill(Normal.begin(), Normal.end(), 0);
+    Normal[0] = 1;
+    if (!Input.empty()) {
+      if (Input[0] == 0xee)
+        throw TeapotError("worker.execute", "injected worker.execute fault");
+      if (Input[0] == 0xdd)
+        throw std::runtime_error("synthetic target crash");
+      Normal[1 + Input[0] % 32] = 1;
+    }
+    if (Input.size() >= 2 && Input[0] == 0xab) {
+      runtime::GadgetReport R;
+      R.Site = 0x1000 + Input[1] % 4;
+      R.Chan = runtime::Channel::Cache;
+      R.Ctrl = runtime::Controllability::User;
+      Sink.report(R);
+    }
+  }
+  const std::vector<uint8_t> &normalCoverage() const override {
+    return Normal;
+  }
+  const std::vector<uint8_t> &specCoverage() const override { return Spec; }
+  const runtime::ReportSink *reports() const override { return &Sink; }
+
+  runtime::ReportSink Sink;
+
+private:
+  std::vector<uint8_t> Normal, Spec;
+};
+
+CampaignOptions crashyOptions(unsigned Workers, uint64_t MaxEpochs = 0) {
+  CampaignOptions CO;
+  CO.Seed = 7;
+  CO.TotalIterations = 1200;
+  CO.Workers = Workers;
+  CO.SyncInterval = 128;
+  CO.MaxInputLen = 16;
+  CO.MaxEpochs = MaxEpochs;
+  return CO;
+}
+
+std::unique_ptr<Campaign> makeCrashy(CampaignOptions CO) {
+  auto C = std::make_unique<Campaign>(
+      [] { return std::make_unique<CrashyTarget>(); }, CO);
+  C->addSeed({0xee, 1});
+  C->addSeed({0xdd, 2});
+  C->addSeed({0xab, 0});
+  C->addSeed({'s', 'e', 'e', 'd'});
+  return C;
+}
+
+json::Value throughText(const json::Value &Snapshot) {
+  std::string Text = Snapshot.dump(true);
+  auto Parsed = json::parse(Text);
+  EXPECT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->dump(true), Text);
+  return *Parsed;
+}
+
+TEST(Quarantine, ContainsCrashesAndChargesTheBudget) {
+  auto C = makeCrashy(crashyOptions(2));
+  CampaignStats S = C->run();
+  // Crashes are contained, not fatal: the full budget executed.
+  EXPECT_EQ(S.Executions, 1200u);
+  const auto &Q = C->quarantine();
+  ASSERT_FALSE(Q.empty()) << "the crashing seeds alone must quarantine";
+  EXPECT_EQ(S.Quarantined, Q.size());
+  uint64_t Injected = 0, Genuine = 0;
+  for (const QuarantineRecord &R : Q) {
+    ASSERT_FALSE(R.Input.empty());
+    EXPECT_TRUE(R.Input[0] == 0xee || R.Input[0] == 0xdd)
+        << "quarantined a non-crashing input";
+    if (R.Input[0] == 0xee) {
+      EXPECT_EQ(R.Site, "worker.execute");
+      EXPECT_EQ(R.Signature, "injected worker.execute fault");
+      ++Injected;
+    } else {
+      EXPECT_EQ(R.Site, "") << "a plain exception carries no fault site";
+      EXPECT_EQ(R.Signature, "synthetic target crash");
+      ++Genuine;
+    }
+  }
+  EXPECT_GT(Injected, 0u);
+  EXPECT_GT(Genuine, 0u);
+  // Collected at the barrier in (epoch, worker) order — deterministic.
+  for (size_t I = 1; I < Q.size(); ++I)
+    EXPECT_LE(std::make_pair(Q[I - 1].Epoch, Q[I - 1].Worker),
+              std::make_pair(Q[I].Epoch, Q[I].Worker))
+        << "quarantine order must be epoch-major, worker-minor";
+}
+
+TEST(Quarantine, RunTwiceIsByteIdentical) {
+  auto A = makeCrashy(crashyOptions(2));
+  auto B = makeCrashy(crashyOptions(2));
+  CampaignStats SA = A->run();
+  CampaignStats SB = B->run();
+  EXPECT_EQ(SA, SB);
+  EXPECT_EQ(A->quarantine(), B->quarantine());
+  EXPECT_EQ(A->saveState().dump(true), B->saveState().dump(true));
+}
+
+TEST(Quarantine, SurvivesSaveAndResumeAtEveryCutoff) {
+  // The persist_test contract, now with a quarantine on board: resume
+  // from any epoch barrier reproduces the uninterrupted run — records,
+  // stats, and snapshot text included.
+  auto Full = makeCrashy(crashyOptions(2));
+  CampaignStats FullStats = Full->run();
+  std::string FullSnap = Full->saveState().dump(true);
+  ASSERT_GE(FullStats.Epochs, 2u);
+  ASSERT_GT(FullStats.Quarantined, 0u);
+
+  for (uint64_t K = 1; K <= FullStats.Epochs; ++K) {
+    auto Cut = makeCrashy(crashyOptions(2, K));
+    Cut->run();
+    auto Resumed = makeCrashy(crashyOptions(2));
+    Error E = Resumed->loadState(throughText(Cut->saveState()));
+    ASSERT_FALSE(E) << "cutoff " << K << ": " << E.message();
+    CampaignStats S = Resumed->run();
+    EXPECT_EQ(S, FullStats) << "stats diverged at cutoff " << K;
+    EXPECT_EQ(Resumed->quarantine(), Full->quarantine())
+        << "quarantine diverged at cutoff " << K;
+    EXPECT_EQ(Resumed->saveState().dump(true), FullSnap)
+        << "snapshot diverged at cutoff " << K;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scanner-level quarantine: artifact and replay
+//===----------------------------------------------------------------------===//
+
+ScanConfig faultyJsmnConfig(uint64_t MaxEpochs = 0) {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign.Seed = 5;
+  Cfg.Campaign.TotalIterations = 300;
+  Cfg.Campaign.Workers = 2;
+  Cfg.Campaign.SyncInterval = 32;
+  Cfg.Campaign.MaxInputLen = 128;
+  Cfg.Campaign.MaxEpochs = MaxEpochs;
+  Cfg.FaultPlan = "worker.execute@every:53";
+  return Cfg;
+}
+
+TEST(Quarantine, ScannerArtifactReplays) {
+  Scanner S(faultyJsmnConfig());
+  ASSERT_FALSE(S.loadWorkload("jsmn"));
+  ASSERT_FALSE(S.rewrite());
+  ScanResult R = cantFail(S.run());
+  ASSERT_GT(R.Quarantined, 0u) << "every-53rd-execution faults must land";
+  EXPECT_EQ(R.Quarantined, S.quarantine().size());
+  EXPECT_EQ(R.FaultPlan, "worker.execute@every:53");
+
+  json::Value Artifact = cantFail(S.quarantineJson());
+  const json::Value *Schema = Artifact.find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->asString(), Scanner::QuarantineSchemaName);
+  const json::Value *Records = Artifact.find("records");
+  ASSERT_NE(Records, nullptr);
+  EXPECT_EQ(Records->size(), R.Quarantined);
+
+  // Every record replays: the same input under a one-shot fault at the
+  // recorded site reproduces the recorded signature.
+  Scanner Replayer(faultyJsmnConfig());
+  ASSERT_FALSE(Replayer.loadWorkload("jsmn"));
+  ASSERT_FALSE(Replayer.rewrite());
+  EXPECT_EQ(cantFail(Replayer.replayQuarantine(throughText(Artifact))),
+            R.Quarantined);
+
+  // A tampered signature must be caught, not waved through.
+  json::Value Tampered = throughText(Artifact);
+  json::Value NewRecords = json::Value::array();
+  for (const json::Value &Rec : Tampered.find("records")->items()) {
+    json::Value Copy = Rec;
+    Copy.set("signature", "someone else's crash");
+    NewRecords.push(std::move(Copy));
+  }
+  Tampered.set("records", std::move(NewRecords));
+  auto Bad = Replayer.replayQuarantine(Tampered);
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_NE(Bad.message().find("recorded"), std::string::npos)
+      << "got: " << Bad.message();
+}
+
+TEST(Quarantine, ScannerResumeReproducesTheArtifact) {
+  Scanner Full(faultyJsmnConfig());
+  ASSERT_FALSE(Full.loadWorkload("jsmn"));
+  ASSERT_FALSE(Full.rewrite());
+  ScanResult FullRes = cantFail(Full.run());
+  ASSERT_GT(FullRes.Quarantined, 0u);
+  std::string FullArtifact = cantFail(Full.quarantineJson()).dump(true);
+  std::string FullSnap = cantFail(Full.saveState()).dump(true);
+
+  Scanner Cut(faultyJsmnConfig(/*MaxEpochs=*/2));
+  ASSERT_FALSE(Cut.loadWorkload("jsmn"));
+  ASSERT_FALSE(Cut.rewrite());
+  ScanResult CutRes = cantFail(Cut.run());
+  ASSERT_LT(CutRes.Executions, FullRes.Executions);
+
+  Scanner Resumed(faultyJsmnConfig());
+  ASSERT_FALSE(Resumed.loadWorkload("jsmn"));
+  ASSERT_FALSE(Resumed.rewrite());
+  ASSERT_FALSE(Resumed.resume(throughText(cantFail(Cut.saveState()))));
+  ScanResult ResRes = cantFail(Resumed.run());
+  EXPECT_EQ(ResRes.Quarantined, FullRes.Quarantined);
+  EXPECT_EQ(ResRes.FaultsInjected, FullRes.FaultsInjected);
+  EXPECT_EQ(cantFail(Resumed.quarantineJson()).dump(true), FullArtifact);
+  EXPECT_EQ(cantFail(Resumed.saveState()).dump(true), FullSnap);
+}
+
+TEST(Quarantine, RequestStopFlushesAConsistentState) {
+  // The SIGINT path: requestStop() from OnEpoch halts at the barrier
+  // with a loadable snapshot, and resuming it completes the scan
+  // identically to one that was never interrupted.
+  Scanner Full(faultyJsmnConfig());
+  ASSERT_FALSE(Full.loadWorkload("jsmn"));
+  ASSERT_FALSE(Full.rewrite());
+  ScanResult FullRes = cantFail(Full.run());
+  std::string FullSnap = cantFail(Full.saveState()).dump(true);
+
+  Scanner S(faultyJsmnConfig());
+  ASSERT_FALSE(S.loadWorkload("jsmn"));
+  ASSERT_FALSE(S.rewrite());
+  S.OnEpoch = [&](const CampaignProgress &) { S.requestStop(); };
+  ScanResult Stopped = cantFail(S.run());
+  ASSERT_LT(Stopped.Executions, FullRes.Executions)
+      << "stop at the first barrier must leave budget unexecuted";
+
+  Scanner Resumed(faultyJsmnConfig());
+  ASSERT_FALSE(Resumed.loadWorkload("jsmn"));
+  ASSERT_FALSE(Resumed.rewrite());
+  ASSERT_FALSE(Resumed.resume(throughText(cantFail(S.saveState()))));
+  ScanResult ResRes = cantFail(Resumed.run());
+  EXPECT_EQ(ResRes.Executions, FullRes.Executions);
+  EXPECT_EQ(ResRes.Quarantined, FullRes.Quarantined);
+  EXPECT_EQ(cantFail(Resumed.saveState()).dump(true), FullSnap);
+}
+
+//===----------------------------------------------------------------------===//
+// Corrupt snapshots: clean diagnostics at every byte
+//===----------------------------------------------------------------------===//
+
+TEST(Corruption, TruncationAtEveryByteDiagnosesCleanly) {
+  auto C = makeCrashy(crashyOptions(2));
+  C->run();
+  std::string Text = C->saveState().dump(true);
+  ASSERT_GT(Text.size(), 1000u);
+
+  size_t Loadable = 0;
+  for (size_t Len = 0; Len < Text.size(); ++Len) {
+    auto Parsed = json::parse(Text.substr(0, Len));
+    if (!Parsed)
+      continue; // clean parse diagnostic — the common case
+    auto D = makeCrashy(crashyOptions(2));
+    Error E = D->loadState(*Parsed);
+    if (!E)
+      ++Loadable;
+    // Either way: a diagnostic or a success, never a crash — and a
+    // failed load leaves the campaign runnable (spot-checked below).
+  }
+  EXPECT_EQ(Loadable, 0u)
+      << "a strict truncation of a snapshot should never load";
+
+  // The full text still loads; this pins the sweep above as meaningful.
+  auto D = makeCrashy(crashyOptions(2));
+  ASSERT_FALSE(D->loadState(cantFail(json::parse(Text))));
+}
+
+TEST(Corruption, BitFlipsDiagnoseCleanlyAndNeverHalfApply) {
+  auto Reference = makeCrashy(crashyOptions(2));
+  CampaignStats Want = Reference->run();
+
+  auto C = makeCrashy(crashyOptions(2));
+  C->run();
+  std::string Text = C->saveState().dump(true);
+
+  std::mt19937_64 Rng(0x7ea907);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::string Damaged = Text;
+    size_t Byte = Rng() % Damaged.size();
+    Damaged[Byte] ^= uint8_t(1) << (Rng() % 8);
+    auto Parsed = json::parse(Damaged);
+    if (!Parsed)
+      continue;
+    auto D = makeCrashy(crashyOptions(2));
+    Error E = D->loadState(*Parsed);
+    if (!E) {
+      // A flip inside an input byte or a free-text field can survive
+      // validation; what must never happen is a crash or a half-load.
+      continue;
+    }
+    EXPECT_FALSE(E.message().empty());
+    // All-or-nothing: the failed load leaves the campaign pristine.
+    CampaignStats Got = D->run();
+    EXPECT_EQ(Got, Want) << "half-applied snapshot after flip at byte "
+                         << Byte;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ScanResult robustness section
+//===----------------------------------------------------------------------===//
+
+TEST(ScanResultRobustness, RoundTripsThroughJson) {
+  ScanResult R;
+  R.Workload = "jsmn";
+  R.Preset = "teapot";
+  R.FaultPlan = "worker.execute@every:53";
+  R.Quarantined = 3;
+  R.Degradations = 7;
+  R.WatchdogTrips = 2;
+  R.FaultsInjected = 41;
+  R.IoRetries = 1;
+  ScanResult Back = cantFail(ScanResult::fromJsonString(R.toJson().dump(true)));
+  EXPECT_EQ(Back.FaultPlan, R.FaultPlan);
+  EXPECT_EQ(Back.Quarantined, R.Quarantined);
+  EXPECT_EQ(Back.Degradations, R.Degradations);
+  EXPECT_EQ(Back.WatchdogTrips, R.WatchdogTrips);
+  EXPECT_EQ(Back.FaultsInjected, R.FaultsInjected);
+  EXPECT_EQ(Back.IoRetries, R.IoRetries);
+  EXPECT_EQ(Back, R);
+}
+
+TEST(ScanResultRobustness, ArtifactsWithoutTheSectionReadAsClean) {
+  // teapot.scan.v1 artifacts written before the robustness layer have
+  // no "robustness" object; they must parse with all-clean defaults.
+  ScanResult R;
+  R.Workload = "jsmn";
+  json::Value V = R.toJson();
+  json::Value Old = json::Value::object();
+  for (const auto &[Key, Val] : V.members())
+    if (Key != "robustness")
+      Old.set(Key, Val);
+  ScanResult Back = cantFail(ScanResult::fromJsonString(Old.dump(true)));
+  EXPECT_EQ(Back.FaultPlan, "");
+  EXPECT_EQ(Back.Quarantined, 0u);
+  EXPECT_EQ(Back.Degradations, 0u);
+  EXPECT_EQ(Back.WatchdogTrips, 0u);
+  EXPECT_EQ(Back.FaultsInjected, 0u);
+  EXPECT_EQ(Back.IoRetries, 0u);
+}
+
+TEST(ScanResultRobustness, BadFaultPlanIsAConfigError) {
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.FaultPlan = "mem.pgae_alloc@1";
+  Error E = Cfg.validate();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("fault plan"), std::string::npos)
+      << "got: " << E.message();
+}
+
+} // namespace

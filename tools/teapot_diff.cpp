@@ -99,7 +99,7 @@ int main(int argc, char **argv) {
   fputs(D.describe().c_str(), stdout);
 
   if (JsonPath)
-    Exit(support::writeFile(JsonPath, D.toJson().dump(true) + "\n"));
+    Exit(support::writeFileAtomic(JsonPath, D.toJson().dump(true) + "\n"));
 
   return D.hasRegressions() ? 2 : 0;
 }

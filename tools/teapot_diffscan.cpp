@@ -311,10 +311,10 @@ int main(int argc, char **argv) {
       PresetsJson.set(Preset, std::move(PJ));
 
       if (OutDir)
-        Exit(support::writeFile(std::string(OutDir) + "/" +
-                                    fileStem(T.Name) + "-" + Preset +
-                                    ".scan.json",
-                                Runs[0].toJsonString()));
+        Exit(support::writeFileAtomic(std::string(OutDir) + "/" +
+                                          fileStem(T.Name) + "-" + Preset +
+                                          ".scan.json",
+                                      Runs[0].toJsonString()));
       PresetScans.push_back(std::move(Runs[0]));
     }
     TJ.set("presets", std::move(PresetsJson));
@@ -344,7 +344,7 @@ int main(int argc, char **argv) {
   Report.set("engines_identical", !Diverged);
 
   if (JsonPath)
-    Exit(support::writeFile(JsonPath, Report.dump(true) + "\n"));
+    Exit(support::writeFileAtomic(JsonPath, Report.dump(true) + "\n"));
 
   if (Diverged) {
     fprintf(stderr, "teapot_diffscan: FAILED — engine divergence\n");
