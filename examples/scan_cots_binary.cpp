@@ -30,6 +30,7 @@
 
 #include "api/ScanDiff.h"
 #include "api/Scanner.h"
+#include "support/ArtifactWriter.h"
 #include "support/FaultInjector.h"
 #include "support/File.h"
 #include "support/StringUtils.h"
@@ -223,8 +224,11 @@ int main(int argc, char **argv) {
   // sites drive the per-worker target injectors.
   support::FaultInjector FileFaults(
       Exit(support::FaultPlan::parse(FaultPlan)));
-  support::AtomicWriteOptions WriteOpts;
-  WriteOpts.Faults = &FileFaults;
+  support::ArtifactWriter Writer;
+  Writer.setFaults(&FileFaults);
+  Writer.OnWrite = [](const std::string &Path, size_t Bytes) {
+    printf("[*] wrote %s (%zu bytes)\n", Path.c_str(), Bytes);
+  };
 
   Scanner S(Cfg);
   Exit(S.loadWorkload(Workload));
@@ -269,23 +273,9 @@ int main(int argc, char **argv) {
   // file. Probe each path up front anyway — a bad directory must fail
   // fast instead of discarding the whole scan. The probe opens in
   // append mode: it never clobbers existing bytes.
-  auto ProbeArtifact = [&](const char *Path) {
-    if (!Path)
-      return;
-    FILE *F = fopen(Path, "ab");
-    if (!F)
-      Exit(makeError("cannot open %s for writing: %s", Path,
-                     strerror(errno)));
-    fclose(F);
-  };
-  ProbeArtifact(JsonPath);
-  ProbeArtifact(CorpusOutPath);
-  ProbeArtifact(QuarantineOutPath);
-  uint64_t IoRetries = 0;
-  auto WriteArtifact = [&](const char *Path, const std::string &Doc) {
-    IoRetries += Exit(support::writeFileAtomic(Path, Doc, WriteOpts));
-    printf("[*] wrote %s (%zu bytes)\n", Path, Doc.size());
-  };
+  Exit(Writer.probe(JsonPath ? JsonPath : ""));
+  Exit(Writer.probe(CorpusOutPath ? CorpusOutPath : ""));
+  Exit(Writer.probe(QuarantineOutPath ? QuarantineOutPath : ""));
   if (const workloads::InjectionResult *Inj = S.injection())
     printf("[*] injected %zu artificial gadget(s) (%zu unreachable, "
            "input slot %s)\n",
@@ -373,13 +363,13 @@ int main(int argc, char **argv) {
   // Sibling artifacts first so the scan JSON can record the I/O retries
   // their atomic writes spent (deterministic under a fault plan).
   if (CorpusOutPath)
-    WriteArtifact(CorpusOutPath, Exit(S.saveState()).dump(true) + "\n");
+    Exit(Writer.write(CorpusOutPath, Exit(S.saveState()).dump(true) + "\n"));
   if (QuarantineOutPath)
-    WriteArtifact(QuarantineOutPath,
-                  Exit(S.quarantineJson()).dump(true) + "\n");
+    Exit(Writer.write(QuarantineOutPath,
+                      Exit(S.quarantineJson()).dump(true) + "\n"));
   if (JsonPath) {
-    R.IoRetries = IoRetries;
-    WriteArtifact(JsonPath, R.toJsonString());
+    R.IoRetries = Writer.ioRetries();
+    Exit(Writer.write(JsonPath, R.toJsonString()));
   }
 
   if (Baseline) {

@@ -19,6 +19,11 @@ json::Value ScanResult::toJson() const {
   V.set("workers", Workers);
   V.set("iterations", Iterations);
 
+  json::Value Host = json::Value::object();
+  Host.set("hardware_concurrency", HostConcurrency);
+  Host.set("jit_backend", HostJitBackend);
+  V.set("host", std::move(Host));
+
   json::Value RW = json::Value::object();
   RW.set("branch_sites", BranchSites);
   RW.set("marker_sites", MarkerSites);
@@ -202,6 +207,20 @@ Expected<ScanResult> ScanResult::fromJson(const json::Value &V) {
   if (Error E = Top.getU64("iterations", R.Iterations))
     return E;
 
+  // "host" postdates the first v1 artifacts; documents without it carry
+  // no provenance, which the 0/false defaults spell exactly.
+  if (const json::Value *HostV = V.find("host")) {
+    if (!HostV->isObject())
+      return makeError("scan result: host is not an object");
+    Reader Host{*HostV, "host"};
+    if (Error E = Host.getUInt("hardware_concurrency", R.HostConcurrency))
+      return E;
+    const json::Value *JB = HostV->find("jit_backend");
+    if (!JB || !JB->isBool())
+      return makeError("scan result: host.jit_backend is not a boolean");
+    R.HostJitBackend = JB->asBool();
+  }
+
   auto RWObj = Top.getObject("rewrite");
   if (!RWObj)
     return RWObj.takeError();
@@ -372,6 +391,8 @@ bool ScanResult::operator==(const ScanResult &O) const {
   return Workload == O.Workload && Preset == O.Preset &&
          Engine == O.Engine && Seed == O.Seed &&
          Workers == O.Workers && Iterations == O.Iterations &&
+         HostConcurrency == O.HostConcurrency &&
+         HostJitBackend == O.HostJitBackend &&
          Passes == O.Passes && BranchSites == O.BranchSites &&
          MarkerSites == O.MarkerSites && NormalGuards == O.NormalGuards &&
          SpecGuards == O.SpecGuards && Executions == O.Executions &&

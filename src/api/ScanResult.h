@@ -82,6 +82,17 @@ struct ScanResult {
   unsigned Workers = 0;
   uint64_t Iterations = 0; // requested execution budget (0 for runInputs)
 
+  // --- Host provenance -----------------------------------------------------
+  // Attributes of the recording machine ("host" object), so fleet-index
+  // entries gathered on different hosts stay attributable. Artifacts
+  // predating the section lack the key; reads default to 0/false, the
+  // "unknown host" record.
+  /// std::thread::hardware_concurrency() of the recording host.
+  uint32_t HostConcurrency = 0;
+  /// The engine capability probe: whether the host's VM offers a native
+  /// JIT backend (resolveEngine(Jit) == Jit there).
+  bool HostJitBackend = false;
+
   // --- Rewrite phase (empty/zero for the native preset) --------------------
   std::vector<ScanPassStats> Passes;
   uint64_t BranchSites = 0; // conditional-branch trampolines

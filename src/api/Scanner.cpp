@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <iterator>
+#include <thread>
 
 using namespace teapot;
 
@@ -334,6 +335,12 @@ ScanResult Scanner::baseResult(uint64_t Iterations) const {
   // Canonical spelling (validated by the caller), so artifacts compare
   // equal however the plan was spelled.
   R.FaultPlan = cantFail(support::FaultPlan::parse(Cfg.FaultPlan)).spelling();
+  // Host provenance: constants of the recording machine, so fleet-index
+  // entries gathered on different hosts stay attributable. Same-machine
+  // artifacts stay byte-identical (run-twice CI gates unaffected).
+  R.HostConcurrency = std::thread::hardware_concurrency();
+  R.HostJitBackend = vm::resolveEngine(vm::Machine::Engine::Jit) ==
+                     vm::Machine::Engine::Jit;
   return R;
 }
 
@@ -359,6 +366,17 @@ Expected<ScanResult> Scanner::run() {
     if (Error E = C.loadState(*PendingResume))
       return E;
     PendingResume.reset();
+    // Federated corpus entries (importCorpus between runs) cannot ride
+    // the seed schedule of a resumed campaign — seeds already live in
+    // the restored shards. Queue them through the campaign's import
+    // inboxes instead: they execute at the next epoch under the
+    // receiving workers' own coverage-novelty filter, exactly like
+    // cross-worker publications. Consumed here so each batch injects
+    // once, not on every later slice.
+    if (!ImportedSeeds.empty()) {
+      C.enqueueImports(ImportedSeeds);
+      ImportedSeeds.clear();
+    }
   } else if (Injection) {
     // The Table 3 seed schedule: the poke reads the input's trailing 8
     // bytes, so make sure both in- and out-of-bounds injected-input
@@ -548,6 +566,42 @@ Expected<size_t> Scanner::importCorpus(const json::Value &Snapshot) {
     return makeError("corpus snapshot: missing or unsupported schema tag "
                      "(want %s)",
                      fuzz::Campaign::SnapshotSchemaName);
+  // Option-compatibility gate: the snapshot's corpus was shaped under
+  // its campaign's input-geometry knobs. Importing entries recorded
+  // under a different MaxInputLen silently truncates them (different
+  // bytes than the donor campaign validated), and a MaxStackedMutations
+  // mismatch means the corpus distribution was tuned for a different
+  // mutator — both adopt incompatible seeds without any diagnostic.
+  // Seed/workers/budget may legitimately differ (that is the point of
+  // cross-campaign import), so only the input-geometry knobs must match.
+  const json::Value *Opts = Snapshot.find("options");
+  if (!Opts || !Opts->isObject())
+    return makeError("corpus snapshot: missing options object (cannot "
+                     "check import compatibility)");
+  auto GetU64 = [&](const char *Key, uint64_t &Out) -> Error {
+    const json::Value *M = Opts->find(Key);
+    if (!M || !M->isUInt())
+      return makeError("corpus snapshot: missing or non-integer "
+                       "options.%s",
+                       Key);
+    Out = M->asUInt();
+    return Error::success();
+  };
+  uint64_t MaxLen = 0, MaxStacked = 0;
+  if (Error E = GetU64("max_input_len", MaxLen))
+    return E;
+  if (Error E = GetU64("max_stacked_mutations", MaxStacked))
+    return E;
+  if (MaxLen != Cfg.Campaign.MaxInputLen ||
+      MaxStacked != Cfg.Campaign.MaxStackedMutations)
+    return makeError(
+        "corpus snapshot: incompatible options (snapshot max_input_len "
+        "%llu / max_stacked_mutations %llu, campaign %llu / %u) — "
+        "re-record the snapshot or align the campaign config",
+        static_cast<unsigned long long>(MaxLen),
+        static_cast<unsigned long long>(MaxStacked),
+        static_cast<unsigned long long>(Cfg.Campaign.MaxInputLen),
+        Cfg.Campaign.MaxStackedMutations);
   const json::Value *Corpus = Snapshot.find("corpus");
   if (!Corpus || !Corpus->isArray())
     return makeError("corpus snapshot: missing corpus array");

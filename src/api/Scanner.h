@@ -215,15 +215,24 @@ public:
   /// state, not the binary.
   Error resume(json::Value Snapshot);
 
-  /// Adopts the merged corpus of \p Snapshot as additional seed inputs
-  /// for a *fresh* campaign (no RNG/coverage state carries over) — the
-  /// cross-run corpus reuse mode, e.g. CI carrying a corpus between
-  /// builds. Imported entries are fed to the campaign verbatim: the
-  /// injection seed schedule (in-/out-of-bounds poke variants) applies
-  /// only to the regular seed corpus, because imported inputs already
-  /// carry the previous campaign's poke bytes — re-extending them would
-  /// double the corpus on every import cycle. Returns the number of
-  /// inputs imported.
+  /// Adopts the merged corpus of \p Snapshot as additional inputs for
+  /// the next run(). On a fresh campaign the entries become extra seeds
+  /// (the cross-run corpus reuse mode, e.g. CI carrying a corpus
+  /// between builds); on a resumed campaign they are queued through the
+  /// workers' import inboxes instead (the cross-campaign federation
+  /// mode, see Campaign::enqueueImports) — executed under the receiving
+  /// workers' coverage-novelty filter, never replayed as seeds. The
+  /// fresh path keeps the batch as standing extra seeds (repeated run()
+  /// calls stay reproducible); the resume path consumes it, so each
+  /// federated batch injects exactly once. Imported entries are fed to
+  /// the campaign verbatim: the injection seed schedule (in-/out-of-
+  /// bounds poke variants) applies only to the regular seed corpus,
+  /// because imported inputs already carry the previous campaign's poke
+  /// bytes — re-extending them would double the corpus on every import
+  /// cycle. The snapshot's input-geometry options (max_input_len,
+  /// max_stacked_mutations) must match the live campaign config;
+  /// mismatches are diagnosed errors, never silently truncated seeds.
+  /// Returns the number of inputs imported.
   Expected<size_t> importCorpus(const json::Value &Snapshot);
 
   /// Corpus entries adopted by importCorpus(), pending the next run().

@@ -83,6 +83,22 @@ void Campaign::addSeed(std::vector<uint8_t> Seed) {
   Seeds.push_back(std::move(Seed));
 }
 
+void Campaign::enqueueImports(
+    const std::vector<std::vector<uint8_t>> &Inputs) {
+  // Deliberately unconditional on finished(): between runs the budget
+  // split is stale (run() recomputes it), so filtering here would race
+  // the recomputation logically, not just in time. A worker that never
+  // regains budget simply keeps the entries in its snapshot inbox.
+  for (auto &WP : Workers) {
+    for (const std::vector<uint8_t> &In : Inputs) {
+      std::vector<uint8_t> Entry = In;
+      if (Entry.size() > Opts.MaxInputLen)
+        Entry.resize(Opts.MaxInputLen);
+      WP->Inbox.push_back(std::move(Entry));
+    }
+  }
+}
+
 void Campaign::runWorkerEpoch(Worker &W) {
   MutationOptions MO;
   MO.MaxInputLen = Opts.MaxInputLen;

@@ -151,6 +151,21 @@ public:
   /// can snapshot the interrupted campaign.
   void requestStop() { StopRequested.store(true, std::memory_order_relaxed); }
 
+  /// Queues externally sourced inputs — cross-campaign federation, the
+  /// ScanService corpus-exchange protocol — into every worker's import
+  /// inbox. Call between runs (typically right after loadState()), from
+  /// the main thread only: the next run() then treats the entries
+  /// exactly like cross-worker publications — executed on the receiving
+  /// worker's target (its coverage maps decide novelty), charged
+  /// against its budget, adopted into its shard only when
+  /// coverage-novel, and byte-duplicates skipped for free via the shard
+  /// hash set. Inputs longer than MaxInputLen are clamped like
+  /// addSeed(). Entries a worker never gets budget to consume persist
+  /// in its snapshot inbox, so federated inputs are never silently
+  /// dropped across save/resume cycles. No-op before the campaign has
+  /// workers (first run() or loadState()).
+  void enqueueImports(const std::vector<std::vector<uint8_t>> &Inputs);
+
   // --- Persistence (teapot.corpus.v1) --------------------------------------
   /// Schema tag stamped into snapshots.
   static constexpr const char *SnapshotSchemaName = "teapot.corpus.v1";

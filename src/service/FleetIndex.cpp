@@ -1,0 +1,502 @@
+//===- service/FleetIndex.cpp ---------------------------------------------===//
+
+#include "service/FleetIndex.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace teapot;
+using namespace teapot::service;
+
+//===----------------------------------------------------------------------===//
+// FleetRecord
+//===----------------------------------------------------------------------===//
+
+FleetRecord FleetRecord::fromScan(std::string Spec, std::string Family,
+                                  uint64_t Rounds, bool Done,
+                                  uint64_t FederatedIn,
+                                  uint64_t FederatedOut,
+                                  const ScanResult &R) {
+  FleetRecord Rec;
+  Rec.Spec = std::move(Spec);
+  Rec.Family = std::move(Family);
+  Rec.Workload = R.Workload;
+  Rec.Preset = R.Preset;
+  Rec.Engine = R.Engine;
+  Rec.Seed = R.Seed;
+  Rec.Workers = R.Workers;
+  Rec.Iterations = R.Iterations;
+  Rec.Rounds = Rounds;
+  Rec.Done = Done;
+  Rec.Executions = R.Executions;
+  Rec.CorpusSize = R.CorpusSize;
+  Rec.CorpusAdds = R.CorpusAdds;
+  Rec.Imports = R.Imports;
+  Rec.GuestInsts = R.GuestInsts;
+  Rec.NormalEdges = R.NormalEdges;
+  Rec.SpecEdges = R.SpecEdges;
+  Rec.FederatedIn = FederatedIn;
+  Rec.FederatedOut = FederatedOut;
+  Rec.FaultPlan = R.FaultPlan;
+  Rec.Quarantined = R.Quarantined;
+  Rec.Degradations = R.Degradations;
+  Rec.WatchdogTrips = R.WatchdogTrips;
+  Rec.FaultsInjected = R.FaultsInjected;
+  Rec.HostConcurrency = R.HostConcurrency;
+  Rec.HostJitBackend = R.HostJitBackend;
+  Rec.InjectedSites = R.InjectedSites;
+  Rec.Gadgets = R.Gadgets;
+  return Rec;
+}
+
+ScanResult FleetRecord::toScan() const {
+  ScanResult R;
+  R.Workload = Workload;
+  R.Preset = Preset;
+  R.Engine = Engine;
+  R.Seed = Seed;
+  R.Workers = Workers;
+  R.Iterations = Iterations;
+  R.Executions = Executions;
+  R.CorpusSize = CorpusSize;
+  R.CorpusAdds = CorpusAdds;
+  R.Imports = Imports;
+  R.GuestInsts = GuestInsts;
+  R.NormalEdges = NormalEdges;
+  R.SpecEdges = SpecEdges;
+  R.FaultPlan = FaultPlan;
+  R.Quarantined = Quarantined;
+  R.Degradations = Degradations;
+  R.WatchdogTrips = WatchdogTrips;
+  R.FaultsInjected = FaultsInjected;
+  R.HostConcurrency = HostConcurrency;
+  R.HostJitBackend = HostJitBackend;
+  R.InjectedSites = InjectedSites;
+  R.Gadgets = Gadgets;
+  return R;
+}
+
+json::Value FleetRecord::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("spec", Spec);
+  V.set("family", Family);
+  V.set("workload", Workload);
+  V.set("preset", Preset);
+  V.set("engine", Engine);
+  V.set("seed", Seed);
+  V.set("workers", Workers);
+  V.set("iterations", Iterations);
+  V.set("rounds", Rounds);
+  V.set("done", Done);
+  V.set("executions", Executions);
+  V.set("corpus_size", CorpusSize);
+  V.set("corpus_adds", CorpusAdds);
+  V.set("imports", Imports);
+  V.set("guest_insts", GuestInsts);
+  V.set("normal_edges", NormalEdges);
+  V.set("spec_edges", SpecEdges);
+  V.set("federated_in", FederatedIn);
+  V.set("federated_out", FederatedOut);
+  V.set("fault_plan", FaultPlan);
+  V.set("quarantined", Quarantined);
+  V.set("degradations", Degradations);
+  V.set("watchdog_trips", WatchdogTrips);
+  V.set("faults_injected", FaultsInjected);
+  json::Value Host = json::Value::object();
+  Host.set("hardware_concurrency", HostConcurrency);
+  Host.set("jit_backend", HostJitBackend);
+  V.set("host", std::move(Host));
+  json::Value Sites = json::Value::array();
+  for (uint64_t S : InjectedSites)
+    Sites.push(json::Value(S));
+  V.set("injected_sites", std::move(Sites));
+  json::Value Gs = json::Value::array();
+  for (const runtime::GadgetReport &G : Gadgets)
+    Gs.push(runtime::gadgetToJson(G));
+  V.set("gadgets", std::move(Gs));
+  return V;
+}
+
+namespace {
+
+/// Field accessors with "fleet index: <path>.<key> ..." diagnostics —
+/// the ScanResult reader idiom.
+struct Reader {
+  const json::Value &V;
+  const char *Path;
+
+  Error getU64(const char *Key, uint64_t &Out) const {
+    const json::Value *M = V.find(Key);
+    if (!M || !M->isUInt())
+      return makeError("fleet index: %s.%s missing or not a non-negative "
+                       "integer",
+                       Path, Key);
+    Out = M->asUInt();
+    return Error::success();
+  }
+
+  template <typename T> Error getUInt(const char *Key, T &Out) const {
+    uint64_t U = 0;
+    if (Error E = getU64(Key, U))
+      return E;
+    Out = static_cast<T>(U);
+    if (static_cast<uint64_t>(Out) != U)
+      return makeError("fleet index: %s.%s value out of range", Path, Key);
+    return Error::success();
+  }
+
+  Error getBool(const char *Key, bool &Out) const {
+    const json::Value *M = V.find(Key);
+    if (!M || !M->isBool())
+      return makeError("fleet index: %s.%s missing or not a boolean", Path,
+                       Key);
+    Out = M->asBool();
+    return Error::success();
+  }
+
+  Error getString(const char *Key, std::string &Out) const {
+    const json::Value *M = V.find(Key);
+    if (!M || !M->isString())
+      return makeError("fleet index: %s.%s missing or not a string", Path,
+                       Key);
+    Out = M->asString();
+    return Error::success();
+  }
+
+  Expected<const json::Value *> getArray(const char *Key) const {
+    const json::Value *M = V.find(Key);
+    if (!M || !M->isArray())
+      return makeError("fleet index: %s.%s missing or not an array", Path,
+                       Key);
+    return M;
+  }
+};
+
+} // namespace
+
+Expected<FleetRecord> FleetRecord::fromJson(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("fleet index: target record is not an object");
+  FleetRecord R;
+  Reader Rd{V, "targets[]"};
+  if (Error E = Rd.getString("spec", R.Spec))
+    return E;
+  if (Error E = Rd.getString("family", R.Family))
+    return E;
+  if (Error E = Rd.getString("workload", R.Workload))
+    return E;
+  if (Error E = Rd.getString("preset", R.Preset))
+    return E;
+  if (Error E = Rd.getString("engine", R.Engine))
+    return E;
+  if (Error E = Rd.getU64("seed", R.Seed))
+    return E;
+  if (Error E = Rd.getUInt("workers", R.Workers))
+    return E;
+  if (Error E = Rd.getU64("iterations", R.Iterations))
+    return E;
+  if (Error E = Rd.getU64("rounds", R.Rounds))
+    return E;
+  if (Error E = Rd.getBool("done", R.Done))
+    return E;
+  if (Error E = Rd.getU64("executions", R.Executions))
+    return E;
+  if (Error E = Rd.getU64("corpus_size", R.CorpusSize))
+    return E;
+  if (Error E = Rd.getU64("corpus_adds", R.CorpusAdds))
+    return E;
+  if (Error E = Rd.getU64("imports", R.Imports))
+    return E;
+  if (Error E = Rd.getU64("guest_insts", R.GuestInsts))
+    return E;
+  if (Error E = Rd.getU64("normal_edges", R.NormalEdges))
+    return E;
+  if (Error E = Rd.getU64("spec_edges", R.SpecEdges))
+    return E;
+  if (Error E = Rd.getU64("federated_in", R.FederatedIn))
+    return E;
+  if (Error E = Rd.getU64("federated_out", R.FederatedOut))
+    return E;
+  if (Error E = Rd.getString("fault_plan", R.FaultPlan))
+    return E;
+  if (Error E = Rd.getU64("quarantined", R.Quarantined))
+    return E;
+  if (Error E = Rd.getU64("degradations", R.Degradations))
+    return E;
+  if (Error E = Rd.getU64("watchdog_trips", R.WatchdogTrips))
+    return E;
+  if (Error E = Rd.getU64("faults_injected", R.FaultsInjected))
+    return E;
+  const json::Value *HostV = V.find("host");
+  if (!HostV || !HostV->isObject())
+    return makeError("fleet index: targets[].host missing or not an object");
+  Reader Host{*HostV, "targets[].host"};
+  if (Error E = Host.getUInt("hardware_concurrency", R.HostConcurrency))
+    return E;
+  if (Error E = Host.getBool("jit_backend", R.HostJitBackend))
+    return E;
+  auto Sites = Rd.getArray("injected_sites");
+  if (!Sites)
+    return Sites.takeError();
+  for (const json::Value &S : (*Sites)->items()) {
+    if (!S.isUInt())
+      return makeError("fleet index: targets[].injected_sites entry is not "
+                       "a non-negative integer");
+    R.InjectedSites.push_back(S.asUInt());
+  }
+  auto Gs = Rd.getArray("gadgets");
+  if (!Gs)
+    return Gs.takeError();
+  for (const json::Value &G : (*Gs)->items()) {
+    auto Rep = runtime::gadgetFromJson(G);
+    if (!Rep)
+      return Rep.takeError();
+    R.Gadgets.push_back(*Rep);
+  }
+  return R;
+}
+
+std::string FleetRecord::describe() const {
+  std::string S;
+  S += formatString("target %s (family %s)\n", Spec.c_str(),
+                             Family.c_str());
+  S += formatString(
+      "  workload %s  preset %s  engine %s  seed %llu  workers %u\n",
+      Workload.c_str(), Preset.c_str(), Engine.c_str(),
+      static_cast<unsigned long long>(Seed), Workers);
+  S += formatString(
+      "  rounds %llu  %s  executions %llu/%llu\n",
+      static_cast<unsigned long long>(Rounds), Done ? "done" : "in progress",
+      static_cast<unsigned long long>(Executions),
+      static_cast<unsigned long long>(Iterations));
+  S += formatString(
+      "  corpus %llu (+%llu adds, %llu imports)  edges %llu normal / %llu "
+      "spec\n",
+      static_cast<unsigned long long>(CorpusSize),
+      static_cast<unsigned long long>(CorpusAdds),
+      static_cast<unsigned long long>(Imports),
+      static_cast<unsigned long long>(NormalEdges),
+      static_cast<unsigned long long>(SpecEdges));
+  S += formatString(
+      "  federation in %llu / out %llu  quarantined %llu\n",
+      static_cast<unsigned long long>(FederatedIn),
+      static_cast<unsigned long long>(FederatedOut),
+      static_cast<unsigned long long>(Quarantined));
+  S += formatString("  gadgets %zu:\n", Gadgets.size());
+  for (const runtime::GadgetReport &G : Gadgets)
+    S += "    " + G.describe() + "\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// FleetIndex
+//===----------------------------------------------------------------------===//
+
+const FleetRecord *FleetIndex::findTarget(std::string_view Spec) const {
+  for (const FleetRecord &R : Records)
+    if (R.Spec == Spec)
+      return &R;
+  return nullptr;
+}
+
+std::vector<GadgetTally> FleetIndex::topGadgets(size_t N) const {
+  // Key-ordered map: ties in reporter count resolve by ascending gadget
+  // key, so the ranking is deterministic.
+  std::map<runtime::ReportSink::Key, GadgetTally> ByKey;
+  for (const FleetRecord &R : Records)
+    for (const runtime::GadgetReport &G : R.Gadgets) {
+      auto [It, New] =
+          ByKey.try_emplace(runtime::ReportSink::keyOf(G), GadgetTally{});
+      if (New)
+        It->second.Gadget = G;
+      It->second.Targets.push_back(R.Spec);
+    }
+  std::vector<GadgetTally> Out;
+  Out.reserve(ByKey.size());
+  for (auto &[K, T] : ByKey)
+    Out.push_back(std::move(T));
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const GadgetTally &A, const GadgetTally &B) {
+                     return A.Targets.size() > B.Targets.size();
+                   });
+  if (N && Out.size() > N)
+    Out.resize(N);
+  return Out;
+}
+
+json::Value FleetIndex::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("schema", SchemaName);
+  json::Value Ts = json::Value::array();
+  for (const FleetRecord &R : Records)
+    Ts.push(R.toJson());
+  V.set("targets", std::move(Ts));
+
+  // Family rollups, derived on every dump: member specs in registration
+  // order, gadget union deduped under the GadgetSink identity.
+  std::vector<std::string> FamilyOrder;
+  std::map<std::string, std::vector<const FleetRecord *>> ByFamily;
+  for (const FleetRecord &R : Records) {
+    auto [It, New] = ByFamily.try_emplace(R.Family);
+    if (New)
+      FamilyOrder.push_back(R.Family);
+    It->second.push_back(&R);
+  }
+  json::Value Fams = json::Value::array();
+  for (const std::string &F : FamilyOrder) {
+    json::Value FV = json::Value::object();
+    FV.set("family", F);
+    json::Value Members = json::Value::array();
+    runtime::ReportSink Union;
+    for (const FleetRecord *R : ByFamily[F]) {
+      Members.push(json::Value(R->Spec));
+      for (const runtime::GadgetReport &G : R->Gadgets)
+        Union.report(G);
+    }
+    FV.set("targets", std::move(Members));
+    json::Value Gs = json::Value::array();
+    for (const runtime::GadgetReport &G : Union.unique())
+      Gs.push(runtime::gadgetToJson(G));
+    FV.set("gadgets", std::move(Gs));
+    Fams.push(std::move(FV));
+  }
+  V.set("families", std::move(Fams));
+  return V;
+}
+
+Expected<FleetIndex> FleetIndex::fromJson(const json::Value &V) {
+  if (!V.isObject())
+    return makeError("fleet index: document is not an object");
+  const json::Value *Schema = V.find("schema");
+  if (!Schema || !Schema->isString() || Schema->asString() != SchemaName)
+    return makeError("fleet index: missing or unsupported schema (expected "
+                     "\"%s\")",
+                     SchemaName);
+  const json::Value *Ts = V.find("targets");
+  if (!Ts || !Ts->isArray())
+    return makeError("fleet index: targets missing or not an array");
+  FleetIndex Idx;
+  for (const json::Value &T : Ts->items()) {
+    auto R = FleetRecord::fromJson(T);
+    if (!R)
+      return R.takeError();
+    Idx.Records.push_back(std::move(*R));
+  }
+  // "families" is a derived view; ignored on read, recomputed on dump.
+  return Idx;
+}
+
+Expected<FleetIndex> FleetIndex::fromJsonString(std::string_view Text) {
+  auto V = json::parse(Text);
+  if (!V)
+    return V.takeError();
+  return fromJson(*V);
+}
+
+//===----------------------------------------------------------------------===//
+// FleetDiff
+//===----------------------------------------------------------------------===//
+
+FleetDiff teapot::service::diffFleets(const FleetIndex &Before,
+                                      const FleetIndex &After,
+                                      const FleetDiffOptions &Opts) {
+  FleetDiff D;
+  D.InjectedOnly = Opts.InjectedOnly;
+  for (const FleetRecord &B : Before.Records) {
+    const FleetRecord *A = After.findTarget(B.Spec);
+    if (!A || A->Seed != B.Seed) {
+      D.RemovedTargets.push_back(B.Spec);
+      if (!B.Gadgets.empty())
+        D.RemovedWithGadgets.push_back(B.Spec);
+      continue;
+    }
+    ScanDiffOptions SO;
+    // Per-target: an injected-only gate is only meaningful where the
+    // baseline recorded ground-truth sites (see FleetDiffOptions).
+    SO.InjectedOnly = Opts.InjectedOnly && !B.InjectedSites.empty();
+    D.Targets.push_back(
+        FleetTargetDiff{B.Spec, B.Seed,
+                        diffScans(B.toScan(), A->toScan(), SO)});
+  }
+  for (const FleetRecord &A : After.Records) {
+    const FleetRecord *B = Before.findTarget(A.Spec);
+    if (!B || B->Seed != A.Seed)
+      D.AddedTargets.push_back(A.Spec);
+  }
+  return D;
+}
+
+json::Value FleetDiff::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("schema", SchemaName);
+  V.set("injected_only", InjectedOnly);
+  V.set("regressions", hasRegressions());
+  json::Value Ts = json::Value::array();
+  for (const FleetTargetDiff &T : Targets) {
+    json::Value TV = json::Value::object();
+    TV.set("spec", T.Spec);
+    TV.set("seed", T.Seed);
+    TV.set("diff", T.Diff.toJson());
+    Ts.push(std::move(TV));
+  }
+  V.set("targets", std::move(Ts));
+  json::Value Added = json::Value::array();
+  for (const std::string &S : AddedTargets)
+    Added.push(json::Value(S));
+  V.set("added_targets", std::move(Added));
+  json::Value Removed = json::Value::array();
+  for (const std::string &S : RemovedTargets)
+    Removed.push(json::Value(S));
+  V.set("removed_targets", std::move(Removed));
+  json::Value RemovedG = json::Value::array();
+  for (const std::string &S : RemovedWithGadgets)
+    RemovedG.push(json::Value(S));
+  V.set("removed_with_gadgets", std::move(RemovedG));
+  return V;
+}
+
+std::string FleetDiff::describe() const {
+  std::string S = formatString(
+      "fleet diff: %zu common target(s), %zu added, %zu removed%s\n",
+      Targets.size(), AddedTargets.size(), RemovedTargets.size(),
+      InjectedOnly ? " (injected-only gate)" : "");
+  for (const std::string &T : AddedTargets)
+    S += formatString("  added:   %s\n", T.c_str());
+  for (const std::string &T : RemovedTargets)
+    S += formatString(
+        "  removed: %s%s\n", T.c_str(),
+        std::find(RemovedWithGadgets.begin(), RemovedWithGadgets.end(), T) !=
+                RemovedWithGadgets.end()
+            ? "  ** had gadgets: REGRESSION **"
+            : "");
+  for (const FleetTargetDiff &T : Targets) {
+    if (T.Diff.NewGadgets.empty() && T.Diff.LostGadgets.empty() &&
+        T.Diff.ChangedGadgets.empty()) {
+      S += formatString("  %s: unchanged (%llu gadget(s))\n",
+                                 T.Spec.c_str(),
+                                 static_cast<unsigned long long>(
+                                     T.Diff.GadgetsAfter));
+      continue;
+    }
+    S += formatString("  %s:%s\n", T.Spec.c_str(),
+                               T.Diff.hasRegressions() ? " ** REGRESSION **"
+                                                       : "");
+    std::string Body = T.Diff.describe();
+    // Indent the scan-level report under its target header.
+    size_t Pos = 0;
+    while (Pos < Body.size()) {
+      size_t End = Body.find('\n', Pos);
+      if (End == std::string::npos)
+        End = Body.size();
+      S += "    " + Body.substr(Pos, End - Pos) + "\n";
+      Pos = End + 1;
+    }
+  }
+  if (hasRegressions())
+    S += "fleet diff: REGRESSIONS detected\n";
+  else
+    S += "fleet diff: no regressions\n";
+  return S;
+}

@@ -1,0 +1,193 @@
+//===- service/FleetIndex.h - Queryable fleet result index --------*- C++ -*-===//
+///
+/// \file
+/// The batch-aggregation layer of the scan-fleet subsystem: many
+/// per-target teapot.scan.v1 results collapse into one queryable
+/// "teapot.fleetindex.v1" document. Each FleetRecord carries a target's
+/// gadget set under the GadgetSink identity (site, channel,
+/// controllability), its coverage/throughput/robustness counters, its
+/// federation traffic, and host provenance — enough to answer the fleet
+/// CLI's queries (--top-gadgets, --target, --weakened-since) and to
+/// re-synthesize a ScanResult so fleet-vs-fleet diffing
+/// ("teapot.fleetdiff.v1") rides the existing diffScans machinery
+/// instead of reimplementing gadget matching.
+///
+/// Determinism contract (same as ScanResult): records serialize in
+/// registration order, gadget lists in GadgetSink key order, family
+/// rollups in first-appearance order with key-ordered deduped gadget
+/// unions — two fleets run from identical FleetOptions dump
+/// byte-identical index documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SERVICE_FLEETINDEX_H
+#define TEAPOT_SERVICE_FLEETINDEX_H
+
+#include "api/ScanDiff.h"
+#include "api/ScanResult.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace teapot {
+namespace service {
+
+/// One target's slot in the fleet index: provenance + aggregate
+/// counters + the deduplicated gadget set, flattened from the target's
+/// final ScanResult and the service's federation bookkeeping.
+struct FleetRecord {
+  // --- Identity ------------------------------------------------------------
+  std::string Spec;   // target spec as registered ("jsmn", "proggen:11:4")
+  std::string Family; // federation family (equals Spec when standalone)
+
+  // --- Scan provenance (from the target's ScanResult) ----------------------
+  std::string Workload;
+  std::string Preset;
+  std::string Engine;
+  uint64_t Seed = 0; // per-target campaign seed (derived, not the fleet seed)
+  unsigned Workers = 0;
+  uint64_t Iterations = 0; // per-target execution budget
+
+  // --- Scheduling ----------------------------------------------------------
+  uint64_t Rounds = 0; // scheduler rounds this target received a slice in
+  bool Done = false;   // budget exhausted
+
+  // --- Campaign aggregates -------------------------------------------------
+  uint64_t Executions = 0;
+  uint64_t CorpusSize = 0;
+  uint64_t CorpusAdds = 0;
+  uint64_t Imports = 0; // coverage-novel adoptions (cross-worker + federated)
+  uint64_t GuestInsts = 0;
+  uint64_t NormalEdges = 0;
+  uint64_t SpecEdges = 0;
+
+  // --- Federation traffic (service bookkeeping) ----------------------------
+  uint64_t FederatedIn = 0;  // entries queued into this target's campaign
+  uint64_t FederatedOut = 0; // entries this target donated to siblings
+
+  // --- Robustness ----------------------------------------------------------
+  std::string FaultPlan;
+  uint64_t Quarantined = 0;
+  uint64_t Degradations = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t FaultsInjected = 0;
+
+  // --- Host provenance -----------------------------------------------------
+  uint32_t HostConcurrency = 0;
+  bool HostJitBackend = false;
+
+  // --- Ground truth + gadgets ----------------------------------------------
+  std::vector<uint64_t> InjectedSites;
+  /// Unique gadget records in GadgetSink (site, channel,
+  /// controllability) key order.
+  std::vector<runtime::GadgetReport> Gadgets;
+
+  /// Flattens a target's final ScanResult plus service bookkeeping into
+  /// a record.
+  static FleetRecord fromScan(std::string Spec, std::string Family,
+                              uint64_t Rounds, bool Done,
+                              uint64_t FederatedIn, uint64_t FederatedOut,
+                              const ScanResult &R);
+
+  /// Re-synthesizes a ScanResult carrying everything diffScans consumes
+  /// (gadgets, injected sites, coverage/corpus/execution counters;
+  /// wall-clock stays zero). FleetDiff is built on this.
+  ScanResult toScan() const;
+
+  json::Value toJson() const;
+  static Expected<FleetRecord> fromJson(const json::Value &V);
+
+  /// Human-readable summary block (the fleet CLI's --target output).
+  std::string describe() const;
+
+  bool operator==(const FleetRecord &O) const = default;
+};
+
+/// One gadget identity's fleet-wide tally (the --top-gadgets query).
+struct GadgetTally {
+  runtime::GadgetReport Gadget; // representative record (first reporter's)
+  std::vector<std::string> Targets; // specs reporting it, index order
+
+  bool operator==(const GadgetTally &O) const = default;
+};
+
+/// The queryable fleet index. JSON schema "teapot.fleetindex.v1".
+struct FleetIndex {
+  static constexpr const char *SchemaName = "teapot.fleetindex.v1";
+
+  /// Per-target records in fleet registration order.
+  std::vector<FleetRecord> Records;
+
+  const FleetRecord *findTarget(std::string_view Spec) const;
+
+  /// Gadget identities ranked by how many targets report them (ties
+  /// broken by ascending gadget key), truncated to \p N (0 = all).
+  std::vector<GadgetTally> topGadgets(size_t N = 0) const;
+
+  /// Serializes records plus derived family rollups ("families": family,
+  /// member specs, GadgetSink-deduped gadget union in key order). The
+  /// rollups are recomputed from Records on every dump — they are a
+  /// view, not state — so fromJson ignores them and dump/parse/dump is
+  /// still byte-stable.
+  json::Value toJson() const;
+  static Expected<FleetIndex> fromJson(const json::Value &V);
+
+  std::string toJsonString() const { return toJson().dump(true) + "\n"; }
+  static Expected<FleetIndex> fromJsonString(std::string_view Text);
+
+  bool operator==(const FleetIndex &O) const = default;
+};
+
+struct FleetDiffOptions {
+  /// Restrict regression accounting to baseline injected ground-truth
+  /// sites for targets that have them; targets without injected sites
+  /// keep full accounting (a vacuous per-target gate would let real
+  /// losses through).
+  bool InjectedOnly = false;
+};
+
+/// One common target's scan-level diff inside a fleet diff.
+struct FleetTargetDiff {
+  std::string Spec;
+  uint64_t Seed = 0;
+  ScanDiff Diff;
+};
+
+/// Fleet-vs-fleet comparison. JSON schema "teapot.fleetdiff.v1".
+/// Targets are matched by (spec, seed) — a reseeded target is a
+/// remove+add, not a comparable pair. Removing a target that had
+/// gadgets is a regression: detection signal disappeared from the
+/// fleet.
+struct FleetDiff {
+  static constexpr const char *SchemaName = "teapot.fleetdiff.v1";
+
+  bool InjectedOnly = false;
+  /// Per-common-target diffs, in baseline record order.
+  std::vector<FleetTargetDiff> Targets;
+  std::vector<std::string> AddedTargets;
+  std::vector<std::string> RemovedTargets;
+  /// Subset of RemovedTargets whose baseline record had gadgets.
+  std::vector<std::string> RemovedWithGadgets;
+
+  bool hasRegressions() const {
+    if (!RemovedWithGadgets.empty())
+      return true;
+    for (const FleetTargetDiff &T : Targets)
+      if (T.Diff.hasRegressions())
+        return true;
+    return false;
+  }
+
+  json::Value toJson() const;
+  std::string describe() const;
+};
+
+FleetDiff diffFleets(const FleetIndex &Before, const FleetIndex &After,
+                     const FleetDiffOptions &Opts = {});
+
+} // namespace service
+} // namespace teapot
+
+#endif // TEAPOT_SERVICE_FLEETINDEX_H

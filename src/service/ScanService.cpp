@@ -1,0 +1,824 @@
+//===- service/ScanService.cpp --------------------------------------------===//
+
+#include "service/ScanService.h"
+
+#include "fuzz/CorpusShard.h"
+#include "support/File.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sys/stat.h>
+#include <thread>
+
+using namespace teapot;
+using namespace teapot::service;
+
+//===----------------------------------------------------------------------===//
+// FleetOptions
+//===----------------------------------------------------------------------===//
+
+Error FleetOptions::validate() const {
+  if (Threads == 0)
+    return makeError("fleet options: Threads must be at least 1");
+  if (IterationsPerTarget == 0)
+    return makeError("fleet options: IterationsPerTarget must be positive "
+                     "(it is the default per-target budget)");
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-target state
+//===----------------------------------------------------------------------===//
+
+/// Everything the scheduler tracks about one fleet member. A slice
+/// touches only its own TargetState, which is what lets the thread pool
+/// run a round's slices in any order with identical results.
+struct ScanService::TargetState {
+  FleetTarget T;
+  std::string Family; // resolved (empty spelling -> Spec)
+  uint64_t Seed = 0;  // per-target campaign seed (workerSeed derived)
+  uint64_t Budget = 0;
+
+  std::unique_ptr<Scanner> S; // null until materialized
+
+  /// Last slice's cumulative result, wall-clock zeroed (determinism:
+  /// the same counters persist to disk and aggregate into the index).
+  ScanResult Last;
+  bool HasLast = false;
+  std::optional<json::Value> Snapshot;      // teapot.corpus.v1
+  std::optional<json::Value> QuarantineDoc; // teapot.quarantine.v1
+  /// Merged corpus mirror (from the snapshot on load, from the scanner
+  /// after each slice) — what federation windows read, valid even for
+  /// done targets that never materialize a scanner this session.
+  std::vector<std::vector<uint8_t>> Corpus;
+
+  uint64_t Rounds = 0;
+  bool Done = false;
+
+  // --- Federation bookkeeping ---------------------------------------------
+  /// First corpus entry not yet offered to siblings.
+  uint64_t FedCursor = 0;
+  /// Every hash this target ever accepted from siblings (insertion
+  /// order in ImportedOrder — the manifest's serialization).
+  std::unordered_set<uint64_t> ImportedHashes;
+  std::vector<uint64_t> ImportedOrder;
+  uint64_t FederatedIn = 0;
+  uint64_t FederatedOut = 0;
+
+  /// Imports restored from a manifest, queued into the scanner at
+  /// materialization (after which Scanner::importedSeeds() is the live
+  /// pending set).
+  std::vector<std::vector<uint8_t>> PendingImports;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / registration
+//===----------------------------------------------------------------------===//
+
+ScanService::ScanService(FleetOptions O) : Opts(std::move(O)) {}
+ScanService::~ScanService() = default;
+
+Error ScanService::addTarget(FleetTarget T) {
+  if (T.Spec.empty())
+    return makeError("fleet target: empty spec");
+  for (const FleetTarget &R : Registered)
+    if (R.Spec == T.Spec)
+      return makeError("fleet target: duplicate spec \"%s\" (the spec is "
+                       "the target's identity in the index and manifest)",
+                       T.Spec.c_str());
+  auto St = std::make_unique<TargetState>();
+  St->T = T;
+  St->Family = T.Family.empty() ? T.Spec : T.Family;
+  St->Seed = fuzz::Campaign::workerSeed(
+      Opts.Base.Campaign.Seed, static_cast<unsigned>(Registered.size()));
+  St->Budget = T.Iterations ? T.Iterations : Opts.IterationsPerTarget;
+  Registered.push_back(std::move(T));
+  States.push_back(std::move(St));
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregates
+//===----------------------------------------------------------------------===//
+
+bool ScanService::finished() const {
+  if (States.empty())
+    return false;
+  if (Opts.GlobalIterations &&
+      totalExecutions() >= Opts.GlobalIterations)
+    return true;
+  for (const auto &St : States)
+    if (!St->Done)
+      return false;
+  return true;
+}
+
+uint64_t ScanService::totalExecutions() const {
+  uint64_t N = 0;
+  for (const auto &St : States)
+    if (St->HasLast)
+      N += St->Last.Executions;
+  return N;
+}
+
+FleetIndex ScanService::index() const {
+  FleetIndex Idx;
+  for (const auto &St : States)
+    if (St->HasLast)
+      Idx.Records.push_back(FleetRecord::fromScan(
+          St->T.Spec, St->Family, St->Rounds, St->Done, St->FederatedIn,
+          St->FederatedOut, St->Last));
+  return Idx;
+}
+
+//===----------------------------------------------------------------------===//
+// Slices
+//===----------------------------------------------------------------------===//
+
+Error ScanService::materialize(TargetState &T, size_t Index) {
+  if (T.S)
+    return Error::success();
+  ScanConfig C = Opts.Base;
+  C.Campaign.Seed = T.Seed;
+  C.Campaign.TotalIterations = T.Budget;
+  C.Campaign.MaxEpochs = 0; // set per slice
+  (void)Index;
+  T.S = std::make_unique<Scanner>(std::move(C));
+  if (Error E = T.S->loadWorkload(T.T.Spec))
+    return E;
+  if (Error E = T.S->rewrite())
+    return E;
+  if (!T.PendingImports.empty()) {
+    std::vector<std::vector<uint8_t>> Pending = std::move(T.PendingImports);
+    T.PendingImports.clear();
+    // FederatedIn was already counted when these were first queued.
+    uint64_t SavedIn = T.FederatedIn;
+    if (Error E = queueImports(T, Pending))
+      return E;
+    T.FederatedIn = SavedIn;
+  }
+  return Error::success();
+}
+
+Error ScanService::runSlice(TargetState &T) {
+  Scanner &S = *T.S;
+  uint64_t BaseEpoch = 0;
+  if (T.Snapshot) {
+    // Each slice resumes the previous one's snapshot — the same
+    // stop-at-barrier/resume cycle persist_test locks byte-identical.
+    if (const json::Value *E = T.Snapshot->find("epoch"); E && E->isUInt())
+      BaseEpoch = E->asUInt();
+    if (Error E = S.resume(json::Value(*T.Snapshot)))
+      return E;
+  }
+  S.config().Campaign.MaxEpochs =
+      Opts.SliceEpochs ? BaseEpoch + Opts.SliceEpochs : 0;
+  auto Res = S.run();
+  if (!Res)
+    return Res.takeError();
+  T.Last = std::move(*Res);
+  // Wall-clock is the one nondeterministic field; the fleet's artifacts
+  // and index are timing-free by construction.
+  T.Last.WallSeconds = 0;
+  for (ScanPassStats &P : T.Last.Passes)
+    P.Seconds = 0;
+  T.HasLast = true;
+  T.Corpus = S.corpus();
+  auto Snap = S.saveState();
+  if (!Snap)
+    return Snap.takeError();
+  T.Snapshot = std::move(*Snap);
+  auto Q = S.quarantineJson();
+  if (!Q)
+    return Q.takeError();
+  T.QuarantineDoc = std::move(*Q);
+  ++T.Rounds;
+  T.Done = T.Last.Executions >= T.Budget;
+  return Error::success();
+}
+
+Error ScanService::runRound() {
+  std::vector<size_t> Active;
+  for (size_t I = 0; I < States.size(); ++I)
+    if (!States[I]->Done)
+      Active.push_back(I);
+  if (Active.empty()) {
+    ++Round;
+    return Error::success();
+  }
+
+  // Work-stealing claim over the active list. Every slice is
+  // target-local, so execution order across the pool cannot affect
+  // results — only the claim index and the error slots are shared.
+  std::atomic<size_t> Next{0};
+  std::vector<std::string> Failures(Active.size());
+  auto Work = [&]() {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Active.size())
+        return;
+      TargetState &T = *States[Active[I]];
+      Error E = materialize(T, Active[I]);
+      if (!E)
+        E = runSlice(T);
+      if (E)
+        Failures[I] = formatString(
+            "fleet target \"%s\": %s", T.T.Spec.c_str(),
+            E.message().c_str());
+    }
+  };
+  unsigned N = static_cast<unsigned>(
+      std::min<size_t>(Opts.Threads ? Opts.Threads : 1, Active.size()));
+  if (N <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Pool.emplace_back(Work);
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+  // First failure in registration order — deterministic regardless of
+  // which thread hit it first.
+  for (const std::string &F : Failures)
+    if (!F.empty())
+      return makeError("%s", F.c_str());
+  ++Round;
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Federation
+//===----------------------------------------------------------------------===//
+
+std::vector<std::vector<uint8_t>> ScanService::filterNovel(
+    const std::vector<std::vector<uint8_t>> &Window,
+    const std::unordered_set<uint64_t> &Known,
+    std::unordered_set<uint64_t> &Imported,
+    std::vector<uint64_t> &ImportedOrder) {
+  std::vector<std::vector<uint8_t>> Out;
+  for (const std::vector<uint8_t> &E : Window) {
+    uint64_t H = fuzz::hashInput(E);
+    if (Known.count(H) || Imported.count(H))
+      continue;
+    Imported.insert(H);
+    ImportedOrder.push_back(H);
+    Out.push_back(E);
+  }
+  return Out;
+}
+
+Error ScanService::queueImports(
+    TargetState &T, const std::vector<std::vector<uint8_t>> &Batch) {
+  if (Batch.empty())
+    return Error::success();
+  if (!T.S) {
+    // Not materialized yet (restored fleet): park until materialize().
+    T.PendingImports.insert(T.PendingImports.end(), Batch.begin(),
+                            Batch.end());
+    T.FederatedIn += Batch.size();
+    return Error::success();
+  }
+  // A synthetic teapot.corpus.v1 payload shaped to the receiver's own
+  // geometry, so the importCorpus compatibility gate accepts it.
+  const fuzz::CampaignOptions &CO = T.S->config().Campaign;
+  json::Value Payload = json::Value::object();
+  Payload.set("schema", fuzz::Campaign::SnapshotSchemaName);
+  json::Value O = json::Value::object();
+  O.set("seed", CO.Seed);
+  O.set("total_iterations", CO.TotalIterations);
+  O.set("workers", CO.Workers);
+  O.set("sync_interval", CO.SyncInterval);
+  O.set("max_input_len", CO.MaxInputLen);
+  O.set("max_stacked_mutations", CO.MaxStackedMutations);
+  Payload.set("options", std::move(O));
+  json::Value C = json::Value::array();
+  for (const std::vector<uint8_t> &E : Batch)
+    C.push(json::Value(hexEncode(E)));
+  Payload.set("corpus", std::move(C));
+  auto N = T.S->importCorpus(Payload);
+  if (!N)
+    return N.takeError();
+  T.FederatedIn += *N;
+  return Error::success();
+}
+
+Error ScanService::federate() {
+  // Families in first-appearance order over the registration list.
+  std::vector<std::string> Order;
+  std::map<std::string, std::vector<size_t>> Members;
+  for (size_t I = 0; I < States.size(); ++I) {
+    auto [It, New] = Members.try_emplace(States[I]->Family);
+    if (New)
+      Order.push_back(States[I]->Family);
+    It->second.push_back(I);
+  }
+  for (const std::string &F : Order) {
+    const std::vector<size_t> &M = Members[F];
+    if (M.size() < 2)
+      continue; // a family of one has nobody to talk to
+    for (size_t RI : M) {
+      TargetState &R = *States[RI];
+      if (R.Done)
+        continue; // no budget left to execute imports
+      std::unordered_set<uint64_t> Known;
+      for (const std::vector<uint8_t> &E : R.Corpus)
+        Known.insert(fuzz::hashInput(E));
+      std::vector<std::vector<uint8_t>> Batch;
+      for (size_t SI : M) {
+        if (SI == RI)
+          continue;
+        TargetState &Sd = *States[SI];
+        std::vector<std::vector<uint8_t>> Window(
+            Sd.Corpus.begin() +
+                static_cast<ptrdiff_t>(
+                    std::min<uint64_t>(Sd.FedCursor, Sd.Corpus.size())),
+            Sd.Corpus.end());
+        std::vector<std::vector<uint8_t>> Accepted = filterNovel(
+            Window, Known, R.ImportedHashes, R.ImportedOrder);
+        Sd.FederatedOut += Accepted.size();
+        for (std::vector<uint8_t> &E : Accepted)
+          Batch.push_back(std::move(E));
+      }
+      if (Error E = queueImports(R, Batch))
+        return E;
+    }
+    // Cursors advance only after every receiver saw this barrier's
+    // windows — all exchanges at one barrier read the same snapshot of
+    // each sender's corpus.
+    for (size_t SI : M)
+      States[SI]->FedCursor = States[SI]->Corpus.size();
+  }
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+std::string ScanService::fileStem(const std::string &Spec) {
+  std::string S = Spec;
+  for (char &C : S)
+    if (C == ':' || C == '/')
+      C = '_';
+  return S;
+}
+
+std::string ScanService::artifactPath(size_t Index, const char *Kind) const {
+  return Opts.StateDir + "/" +
+         formatString("t%02zu-%s.%s.json", Index,
+                               fileStem(States[Index]->T.Spec).c_str(),
+                               Kind);
+}
+
+json::Value ScanService::optionsJson() const {
+  // Every result-relevant knob, in one comparable object. Threads and
+  // MaxRounds are deliberately absent: they never change what the fleet
+  // computes, only how fast / how far one run() call takes it.
+  json::Value V = json::Value::object();
+  V.set("preset", Opts.Base.Preset);
+  V.set("engine", vm::engineName(Opts.Base.Engine));
+  V.set("seed", Opts.Base.Campaign.Seed);
+  V.set("workers", Opts.Base.Campaign.Workers);
+  V.set("sync_interval", Opts.Base.Campaign.SyncInterval);
+  V.set("max_input_len", Opts.Base.Campaign.MaxInputLen);
+  V.set("max_stacked_mutations", Opts.Base.Campaign.MaxStackedMutations);
+  V.set("run_budget", Opts.Base.RunBudget);
+  V.set("fault_plan", Opts.Base.FaultPlan);
+  V.set("inject", Opts.Base.InjectGadgets);
+  V.set("iterations_per_target", Opts.IterationsPerTarget);
+  V.set("global_iterations", Opts.GlobalIterations);
+  V.set("slice_epochs", Opts.SliceEpochs);
+  V.set("federate_every", Opts.FederateEvery);
+  return V;
+}
+
+json::Value ScanService::manifestJson() const {
+  json::Value V = json::Value::object();
+  V.set("schema", ManifestSchemaName);
+  V.set("options", optionsJson());
+  json::Value Ts = json::Value::array();
+  for (const FleetTarget &T : Registered) {
+    json::Value TV = json::Value::object();
+    TV.set("spec", T.Spec);
+    TV.set("family", T.Family);
+    TV.set("iterations", T.Iterations);
+    Ts.push(std::move(TV));
+  }
+  V.set("targets", std::move(Ts));
+  V.set("round", Round);
+  V.set("finished", finished());
+  json::Value Per = json::Value::array();
+  for (size_t I = 0; I < States.size(); ++I) {
+    const TargetState &T = *States[I];
+    json::Value TV = json::Value::object();
+    TV.set("spec", T.T.Spec);
+    TV.set("seed", T.Seed);
+    TV.set("budget", T.Budget);
+    TV.set("rounds", T.Rounds);
+    TV.set("done", T.Done);
+    TV.set("executions", T.HasLast ? T.Last.Executions : 0);
+    TV.set("federated_in", T.FederatedIn);
+    TV.set("federated_out", T.FederatedOut);
+    TV.set("fed_cursor", T.FedCursor);
+    json::Value Hashes = json::Value::array();
+    for (uint64_t H : T.ImportedOrder)
+      Hashes.push(json::Value(H));
+    TV.set("imported_hashes", std::move(Hashes));
+    // Federated entries queued but not yet consumed by a slice — they
+    // are not in the corpus snapshot, so they ride the manifest.
+    json::Value Pending = json::Value::array();
+    if (T.S)
+      for (const std::vector<uint8_t> &E : T.S->importedSeeds())
+        Pending.push(json::Value(hexEncode(E)));
+    else
+      for (const std::vector<uint8_t> &E : T.PendingImports)
+        Pending.push(json::Value(hexEncode(E)));
+    TV.set("pending_imports", std::move(Pending));
+    TV.set("ran", T.HasLast);
+    json::Value Art = json::Value::object();
+    Art.set("scan", artifactPath(I, "scan").substr(Opts.StateDir.size() + 1));
+    Art.set("corpus",
+            artifactPath(I, "corpus").substr(Opts.StateDir.size() + 1));
+    Art.set("quarantine",
+            artifactPath(I, "quarantine").substr(Opts.StateDir.size() + 1));
+    TV.set("artifacts", std::move(Art));
+    Per.push(std::move(TV));
+  }
+  V.set("per_target", std::move(Per));
+  return V;
+}
+
+Error ScanService::checkpoint() {
+  if (Opts.StateDir.empty())
+    return Error::success();
+  if (mkdir(Opts.StateDir.c_str(), 0755) != 0 && errno != EEXIST)
+    return makeError("fleet checkpoint: cannot create %s: %s",
+                     Opts.StateDir.c_str(), strerror(errno));
+  // Per-target artifacts first, the index next, the manifest last: the
+  // manifest is the commit point, so a checkpoint cut anywhere leaves
+  // either the previous consistent state (old manifest) or the new one.
+  for (size_t I = 0; I < States.size(); ++I) {
+    const TargetState &T = *States[I];
+    if (!T.HasLast)
+      continue;
+    if (Error E = Writer.write(artifactPath(I, "scan"),
+                               T.Last.toJsonString()))
+      return E;
+    if (Error E = Writer.write(artifactPath(I, "corpus"),
+                               T.Snapshot->dump(true) + "\n"))
+      return E;
+    if (Error E = Writer.write(artifactPath(I, "quarantine"),
+                               T.QuarantineDoc->dump(true) + "\n"))
+      return E;
+  }
+  if (Error E = Writer.write(Opts.StateDir + "/index.json",
+                             index().toJsonString()))
+    return E;
+  return Writer.write(Opts.StateDir + "/manifest.json",
+                      manifestJson().dump(true) + "\n");
+}
+
+Error ScanService::applyManifest(const json::Value &Manifest,
+                                 const std::string &Dir) {
+  if (!Manifest.isObject())
+    return makeError("fleet manifest: document is not an object");
+  const json::Value *Schema = Manifest.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != ManifestSchemaName)
+    return makeError("fleet manifest: missing or unsupported schema "
+                     "(expected \"%s\")",
+                     ManifestSchemaName);
+  const json::Value *MOpts = Manifest.find("options");
+  if (!MOpts || !MOpts->isObject())
+    return makeError("fleet manifest: missing options object");
+  if (MOpts->dump() != optionsJson().dump())
+    return makeError(
+        "fleet manifest: options mismatch — the checkpoint was written "
+        "under %s but this service is configured with %s (the fleet "
+        "contract: identical FleetOptions or identical results cannot be "
+        "promised)",
+        MOpts->dump().c_str(), optionsJson().dump().c_str());
+  const json::Value *Ts = Manifest.find("targets");
+  if (!Ts || !Ts->isArray())
+    return makeError("fleet manifest: targets missing or not an array");
+  std::vector<FleetTarget> FromManifest;
+  for (const json::Value &T : Ts->items()) {
+    if (!T.isObject())
+      return makeError("fleet manifest: target entry is not an object");
+    FleetTarget FT;
+    const json::Value *Spec = T.find("spec");
+    const json::Value *Family = T.find("family");
+    const json::Value *Iters = T.find("iterations");
+    if (!Spec || !Spec->isString() || !Family || !Family->isString() ||
+        !Iters || !Iters->isUInt())
+      return makeError("fleet manifest: malformed target entry");
+    FT.Spec = Spec->asString();
+    FT.Family = Family->asString();
+    FT.Iterations = Iters->asUInt();
+    FromManifest.push_back(std::move(FT));
+  }
+  if (Registered.empty()) {
+    for (FleetTarget &T : FromManifest)
+      if (Error E = addTarget(std::move(T)))
+        return E;
+  } else {
+    if (Registered.size() != FromManifest.size())
+      return makeError("fleet manifest: target count mismatch (checkpoint "
+                       "has %zu, service has %zu)",
+                       FromManifest.size(), Registered.size());
+    for (size_t I = 0; I < Registered.size(); ++I)
+      if (Registered[I].Spec != FromManifest[I].Spec ||
+          Registered[I].Family != FromManifest[I].Family ||
+          Registered[I].Iterations != FromManifest[I].Iterations)
+        return makeError("fleet manifest: target %zu mismatch (checkpoint "
+                         "\"%s\", service \"%s\")",
+                         I, FromManifest[I].Spec.c_str(),
+                         Registered[I].Spec.c_str());
+  }
+  const json::Value *RoundV = Manifest.find("round");
+  if (!RoundV || !RoundV->isUInt())
+    return makeError("fleet manifest: round missing or not an integer");
+  const json::Value *Per = Manifest.find("per_target");
+  if (!Per || !Per->isArray() || Per->size() != States.size())
+    return makeError("fleet manifest: per_target missing or wrong length");
+  size_t I = 0;
+  for (const json::Value &TV : Per->items()) {
+    TargetState &T = *States[I];
+    ++I;
+    if (!TV.isObject())
+      return makeError("fleet manifest: per_target entry is not an object");
+    auto U64 = [&](const char *Key) -> Expected<uint64_t> {
+      const json::Value *M = TV.find(Key);
+      if (!M || !M->isUInt())
+        return makeError("fleet manifest: per_target.%s missing or not an "
+                         "integer",
+                         Key);
+      return M->asUInt();
+    };
+    auto Seed = U64("seed");
+    if (!Seed)
+      return Seed.takeError();
+    if (*Seed != T.Seed)
+      return makeError("fleet manifest: target \"%s\" records campaign "
+                       "seed %llu but this fleet derives %llu — the "
+                       "checkpoint belongs to a different fleet seed or "
+                       "target order",
+                       T.T.Spec.c_str(),
+                       static_cast<unsigned long long>(*Seed),
+                       static_cast<unsigned long long>(T.Seed));
+    auto Budget = U64("budget");
+    if (!Budget)
+      return Budget.takeError();
+    if (*Budget != T.Budget)
+      return makeError("fleet manifest: target \"%s\" budget mismatch",
+                       T.T.Spec.c_str());
+    auto Rounds = U64("rounds");
+    if (!Rounds)
+      return Rounds.takeError();
+    T.Rounds = *Rounds;
+    const json::Value *DoneV = TV.find("done");
+    if (!DoneV || !DoneV->isBool())
+      return makeError("fleet manifest: per_target.done missing");
+    T.Done = DoneV->asBool();
+    auto FedIn = U64("federated_in");
+    if (!FedIn)
+      return FedIn.takeError();
+    T.FederatedIn = *FedIn;
+    auto FedOut = U64("federated_out");
+    if (!FedOut)
+      return FedOut.takeError();
+    T.FederatedOut = *FedOut;
+    auto Cursor = U64("fed_cursor");
+    if (!Cursor)
+      return Cursor.takeError();
+    T.FedCursor = *Cursor;
+    const json::Value *Hashes = TV.find("imported_hashes");
+    if (!Hashes || !Hashes->isArray())
+      return makeError("fleet manifest: per_target.imported_hashes missing");
+    T.ImportedHashes.clear();
+    T.ImportedOrder.clear();
+    for (const json::Value &H : Hashes->items()) {
+      if (!H.isUInt())
+        return makeError("fleet manifest: imported_hashes entry is not an "
+                         "integer");
+      T.ImportedHashes.insert(H.asUInt());
+      T.ImportedOrder.push_back(H.asUInt());
+    }
+    const json::Value *Pending = TV.find("pending_imports");
+    if (!Pending || !Pending->isArray())
+      return makeError("fleet manifest: per_target.pending_imports missing");
+    T.PendingImports.clear();
+    for (const json::Value &P : Pending->items()) {
+      if (!P.isString())
+        return makeError("fleet manifest: pending_imports entry is not a "
+                         "hex string");
+      auto Bytes = hexDecode(P.asString());
+      if (!Bytes)
+        return Bytes.takeError();
+      T.PendingImports.push_back(std::move(*Bytes));
+    }
+    const json::Value *Ran = TV.find("ran");
+    if (!Ran || !Ran->isBool())
+      return makeError("fleet manifest: per_target.ran missing");
+    if (!Ran->asBool())
+      continue;
+    // Restore the three artifacts the manifest references.
+    auto ReadDoc = [&](const char *Kind) -> Expected<json::Value> {
+      auto Text = support::readFile(artifactPath(I - 1, Kind));
+      if (!Text)
+        return Text.takeError();
+      return json::parse(*Text);
+    };
+    auto ScanDoc = ReadDoc("scan");
+    if (!ScanDoc)
+      return ScanDoc.takeError();
+    auto Res = ScanResult::fromJson(*ScanDoc);
+    if (!Res)
+      return Res.takeError();
+    T.Last = std::move(*Res);
+    T.HasLast = true;
+    auto CorpusDoc = ReadDoc("corpus");
+    if (!CorpusDoc)
+      return CorpusDoc.takeError();
+    T.Snapshot = std::move(*CorpusDoc);
+    auto QuarDoc = ReadDoc("quarantine");
+    if (!QuarDoc)
+      return QuarDoc.takeError();
+    T.QuarantineDoc = std::move(*QuarDoc);
+    // Mirror the snapshot corpus so federation windows and dedup work
+    // before (or without) this target running again.
+    T.Corpus.clear();
+    const json::Value *Corpus = T.Snapshot->find("corpus");
+    if (!Corpus || !Corpus->isArray())
+      return makeError("fleet resume: %s has no corpus array",
+                       artifactPath(I - 1, "corpus").c_str());
+    for (const json::Value &E : Corpus->items()) {
+      if (!E.isString())
+        return makeError("fleet resume: corpus entry is not a hex string");
+      auto Bytes = hexDecode(E.asString());
+      if (!Bytes)
+        return Bytes.takeError();
+      T.Corpus.push_back(std::move(*Bytes));
+    }
+  }
+  Round = RoundV->asUInt();
+  (void)Dir;
+  return Error::success();
+}
+
+Error ScanService::loadState(const std::string &Dir) {
+  std::string SavedDir = Opts.StateDir;
+  Opts.StateDir = Dir; // artifactPath resolves against the checkpoint
+  auto Text = support::readFile(Dir + "/manifest.json");
+  if (!Text) {
+    Opts.StateDir = SavedDir;
+    return Text.takeError();
+  }
+  auto Doc = json::parse(*Text);
+  if (!Doc) {
+    Opts.StateDir = SavedDir;
+    return Doc.takeError();
+  }
+  Error E = applyManifest(*Doc, Dir);
+  if (E) {
+    Opts.StateDir = SavedDir;
+    return E;
+  }
+  // Future checkpoints continue into the restored directory.
+  return Error::success();
+}
+
+Expected<std::unique_ptr<ScanService>>
+ScanService::openStateDir(const std::string &Dir) {
+  auto Text = support::readFile(Dir + "/manifest.json");
+  if (!Text)
+    return Text.takeError();
+  auto Doc = json::parse(*Text);
+  if (!Doc)
+    return Doc.takeError();
+  const json::Value *MOpts = Doc->find("options");
+  if (!MOpts || !MOpts->isObject())
+    return makeError("fleet manifest: missing options object");
+  auto Str = [&](const char *Key) -> Expected<std::string> {
+    const json::Value *M = MOpts->find(Key);
+    if (!M || !M->isString())
+      return makeError("fleet manifest: options.%s missing or not a string",
+                       Key);
+    return M->asString();
+  };
+  auto U64 = [&](const char *Key) -> Expected<uint64_t> {
+    const json::Value *M = MOpts->find(Key);
+    if (!M || !M->isUInt())
+      return makeError("fleet manifest: options.%s missing or not an "
+                       "integer",
+                       Key);
+    return M->asUInt();
+  };
+  auto Preset = Str("preset");
+  if (!Preset)
+    return Preset.takeError();
+  auto Base = ScanConfig::preset(*Preset);
+  if (!Base)
+    return Base.takeError();
+  FleetOptions FO;
+  FO.Base = std::move(*Base);
+  auto Engine = Str("engine");
+  if (!Engine)
+    return Engine.takeError();
+  if (!vm::parseEngineName(*Engine, FO.Base.Engine))
+    return makeError("fleet manifest: unknown engine \"%s\"",
+                     Engine->c_str());
+  auto Seed = U64("seed");
+  if (!Seed)
+    return Seed.takeError();
+  FO.Base.Campaign.Seed = *Seed;
+  auto Workers = U64("workers");
+  if (!Workers)
+    return Workers.takeError();
+  FO.Base.Campaign.Workers = static_cast<unsigned>(*Workers);
+  auto Sync = U64("sync_interval");
+  if (!Sync)
+    return Sync.takeError();
+  FO.Base.Campaign.SyncInterval = *Sync;
+  auto MaxLen = U64("max_input_len");
+  if (!MaxLen)
+    return MaxLen.takeError();
+  FO.Base.Campaign.MaxInputLen = *MaxLen;
+  auto MaxStacked = U64("max_stacked_mutations");
+  if (!MaxStacked)
+    return MaxStacked.takeError();
+  FO.Base.Campaign.MaxStackedMutations =
+      static_cast<unsigned>(*MaxStacked);
+  auto Budget = U64("run_budget");
+  if (!Budget)
+    return Budget.takeError();
+  FO.Base.RunBudget = *Budget;
+  auto Plan = Str("fault_plan");
+  if (!Plan)
+    return Plan.takeError();
+  FO.Base.FaultPlan = *Plan;
+  const json::Value *Inject = MOpts->find("inject");
+  if (!Inject || !Inject->isBool())
+    return makeError("fleet manifest: options.inject missing");
+  FO.Base.InjectGadgets = Inject->asBool();
+  auto IPT = U64("iterations_per_target");
+  if (!IPT)
+    return IPT.takeError();
+  FO.IterationsPerTarget = *IPT;
+  auto Global = U64("global_iterations");
+  if (!Global)
+    return Global.takeError();
+  FO.GlobalIterations = *Global;
+  auto Slice = U64("slice_epochs");
+  if (!Slice)
+    return Slice.takeError();
+  FO.SliceEpochs = *Slice;
+  auto FedEvery = U64("federate_every");
+  if (!FedEvery)
+    return FedEvery.takeError();
+  FO.FederateEvery = static_cast<unsigned>(*FedEvery);
+  FO.StateDir = Dir;
+  auto Svc = std::make_unique<ScanService>(std::move(FO));
+  if (Error E = Svc->loadState(Dir))
+    return E;
+  return Svc;
+}
+
+//===----------------------------------------------------------------------===//
+// The round loop
+//===----------------------------------------------------------------------===//
+
+Error ScanService::run() {
+  if (Error E = Opts.validate())
+    return E;
+  if (Registered.empty())
+    return makeError("fleet: no targets registered");
+  StopFlag.store(false, std::memory_order_relaxed);
+  bool Checkpointed = false;
+  while (!finished() &&
+         (Opts.MaxRounds == 0 || Round < Opts.MaxRounds)) {
+    if (StopFlag.load(std::memory_order_relaxed))
+      break;
+    if (Error E = runRound())
+      return E;
+    if (Opts.FederateEvery && Round % Opts.FederateEvery == 0)
+      if (Error E = federate())
+        return E;
+    if (Error E = checkpoint())
+      return E;
+    Checkpointed = true;
+  }
+  // A fleet that was already finished (or stopped before its first
+  // round) still commits a checkpoint: resuming a finished fleet is an
+  // identity operation over its artifacts.
+  if (!Checkpointed)
+    if (Error E = checkpoint())
+      return E;
+  return Error::success();
+}

@@ -1,0 +1,221 @@
+//===- service/ScanService.h - Scan-fleet orchestration -----------*- C++ -*-===//
+///
+/// \file
+/// The fleet layer above api::Scanner: one ScanService owns many
+/// FleetTargets (registry workloads, "proggen:SEED[:SIZE]" generated
+/// programs — anything Scanner::loadWorkload accepts), schedules them
+/// in epoch-bounded slices across a bounded worker-thread pool, and
+/// periodically federates corpora between campaigns scanning the same
+/// target *family* through Scanner::importCorpus.
+///
+/// Scheduling model — deterministic round-robin:
+///
+///   round := one slice (FleetOptions::SliceEpochs campaign epochs) for
+///            every unfinished target, claimed work-stealing style by
+///            the pool
+///   barrier: federate (every FederateEvery rounds) -> checkpoint
+///
+/// Each slice is an isolated Scanner resume/run/save cycle touching
+/// only its own target's state, so the pool may execute a round's
+/// slices in any order on any number of threads and the fleet still
+/// produces byte-identical results: per-target campaigns are
+/// deterministic (the Campaign contract), and every cross-target
+/// operation — federation, budget accounting, checkpointing — happens
+/// sequentially on the scheduling thread at round barriers in target
+/// registration order. FleetOptions::Threads is a throughput knob with
+/// zero result effect, exactly like CampaignOptions::Workers inside one
+/// campaign (locked by tests/fleet_test.cpp and the run-twice CI gate).
+///
+/// Federation protocol (per family, at barriers): each receiver is
+/// offered every sibling's corpus growth since the previous exchange
+/// (the sender's FedCursor window), service-side filtered against the
+/// receiver's corpus hashes and everything it ever imported
+/// (fuzz::hashInput identity), then queued through importCorpus. The
+/// receiving campaign executes the batch under its own coverage maps —
+/// only coverage-novel entries are adopted (worker Imports counters),
+/// and byte-duplicates that slip through are skipped for free by the
+/// shard hash set. Gadget identity ((site, channel, controllability),
+/// the GadgetSink key) deduplicates the family rollups in the index.
+///
+/// Persistence: every barrier checkpoints the whole fleet into
+/// FleetOptions::StateDir — per-target teapot.scan.v1 /
+/// teapot.corpus.v1 / teapot.quarantine.v1 artifacts, the
+/// teapot.fleetindex.v1 index, and last (the commit point) a
+/// "teapot.fleet.v1" manifest tying them together. requestStop() (the
+/// fleet tool's SIGINT path) is honored at barriers only — a mid-slice
+/// cut would change the corpus visible to that barrier's federation and
+/// diverge from the uninterrupted run — so a stopped fleet resumes
+/// (loadState/openStateDir) byte-identically to one that never stopped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SERVICE_SCANSERVICE_H
+#define TEAPOT_SERVICE_SCANSERVICE_H
+
+#include "api/Scanner.h"
+#include "service/FleetIndex.h"
+#include "support/ArtifactWriter.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace teapot {
+namespace service {
+
+/// One member of the fleet.
+struct FleetTarget {
+  /// Anything Scanner::loadWorkload accepts: a registry workload name
+  /// or a "proggen:SEED[:SIZE]" generated-program spec.
+  std::string Spec;
+  /// Federation family: campaigns sharing a family exchange corpora at
+  /// round barriers. Empty = the spec itself (standalone — a family of
+  /// one never federates).
+  std::string Family;
+  /// Per-target execution budget override (0 = the fleet's
+  /// IterationsPerTarget).
+  uint64_t Iterations = 0;
+};
+
+/// Everything that shapes a fleet run. Every field except Threads is
+/// result-relevant and recorded in the teapot.fleet.v1 manifest.
+struct FleetOptions {
+  /// Per-target scan configuration template. Campaign.Seed is the
+  /// *fleet* seed: target i's campaign runs under
+  /// fuzz::Campaign::workerSeed(Seed, i), so sibling campaigns explore
+  /// decorrelated trajectories. Campaign.TotalIterations and
+  /// Campaign.MaxEpochs are managed by the scheduler (per-target
+  /// budgets / slice bounds) and ignored here.
+  ScanConfig Base;
+
+  /// Execution budget per target (overridable per FleetTarget).
+  uint64_t IterationsPerTarget = 20000;
+  /// Fleet-wide execution ceiling, checked at round barriers (0 = off).
+  /// The fleet finishes when every target is done *or* the global
+  /// budget is exhausted.
+  uint64_t GlobalIterations = 0;
+  /// Campaign epochs per slice. 0 = each target runs to completion in
+  /// its first slice (no interleaving, federation only at the end).
+  uint64_t SliceEpochs = 4;
+  /// Scheduler thread-pool size. Throughput only — never affects
+  /// results (see file comment). Not recorded in the manifest.
+  unsigned Threads = 1;
+  /// Federate at every barrier where Round % FederateEvery == 0
+  /// (0 = federation off).
+  unsigned FederateEvery = 1;
+  /// Total-round ceiling across run() calls (0 = until finished) — the
+  /// "run k rounds, checkpoint, resume later" workflow. Not recorded in
+  /// the manifest.
+  uint64_t MaxRounds = 0;
+  /// Checkpoint directory ("" = no persistence).
+  std::string StateDir;
+
+  Error validate() const;
+};
+
+/// The fleet orchestrator. Register targets, run(); the index() is the
+/// queryable aggregate. See the file comment for the scheduling,
+/// federation, and persistence contracts.
+class ScanService {
+public:
+  explicit ScanService(FleetOptions Opts);
+  ~ScanService();
+
+  ScanService(const ScanService &) = delete;
+  ScanService &operator=(const ScanService &) = delete;
+
+  /// Registers a fleet member. Registration order is the scheduling,
+  /// federation, and index order. Duplicate specs are diagnosed errors
+  /// (the spec is the target's identity everywhere downstream).
+  Error addTarget(FleetTarget T);
+  const std::vector<FleetTarget> &targets() const { return Registered; }
+
+  FleetOptions &options() { return Opts; }
+  const FleetOptions &options() const { return Opts; }
+
+  /// Runs rounds until the fleet is finished, MaxRounds is reached, or
+  /// requestStop() was seen at a barrier. Materializes scanners lazily
+  /// (loadWorkload + rewrite on first slice need), checkpoints at every
+  /// barrier when StateDir is set, and writes a final checkpoint before
+  /// returning — including on the all-finished fast path, so resuming a
+  /// finished fleet is an identity operation over its artifacts.
+  Error run();
+
+  /// Restores a checkpoint written by a fleet with the same
+  /// FleetOptions (result-relevant fields are compared against the
+  /// manifest and mismatches diagnosed) into this service. With no
+  /// targets registered yet, the manifest's target list is adopted;
+  /// otherwise it must match. The next run() continues at the recorded
+  /// round.
+  Error loadState(const std::string &Dir);
+
+  /// One-call resume: reads Dir's manifest, reconstructs the
+  /// FleetOptions it records (preset + recorded overrides; Threads and
+  /// MaxRounds are session knobs and reset to defaults), registers its
+  /// targets, and loads the checkpoint.
+  static Expected<std::unique_ptr<ScanService>>
+  openStateDir(const std::string &Dir);
+
+  /// All per-target budgets exhausted, or the global budget is.
+  bool finished() const;
+  /// Completed round barriers (across run() calls and resume).
+  uint64_t round() const { return Round; }
+  /// Fleet-wide executions so far.
+  uint64_t totalExecutions() const;
+
+  /// Asks run() to stop at the next round barrier (after that round's
+  /// federation + checkpoint). Safe from signal handlers' helper
+  /// threads — it only sets an atomic flag.
+  void requestStop() { StopFlag.store(true, std::memory_order_relaxed); }
+
+  /// The current fleet index, aggregated from every target that has run
+  /// (or was restored) so far.
+  FleetIndex index() const;
+
+  /// The writer all checkpoint artifacts flow through — hook OnWrite
+  /// for progress lines, setFaults for robustness drills.
+  support::ArtifactWriter &artifacts() { return Writer; }
+
+  /// The service-side federation filter, exposed for tests: returns the
+  /// subset of \p Window whose fuzz::hashInput is in neither \p Known
+  /// (the receiver's current corpus) nor \p Imported (everything it
+  /// ever accepted), recording accepted hashes into \p Imported and
+  /// \p ImportedOrder.
+  static std::vector<std::vector<uint8_t>>
+  filterNovel(const std::vector<std::vector<uint8_t>> &Window,
+              const std::unordered_set<uint64_t> &Known,
+              std::unordered_set<uint64_t> &Imported,
+              std::vector<uint64_t> &ImportedOrder);
+
+  static constexpr const char *ManifestSchemaName = "teapot.fleet.v1";
+
+private:
+  struct TargetState;
+
+  Error materialize(TargetState &T, size_t Index);
+  Error runSlice(TargetState &T);
+  Error runRound();
+  Error federate();
+  Error checkpoint();
+  Error queueImports(TargetState &T,
+                     const std::vector<std::vector<uint8_t>> &Batch);
+  json::Value optionsJson() const;
+  json::Value manifestJson() const;
+  Error applyManifest(const json::Value &Manifest, const std::string &Dir);
+  static std::string fileStem(const std::string &Spec);
+  std::string artifactPath(size_t Index, const char *Kind) const;
+
+  FleetOptions Opts;
+  std::vector<FleetTarget> Registered;
+  std::vector<std::unique_ptr<TargetState>> States;
+  uint64_t Round = 0;
+  std::atomic<bool> StopFlag{false};
+  support::ArtifactWriter Writer;
+};
+
+} // namespace service
+} // namespace teapot
+
+#endif // TEAPOT_SERVICE_SCANSERVICE_H

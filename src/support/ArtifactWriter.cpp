@@ -1,0 +1,34 @@
+//===- support/ArtifactWriter.cpp -----------------------------------------===//
+
+#include "support/ArtifactWriter.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+using namespace teapot;
+using namespace teapot::support;
+
+Error ArtifactWriter::probe(const std::string &Path) const {
+  if (Path.empty())
+    return Error::success();
+  // Append mode: creates a missing file but never truncates an existing
+  // artifact the campaign might still fail to replace.
+  FILE *F = fopen(Path.c_str(), "ab");
+  if (!F)
+    return makeError("cannot open %s for writing: %s", Path.c_str(),
+                     strerror(errno));
+  fclose(F);
+  return Error::success();
+}
+
+Error ArtifactWriter::write(const std::string &Path,
+                            std::string_view Contents) {
+  auto R = writeFileAtomic(Path, Contents, Opts);
+  if (!R)
+    return R.takeError();
+  Retries += *R;
+  if (OnWrite)
+    OnWrite(Path, Contents.size());
+  return Error::success();
+}

@@ -1,0 +1,68 @@
+//===- support/ArtifactWriter.h - Tool artifact emission ----------*- C++ -*-===//
+///
+/// \file
+/// The artifact-emission dance every tool used to hand-roll: a startup
+/// probe that fails fast on unwritable destinations (before a campaign
+/// burns its budget), atomic writes with fault-injection wiring and
+/// retry accounting (ScanResult::IoRetries), and a per-write hook for
+/// the tools' "[*] wrote ..." progress lines. One ArtifactWriter per
+/// tool; scan_cots_binary, teapot_diff, teapot_diffscan, and
+/// teapot_fleet all route their artifacts through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEAPOT_SUPPORT_ARTIFACTWRITER_H
+#define TEAPOT_SUPPORT_ARTIFACTWRITER_H
+
+#include "support/Error.h"
+#include "support/File.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace teapot {
+namespace support {
+
+class FaultInjector;
+
+class ArtifactWriter {
+public:
+  ArtifactWriter() = default;
+
+  /// Arms the file.write / file.flush fault sites of every subsequent
+  /// write() (one injector per tool — the ownership discipline of
+  /// support/FaultInjector.h). Null disarms.
+  void setFaults(FaultInjector *F) { Opts.Faults = F; }
+  /// Total attempts per write on transient failures (>= 1).
+  void setMaxAttempts(unsigned N) { Opts.MaxAttempts = N; }
+
+  /// Fail-fast destination check for a path the tool will write at
+  /// exit: opens in append mode (never clobbers an existing artifact)
+  /// and reports open failures — a missing directory dies at startup,
+  /// not after the campaign. Empty path is a no-op success, matching
+  /// the tools' optional artifact flags.
+  Error probe(const std::string &Path) const;
+
+  /// Atomic write (writeFileAtomic semantics: tmp + rename, degrading
+  /// to in-place on non-regular destinations) with retry accounting and
+  /// the OnWrite hook on success.
+  Error write(const std::string &Path, std::string_view Contents);
+
+  /// Atomic-write retries consumed across all write() calls — what the
+  /// tools record as ScanResult::IoRetries.
+  uint64_t ioRetries() const { return Retries; }
+
+  /// Invoked after every successful write() (tools print their
+  /// "[*] wrote PATH (N bytes)" line here).
+  std::function<void(const std::string &Path, size_t Bytes)> OnWrite;
+
+private:
+  AtomicWriteOptions Opts;
+  uint64_t Retries = 0;
+};
+
+} // namespace support
+} // namespace teapot
+
+#endif // TEAPOT_SUPPORT_ARTIFACTWRITER_H

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 using namespace teapot;
 
@@ -234,6 +235,20 @@ TEST(Api, ScanResultJsonRoundTripsFromRealRun) {
   EXPECT_TRUE(R == Back);
   // Serialization is canonical: dump(parse(dump(x))) == dump(x).
   EXPECT_EQ(Back.toJsonString(), Doc);
+
+  // Real runs record their host provenance.
+  EXPECT_NE(Doc.find("\"host\""), std::string::npos);
+  EXPECT_EQ(R.HostConcurrency, std::thread::hardware_concurrency());
+
+  // Pre-host documents (no "host" object) still parse: the section is
+  // schema-optional on read.
+  size_t P = Doc.find("\"host\"");
+  size_t End = Doc.find('}', P);
+  ASSERT_NE(End, std::string::npos);
+  std::string Old = Doc.substr(0, P) + Doc.substr(Doc.find('"', End + 1));
+  ScanResult NoHost = cantFail(ScanResult::fromJsonString(Old));
+  EXPECT_EQ(NoHost.HostConcurrency, 0u);
+  EXPECT_FALSE(NoHost.HostJitBackend);
 }
 
 TEST(Api, ScanResultJsonRoundTripsEdgeValues) {
@@ -265,6 +280,8 @@ TEST(Api, ScanResultJsonRoundTripsEdgeValues) {
   R.NestedSimulations = 10;
   R.Rollbacks[static_cast<size_t>(isa::RollbackReason::Serializing)] = 5;
   R.Rollbacks[static_cast<size_t>(isa::RollbackReason::GuestFault)] = 1;
+  R.HostConcurrency = 4096;
+  R.HostJitBackend = true;
   R.InjectedSites = {0x10000000, 0x10000001};
   R.InjectInputAddr = 0x7fff0000;
   R.Gadgets.push_back({0x10000000, runtime::Channel::Cache,
@@ -275,6 +292,8 @@ TEST(Api, ScanResultJsonRoundTripsEdgeValues) {
   ScanResult Back = cantFail(ScanResult::fromJsonString(R.toJsonString()));
   EXPECT_TRUE(R == Back);
   EXPECT_EQ(Back.Seed, ~0ULL);
+  EXPECT_EQ(Back.HostConcurrency, 4096u);
+  EXPECT_TRUE(Back.HostJitBackend);
   EXPECT_EQ(Back.Gadgets[1].Site, 0xffffffffffffffffULL);
   EXPECT_EQ(Back.Passes[0].Counters.at("trampolines"), 42u);
   EXPECT_EQ(Back.toJsonString(), R.toJsonString());

@@ -1,0 +1,578 @@
+//===- tests/fleet_test.cpp - Scan-fleet orchestration tests ----------------===//
+//
+// The fleet contracts under test (docs/FLEET.md):
+//
+//   1. Thread invariance: FleetOptions::Threads is a throughput knob
+//      with zero result effect — the same fleet run at 1 and 3 threads
+//      produces byte-identical index documents and checkpoint
+//      directories.
+//   2. Run-twice determinism: two fleets constructed from identical
+//      FleetOptions are byte-identical end to end.
+//   3. Resume determinism: a fleet stopped at *any* round barrier and
+//      resumed via openStateDir finishes byte-identical to the
+//      uninterrupted run; resuming a finished fleet is an identity
+//      operation over its artifacts.
+//   4. Federation is live, not decorative: with single-worker campaigns
+//      (where cross-worker imports are impossible) a federated fleet
+//      adopts coverage-novel sibling inputs (Imports > 0) and its
+//      corpora diverge from a FederateEvery=0 control; the
+//      service-side filter never re-offers an already-imported hash.
+//   5. The index and fleet-diff layers round-trip, query, and gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/CorpusShard.h"
+#include "service/ScanService.h"
+#include "support/File.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <dirent.h>
+#include <sys/stat.h>
+
+using namespace teapot;
+using namespace teapot::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Small two-family fleet configuration every scheduling test shares:
+/// single-worker campaigns (so Imports can only come from federation),
+/// tight sync interval (several epochs per budget → several rounds).
+FleetOptions smallFleet(uint64_t Seed = 5) {
+  FleetOptions FO;
+  FO.Base = cantFail(ScanConfig::preset("teapot"));
+  FO.Base.Campaign.Seed = Seed;
+  FO.Base.Campaign.Workers = 1;
+  FO.Base.Campaign.SyncInterval = 20;
+  FO.Base.Campaign.MaxInputLen = 96;
+  FO.IterationsPerTarget = 160;
+  FO.SliceEpochs = 2;
+  FO.FederateEvery = 1;
+  FO.Threads = 1;
+  return FO;
+}
+
+void addParserPair(ScanService &Svc) {
+  cantFail(Svc.addTarget({"jsmn", "parsers", 0}));
+  cantFail(Svc.addTarget({"base64", "parsers", 0}));
+}
+
+std::string freshDir(const char *Name) {
+  std::string Dir = ::testing::TempDir();
+  if (!Dir.empty() && Dir.back() != '/')
+    Dir += '/';
+  Dir += Name;
+  // Tests re-run in the same TempDir; start from a clean slate.
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      std::string N = E->d_name;
+      if (N != "." && N != "..")
+        std::remove((Dir + "/" + N).c_str());
+    }
+    closedir(D);
+    rmdir(Dir.c_str());
+  }
+  return Dir;
+}
+
+/// Every file in \p Dir as "name\n<bytes>" blocks in sorted-name order —
+/// the byte-level identity used by the resume and thread-invariance
+/// checks (mirrors the CI job's `diff -r`).
+std::string dirFingerprint(const std::string &Dir) {
+  std::vector<std::string> Names;
+  DIR *D = opendir(Dir.c_str());
+  if (!D) {
+    ADD_FAILURE() << "cannot open " << Dir;
+    return "";
+  }
+  while (dirent *E = readdir(D)) {
+    std::string N = E->d_name;
+    if (N != "." && N != "..")
+      Names.push_back(N);
+  }
+  closedir(D);
+  std::sort(Names.begin(), Names.end());
+  std::string Out;
+  for (const std::string &N : Names) {
+    Out += N;
+    Out += '\n';
+    Out += cantFail(support::readFile(Dir + "/" + N));
+  }
+  return Out;
+}
+
+/// Runs a fresh fleet with \p FO over the parser pair and returns its
+/// index document.
+std::string runParserFleet(FleetOptions FO) {
+  ScanService Svc(std::move(FO));
+  addParserPair(Svc);
+  cantFail(Svc.run());
+  return Svc.index().toJsonString();
+}
+
+runtime::GadgetReport gadget(uint64_t Site, runtime::Channel Ch,
+                             runtime::Controllability Ctl) {
+  return {Site, Ch, Ctl, 1, 2};
+}
+
+/// Synthetic two-target index for the query/diff tests (no scanning).
+FleetIndex syntheticIndex() {
+  FleetIndex Idx;
+  FleetRecord A;
+  A.Spec = "jsmn";
+  A.Family = "parsers";
+  A.Workload = "jsmn";
+  A.Preset = "teapot";
+  A.Engine = "interp";
+  A.Seed = 5;
+  A.Workers = 1;
+  A.Iterations = 160;
+  A.Rounds = 4;
+  A.Done = true;
+  A.Executions = 160;
+  A.CorpusSize = 40;
+  A.Gadgets.push_back(gadget(0x1000, runtime::Channel::Cache,
+                             runtime::Controllability::User));
+  A.Gadgets.push_back(gadget(0x2000, runtime::Channel::Port,
+                             runtime::Controllability::Unknown));
+  FleetRecord B = A;
+  B.Spec = "base64";
+  B.Workload = "base64";
+  B.Seed = fuzz::Campaign::workerSeed(5, 1);
+  B.Gadgets.clear();
+  B.Gadgets.push_back(gadget(0x1000, runtime::Channel::Cache,
+                             runtime::Controllability::User));
+  Idx.Records = {A, B};
+  return Idx;
+}
+
+//===----------------------------------------------------------------------===//
+// Options and registration
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, OptionsValidate) {
+  FleetOptions FO = smallFleet();
+  FO.Threads = 0;
+  Error T = FO.validate();
+  ASSERT_TRUE(static_cast<bool>(T));
+  EXPECT_NE(T.message().find("Threads"), std::string::npos);
+
+  FO = smallFleet();
+  FO.IterationsPerTarget = 0;
+  Error E = FO.validate();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("IterationsPerTarget"), std::string::npos);
+}
+
+TEST(Fleet, DuplicateSpecsAreRejected) {
+  ScanService Svc(smallFleet());
+  ASSERT_FALSE(Svc.addTarget({"jsmn", "", 0}));
+  Error E = Svc.addTarget({"jsmn", "other-family", 0});
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("duplicate"), std::string::npos);
+}
+
+TEST(Fleet, PerTargetSeedsAreDecorrelated) {
+  // Target i runs under workerSeed(fleet seed, i) — sibling campaigns
+  // must not retrace each other's trajectories.
+  EXPECT_EQ(fuzz::Campaign::workerSeed(5, 0), 5u);
+  EXPECT_NE(fuzz::Campaign::workerSeed(5, 1), 5u);
+  EXPECT_NE(fuzz::Campaign::workerSeed(5, 1), fuzz::Campaign::workerSeed(5, 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: threads, run-twice
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, ThreadCountNeverAffectsResults) {
+  FleetOptions F1 = smallFleet();
+  F1.Threads = 1;
+  FleetOptions F3 = smallFleet();
+  F3.Threads = 3;
+
+  std::string I1 = runParserFleet(F1);
+  std::string I3 = runParserFleet(F3);
+  EXPECT_EQ(I1, I3) << "Threads leaked into fleet results";
+
+  // Run-twice: identical options → identical documents.
+  EXPECT_EQ(runParserFleet(F1), I1);
+}
+
+TEST(Fleet, IndexCarriesScanAndFederationProvenance) {
+  ScanService Svc(smallFleet());
+  addParserPair(Svc);
+  cantFail(Svc.addTarget({"proggen:11:4", "", 0}));
+  cantFail(Svc.run());
+  EXPECT_TRUE(Svc.finished());
+
+  FleetIndex Idx = Svc.index();
+  ASSERT_EQ(Idx.Records.size(), 3u);
+  const FleetRecord *J = Idx.findTarget("jsmn");
+  ASSERT_NE(J, nullptr);
+  EXPECT_EQ(J->Family, "parsers");
+  EXPECT_EQ(J->Seed, 5u);
+  EXPECT_GE(J->Executions, 160u);
+  EXPECT_TRUE(J->Done);
+  EXPECT_GT(J->Rounds, 1u) << "slices did not interleave";
+  EXPECT_GT(J->HostConcurrency, 0u) << "host provenance missing";
+
+  // A family of one never federates.
+  const FleetRecord *P = Idx.findTarget("proggen:11:4");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->Family, "proggen:11:4");
+  EXPECT_EQ(P->FederatedIn, 0u);
+  EXPECT_EQ(P->FederatedOut, 0u);
+  EXPECT_EQ(P->Imports, 0u) << "single-worker campaign cannot import";
+}
+
+//===----------------------------------------------------------------------===//
+// Federation
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, FederationIsLiveNotDecorative) {
+  // Single-worker campaigns: the *only* way Imports can become nonzero
+  // is a federated batch whose entries prove coverage-novel in the
+  // receiving campaign.
+  FleetOptions Fed = smallFleet();
+  FleetOptions Ctl = smallFleet();
+  Ctl.FederateEvery = 0;
+
+  ScanService FedSvc(Fed), CtlSvc(Ctl);
+  addParserPair(FedSvc);
+  addParserPair(CtlSvc);
+  cantFail(FedSvc.run());
+  cantFail(CtlSvc.run());
+
+  FleetIndex FedIdx = FedSvc.index(), CtlIdx = CtlSvc.index();
+  uint64_t FedIn = 0, FedImports = 0;
+  for (const FleetRecord &R : FedIdx.Records) {
+    FedIn += R.FederatedIn;
+    FedImports += R.Imports;
+  }
+  EXPECT_GT(FedIn, 0u) << "no corpus entries crossed campaigns";
+  EXPECT_GT(FedImports, 0u)
+      << "federated entries were never adopted as coverage-novel";
+
+  for (const FleetRecord &R : CtlIdx.Records) {
+    EXPECT_EQ(R.FederatedIn, 0u) << R.Spec;
+    EXPECT_EQ(R.FederatedOut, 0u) << R.Spec;
+    EXPECT_EQ(R.Imports, 0u)
+        << R.Spec << ": imports without federation in a 1-worker campaign";
+  }
+
+  // Adoption changed the receiving campaigns' corpora/coverage.
+  for (const FleetRecord &F : FedIdx.Records) {
+    const FleetRecord *C = CtlIdx.findTarget(F.Spec);
+    ASSERT_NE(C, nullptr);
+    EXPECT_FALSE(F.CorpusSize == C->CorpusSize &&
+                 F.NormalEdges == C->NormalEdges &&
+                 F.SpecEdges == C->SpecEdges)
+        << F.Spec << ": federation left corpus and coverage untouched";
+  }
+}
+
+TEST(Fleet, FilterNovelDedupesAgainstCorpusAndHistory) {
+  std::vector<uint8_t> A = {1, 2, 3}, B = {4, 5}, C = {6};
+  std::unordered_set<uint64_t> Known = {fuzz::hashInput(A)};
+  std::unordered_set<uint64_t> Imported;
+  std::vector<uint64_t> Order;
+
+  // A is already in the receiver's corpus; B and C are novel.
+  auto First = ScanService::filterNovel({A, B, C}, Known, Imported, Order);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_EQ(First[0], B);
+  EXPECT_EQ(First[1], C);
+  EXPECT_EQ(Order.size(), 2u);
+
+  // A second offer of the same window is fully deduplicated by the
+  // import history — nothing is ever re-imported.
+  auto Second = ScanService::filterNovel({A, B, C}, Known, Imported, Order);
+  EXPECT_TRUE(Second.empty());
+  EXPECT_EQ(Order.size(), 2u);
+
+  // Duplicates *inside* one window collapse too.
+  std::vector<uint8_t> D = {7, 8};
+  auto Third = ScanService::filterNovel({D, D}, Known, Imported, Order);
+  EXPECT_EQ(Third.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence: checkpoint, resume, identity
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, ResumeAtEveryRoundBoundaryMatchesUninterrupted) {
+  // The fleet analogue of persist_test's every-cutoff sweep: stop after
+  // k rounds, reopen the state directory cold, run to completion, and
+  // demand byte-identity with the uninterrupted run — for every k.
+  std::string Full = freshDir("fleet_full");
+  FleetOptions FO = smallFleet();
+  FO.StateDir = Full;
+  ScanService Ref(FO);
+  addParserPair(Ref);
+  cantFail(Ref.run());
+  ASSERT_TRUE(Ref.finished());
+  uint64_t Rounds = Ref.round();
+  ASSERT_GT(Rounds, 2u) << "budget too small to exercise resume";
+  std::string Want = dirFingerprint(Full);
+
+  for (uint64_t K = 1; K < Rounds; ++K) {
+    std::string Dir = freshDir("fleet_cut");
+    FleetOptions Cut = smallFleet();
+    Cut.StateDir = Dir;
+    Cut.MaxRounds = K;
+    {
+      ScanService Svc(Cut);
+      addParserPair(Svc);
+      cantFail(Svc.run());
+      ASSERT_FALSE(Svc.finished()) << "cutoff " << K << " did not cut";
+    }
+    // Cold resume: everything reconstructed from the manifest.
+    auto Resumed = ScanService::openStateDir(Dir);
+    ASSERT_TRUE(static_cast<bool>(Resumed)) << Resumed.message();
+    cantFail((*Resumed)->run());
+    EXPECT_TRUE((*Resumed)->finished());
+    EXPECT_EQ(dirFingerprint(Dir), Want) << "diverged at cutoff " << K;
+  }
+}
+
+TEST(Fleet, ResumingAFinishedFleetIsAnIdentity) {
+  std::string Dir = freshDir("fleet_identity");
+  FleetOptions FO = smallFleet();
+  FO.StateDir = Dir;
+  {
+    ScanService Svc(FO);
+    addParserPair(Svc);
+    cantFail(Svc.run());
+  }
+  std::string Want = dirFingerprint(Dir);
+  auto Resumed = ScanService::openStateDir(Dir);
+  ASSERT_TRUE(static_cast<bool>(Resumed)) << Resumed.message();
+  cantFail((*Resumed)->run());
+  EXPECT_EQ(dirFingerprint(Dir), Want);
+}
+
+TEST(Fleet, RequestStopHonoredAtBarrierAndResumable) {
+  // requestStop() before run(): the fleet stops after the first barrier
+  // (one full round, federation + checkpoint included), and resuming
+  // lands byte-identical with the uninterrupted run.
+  std::string Full = freshDir("fleet_stop_full");
+  FleetOptions FO = smallFleet();
+  FO.StateDir = Full;
+  {
+    ScanService Svc(FO);
+    addParserPair(Svc);
+    cantFail(Svc.run());
+  }
+  std::string Want = dirFingerprint(Full);
+
+  std::string Dir = freshDir("fleet_stop");
+  FleetOptions Stop = smallFleet();
+  Stop.StateDir = Dir;
+  uint64_t StoppedAt;
+  {
+    ScanService Svc(Stop);
+    addParserPair(Svc);
+    Svc.artifacts().OnWrite = [&Svc](const std::string &Path, size_t) {
+      // Fires during the first checkpoint — like SIGINT mid-run.
+      if (Path.find("manifest") != std::string::npos)
+        Svc.requestStop();
+    };
+    cantFail(Svc.run());
+    EXPECT_FALSE(Svc.finished());
+    StoppedAt = Svc.round();
+  }
+  EXPECT_GE(StoppedAt, 1u);
+
+  auto Resumed = ScanService::openStateDir(Dir);
+  ASSERT_TRUE(static_cast<bool>(Resumed)) << Resumed.message();
+  EXPECT_EQ((*Resumed)->round(), StoppedAt);
+  cantFail((*Resumed)->run());
+  EXPECT_EQ(dirFingerprint(Dir), Want);
+}
+
+TEST(Fleet, LoadStateRejectsMismatchedOptionsAndTargets) {
+  std::string Dir = freshDir("fleet_reject");
+  FleetOptions FO = smallFleet();
+  FO.StateDir = Dir;
+  {
+    ScanService Svc(FO);
+    addParserPair(Svc);
+    cantFail(Svc.run());
+  }
+
+  // Different result-relevant options (fleet seed) → diagnosed.
+  {
+    ScanService Svc(smallFleet(/*Seed=*/6));
+    Error E = Svc.loadState(Dir);
+    ASSERT_TRUE(static_cast<bool>(E));
+    EXPECT_NE(E.message().find("options mismatch"), std::string::npos)
+        << E.message();
+  }
+
+  // Different target list → diagnosed.
+  {
+    ScanService Svc(smallFleet());
+    cantFail(Svc.addTarget({"url", "parsers", 0}));
+    Error E = Svc.loadState(Dir);
+    ASSERT_TRUE(static_cast<bool>(E));
+    EXPECT_NE(E.message().find("target"), std::string::npos) << E.message();
+  }
+
+  // Threads is a session knob, not identity: a different thread count
+  // loads fine.
+  {
+    FleetOptions F3 = smallFleet();
+    F3.Threads = 3;
+    ScanService Svc(F3);
+    addParserPair(Svc);
+    ASSERT_FALSE(Svc.loadState(Dir));
+    EXPECT_TRUE(Svc.finished());
+  }
+
+  auto Missing = ScanService::openStateDir(freshDir("fleet_nowhere"));
+  EXPECT_FALSE(static_cast<bool>(Missing));
+}
+
+//===----------------------------------------------------------------------===//
+// Index: round-trip and queries
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, IndexRoundTripsByteIdentically) {
+  FleetIndex Idx = syntheticIndex();
+  std::string Doc = Idx.toJsonString();
+  FleetIndex Back = cantFail(FleetIndex::fromJsonString(Doc));
+  EXPECT_TRUE(Idx == Back);
+  // Canonical: dump ∘ parse ∘ dump is stable even though the families
+  // rollup is recomputed on every dump.
+  EXPECT_EQ(Back.toJsonString(), Doc);
+  EXPECT_NE(Doc.find("\"families\""), std::string::npos);
+}
+
+TEST(Fleet, IndexFromJsonDiagnosesBadDocuments) {
+  auto E1 = FleetIndex::fromJsonString("not json");
+  EXPECT_FALSE(static_cast<bool>(E1));
+
+  auto E2 = FleetIndex::fromJsonString("{\"schema\": \"bogus.v9\"}");
+  ASSERT_FALSE(static_cast<bool>(E2));
+  EXPECT_NE(E2.message().find("schema"), std::string::npos);
+
+  // A record missing a required field names the field.
+  auto E3 = FleetIndex::fromJsonString(
+      "{\"schema\": \"teapot.fleetindex.v1\", \"targets\": [{\"spec\": "
+      "\"x\"}]}");
+  EXPECT_FALSE(static_cast<bool>(E3));
+}
+
+TEST(Fleet, TopGadgetsRanksByTargetCount) {
+  FleetIndex Idx = syntheticIndex();
+  auto Top = Idx.topGadgets();
+  ASSERT_EQ(Top.size(), 2u);
+  // 0x1000/Cache/User is reported by both targets → first.
+  EXPECT_EQ(Top[0].Gadget.Site, 0x1000u);
+  ASSERT_EQ(Top[0].Targets.size(), 2u);
+  EXPECT_EQ(Top[0].Targets[0], "jsmn");
+  EXPECT_EQ(Top[0].Targets[1], "base64");
+  EXPECT_EQ(Top[1].Gadget.Site, 0x2000u);
+  EXPECT_EQ(Idx.topGadgets(1).size(), 1u);
+}
+
+TEST(Fleet, RecordRoundTripsThroughScanSynthesis) {
+  // toScan() must carry everything diffScans consumes so fleet diffing
+  // rides the scan-diff machinery.
+  FleetRecord R = syntheticIndex().Records[0];
+  R.InjectedSites = {0x1000};
+  ScanResult S = R.toScan();
+  EXPECT_EQ(S.Workload, R.Workload);
+  EXPECT_EQ(S.Seed, R.Seed);
+  EXPECT_EQ(S.Executions, R.Executions);
+  EXPECT_EQ(S.Gadgets.size(), R.Gadgets.size());
+  EXPECT_EQ(S.InjectedSites, R.InjectedSites);
+  EXPECT_EQ(S.WallSeconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet diff
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, DiffIsCleanOnIdenticalFleets) {
+  FleetIndex Idx = syntheticIndex();
+  FleetDiff D = diffFleets(Idx, Idx);
+  EXPECT_FALSE(D.hasRegressions());
+  EXPECT_EQ(D.Targets.size(), 2u);
+  EXPECT_TRUE(D.AddedTargets.empty());
+  EXPECT_TRUE(D.RemovedTargets.empty());
+  EXPECT_NE(D.describe().find("no regressions"), std::string::npos);
+}
+
+TEST(Fleet, DiffFlagsLostGadgetsAsRegressions) {
+  FleetIndex Before = syntheticIndex();
+  FleetIndex After = Before;
+  After.Records[0].Gadgets.pop_back(); // lose 0x2000 on jsmn
+  FleetDiff D = diffFleets(Before, After);
+  EXPECT_TRUE(D.hasRegressions());
+  std::string Text = D.describe();
+  EXPECT_NE(Text.find("REGRESSIONS"), std::string::npos);
+
+  json::Value V = D.toJson();
+  EXPECT_EQ(V.find("schema")->asString(), "teapot.fleetdiff.v1");
+}
+
+TEST(Fleet, DiffTreatsRemovedGadgetTargetAsRegression) {
+  FleetIndex Before = syntheticIndex();
+  FleetIndex After = Before;
+  After.Records.erase(After.Records.begin()); // drop jsmn (had gadgets)
+  FleetDiff D = diffFleets(Before, After);
+  ASSERT_EQ(D.RemovedTargets.size(), 1u);
+  EXPECT_EQ(D.RemovedTargets[0], "jsmn");
+  EXPECT_EQ(D.RemovedWithGadgets, D.RemovedTargets);
+  EXPECT_TRUE(D.hasRegressions());
+
+  // A gadget-free target disappearing is reported but not a regression.
+  FleetIndex After2 = Before;
+  After2.Records[1].Gadgets.clear();
+  FleetDiff D2 = diffFleets(After2, Before);
+  EXPECT_FALSE(D2.hasRegressions());
+  After2.Records.pop_back();
+  FleetDiff D3 = diffFleets(Before, After2);
+  // base64 still had a gadget in Before → regression.
+  EXPECT_TRUE(D3.hasRegressions());
+}
+
+TEST(Fleet, DiffMatchesTargetsBySpecAndSeed) {
+  // A reseeded target is remove+add, never a comparable pair.
+  FleetIndex Before = syntheticIndex();
+  FleetIndex After = Before;
+  After.Records[1].Seed += 1;
+  FleetDiff D = diffFleets(Before, After);
+  EXPECT_EQ(D.Targets.size(), 1u);
+  ASSERT_EQ(D.RemovedTargets.size(), 1u);
+  EXPECT_EQ(D.RemovedTargets[0], "base64");
+  ASSERT_EQ(D.AddedTargets.size(), 1u);
+  EXPECT_EQ(D.AddedTargets[0], "base64");
+}
+
+TEST(Fleet, DiffInjectedOnlyNeverGoesVacuous) {
+  // InjectedOnly applies per target only where the baseline has
+  // injection ground truth; targets without it keep full accounting.
+  FleetIndex Before = syntheticIndex();
+  Before.Records[0].InjectedSites = {0x1000};
+  FleetIndex After = Before;
+  // jsmn loses 0x2000 (not an injected site) → filtered by the gate.
+  After.Records[0].Gadgets.pop_back();
+  // base64 (no injected sites) loses its only gadget → still counts.
+  After.Records[1].Gadgets.clear();
+  FleetDiff D = diffFleets(Before, After, {/*InjectedOnly=*/true});
+  EXPECT_TRUE(D.InjectedOnly);
+  ASSERT_EQ(D.Targets.size(), 2u);
+  EXPECT_FALSE(D.Targets[0].Diff.hasRegressions())
+      << "non-injected loss leaked through the injected-only gate";
+  EXPECT_TRUE(D.Targets[1].Diff.hasRegressions())
+      << "the gate went vacuous on a target without ground truth";
+}
+
+} // namespace

@@ -569,3 +569,69 @@ TEST(Persist, ScannerImportCorpusSeedsAFreshCampaign) {
   // Every imported entry re-executes as a seed.
   EXPECT_GE(Res->CorpusSize, BaseSeeds + PriorCorpus);
 }
+
+TEST(Persist, ImportCorpusRejectsMismatchedOptions) {
+  // The import compatibility gate: a corpus recorded under different
+  // input-geometry knobs (MaxInputLen / MaxStackedMutations) must be a
+  // diagnosed error, not silently truncated or mis-mutated seeds.
+  ScanConfig Cfg = cantFail(ScanConfig::preset("teapot"));
+  Cfg.Campaign.TotalIterations = 120;
+  Cfg.Campaign.SyncInterval = 20;
+  Cfg.Campaign.MaxInputLen = 128;
+
+  Scanner Donor(Cfg);
+  ASSERT_FALSE(Donor.loadWorkload("jsmn"));
+  ASSERT_FALSE(Donor.rewrite());
+  ASSERT_TRUE(static_cast<bool>(Donor.run()));
+  json::Value Snap = cantFail(Donor.saveState());
+
+  auto ExpectRejected = [&](const json::Value &Doc, const char *What) {
+    Scanner S(Cfg);
+    ASSERT_FALSE(S.loadWorkload("jsmn"));
+    auto R = S.importCorpus(Doc);
+    ASSERT_FALSE(static_cast<bool>(R)) << What;
+    EXPECT_NE(R.message().find("incompatible options"), std::string::npos)
+        << What << ": got \"" << R.message() << '"';
+    EXPECT_TRUE(S.importedSeeds().empty())
+        << What << ": rejected import still adopted seeds";
+  };
+
+  {
+    json::Value Doc = Snap; // deep copy
+    json::Value Opts = *Doc.find("options");
+    Opts.set("max_input_len", uint64_t(64));
+    Doc.set("options", std::move(Opts));
+    ExpectRejected(Doc, "max_input_len mismatch");
+  }
+  {
+    json::Value Doc = Snap;
+    json::Value Opts = *Doc.find("options");
+    Opts.set("max_stacked_mutations", uint64_t(3));
+    Doc.set("options", std::move(Opts));
+    ExpectRejected(Doc, "max_stacked_mutations mismatch");
+  }
+  {
+    // No options at all: the gate cannot run, so the import must fail.
+    json::Value Doc = json::Value::object();
+    Doc.set("schema", fuzz::Campaign::SnapshotSchemaName);
+    Doc.set("corpus", json::Value::array());
+    Scanner S(Cfg);
+    ASSERT_FALSE(S.loadWorkload("jsmn"));
+    auto R = S.importCorpus(Doc);
+    ASSERT_FALSE(static_cast<bool>(R));
+    EXPECT_NE(R.message().find("options"), std::string::npos);
+  }
+
+  // Seed/workers/budget may legitimately differ — only geometry gates.
+  {
+    ScanConfig Other = Cfg;
+    Other.Campaign.Seed = 99;
+    Other.Campaign.Workers = 2;
+    Other.Campaign.TotalIterations = 240;
+    Scanner S(Other);
+    ASSERT_FALSE(S.loadWorkload("jsmn"));
+    auto R = S.importCorpus(Snap);
+    ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+    EXPECT_EQ(*R, Donor.corpus().size());
+  }
+}

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/ScanDiff.h"
+#include "support/ArtifactWriter.h"
 #include "support/File.h"
 
 #include <cstdio>
@@ -72,6 +73,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Fail fast on an unwritable --json destination before doing any work.
+  support::ArtifactWriter Writer;
+  if (JsonPath)
+    Exit(Writer.probe(JsonPath));
+
   auto Load = [&](const char *Path) {
     std::string Text = Exit(support::readFile(Path));
     auto R = ScanResult::fromJsonString(Text);
@@ -99,7 +105,7 @@ int main(int argc, char **argv) {
   fputs(D.describe().c_str(), stdout);
 
   if (JsonPath)
-    Exit(support::writeFileAtomic(JsonPath, D.toJson().dump(true) + "\n"));
+    Exit(Writer.write(JsonPath, D.toJson().dump(true) + "\n"));
 
   return D.hasRegressions() ? 2 : 0;
 }

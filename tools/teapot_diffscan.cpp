@@ -28,6 +28,7 @@
 #include "api/ScanDiff.h"
 #include "api/Scanner.h"
 #include "lang/ProgGen.h"
+#include "support/ArtifactWriter.h"
 #include "support/File.h"
 #include "support/StringUtils.h"
 #include "vm/Machine.h"
@@ -197,6 +198,12 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // All artifacts flow through one writer; probe --json up front so a
+  // bad destination fails before the (long) sweep, not after.
+  support::ArtifactWriter Writer;
+  if (JsonPath)
+    Exit(Writer.probe(JsonPath));
+
   // Assemble the target list: generated programs first (in seed order),
   // then the registry sweep.
   std::vector<Target> Targets;
@@ -311,10 +318,9 @@ int main(int argc, char **argv) {
       PresetsJson.set(Preset, std::move(PJ));
 
       if (OutDir)
-        Exit(support::writeFileAtomic(std::string(OutDir) + "/" +
-                                          fileStem(T.Name) + "-" + Preset +
-                                          ".scan.json",
-                                      Runs[0].toJsonString()));
+        Exit(Writer.write(std::string(OutDir) + "/" + fileStem(T.Name) +
+                              "-" + Preset + ".scan.json",
+                          Runs[0].toJsonString()));
       PresetScans.push_back(std::move(Runs[0]));
     }
     TJ.set("presets", std::move(PresetsJson));
@@ -344,7 +350,7 @@ int main(int argc, char **argv) {
   Report.set("engines_identical", !Diverged);
 
   if (JsonPath)
-    Exit(support::writeFileAtomic(JsonPath, Report.dump(true) + "\n"));
+    Exit(Writer.write(JsonPath, Report.dump(true) + "\n"));
 
   if (Diverged) {
     fprintf(stderr, "teapot_diffscan: FAILED — engine divergence\n");

@@ -1,0 +1,523 @@
+//===- tools/teapot_fleet.cpp - Scan-fleet orchestration CLI ----------------===//
+//
+// Drive a teapot::service::ScanService fleet from the command line: run
+// many campaigns across registry workloads and proggen targets with
+// cross-campaign corpus federation, checkpoint/resume the whole fleet,
+// query the aggregated teapot.fleetindex.v1, and diff fleet against
+// fleet.
+//
+//   $ teapot_fleet run --state-dir fleet/ --target jsmn@parsers
+//         --target base64@parsers --target proggen:11:4 --iters 300
+//   $ teapot_fleet resume --state-dir fleet/ --threads 4
+//   $ teapot_fleet query --index fleet/index.json --top-gadgets 10
+//   $ teapot_fleet query --index fleet/index.json --target jsmn
+//   $ teapot_fleet query --index fleet/index.json
+//         --weakened-since baseline.index.json
+//   $ teapot_fleet diff baseline.index.json fleet/index.json
+//
+// Everything the tool emits is deterministic: fleet results depend only
+// on the fleet options (never on --threads or timing), artifacts zero
+// the wall-clock fields, and stdout carries no timing — running a fleet
+// twice with the same options is byte-identical (the CI check).
+//
+// Exit codes (the CI contract):
+//   0    ok / no regressions
+//   1    usage / IO / parse errors
+//   2    regressions (diff, --weakened-since)
+//   130  interrupted — SIGINT stops the fleet at the next round barrier
+//        after checkpointing, so `resume` continues byte-identically
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ScanService.h"
+#include "support/ArtifactWriter.h"
+#include "support/FaultInjector.h"
+#include "support/File.h"
+#include "support/StringUtils.h"
+#include "workloads/Programs.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace teapot;
+using namespace teapot::service;
+
+/// Set by the SIGINT handler; forwarded to the service, which honors it
+/// at the next round barrier (after that round's checkpoint commits).
+static volatile sig_atomic_t GotSigInt = 0;
+static ScanService *ActiveService = nullptr;
+
+static void onSigInt(int) {
+  GotSigInt = 1;
+  if (ActiveService)
+    ActiveService->requestStop(); // atomic store: async-signal-safe
+}
+
+static void usage(FILE *To) {
+  fprintf(To,
+          "usage: teapot_fleet COMMAND [options]\n"
+          "\n"
+          "commands:\n"
+          "  run     run a new fleet\n"
+          "    --state-dir DIR   checkpoint directory (required)\n"
+          "    --target SPEC[@FAMILY][=ITERS]   fleet member (repeatable;\n"
+          "                      SPEC is a workload name or "
+          "proggen:SEED[:SIZE];\n"
+          "                      targets sharing FAMILY federate corpora)\n"
+          "    --preset NAME     scan preset (default teapot)\n"
+          "    --engine NAME     interp | block | jit (default jit)\n"
+          "    --seed S          fleet seed; target i's campaign derives "
+          "from it\n"
+          "    --workers N       campaign workers per target (default 1)\n"
+          "    --iters N         executions per target (default 20000)\n"
+          "    --global-iters N  fleet-wide execution ceiling (default "
+          "off)\n"
+          "    --slice-epochs N  campaign epochs per scheduling slice "
+          "(default 4)\n"
+          "    --sync-interval N campaign epoch length (default 256)\n"
+          "    --max-input-len N campaign input cap (default 512)\n"
+          "    --federate-every N  federate every N rounds (0 = off, "
+          "default 1)\n"
+          "    --threads N       scheduler threads (throughput only — "
+          "results\n"
+          "                      are identical for every value)\n"
+          "    --max-rounds N    stop after N rounds (resume later; "
+          "default off)\n"
+          "    --inject          splice Table 3 gadgets into every "
+          "target\n"
+          "    --fault-plan P    deterministic fault plan "
+          "(docs/ROBUSTNESS.md)\n"
+          "  resume  continue a checkpointed fleet\n"
+          "    --state-dir DIR   the run's checkpoint directory "
+          "(required)\n"
+          "    --threads N / --max-rounds N   session knobs, as above\n"
+          "  query   read a teapot.fleetindex.v1 document\n"
+          "    --index FILE      the index (required)\n"
+          "    --top-gadgets N   rank gadget identities by reporting "
+          "targets\n"
+          "    --target SPEC     print one target's full record\n"
+          "    --weakened-since BASELINE   print lost/weakened gadgets vs "
+          "a\n"
+          "                      baseline index; exit 2 if any\n"
+          "  diff    BASELINE.index.json CURRENT.index.json\n"
+          "    --injected-only   gate regressions on injected ground-truth "
+          "sites\n"
+          "                      (targets without ground truth keep full "
+          "gating)\n"
+          "    --json FILE       write the teapot.fleetdiff.v1 report\n"
+          "\n"
+          "exit codes: 0 = ok, 1 = errors, 2 = regressions, 130 = "
+          "interrupted\n");
+}
+
+namespace {
+
+Expected<FleetTarget> parseTargetSpec(const std::string &Arg) {
+  FleetTarget T;
+  std::string Spec = Arg;
+  if (size_t Eq = Spec.find('='); Eq != std::string::npos) {
+    auto N = support::parseUInt(Spec.substr(Eq + 1), "--target ITERS",
+                                1'000'000'000ULL);
+    if (!N)
+      return N.takeError();
+    T.Iterations = *N;
+    Spec.resize(Eq);
+  }
+  if (size_t At = Spec.find('@'); At != std::string::npos) {
+    T.Family = Spec.substr(At + 1);
+    Spec.resize(At);
+    if (T.Family.empty())
+      return makeError("--target: empty family in \"%s\"", Arg.c_str());
+  }
+  if (Spec.empty())
+    return makeError("--target: empty spec in \"%s\"", Arg.c_str());
+  T.Spec = std::move(Spec);
+  return T;
+}
+
+Expected<FleetIndex> loadIndex(const char *Path) {
+  auto Text = support::readFile(Path);
+  if (!Text)
+    return Text.takeError();
+  auto Idx = FleetIndex::fromJsonString(*Text);
+  if (!Idx)
+    return makeError("%s: %s", Path, Idx.message().c_str());
+  return Idx;
+}
+
+/// Deterministic post-run report (counters only, no timing).
+void printSummary(const ScanService &Svc) {
+  FleetIndex Idx = Svc.index();
+  printf("[*] fleet: round %llu, %s, %llu total executions\n",
+         static_cast<unsigned long long>(Svc.round()),
+         Svc.finished() ? "finished" : "in progress",
+         static_cast<unsigned long long>(Svc.totalExecutions()));
+  for (const FleetRecord &R : Idx.Records)
+    printf("    %-20s %s  execs %llu/%llu  corpus %llu  cov %llu+%llu  "
+           "fed in/out %llu/%llu  gadgets %zu\n",
+           R.Spec.c_str(), R.Done ? "done   " : "running",
+           static_cast<unsigned long long>(R.Executions),
+           static_cast<unsigned long long>(R.Iterations),
+           static_cast<unsigned long long>(R.CorpusSize),
+           static_cast<unsigned long long>(R.NormalEdges),
+           static_cast<unsigned long long>(R.SpecEdges),
+           static_cast<unsigned long long>(R.FederatedIn),
+           static_cast<unsigned long long>(R.FederatedOut),
+           R.Gadgets.size());
+}
+
+int runFleet(ScanService &Svc) {
+  Svc.artifacts().OnWrite = [](const std::string &Path, size_t Bytes) {
+    printf("[*] wrote %s (%zu bytes)\n", Path.c_str(), Bytes);
+  };
+  ActiveService = &Svc;
+  signal(SIGINT, onSigInt);
+  if (GotSigInt) // delivered between setup and here
+    Svc.requestStop();
+  support::ExitOnError Exit("teapot_fleet: ");
+  Exit(Svc.run());
+  ActiveService = nullptr;
+  if (GotSigInt)
+    printf("[*] interrupted: fleet stopped at round %llu (checkpoint "
+           "committed; `teapot_fleet resume` continues byte-identically)\n",
+           static_cast<unsigned long long>(Svc.round()));
+  printSummary(Svc);
+  return GotSigInt ? 130 : 0;
+}
+
+} // namespace
+
+static int cmdRun(int argc, char **argv) {
+  support::ExitOnError Exit("teapot_fleet: ");
+  FleetOptions FO;
+  FO.Base = Exit(ScanConfig::preset("teapot"));
+  FO.Base.Campaign.Seed = 1;
+  FO.Base.Campaign.SyncInterval = 256;
+  FO.Base.Campaign.MaxInputLen = 512;
+  std::vector<FleetTarget> Targets;
+  std::string Preset = "teapot";
+  std::string FaultPlan;
+
+  auto NextOperand = [&](int &I) -> const char * {
+    if (I + 1 >= argc) {
+      fprintf(stderr, "teapot_fleet: %s requires an operand\n", argv[I]);
+      exit(1);
+    }
+    return argv[++I];
+  };
+  for (int I = 0; I < argc; ++I) {
+    if (!strcmp(argv[I], "--state-dir")) {
+      FO.StateDir = NextOperand(I);
+    } else if (!strcmp(argv[I], "--target")) {
+      Targets.push_back(Exit(parseTargetSpec(NextOperand(I))));
+    } else if (!strcmp(argv[I], "--preset")) {
+      Preset = NextOperand(I);
+    } else if (!strcmp(argv[I], "--engine")) {
+      const char *Name = NextOperand(I);
+      if (!vm::parseEngineName(Name, FO.Base.Engine)) {
+        fprintf(stderr,
+                "teapot_fleet: --engine expects interp, block, or jit "
+                "(got '%s')\n",
+                Name);
+        return 1;
+      }
+    } else if (!strcmp(argv[I], "--seed")) {
+      FO.Base.Campaign.Seed =
+          Exit(support::parseUInt(NextOperand(I), "--seed", ~0ULL >> 1));
+    } else if (!strcmp(argv[I], "--workers")) {
+      FO.Base.Campaign.Workers = static_cast<unsigned>(Exit(
+          support::parseUInt(NextOperand(I), "--workers",
+                             ScanConfig::MaxWorkers)));
+    } else if (!strcmp(argv[I], "--iters")) {
+      FO.IterationsPerTarget = Exit(
+          support::parseUInt(NextOperand(I), "--iters", 1'000'000'000ULL));
+    } else if (!strcmp(argv[I], "--global-iters")) {
+      FO.GlobalIterations = Exit(support::parseUInt(
+          NextOperand(I), "--global-iters", ~0ULL >> 1));
+    } else if (!strcmp(argv[I], "--slice-epochs")) {
+      FO.SliceEpochs = Exit(support::parseUInt(
+          NextOperand(I), "--slice-epochs", 1'000'000'000ULL));
+    } else if (!strcmp(argv[I], "--sync-interval")) {
+      FO.Base.Campaign.SyncInterval = Exit(support::parseUInt(
+          NextOperand(I), "--sync-interval", 1'000'000'000ULL));
+    } else if (!strcmp(argv[I], "--max-input-len")) {
+      FO.Base.Campaign.MaxInputLen = Exit(support::parseUInt(
+          NextOperand(I), "--max-input-len", 1 << 20));
+    } else if (!strcmp(argv[I], "--federate-every")) {
+      FO.FederateEvery = static_cast<unsigned>(Exit(support::parseUInt(
+          NextOperand(I), "--federate-every", 1'000'000'000ULL)));
+    } else if (!strcmp(argv[I], "--threads")) {
+      FO.Threads = static_cast<unsigned>(
+          Exit(support::parseUInt(NextOperand(I), "--threads", 256)));
+    } else if (!strcmp(argv[I], "--max-rounds")) {
+      FO.MaxRounds = Exit(support::parseUInt(
+          NextOperand(I), "--max-rounds", 1'000'000'000ULL));
+    } else if (!strcmp(argv[I], "--inject")) {
+      FO.Base.InjectGadgets = true;
+    } else if (!strcmp(argv[I], "--fault-plan")) {
+      FaultPlan = NextOperand(I);
+    } else if (!strcmp(argv[I], "--help")) {
+      usage(stdout);
+      return 0;
+    } else {
+      fprintf(stderr, "teapot_fleet: unknown argument '%s'\n", argv[I]);
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (FO.StateDir.empty()) {
+    fprintf(stderr, "teapot_fleet: run requires --state-dir\n");
+    return 1;
+  }
+  if (Targets.empty()) {
+    fprintf(stderr, "teapot_fleet: run requires at least one --target\n");
+    return 1;
+  }
+  // Re-derive the base config from the requested preset, then re-apply
+  // the flag overrides that landed in FO.Base before the preset was
+  // known.
+  if (Preset != "teapot") {
+    ScanConfig Fresh = Exit(ScanConfig::preset(Preset));
+    Fresh.Campaign = FO.Base.Campaign;
+    Fresh.Engine = FO.Base.Engine;
+    Fresh.InjectGadgets = FO.Base.InjectGadgets;
+    FO.Base = std::move(Fresh);
+  }
+  FO.Base.FaultPlan = FaultPlan;
+
+  ScanService Svc(FO);
+  // file.* clauses of --fault-plan drive the checkpoint writes (one
+  // injector per owner; campaign-level sites drive the per-worker
+  // target injectors).
+  support::FaultInjector FileFaults(
+      Exit(support::FaultPlan::parse(FaultPlan)));
+  Svc.artifacts().setFaults(&FileFaults);
+  for (FleetTarget &T : Targets)
+    Exit(Svc.addTarget(std::move(T)));
+  printf("[*] fleet: %zu target(s), seed %llu, %llu iters/target, "
+         "slice %llu epoch(s), federate every %u round(s)\n",
+         Svc.targets().size(),
+         static_cast<unsigned long long>(FO.Base.Campaign.Seed),
+         static_cast<unsigned long long>(FO.IterationsPerTarget),
+         static_cast<unsigned long long>(FO.SliceEpochs),
+         FO.FederateEvery);
+  return runFleet(Svc);
+}
+
+static int cmdResume(int argc, char **argv) {
+  support::ExitOnError Exit("teapot_fleet: ");
+  std::string Dir;
+  unsigned Threads = 0;
+  uint64_t MaxRounds = 0;
+  bool HaveMaxRounds = false;
+  auto NextOperand = [&](int &I) -> const char * {
+    if (I + 1 >= argc) {
+      fprintf(stderr, "teapot_fleet: %s requires an operand\n", argv[I]);
+      exit(1);
+    }
+    return argv[++I];
+  };
+  for (int I = 0; I < argc; ++I) {
+    if (!strcmp(argv[I], "--state-dir")) {
+      Dir = NextOperand(I);
+    } else if (!strcmp(argv[I], "--threads")) {
+      Threads = static_cast<unsigned>(
+          Exit(support::parseUInt(NextOperand(I), "--threads", 256)));
+    } else if (!strcmp(argv[I], "--max-rounds")) {
+      MaxRounds = Exit(support::parseUInt(
+          NextOperand(I), "--max-rounds", 1'000'000'000ULL));
+      HaveMaxRounds = true;
+    } else if (!strcmp(argv[I], "--help")) {
+      usage(stdout);
+      return 0;
+    } else {
+      fprintf(stderr, "teapot_fleet: unknown argument '%s'\n", argv[I]);
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (Dir.empty()) {
+    fprintf(stderr, "teapot_fleet: resume requires --state-dir\n");
+    return 1;
+  }
+  std::unique_ptr<ScanService> Svc = Exit(ScanService::openStateDir(Dir));
+  if (Threads)
+    Svc->options().Threads = Threads;
+  if (HaveMaxRounds)
+    Svc->options().MaxRounds = MaxRounds;
+  printf("[*] fleet: resuming %zu target(s) from %s at round %llu\n",
+         Svc->targets().size(), Dir.c_str(),
+         static_cast<unsigned long long>(Svc->round()));
+  return runFleet(*Svc);
+}
+
+static int cmdQuery(int argc, char **argv) {
+  support::ExitOnError Exit("teapot_fleet: ");
+  const char *IndexPath = nullptr;
+  const char *TargetSpec = nullptr;
+  const char *BaselinePath = nullptr;
+  uint64_t TopN = 0;
+  bool HaveTop = false;
+  auto NextOperand = [&](int &I) -> const char * {
+    if (I + 1 >= argc) {
+      fprintf(stderr, "teapot_fleet: %s requires an operand\n", argv[I]);
+      exit(1);
+    }
+    return argv[++I];
+  };
+  for (int I = 0; I < argc; ++I) {
+    if (!strcmp(argv[I], "--index")) {
+      IndexPath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--top-gadgets")) {
+      TopN = Exit(support::parseUInt(NextOperand(I), "--top-gadgets",
+                                     1'000'000ULL));
+      HaveTop = true;
+    } else if (!strcmp(argv[I], "--target")) {
+      TargetSpec = NextOperand(I);
+    } else if (!strcmp(argv[I], "--weakened-since")) {
+      BaselinePath = NextOperand(I);
+    } else if (!strcmp(argv[I], "--help")) {
+      usage(stdout);
+      return 0;
+    } else {
+      fprintf(stderr, "teapot_fleet: unknown argument '%s'\n", argv[I]);
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (!IndexPath) {
+    fprintf(stderr, "teapot_fleet: query requires --index\n");
+    return 1;
+  }
+  if (!!HaveTop + !!TargetSpec + !!BaselinePath != 1) {
+    fprintf(stderr, "teapot_fleet: query needs exactly one of "
+                    "--top-gadgets, --target, --weakened-since\n");
+    return 1;
+  }
+  FleetIndex Idx = Exit(loadIndex(IndexPath));
+
+  if (TargetSpec) {
+    const FleetRecord *R = Idx.findTarget(TargetSpec);
+    if (!R) {
+      fprintf(stderr, "teapot_fleet: no target \"%s\" in %s\n", TargetSpec,
+              IndexPath);
+      return 1;
+    }
+    fputs(R->describe().c_str(), stdout);
+    return 0;
+  }
+
+  if (HaveTop) {
+    auto Top = Idx.topGadgets(TopN);
+    printf("top gadget identities across %zu target(s):\n",
+           Idx.Records.size());
+    for (const GadgetTally &T : Top) {
+      printf("  %zu target(s): %s\n", T.Targets.size(),
+             T.Gadget.describe().c_str());
+      for (const std::string &S : T.Targets)
+        printf("      %s\n", S.c_str());
+    }
+    return 0;
+  }
+
+  // --weakened-since: the fleet-level "what regressed" question —
+  // everything the baseline fleet detected that this index lost or
+  // downgraded.
+  FleetIndex Base = Exit(loadIndex(BaselinePath));
+  FleetDiff D = diffFleets(Base, Idx, {});
+  bool Any = false;
+  for (const std::string &S : D.RemovedWithGadgets) {
+    printf("%s: target removed (baseline had gadgets)\n", S.c_str());
+    Any = true;
+  }
+  for (const FleetTargetDiff &T : D.Targets) {
+    for (const runtime::GadgetReport &G : T.Diff.LostGadgets) {
+      printf("%s: lost %s\n", T.Spec.c_str(), G.describe().c_str());
+      Any = true;
+    }
+    for (const GadgetDelta &G : T.Diff.ChangedGadgets)
+      if (G.Weakened) {
+        printf("%s: weakened %s -> %s\n", T.Spec.c_str(),
+               G.Before.describe().c_str(), G.After.describe().c_str());
+        Any = true;
+      }
+  }
+  if (!Any) {
+    printf("no gadgets lost or weakened since %s\n", BaselinePath);
+    return 0;
+  }
+  return 2;
+}
+
+static int cmdDiff(int argc, char **argv) {
+  support::ExitOnError Exit("teapot_fleet: ");
+  FleetDiffOptions Opts;
+  const char *JsonPath = nullptr;
+  const char *Paths[2] = {nullptr, nullptr};
+  int NumPaths = 0;
+  for (int I = 0; I < argc; ++I) {
+    if (!strcmp(argv[I], "--injected-only")) {
+      Opts.InjectedOnly = true;
+    } else if (!strcmp(argv[I], "--json")) {
+      if (I + 1 >= argc) {
+        fprintf(stderr, "teapot_fleet: --json requires an operand\n");
+        return 1;
+      }
+      JsonPath = argv[++I];
+    } else if (!strcmp(argv[I], "--help")) {
+      usage(stdout);
+      return 0;
+    } else if (argv[I][0] == '-') {
+      fprintf(stderr, "teapot_fleet: unknown argument '%s'\n", argv[I]);
+      usage(stderr);
+      return 1;
+    } else if (NumPaths == 2) {
+      fprintf(stderr, "teapot_fleet: too many operands\n");
+      usage(stderr);
+      return 1;
+    } else {
+      Paths[NumPaths++] = argv[I];
+    }
+  }
+  if (NumPaths != 2) {
+    fprintf(stderr,
+            "usage: teapot_fleet diff BASELINE.index.json "
+            "CURRENT.index.json\n");
+    return 1;
+  }
+  FleetIndex Before = Exit(loadIndex(Paths[0]));
+  FleetIndex After = Exit(loadIndex(Paths[1]));
+  FleetDiff D = diffFleets(Before, After, Opts);
+  fputs(D.describe().c_str(), stdout);
+  if (JsonPath) {
+    support::ArtifactWriter Writer;
+    Exit(Writer.write(JsonPath, D.toJson().dump(true) + "\n"));
+  }
+  return D.hasRegressions() ? 2 : 0;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 1;
+  }
+  const char *Cmd = argv[1];
+  if (!strcmp(Cmd, "--help") || !strcmp(Cmd, "help")) {
+    usage(stdout);
+    return 0;
+  }
+  if (!strcmp(Cmd, "run"))
+    return cmdRun(argc - 2, argv + 2);
+  if (!strcmp(Cmd, "resume"))
+    return cmdResume(argc - 2, argv + 2);
+  if (!strcmp(Cmd, "query"))
+    return cmdQuery(argc - 2, argv + 2);
+  if (!strcmp(Cmd, "diff"))
+    return cmdDiff(argc - 2, argv + 2);
+  fprintf(stderr, "teapot_fleet: unknown command '%s'\n", Cmd);
+  usage(stderr);
+  return 1;
+}
