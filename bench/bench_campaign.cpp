@@ -21,9 +21,10 @@
 //
 // --engine restricts both sweeps to one tier; by default the engine
 // comparison covers all three and the worker sweep runs on jit.
-// --json emits one machine-readable object with per-engine rows
-// ("engines") and per-worker-count rows ("rows"), feeding the
-// BENCH_vm.json perf-trajectory artifact in CI.
+// --json emits one machine-readable object (schema "teapot.bench.v1")
+// with per-engine rows ("engines", hot-path counters included) and
+// per-worker-count rows ("rows"), feeding the BENCH_vm.json
+// perf-trajectory artifact in CI.
 //
 //===----------------------------------------------------------------------===//
 
@@ -105,6 +106,7 @@ int main(int argc, char **argv) {
   }
 
   json::Value Doc = json::Value::object();
+  Doc.set("schema", "teapot.bench.v1");
   Doc.set("workload", Name);
   Doc.set("total_execs", Total);
   Doc.set("hardware_threads", std::thread::hardware_concurrency());
@@ -147,6 +149,13 @@ int main(int argc, char **argv) {
     Row.set("execs_per_sec", Rate);
     Row.set("guest_insts", R.GuestInsts);
     Row.set("insts_per_sec", R.instsPerSec());
+    // Hot-path counters (per-engine diagnostics: the jit's inline TLB
+    // probe and the inline intrinsic retires never reach the counted
+    // C++ paths, so the tiers legitimately differ here).
+    Row.set("tlb_guest_hits", R.TlbGuestHits);
+    Row.set("tlb_runtime_hits", R.TlbRuntimeHits);
+    Row.set("slow_path_calls", R.TlbSlowPathCalls);
+    Row.set("intrinsic_fast_path_hits", R.IntrinsicFastPathHits);
     EngineRows.push(std::move(Row));
   }
   Doc.set("engines", std::move(EngineRows));

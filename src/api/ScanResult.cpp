@@ -91,6 +91,13 @@ json::Value ScanResult::toJson() const {
   Rob.set("io_retries", IoRetries);
   V.set("robustness", std::move(Rob));
 
+  json::Value RC = json::Value::object();
+  RC.set("tlb_guest_hits", TlbGuestHits);
+  RC.set("tlb_runtime_hits", TlbRuntimeHits);
+  RC.set("slow_path_calls", TlbSlowPathCalls);
+  RC.set("intrinsic_fast_path_hits", IntrinsicFastPathHits);
+  V.set("runtime_counters", std::move(RC));
+
   json::Value Inj = json::Value::object();
   json::Value Sites = json::Value::array();
   for (uint64_t Site : InjectedSites)
@@ -352,6 +359,23 @@ Expected<ScanResult> ScanResult::fromJson(const json::Value &V) {
       return E;
   }
 
+  // "runtime_counters" postdates robustness: absent in older artifacts,
+  // whose runs simply predate the accounting — zeros are exact.
+  if (const json::Value *RCV = V.find("runtime_counters")) {
+    if (!RCV->isObject())
+      return makeError("scan result: runtime_counters is not an object");
+    Reader RC{*RCV, "runtime_counters"};
+    if (Error E = RC.getU64("tlb_guest_hits", R.TlbGuestHits))
+      return E;
+    if (Error E = RC.getU64("tlb_runtime_hits", R.TlbRuntimeHits))
+      return E;
+    if (Error E = RC.getU64("slow_path_calls", R.TlbSlowPathCalls))
+      return E;
+    if (Error E = RC.getU64("intrinsic_fast_path_hits",
+                            R.IntrinsicFastPathHits))
+      return E;
+  }
+
   auto InjObj = Top.getObject("injection");
   if (!InjObj)
     return InjObj.takeError();
@@ -408,6 +432,10 @@ bool ScanResult::operator==(const ScanResult &O) const {
          Degradations == O.Degradations &&
          WatchdogTrips == O.WatchdogTrips &&
          FaultsInjected == O.FaultsInjected && IoRetries == O.IoRetries &&
+         TlbGuestHits == O.TlbGuestHits &&
+         TlbRuntimeHits == O.TlbRuntimeHits &&
+         TlbSlowPathCalls == O.TlbSlowPathCalls &&
+         IntrinsicFastPathHits == O.IntrinsicFastPathHits &&
          InjectedSites == O.InjectedSites &&
          InjectInputAddr == O.InjectInputAddr && Gadgets == O.Gadgets;
 }

@@ -139,6 +139,18 @@ struct ScanResult {
   /// artifacts (filled by tools; always 0 from the library).
   uint64_t IoRetries = 0;
 
+  // --- Hot-path runtime counters -------------------------------------------
+  // Where the VM spent its memory and intrinsic-dispatch time: split-TLB
+  // hits per bank, page-walk slow paths, and intrinsics retired by the
+  // block/JIT inline no-op fast path. Deterministic for a fixed engine;
+  // the totals legitimately differ between engines (the interpreter
+  // never takes an inline path). Artifacts predating the counters lack
+  // the JSON section and read back as zeros.
+  uint64_t TlbGuestHits = 0;
+  uint64_t TlbRuntimeHits = 0;
+  uint64_t TlbSlowPathCalls = 0;
+  uint64_t IntrinsicFastPathHits = 0;
+
   // --- Injection ground truth (Table 3 runs; empty otherwise) --------------
   /// Synthetic site markers of the artificially injected gadgets.
   std::vector<uint64_t> InjectedSites;
@@ -162,6 +174,21 @@ struct ScanResult {
     for (uint64_t R : Rollbacks)
       N += R;
     return N;
+  }
+
+  // --- Normalization -------------------------------------------------------
+  /// Zeroes every field that legitimately varies between runs of the
+  /// same scan — wall-clock times, the engine tag, and the per-engine
+  /// hot-path counters — so differential comparisons (tests,
+  /// tools/teapot_diffscan) can demand byte-identical JSON for
+  /// everything that is supposed to be deterministic.
+  void normalizeRunVarying() {
+    WallSeconds = 0;
+    for (ScanPassStats &PS : Passes)
+      PS.Seconds = 0;
+    Engine = "any";
+    TlbGuestHits = TlbRuntimeHits = TlbSlowPathCalls =
+        IntrinsicFastPathHits = 0;
   }
 
   // --- Serialization -------------------------------------------------------

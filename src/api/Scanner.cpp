@@ -429,6 +429,10 @@ Expected<ScanResult> Scanner::run() {
   R.Degradations = S.Degradations;
   R.WatchdogTrips = S.WatchdogTrips;
   R.FaultsInjected = S.FaultsInjected;
+  R.TlbGuestHits = S.TlbGuestHits;
+  R.TlbRuntimeHits = S.TlbRuntimeHits;
+  R.TlbSlowPathCalls = S.TlbSlowPathCalls;
+  R.IntrinsicFastPathHits = S.IntrinsicFastPathHits;
   R.Gadgets = C.gadgets().unique(); // key-ordered
   LastCorpus = C.corpus();
   return R;
@@ -663,6 +667,11 @@ Expected<ScanResult> Scanner::runInputs(
   R.Degradations = RS.Degradations;
   R.WatchdogTrips = RS.WatchdogTrips;
   R.FaultsInjected = RS.FaultsInjected;
+  fuzz::FuzzTarget::HotPathStats HS = T->hotPathStats();
+  R.TlbGuestHits = HS.TlbGuestHits;
+  R.TlbRuntimeHits = HS.TlbRuntimeHits;
+  R.TlbSlowPathCalls = HS.TlbSlowPathCalls;
+  R.IntrinsicFastPathHits = HS.IntrinsicFastPathHits;
   if (IT) {
     R.NormalEdges = IT->RT.Cov.normalCovered();
     R.SpecEdges = IT->RT.Cov.specCovered();

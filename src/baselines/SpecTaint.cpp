@@ -272,7 +272,7 @@ vm::StopState SpecTaintEmulator::run(uint64_t MaxInsts) {
     // view is re-derived rather than shared with the executor).
     uint64_t &TbEntry = TransCache[PC];
     uint8_t Buf[40];
-    M.Mem.read(PC, Buf, sizeof(Buf));
+    M.Mem.readCode(PC, Buf, sizeof(Buf));
     auto D = decode(Buf, sizeof(Buf), 0);
     TbEntry = D ? D->Length : ~0ull;
     if (!D) {

@@ -319,6 +319,11 @@ CampaignStats Campaign::run() {
     S.Degradations += RS.Degradations;
     S.WatchdogTrips += RS.WatchdogTrips;
     S.FaultsInjected += RS.FaultsInjected;
+    FuzzTarget::HotPathStats HS = WP->Target->hotPathStats();
+    S.TlbGuestHits += HS.TlbGuestHits;
+    S.TlbRuntimeHits += HS.TlbRuntimeHits;
+    S.TlbSlowPathCalls += HS.TlbSlowPathCalls;
+    S.IntrinsicFastPathHits += HS.IntrinsicFastPathHits;
     S.PerWorker.push_back(WS);
   }
   S.NormalEdges = countCovered(MergedNormal);

@@ -111,6 +111,13 @@ struct CampaignStats {
   uint64_t Degradations = 0;
   uint64_t WatchdogTrips = 0;
   uint64_t FaultsInjected = 0;
+  // Hot-path accounting, summed over workers (FuzzTarget::HotPathStats):
+  // split-TLB traffic and inline intrinsic retires. Deterministic for a
+  // fixed engine, but engines legitimately differ from one another.
+  uint64_t TlbGuestHits = 0;
+  uint64_t TlbRuntimeHits = 0;
+  uint64_t TlbSlowPathCalls = 0;
+  uint64_t IntrinsicFastPathHits = 0;
   std::vector<WorkerStats> PerWorker;
 
   bool operator==(const CampaignStats &O) const = default;

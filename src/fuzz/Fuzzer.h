@@ -83,6 +83,25 @@ public:
   };
   virtual RobustnessStats robustnessStats() const { return {}; }
 
+  /// Hot-path accounting accumulated across executions (and across
+  /// save/resume): where the VM's memory system and intrinsic dispatch
+  /// spent their time. Purely diagnostic — the totals legitimately
+  /// differ between execution engines (the interpreter never takes an
+  /// inline fast path) — but each is deterministic for a fixed engine,
+  /// so campaigns may still compare them run-to-run.
+  struct HotPathStats {
+    /// Split-TLB hits against the guest/user bank.
+    uint64_t TlbGuestHits = 0;
+    /// Split-TLB hits against the runtime/shadow bank.
+    uint64_t TlbRuntimeHits = 0;
+    /// Page-table walks (TLB misses and write materializations).
+    uint64_t TlbSlowPathCalls = 0;
+    /// Intrinsics retired inline by the block/JIT no-op fast path.
+    uint64_t IntrinsicFastPathHits = 0;
+    bool operator==(const HotPathStats &O) const = default;
+  };
+  virtual HotPathStats hotPathStats() const { return {}; }
+
   /// Serializes whatever state the target carries *across* executions
   /// that influences later executions or reporting — for the
   /// instrumented target: the runtime's nesting-heuristic counters,

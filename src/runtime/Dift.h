@@ -24,6 +24,7 @@
 #include "vm/Machine.h"
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace teapot {
@@ -49,8 +50,28 @@ public:
   bool Logging = false;
   std::vector<TagLogEntry> Log;
 
+  // The XOR tag mapping preserves page offsets, so a span that stays
+  // within one application page occupies one contiguous run in one
+  // shadow page — the hot accessors below cover such spans with a
+  // single TLB lookup instead of one per byte (that per-byte loop was
+  // the dominant DIFT cost on the instrumented hot path). Spans that do
+  // cross a page fall back to the byte loop.
+  static bool samePage(uint64_t Addr, unsigned Size) {
+    return (Addr & (vm::Memory::PageSize - 1)) + Size <=
+           vm::Memory::PageSize;
+  }
+
   /// Union of the tag bytes covering [Addr, Addr+Size).
   uint8_t memTag(uint64_t Addr, unsigned Size) const {
+    if (samePage(Addr, Size)) {
+      const uint8_t *P = M.Mem.spanForRead(tagShadowAddr(Addr), Size);
+      if (!P)
+        return 0; // unmapped shadow reads as untainted
+      uint8_t T = 0;
+      for (unsigned I = 0; I != Size; ++I)
+        T |= P[I];
+      return T;
+    }
     uint8_t T = 0;
     for (unsigned I = 0; I != Size; ++I)
       T |= M.Mem.readU8(tagShadowAddr(Addr + I));
@@ -59,6 +80,27 @@ public:
 
   /// Sets the tag of every byte in [Addr, Addr+Size).
   void setMemTag(uint64_t Addr, unsigned Size, uint8_t Tag) {
+    if (samePage(Addr, Size)) {
+      const uint8_t *P = M.Mem.spanForRead(tagShadowAddr(Addr), Size);
+      if (!P) {
+        if (Tag == 0)
+          return; // unmapped already reads as zero: nothing to change
+      } else {
+        unsigned I = 0;
+        while (I != Size && P[I] == Tag)
+          ++I;
+        if (I == Size)
+          return; // no byte changes: no materialization, no dirty bit
+      }
+      if (Logging)
+        for (unsigned I = 0; I != Size; ++I) {
+          uint8_t Old = P ? P[I] : 0;
+          if (Old != Tag)
+            Log.push_back({Addr + I, Old});
+        }
+      memset(M.Mem.spanForWrite(tagShadowAddr(Addr), Size), Tag, Size);
+      return;
+    }
     for (unsigned I = 0; I != Size; ++I) {
       uint64_t SA = tagShadowAddr(Addr + I);
       uint8_t Old = M.Mem.readU8(SA);
@@ -72,6 +114,31 @@ public:
 
   /// OR-merges \p Tag into every byte of [Addr, Addr+Size).
   void orMemTag(uint64_t Addr, unsigned Size, uint8_t Tag) {
+    if (Tag == 0)
+      return; // OR with zero never changes a tag byte
+    if (samePage(Addr, Size)) {
+      const uint8_t *P = M.Mem.spanForRead(tagShadowAddr(Addr), Size);
+      if (P) {
+        unsigned I = 0;
+        while (I != Size && (P[I] | Tag) == P[I])
+          ++I;
+        if (I == Size)
+          return; // every byte already carries the bits
+      }
+      if (Logging)
+        for (unsigned I = 0; I != Size; ++I) {
+          uint8_t Old = P ? P[I] : 0;
+          if ((Old | Tag) != Old)
+            Log.push_back({Addr + I, Old});
+        }
+      uint8_t *W = M.Mem.spanForWrite(tagShadowAddr(Addr), Size);
+      if (P)
+        for (unsigned I = 0; I != Size; ++I)
+          W[I] = static_cast<uint8_t>(W[I] | Tag);
+      else
+        memset(W, Tag, Size); // fresh page: every byte was zero
+      return;
+    }
     for (unsigned I = 0; I != Size; ++I) {
       uint64_t SA = tagShadowAddr(Addr + I);
       uint8_t Old = M.Mem.readU8(SA);

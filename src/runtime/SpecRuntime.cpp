@@ -32,6 +32,64 @@ SpecRuntime::SpecRuntime(vm::Machine &M, MetaTable Meta, RuntimeOptions Opts)
   Cov.init(this->Meta.NumNormalGuards, this->Meta.NumSpecGuards);
 }
 
+SpecRuntime::~SpecRuntime() {
+  // The published view points into this runtime's coverage map; a later
+  // run of the machine without a handler must take the (always correct)
+  // slow path, not chase a dangling pointer.
+  M.FastPath = vm::IntrinsicFastPath();
+}
+
+void SpecRuntime::publishFastPath() {
+  // The masks mirror onIntrinsic() case by case: bit I is set only when
+  // the handler provably returns without touching any state in that
+  // mode under the attached options. onIntrinsic stays the single
+  // source of truth — the engines' inline path retires exactly the
+  // intrinsics for which the handler would have done nothing.
+  auto Bit = [](IntrinsicID I) { return 1u << static_cast<unsigned>(I); };
+  static_assert(static_cast<unsigned>(IntrinsicID::NumIntrinsics) <= 32,
+                "no-op masks are uint32 bitsets");
+
+  // Normal execution (InSim == 0).
+  uint32_t Normal = Bit(IntrinsicID::None) | Bit(IntrinsicID::RestoreCond) |
+                    Bit(IntrinsicID::RestoreUncond) |
+                    Bit(IntrinsicID::AsanCheck) | Bit(IntrinsicID::MemLog) |
+                    Bit(IntrinsicID::TaintSink) |
+                    Bit(IntrinsicID::TaintBranch) |
+                    Bit(IntrinsicID::CovSpecGuard) |
+                    Bit(IntrinsicID::EscapeCheckRet) |
+                    Bit(IntrinsicID::EscapeCheckTgt) |
+                    Bit(IntrinsicID::MarkerCheck) |
+                    Bit(IntrinsicID::SpecFuzzGuarded);
+  // In simulation (InSim != 0). CovGuard must always be set here: the
+  // JIT's saturation probe infers "normal mode" from a clear carry.
+  uint32_t InSim = Bit(IntrinsicID::None) | Bit(IntrinsicID::TagBlock) |
+                   Bit(IntrinsicID::CovGuard) |
+                   Bit(IntrinsicID::SpecFuzzGuarded);
+  if (!Opts.SimulateSpeculation) {
+    Normal |= Bit(IntrinsicID::StartSim) | Bit(IntrinsicID::StartSimNested);
+    InSim |= Bit(IntrinsicID::StartSim) | Bit(IntrinsicID::StartSimNested);
+  }
+  if (!Opts.EnableDift) {
+    Normal |= Bit(IntrinsicID::TagProp) | Bit(IntrinsicID::TagBlock);
+    InSim |= Bit(IntrinsicID::TagProp) | Bit(IntrinsicID::TaintSink) |
+             Bit(IntrinsicID::TaintBranch);
+  }
+
+  M.FastPath.NoOpNormalMask = Normal;
+  M.FastPath.NoOpInSimMask = InSim;
+  M.FastPath.InSim = inSimulation() ? 1 : 0;
+  M.FastPath.NormalCov = Cov.normalMap().data();
+  M.FastPath.NormalCovSize = Cov.normalMap().size();
+  M.FastPath.Enabled = 1;
+}
+
+void SpecRuntime::accumulateHotPathStats() {
+  Stats.TlbGuestHits += M.Mem.tlbGuestHits();
+  Stats.TlbRuntimeHits += M.Mem.tlbRuntimeHits();
+  Stats.TlbSlowPathCalls += M.Mem.tlbSlowPathCalls();
+  Stats.IntrinsicFastPathHits += M.intrinsicFastPathHits();
+}
+
 void SpecRuntime::attach() {
   M.Intrinsics = this;
   M.FaultHook = [this](vm::Machine &, vm::FaultKind, uint64_t) {
@@ -51,6 +109,7 @@ void SpecRuntime::attach() {
       Tags.setMemTag(Addr, static_cast<unsigned>(Len), TagUser);
   };
   writeSimFlag(0);
+  publishFastPath();
 }
 
 void SpecRuntime::resetRun() {
@@ -110,6 +169,10 @@ json::Value SpecRuntime::saveState() const {
   St.set("skipped_by_heuristic", Stats.SkippedByHeuristic);
   St.set("max_depth_seen", Stats.MaxDepthSeen);
   St.set("watchdog_trips", Stats.WatchdogTrips);
+  St.set("tlb_guest_hits", Stats.TlbGuestHits);
+  St.set("tlb_runtime_hits", Stats.TlbRuntimeHits);
+  St.set("slow_path_calls", Stats.TlbSlowPathCalls);
+  St.set("intrinsic_fast_path_hits", Stats.IntrinsicFastPathHits);
   V.set("stats", std::move(St));
   return V;
 }
@@ -219,6 +282,26 @@ Error SpecRuntime::loadState(const json::Value &V) {
                        "unsigned integer");
     NewStats.WatchdogTrips = WT->asUInt();
   }
+  // Optional with default, like watchdog_trips: hot-path accounting
+  // keys appeared after the snapshot format shipped.
+  auto GetOptStat = [&](const char *Key, uint64_t &Out) -> Error {
+    if (const json::Value *OV = St->find(Key)) {
+      if (!OV->isUInt())
+        return makeError("runtime state: stats.%s is not an unsigned integer",
+                         Key);
+      Out = OV->asUInt();
+    }
+    return Error::success();
+  };
+  if (Error E = GetOptStat("tlb_guest_hits", NewStats.TlbGuestHits))
+    return E;
+  if (Error E = GetOptStat("tlb_runtime_hits", NewStats.TlbRuntimeHits))
+    return E;
+  if (Error E = GetOptStat("slow_path_calls", NewStats.TlbSlowPathCalls))
+    return E;
+  if (Error E = GetOptStat("intrinsic_fast_path_hits",
+                           NewStats.IntrinsicFastPathHits))
+    return E;
 
   // All pieces parsed; validate the remaining failure cases up front so
   // the commit below is all-or-nothing (a half-applied snapshot would be
@@ -236,6 +319,10 @@ Error SpecRuntime::loadState(const json::Value &V) {
   BranchEncounters = std::move(Enc);
   BranchSimulations = std::move(Sim);
   Stats = NewStats;
+  // restoreMaps replaced the coverage vector; the published CovGuard
+  // saturation probe must chase the new storage.
+  if (M.FastPath.Enabled)
+    publishFastPath();
   return Error::success();
 }
 
@@ -503,6 +590,24 @@ void SpecRuntime::handleTaintSink(uint64_t Site, const MemRef &Mem,
 //===----------------------------------------------------------------------===//
 // Intrinsic dispatch
 //===----------------------------------------------------------------------===//
+
+bool SpecRuntime::onIntrinsicResolved(vm::Machine &Mach, const Instruction &I,
+                                      const Instruction *NextReal) {
+  // TagProp's only job is to transfer tags across the next real
+  // instruction, which the handler otherwise finds by re-decoding
+  // forward from the PC on every execution. The block-compiled tiers
+  // resolved that walk once at block build; trust the hint and skip the
+  // decode loop. A null hint (block-cut tail) falls back to the walk,
+  // as does every other intrinsic.
+  if (I.Intr == IntrinsicID::TagProp && NextReal) {
+    assert(&Mach == &M && "runtime attached to a different machine");
+    (void)Mach;
+    if (Opts.EnableDift)
+      Tags.transfer(*NextReal);
+    return true;
+  }
+  return onIntrinsic(Mach, I);
+}
 
 bool SpecRuntime::onIntrinsic(vm::Machine &Mach, const Instruction &I) {
   assert(&Mach == &M && "runtime attached to a different machine");

@@ -94,11 +94,23 @@ struct RuntimeStats {
   unsigned MaxDepthSeen = 0;
   /// Executions whose rollback count hit RuntimeOptions::MaxRollbacksPerRun.
   uint64_t WatchdogTrips = 0;
+
+  // Hot-path accounting, accumulated once per execution from the VM's
+  // per-run counters (accumulateHotPathStats). Diagnostic only — the
+  // split-TLB and intrinsic-fast-path totals explain where executions
+  // spend their time, and vary legitimately between engines.
+  uint64_t TlbGuestHits = 0;
+  uint64_t TlbRuntimeHits = 0;
+  uint64_t TlbSlowPathCalls = 0;
+  uint64_t IntrinsicFastPathHits = 0;
 };
 
 class SpecRuntime : public vm::IntrinsicHandler {
 public:
   SpecRuntime(vm::Machine &M, MetaTable Meta, RuntimeOptions Opts);
+  /// Withdraws the published intrinsic fast-path view (it points into
+  /// this runtime's coverage map).
+  ~SpecRuntime() override;
 
   /// Installs every hook on the machine (intrinsics, fault handler, ASan
   /// allocator, input-taint hook) and writes the in-simulation flag into
@@ -122,6 +134,14 @@ public:
   Error loadState(const json::Value &V);
 
   bool onIntrinsic(vm::Machine &M, const isa::Instruction &I) override;
+  bool onIntrinsicResolved(vm::Machine &M, const isa::Instruction &I,
+                           const isa::Instruction *NextReal) override;
+
+  /// Folds the Machine's per-run hot-path counters (split-TLB hit /
+  /// slow-path totals, inline intrinsic retires) into Stats. Call once
+  /// per execution, after the run finishes — the Machine resets the
+  /// underlying counters at every resetToBaseline.
+  void accumulateHotPathStats();
 
   bool inSimulation() const { return !Checkpoints.empty(); }
   unsigned depth() const {
@@ -194,7 +214,20 @@ private:
   uint64_t installedMalloc(uint64_t Size);
   void installedFree(uint64_t Ptr);
 
-  void writeSimFlag(uint64_t V) { M.Mem.writeUnsigned(Meta.SimFlagAddr, V, 8); }
+  /// Publishes the intrinsic fast-path view (vm::IntrinsicFastPath):
+  /// the per-mode no-op masks derived from Opts, and the normal-mode
+  /// coverage map for the CovGuard saturation probe. Re-run whenever
+  /// the coverage vector can have moved (attach, loadState).
+  void publishFastPath();
+
+  /// The simulation flag lives in guest memory (the rewriter's
+  /// single-copy guards read it) *and* in the published fast-path view
+  /// (the engines' inline mask selector); this is the single transition
+  /// point that keeps both in sync.
+  void writeSimFlag(uint64_t V) {
+    M.Mem.writeUnsigned(Meta.SimFlagAddr, V, 8);
+    M.FastPath.InSim = static_cast<uint32_t>(V);
+  }
 };
 
 } // namespace runtime

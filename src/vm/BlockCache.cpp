@@ -251,8 +251,13 @@ static Uop lower(const Decoded &D, bool FlagsNeeded) {
     U.X = static_cast<uint8_t>(I.CC);
     U.Imm = I.A.Imm;
     break;
+  case Opcode::INTR:
+    U.Kind = UopKind::Intr;
+    U.X = static_cast<uint8_t>(I.Intr);
+    U.Imm = I.IntrPayload;
+    break;
   default:
-    U.Kind = UopKind::Fallback; // JMPI/CALL/CALLI/RET/HALT/EXT/INTR/div
+    U.Kind = UopKind::Fallback; // JMPI/CALL/CALLI/RET/HALT/EXT/div
     break;
   }
   return U;
@@ -267,7 +272,7 @@ DecodedBlock *BlockCache::build(uint64_t PC, const Memory &Mem) {
     if (A - CodeBase >= CodeSize)
       break; // ran off the code region; the step path faults exactly here
     uint8_t Buf[40];
-    Mem.read(A, Buf, sizeof(Buf));
+    Mem.readCode(A, Buf, sizeof(Buf));
     auto D = decode(Buf, sizeof(Buf), 0);
     if (!D)
       break; // undecodable tail: the block ends one instruction early
@@ -284,6 +289,20 @@ DecodedBlock *BlockCache::build(uint64_t PC, const Memory &Mem) {
   B->Uops.reserve(B->Insts.size());
   for (size_t I = 0; I != B->Insts.size(); ++I)
     B->Uops.push_back(lower(B->Insts[I].D, FlagsNeeded[I]));
+
+  // Resolve each INTR's "next real instruction" (the TagProp transfer
+  // target) against the block's own decode: a backward sweep finds the
+  // first non-INTR instruction after each intrinsic. Intrinsics whose
+  // run reaches the block end stay null — the architectural decode walk
+  // would continue past the block, so handlers fall back to walking.
+  // Insts is final here; the pointers stay valid for the block's life.
+  const Instruction *NextReal = nullptr;
+  for (size_t I = B->Insts.size(); I-- > 0;) {
+    if (B->Insts[I].D.I.Op == Opcode::INTR)
+      B->Insts[I].ResolvedNext = NextReal;
+    else
+      NextReal = &B->Insts[I].D.I;
+  }
 
   Index[PC - CodeBase] = B;
   Blocks.push_back(std::move(Owner));

@@ -51,6 +51,14 @@ class Memory;
 struct BlockInst {
   isa::Decoded D;
   uint64_t NextPC = 0;
+  /// For INTR instructions: the next *real* (non-INTR) instruction in
+  /// this block — the target a TagProp transfer resolves to, precomputed
+  /// at block build so the per-execution decode walk disappears. Points
+  /// into this block's own Insts (stable for the block's lifetime, like
+  /// the Decoded pointers the JIT embeds). Null when the block ends in
+  /// intrinsics (the walk must continue past the block) or for non-INTR
+  /// instructions.
+  const isa::Instruction *ResolvedNext = nullptr;
 };
 
 /// Micro-op kinds. Block compilation lowers each decoded instruction to
@@ -109,7 +117,10 @@ enum class UopKind : uint8_t {
   PopR,
   Jmp,
   Jcc,
-  Fallback, // JMPI/CALL/CALLI/RET/HALT/EXT/INTR/UDIV/UREM/store-imm/...
+  Fallback, // JMPI/CALL/CALLI/RET/HALT/EXT/UDIV/UREM/store-imm/...
+  Intr,     // INTR: X = IntrinsicID, Imm = payload. Carries the inline
+            // no-op fast path (Machine::FastPath); the slow path runs
+            // the handler with the block's ResolvedNext hint.
 };
 
 /// One 16-byte micro-op. Uops[i] corresponds 1:1 to Insts[i]; the
@@ -121,7 +132,8 @@ struct Uop {
   uint8_t Len = 0;      // encoded length: the PC advance
   uint8_t A = 0;        // dst / src register
   uint8_t B = 0;        // second register / base register (NoReg: absent)
-  uint8_t X = 0;        // index register (NoReg: absent), or CondCode
+  uint8_t X = 0;        // index register (NoReg: absent), CondCode, or
+                        // IntrinsicID (Intr)
   uint8_t ScaleLog = 0; // log2 of the index scale
   uint8_t SizeLog = 0;  // log2 of the access size
   uint8_t Pad = 0;

@@ -230,7 +230,8 @@ uint64_t Jit::intrRunSlow(Machine *M, const BlockInst *BI, uint64_t N) {
     const BlockInst &B = BI[K];
     M->C.PC = B.NextPC;
     ++M->ExecutedIntrinsics;
-    if (M->Intrinsics && !M->Intrinsics->onIntrinsic(*M, B.D.I)) {
+    if (M->Intrinsics &&
+        !M->Intrinsics->onIntrinsicResolved(*M, B.D.I, B.ResolvedNext)) {
       M->JitStop.Kind = StopKind::ExtError;
       return ExitStopped | ((K + 1) << 3);
     }
@@ -632,6 +633,33 @@ struct Emitter {
     b(0x39);
     modMem(Reg, Base, Disp);
   }
+  /// mov Dst32, dword [Base + Disp] (zero-extends into Dst).
+  void loadMem32(int Dst, int Base, int32_t Disp) {
+    rex(0, Dst, 0, Base);
+    b(0x8B);
+    modMem(Dst, Base, Disp);
+  }
+  /// bt Reg32, imm8 — bit into the carry flag.
+  void btR32Imm(int Reg, uint8_t Bit) {
+    rex(0, 0, 0, Reg);
+    b(0x0F);
+    b(0xBA);
+    modReg(4, Reg);
+    b(Bit);
+  }
+  /// inc qword [Base + Disp].
+  void incMem(int Base, int32_t Disp) {
+    rex(1, 0, 0, Base);
+    b(0xFF);
+    modMem(0, Base, Disp);
+  }
+  /// cmp qword [Base + Disp], imm32 (sign-extended).
+  void cmpMemImm32(int Base, int32_t Disp, int32_t Imm) {
+    rex(1, 0, 0, Base);
+    b(0x81);
+    modMem(7, Base, Disp);
+    w32(uint32_t(Imm));
+  }
 
   // --- Misc --------------------------------------------------------------
   void endbr64() {
@@ -907,6 +935,14 @@ const void *Jit::compile(DecodedBlock &B) {
 
   const int32_t CellOff = int32_t(offsetof(Memory::TLBEntry, Cell));
   const int32_t DirtyOff = int32_t(offsetof(Memory::PageCell, Dirty));
+  // r14 pins &M.ExecutedInsts; the other two hot counters are declared
+  // adjacent to it (Machine.h keeps them so as codegen ABI).
+  const int32_t IntrsCtrDisp =
+      int32_t(reinterpret_cast<const char *>(&M.ExecutedIntrinsics) -
+              reinterpret_cast<const char *>(&M.ExecutedInsts));
+  const int32_t FastHitsCtrDisp =
+      int32_t(reinterpret_cast<const char *>(&M.IntrFastHits) -
+              reinterpret_cast<const char *>(&M.ExecutedInsts));
 
   // --- Block entry: budget check ----------------------------------------
   // (An indirect-branch target: the enter thunk arrives via `jmp rsi`.)
@@ -1348,6 +1384,129 @@ const void *Jit::compile(DecodedBlock &B) {
       break;
     }
 
+    case UopKind::Intr: {
+      // A run of consecutive intrinsics [I, I+N). Instrumented code is
+      // intrinsic-dense (coverage guards, restore markers, and taint
+      // plumbing between real instructions), so this is the most
+      // frequent uop kind by dynamic count in rewritten binaries.
+      uint64_t N = 1;
+      while (I + N != NumUops && B.Uops[I + N].Kind == UopKind::Intr)
+        ++N;
+
+      static_assert(offsetof(IntrinsicFastPath, Enabled) == 0 &&
+                        offsetof(IntrinsicFastPath, InSim) == 4 &&
+                        offsetof(IntrinsicFastPath, NoOpNormalMask) == 8 &&
+                        offsetof(IntrinsicFastPath, NoOpInSimMask) == 12,
+                    "intrinsic fast-path codegen reads fixed offsets");
+      const int32_t InSimOff = int32_t(offsetof(IntrinsicFastPath, InSim));
+      const int32_t NormalMaskOff =
+          int32_t(offsetof(IntrinsicFastPath, NoOpNormalMask));
+      const int32_t InSimMaskOff =
+          int32_t(offsetof(IntrinsicFastPath, NoOpInSimMask));
+      const int32_t CovPtrOff =
+          int32_t(offsetof(IntrinsicFastPath, NormalCov));
+      const int32_t CovSizeOff =
+          int32_t(offsetof(IntrinsicFastPath, NormalCovSize));
+
+      // Statically always-slow IDs get no inline check: TagProp/TagBlock
+      // do real work whenever DIFT is on, StartSim* whenever speculation
+      // is simulated, and the RA poisons always. Grouping them into
+      // unconditional helper segments keeps the common configuration
+      // from failing a mask test per execution. Everything else consults
+      // the handler's published view (Machine::FastPath) at run time and
+      // retires masked no-ops as two counter increments without leaving
+      // generated code — an absent view (Enabled == 0) or a mask miss
+      // takes the helper, which is the unchanged reference path.
+      const auto eligible = [&](uint64_t K) {
+        const Uop &UK = B.Uops[K];
+        switch (static_cast<isa::IntrinsicID>(UK.X)) {
+        case isa::IntrinsicID::StartSim:
+        case isa::IntrinsicID::StartSimNested:
+        case isa::IntrinsicID::TagProp:
+        case isa::IntrinsicID::TagBlock:
+        case isa::IntrinsicID::RAPoison:
+        case isa::IntrinsicID::RAUnpoison:
+          return false;
+        case isa::IntrinsicID::CovGuard:
+          // The saturation probe embeds the guard id as imm32/disp32.
+          return uint64_t(UK.Imm) <= uint64_t(INT32_MAX);
+        default:
+          return UK.X < uint8_t(isa::IntrinsicID::NumIntrinsics);
+        }
+      };
+      // One intrRunSlow covering [K, K+Len). Nonzero statuses unpack in
+      // the run stub (dynamic consumed count); on status 0 control
+      // continues at the next emitted site, so a segment that does not
+      // reach the run's end falls through to the following uop's check.
+      const auto slowSeg = [&](uint64_t K, uint64_t Len) {
+        E.movRR(RDI, R13);
+        E.movRI(RSI, reinterpret_cast<uint64_t>(&B.Insts[K]));
+        E.movRI(RDX, Len);
+        E.callAbs(reinterpret_cast<const void *>(&Jit::intrRunSlow));
+        E.testEax();
+        E.jcc(0x5, runLabel(K)); // jne: an intrinsic didn't fall through
+      };
+
+      Label BatchEnd;
+      uint64_t K = I;
+      while (K != I + N) {
+        if (!eligible(K)) {
+          uint64_t End = K + 1;
+          while (End != I + N && !eligible(End))
+            ++End;
+          slowSeg(K, End - K);
+          K = End;
+          continue;
+        }
+        const auto ID = static_cast<isa::IntrinsicID>(B.Uops[K].X);
+        Label SlowK, EndK;
+        E.movRI(RAX, reinterpret_cast<uint64_t>(&M.FastPath));
+        E.loadMem32(RCX, RAX, 0); // Enabled
+        E.testRR(RCX);
+        E.jcc(0x4, SlowK); // jz: no published view
+        E.loadMem32(RCX, RAX, NormalMaskOff);
+        E.loadMem32(RDX, RAX, InSimOff);
+        E.testRR(RDX);
+        Label Sel;
+        E.jcc(0x4, Sel); // jz: normal mode — mask already in ecx
+        E.loadMem32(RCX, RAX, InSimMaskOff);
+        E.bind(Sel);
+        E.btR32Imm(RCX, uint8_t(ID));
+        if (ID == isa::IntrinsicID::CovGuard) {
+          // No carry implies normal mode (the in-sim mask always holds
+          // the CovGuard bit): the guard is then a no-op iff its counter
+          // is saturated or the id is out of the map's range — the exact
+          // Coverage::hitNormal early-out.
+          Label FastK;
+          E.jcc(0x2, FastK); // jc: masked (in-sim)
+          E.cmpMemImm32(RAX, CovSizeOff, int32_t(uint32_t(B.Uops[K].Imm)));
+          E.jcc(0x6, FastK); // jbe: NormalCovSize <= id — out of range
+          E.loadMem(RCX, RAX, CovPtrOff);
+          E.cmpMem8Imm(RCX, int32_t(uint32_t(B.Uops[K].Imm)), 0xFF);
+          E.jcc(0x5, SlowK); // jne: unsaturated — the handler counts it
+          E.bind(FastK);
+        } else {
+          E.jcc(0x3, SlowK); // jnc: not a no-op in the current mode
+        }
+        // Fast retire: the no-op consumes budget at the block-end settle
+        // like every straight-line uop; only the intrinsic counters
+        // advance here. r14 pins &ExecutedInsts; ExecutedIntrinsics and
+        // IntrFastHits sit at fixed displacements behind it.
+        E.incMem(R14, IntrsCtrDisp);
+        E.incMem(R14, FastHitsCtrDisp);
+        E.jmp(EndK);
+        E.bind(SlowK);
+        slowSeg(K, I + N - K);
+        E.jmp(BatchEnd); // status 0: the helper ran the rest of the run
+        E.bind(EndK);
+        ++K;
+      }
+      E.bind(BatchEnd);
+      I += N - 1; // the loop's ++I steps past the run
+      Mirror = false;
+      break;
+    }
+
     case UopKind::Fallback: {
       const isa::Instruction &Inst = B.Insts[I].D.I;
       // The diverting terminators get native fast paths: instrumented
@@ -1365,23 +1524,6 @@ const void *Jit::compile(DecodedBlock &B) {
         // Status 0 — a squashed terminator whose PC fell through —
         // continues to the block-end fall-through below.
       };
-
-      if (Inst.Op == isa::Opcode::INTR) {
-        // Batch the whole run of consecutive intrinsics into one call.
-        uint64_t N = 1;
-        while (I + N != NumUops && B.Uops[I + N].Kind == UopKind::Fallback &&
-               B.Insts[I + N].D.I.Op == isa::Opcode::INTR)
-          ++N;
-        E.movRR(RDI, R13);
-        E.movRI(RSI, reinterpret_cast<uint64_t>(&B.Insts[I]));
-        E.movRI(RDX, N);
-        E.callAbs(reinterpret_cast<const void *>(&Jit::intrRunSlow));
-        E.testEax();
-        E.jcc(0x5, runLabel(I)); // jne: some intrinsic didn't fall through
-        I += N - 1;              // the loop's ++I steps past the run
-        Mirror = false;
-        break;
-      }
 
       if (Inst.Op == isa::Opcode::JMPI) {
         // JMPI: C.PC = R[A]. Nothing can fault or stop.

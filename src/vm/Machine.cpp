@@ -57,7 +57,8 @@ Error Machine::loadObject(const obj::ObjectFile &Obj) {
   uint64_t Sentinel = HaltSentinel;
   Mem.write(C.R[SP], &Sentinel, 8);
   HeapBump = obj::HeapBase;
-  ExecutedInsts = ExecutedIntrinsics = 0;
+  ExecutedInsts = ExecutedIntrinsics = IntrFastHits = 0;
+  Mem.resetHotPathCounters();
   Output.clear();
   InputCursor = 0;
   return Error::success();
@@ -75,7 +76,8 @@ void Machine::resetToBaseline() {
   HeapBump = BaselineHeapBump;
   Output.clear();
   InputCursor = 0;
-  ExecutedInsts = ExecutedIntrinsics = 0;
+  ExecutedInsts = ExecutedIntrinsics = IntrFastHits = 0;
+  Mem.resetHotPathCounters();
 }
 
 const Decoded *Machine::decodeAt(uint64_t Addr) {
@@ -87,7 +89,7 @@ const Decoded *Machine::decodeAt(uint64_t Addr) {
   if (It != ICache.end())
     return &It->second;
   uint8_t Buf[40];
-  Mem.read(Addr, Buf, sizeof(Buf));
+  Mem.readCode(Addr, Buf, sizeof(Buf));
   auto D = decode(Buf, sizeof(Buf), 0);
   if (!D)
     return nullptr;
@@ -670,10 +672,10 @@ StopState Machine::runBlocks(uint64_t MaxInsts) {
       &&H_SarRR,    &&H_SarRI,    &&H_MulRR,    &&H_MulRI,    &&H_NotR,
       &&H_NegR,     &&H_SetCC,    &&H_CmovRR,   &&H_CmovRI,   &&H_Lea,
       &&H_Load,     &&H_LoadS,    &&H_StoreR,   &&H_PushR,    &&H_PushI,
-      &&H_PopR,     &&H_Jmp,      &&H_Jcc,      &&H_Fallback,
+      &&H_PopR,     &&H_Jmp,      &&H_Jcc,      &&H_Fallback, &&H_Intr,
   };
   static_assert(sizeof(Handlers) / sizeof(Handlers[0]) ==
-                    static_cast<size_t>(UopKind::Fallback) + 1,
+                    static_cast<size_t>(UopKind::Intr) + 1,
                 "handler table must cover every UopKind, in order");
 
 // Advance to the next uop of the current block, or fall off its end.
@@ -976,6 +978,55 @@ H_Fallback: {
     // hook/intrinsic redirect (rollback, trampoline, marker bounce) —
     // or a write that patched the code region. Exit the block; the
     // chain resolves hot successors without touching the index.
+    ++U;
+    Diverted = true;
+    goto block_exit;
+  }
+  TEAPOT_DISPATCH();
+}
+H_Intr: {
+  // Inline no-op fast path: when the handler-published view proves this
+  // IntrinsicID is an architectural no-op in the current mode, retire it
+  // without leaving the uop loop — no C.PC write, no handler call. The
+  // lazy PC and batched budget stay exact: a no-op cannot observe them.
+  if (__builtin_expect(FastPath.Enabled, 1)) {
+    uint32_t Mask =
+        FastPath.InSim ? FastPath.NoOpInSimMask : FastPath.NoOpNormalMask;
+    bool Skip = (Mask >> U->X) & 1u;
+    if (!Skip && !FastPath.InSim &&
+        static_cast<isa::IntrinsicID>(U->X) == isa::IntrinsicID::CovGuard) {
+      // Saturated (or out-of-range) coverage guards stop counting:
+      // hitNormal would be a no-op.
+      uint64_t Id = static_cast<uint32_t>(U->Imm);
+      Skip = Id >= FastPath.NormalCovSize || FastPath.NormalCov[Id] == 0xff;
+    }
+    if (Skip) {
+      ++ExecutedIntrinsics;
+      ++IntrFastHits;
+      TEAPOT_DISPATCH();
+    }
+  }
+  // Slow path: exec()'s INTR semantics (Machine.cpp, `case Opcode::INTR`)
+  // with the block's resolved TagProp target passed through. Any change
+  // here must be mirrored there and in Jit::intrRunSlow.
+  C.PC = PC;
+  const BlockInst &BI = B->Insts[U - UBase];
+  ++ExecutedIntrinsics;
+  if (Intrinsics && !Intrinsics->onIntrinsicResolved(*this, BI.D.I,
+                                                     BI.ResolvedNext)) {
+    Stop.Kind = StopKind::ExtError;
+    ExecutedInsts += static_cast<uint64_t>(U - UBase) + 1;
+    return Stop;
+  }
+  if (__builtin_expect(Mem.oomPending(), 0)) {
+    Mem.clearOomPending();
+    if (!raiseFault(FaultKind::OutOfMemory, C.PC, Stop)) {
+      ExecutedInsts += static_cast<uint64_t>(U - UBase) + 1;
+      return Stop;
+    }
+  }
+  if (C.PC != PC || BlocksEpoch != Mem.watchEpoch()) {
+    // Handler redirect (rollback, trampoline) or a code-region write.
     ++U;
     Diverted = true;
     goto block_exit;

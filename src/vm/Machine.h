@@ -75,12 +75,51 @@ struct StopState {
 
 class Machine;
 
+/// A handler-published view that lets the compiled engines retire
+/// common no-op intrinsics without leaving generated (or threaded)
+/// code. The handler remains the single source of truth: it publishes
+/// which IntrinsicIDs are architectural no-ops in each mode, and the
+/// engines consult the view *per execution* — a stale or absent view
+/// (Enabled == 0) just routes every INTR through the slow path, which
+/// is always correct.
+///
+/// Layout is codegen ABI: the JIT embeds &Machine::FastPath and reads
+/// the fields at fixed offsets (static_asserts in vm/Jit.cpp), so the
+/// struct must stay standard-layout and the offsets stable.
+struct IntrinsicFastPath {
+  /// Nonzero once a handler has published valid masks.
+  uint32_t Enabled = 0;
+  /// Nonzero while the handler is simulating misprediction (depth > 0);
+  /// selects which mask applies.
+  uint32_t InSim = 0;
+  /// Bit I set: IntrinsicID I is a complete no-op when InSim == 0.
+  uint32_t NoOpNormalMask = 0;
+  /// Bit I set: IntrinsicID I is a complete no-op when InSim != 0.
+  uint32_t NoOpInSimMask = 0;
+  uint32_t Pad = 0;
+  /// CovGuard's saturation fast path (normal mode only): the guard is a
+  /// no-op iff Id >= NormalCovSize || NormalCov[Id] == 0xff. Must be
+  /// republished whenever the underlying coverage vector can move.
+  const uint8_t *NormalCov = nullptr;
+  uint64_t NormalCovSize = 0;
+};
+
 /// Receives INTR instructions. Returning false requests a machine stop
 /// (treated as ExtError).
 class IntrinsicHandler {
 public:
   virtual ~IntrinsicHandler() = default;
   virtual bool onIntrinsic(Machine &M, const isa::Instruction &I) = 0;
+  /// INTR delivery from the block-compiled tiers, carrying the decoded
+  /// block's precomputed "next real (non-INTR) instruction" — the
+  /// target a TagProp transfer walks to. \p NextReal is null when the
+  /// block could not resolve it (block-cut tails); handlers must then
+  /// fall back to their own walk. Default: ignore the hint.
+  virtual bool onIntrinsicResolved(Machine &M, const isa::Instruction &I,
+                                   const isa::Instruction *NextReal) {
+    (void)NextReal;
+    return onIntrinsic(M, I);
+  }
 };
 
 /// Standard external-function indices (the workload "libc").
@@ -184,6 +223,10 @@ public:
 
   // --- Hooks -------------------------------------------------------------
   IntrinsicHandler *Intrinsics = nullptr;
+  /// Intrinsic no-op fast-path view, published by the handler (see
+  /// IntrinsicFastPath). Public so the handler can keep InSim and the
+  /// coverage view current; the engines only read it.
+  IntrinsicFastPath FastPath;
   /// Return true to resume (after redirecting PC); false to stop.
   std::function<bool(Machine &, FaultKind, uint64_t)> FaultHook;
   /// Replaceable allocator (the runtime installs the ASan allocator).
@@ -203,6 +246,10 @@ public:
   // --- Introspection ------------------------------------------------------
   uint64_t executedInsts() const { return ExecutedInsts; }
   uint64_t executedIntrinsics() const { return ExecutedIntrinsics; }
+  /// Intrinsics retired through the compiled tiers' inline no-op fast
+  /// path (never delivered to the handler). Always 0 on the reference
+  /// interpreter — a per-engine diagnostic, not architectural state.
+  uint64_t intrinsicFastPathHits() const { return IntrFastHits; }
   /// Times runJit gave up on the JIT tier mid-run (broken arena or
   /// flush thrashing) and finished through the block engine. Purely
   /// informational: all tiers are bit-exact, so degrading never changes
@@ -269,8 +316,13 @@ private:
   uint64_t InputCursor = 0;
   std::vector<uint8_t> Output;
   uint64_t HeapBump = 0;
+  // ExecutedInsts / ExecutedIntrinsics / IntrFastHits are codegen ABI:
+  // the JIT addresses all three relative to its pinned &ExecutedInsts
+  // (r14), so they must stay adjacent and in this order (checked at
+  // codegen in vm/Jit.cpp).
   uint64_t ExecutedInsts = 0;
   uint64_t ExecutedIntrinsics = 0;
+  uint64_t IntrFastHits = 0;
   uint64_t JitDegrades = 0;
 
   /// The JIT tier (lazily created by runJit) and the StopState its

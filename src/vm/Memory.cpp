@@ -8,13 +8,15 @@ using namespace teapot;
 using namespace teapot::vm;
 
 const Memory::PageCell *Memory::tlbFill(uint64_t Idx) const {
+  ++SlowPathCalls;
   auto It = Pages.find(Idx);
   PageCell *Cell = It == Pages.end() ? nullptr : It->second.get();
-  TLB[Idx & (TLBSlots - 1)] = {Idx, Cell};
+  tlbSlot(Idx) = {Idx, Cell};
   return Cell;
 }
 
 Memory::PageCell *Memory::pageForWrite(uint64_t Idx) {
+  ++SlowPathCalls;
   auto It = Pages.find(Idx);
   if (It == Pages.end()) {
     // Materialization attempt. Refusals (injected fault, or the MaxPages
@@ -36,7 +38,7 @@ Memory::PageCell *Memory::pageForWrite(uint64_t Idx) {
     It = Pages.emplace(Idx, std::move(P)).first;
   }
   PageCell *Cell = It->second.get();
-  TLB[Idx & (TLBSlots - 1)] = {Idx, Cell};
+  tlbSlot(Idx) = {Idx, Cell};
   markDirty(Idx, *Cell);
   return Cell;
 }
@@ -56,6 +58,17 @@ void Memory::read(uint64_t Addr, void *Out, size_t N) const {
     Addr += Chunk;
     N -= Chunk;
   }
+}
+
+void Memory::readCode(uint64_t Addr, void *Out, size_t N) const {
+  // Same path as read(), with the counter deltas discarded: the TLB
+  // still warms (fetches should stay fast), only the accounting is
+  // suppressed.
+  uint64_t G = GuestHits, R = RuntimeHits, S = SlowPathCalls;
+  read(Addr, Out, N);
+  GuestHits = G;
+  RuntimeHits = R;
+  SlowPathCalls = S;
 }
 
 void Memory::write(uint64_t Addr, const void *In, size_t N) {
@@ -101,6 +114,9 @@ void Memory::captureBaseline() {
   DirtyList.clear();
   TrackDirty = true;
   flushTLB(); // reclaimed pages may be cached
+  // Accounting starts fresh at the baseline: the load/attach traffic
+  // above is not part of any execution.
+  resetHotPathCounters();
 }
 
 size_t Memory::resetToBaseline() {

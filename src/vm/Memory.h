@@ -13,12 +13,24 @@
 /// Hot-path structure (one Memory is owned by one Machine and never
 /// shared between threads):
 ///
-///   - a small direct-mapped TLB of (page index -> PageCell*) entries is
-///     consulted before the `Pages` hash map on every access; misses are
-///     filled from the map, and unmapped pages are cached as negative
-///     entries (a later write refills the slot via pageForWrite). The
-///     TLB is flushed whenever pages can be unmapped: captureBaseline
-///     (zero-page reclaim) and resetToBaseline (post-capture unmap).
+///   - two small direct-mapped TLBs of (page index -> PageCell*) entries
+///     are consulted before the `Pages` hash map on every access: one
+///     dedicated to guest/user pages (obj::isUserAddress regions — the
+///     bank the JIT probes inline) and one to everything else (ASan and
+///     DIFT tag shadow, runtime globals). Splitting the banks keeps the
+///     runtime's shadow traffic, which runs between every pair of guest
+///     accesses in an instrumented binary, from evicting hot guest stack
+///     entries. Misses are filled from the map, and unmapped pages are
+///     cached as negative entries (a later write refills the slot via
+///     pageForWrite). Both banks are flushed whenever pages can be
+///     unmapped: captureBaseline (zero-page reclaim) and resetToBaseline
+///     (post-capture unmap).
+///   - hit/miss accounting: tlbGuestHits/tlbRuntimeHits count bank hits,
+///     tlbSlowPathCalls counts fills through the hash map. flushTLB
+///     leaves the counters alone; resetHotPathCounters() zeroes them —
+///     the Machine calls it per run alongside its own instruction
+///     counters, and the runtime accumulates the per-run values into
+///     campaign totals (RuntimeStats).
 ///   - each live page carries an inline dirty bit; the first tracked
 ///     write after a capture appends the page to `DirtyList` instead of
 ///     inserting into a hash set, so steady-state tracked writes are a
@@ -41,7 +53,10 @@
 #ifndef TEAPOT_VM_MEMORY_H
 #define TEAPOT_VM_MEMORY_H
 
+#include "obj/Layout.h"
+
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -93,6 +108,13 @@ public:
 
   /// Reads \p N bytes at \p Addr; unmapped bytes read as zero.
   void read(uint64_t Addr, void *Out, size_t N) const;
+
+  /// Instruction-fetch read: same bytes as read(), but exempt from the
+  /// hot-path accounting. Decode and block-build fetches depend on which
+  /// instruction caches are warm — a resumed campaign rebuilds caches an
+  /// uninterrupted one still holds — so counting them would break the
+  /// "resume is byte-identical" stats guarantee. Data traffic only.
+  void readCode(uint64_t Addr, void *Out, size_t N) const;
 
   /// Writes \p N bytes at \p Addr, materializing pages as needed.
   void write(uint64_t Addr, const void *In, size_t N);
@@ -168,6 +190,27 @@ public:
     write(Addr, &V, Size);
   }
 
+  /// Single-lookup span accessors for accesses the caller knows stay
+  /// within one page ((Addr & (PageSize-1)) + N <= PageSize). The tag
+  /// shadow's per-byte loops (runtime/Dift.h) use these to replace N
+  /// TLB lookups with one. spanForRead returns the N mapped bytes, or
+  /// nullptr when the page is unmapped (the bytes read as zero).
+  const uint8_t *spanForRead(uint64_t Addr, size_t N) const {
+    assert((Addr & (PageSize - 1)) + N <= PageSize && "span crosses page");
+    (void)N;
+    const PageCell *Cell = tlbLookup(Addr >> PageShift);
+    return Cell ? Cell->Data.data() + (Addr & (PageSize - 1)) : nullptr;
+  }
+  /// Writable span: materializes the page, maintains the dirty bit and
+  /// the code-watch epoch exactly like write() (a refused
+  /// materialization lands the span in the unobservable scratch page).
+  uint8_t *spanForWrite(uint64_t Addr, size_t N) {
+    assert((Addr & (PageSize - 1)) + N <= PageSize && "span crosses page");
+    (void)N;
+    PageCell *Cell = tlbLookupWrite(Addr >> PageShift);
+    return Cell->Data.data() + (Addr & (PageSize - 1));
+  }
+
   /// Registers a page-granular watch range (the Machine's code region).
   /// Any write that touches a watched page bumps watchEpoch(); the
   /// execution engines use this to invalidate decoded-instruction
@@ -200,25 +243,59 @@ public:
   /// Pages held by the baseline snapshot (excludes reclaimed zero pages).
   size_t baselinePageCount() const { return Baseline.size(); }
 
+  /// Hot-path accounting (see the header comment): hits in the guest
+  /// bank, hits in the runtime/shadow bank, and fills that had to
+  /// consult the Pages hash map. JIT-inline guest probes that hit in
+  /// generated code never reach C++ and are not counted here; the
+  /// counters are per-engine diagnostics, not architectural state.
+  uint64_t tlbGuestHits() const { return GuestHits; }
+  uint64_t tlbRuntimeHits() const { return RuntimeHits; }
+  uint64_t tlbSlowPathCalls() const { return SlowPathCalls; }
+  void resetHotPathCounters() { GuestHits = RuntimeHits = SlowPathCalls = 0; }
+
 private:
   /// The JIT tier emits the TLB probe, dirty-bit test, and watch-range
   /// exclusion inline in generated code, reading the same structures the
   /// accessors above use (docs/VM.md).
   friend class Jit;
 
-  // Direct-mapped TLB. Index ~0 is an impossible page index (addresses
-  // are 64-bit, so real indices fit in 52 bits) and marks an empty slot.
-  // Cell == nullptr with a matching Idx is a cached negative entry
-  // ("known unmapped"); pageForWrite overwrites the slot when the page
-  // materializes. Mutable: lookups on const Memory still fill slots.
+  // Direct-mapped TLB banks. Index ~0 is an impossible page index
+  // (addresses are 64-bit, so real indices fit in 52 bits) and marks an
+  // empty slot. Cell == nullptr with a matching Idx is a cached negative
+  // entry ("known unmapped"); pageForWrite overwrites the slot when the
+  // page materializes. Mutable: lookups on const Memory still fill slots.
   struct TLBEntry {
     uint64_t Idx;
     PageCell *Cell;
   };
   static constexpr size_t TLBSlots = 256; // 1 MiB of reach, 4 KiB of table
 
+  // Guest-bank classification, in page indices. A page belongs to the
+  // guest bank iff its address is user-visible (obj::isUserAddress):
+  // LowMem [0, LowMemEnd] or HighMem [HighMemStart, HighMemEnd]. The
+  // shadow regions (ASan at (A>>3)+0x7fff8000 for HighMem addresses,
+  // DIFT tags at A^1<<45) and anything else land in the runtime bank.
+  static constexpr uint64_t GuestLowPageEnd = obj::LowMemEnd >> PageShift;
+  static constexpr uint64_t GuestHighPageLo = obj::HighMemStart >> PageShift;
+  static constexpr uint64_t GuestHighPageSpan =
+      (obj::HighMemEnd >> PageShift) - (obj::HighMemStart >> PageShift);
+  static bool isGuestPage(uint64_t Idx) {
+    return Idx <= GuestLowPageEnd ||
+           Idx - GuestHighPageLo <= GuestHighPageSpan;
+  }
+
+  /// The bank slot a page index maps to.
+  TLBEntry &tlbSlot(uint64_t Idx) const {
+    auto &Bank = isGuestPage(Idx) ? TLB : RtTLB;
+    return Bank[Idx & (TLBSlots - 1)];
+  }
+
   void flushTLB() {
     for (TLBEntry &E : TLB) {
+      E.Idx = ~0ULL;
+      E.Cell = nullptr;
+    }
+    for (TLBEntry &E : RtTLB) {
       E.Idx = ~0ULL;
       E.Cell = nullptr;
     }
@@ -226,9 +303,19 @@ private:
 
   /// Read path: cached cell, or null for an unmapped page.
   const PageCell *tlbLookup(uint64_t Idx) const {
-    const TLBEntry &E = TLB[Idx & (TLBSlots - 1)];
-    if (E.Idx == Idx)
-      return E.Cell;
+    if (isGuestPage(Idx)) {
+      const TLBEntry &E = TLB[Idx & (TLBSlots - 1)];
+      if (E.Idx == Idx) {
+        ++GuestHits;
+        return E.Cell;
+      }
+    } else {
+      const TLBEntry &E = RtTLB[Idx & (TLBSlots - 1)];
+      if (E.Idx == Idx) {
+        ++RuntimeHits;
+        return E.Cell;
+      }
+    }
     return tlbFill(Idx);
   }
 
@@ -237,8 +324,10 @@ private:
   PageCell *tlbLookupWrite(uint64_t Idx) {
     if (Idx - WatchLoPage <= WatchPageSpan)
       ++WatchEpoch; // write into the watched (code) range
-    TLBEntry &E = TLB[Idx & (TLBSlots - 1)];
+    const bool Guest = isGuestPage(Idx);
+    TLBEntry &E = (Guest ? TLB : RtTLB)[Idx & (TLBSlots - 1)];
     if (E.Idx == Idx && E.Cell) {
+      ++(Guest ? GuestHits : RuntimeHits);
       markDirty(Idx, *E.Cell);
       return E.Cell;
     }
@@ -260,7 +349,17 @@ private:
   /// Pages whose dirty bit was set since the last capture; each page
   /// appears at most once (the bit dedupes).
   std::vector<uint64_t> DirtyList;
+  /// Guest bank (the one the JIT's inline probe reads through its pinned
+  /// r12 = &TLB[0] — generated code only probes region-checked guest
+  /// addresses, so the runtime bank is invisible to it) and the
+  /// runtime/shadow bank.
   mutable std::array<TLBEntry, TLBSlots> TLB;
+  mutable std::array<TLBEntry, TLBSlots> RtTLB;
+  // Hot-path accounting; mutable because read-path hits count on const
+  // lookups. One Memory is single-threaded (owned by one Machine).
+  mutable uint64_t GuestHits = 0;
+  mutable uint64_t RuntimeHits = 0;
+  mutable uint64_t SlowPathCalls = 0;
   /// Scratch landing pad for writes whose page materialization was
   /// refused. Never entered into Pages or the TLB, so no read path can
   /// observe bytes written through it.

@@ -89,6 +89,7 @@ void InstrumentedTarget::execute(const std::vector<uint8_t> &Input) {
   M.setInput(Input);
   LastStop = M.run(Budget);
   TotalInsts += M.executedInsts();
+  RT.accumulateHotPathStats();
 }
 
 json::Value InstrumentedTarget::saveState() const {

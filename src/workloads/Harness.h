@@ -76,6 +76,13 @@ public:
             Faults.injectedCount()};
   }
 
+  /// The runtime accumulates the VM's per-run counters once per
+  /// execution; its stats (and thus these) survive save/resume.
+  fuzz::FuzzTarget::HotPathStats hotPathStats() const override {
+    return {RT.Stats.TlbGuestHits, RT.Stats.TlbRuntimeHits,
+            RT.Stats.TlbSlowPathCalls, RT.Stats.IntrinsicFastPathHits};
+  }
+
   vm::Machine M;
   runtime::SpecRuntime RT;
   vm::StopState LastStop;

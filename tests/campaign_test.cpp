@@ -316,3 +316,35 @@ TEST(Campaign, InstrumentedMultiWorkerIsDeterministic) {
   EXPECT_EQ(A, B) << "2-worker campaign must not depend on scheduling";
   EXPECT_EQ(std::get<2>(A), 160u);
 }
+
+TEST(Campaign, HotPathCountersAreDeterministic) {
+  const workloads::Workload &W = *workloads::findWorkload("jsmn");
+  obj::ObjectFile Bin = compileOrDie(W.Source);
+  Bin.strip();
+  auto RW = rewriteOrDie(Bin);
+  runtime::RuntimeOptions RT;
+
+  auto Run = [&] {
+    CampaignOptions CO;
+    CO.Seed = 21;
+    CO.TotalIterations = 160;
+    CO.Workers = 2;
+    CO.SyncInterval = 20;
+    CO.MaxInputLen = 128;
+    Campaign C(workloads::instrumentedTargetFactory(RW, RT), CO);
+    for (const auto &Seed : W.Seeds())
+      C.addSeed(Seed);
+    return C.run();
+  };
+  CampaignStats A = Run(), B = Run();
+  // The split-TLB and fast-path counters are part of CampaignStats'
+  // defaulted equality, so this compares them too.
+  EXPECT_EQ(A, B) << "hot-path counters must be run-twice identical";
+  // And they must actually be live on an instrumented target: the
+  // shadow traffic hits the runtime bank, guest data hits the guest
+  // bank, and the block/JIT tiers retire no-op intrinsics inline.
+  EXPECT_GT(A.TlbGuestHits, 0u);
+  EXPECT_GT(A.TlbRuntimeHits, 0u);
+  EXPECT_GT(A.TlbSlowPathCalls, 0u);
+  EXPECT_GT(A.IntrinsicFastPathHits, 0u);
+}

@@ -50,10 +50,7 @@ ScanResult scanNormalized(const std::string &Workload, ScanConfig Cfg) {
   auto ROrErr = S.run();
   EXPECT_TRUE(static_cast<bool>(ROrErr)) << Workload;
   ScanResult R = std::move(*ROrErr);
-  R.WallSeconds = 0;
-  for (ScanPassStats &PS : R.Passes)
-    PS.Seconds = 0;
-  R.Engine = "any";
+  R.normalizeRunVarying();
   return R;
 }
 

@@ -104,6 +104,114 @@ TEST(Memory, RecaptureRebasesTheSnapshot) {
   EXPECT_EQ(M.readU8(0x1000), 2);
 }
 
+// The guest page at index 0x10 and the shadow page at index 0x200000010
+// map to the same direct-mapped slot (0x10 mod 256) but live in
+// different banks: LowMem is guest, the DIFT LowTag region is not.
+static constexpr uint64_t SplitGuestAddr = 0x10000;
+static constexpr uint64_t SplitShadowAddr = 0x2000'0001'0000ULL;
+
+TEST(Memory, SplitTlbBanksDoNotEvictEachOther) {
+  Memory M;
+  M.writeU8(SplitGuestAddr, 1);
+  M.writeU8(SplitShadowAddr, 2);
+  (void)M.readU8(SplitGuestAddr); // warm both banks
+  (void)M.readU8(SplitShadowAddr);
+  M.resetHotPathCounters();
+  for (int I = 0; I != 64; ++I) {
+    EXPECT_EQ(M.readU8(SplitGuestAddr), 1);
+    EXPECT_EQ(M.readU8(SplitShadowAddr), 2);
+  }
+  // Interleaved same-slot traffic stays hot in both banks — the exact
+  // pattern an instrumented guest access produces (data access, then
+  // its tag-shadow access) and the reason the TLB is split.
+  EXPECT_EQ(M.tlbGuestHits(), 64u);
+  EXPECT_EQ(M.tlbRuntimeHits(), 64u);
+  EXPECT_EQ(M.tlbSlowPathCalls(), 0u);
+
+  // Contrast: two *guest* pages in the same slot do conflict (the banks
+  // are direct-mapped); every alternating access is a fill.
+  const uint64_t OtherGuest = SplitGuestAddr + 256 * Memory::PageSize;
+  M.writeU8(OtherGuest, 3);
+  M.resetHotPathCounters();
+  for (int I = 0; I != 8; ++I) {
+    EXPECT_EQ(M.readU8(SplitGuestAddr), 1);
+    EXPECT_EQ(M.readU8(OtherGuest), 3);
+  }
+  EXPECT_EQ(M.tlbSlowPathCalls(), 16u);
+  EXPECT_EQ(M.tlbGuestHits(), 0u);
+}
+
+TEST(Memory, TlbInvalidationCoversBothBanks) {
+  Memory M;
+  M.writeU8(SplitGuestAddr, 1);
+  M.writeU8(SplitShadowAddr, 2);
+  (void)M.readU8(SplitGuestAddr);
+  (void)M.readU8(SplitShadowAddr);
+  // captureBaseline can unmap (reclaim) pages, so it must flush both
+  // banks: the next access in each is a fill, not a stale hit.
+  M.captureBaseline();
+  M.resetHotPathCounters();
+  EXPECT_EQ(M.readU8(SplitGuestAddr), 1);
+  EXPECT_EQ(M.readU8(SplitShadowAddr), 2);
+  EXPECT_EQ(M.tlbSlowPathCalls(), 2u);
+  EXPECT_EQ(M.tlbGuestHits(), 0u);
+  EXPECT_EQ(M.tlbRuntimeHits(), 0u);
+
+  // resetToBaseline un-maps post-capture pages: flushed again, in both
+  // banks, and the restored contents are what reads see.
+  M.writeU8(SplitGuestAddr, 9);
+  M.writeU8(SplitShadowAddr, 9);
+  M.resetToBaseline();
+  M.resetHotPathCounters();
+  EXPECT_EQ(M.readU8(SplitGuestAddr), 1);
+  EXPECT_EQ(M.readU8(SplitShadowAddr), 2);
+  EXPECT_EQ(M.tlbSlowPathCalls(), 2u);
+}
+
+TEST(Memory, WatchEpochSeesWritesInEitherBank) {
+  Memory M;
+  M.watchRange(SplitGuestAddr, Memory::PageSize);
+  uint64_t E0 = M.watchEpoch();
+  M.writeU8(SplitGuestAddr, 1);
+  EXPECT_GT(M.watchEpoch(), E0);
+  // The epoch check runs before the bank split, so a watched
+  // runtime-bank page invalidates just the same.
+  M.watchRange(SplitShadowAddr, Memory::PageSize);
+  uint64_t E1 = M.watchEpoch();
+  M.writeU8(SplitShadowAddr, 1);
+  EXPECT_GT(M.watchEpoch(), E1);
+  uint64_t E2 = M.watchEpoch();
+  M.writeU8(0x5000, 1); // unwatched: epoch untouched
+  EXPECT_EQ(M.watchEpoch(), E2);
+}
+
+TEST(Memory, ReadCodeIsExemptFromAccounting) {
+  Memory M;
+  M.writeU8(0x3000, 0x7f);
+  M.resetHotPathCounters();
+  uint8_t Buf[8] = {};
+  M.readCode(0x3000, Buf, sizeof(Buf));
+  EXPECT_EQ(Buf[0], 0x7f); // same bytes as read()
+  EXPECT_EQ(M.tlbGuestHits(), 0u);
+  EXPECT_EQ(M.tlbSlowPathCalls(), 0u);
+  M.read(0x3000, Buf, sizeof(Buf));
+  EXPECT_EQ(M.tlbGuestHits() + M.tlbSlowPathCalls(), 1u);
+}
+
+TEST(Memory, SpanAccessorsMatchByteSemantics) {
+  Memory M;
+  EXPECT_EQ(M.spanForRead(0x7000, 16), nullptr); // unmapped: zeros
+  M.captureBaseline();
+  uint8_t *W = M.spanForWrite(0x7000, 16);
+  ASSERT_NE(W, nullptr);
+  memset(W, 0xab, 16);
+  EXPECT_EQ(M.readU8(0x7007), 0xab);
+  EXPECT_EQ(M.dirtyPageCount(), 1u); // span writes keep the dirty bit
+  const uint8_t *R = M.spanForRead(0x7008, 8);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R[0], 0xab);
+}
+
 TEST(Machine, ArithmeticAndHaltStatus) {
   auto R = runNative(assembleOrDie(R"(
 .text

@@ -294,13 +294,11 @@ int main(int argc, char **argv) {
         Exit(S.loadWorkload(T.Name));
         Exit(S.rewrite());
         ScanResult R = Exit(S.run());
-        // Normalize the only legitimately run-varying fields — wall
-        // clock (whole-run and per-pass) and the recorded engine — so
-        // the comparison and the emitted artifacts are both exact.
-        R.WallSeconds = 0;
-        for (ScanPassStats &PS : R.Passes)
-          PS.Seconds = 0;
-        R.Engine = "any"; // normalized: the claim is engine-invariance
+        // Normalize the legitimately run-varying fields — wall clock
+        // (whole-run and per-pass), the recorded engine, and the
+        // per-engine hot-path counters — so the comparison and the
+        // emitted artifacts are both exact.
+        R.normalizeRunVarying();
         Runs.push_back(std::move(R));
       }
       for (size_t E = 1; E != Runs.size(); ++E)
